@@ -1,0 +1,57 @@
+//! Criterion: representative TPC-H queries on the full VectorH stack vs the
+//! single-threaded columnar baseline (a steady-state slice of Figure 7).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vectorh::{ClusterConfig, VectorH};
+use vectorh_tpch::baseline::{BaselineDb, BaselineKind};
+use vectorh_tpch::queries::{build_query, run_with};
+
+struct Setup {
+    vh: VectorH,
+    db: BaselineDb,
+}
+
+fn setup() -> Setup {
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 3,
+        rows_per_chunk: 8192,
+        ..Default::default()
+    })
+    .unwrap();
+    let data = vectorh_tpch::schema::setup(&vh, 0.005, 6, 42).unwrap();
+    let db = BaselineDb::load(&data).unwrap();
+    Setup { vh, db }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("tpch-sf0.005");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_millis(900));
+    for qn in [1usize, 3, 6, 12, 14] {
+        g.bench_with_input(BenchmarkId::new("vectorh", qn), &qn, |b, &qn| {
+            b.iter(|| {
+                let q = build_query(qn).unwrap();
+                run_with(&q, |p| s.vh.query_logical(p)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive-columnar", qn), &qn, |b, &qn| {
+            b.iter(|| {
+                let q = build_query(qn).unwrap();
+                s.db.run_query(&q, BaselineKind::NaiveColumnar).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rowstore", qn), &qn, |b, &qn| {
+            b.iter(|| {
+                let q = build_query(qn).unwrap();
+                s.db.run_query(&q, BaselineKind::RowStore).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Shared plumbing for the paper-reproduction harnesses.
+//!
+//! Each binary under `bin/` regenerates one table or figure of the VectorH
+//! paper (see DESIGN.md's experiment index); this crate holds the timing and
+//! table-formatting helpers they share.
+
+use std::time::Instant;
+
+use vectorh_common::Value;
+
+/// Time a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Time a closure after one untimed warm-up run (the paper reports hot
+/// times).
+pub fn timed_hot<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let _ = f();
+    timed(f)
+}
+
+/// Render a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Scale factor from `VH_SF` (default tuned for quick runs).
+pub fn env_sf(default: f64) -> f64 {
+    std::env::var("VH_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+/// First value of the first row, as f64 (harness assertions).
+pub fn scalar(rows: &[Vec<Value>]) -> f64 {
+    rows.first().and_then(|r| r.first()).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures() {
+        let (v, secs) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(secs >= 0.004);
+    }
+
+    #[test]
+    fn table_renders() {
+        print_table(&["a", "bb"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn env_sf_default() {
+        assert_eq!(env_sf(0.01), 0.01);
+    }
+}

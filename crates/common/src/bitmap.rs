@@ -1,0 +1,165 @@
+//! A dense bit set over row positions.
+//!
+//! Used for delete masks, selection pre-filters and MinMax skip decisions.
+
+/// Fixed-capacity bit set backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap with `len` addressable bits.
+    pub fn new(len: usize) -> Self {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// All-one bitmap with `len` addressable bits.
+    pub fn all_set(len: usize) -> Self {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.clear_tail();
+        b
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Grow to hold `len` bits (new bits are zero).
+    pub fn resize(&mut self, len: usize) {
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+        self.clear_tail();
+    }
+
+    /// In-place union. Panics if lengths differ.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection. Panics if lengths differ.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Iterator over indexes of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn all_set_respects_tail() {
+        let b = Bitmap::all_set(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(69));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut b = Bitmap::new(200);
+        for i in [3usize, 64, 65, 199] {
+            b.set(i);
+        }
+        let ones: Vec<_> = b.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 199]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = Bitmap::new(100);
+        let mut b = Bitmap::new(100);
+        a.set(1);
+        a.set(50);
+        b.set(50);
+        b.set(99);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 50, 99]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![50]);
+    }
+
+    #[test]
+    fn resize_zeroes_new_bits() {
+        let mut b = Bitmap::all_set(10);
+        b.resize(80);
+        assert_eq!(b.count_ones(), 10);
+        assert!(!b.get(79));
+        b.set(79);
+        assert!(b.get(79));
+    }
+}

@@ -1,0 +1,132 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by VectorH-rs subsystems.
+///
+/// A single enum is used across the workspace so errors compose without a
+/// tower of `From` impls; the variant tells you which subsystem raised it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VhError {
+    /// Storage-layer failure (block/chunk/file management).
+    Storage(String),
+    /// Simulated-HDFS failure (missing file, dead datanode, replication).
+    Hdfs(String),
+    /// Compression codec failure (corrupt block, unsupported width).
+    Codec(String),
+    /// Positional Delta Tree failure.
+    Pdt(String),
+    /// Query planning / SQL parsing failure.
+    Plan(String),
+    /// Query execution failure.
+    Exec(String),
+    /// Transaction aborted (write-write conflict, 2PC failure, ...).
+    TxnAbort(String),
+    /// Resource manager (YARN simulation) failure.
+    Yarn(String),
+    /// Network / exchange-operator failure.
+    Net(String),
+    /// Catalog failure (unknown table/column, duplicate DDL).
+    Catalog(String),
+    /// Constraint violation (unique key / foreign key).
+    Constraint(String),
+    /// Invalid argument supplied by the caller.
+    InvalidArg(String),
+    /// Internal invariant violated; indicates a bug in VectorH-rs itself.
+    Internal(String),
+}
+
+impl VhError {
+    /// Short subsystem tag, useful for log prefixes.
+    pub fn subsystem(&self) -> &'static str {
+        match self {
+            VhError::Storage(_) => "storage",
+            VhError::Hdfs(_) => "hdfs",
+            VhError::Codec(_) => "codec",
+            VhError::Pdt(_) => "pdt",
+            VhError::Plan(_) => "plan",
+            VhError::Exec(_) => "exec",
+            VhError::TxnAbort(_) => "txn",
+            VhError::Yarn(_) => "yarn",
+            VhError::Net(_) => "net",
+            VhError::Catalog(_) => "catalog",
+            VhError::Constraint(_) => "constraint",
+            VhError::InvalidArg(_) => "invalid-arg",
+            VhError::Internal(_) => "internal",
+        }
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
+        match self {
+            VhError::Storage(m)
+            | VhError::Hdfs(m)
+            | VhError::Codec(m)
+            | VhError::Pdt(m)
+            | VhError::Plan(m)
+            | VhError::Exec(m)
+            | VhError::TxnAbort(m)
+            | VhError::Yarn(m)
+            | VhError::Net(m)
+            | VhError::Catalog(m)
+            | VhError::Constraint(m)
+            | VhError::InvalidArg(m)
+            | VhError::Internal(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for VhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.subsystem(), self.message())
+    }
+}
+
+impl std::error::Error for VhError {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, VhError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_subsystem_and_message() {
+        let e = VhError::Hdfs("file missing".into());
+        assert_eq!(e.to_string(), "[hdfs] file missing");
+        assert_eq!(e.subsystem(), "hdfs");
+        assert_eq!(e.message(), "file missing");
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            VhError::Plan("x".into()),
+            VhError::Plan("x".into())
+        );
+        assert_ne!(VhError::Plan("x".into()), VhError::Exec("x".into()));
+    }
+
+    #[test]
+    fn all_variants_report_subsystem() {
+        let variants = vec![
+            VhError::Storage(String::new()),
+            VhError::Hdfs(String::new()),
+            VhError::Codec(String::new()),
+            VhError::Pdt(String::new()),
+            VhError::Plan(String::new()),
+            VhError::Exec(String::new()),
+            VhError::TxnAbort(String::new()),
+            VhError::Yarn(String::new()),
+            VhError::Net(String::new()),
+            VhError::Catalog(String::new()),
+            VhError::Constraint(String::new()),
+            VhError::InvalidArg(String::new()),
+            VhError::Internal(String::new()),
+        ];
+        let tags: std::collections::HashSet<_> =
+            variants.iter().map(|v| v.subsystem()).collect();
+        assert_eq!(tags.len(), variants.len(), "subsystem tags must be unique");
+    }
+}

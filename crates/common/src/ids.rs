@@ -1,0 +1,120 @@
+//! Typed identifiers.
+//!
+//! The simulated cluster juggles many small integer identities (nodes,
+//! tables, partitions, files, blocks, transactions...). Newtypes prevent the
+//! classic "passed a partition id where a node id was expected" bug and make
+//! signatures self-documenting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index, handy for vector indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                $name(v as u32)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A datanode / worker machine in the simulated cluster.
+    NodeId,
+    "node"
+);
+id_type!(
+    /// A table in the catalog.
+    TableId,
+    "tbl"
+);
+id_type!(
+    /// A horizontal partition of a table. Partition ids are global —
+    /// `(TableId, PartitionId)` pairs are only needed when the table is not
+    /// implied by context.
+    PartitionId,
+    "part"
+);
+id_type!(
+    /// A column within a table schema.
+    ColumnId,
+    "col"
+);
+id_type!(
+    /// An HDFS-style file in the simulated filesystem.
+    FileId,
+    "file"
+);
+id_type!(
+    /// A fixed-size replicated block of a simulated HDFS file.
+    BlockId,
+    "blk"
+);
+id_type!(
+    /// A transaction.
+    TxnId,
+    "txn"
+);
+id_type!(
+    /// A YARN application master / container slice.
+    ContainerId,
+    "ctr"
+);
+id_type!(
+    /// A query admitted by the workload manager.
+    QueryId,
+    "q"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(PartitionId(11).to_string(), "part11");
+        assert_eq!(TxnId(0).to_string(), "txn0");
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let n: NodeId = 7usize.into();
+        assert_eq!(n.index(), 7);
+        let t: TableId = 9u32.into();
+        assert_eq!(t, TableId(9));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        let mut v = vec![PartitionId(4), PartitionId(1), PartitionId(3)];
+        v.sort();
+        assert_eq!(v, vec![PartitionId(1), PartitionId(3), PartitionId(4)]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Schemas: named, typed column lists.
+
+use crate::types::DataType;
+use crate::{Result, VhError};
+use serde::{Deserialize, Serialize};
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the column with this name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| VhError::Catalog(format!("unknown column '{name}'")))
+    }
+
+    pub fn dtype(&self, idx: usize) -> DataType {
+        self.fields[idx].dtype
+    }
+
+    /// Schema containing only the given column indexes, in that order.
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema {
+            fields: cols.iter().map(|&c| self.fields[c].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::of(&[
+            ("id", DataType::I64),
+            ("price", DataType::Decimal { scale: 2 }),
+            ("name", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("price").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.dtype(0), DataType::I64);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn projection_preserves_order() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["name", "id"]);
+        assert_eq!(p.dtype(1), DataType::I64);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let s = sample();
+        let t = Schema::of(&[("qty", DataType::I32)]);
+        let j = s.join(&t);
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.field(3).name, "qty");
+    }
+}

@@ -1,0 +1,34 @@
+//! Lightweight columnar compression for VectorH-rs.
+//!
+//! Implements the Vectorwise compression family the paper describes (§2,
+//! Zukowski et al., ICDE 2006):
+//!
+//! * **PFOR** ([`pfor`]) — *Patched Frame Of Reference*: values are coded as
+//!   thin fixed-bitwidth deltas from a block-dependent base; infrequent
+//!   outliers become *exceptions* stored uncompressed after the codes, with
+//!   their code slots repurposed as "distance to next exception" pointers so
+//!   decompression is a branch-free inflate pass followed by a short patch
+//!   walk.
+//! * **PFOR-DELTA** ([`pfor`]) — PFOR over deltas of consecutive values;
+//!   ideal for sorted/clustered columns (and adopted by Lucene).
+//! * **PDICT** ([`pdict`]) — patched dictionary coding: frequent values get
+//!   thin codes, infrequent ones become exceptions.
+//! * A byte-oriented LZ codec ([`lz`]) standing in for LZ4/Snappy: VectorH
+//!   uses it *only* for non-dictionary string columns, whereas the Hadoop
+//!   formats run it over everything — that difference is measurable in the
+//!   Figure 1 benches.
+//! * **Baselines** ([`baseline`]) — "ORC-like" and "Parquet-like" codecs that
+//!   decode value-at-a-time through varint/RLE plus a general-purpose pass,
+//!   reproducing why those readers are slower (§2 micro-benchmarks, [25]).
+//!
+//! The entry point for the storage layer is [`codec`]: it picks the best
+//! scheme per block and gives byte-exact roundtrips.
+
+pub mod baseline;
+pub mod bitpack;
+pub mod codec;
+pub mod lz;
+pub mod pdict;
+pub mod pfor;
+
+pub use codec::{decode_column, encode_column, CodecStats, EncodedBlock, Scheme};

@@ -1,0 +1,363 @@
+//! PFOR and PFOR-DELTA: patched frame-of-reference coding.
+//!
+//! Values are represented as unsigned deltas from a per-block *base* (the
+//! block minimum), packed at a fixed bit width chosen to make most values
+//! fit. Values that do not fit become **exceptions**: their original value is
+//! appended uncompressed after the code section, and their code slot instead
+//! holds the distance to the *next* exception, forming a linked chain
+//! starting at `first_exc`. Decompression therefore has two phases, exactly
+//! as the paper describes: a branch-free inflate of all codes, then a short
+//! data-dependent patch walk that "hops over the decompressed codes treating
+//! them as next pointers".
+//!
+//! When exceptions are further apart than the chain can express at the
+//! chosen width, the encoder inserts *forced exceptions* to keep the chain
+//! connected (standard PFOR practice).
+
+use crate::bitpack;
+
+/// An encoded PFOR block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pfor {
+    /// Frame of reference: decoded value = base + code (wrapping).
+    pub base: i64,
+    /// Bits per packed code.
+    pub width: u8,
+    /// Number of values.
+    pub n: u32,
+    /// Index of the first exception, or `u32::MAX` when there are none.
+    pub first_exc: u32,
+    /// Bit-packed code section.
+    pub codes: Vec<u8>,
+    /// Exception values (originals), in position order.
+    pub exceptions: Vec<i64>,
+}
+
+/// Size in bytes an encoding with these parameters will occupy on disk
+/// (excluding the fixed header the storage layer adds).
+fn body_size(n: usize, width: u8, exceptions: usize) -> usize {
+    bitpack::packed_size(n, width) + exceptions * 8
+}
+
+/// Pick the code width minimizing encoded size.
+///
+/// Natural exceptions per width come from a bit-width histogram; forced
+/// exceptions (chain gaps) are charged pessimistically as `n >> width`.
+fn choose_width(deltas: &[u64]) -> u8 {
+    if deltas.is_empty() {
+        return 0;
+    }
+    let mut hist = [0usize; 65];
+    for &d in deltas {
+        hist[vectorh_common::util::bits_needed(d) as usize] += 1;
+    }
+    // suffix[w] = number of values needing more than w bits = natural exceptions at width w.
+    let mut best_w = 64u8;
+    let mut best_size = usize::MAX;
+    let mut exceptions = 0usize;
+    for w in (0..=64u8).rev() {
+        // Forced exceptions only arise between natural ones; charge the
+        // chain-density bound only when natural exceptions exist at all.
+        let forced = if exceptions == 0 || w == 0 || w >= 32 {
+            0
+        } else {
+            (deltas.len() >> w).saturating_sub(exceptions)
+        };
+        let exc = exceptions + forced;
+        // width 0 cannot host an exception chain.
+        if !(w == 0 && exc > 0) {
+            let size = body_size(deltas.len(), w, exc);
+            if size < best_size {
+                best_size = size;
+                best_w = w;
+            }
+        }
+        exceptions += hist[w as usize];
+    }
+    best_w
+}
+
+impl Pfor {
+    /// Encode a slice of values.
+    pub fn encode(values: &[i64]) -> Pfor {
+        let n = values.len();
+        if n == 0 {
+            return Pfor { base: 0, width: 0, n: 0, first_exc: u32::MAX, codes: vec![], exceptions: vec![] };
+        }
+        let base = *values.iter().min().expect("non-empty");
+        let deltas: Vec<u64> = values.iter().map(|&v| v.wrapping_sub(base) as u64).collect();
+        let width = choose_width(&deltas);
+        Self::encode_with_width(values, base, width, &deltas)
+    }
+
+    fn encode_with_width(values: &[i64], base: i64, width: u8, deltas: &[u64]) -> Pfor {
+        let n = values.len();
+        let mask = if width == 0 { 0u64 } else if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        // Max expressible chain hop: a code slot holds (next_idx - this_idx - 1).
+        let max_gap = mask as usize; // hop of mask means next exception is mask+1 slots away
+
+        // First pass: decide which positions are exceptions (natural + forced).
+        let mut exc_pos: Vec<usize> = Vec::new();
+        let mut last_exc: Option<usize> = None;
+        for (i, &d) in deltas.iter().enumerate() {
+            let natural = width < 64 && d > mask;
+            let forced = match last_exc {
+                Some(j) => !exc_pos.is_empty() && i - j - 1 >= max_gap && {
+                    // Force only when the *next* natural exception would be
+                    // unreachable; conservatively force at the horizon.
+                    i - j - 1 == max_gap && has_later_exception(deltas, i, mask, width)
+                },
+                None => false,
+            };
+            if natural || forced {
+                exc_pos.push(i);
+                last_exc = Some(i);
+            }
+        }
+        debug_assert!(width > 0 || exc_pos.is_empty());
+
+        // Second pass: build the code stream with chain pointers in exception slots.
+        let mut slots: Vec<u64> = Vec::with_capacity(n);
+        let mut exceptions: Vec<i64> = Vec::with_capacity(exc_pos.len());
+        let mut next_exc_iter = exc_pos.iter().copied().peekable();
+        let mut exc_idx = 0usize;
+        for (i, &d) in deltas.iter().enumerate() {
+            if next_exc_iter.peek() == Some(&i) {
+                next_exc_iter.next();
+                // chain pointer: distance to the following exception - 1
+                let hop = match exc_pos.get(exc_idx + 1) {
+                    Some(&nj) => (nj - i - 1) as u64,
+                    None => 0, // terminal hop value is unused; count bounds the walk
+                };
+                debug_assert!(hop <= mask);
+                slots.push(hop & mask);
+                exceptions.push(values[i]);
+                exc_idx += 1;
+            } else {
+                slots.push(d);
+            }
+        }
+        let mut codes = Vec::with_capacity(bitpack::packed_size(n, width));
+        bitpack::pack(&slots, width, &mut codes);
+        Pfor {
+            base,
+            width,
+            n: n as u32,
+            first_exc: exc_pos.first().map(|&i| i as u32).unwrap_or(u32::MAX),
+            codes,
+            exceptions,
+        }
+    }
+
+    /// Decode into `out` (appended). Two phases: inflate, then patch.
+    pub fn decode(&self, out: &mut Vec<i64>) {
+        let n = self.n as usize;
+        let start = out.len();
+        let mut slots: Vec<u64> = Vec::with_capacity(n);
+        bitpack::unpack(&self.codes, n, self.width, &mut slots);
+        // Phase 1: branch-free inflate of every slot.
+        out.extend(slots.iter().map(|&c| self.base.wrapping_add(c as i64)));
+        // Phase 2: patch exceptions by walking the next-pointer chain.
+        if self.first_exc != u32::MAX {
+            let mut j = self.first_exc as usize;
+            for (k, &e) in self.exceptions.iter().enumerate() {
+                let hop = slots[j] as usize;
+                out[start + j] = e;
+                if k + 1 < self.exceptions.len() {
+                    j += hop + 1;
+                }
+            }
+        }
+    }
+
+    /// Encoded body size in bytes.
+    pub fn body_size(&self) -> usize {
+        body_size(self.n as usize, self.width, self.exceptions.len())
+    }
+}
+
+fn has_later_exception(deltas: &[u64], from: usize, mask: u64, width: u8) -> bool {
+    width < 64 && deltas[from..].iter().any(|&d| d > mask)
+}
+
+/// PFOR-DELTA: PFOR applied to consecutive differences.
+///
+/// `seed` is the first value; slot `i` holds `v[i] - v[i-1]` (slot 0 holds 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PforDelta {
+    pub seed: i64,
+    pub inner: Pfor,
+}
+
+impl PforDelta {
+    pub fn encode(values: &[i64]) -> PforDelta {
+        if values.is_empty() {
+            return PforDelta { seed: 0, inner: Pfor::encode(&[]) };
+        }
+        let seed = values[0];
+        let mut diffs = Vec::with_capacity(values.len());
+        diffs.push(0i64);
+        for w in values.windows(2) {
+            diffs.push(w[1].wrapping_sub(w[0]));
+        }
+        PforDelta { seed, inner: Pfor::encode(&diffs) }
+    }
+
+    pub fn decode(&self, out: &mut Vec<i64>) {
+        let start = out.len();
+        self.inner.decode(out);
+        let mut acc = self.seed;
+        for v in &mut out[start..] {
+            acc = acc.wrapping_add(*v);
+            *v = acc;
+        }
+    }
+
+    pub fn body_size(&self) -> usize {
+        8 + self.inner.body_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vectorh_common::rng::SplitMix64;
+
+    fn roundtrip(values: &[i64]) -> Pfor {
+        let enc = Pfor::encode(values);
+        let mut out = Vec::new();
+        enc.decode(&mut out);
+        assert_eq!(out, values, "pfor roundtrip failed");
+        enc
+    }
+
+    fn roundtrip_delta(values: &[i64]) -> PforDelta {
+        let enc = PforDelta::encode(values);
+        let mut out = Vec::new();
+        enc.decode(&mut out);
+        assert_eq!(out, values, "pfor-delta roundtrip failed");
+        enc
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip_delta(&[]);
+        roundtrip_delta(&[42]);
+    }
+
+    #[test]
+    fn constant_column_is_nearly_free() {
+        let vals = vec![7i64; 5000];
+        let enc = roundtrip(&vals);
+        assert_eq!(enc.width, 0);
+        assert_eq!(enc.body_size(), 0);
+    }
+
+    #[test]
+    fn small_range_packs_thin() {
+        let vals: Vec<i64> = (0..4096).map(|i| 1_000_000 + (i % 16)).collect();
+        let enc = roundtrip(&vals);
+        assert_eq!(enc.width, 4);
+        assert!(enc.exceptions.is_empty());
+        assert_eq!(enc.body_size(), 4096 * 4 / 8);
+    }
+
+    #[test]
+    fn skewed_with_outliers_uses_exceptions() {
+        // 99% small values, 1% huge outliers: the paper's motivating case.
+        let mut rng = SplitMix64::new(1);
+        let vals: Vec<i64> = (0..8192)
+            .map(|_| {
+                if rng.chance(0.01) {
+                    rng.range_i64(1 << 40, 1 << 41)
+                } else {
+                    rng.range_i64(0, 255)
+                }
+            })
+            .collect();
+        let enc = roundtrip(&vals);
+        assert!(enc.width <= 16, "width {} should stay thin", enc.width);
+        assert!(!enc.exceptions.is_empty());
+        // Must beat raw 8-byte storage comfortably.
+        assert!(enc.body_size() < vals.len() * 8 / 3);
+    }
+
+    #[test]
+    fn negative_values_and_extremes() {
+        roundtrip(&[i64::MIN, i64::MAX, 0, -1, 1]);
+        roundtrip(&[-5, -4, -3, -100, -5]);
+    }
+
+    #[test]
+    fn adjacent_exceptions() {
+        // Exceptions in consecutive slots exercise hop=0.
+        let mut vals = vec![1i64; 100];
+        vals[50] = 1 << 50;
+        vals[51] = 1 << 51;
+        vals[52] = 1 << 52;
+        let enc = roundtrip(&vals);
+        assert_eq!(enc.exceptions.len(), 3);
+    }
+
+    #[test]
+    fn exception_at_block_edges() {
+        let mut vals = vec![3i64; 64];
+        vals[0] = i64::MAX;
+        vals[63] = i64::MIN;
+        roundtrip(&vals);
+    }
+
+    #[test]
+    fn sorted_data_much_smaller_with_delta() {
+        let vals: Vec<i64> = (0..10_000).map(|i| i * 3 + (i % 2)).collect();
+        let plain = Pfor::encode(&vals);
+        let delta = roundtrip_delta(&vals);
+        assert!(
+            delta.body_size() < plain.body_size(),
+            "delta {} should beat plain {}",
+            delta.body_size(),
+            plain.body_size()
+        );
+    }
+
+    #[test]
+    fn distant_exceptions_forced_chain() {
+        // Two outliers separated by far more than 2^width slots at thin width.
+        let mut vals = vec![0i64; 40_000];
+        vals[10] = 1 << 60;
+        vals[39_990] = 1 << 60;
+        roundtrip(&vals);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pfor_roundtrip(seed in any::<u64>(), n in 0usize..2000, spread in 0u32..60) {
+            let mut rng = SplitMix64::new(seed);
+            let bound = 1i64 << spread;
+            let vals: Vec<i64> = (0..n).map(|_| {
+                if rng.chance(0.05) { rng.next_u64() as i64 } else { rng.range_i64(-bound, bound) }
+            }).collect();
+            let enc = Pfor::encode(&vals);
+            let mut out = Vec::new();
+            enc.decode(&mut out);
+            prop_assert_eq!(out, vals);
+        }
+
+        #[test]
+        fn prop_pfordelta_roundtrip(seed in any::<u64>(), n in 0usize..2000) {
+            let mut rng = SplitMix64::new(seed);
+            let mut acc = rng.next_u64() as i64;
+            let vals: Vec<i64> = (0..n).map(|_| {
+                acc = acc.wrapping_add(rng.range_i64(-1000, 1000));
+                acc
+            }).collect();
+            let enc = PforDelta::encode(&vals);
+            let mut out = Vec::new();
+            enc.decode(&mut out);
+            prop_assert_eq!(out, vals);
+        }
+    }
+}

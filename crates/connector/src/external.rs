@@ -1,0 +1,230 @@
+//! ExternalScan / ExternalDump (§7).
+//!
+//! "ExternalScan is an operator that is able to process binary data coming
+//! from multiple network sockets (in parallel) and ExternalDump ... output
+//! binary data in parallel through network sockets." The sockets here are
+//! channels carrying the same PAX-serialized frames the exchange layer
+//! uses; the Spark side runs as producer threads.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use vectorh_common::{Result, Schema, VhError};
+use vectorh_exec::operator::{Counters, OpProfile, Operator};
+use vectorh_exec::Batch;
+use vectorh_net::buffer;
+use vectorh_net::NetStats;
+
+/// Binary frame on an external socket.
+pub type Frame = Vec<u8>;
+
+/// The VectorH-side ingest operator: one socket, many possible writers.
+pub struct ExternalScan {
+    schema: Arc<Schema>,
+    rx: Receiver<std::result::Result<Frame, VhError>>,
+    counters: Counters,
+}
+
+/// Writer handle passed to the "Spark" side.
+#[derive(Clone)]
+pub struct SocketWriter {
+    tx: Sender<std::result::Result<Frame, VhError>>,
+    stats: Arc<NetStats>,
+    /// Whether this writer's data crosses nodes (affinity miss).
+    remote: bool,
+}
+
+impl SocketWriter {
+    /// Serialize and send a batch.
+    pub fn send(&self, batch: &Batch) -> Result<()> {
+        let bytes = buffer::serialize(batch);
+        if self.remote {
+            self.stats.record_net_message(bytes.len() as u64, batch.len() as u64);
+        } else {
+            self.stats.record_intra_message(batch.len() as u64);
+        }
+        self.tx
+            .send(Ok(bytes))
+            .map_err(|_| VhError::Net("external scan closed".into()))
+    }
+
+    pub fn send_error(&self, e: VhError) {
+        let _ = self.tx.send(Err(e));
+    }
+}
+
+impl ExternalScan {
+    /// Create a scan and a writer factory: `writer(remote)` hands out
+    /// sockets; drop all writers to end the stream.
+    pub fn new(schema: Arc<Schema>, stats: Arc<NetStats>) -> (ExternalScan, ExternalPort) {
+        let (tx, rx) = bounded(1024);
+        (
+            ExternalScan { schema, rx, counters: Counters::default() },
+            ExternalPort { tx, stats },
+        )
+    }
+}
+
+/// Connection point for external writers.
+pub struct ExternalPort {
+    tx: Sender<std::result::Result<Frame, VhError>>,
+    stats: Arc<NetStats>,
+}
+
+impl ExternalPort {
+    pub fn connect(&self, remote: bool) -> SocketWriter {
+        SocketWriter { tx: self.tx.clone(), stats: self.stats.clone(), remote }
+    }
+}
+
+impl Operator for ExternalScan {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let start = std::time::Instant::now();
+        let out = match self.rx.recv() {
+            Err(_) => None,
+            Ok(Err(e)) => return Err(e),
+            Ok(Ok(frame)) => Some(buffer::deserialize(&frame, self.schema.clone())?),
+        };
+        self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
+        self.counters.calls += 1;
+        if let Some(b) = &out {
+            self.counters.rows_out += b.len() as u64;
+            self.counters.rows_in += b.len() as u64;
+        }
+        Ok(out)
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.counters.profile("ExternalScan")
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+}
+
+/// The VectorH-side egress: drains a child operator, pushing binary frames
+/// to a consumer (SparkSQL reading from VectorH).
+pub struct ExternalDump {
+    child: Box<dyn Operator>,
+    tx: Sender<std::result::Result<Frame, VhError>>,
+    stats: Arc<NetStats>,
+    remote: bool,
+}
+
+impl ExternalDump {
+    pub fn new(
+        child: Box<dyn Operator>,
+        stats: Arc<NetStats>,
+        remote: bool,
+    ) -> (ExternalDump, Receiver<std::result::Result<Frame, VhError>>) {
+        let (tx, rx) = bounded(1024);
+        (ExternalDump { child, tx, stats, remote }, rx)
+    }
+
+    /// Drain the child to completion, returning rows exported.
+    pub fn run(mut self) -> Result<u64> {
+        let mut rows = 0u64;
+        while let Some(batch) = self.child.next()? {
+            rows += batch.len() as u64;
+            let bytes = buffer::serialize(&batch);
+            if self.remote {
+                self.stats.record_net_message(bytes.len() as u64, batch.len() as u64);
+            } else {
+                self.stats.record_intra_message(batch.len() as u64);
+            }
+            self.tx
+                .send(Ok(bytes))
+                .map_err(|_| VhError::Net("external consumer closed".into()))?;
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::{ColumnData, DataType};
+    use vectorh_exec::operator::BatchSource;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::of(&[("x", DataType::I64), ("s", DataType::Str)]))
+    }
+
+    fn batch(from: i64, n: i64) -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                ColumnData::I64((from..from + n).collect()),
+                ColumnData::Str((from..from + n).map(|i| format!("v{i}")).collect()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_writers_feed_one_scan() {
+        let stats = Arc::new(NetStats::default());
+        let (mut scan, port) = ExternalScan::new(schema(), stats.clone());
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let writer = port.connect(w != 0); // writer 0 local, others remote
+            handles.push(std::thread::spawn(move || {
+                for b in 0..4 {
+                    writer.send(&batch((w * 100 + b * 10) as i64, 10)).unwrap();
+                }
+            }));
+        }
+        drop(port);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut rows = 0;
+        while let Some(b) = scan.next().unwrap() {
+            rows += b.len();
+        }
+        assert_eq!(rows, 120);
+        let snap = stats.snapshot();
+        assert_eq!(snap.intra_messages, 4); // writer 0's frames
+        assert_eq!(snap.net_messages, 8);
+        assert!(snap.net_bytes > 0);
+    }
+
+    #[test]
+    fn error_propagates_to_scan() {
+        let stats = Arc::new(NetStats::default());
+        let (mut scan, port) = ExternalScan::new(schema(), stats);
+        let w = port.connect(false);
+        w.send_error(VhError::Net("spark job failed".into()));
+        drop(w);
+        drop(port);
+        assert!(scan.next().is_err());
+    }
+
+    #[test]
+    fn dump_exports_all_rows() {
+        let stats = Arc::new(NetStats::default());
+        let src = Box::new(BatchSource::from_batch(batch(0, 100), 32));
+        let (dump, rx) = ExternalDump::new(src, stats.clone(), true);
+        let consumer = std::thread::spawn(move || {
+            let mut frames = 0;
+            let mut rows = 0;
+            while let Ok(Ok(frame)) = rx.recv() {
+                frames += 1;
+                let b = buffer::deserialize(&frame, schema()).unwrap();
+                rows += b.len();
+            }
+            (frames, rows)
+        });
+        let exported = dump.run().unwrap();
+        assert_eq!(exported, 100);
+        let (frames, rows) = consumer.join().unwrap();
+        assert_eq!(rows, 100);
+        assert!(frames >= 4);
+        assert!(stats.snapshot().net_bytes > 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Spark connectivity and bulk loading (§7).
+//!
+//! * [`csv`] — vwload-style CSV parsing: custom delimiters, column subsets,
+//!   error skipping with a rejected-row log, typed conversion.
+//! * [`splits`] — input splits with block-location affinities and the
+//!   Hopcroft–Karp-style assignment of Spark RDD partitions to
+//!   `ExternalScan` operators (`getPreferredLocations`): maximize the number
+//!   of affinity-respecting assignments so transfers stay node-local.
+//! * [`external`] — the `ExternalScan` / `ExternalDump` operators: binary
+//!   row streams over (simulated network) channels between the "Spark" side
+//!   and VectorH operators.
+
+pub mod csv;
+pub mod external;
+pub mod splits;
+
+pub use csv::{parse_csv, CsvOptions};
+pub use external::{ExternalDump, ExternalScan};
+pub use splits::{assign_splits, Assignment, InputSplit};

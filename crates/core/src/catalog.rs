@@ -1,0 +1,170 @@
+//! Table definitions and the catalog.
+//!
+//! Mirrors the physical-design options of §2: tables can be hash-partitioned
+//! on a key (with a fixed partition count), declared *clustered* on a sort
+//! order (the "clustered index" — the table is stored sorted, enabling
+//! MinMax skipping on correlated columns and co-ordered merge joins), or be
+//! small and *replicated* to every worker.
+
+use vectorh_common::{Result, Schema, VhError};
+
+/// A table definition.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    /// Hash partitioning: (key column indexes, partition count).
+    /// `None` = replicated small table.
+    pub partitioning: Option<(Vec<usize>, usize)>,
+    /// Clustered-index sort order (column indexes).
+    pub sort_order: Option<Vec<usize>>,
+}
+
+/// Fluent construction of table definitions.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<(String, vectorh_common::DataType)>,
+    partition_by: Option<(Vec<String>, usize)>,
+    clustered_by: Option<Vec<String>>,
+}
+
+impl TableBuilder {
+    pub fn new(name: impl Into<String>) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            partition_by: None,
+            clustered_by: None,
+        }
+    }
+
+    pub fn column(mut self, name: impl Into<String>, dtype: vectorh_common::DataType) -> Self {
+        self.fields.push((name.into(), dtype));
+        self
+    }
+
+    /// Hash-partition on the named columns into `n` partitions.
+    pub fn partition_by(mut self, cols: &[&str], n: usize) -> Self {
+        self.partition_by = Some((cols.iter().map(|s| s.to_string()).collect(), n));
+        self
+    }
+
+    /// Declare a clustered index: the table is stored sorted on these
+    /// columns.
+    pub fn clustered_by(mut self, cols: &[&str]) -> Self {
+        self.clustered_by = Some(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    pub fn build(self) -> Result<TableDef> {
+        if self.fields.is_empty() {
+            return Err(VhError::Catalog(format!("table '{}' has no columns", self.name)));
+        }
+        let schema = Schema::new(
+            self.fields
+                .iter()
+                .map(|(n, t)| vectorh_common::Field::new(n.clone(), *t))
+                .collect(),
+        );
+        let resolve = |names: &[String]| -> Result<Vec<usize>> {
+            names.iter().map(|n| schema.index_of(n)).collect()
+        };
+        let partitioning = match &self.partition_by {
+            Some((cols, n)) => {
+                if *n == 0 {
+                    return Err(VhError::Catalog("partition count must be > 0".into()));
+                }
+                Some((resolve(cols)?, *n))
+            }
+            None => None,
+        };
+        let sort_order = match &self.clustered_by {
+            Some(cols) => Some(resolve(cols)?),
+            None => None,
+        };
+        Ok(TableDef { name: self.name, schema, partitioning, sort_order })
+    }
+}
+
+/// The catalog: named table definitions.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: std::collections::BTreeMap<String, TableDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn add(&mut self, def: TableDef) -> Result<()> {
+        if self.tables.contains_key(&def.name) {
+            return Err(VhError::Catalog(format!("table '{}' already exists", def.name)));
+        }
+        self.tables.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    pub fn get(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| VhError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<TableDef> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| VhError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::DataType;
+
+    #[test]
+    fn builder_resolves_names() {
+        let def = TableBuilder::new("orders")
+            .column("o_orderkey", DataType::I64)
+            .column("o_orderdate", DataType::Date)
+            .partition_by(&["o_orderkey"], 8)
+            .clustered_by(&["o_orderdate"])
+            .build()
+            .unwrap();
+        assert_eq!(def.partitioning, Some((vec![0], 8)));
+        assert_eq!(def.sort_order, Some(vec![1]));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        assert!(TableBuilder::new("empty").build().is_err());
+        assert!(TableBuilder::new("t")
+            .column("a", DataType::I64)
+            .partition_by(&["nope"], 2)
+            .build()
+            .is_err());
+        assert!(TableBuilder::new("t")
+            .column("a", DataType::I64)
+            .partition_by(&["a"], 0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn catalog_add_get_drop() {
+        let mut c = Catalog::new();
+        let def = TableBuilder::new("t").column("a", DataType::I64).build().unwrap();
+        c.add(def.clone()).unwrap();
+        assert!(c.add(def).is_err());
+        assert_eq!(c.get("t").unwrap().name, "t");
+        assert_eq!(c.names(), vec!["t"]);
+        c.drop_table("t").unwrap();
+        assert!(c.get("t").is_err());
+    }
+}

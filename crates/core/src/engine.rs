@@ -1,0 +1,573 @@
+//! The VectorH engine: cluster lifecycle, DDL, loading, queries, failover.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
+use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
+use vectorh_net::{DxchgConfig, NetStats};
+use vectorh_planner::logical::{CatalogInfo, TableMeta};
+use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
+use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
+use vectorh_storage::{PartitionStore, StorageConfig};
+use vectorh_txn::twophase::{LogShipper, TwoPhaseCoordinator};
+use vectorh_txn::{TransactionManager, TxnConfig, Wal};
+use vectorh_yarn::placement::{
+    affinity_mapping, initial_affinity, responsibility_assignment, PlacementInput,
+};
+use vectorh_yarn::{DbAgent, ResourceFootprint, ResourceManager, RmConfig};
+
+use crate::catalog::{Catalog, TableBuilder, TableDef};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    pub nodes: usize,
+    pub cores_per_node: u32,
+    pub mem_per_node: u64,
+    /// HDFS replication degree (capped at the node count).
+    pub replication: usize,
+    pub hdfs_block_size: usize,
+    pub rows_per_chunk: usize,
+    /// Exchange consumer threads per node for repartitioning operators.
+    pub streams_per_node: usize,
+    pub seed: u64,
+    pub dxchg: DxchgConfig,
+    /// Rewrite-rule toggles (§5 ablation).
+    pub enable_local_join: bool,
+    pub enable_replicated_build: bool,
+    pub enable_partial_aggr: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 3,
+            cores_per_node: 4,
+            mem_per_node: 64 << 30,
+            replication: 3,
+            hdfs_block_size: 1 << 20,
+            rows_per_chunk: 4096,
+            streams_per_node: 2,
+            seed: 0x5648,
+            dxchg: DxchgConfig::default(),
+            enable_local_join: true,
+            enable_replicated_build: true,
+            enable_partial_aggr: true,
+        }
+    }
+}
+
+/// Runtime state of one table.
+pub struct TableRuntime {
+    pub def: TableDef,
+    pub pids: Vec<PartitionId>,
+    pub stores: Vec<Arc<RwLock<PartitionStore>>>,
+    pub wals: Vec<Arc<Wal>>,
+}
+
+impl TableRuntime {
+    pub fn n_partitions(&self) -> usize {
+        self.pids.len()
+    }
+}
+
+/// The engine.
+pub struct VectorH {
+    pub config: ClusterConfig,
+    fs: SimHdfs,
+    policy: Arc<AffinityPolicy>,
+    rm: Arc<ResourceManager>,
+    agent: Mutex<DbAgent>,
+    catalog: RwLock<Catalog>,
+    tables: RwLock<HashMap<String, Arc<TableRuntime>>>,
+    pub txns: Arc<TransactionManager>,
+    pub coordinator: TwoPhaseCoordinator,
+    pub shipper: LogShipper,
+    net: Arc<NetStats>,
+    workers: RwLock<Vec<NodeId>>,
+    responsibility: RwLock<HashMap<PartitionId, NodeId>>,
+    next_pid: AtomicU32,
+}
+
+/// Hash used for storage partitioning — deliberately the same per-value
+/// hashing as the exchange operators, so one hash family partitions both
+/// tables and streams.
+pub fn partition_of(values: &[Value], keys: &[usize], n_parts: usize) -> usize {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &k in keys {
+        let hk = match &values[k] {
+            Value::I32(x) => hash_u64(*x as u64),
+            Value::Date(x) => hash_u64(*x as u64),
+            Value::I64(x) => hash_u64(*x as u64),
+            Value::Decimal(x, _) => hash_u64(*x as u64),
+            Value::F64(x) => hash_u64(x.to_bits()),
+            Value::Str(s) => hash_bytes(s.as_bytes()),
+            Value::Null => 0,
+        };
+        h = hash_combine(h, hk);
+    }
+    (h % n_parts as u64) as usize
+}
+
+impl VectorH {
+    /// Start a cluster: simulated HDFS + YARN, dbAgent resource
+    /// negotiation, worker-set selection.
+    pub fn start(config: ClusterConfig) -> Result<VectorH> {
+        let policy = Arc::new(AffinityPolicy::new(config.seed));
+        let fs = SimHdfs::new(
+            config.nodes,
+            SimHdfsConfig {
+                block_size: config.hdfs_block_size,
+                default_replication: config.replication.min(config.nodes),
+            },
+            policy.clone(),
+        );
+        let workers: Vec<NodeId> = fs.alive_nodes();
+        let rm = Arc::new(ResourceManager::new(
+            workers.clone(),
+            RmConfig { cores_per_node: config.cores_per_node, mem_per_node: config.mem_per_node },
+        ));
+        // Negotiate the full node as target, one core slices, min 1 slice.
+        let agent = DbAgent::start(
+            &rm,
+            workers.clone(),
+            5,
+            ResourceFootprint { cores: 1, mem: config.mem_per_node / config.cores_per_node as u64 },
+            config.cores_per_node,
+            1,
+        )?;
+        let global_wal = Wal::new(fs.clone(), "/vectorh/wal/global.wal", workers.first().copied());
+        Ok(VectorH {
+            config,
+            fs,
+            policy,
+            rm,
+            agent: Mutex::new(agent),
+            catalog: RwLock::new(Catalog::new()),
+            tables: RwLock::new(HashMap::new()),
+            txns: Arc::new(TransactionManager::new(TxnConfig::default())),
+            coordinator: TwoPhaseCoordinator::new(global_wal),
+            shipper: LogShipper::default(),
+            net: Arc::new(NetStats::default()),
+            workers: RwLock::new(workers),
+            responsibility: RwLock::new(HashMap::new()),
+            next_pid: AtomicU32::new(0),
+        })
+    }
+
+    pub fn fs(&self) -> &SimHdfs {
+        &self.fs
+    }
+
+    pub fn net_stats(&self) -> &Arc<NetStats> {
+        &self.net
+    }
+
+    pub fn rm(&self) -> &Arc<ResourceManager> {
+        &self.rm
+    }
+
+    pub fn workers(&self) -> Vec<NodeId> {
+        self.workers.read().clone()
+    }
+
+    /// The session master: any worker can take the role (§6); we use the
+    /// first alive one.
+    pub fn session_master(&self) -> NodeId {
+        self.workers.read().first().copied().unwrap_or(NodeId(0))
+    }
+
+    /// Per-query parallelism budget from the dbAgent's current footprint.
+    pub fn streams_per_node(&self) -> usize {
+        let cores = {
+            let agent = self.agent.lock();
+            let fp = agent.footprint();
+            fp.values().map(|f| f.cores).min().unwrap_or(1) as usize
+        };
+        self.config.streams_per_node.min(cores.max(1))
+    }
+
+    /// Poll YARN (preemptions shrink the budget; renegotiation grows it).
+    pub fn poll_yarn(&self) -> bool {
+        let mut agent = self.agent.lock();
+        let changed = agent.poll(&self.rm);
+        let _ = agent.renegotiate(&self.rm);
+        changed
+    }
+
+    /// Voluntarily shrink to `slices` cores per node.
+    pub fn shrink_footprint(&self, slices: u32) -> Result<()> {
+        self.agent.lock().shrink_to(&self.rm, slices)
+    }
+
+    pub fn total_cores_budget(&self) -> u32 {
+        self.agent.lock().total_cores()
+    }
+
+    // --- DDL ----------------------------------------------------------------
+
+    /// Create a table from a builder.
+    pub fn create_table(&self, builder: TableBuilder) -> Result<()> {
+        self.create_table_def(builder.build()?)
+    }
+
+    /// Create a table: allocate partitions, register placement affinity
+    /// (round-robin initial mapping), assign responsibility, create WALs.
+    pub fn create_table_def(&self, def: TableDef) -> Result<()> {
+        let workers = self.workers();
+        if workers.is_empty() {
+            return Err(VhError::Yarn("no workers".into()));
+        }
+        let n_parts = def.partitioning.as_ref().map(|(_, n)| *n).unwrap_or(1);
+        let replication = if def.partitioning.is_none() {
+            workers.len() // replicated tables: a copy everywhere
+        } else {
+            self.config.replication.min(workers.len())
+        };
+        let pids: Vec<PartitionId> = (0..n_parts)
+            .map(|_| PartitionId(self.next_pid.fetch_add(1, Ordering::Relaxed)))
+            .collect();
+        let mapping = initial_affinity(&pids, &workers, replication);
+        let mut resp = self.responsibility.write();
+        let mut stores = Vec::with_capacity(n_parts);
+        let mut wals = Vec::with_capacity(n_parts);
+        for (i, pid) in pids.iter().enumerate() {
+            let dir = format!("/vectorh/db/{}/p{:04}/", def.name, i);
+            let nodes = mapping.get(pid).cloned().unwrap_or_default();
+            self.policy.set_affinity(dir.clone(), nodes.clone());
+            let home = nodes.first().copied();
+            resp.insert(*pid, home.unwrap_or(self.session_master()));
+            let mut store = PartitionStore::new(
+                self.fs.clone(),
+                dir.clone(),
+                def.schema.clone(),
+                StorageConfig { rows_per_chunk: self.config.rows_per_chunk },
+            );
+            store.set_home(home);
+            stores.push(Arc::new(RwLock::new(store)));
+            let mut wal = Wal::new(self.fs.clone(), format!("{dir}wal"), home);
+            wal.set_home(home);
+            wals.push(Arc::new(wal));
+            self.txns.register_partition(*pid, 0);
+        }
+        drop(resp);
+        self.coordinator.global_wal().append(&[vectorh_txn::LogRecord::Ddl {
+            statement: format!("CREATE TABLE {}", def.name),
+        }])?;
+        self.catalog.write().add(def.clone())?;
+        self.tables
+            .write()
+            .insert(def.name.clone(), Arc::new(TableRuntime { def, pids, stores, wals }));
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<Arc<TableRuntime>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VhError::Catalog(format!("unknown table '{name}'")))
+    }
+
+    /// Visible row count (committed state, PDTs included).
+    pub fn table_rows(&self, name: &str) -> Result<u64> {
+        let rt = self.table(name)?;
+        let mut n = 0;
+        for pid in &rt.pids {
+            n += self.txns.visible_rows(*pid)?;
+        }
+        Ok(n)
+    }
+
+    // --- bulk loading ---------------------------------------------------------
+
+    /// Bulk-load rows (the vwload path): rows are hash-partitioned, each
+    /// partition sorted by the clustered order and appended directly to
+    /// disk from its responsible node ("large inserts ... are appended
+    /// directly on disk").
+    pub fn insert_rows(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        let rt = self.table(table)?;
+        let n_parts = rt.n_partitions();
+        let mut buckets: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n_parts];
+        match &rt.def.partitioning {
+            Some((keys, _)) => {
+                for row in rows {
+                    let p = partition_of(&row, keys, n_parts);
+                    buckets[p].push(row);
+                }
+            }
+            None => buckets[0] = rows,
+        }
+        for (i, mut bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            if let Some(order) = &rt.def.sort_order {
+                bucket.sort_by(|a, b| {
+                    for &k in order {
+                        match a[k].partial_cmp(&b[k]) {
+                            Some(std::cmp::Ordering::Equal) | None => continue,
+                            Some(o) => return o,
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+            }
+            let mut cols: Vec<ColumnData> = rt
+                .def
+                .schema
+                .fields()
+                .iter()
+                .map(|f| ColumnData::with_capacity(f.dtype, bucket.len()))
+                .collect();
+            for row in &bucket {
+                if row.len() != cols.len() {
+                    return Err(VhError::InvalidArg(format!(
+                        "row width {} != schema width {}",
+                        row.len(),
+                        cols.len()
+                    )));
+                }
+                for (c, v) in row.iter().enumerate() {
+                    cols[c].push_value(v)?;
+                }
+            }
+            rt.stores[i].write().append_rows(&cols)?;
+            self.txns.bulk_append(rt.pids[i], bucket.len() as u64)?;
+            rt.wals[i].append(&[vectorh_txn::LogRecord::Append {
+                txn: 0,
+                rows: bucket.len() as u64,
+            }])?;
+        }
+        Ok(())
+    }
+
+    // --- queries ---------------------------------------------------------------
+
+    fn rewriter_options(&self) -> RewriterOptions {
+        RewriterOptions {
+            enable_local_join: self.config.enable_local_join,
+            enable_replicated_build: self.config.enable_replicated_build,
+            enable_partial_aggr: self.config.enable_partial_aggr,
+            nodes: self.workers().len().max(1),
+            ..RewriterOptions::default()
+        }
+    }
+
+    /// Parse, optimize and run a SQL query, returning result rows.
+    pub fn query(&self, sql: &str) -> Result<Vec<Vec<Value>>> {
+        let logical = parse_query(sql, &EngineCatalog(self))?;
+        self.query_logical(&logical)
+    }
+
+    /// Optimize and run a logical plan.
+    pub fn query_logical(&self, logical: &LogicalPlan) -> Result<Vec<Vec<Value>>> {
+        let phys = self.optimize(logical)?;
+        self.run_physical(&phys).map(|(rows, _)| rows)
+    }
+
+    /// Run a query and return its appendix-style execution profile too.
+    pub fn query_profiled(&self, sql: &str) -> Result<(Vec<Vec<Value>>, String)> {
+        let logical = parse_query(sql, &EngineCatalog(self))?;
+        let phys = self.optimize(&logical)?;
+        self.run_physical(&phys)
+    }
+
+    /// The distributed physical plan for a query (EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let logical = parse_query(sql, &EngineCatalog(self))?;
+        Ok(self.optimize(&logical)?.explain())
+    }
+
+    pub fn optimize(&self, logical: &LogicalPlan) -> Result<PhysPlan> {
+        let catalog = EngineCatalog(self);
+        let rewriter = ParallelRewriter::new(&catalog, self.rewriter_options());
+        rewriter.rewrite(logical)
+    }
+
+    pub(crate) fn run_physical(&self, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
+        crate::execute::execute(self, phys)
+    }
+
+    /// Run a pre-optimized physical plan, returning rows and the execution
+    /// profile (benchmark harnesses and EXPLAIN ANALYZE-style tooling).
+    pub fn run_physical_public(&self, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
+        self.run_physical(phys)
+    }
+
+    // --- failure handling -------------------------------------------------------
+
+    /// Kill a datanode: HDFS re-replicates (steered by the affinity
+    /// policy), the worker set shrinks, the affinity map and responsibility
+    /// assignment are recomputed with the min-cost-flow solvers, and
+    /// partition homes move — after which all scans are local again.
+    pub fn kill_node(&self, node: NodeId) -> Result<()> {
+        self.fs.kill_node(node)?;
+        let mut workers = self.workers.write();
+        workers.retain(|&w| w != node);
+        if workers.is_empty() {
+            return Err(VhError::Yarn("no workers left".into()));
+        }
+        let workers_now = workers.clone();
+        drop(workers);
+
+        // Recompute the affinity map from actual block locality.
+        //
+        // Placement is solved per *co-location class*: tables with the same
+        // partition count keep their i-th partitions together (that is what
+        // makes co-located joins survive failures — the paper's Figure 2
+        // moves R04 and S04 as a unit). A class is represented by one
+        // synthetic partition in the flow network; the result applies to
+        // every member partition.
+        let tables = self.tables.read();
+        let mut classes: HashMap<(usize, usize), Vec<(String, PartitionId, String, usize)>> =
+            HashMap::new();
+        for rt in tables.values() {
+            if rt.def.partitioning.is_none() {
+                // Replicated tables stay replicated on every worker.
+                let dir = format!("/vectorh/db/{}/p{:04}/", rt.def.name, 0);
+                self.policy.set_affinity(dir, workers_now.clone());
+                continue;
+            }
+            let n = rt.pids.len();
+            for (i, pid) in rt.pids.iter().enumerate() {
+                let dir = format!("/vectorh/db/{}/p{:04}/", rt.def.name, i);
+                classes
+                    .entry((n, i))
+                    .or_default()
+                    .push((rt.def.name.clone(), *pid, dir, i));
+            }
+        }
+        if !classes.is_empty() {
+            let mut keys: Vec<(usize, usize)> = classes.keys().copied().collect();
+            keys.sort_unstable();
+            // Locality of a class = every member partition fully local.
+            let local: Vec<Vec<bool>> = keys
+                .iter()
+                .map(|k| {
+                    workers_now
+                        .iter()
+                        .map(|&w| {
+                            classes[k].iter().all(|(_, _, dir, _)| {
+                                let files = self.fs.list(dir);
+                                !files.is_empty()
+                                    && files
+                                        .iter()
+                                        .all(|f| self.fs.fully_local(&f.path, w).unwrap_or(false))
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            let class_ids: Vec<PartitionId> =
+                (0..keys.len()).map(|i| PartitionId(i as u32)).collect();
+            let input = PlacementInput {
+                partitions: class_ids.clone(),
+                workers: workers_now.clone(),
+                local,
+            };
+            let repl = self.fs.config().default_replication.min(workers_now.len());
+            let mapping = affinity_mapping(&input, repl)?;
+            for (ci, key) in keys.iter().enumerate() {
+                if let Some(nodes) = mapping.get(&class_ids[ci]) {
+                    for (_, _, dir, _) in &classes[key] {
+                        self.policy.set_affinity(dir.clone(), nodes.clone());
+                    }
+                }
+            }
+            // Background re-replication toward the new mapping.
+            self.fs.conform_to_policy();
+            // Responsibility per class: prefer nodes that now hold the data.
+            let local2: Vec<Vec<bool>> = class_ids
+                .iter()
+                .map(|cid| {
+                    workers_now
+                        .iter()
+                        .map(|w| mapping.get(cid).map(|v| v.contains(w)).unwrap_or(false))
+                        .collect()
+                })
+                .collect();
+            let input2 = PlacementInput {
+                partitions: class_ids.clone(),
+                workers: workers_now,
+                local: local2,
+            };
+            let resp = responsibility_assignment(&input2)?;
+            let mut r = self.responsibility.write();
+            for (ci, key) in keys.iter().enumerate() {
+                if let Some(node) = resp.get(&class_ids[ci]) {
+                    for (_, pid, _, _) in &classes[key] {
+                        r.insert(*pid, *node);
+                    }
+                }
+            }
+            drop(r);
+            // Move partition homes (writers) to the responsible nodes.
+            for rt in tables.values() {
+                for (i, pid) in rt.pids.iter().enumerate() {
+                    let node = self.responsibility.read().get(pid).copied();
+                    if let Some(node) = node {
+                        rt.stores[i].write().set_home(Some(node));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Responsible node of a partition.
+    pub fn responsible(&self, pid: PartitionId) -> NodeId {
+        self.responsibility
+            .read()
+            .get(&pid)
+            .copied()
+            .unwrap_or_else(|| self.session_master())
+    }
+
+    // --- maintenance --------------------------------------------------------------
+
+    /// Run update propagation for every partition of a table that needs it
+    /// (or all of them when `force`).
+    pub fn propagate_table(&self, name: &str, force: bool) -> Result<usize> {
+        let rt = self.table(name)?;
+        let mut done = 0;
+        for (i, pid) in rt.pids.iter().enumerate() {
+            if force || self.txns.needs_propagation(*pid) {
+                let mut store = rt.stores[i].write();
+                let report =
+                    vectorh_txn::propagate::propagate_partition(&self.txns, *pid, &mut store, &rt.wals[i])?;
+                if report.mode != vectorh_txn::propagate::PropagationMode::Noop {
+                    done += 1;
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    /// Total stored bytes of a table (compressed, all replicas counted once).
+    pub fn table_bytes(&self, name: &str) -> Result<u64> {
+        let rt = self.table(name)?;
+        Ok(rt.stores.iter().map(|s| s.read().total_bytes()).sum())
+    }
+}
+
+/// Catalog adapter for the planner.
+pub struct EngineCatalog<'a>(pub &'a VectorH);
+
+impl<'a> CatalogInfo for EngineCatalog<'a> {
+    fn table(&self, name: &str) -> Result<TableMeta> {
+        let catalog = self.0.catalog.read();
+        let def = catalog.get(name)?;
+        let rows = self.0.table_rows(name).unwrap_or(0);
+        Ok(TableMeta {
+            name: def.name.clone(),
+            schema: def.schema.clone(),
+            rows,
+            partitioning: def.partitioning.clone(),
+            sort_order: def.sort_order.clone(),
+        })
+    }
+}

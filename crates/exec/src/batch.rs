@@ -1,0 +1,185 @@
+//! Batches: the unit of data flow between operators.
+//!
+//! A [`Batch`] bundles equal-length [`ColumnData`] buffers with the schema
+//! describing them. Operators exchange batches of at most
+//! [`VECTOR_SIZE`](vectorh_common::VECTOR_SIZE) rows; the column buffers of
+//! a batch are the "vectors" of the vectorized execution model.
+
+use std::sync::Arc;
+
+use vectorh_common::{ColumnData, Result, Schema, Value, VhError};
+
+/// A bundle of equal-length column vectors.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub schema: Arc<Schema>,
+    pub columns: Vec<ColumnData>,
+    len: usize,
+}
+
+impl Batch {
+    /// Build a batch; all columns must share one length and match the schema
+    /// width.
+    pub fn new(schema: Arc<Schema>, columns: Vec<ColumnData>) -> Result<Batch> {
+        if columns.len() != schema.len() {
+            return Err(VhError::Exec(format!(
+                "batch has {} columns, schema has {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let len = columns.first().map(|c| c.len()).unwrap_or(0);
+        if columns.iter().any(|c| c.len() != len) {
+            return Err(VhError::Exec("ragged batch".into()));
+        }
+        Ok(Batch { schema, columns, len })
+    }
+
+    /// An empty batch of the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Batch {
+        let columns = schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+        Batch { schema, columns, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn column(&self, idx: usize) -> &ColumnData {
+        &self.columns[idx]
+    }
+
+    /// Read a full row as values (row-at-a-time escape hatch; used by the
+    /// row-engine baseline and result collection, never in vector kernels).
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(c, col)| col.value_at(idx, self.schema.dtype(c)))
+            .collect()
+    }
+
+    /// Keep only the rows at the given positions.
+    pub fn gather(&self, positions: &[usize]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(positions)).collect(),
+            len: positions.len(),
+        }
+    }
+
+    /// Subrange `[from, to)`.
+    pub fn slice(&self, from: usize, to: usize) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.slice(from, to)).collect(),
+            len: to - from,
+        }
+    }
+
+    /// Append all rows of `other` (schemas must match).
+    pub fn append(&mut self, other: &Batch) -> Result<()> {
+        for (a, b) in self.columns.iter_mut().zip(&other.columns) {
+            a.append(b)?;
+        }
+        self.len += other.len;
+        Ok(())
+    }
+
+    /// Concatenate side-by-side (join output): schema and columns of `self`
+    /// followed by `other`'s. Lengths must match.
+    pub fn zip(&self, other: &Batch) -> Result<Batch> {
+        if self.len != other.len {
+            return Err(VhError::Exec("zip of unequal-length batches".into()));
+        }
+        let schema = Arc::new(self.schema.join(&other.schema));
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Ok(Batch { schema, columns, len: self.len })
+    }
+
+    /// Materialize every row (testing / result collection).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        (0..self.len).map(|i| self.row(i)).collect()
+    }
+}
+
+/// Collect an operator's full output as rows (drives the tree to completion).
+pub fn collect_rows(op: &mut dyn crate::operator::Operator) -> Result<Vec<Vec<Value>>> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next()? {
+        out.extend(batch.rows());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::of(&[("a", DataType::I64), ("s", DataType::Str)]))
+    }
+
+    fn batch() -> Batch {
+        Batch::new(
+            schema(),
+            vec![
+                ColumnData::I64(vec![1, 2, 3]),
+                ColumnData::Str(vec!["x".into(), "y".into(), "z".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks() {
+        assert!(Batch::new(schema(), vec![ColumnData::I64(vec![1])]).is_err());
+        assert!(Batch::new(
+            schema(),
+            vec![ColumnData::I64(vec![1]), ColumnData::Str(vec![])]
+        )
+        .is_err());
+        assert_eq!(batch().len(), 3);
+        assert!(Batch::empty(schema()).is_empty());
+    }
+
+    #[test]
+    fn row_access() {
+        let b = batch();
+        assert_eq!(b.row(1), vec![Value::I64(2), Value::Str("y".into())]);
+    }
+
+    #[test]
+    fn gather_and_slice() {
+        let b = batch();
+        let g = b.gather(&[2, 0]);
+        assert_eq!(g.rows(), vec![
+            vec![Value::I64(3), Value::Str("z".into())],
+            vec![Value::I64(1), Value::Str("x".into())],
+        ]);
+        let s = b.slice(1, 3);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0)[0], Value::I64(2));
+    }
+
+    #[test]
+    fn append_and_zip() {
+        let mut a = batch();
+        let b = batch();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 6);
+
+        let left = batch();
+        let right = batch();
+        let z = left.zip(&right).unwrap();
+        assert_eq!(z.schema.len(), 4);
+        assert_eq!(z.len(), 3);
+        assert_eq!(z.row(0).len(), 4);
+    }
+}

@@ -1,0 +1,570 @@
+//! HashJoin: build/probe hash join with vectorized probing.
+//!
+//! The build side is drained into a columnar hash table; probe vectors are
+//! hashed in bulk and matches gathered column-wise. Modes cover what TPC-H
+//! needs: inner, left-outer, semi (EXISTS / IN) and anti (NOT EXISTS).
+//!
+//! Left-outer note: VectorH-rs columns are non-nullable (TPC-H data has no
+//! NULLs), so unmatched probe rows get type-default build values and the
+//! output carries a synthetic trailing `__matched` column (1/0). Aggregates
+//! over the nullable side — e.g. Q13's `count(o_orderkey)` — become
+//! `sum(__matched)`, which is the same number.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
+use vectorh_common::{ColumnData, DataType, Field, Result, Schema, Value, VhError};
+
+use crate::batch::Batch;
+use crate::operator::{Counters, OpProfile, Operator};
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    /// Probe-preserving outer join (see module docs for NULL handling).
+    LeftOuter,
+    /// Emit probe rows with at least one match (probe schema only).
+    Semi,
+    /// Emit probe rows with no match (probe schema only).
+    Anti,
+}
+
+/// Hash of row `i`'s key columns.
+fn row_key_hash(cols: &[&ColumnData], keys: &[usize], i: usize) -> u64 {
+    let mut h = 0xA5A5_5A5A_DEAD_BEEFu64;
+    for &k in keys {
+        let hk = match cols[k] {
+            ColumnData::I32(v) => hash_u64(v[i] as u64),
+            ColumnData::I64(v) => hash_u64(v[i] as u64),
+            ColumnData::F64(v) => hash_u64(v[i].to_bits()),
+            ColumnData::Str(v) => hash_bytes(v[i].as_bytes()),
+        };
+        h = hash_combine(h, hk);
+    }
+    h
+}
+
+/// Are the key columns of (a, i) and (b, j) equal?
+fn keys_eq(
+    a: &[&ColumnData],
+    akeys: &[usize],
+    i: usize,
+    b: &[&ColumnData],
+    bkeys: &[usize],
+    j: usize,
+) -> bool {
+    akeys.iter().zip(bkeys).all(|(&ka, &kb)| match (a[ka], b[kb]) {
+        (ColumnData::I32(x), ColumnData::I32(y)) => x[i] == y[j],
+        (ColumnData::I64(x), ColumnData::I64(y)) => x[i] == y[j],
+        (ColumnData::I32(x), ColumnData::I64(y)) => x[i] as i64 == y[j],
+        (ColumnData::I64(x), ColumnData::I32(y)) => x[i] == y[j] as i64,
+        (ColumnData::F64(x), ColumnData::F64(y)) => x[i] == y[j],
+        (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
+        _ => false,
+    })
+}
+
+/// The hash join operator. Left child = probe, right child = build.
+pub struct HashJoin {
+    probe: Box<dyn Operator>,
+    build: Box<dyn Operator>,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    kind: JoinKind,
+    built: bool,
+    /// Build rows stored columnar, plus hash index: hash → row ids.
+    build_data: Vec<ColumnData>,
+    index: HashMap<u64, Vec<u32>>,
+    out_schema: Arc<Schema>,
+    counters: Counters,
+}
+
+impl HashJoin {
+    pub fn new(
+        probe: Box<dyn Operator>,
+        build: Box<dyn Operator>,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        kind: JoinKind,
+    ) -> Result<HashJoin> {
+        if probe_keys.len() != build_keys.len() || probe_keys.is_empty() {
+            return Err(VhError::Exec("mismatched join keys".into()));
+        }
+        let out_schema = match kind {
+            JoinKind::Inner => Arc::new(probe.schema().join(&build.schema())),
+            JoinKind::LeftOuter => {
+                let mut s = probe.schema().join(&build.schema());
+                s = s.join(&Schema::new(vec![Field::new("__matched", DataType::I32)]));
+                Arc::new(s)
+            }
+            JoinKind::Semi | JoinKind::Anti => probe.schema(),
+        };
+        Ok(HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            kind,
+            built: false,
+            build_data: vec![],
+            index: HashMap::new(),
+            out_schema,
+            counters: Counters::default(),
+        })
+    }
+
+    fn build_table(&mut self) -> Result<()> {
+        let schema = self.build.schema();
+        self.build_data = schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+        while let Some(batch) = self.build.next()? {
+            let base = self.build_data.first().map(|c| c.len()).unwrap_or(0);
+            for (dst, src) in self.build_data.iter_mut().zip(&batch.columns) {
+                dst.append(src)?;
+            }
+            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
+            for i in 0..batch.len() {
+                let h = row_key_hash(&cols, &self.build_keys, i);
+                self.index.entry(h).or_default().push((base + i) as u32);
+            }
+        }
+        self.built = true;
+        Ok(())
+    }
+
+    /// Default value used for unmatched build columns in left-outer mode.
+    fn default_value(dt: DataType) -> Value {
+        match dt {
+            DataType::Str => Value::Str(String::new()),
+            DataType::F64 => Value::F64(0.0),
+            DataType::Date => Value::Date(0),
+            DataType::Decimal { scale } => Value::Decimal(0, scale),
+            _ => Value::I64(0),
+        }
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let start = std::time::Instant::now();
+        if !self.built {
+            self.build_table()?;
+        }
+        let out = loop {
+            let Some(batch) = self.probe.next()? else { break None };
+            self.counters.rows_in += batch.len() as u64;
+            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
+            let build_cols: Vec<&ColumnData> = self.build_data.iter().collect();
+
+            match self.kind {
+                JoinKind::Inner => {
+                    let mut probe_idx = Vec::new();
+                    let mut build_idx = Vec::new();
+                    for i in 0..batch.len() {
+                        let h = row_key_hash(&cols, &self.probe_keys, i);
+                        if let Some(cands) = self.index.get(&h) {
+                            for &bi in cands {
+                                if keys_eq(
+                                    &build_cols,
+                                    &self.build_keys,
+                                    bi as usize,
+                                    &cols,
+                                    &self.probe_keys,
+                                    i,
+                                ) {
+                                    probe_idx.push(i);
+                                    build_idx.push(bi as usize);
+                                }
+                            }
+                        }
+                    }
+                    if probe_idx.is_empty() {
+                        continue;
+                    }
+                    let left = batch.gather(&probe_idx);
+                    let right_cols: Vec<ColumnData> =
+                        self.build_data.iter().map(|c| c.gather(&build_idx)).collect();
+                    let mut columns = left.columns;
+                    columns.extend(right_cols);
+                    break Some(Batch::new(self.out_schema.clone(), columns)?);
+                }
+                JoinKind::LeftOuter => {
+                    let mut probe_idx = Vec::new();
+                    // Build side: either a real row id or "unmatched".
+                    let mut build_idx: Vec<Option<usize>> = Vec::new();
+                    for i in 0..batch.len() {
+                        let h = row_key_hash(&cols, &self.probe_keys, i);
+                        let mut any = false;
+                        if let Some(cands) = self.index.get(&h) {
+                            for &bi in cands {
+                                if keys_eq(
+                                    &build_cols,
+                                    &self.build_keys,
+                                    bi as usize,
+                                    &cols,
+                                    &self.probe_keys,
+                                    i,
+                                ) {
+                                    probe_idx.push(i);
+                                    build_idx.push(Some(bi as usize));
+                                    any = true;
+                                }
+                            }
+                        }
+                        if !any {
+                            probe_idx.push(i);
+                            build_idx.push(None);
+                        }
+                    }
+                    let left = batch.gather(&probe_idx);
+                    let bschema = self.build.schema();
+                    let mut right_cols: Vec<ColumnData> = bschema
+                        .fields()
+                        .iter()
+                        .map(|f| ColumnData::with_capacity(f.dtype, build_idx.len()))
+                        .collect();
+                    let mut matched: Vec<i32> = Vec::with_capacity(build_idx.len());
+                    for &bi in &build_idx {
+                        match bi {
+                            Some(b) => {
+                                for (c, col) in right_cols.iter_mut().enumerate() {
+                                    let v = self.build_data[c].value_at(b, bschema.dtype(c));
+                                    col.push_value(&v)?;
+                                }
+                                matched.push(1);
+                            }
+                            None => {
+                                for (c, col) in right_cols.iter_mut().enumerate() {
+                                    col.push_value(&Self::default_value(bschema.dtype(c)))?;
+                                }
+                                matched.push(0);
+                            }
+                        }
+                    }
+                    let mut columns = left.columns;
+                    columns.extend(right_cols);
+                    columns.push(ColumnData::I32(matched));
+                    break Some(Batch::new(self.out_schema.clone(), columns)?);
+                }
+                JoinKind::Semi | JoinKind::Anti => {
+                    let want_match = self.kind == JoinKind::Semi;
+                    let mut keep = Vec::new();
+                    for i in 0..batch.len() {
+                        let h = row_key_hash(&cols, &self.probe_keys, i);
+                        let any = self.index.get(&h).map_or(false, |cands| {
+                            cands.iter().any(|&bi| {
+                                keys_eq(
+                                    &build_cols,
+                                    &self.build_keys,
+                                    bi as usize,
+                                    &cols,
+                                    &self.probe_keys,
+                                    i,
+                                )
+                            })
+                        });
+                        if any == want_match {
+                            keep.push(i);
+                        }
+                    }
+                    if keep.is_empty() {
+                        continue;
+                    }
+                    break Some(batch.gather(&keep));
+                }
+            }
+        };
+        self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
+        self.counters.calls += 1;
+        if let Some(b) = &out {
+            self.counters.rows_out += b.len() as u64;
+        }
+        Ok(out)
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.counters.profile("HashJoin")
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.probe.as_ref(), self.build.as_ref()]
+    }
+}
+
+/// A shared, pre-built hash table for the "shared build side" optimization
+/// (§5: "forgo splitting and build a shared hash table"): the build input is
+/// drained once, and many probe threads join against clones of the Arc.
+pub struct SharedBuild {
+    pub schema: Arc<Schema>,
+    pub data: Arc<Vec<ColumnData>>,
+    pub index: Arc<HashMap<u64, Vec<u32>>>,
+    pub keys: Vec<usize>,
+}
+
+impl SharedBuild {
+    pub fn build(mut input: Box<dyn Operator>, keys: Vec<usize>) -> Result<SharedBuild> {
+        let schema = input.schema();
+        let mut data: Vec<ColumnData> =
+            schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        while let Some(batch) = input.next()? {
+            let base = data.first().map(|c| c.len()).unwrap_or(0);
+            for (dst, src) in data.iter_mut().zip(&batch.columns) {
+                dst.append(src)?;
+            }
+            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
+            for i in 0..batch.len() {
+                let h = row_key_hash(&cols, &keys, i);
+                index.entry(h).or_default().push((base + i) as u32);
+            }
+        }
+        Ok(SharedBuild { schema, data: Arc::new(data), index: Arc::new(index), keys })
+    }
+
+    /// An operator probing this shared table (inner join).
+    pub fn probe(self: &SharedBuild, probe: Box<dyn Operator>, probe_keys: Vec<usize>) -> SharedProbe {
+        SharedProbe {
+            probe,
+            probe_keys,
+            build_schema: self.schema.clone(),
+            data: self.data.clone(),
+            index: self.index.clone(),
+            build_keys: self.keys.clone(),
+            out_schema: Arc::new(Schema::new(vec![])), // set below
+            counters: Counters::default(),
+        }
+        .finish_schema()
+    }
+}
+
+/// Probe operator over a [`SharedBuild`].
+pub struct SharedProbe {
+    probe: Box<dyn Operator>,
+    probe_keys: Vec<usize>,
+    build_schema: Arc<Schema>,
+    data: Arc<Vec<ColumnData>>,
+    index: Arc<HashMap<u64, Vec<u32>>>,
+    build_keys: Vec<usize>,
+    out_schema: Arc<Schema>,
+    counters: Counters,
+}
+
+impl SharedProbe {
+    fn finish_schema(mut self) -> SharedProbe {
+        self.out_schema = Arc::new(self.probe.schema().join(&self.build_schema));
+        self
+    }
+}
+
+impl Operator for SharedProbe {
+    fn schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let start = std::time::Instant::now();
+        let out = loop {
+            let Some(batch) = self.probe.next()? else { break None };
+            self.counters.rows_in += batch.len() as u64;
+            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
+            let build_cols: Vec<&ColumnData> = self.data.iter().collect();
+            let mut probe_idx = Vec::new();
+            let mut build_idx = Vec::new();
+            for i in 0..batch.len() {
+                let h = row_key_hash(&cols, &self.probe_keys, i);
+                if let Some(cands) = self.index.get(&h) {
+                    for &bi in cands {
+                        if keys_eq(&build_cols, &self.build_keys, bi as usize, &cols, &self.probe_keys, i) {
+                            probe_idx.push(i);
+                            build_idx.push(bi as usize);
+                        }
+                    }
+                }
+            }
+            if probe_idx.is_empty() {
+                continue;
+            }
+            let left = batch.gather(&probe_idx);
+            let right: Vec<ColumnData> = self.data.iter().map(|c| c.gather(&build_idx)).collect();
+            let mut columns = left.columns;
+            columns.extend(right);
+            break Some(Batch::new(self.out_schema.clone(), columns)?);
+        };
+        self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
+        self.counters.calls += 1;
+        if let Some(b) = &out {
+            self.counters.rows_out += b.len() as u64;
+        }
+        Ok(out)
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.counters.profile("SharedProbe")
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.probe.as_ref()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::BatchSource;
+    use vectorh_common::VECTOR_SIZE;
+
+    fn table(name_prefix: &str, keys: Vec<i64>, payload: Vec<i64>) -> Box<dyn Operator> {
+        let schema = Arc::new(Schema::of(&[
+            (&format!("{name_prefix}_k"), DataType::I64),
+            (&format!("{name_prefix}_v"), DataType::I64),
+        ]));
+        let batch = Batch::new(
+            schema,
+            vec![ColumnData::I64(keys), ColumnData::I64(payload)],
+        )
+        .unwrap();
+        Box::new(BatchSource::from_batch(batch, VECTOR_SIZE))
+    }
+
+    #[test]
+    fn inner_join_basic() {
+        let probe = table("l", vec![1, 2, 3, 2], vec![10, 20, 30, 21]);
+        let build = table("r", vec![2, 3, 4], vec![200, 300, 400]);
+        let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Inner).unwrap();
+        let mut rows = crate::batch::collect_rows(&mut j).unwrap();
+        rows.sort_by_key(|r| (r[0].as_i64(), r[1].as_i64()));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::I64(2), Value::I64(20), Value::I64(2), Value::I64(200)]);
+        assert_eq!(rows[1], vec![Value::I64(2), Value::I64(21), Value::I64(2), Value::I64(200)]);
+        assert_eq!(rows[2], vec![Value::I64(3), Value::I64(30), Value::I64(3), Value::I64(300)]);
+    }
+
+    #[test]
+    fn inner_join_duplicate_build_keys() {
+        let probe = table("l", vec![7], vec![1]);
+        let build = table("r", vec![7, 7, 7], vec![1, 2, 3]);
+        let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Inner).unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 3, "one probe row × three build rows");
+    }
+
+    #[test]
+    fn left_outer_join_marks_matches() {
+        let probe = table("c", vec![1, 2, 3], vec![0, 0, 0]);
+        let build = table("o", vec![2], vec![99]);
+        let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::LeftOuter).unwrap();
+        assert_eq!(*j.schema().names().last().unwrap(), "__matched");
+        let mut rows = crate::batch::collect_rows(&mut j).unwrap();
+        rows.sort_by_key(|r| r[0].as_i64());
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0][4], Value::I32(0)); // key 1: no match
+        assert_eq!(rows[1][4], Value::I32(1)); // key 2: matched
+        assert_eq!(rows[1][3], Value::I64(99));
+        assert_eq!(rows[2][4], Value::I32(0));
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let probe = table("l", vec![1, 2, 3, 4], vec![1, 2, 3, 4]);
+        let build = table("r", vec![2, 4, 9], vec![0, 0, 0]);
+        let mut semi = HashJoin::new(
+            table("l", vec![1, 2, 3, 4], vec![1, 2, 3, 4]),
+            table("r", vec![2, 4, 9], vec![0, 0, 0]),
+            vec![0],
+            vec![0],
+            JoinKind::Semi,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut semi).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert_eq!(rows[0].len(), 2, "semi join keeps probe schema");
+
+        let mut anti = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Anti).unwrap();
+        let rows = crate::batch::collect_rows(&mut anti).unwrap();
+        assert_eq!(
+            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+    }
+
+    #[test]
+    fn string_keys_join() {
+        let schema = Arc::new(Schema::of(&[("name", DataType::Str)]));
+        let mk = |names: Vec<&str>| -> Box<dyn Operator> {
+            let batch = Batch::new(
+                schema.clone(),
+                vec![ColumnData::Str(names.into_iter().map(String::from).collect())],
+            )
+            .unwrap();
+            Box::new(BatchSource::from_batch(batch, VECTOR_SIZE))
+        };
+        let mut j = HashJoin::new(
+            mk(vec!["a", "b", "c"]),
+            mk(vec!["b", "c", "d"]),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let schema = Arc::new(Schema::of(&[("a", DataType::I64), ("b", DataType::I64)]));
+        let mk = |pairs: Vec<(i64, i64)>| -> Box<dyn Operator> {
+            let batch = Batch::new(
+                schema.clone(),
+                vec![
+                    ColumnData::I64(pairs.iter().map(|p| p.0).collect()),
+                    ColumnData::I64(pairs.iter().map(|p| p.1).collect()),
+                ],
+            )
+            .unwrap();
+            Box::new(BatchSource::from_batch(batch, VECTOR_SIZE))
+        };
+        let mut j = HashJoin::new(
+            mk(vec![(1, 1), (1, 2), (2, 1)]),
+            mk(vec![(1, 2), (2, 2)]),
+            vec![0, 1],
+            vec![0, 1],
+            JoinKind::Inner,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::I64(1));
+        assert_eq!(rows[0][1], Value::I64(2));
+    }
+
+    #[test]
+    fn empty_build_side() {
+        let probe = table("l", vec![1, 2], vec![1, 2]);
+        let build = table("r", vec![], vec![]);
+        let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Inner).unwrap();
+        assert!(crate::batch::collect_rows(&mut j).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shared_build_probing() {
+        let build = table("r", vec![1, 2], vec![100, 200]);
+        let shared = SharedBuild::build(build, vec![0]).unwrap();
+        // Two probes against the same shared table.
+        for _ in 0..2 {
+            let probe = table("l", vec![2, 3], vec![0, 0]);
+            let mut p = shared.probe(probe, vec![0]);
+            let rows = crate::batch::collect_rows(&mut p).unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0][3], Value::I64(200));
+        }
+    }
+}

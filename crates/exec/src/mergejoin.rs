@@ -1,0 +1,322 @@
+//! MergeJoin: streaming join of co-ordered inputs.
+//!
+//! VectorH declares clustered indexes on foreign keys, making referencing
+//! and referenced tables *co-ordered* and "merge-joinable" (§2) — for
+//! co-located partitions this join runs with no hash table and no network.
+//! Both inputs must arrive sorted on their (integer) join keys; duplicate
+//! keys on both sides produce the full per-key cross product.
+
+use std::sync::Arc;
+
+use vectorh_common::{ColumnData, Result, Schema, VhError};
+
+use crate::batch::Batch;
+use crate::operator::{Counters, OpProfile, Operator};
+
+/// Streaming merge join (inner).
+pub struct MergeJoin {
+    left: Box<dyn Operator>,
+    right: Box<dyn Operator>,
+    left_key: usize,
+    right_key: usize,
+    out_schema: Arc<Schema>,
+    // Buffered rows not yet consumed, as one batch + offset each side.
+    lbuf: Option<Batch>,
+    loff: usize,
+    rbuf: Option<Batch>,
+    roff: usize,
+    ldone: bool,
+    rdone: bool,
+    counters: Counters,
+}
+
+impl MergeJoin {
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        left_key: usize,
+        right_key: usize,
+    ) -> Result<MergeJoin> {
+        let out_schema = Arc::new(left.schema().join(&right.schema()));
+        Ok(MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            out_schema,
+            lbuf: None,
+            loff: 0,
+            rbuf: None,
+            roff: 0,
+            ldone: false,
+            rdone: false,
+            counters: Counters::default(),
+        })
+    }
+
+    fn key_at(batch: &Batch, key: usize, i: usize) -> Result<i64> {
+        match batch.column(key) {
+            ColumnData::I32(v) => Ok(v[i] as i64),
+            ColumnData::I64(v) => Ok(v[i]),
+            _ => Err(VhError::Exec("merge join requires integer keys".into())),
+        }
+    }
+
+    /// Ensure the left buffer has an unconsumed row; returns false at EOS.
+    fn fill_left(&mut self) -> Result<bool> {
+        loop {
+            if let Some(b) = &self.lbuf {
+                if self.loff < b.len() {
+                    return Ok(true);
+                }
+            }
+            if self.ldone {
+                return Ok(false);
+            }
+            match self.left.next()? {
+                Some(b) => {
+                    self.counters.rows_in += b.len() as u64;
+                    self.lbuf = Some(b);
+                    self.loff = 0;
+                }
+                None => {
+                    self.ldone = true;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    fn fill_right(&mut self) -> Result<bool> {
+        loop {
+            if let Some(b) = &self.rbuf {
+                if self.roff < b.len() {
+                    return Ok(true);
+                }
+            }
+            if self.rdone {
+                return Ok(false);
+            }
+            match self.right.next()? {
+                Some(b) => {
+                    self.rbuf = Some(b);
+                    self.roff = 0;
+                }
+                None => {
+                    self.rdone = true;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    /// Collect every buffered-side row with key == `key`, advancing the
+    /// cursor. May pull more batches for runs spanning batch boundaries.
+    fn take_run_left(&mut self, key: i64) -> Result<Batch> {
+        let mut run = Batch::empty(self.left.schema());
+        loop {
+            if !self.fill_left()? {
+                break;
+            }
+            let b = self.lbuf.as_ref().unwrap();
+            let mut end = self.loff;
+            while end < b.len() && Self::key_at(b, self.left_key, end)? == key {
+                end += 1;
+            }
+            if end > self.loff {
+                run.append(&b.slice(self.loff, end))?;
+                self.loff = end;
+                // Run may continue into the next batch only if we consumed
+                // to the end of this one.
+                if end == b.len() {
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(run)
+    }
+
+    fn take_run_right(&mut self, key: i64) -> Result<Batch> {
+        let mut run = Batch::empty(self.right.schema());
+        loop {
+            if !self.fill_right()? {
+                break;
+            }
+            let b = self.rbuf.as_ref().unwrap();
+            let mut end = self.roff;
+            while end < b.len() && Self::key_at(b, self.right_key, end)? == key {
+                end += 1;
+            }
+            if end > self.roff {
+                run.append(&b.slice(self.roff, end))?;
+                self.roff = end;
+                if end == b.len() {
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(run)
+    }
+}
+
+impl Operator for MergeJoin {
+    fn schema(&self) -> Arc<Schema> {
+        self.out_schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        let start = std::time::Instant::now();
+        let out = loop {
+            if !self.fill_left()? || !self.fill_right()? {
+                break None;
+            }
+            let lkey = Self::key_at(self.lbuf.as_ref().unwrap(), self.left_key, self.loff)?;
+            let rkey = Self::key_at(self.rbuf.as_ref().unwrap(), self.right_key, self.roff)?;
+            if lkey < rkey {
+                self.loff += 1;
+            } else if lkey > rkey {
+                self.roff += 1;
+            } else {
+                let lrun = self.take_run_left(lkey)?;
+                let rrun = self.take_run_right(rkey)?;
+                // Cross product of the equal-key runs.
+                let mut lidx = Vec::with_capacity(lrun.len() * rrun.len());
+                let mut ridx = Vec::with_capacity(lrun.len() * rrun.len());
+                for i in 0..lrun.len() {
+                    for j in 0..rrun.len() {
+                        lidx.push(i);
+                        ridx.push(j);
+                    }
+                }
+                let lg = lrun.gather(&lidx);
+                let rg = rrun.gather(&ridx);
+                let mut columns = lg.columns;
+                columns.extend(rg.columns);
+                break Some(Batch::new(self.out_schema.clone(), columns)?);
+            }
+        };
+        self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
+        self.counters.calls += 1;
+        if let Some(b) = &out {
+            self.counters.rows_out += b.len() as u64;
+        }
+        Ok(out)
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.counters.profile("MergeJoin")
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![self.left.as_ref(), self.right.as_ref()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::{HashJoin, JoinKind};
+    use crate::operator::BatchSource;
+    use vectorh_common::rng::SplitMix64;
+    use vectorh_common::{DataType, Value};
+
+    fn table(keys: Vec<i64>, vals: Vec<i64>, chunk: usize) -> Box<dyn Operator> {
+        let schema = Arc::new(Schema::of(&[("k", DataType::I64), ("v", DataType::I64)]));
+        let batch = Batch::new(
+            schema,
+            vec![ColumnData::I64(keys), ColumnData::I64(vals)],
+        )
+        .unwrap();
+        Box::new(BatchSource::from_batch(batch, chunk))
+    }
+
+    #[test]
+    fn basic_merge_join() {
+        let mut j = MergeJoin::new(
+            table(vec![1, 2, 2, 4], vec![10, 20, 21, 40], 2),
+            table(vec![2, 3, 4], vec![200, 300, 400], 2),
+            0,
+            0,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec![Value::I64(2), Value::I64(20), Value::I64(2), Value::I64(200)]);
+        assert_eq!(rows[1], vec![Value::I64(2), Value::I64(21), Value::I64(2), Value::I64(200)]);
+        assert_eq!(rows[2], vec![Value::I64(4), Value::I64(40), Value::I64(4), Value::I64(400)]);
+    }
+
+    #[test]
+    fn duplicate_runs_both_sides_cross_product() {
+        let mut j = MergeJoin::new(
+            table(vec![5, 5, 5], vec![1, 2, 3], 2),
+            table(vec![5, 5], vec![10, 20], 1),
+            0,
+            0,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn runs_spanning_batch_boundaries() {
+        // key run of 5 with batch size 2 forces cross-batch run collection
+        let mut j = MergeJoin::new(
+            table(vec![1, 1, 1, 1, 1, 2], vec![0, 1, 2, 3, 4, 5], 2),
+            table(vec![1, 2], vec![100, 200], 2),
+            0,
+            0,
+        )
+        .unwrap();
+        let rows = crate::batch::collect_rows(&mut j).unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn disjoint_keys_empty_result() {
+        let mut j = MergeJoin::new(
+            table(vec![1, 3, 5], vec![0, 0, 0], 2),
+            table(vec![2, 4, 6], vec![0, 0, 0], 2),
+            0,
+            0,
+        )
+        .unwrap();
+        assert!(crate::batch::collect_rows(&mut j).unwrap().is_empty());
+    }
+
+    #[test]
+    fn agrees_with_hash_join_on_random_sorted_inputs() {
+        let mut rng = SplitMix64::new(77);
+        for _ in 0..10 {
+            let mut lk: Vec<i64> = (0..60).map(|_| rng.range_i64(0, 20)).collect();
+            let mut rk: Vec<i64> = (0..40).map(|_| rng.range_i64(0, 20)).collect();
+            lk.sort_unstable();
+            rk.sort_unstable();
+            let lv: Vec<i64> = (0..60).collect();
+            let rv: Vec<i64> = (0..40).collect();
+            let mut mj = MergeJoin::new(
+                table(lk.clone(), lv.clone(), 7),
+                table(rk.clone(), rv.clone(), 5),
+                0,
+                0,
+            )
+            .unwrap();
+            let mut hj = HashJoin::new(
+                table(lk, lv, 7),
+                table(rk, rv, 5),
+                vec![0],
+                vec![0],
+                JoinKind::Inner,
+            )
+            .unwrap();
+            let mut a = crate::batch::collect_rows(&mut mj).unwrap();
+            let mut b = crate::batch::collect_rows(&mut hj).unwrap();
+            crate::sort::sort_rows(&mut a);
+            crate::sort::sort_rows(&mut b);
+            assert_eq!(a, b);
+        }
+    }
+}

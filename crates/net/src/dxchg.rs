@@ -1,0 +1,664 @@
+//! Distributed exchange (DXchg) operators.
+//!
+//! Implements §5's DXchg design over the simulated MPI layer:
+//!
+//! * Producers send **fixed-size messages** (≥256 KB in the paper; smaller
+//!   in tests) and conceptually double-buffer so communication overlaps
+//!   processing — modelled by accounting `2 × fanout × buffer` bytes per
+//!   sender thread.
+//! * **Intra-node** traffic passes pointers to sender-side batches, avoiding
+//!   the memcpy MPI would do.
+//! * **Thread-to-thread** mode: each sender partitions with fanout
+//!   `Σ receiver threads`; per-node buffer memory grows as
+//!   `2·N·C²·buffer` — the paper's 20 GB problem at 100×20.
+//! * **Thread-to-node** mode: fanout is the number of nodes; a one-byte
+//!   column per tuple identifies the receiving thread, and a per-node demux
+//!   lets consumer threads "selectively consume data from incoming buffers
+//!   using the one-byte-column".
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+use vectorh_common::{Result, Schema, VhError};
+use vectorh_exec::operator::{Counters, OpProfile};
+use vectorh_exec::{Batch, Operator};
+
+use crate::buffer::{make_message, open_message, Message};
+use crate::stats::NetStats;
+use crate::xchg::{partition_positions, Partitioning};
+
+/// Sender fanout strategy (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FanoutMode {
+    /// Private buffers per receiver *thread* (original implementation).
+    ThreadToThread,
+    /// Buffers per receiver *node*, with a route byte per tuple.
+    ThreadToNode,
+}
+
+/// DXchg tuning.
+#[derive(Debug, Clone)]
+pub struct DxchgConfig {
+    /// Flush threshold per buffer (paper: ≥256 KB for good MPI throughput).
+    pub buffer_bytes: usize,
+    pub mode: FanoutMode,
+}
+
+impl Default for DxchgConfig {
+    fn default() -> Self {
+        DxchgConfig { buffer_bytes: 256 * 1024, mode: FanoutMode::ThreadToNode }
+    }
+}
+
+type Payload = std::result::Result<Message, VhError>;
+
+/// Consumer-side operator of a DXchg: thread `consumer_idx` on a node.
+pub struct DxchgReceiver {
+    name: &'static str,
+    schema: Arc<Schema>,
+    rx: Receiver<Payload>,
+    /// Which route byte this receiver consumes (None = take everything).
+    route_filter: Option<u8>,
+    counters: Counters,
+    consumer_wait_ns: u64,
+    profiles: Arc<ProfileHub>,
+}
+
+/// Shared collection point for producer-pipeline profiles.
+pub struct ProfileHub {
+    rx: Receiver<crate::xchg::WorkerProfile>,
+    collected: parking_lot::Mutex<Vec<crate::xchg::WorkerProfile>>,
+}
+
+impl ProfileHub {
+    fn drain(&self) -> Vec<crate::xchg::WorkerProfile> {
+        let mut cache = self.collected.lock();
+        cache.extend(self.rx.try_iter());
+        cache.sort_by_key(|w| w.worker);
+        cache.clone()
+    }
+}
+
+impl DxchgReceiver {
+    pub fn consumer_wait_ns(&self) -> u64 {
+        self.consumer_wait_ns
+    }
+}
+
+impl Operator for DxchgReceiver {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<Batch>> {
+        loop {
+            let start = Instant::now();
+            let res = self.rx.recv();
+            let waited = start.elapsed().as_nanos() as u64;
+            self.consumer_wait_ns += waited;
+            self.counters.cum_time_ns += waited;
+            self.counters.calls += 1;
+            match res {
+                Err(_) => return Ok(None),
+                Ok(Err(e)) => return Err(e),
+                Ok(Ok(msg)) => {
+                    let (batch, route) = open_message(msg, self.schema.clone())?;
+                    let batch = match (self.route_filter, route) {
+                        (Some(me), Some(route)) => {
+                            // Selectively consume my tuples by route byte.
+                            let mine: Vec<usize> = route
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, r)| **r == me)
+                                .map(|(i, _)| i)
+                                .collect();
+                            if mine.is_empty() {
+                                continue;
+                            }
+                            if mine.len() == batch.len() {
+                                batch
+                            } else {
+                                batch.gather(&mine)
+                            }
+                        }
+                        _ => batch,
+                    };
+                    self.counters.rows_in += batch.len() as u64;
+                    self.counters.rows_out += batch.len() as u64;
+                    return Ok(Some(batch));
+                }
+            }
+        }
+    }
+
+    fn profile(&self) -> OpProfile {
+        self.counters.profile(self.name)
+    }
+
+    fn children(&self) -> Vec<&dyn Operator> {
+        vec![]
+    }
+
+    fn remote_profiles(&self) -> Vec<vectorh_exec::operator::RemoteProfile> {
+        self.profiles
+            .drain()
+            .into_iter()
+            .map(|w| vectorh_exec::operator::RemoteProfile {
+                label: format!("sender {}", w.worker),
+                lines: w.lines,
+                rows: w.rows_produced,
+                wall_ns: w.wall_ns,
+            })
+            .collect()
+    }
+}
+
+/// Create a distributed hash-split exchange.
+///
+/// `producers[i] = (node, pipeline)`; `consumers[j] = node` places consumer
+/// thread `j`. Returns one receiver per consumer thread.
+pub fn dxchg_hash_split(
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumers: Vec<u32>,
+    keys: Vec<usize>,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+) -> Result<Vec<DxchgReceiver>> {
+    dxchg(
+        "DXchgHashSplit",
+        producers,
+        consumers,
+        Partitioning::Hash { keys },
+        config,
+        stats,
+    )
+}
+
+/// Distributed union: everything funnels to one consumer thread.
+pub fn dxchg_union(
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumer_node: u32,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+) -> Result<DxchgReceiver> {
+    let mut v = dxchg(
+        "DXchgUnion",
+        producers,
+        vec![consumer_node],
+        Partitioning::Union,
+        config,
+        stats,
+    )?;
+    Ok(v.remove(0))
+}
+
+/// Distributed broadcast: every consumer thread sees all rows.
+pub fn dxchg_broadcast(
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumers: Vec<u32>,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+) -> Result<Vec<DxchgReceiver>> {
+    dxchg("DXchgBroadcast", producers, consumers, Partitioning::Broadcast, config, stats)
+}
+
+/// Generic distributed exchange.
+pub fn dxchg(
+    name: &'static str,
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumers: Vec<u32>,
+    partitioning: Partitioning,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+) -> Result<Vec<DxchgReceiver>> {
+    if producers.is_empty() || consumers.is_empty() {
+        return Err(VhError::Net("dxchg needs producers and consumers".into()));
+    }
+    let schema = producers[0].1.schema();
+
+    match config.mode {
+        FanoutMode::ThreadToThread => {
+            dxchg_t2t(name, producers, consumers, partitioning, config, stats, schema)
+        }
+        FanoutMode::ThreadToNode => {
+            dxchg_t2n(name, producers, consumers, partitioning, config, stats, schema)
+        }
+    }
+}
+
+/// Thread-to-thread: one buffer (and channel) per consumer thread.
+#[allow(clippy::too_many_arguments)]
+fn dxchg_t2t(
+    name: &'static str,
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumers: Vec<u32>,
+    partitioning: Partitioning,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+    schema: Arc<Schema>,
+) -> Result<Vec<DxchgReceiver>> {
+    let channels: Vec<(Sender<Payload>, Receiver<Payload>)> =
+        (0..consumers.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
+    let (ptx, prx) = bounded::<crate::xchg::WorkerProfile>(producers.len().max(1));
+    for (wi, (prod_node, mut prod)) in producers.into_iter().enumerate() {
+        let senders: Vec<Sender<Payload>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let consumers = consumers.clone();
+        let partitioning = partitioning.clone();
+        let stats = stats.clone();
+        let schema = schema.clone();
+        let buffer_bytes = config.buffer_bytes;
+        let ptx = ptx.clone();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut rows_produced = 0u64;
+            // Fanout = number of consumer threads; double-buffered.
+            let fanout = consumers.len();
+            let accounted = (2 * fanout * buffer_bytes) as u64;
+            stats.alloc_buffers(accounted);
+            let mut bufs: Vec<Batch> = (0..fanout).map(|_| Batch::empty(schema.clone())).collect();
+            let flush = |c: usize, buf: &mut Batch| -> bool {
+                if buf.is_empty() {
+                    return true;
+                }
+                let full = std::mem::replace(buf, Batch::empty(schema.clone()));
+                let msg = make_message(full, None, prod_node, consumers[c], &stats);
+                senders[c].send(Ok(msg)).is_ok()
+            };
+            'run: loop {
+                match prod.next() {
+                    Ok(Some(batch)) => {
+                        rows_produced += batch.len() as u64;
+                        match partition_positions(&batch, &partitioning, fanout) {
+                            Ok(parts) => {
+                                for (c, pos) in parts.iter().enumerate() {
+                                    if pos.is_empty() {
+                                        continue;
+                                    }
+                                    let piece = batch.gather(pos);
+                                    bufs[c].append(&piece).ok();
+                                    let size: usize =
+                                        bufs[c].columns.iter().map(|x| x.byte_size()).sum();
+                                    if size >= buffer_bytes && !flush(c, &mut bufs[c]) {
+                                        break 'run;
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                let _ = senders[0].send(Err(e));
+                                break 'run;
+                            }
+                        }
+                    }
+                    Ok(None) => {
+                        for c in 0..fanout {
+                            let mut b = std::mem::replace(&mut bufs[c], Batch::empty(schema.clone()));
+                            if !flush(c, &mut b) {
+                                break;
+                            }
+                        }
+                        break 'run;
+                    }
+                    Err(e) => {
+                        let _ = senders[0].send(Err(e));
+                        break 'run;
+                    }
+                }
+            }
+            stats.free_buffers(accounted);
+            let _ = ptx.send(crate::xchg::WorkerProfile {
+                worker: wi,
+                lines: vectorh_exec::operator::collect_profiles(prod.as_ref()),
+                rows_produced,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        });
+    }
+    drop(ptx);
+    let hub = Arc::new(ProfileHub { rx: prx, collected: parking_lot::Mutex::new(Vec::new()) });
+    Ok(channels
+        .into_iter()
+        .map(|(_, rx)| DxchgReceiver {
+            name,
+            schema: schema.clone(),
+            rx,
+            route_filter: None,
+            counters: Counters::default(),
+            consumer_wait_ns: 0,
+            profiles: hub.clone(),
+        })
+        .collect())
+}
+
+/// Thread-to-node: buffers per node with a route byte; consumer threads
+/// filter their rows out of node-level messages.
+#[allow(clippy::too_many_arguments)]
+fn dxchg_t2n(
+    name: &'static str,
+    producers: Vec<(u32, Box<dyn Operator>)>,
+    consumers: Vec<u32>,
+    partitioning: Partitioning,
+    config: DxchgConfig,
+    stats: Arc<NetStats>,
+    schema: Arc<Schema>,
+) -> Result<Vec<DxchgReceiver>> {
+    // Group consumer threads by node; route byte = index within node.
+    let mut nodes: Vec<u32> = consumers.clone();
+    nodes.sort_unstable();
+    nodes.dedup();
+    // consumer j -> (node_idx, route byte)
+    let mut within: std::collections::HashMap<u32, u8> = Default::default();
+    let routing: Vec<(usize, u8)> = consumers
+        .iter()
+        .map(|cn| {
+            let ni = nodes.iter().position(|n| n == cn).unwrap();
+            let r = within.entry(*cn).or_insert(0);
+            let route = *r;
+            *r += 1;
+            (ni, route)
+        })
+        .collect();
+    let threads_per_node: Vec<u8> = nodes
+        .iter()
+        .map(|n| consumers.iter().filter(|c| *c == n).count() as u8)
+        .collect();
+    if threads_per_node.iter().any(|&t| t == 0) {
+        return Err(VhError::Net("node without consumer threads".into()));
+    }
+
+    // One fan-in channel per node; a demux thread forwards each node-level
+    // message to every consumer thread on the node, and the receivers
+    // "selectively consume" their rows by route byte.
+    let node_ch: Vec<(Sender<Payload>, Receiver<Payload>)> =
+        (0..nodes.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
+    let thread_ch: Vec<(Sender<Payload>, Receiver<Payload>)> =
+        (0..consumers.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
+    for (ni, _) in nodes.iter().enumerate() {
+        let node_rx = node_ch[ni].1.clone();
+        let thread_txs: Vec<Sender<Payload>> = routing
+            .iter()
+            .enumerate()
+            .filter(|(_, (n, _))| *n == ni)
+            .map(|(j, _)| thread_ch[j].0.clone())
+            .collect();
+        std::thread::spawn(move || {
+            while let Ok(payload) = node_rx.recv() {
+                match payload {
+                    Ok(Message::Wire { bytes, route }) => {
+                        for tx in &thread_txs {
+                            if tx
+                                .send(Ok(Message::Wire { bytes: bytes.clone(), route: route.clone() }))
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                    }
+                    Ok(Message::Local { batch, route }) => {
+                        for tx in &thread_txs {
+                            let msg = Message::Local {
+                                batch: crate::xchg::BatchMsg(batch.0.clone()),
+                                route: route.clone(),
+                            };
+                            if tx.send(Ok(msg)).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        for tx in &thread_txs {
+                            let _ = tx.send(Err(e.clone()));
+                        }
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    let (ptx, prx) = bounded::<crate::xchg::WorkerProfile>(producers.len().max(1));
+    for (wi, (prod_node, mut prod)) in producers.into_iter().enumerate() {
+        let node_txs: Vec<Sender<Payload>> = node_ch.iter().map(|(s, _)| s.clone()).collect();
+        let nodes = nodes.clone();
+        let routing = routing.clone();
+        let partitioning = partitioning.clone();
+        let stats = stats.clone();
+        let schema = schema.clone();
+        let buffer_bytes = config.buffer_bytes;
+        let n_consumers = consumers.len();
+        let ptx = ptx.clone();
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut rows_produced = 0u64;
+            let fanout = nodes.len();
+            let accounted = (2 * fanout * buffer_bytes) as u64;
+            stats.alloc_buffers(accounted);
+            let mut bufs: Vec<(Batch, Vec<u8>)> = (0..fanout)
+                .map(|_| (Batch::empty(schema.clone()), Vec::new()))
+                .collect();
+            let flush = |ni: usize, buf: &mut (Batch, Vec<u8>)| -> bool {
+                if buf.0.is_empty() {
+                    return true;
+                }
+                let batch = std::mem::replace(&mut buf.0, Batch::empty(schema.clone()));
+                let route = std::mem::take(&mut buf.1);
+                let msg = make_message(batch, Some(route), prod_node, nodes[ni], &stats);
+                node_txs[ni].send(Ok(msg)).is_ok()
+            };
+            'run: loop {
+                match prod.next() {
+                    Ok(Some(batch)) => {
+                        rows_produced += batch.len() as u64;
+                        // Partition to consumer threads, then regroup by node
+                        // attaching the within-node route byte.
+                        match partition_positions(&batch, &partitioning, n_consumers) {
+                            Ok(parts) => {
+                                for (j, pos) in parts.iter().enumerate() {
+                                    if pos.is_empty() {
+                                        continue;
+                                    }
+                                    let (ni, route) = routing[j];
+                                    let piece = batch.gather(pos);
+                                    let n = piece.len();
+                                    bufs[ni].0.append(&piece).ok();
+                                    bufs[ni].1.extend(std::iter::repeat(route).take(n));
+                                    let size: usize = bufs[ni]
+                                        .0
+                                        .columns
+                                        .iter()
+                                        .map(|x| x.byte_size())
+                                        .sum::<usize>()
+                                        + bufs[ni].1.len();
+                                    if size >= buffer_bytes {
+                                        let mut b = std::mem::replace(
+                                            &mut bufs[ni],
+                                            (Batch::empty(schema.clone()), Vec::new()),
+                                        );
+                                        if !flush(ni, &mut b) {
+                                            break 'run;
+                                        }
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                let _ = node_txs[0].send(Err(e));
+                                break 'run;
+                            }
+                        }
+                    }
+                    Ok(None) => {
+                        for ni in 0..fanout {
+                            let mut b = std::mem::replace(
+                                &mut bufs[ni],
+                                (Batch::empty(schema.clone()), Vec::new()),
+                            );
+                            if !flush(ni, &mut b) {
+                                break;
+                            }
+                        }
+                        break 'run;
+                    }
+                    Err(e) => {
+                        let _ = node_txs[0].send(Err(e));
+                        break 'run;
+                    }
+                }
+            }
+            stats.free_buffers(accounted);
+            let _ = ptx.send(crate::xchg::WorkerProfile {
+                worker: wi,
+                lines: vectorh_exec::operator::collect_profiles(prod.as_ref()),
+                rows_produced,
+                wall_ns: t0.elapsed().as_nanos() as u64,
+            });
+        });
+    }
+    drop(ptx);
+    let hub = Arc::new(ProfileHub { rx: prx, collected: parking_lot::Mutex::new(Vec::new()) });
+
+    Ok(thread_ch
+        .into_iter()
+        .enumerate()
+        .map(|(j, (_, rx))| DxchgReceiver {
+            name,
+            schema: schema.clone(),
+            rx,
+            route_filter: Some(routing[j].1),
+            counters: Counters::default(),
+            consumer_wait_ns: 0,
+            profiles: hub.clone(),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::{ColumnData, DataType};
+    use vectorh_exec::operator::BatchSource;
+
+    fn source(vals: Vec<i64>) -> Box<dyn Operator> {
+        let schema = Arc::new(Schema::of(&[("x", DataType::I64)]));
+        let batch = Batch::new(schema, vec![ColumnData::I64(vals)]).unwrap();
+        Box::new(BatchSource::from_batch(batch, 32))
+    }
+
+    fn config(mode: FanoutMode) -> DxchgConfig {
+        DxchgConfig { buffer_bytes: 512, mode }
+    }
+
+    fn drain(mut ops: Vec<DxchgReceiver>) -> Vec<Vec<i64>> {
+        ops.iter_mut()
+            .map(|r| {
+                let mut got = Vec::new();
+                while let Some(b) = r.next().unwrap() {
+                    got.extend(b.column(0).as_i64().unwrap().iter().copied());
+                }
+                got.sort_unstable();
+                got
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_both_modes() {
+        for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
+            let stats = Arc::new(NetStats::default());
+            let r = dxchg_union(
+                vec![(0, source((0..100).collect())), (1, source((100..200).collect()))],
+                0,
+                config(mode),
+                stats.clone(),
+            )
+            .unwrap();
+            let got = drain(vec![r]);
+            assert_eq!(got[0], (0..200).collect::<Vec<_>>(), "mode {mode:?}");
+            // Producer on node 1 must have crossed the network.
+            assert!(stats.snapshot().net_messages > 0);
+            assert!(stats.snapshot().intra_messages > 0);
+        }
+    }
+
+    #[test]
+    fn hash_split_complete_and_consistent_across_modes() {
+        let run = |mode| {
+            let stats = Arc::new(NetStats::default());
+            let recv = dxchg_hash_split(
+                vec![(0, source((0..300).collect())), (1, source((300..600).collect()))],
+                vec![0, 0, 1, 1], // 2 nodes × 2 threads
+                vec![0],
+                config(mode),
+                stats,
+            )
+            .unwrap();
+            drain(recv)
+        };
+        let t2t = run(FanoutMode::ThreadToThread);
+        let t2n = run(FanoutMode::ThreadToNode);
+        let total: usize = t2t.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 600);
+        // Both modes must route identically (same hash→thread mapping).
+        assert_eq!(t2t, t2n);
+        let mut all: Vec<i64> = t2t.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..600).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_reaches_all_threads() {
+        for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
+            let stats = Arc::new(NetStats::default());
+            let recv = dxchg_broadcast(
+                vec![(0, source((0..40).collect()))],
+                vec![0, 1, 1],
+                config(mode),
+                stats,
+            )
+            .unwrap();
+            for got in drain(recv) {
+                assert_eq!(got, (0..40).collect::<Vec<_>>(), "mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_accounting_scales_with_mode() {
+        // 1 producer (deterministic peak), 4 consumer threads on 2 nodes:
+        // T2T fanout 4 (threads), T2N fanout 2 (nodes) → half the buffers.
+        let peak = |mode| {
+            let stats = Arc::new(NetStats::default());
+            let recv = dxchg_hash_split(
+                vec![(0, source((0..1000).collect()))],
+                vec![0, 0, 1, 1],
+                vec![0],
+                DxchgConfig { buffer_bytes: 1024, mode },
+                stats.clone(),
+            )
+            .unwrap();
+            drain(recv);
+            stats.snapshot().buffer_bytes_peak
+        };
+        let t2t = peak(FanoutMode::ThreadToThread);
+        let t2n = peak(FanoutMode::ThreadToNode);
+        assert_eq!(t2t, 2 * 4 * 1024); // 2× (double buffering) × fanout × buf
+        assert_eq!(t2n, 2 * 2 * 1024);
+        assert!(t2n < t2t);
+    }
+
+    #[test]
+    fn intra_node_messages_avoid_serialization() {
+        let stats = Arc::new(NetStats::default());
+        // Producer and the sole consumer on the same node.
+        let r = dxchg_union(
+            vec![(3, source((0..50).collect()))],
+            3,
+            config(FanoutMode::ThreadToNode),
+            stats.clone(),
+        )
+        .unwrap();
+        drain(vec![r]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.net_bytes, 0);
+        assert!(snap.intra_messages > 0);
+    }
+}

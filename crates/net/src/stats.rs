@@ -1,0 +1,92 @@
+//! Network accounting for exchange operators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters shared by all senders/receivers of an exchange (or
+/// a whole query).
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Messages that crossed node boundaries (serialized).
+    net_messages: AtomicU64,
+    /// Bytes serialized onto the "network".
+    net_bytes: AtomicU64,
+    /// Intra-node messages (pointer-passed, no serialization).
+    intra_messages: AtomicU64,
+    /// Rows moved through exchanges.
+    rows: AtomicU64,
+    /// Currently allocated sender-buffer bytes.
+    buffer_bytes_now: AtomicU64,
+    /// High-water mark of allocated sender-buffer bytes.
+    buffer_bytes_peak: AtomicU64,
+}
+
+/// Point-in-time snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSnapshot {
+    pub net_messages: u64,
+    pub net_bytes: u64,
+    pub intra_messages: u64,
+    pub rows: u64,
+    pub buffer_bytes_peak: u64,
+}
+
+impl NetStats {
+    pub fn record_net_message(&self, bytes: u64, rows: u64) {
+        self.net_messages.fetch_add(1, Ordering::Relaxed);
+        self.net_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    pub fn record_intra_message(&self, rows: u64) {
+        self.intra_messages.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Account buffer allocation; updates the high-water mark.
+    pub fn alloc_buffers(&self, bytes: u64) {
+        let now = self.buffer_bytes_now.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.buffer_bytes_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub fn free_buffers(&self, bytes: u64) {
+        self.buffer_bytes_now.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            net_messages: self.net_messages.load(Ordering::Relaxed),
+            net_bytes: self.net_bytes.load(Ordering::Relaxed),
+            intra_messages: self.intra_messages.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            buffer_bytes_peak: self.buffer_bytes_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NetStats::default();
+        s.record_net_message(100, 10);
+        s.record_net_message(50, 5);
+        s.record_intra_message(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.net_messages, 2);
+        assert_eq!(snap.net_bytes, 150);
+        assert_eq!(snap.intra_messages, 1);
+        assert_eq!(snap.rows, 18);
+    }
+
+    #[test]
+    fn buffer_peak_tracks_high_water() {
+        let s = NetStats::default();
+        s.alloc_buffers(100);
+        s.alloc_buffers(200);
+        s.free_buffers(250);
+        s.alloc_buffers(10);
+        assert_eq!(s.snapshot().buffer_bytes_peak, 300);
+    }
+}

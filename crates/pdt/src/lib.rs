@@ -1,0 +1,30 @@
+//! Positional Delta Trees (PDTs).
+//!
+//! The differential update structure of Vectorwise/VectorH (§2, §6 of the
+//! paper; Héman et al., SIGMOD 2010). A PDT stores inserts, deletes and
+//! modifies *by position* against a read-optimized stable table image, so
+//! that:
+//!
+//! * scans merge differences in by position — no key comparisons, no key IO;
+//! * ordered (clustered) and co-ordered tables remain updatable, because a
+//!   position identifies a row independent of any key;
+//! * the structure translates between **SID** (stable ID: position in the
+//!   underlying image) and **RID** (current row id after updates) in
+//!   better-than-linear time, using counts maintained per leaf.
+//!
+//! Layering ([`stack`]): queries share a large slow-moving *Read-PDT* with a
+//! smaller *Write-PDT* stacked on it; each transaction stacks a private
+//! *Trans-PDT* on top. Each layer's SID space is the RID space of the image
+//! below it. Commit serializes the Trans-PDT onto the master Write-PDT,
+//! detecting write-write conflicts at tuple granularity ([`stack::TupleKey`]).
+//!
+//! [`merge`] turns a PDT (or a stack of them) into a compact *merge plan*
+//! the vectorized scan applies to column vectors.
+
+pub mod merge;
+pub mod stack;
+pub mod tree;
+
+pub use merge::{compose, MergeStep};
+pub use stack::{Layers, TupleKey};
+pub use tree::{Find, Pdt, Update};

@@ -1,0 +1,976 @@
+//! A SQL subset parser producing logical plans.
+//!
+//! Covers what the examples and most analytical queries need:
+//!
+//! ```sql
+//! SELECT expr [AS name], agg(expr), ...
+//! FROM t1 [alias] [JOIN t2 [alias] ON a.x = b.y [AND ...]] ...
+//! [WHERE <boolean expr>]
+//! [GROUP BY col, ...]
+//! [ORDER BY col|position [ASC|DESC], ...]
+//! [LIMIT n]
+//! ```
+//!
+//! Expressions: arithmetic, comparisons, `AND/OR/NOT`, `BETWEEN`, `IN`,
+//! `LIKE`, decimal/date/string literals. Literals are coerced against
+//! column types ('1995-03-05' becomes a date when compared to a date
+//! column; numeric literals pick up a decimal column's scale), so queries
+//! read naturally.
+
+use vectorh_common::types::date;
+use vectorh_common::{DataType, Result, Schema, Value, VhError};
+use vectorh_exec::aggr::AggFn;
+use vectorh_exec::expr::{CmpOp, Expr};
+use vectorh_exec::sort::Dir;
+
+use crate::logical::{CatalogInfo, JoinKind, LogicalPlan};
+
+// --- tokenizer ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Dec(String),
+    Str(String),
+    Sym(char),
+    // two-char symbols
+    Le,
+    Ge,
+    Ne,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let b = input.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                out.push(Tok::Ident(input[start..i].to_lowercase()));
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut dec = false;
+                while i < b.len() && matches!(b[i] as char, '0'..='9' | '.') {
+                    if b[i] == b'.' {
+                        dec = true;
+                    }
+                    i += 1;
+                }
+                if dec {
+                    out.push(Tok::Dec(input[start..i].to_string()));
+                } else {
+                    out.push(Tok::Int(input[start..i].parse().map_err(|_| {
+                        VhError::Plan(format!("bad integer literal '{}'", &input[start..i]))
+                    })?));
+                }
+            }
+            '\'' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(VhError::Plan("unterminated string literal".into()));
+                }
+                out.push(Tok::Str(input[start..i].to_string()));
+                i += 1;
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Tok::Le);
+                i += 2;
+            }
+            '>' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Tok::Ge);
+                i += 2;
+            }
+            '<' if i + 1 < b.len() && b[i + 1] == b'>' => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Tok::Ne);
+                i += 2;
+            }
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | '<' | '>' => {
+                out.push(Tok::Sym(c));
+                i += 1;
+            }
+            other => return Err(VhError::Plan(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+// --- parse tree (pre-resolution) ---------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Ast {
+    Col(Option<String>, String),
+    IntLit(i64),
+    DecLit(String),
+    StrLit(String),
+    Star,
+    Bin(String, Box<Ast>, Box<Ast>),
+    Not(Box<Ast>),
+    Between(Box<Ast>, Box<Ast>, Box<Ast>),
+    InList(Box<Ast>, Vec<Ast>),
+    Like(Box<Ast>, String, bool),
+    Agg(String, bool, Box<Ast>), // fn, distinct, arg (Star for count(*))
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(VhError::Plan(format!("expected '{kw}' at token {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<()> {
+        if self.eat_sym(c) {
+            Ok(())
+        } else {
+            Err(VhError::Plan(format!("expected '{c}' at token {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            t => Err(VhError::Plan(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    // expr := or_expr
+    fn expr(&mut self) -> Result<Ast> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Ast> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            let r = self.and_expr()?;
+            e = Ast::Bin("or".into(), Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Ast> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            let r = self.not_expr()?;
+            e = Ast::Bin("and".into(), Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Ast> {
+        if self.eat_kw("not") {
+            Ok(Ast::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Ast> {
+        let e = self.add_expr()?;
+        if self.eat_kw("between") {
+            let lo = self.add_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.add_expr()?;
+            return Ok(Ast::Between(Box::new(e), Box::new(lo), Box::new(hi)));
+        }
+        if self.eat_kw("in") {
+            self.expect_sym('(')?;
+            let mut items = vec![self.add_expr()?];
+            while self.eat_sym(',') {
+                items.push(self.add_expr()?);
+            }
+            self.expect_sym(')')?;
+            return Ok(Ast::InList(Box::new(e), items));
+        }
+        let negated = if self.eat_kw("not") {
+            self.expect_kw("like")?;
+            true
+        } else if self.eat_kw("like") {
+            false
+        } else {
+            let op = match self.peek() {
+                Some(Tok::Sym('=')) => Some("="),
+                Some(Tok::Sym('<')) => Some("<"),
+                Some(Tok::Sym('>')) => Some(">"),
+                Some(Tok::Le) => Some("<="),
+                Some(Tok::Ge) => Some(">="),
+                Some(Tok::Ne) => Some("<>"),
+                _ => None,
+            };
+            if let Some(op) = op {
+                self.pos += 1;
+                let r = self.add_expr()?;
+                return Ok(Ast::Bin(op.into(), Box::new(e), Box::new(r)));
+            }
+            return Ok(e);
+        };
+        match self.next() {
+            Some(Tok::Str(p)) => Ok(Ast::Like(Box::new(e), p, negated)),
+            t => Err(VhError::Plan(format!("LIKE expects a string pattern, got {t:?}"))),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Ast> {
+        let mut e = self.mul_expr()?;
+        loop {
+            if self.eat_sym('+') {
+                e = Ast::Bin("+".into(), Box::new(e), Box::new(self.mul_expr()?));
+            } else if self.eat_sym('-') {
+                e = Ast::Bin("-".into(), Box::new(e), Box::new(self.mul_expr()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Ast> {
+        let mut e = self.atom()?;
+        loop {
+            if self.eat_sym('*') {
+                e = Ast::Bin("*".into(), Box::new(e), Box::new(self.atom()?));
+            } else if self.eat_sym('/') {
+                e = Ast::Bin("/".into(), Box::new(e), Box::new(self.atom()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Ast::IntLit(v)),
+            Some(Tok::Dec(s)) => Ok(Ast::DecLit(s)),
+            Some(Tok::Str(s)) => Ok(Ast::StrLit(s)),
+            Some(Tok::Sym('(')) => {
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Some(Tok::Sym('*')) => Ok(Ast::Star),
+            Some(Tok::Sym('-')) => {
+                // unary minus
+                let inner = self.atom()?;
+                Ok(Ast::Bin("-".into(), Box::new(Ast::IntLit(0)), Box::new(inner)))
+            }
+            Some(Tok::Ident(name)) => {
+                let aggs = ["sum", "count", "avg", "min", "max"];
+                if aggs.contains(&name.as_str()) && self.eat_sym('(') {
+                    let distinct = self.eat_kw("distinct");
+                    let arg = if matches!(self.peek(), Some(Tok::Sym('*'))) {
+                        self.pos += 1;
+                        Ast::Star
+                    } else {
+                        self.expr()?
+                    };
+                    self.expect_sym(')')?;
+                    return Ok(Ast::Agg(name, distinct, Box::new(arg)));
+                }
+                if self.eat_sym('.') {
+                    let col = self.ident()?;
+                    Ok(Ast::Col(Some(name), col))
+                } else {
+                    Ok(Ast::Col(None, name))
+                }
+            }
+            t => Err(VhError::Plan(format!("unexpected token {t:?}"))),
+        }
+    }
+}
+
+// --- name environment & resolution -------------------------------------------
+
+/// Maps (qualifier, column) to positions in the running plan's output.
+struct Env {
+    /// (alias, column name) per output position.
+    cols: Vec<(String, String)>,
+}
+
+impl Env {
+    fn resolve(&self, qual: &Option<String>, name: &str) -> Result<usize> {
+        let hits: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, (a, c))| c == name && qual.as_ref().map(|q| q == a).unwrap_or(true))
+            .map(|(i, _)| i)
+            .collect();
+        match hits.len() {
+            1 => Ok(hits[0]),
+            0 => Err(VhError::Plan(format!("unknown column '{name}'"))),
+            _ => Err(VhError::Plan(format!("ambiguous column '{name}'"))),
+        }
+    }
+}
+
+/// Coerce a literal to a column type when the other comparison side is a
+/// column (dates from strings, decimal scaling of ints).
+fn coerce(value: Value, target: DataType) -> Value {
+    match (&value, target) {
+        (Value::Str(s), DataType::Date) => {
+            date::parse(s).map(Value::Date).unwrap_or(value)
+        }
+        (Value::I64(v), DataType::Decimal { scale }) => {
+            Value::Decimal(v * 10i64.pow(scale as u32), scale)
+        }
+        (Value::Decimal(raw, s), DataType::Decimal { scale }) if *s < scale => {
+            Value::Decimal(raw * 10i64.pow((scale - s) as u32), scale)
+        }
+        _ => value,
+    }
+}
+
+fn lit_of(ast: &Ast) -> Option<Value> {
+    match ast {
+        Ast::IntLit(v) => Some(Value::I64(*v)),
+        Ast::DecLit(s) => {
+            let scale = s.split('.').nth(1).map(|f| f.len() as u8).unwrap_or(0);
+            Some(vectorh_common::types::dec(s, scale))
+        }
+        Ast::StrLit(s) => Some(Value::Str(s.clone())),
+        _ => None,
+    }
+}
+
+/// Resolve a (non-aggregate) AST into an executable expression.
+fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
+    Ok(match ast {
+        Ast::Col(q, n) => Expr::Col(env.resolve(q, n)?),
+        Ast::IntLit(_) | Ast::DecLit(_) | Ast::StrLit(_) => {
+            Expr::Lit(lit_of(ast).expect("literal"))
+        }
+        Ast::Star => return Err(VhError::Plan("'*' outside count(*)".into())),
+        Ast::Not(e) => Expr::Not(Box::new(resolve_expr(e, env, schema)?)),
+        Ast::Between(e, lo, hi) => {
+            let ex = resolve_expr(e, env, schema)?;
+            let t = ex.dtype(schema)?;
+            let lo = coerce_resolved(lo, env, schema, t)?;
+            let hi = coerce_resolved(hi, env, schema, t)?;
+            Expr::Between(Box::new(ex), Box::new(lo), Box::new(hi))
+        }
+        Ast::InList(e, items) => {
+            let ex = resolve_expr(e, env, schema)?;
+            let t = ex.dtype(schema)?;
+            let vals: Result<Vec<Value>> = items
+                .iter()
+                .map(|i| {
+                    lit_of(i)
+                        .map(|v| coerce(v, t))
+                        .ok_or_else(|| VhError::Plan("IN list items must be literals".into()))
+                })
+                .collect();
+            Expr::InList(Box::new(ex), vals?)
+        }
+        Ast::Like(e, pat, negated) => {
+            let ex = resolve_expr(e, env, schema)?;
+            if *negated {
+                Expr::NotLike(Box::new(ex), pat.clone())
+            } else {
+                Expr::Like(Box::new(ex), pat.clone())
+            }
+        }
+        Ast::Bin(op, l, r) => {
+            match op.as_str() {
+                "and" => Expr::And(vec![
+                    resolve_expr(l, env, schema)?,
+                    resolve_expr(r, env, schema)?,
+                ]),
+                "or" => Expr::Or(vec![
+                    resolve_expr(l, env, schema)?,
+                    resolve_expr(r, env, schema)?,
+                ]),
+                "+" | "-" | "*" | "/" => {
+                    let le = resolve_expr(l, env, schema)?;
+                    let re = resolve_expr(r, env, schema)?;
+                    match op.as_str() {
+                        "+" => Expr::add(le, re),
+                        "-" => Expr::sub(le, re),
+                        "*" => Expr::mul(le, re),
+                        _ => Expr::div(le, re),
+                    }
+                }
+                cmp => {
+                    // Comparisons get literal coercion against the column side.
+                    let le = resolve_expr(l, env, schema)?;
+                    let lt = le.dtype(schema)?;
+                    let re = coerce_resolved(r, env, schema, lt)?;
+                    // ... and symmetric when the literal is on the left.
+                    let (le, re) = if lit_of(l).is_some() {
+                        let rt = re.dtype(schema)?;
+                        (coerce_resolved(l, env, schema, rt)?, re)
+                    } else {
+                        (le, re)
+                    };
+                    let op = match cmp {
+                        "=" => CmpOp::Eq,
+                        "<>" => CmpOp::Ne,
+                        "<" => CmpOp::Lt,
+                        "<=" => CmpOp::Le,
+                        ">" => CmpOp::Gt,
+                        ">=" => CmpOp::Ge,
+                        other => {
+                            return Err(VhError::Plan(format!("unknown operator '{other}'")))
+                        }
+                    };
+                    Expr::Cmp(op, Box::new(le), Box::new(re))
+                }
+            }
+        }
+        Ast::Agg(..) => {
+            return Err(VhError::Plan("aggregate in unexpected position".into()))
+        }
+    })
+}
+
+fn coerce_resolved(ast: &Ast, env: &Env, schema: &Schema, target: DataType) -> Result<Expr> {
+    if let Some(v) = lit_of(ast) {
+        Ok(Expr::Lit(coerce(v, target)))
+    } else {
+        resolve_expr(ast, env, schema)
+    }
+}
+
+// --- query assembly ------------------------------------------------------------
+
+/// Parse a SQL query into a logical plan.
+pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> {
+    let mut p = Parser { toks: tokenize(sql)?, pos: 0 };
+    p.expect_kw("select")?;
+
+    // Select list (deferred resolution).
+    let mut select_items: Vec<(Ast, Option<String>)> = Vec::new();
+    loop {
+        if matches!(p.peek(), Some(Tok::Sym('*'))) && select_items.is_empty() {
+            p.pos += 1;
+            select_items.push((Ast::Star, None));
+        } else {
+            let e = p.expr()?;
+            let alias = if p.eat_kw("as") { Some(p.ident()?) } else { None };
+            select_items.push((e, alias));
+        }
+        if !p.eat_sym(',') {
+            break;
+        }
+    }
+
+    p.expect_kw("from")?;
+    // FROM t [alias] (JOIN t2 [alias] ON eq [AND eq]*)*
+    let mut plan;
+    let mut env;
+    {
+        let (tname, alias) = parse_table_ref(&mut p)?;
+        let meta = catalog.table(&tname)?;
+        let cols: Vec<usize> = (0..meta.schema.len()).collect();
+        env = Env {
+            cols: meta
+                .schema
+                .fields()
+                .iter()
+                .map(|f| (alias.clone(), f.name.clone()))
+                .collect(),
+        };
+        plan = LogicalPlan::Scan { table: tname, cols };
+    }
+    while p.eat_kw("join") || (p.eat_kw("inner") && p.eat_kw("join")) {
+        let (tname, alias) = parse_table_ref(&mut p)?;
+        let meta = catalog.table(&tname)?;
+        p.expect_kw("on")?;
+        // Equality conjunction referencing both sides.
+        let mut right_env_cols: Vec<(String, String)> = meta
+            .schema
+            .fields()
+            .iter()
+            .map(|f| (alias.clone(), f.name.clone()))
+            .collect();
+        let combined = Env {
+            cols: env.cols.iter().cloned().chain(right_env_cols.iter().cloned()).collect(),
+        };
+        let left_width = env.cols.len();
+        let mut lkeys = Vec::new();
+        let mut rkeys = Vec::new();
+        loop {
+            let a = p.expr()?;
+            match a {
+                Ast::Bin(op, l, r) if op == "=" => {
+                    let li = resolve_col(&l, &combined)?;
+                    let ri = resolve_col(&r, &combined)?;
+                    let (lk, rk) = if li < left_width {
+                        (li, ri - left_width)
+                    } else {
+                        (ri, li - left_width)
+                    };
+                    lkeys.push(lk);
+                    rkeys.push(rk);
+                }
+                _ => return Err(VhError::Plan("JOIN ON expects equality".into())),
+            }
+            if !p.eat_kw("and") {
+                break;
+            }
+        }
+        let rcols: Vec<usize> = (0..meta.schema.len()).collect();
+        plan = LogicalPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(LogicalPlan::Scan { table: tname, cols: rcols }),
+            left_keys: lkeys,
+            right_keys: rkeys,
+            kind: JoinKind::Inner,
+        };
+        env.cols.append(&mut right_env_cols);
+    }
+
+    let schema = plan.schema(catalog)?;
+
+    if p.eat_kw("where") {
+        let ast = p.expr()?;
+        let predicate = resolve_expr(&ast, &env, &schema)?;
+        plan = LogicalPlan::Select { input: Box::new(plan), predicate };
+    }
+
+    // GROUP BY / aggregates.
+    let group_cols: Vec<usize> = if p.eat_kw("group") {
+        p.expect_kw("by")?;
+        let mut cols = Vec::new();
+        loop {
+            let ast = p.expr()?;
+            cols.push(resolve_col(&ast, &env)?);
+            if !p.eat_sym(',') {
+                break;
+            }
+        }
+        cols
+    } else {
+        vec![]
+    };
+
+    let has_aggs = select_items.iter().any(|(a, _)| contains_agg(a));
+    let mut out_names: Vec<String> = Vec::new();
+    if has_aggs || !group_cols.is_empty() {
+        // Pre-project: group cols first, then each aggregate's argument.
+        let mut pre_items: Vec<(Expr, String)> = Vec::new();
+        for (i, &g) in group_cols.iter().enumerate() {
+            pre_items.push((Expr::Col(g), format!("g{i}")));
+        }
+        let mut aggs: Vec<AggFn> = Vec::new();
+        // Output projection over [group cols..., agg results...].
+        let mut post_items: Vec<(Expr, String)> = Vec::new();
+        for (idx, (ast, alias)) in select_items.iter().enumerate() {
+            let default_name = alias.clone().unwrap_or_else(|| display_name(ast, idx));
+            out_names.push(default_name.clone());
+            match ast {
+                Ast::Agg(f, distinct, arg) => {
+                    let agg_out_pos = group_cols.len() + aggs.len();
+                    let fnc = match (f.as_str(), distinct, arg.as_ref()) {
+                        ("count", false, Ast::Star) => AggFn::CountStar,
+                        ("count", true, a) => {
+                            let col = push_arg(a, &env, &schema, &mut pre_items)?;
+                            AggFn::CountDistinct(col)
+                        }
+                        ("count", false, a) => {
+                            let col = push_arg(a, &env, &schema, &mut pre_items)?;
+                            AggFn::Count(col)
+                        }
+                        ("sum", _, a) => {
+                            AggFn::Sum(push_arg(a, &env, &schema, &mut pre_items)?)
+                        }
+                        ("avg", _, a) => {
+                            AggFn::Avg(push_arg(a, &env, &schema, &mut pre_items)?)
+                        }
+                        ("min", _, a) => {
+                            AggFn::Min(push_arg(a, &env, &schema, &mut pre_items)?)
+                        }
+                        ("max", _, a) => {
+                            AggFn::Max(push_arg(a, &env, &schema, &mut pre_items)?)
+                        }
+                        (other, _, _) => {
+                            return Err(VhError::Plan(format!("unknown aggregate '{other}'")))
+                        }
+                    };
+                    aggs.push(fnc);
+                    post_items.push((Expr::Col(agg_out_pos), default_name));
+                }
+                other => {
+                    // Must be a grouped column reference.
+                    let col = resolve_col(other, &env)?;
+                    let gpos = group_cols
+                        .iter()
+                        .position(|g| *g == col)
+                        .ok_or_else(|| {
+                            VhError::Plan("non-aggregated select column must be in GROUP BY".into())
+                        })?;
+                    post_items.push((Expr::Col(gpos), default_name));
+                }
+            }
+        }
+        // A pure `count(*)` needs no pre-projection — and an empty
+        // projection would lose the row count entirely.
+        if !pre_items.is_empty() {
+            plan = LogicalPlan::Project { input: Box::new(plan), items: pre_items };
+        }
+        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by: (0..group_cols.len()).collect(), aggs };
+        plan = LogicalPlan::Project { input: Box::new(plan), items: post_items };
+    } else {
+        // Plain projection.
+        let mut items: Vec<(Expr, String)> = Vec::new();
+        for (idx, (ast, alias)) in select_items.iter().enumerate() {
+            if matches!(ast, Ast::Star) {
+                for (i, (_, name)) in env.cols.iter().enumerate() {
+                    items.push((Expr::Col(i), name.clone()));
+                    out_names.push(name.clone());
+                }
+            } else {
+                let name = alias.clone().unwrap_or_else(|| display_name(ast, idx));
+                items.push((resolve_expr(ast, &env, &schema)?, name.clone()));
+                out_names.push(name);
+            }
+        }
+        plan = LogicalPlan::Project { input: Box::new(plan), items };
+    }
+
+    // ORDER BY on output names / 1-based positions.
+    if p.eat_kw("order") {
+        p.expect_kw("by")?;
+        let mut keys = Vec::new();
+        loop {
+            let pos = match p.next() {
+                Some(Tok::Int(n)) => (n as usize)
+                    .checked_sub(1)
+                    .ok_or_else(|| VhError::Plan("ORDER BY position is 1-based".into()))?,
+                Some(Tok::Ident(name)) => out_names
+                    .iter()
+                    .position(|n| *n == name)
+                    .ok_or_else(|| VhError::Plan(format!("ORDER BY unknown column '{name}'")))?,
+                t => return Err(VhError::Plan(format!("bad ORDER BY key {t:?}"))),
+            };
+            let dir = if p.eat_kw("desc") {
+                Dir::Desc
+            } else {
+                p.eat_kw("asc");
+                Dir::Asc
+            };
+            keys.push((pos, dir));
+            if !p.eat_sym(',') {
+                break;
+            }
+        }
+        let limit = if p.eat_kw("limit") {
+            match p.next() {
+                Some(Tok::Int(n)) => Some(n as usize),
+                t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
+            }
+        } else {
+            None
+        };
+        plan = LogicalPlan::Sort { input: Box::new(plan), keys, limit };
+    } else if p.eat_kw("limit") {
+        match p.next() {
+            Some(Tok::Int(n)) => plan = LogicalPlan::Limit { input: Box::new(plan), n: n as usize },
+            t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
+        }
+    }
+
+    if let Some(t) = p.peek() {
+        return Err(VhError::Plan(format!("trailing tokens starting at {t:?}")));
+    }
+    Ok(plan)
+}
+
+fn parse_table_ref(p: &mut Parser) -> Result<(String, String)> {
+    let name = p.ident()?;
+    // Optional alias (not a keyword).
+    let keywords = ["join", "inner", "left", "on", "where", "group", "order", "limit"];
+    let alias = match p.peek() {
+        Some(Tok::Ident(s)) if !keywords.contains(&s.as_str()) => {
+            let a = s.clone();
+            p.pos += 1;
+            a
+        }
+        _ => name.clone(),
+    };
+    Ok((name, alias))
+}
+
+fn resolve_col(ast: &Ast, env: &Env) -> Result<usize> {
+    match ast {
+        Ast::Col(q, n) => env.resolve(q, n),
+        _ => Err(VhError::Plan("expected a column reference".into())),
+    }
+}
+
+fn contains_agg(ast: &Ast) -> bool {
+    match ast {
+        Ast::Agg(..) => true,
+        Ast::Bin(_, l, r) => contains_agg(l) || contains_agg(r),
+        Ast::Not(e) => contains_agg(e),
+        Ast::Between(a, b, c) => contains_agg(a) || contains_agg(b) || contains_agg(c),
+        Ast::InList(e, _) | Ast::Like(e, _, _) => contains_agg(e),
+        _ => false,
+    }
+}
+
+fn display_name(ast: &Ast, idx: usize) -> String {
+    match ast {
+        Ast::Col(_, n) => n.clone(),
+        Ast::Agg(f, _, _) => format!("{f}_{idx}"),
+        _ => format!("col{idx}"),
+    }
+}
+
+/// Resolve an aggregate argument: reuse an existing pre-projection item or
+/// append a new one; returns its column position.
+fn push_arg(
+    ast: &Ast,
+    env: &Env,
+    schema: &Schema,
+    pre_items: &mut Vec<(Expr, String)>,
+) -> Result<usize> {
+    let e = resolve_expr(ast, env, schema)?;
+    if let Some(pos) = pre_items.iter().position(|(x, _)| *x == e) {
+        return Ok(pos);
+    }
+    let pos = pre_items.len();
+    pre_items.push((e, format!("a{pos}")));
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{MemoryCatalog, TableMeta};
+
+    fn catalog() -> MemoryCatalog {
+        let mut c = MemoryCatalog::new();
+        c.add(TableMeta {
+            name: "orders".into(),
+            schema: Schema::of(&[
+                ("o_orderkey", DataType::I64),
+                ("o_custkey", DataType::I64),
+                ("o_orderdate", DataType::Date),
+                ("o_totalprice", DataType::Decimal { scale: 2 }),
+                ("o_status", DataType::Str),
+            ]),
+            rows: 1000,
+            partitioning: Some((vec![0], 4)),
+            sort_order: Some(vec![2]),
+        });
+        c.add(TableMeta {
+            name: "customer".into(),
+            schema: Schema::of(&[
+                ("c_custkey", DataType::I64),
+                ("c_name", DataType::Str),
+            ]),
+            rows: 100,
+            partitioning: Some((vec![0], 4)),
+            sort_order: None,
+        });
+        c
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let c = catalog();
+        let p = parse_query("SELECT * FROM orders", &c).unwrap();
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn where_with_date_coercion() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_orderdate < '1995-03-05'",
+            &c,
+        )
+        .unwrap();
+        // The literal became a Date value.
+        fn find_date(plan: &LogicalPlan) -> bool {
+            match plan {
+                LogicalPlan::Select { predicate, .. } => {
+                    format!("{predicate:?}").contains("Date(")
+                }
+                LogicalPlan::Project { input, .. } => find_date(input),
+                _ => false,
+            }
+        }
+        assert!(find_date(&p), "{p:?}");
+    }
+
+    #[test]
+    fn decimal_coercion_in_compare() {
+        let c = catalog();
+        let p = parse_query("SELECT o_orderkey FROM orders WHERE o_totalprice > 100", &c).unwrap();
+        // 100 must be scaled to Decimal(10000, 2).
+        assert!(format!("{p:?}").contains("Decimal(10000, 2)"), "{p:?}");
+    }
+
+    #[test]
+    fn join_with_on_clause() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o.o_orderkey, c.c_name FROM orders o JOIN customer c ON o.o_custkey = c.c_custkey",
+            &c,
+        )
+        .unwrap();
+        fn find_join(plan: &LogicalPlan) -> Option<(Vec<usize>, Vec<usize>)> {
+            match plan {
+                LogicalPlan::Join { left_keys, right_keys, .. } => {
+                    Some((left_keys.clone(), right_keys.clone()))
+                }
+                LogicalPlan::Project { input, .. } | LogicalPlan::Select { input, .. } => {
+                    find_join(input)
+                }
+                _ => None,
+            }
+        }
+        let (lk, rk) = find_join(&p).expect("join");
+        assert_eq!(lk, vec![1]); // o_custkey
+        assert_eq!(rk, vec![0]); // c_custkey
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.names(), vec!["o_orderkey", "c_name"]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_status, count(*) AS n, sum(o_totalprice) AS total, avg(o_totalprice) \
+             FROM orders GROUP BY o_status ORDER BY n DESC LIMIT 5",
+            &c,
+        )
+        .unwrap();
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.names(), vec!["o_status", "n", "total", "avg_3"]);
+        assert_eq!(s.dtype(2), DataType::Decimal { scale: 2 });
+        assert_eq!(s.dtype(3), DataType::F64);
+        assert!(matches!(p, LogicalPlan::Sort { limit: Some(5), .. }));
+    }
+
+    #[test]
+    fn aggregate_over_expression() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT sum(o_totalprice * 2) FROM orders",
+            &c,
+        )
+        .unwrap();
+        assert!(p.schema(&c).is_ok());
+    }
+
+    #[test]
+    fn between_in_like_not() {
+        let c = catalog();
+        let queries = [
+            "SELECT o_orderkey FROM orders WHERE o_orderdate BETWEEN '1994-01-01' AND '1994-12-31'",
+            "SELECT o_orderkey FROM orders WHERE o_status IN ('open', 'closed')",
+            "SELECT o_orderkey FROM orders WHERE o_status LIKE 'o%'",
+            "SELECT o_orderkey FROM orders WHERE o_status NOT LIKE '%x%'",
+            "SELECT o_orderkey FROM orders WHERE NOT o_orderkey = 5 AND o_custkey > 3 OR o_custkey < 1",
+        ];
+        for q in queries {
+            parse_query(q, &c).unwrap_or_else(|e| panic!("{q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn count_distinct() {
+        let c = catalog();
+        let p = parse_query("SELECT count(distinct o_custkey) FROM orders", &c).unwrap();
+        fn find(plan: &LogicalPlan) -> bool {
+            match plan {
+                LogicalPlan::Aggregate { aggs, .. } => {
+                    matches!(aggs[0], AggFn::CountDistinct(_))
+                }
+                LogicalPlan::Project { input, .. } => find(input),
+                _ => false,
+            }
+        }
+        assert!(find(&p));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let c = catalog();
+        assert!(parse_query("SELECT FROM orders", &c).is_err());
+        assert!(parse_query("SELECT nope FROM orders", &c).is_err());
+        assert!(parse_query("SELECT o_orderkey FROM missing", &c).is_err());
+        assert!(parse_query("SELECT o_orderkey FROM orders WHERE", &c).is_err());
+        assert!(parse_query("SELECT o_orderkey FROM orders trailing junk", &c).is_err());
+        assert!(parse_query("SELECT o_custkey, count(*) FROM orders", &c).is_err());
+        assert!(parse_query("SELECT 'unterminated FROM orders", &c).is_err());
+    }
+
+    #[test]
+    fn order_by_position() {
+        let c = catalog();
+        let p = parse_query("SELECT o_orderkey, o_custkey FROM orders ORDER BY 2 DESC", &c).unwrap();
+        match p {
+            LogicalPlan::Sort { keys, .. } => assert_eq!(keys, vec![(1, Dir::Desc)]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_unary_minus() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_totalprice * (1 - 0.04) AS discounted FROM orders WHERE o_orderkey > -5",
+            &c,
+        )
+        .unwrap();
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.names(), vec!["discounted"]);
+    }
+}

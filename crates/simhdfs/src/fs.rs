@@ -1,0 +1,657 @@
+//! The simulated filesystem: namenode metadata + datanode block storage.
+//!
+//! Semantics mirror the HDFS behaviours VectorH depends on (§3):
+//!
+//! * Files are **append-only**; there is no writing in the middle of a file.
+//!   (VectorH's block-chunk layout exists precisely because of this.)
+//! * Files are split into fixed-size blocks, each replicated on `R`
+//!   datanodes. Like HDFS's default policy behaviour described in the paper,
+//!   placement is decided **per file**: all blocks of a file live on the
+//!   same target set, chosen by the registered [`BlockPlacementPolicy`] when
+//!   the first byte is appended.
+//! * Reads are served **short-circuit** (counted as local) when the reading
+//!   node holds a replica, remote otherwise.
+//! * Datanode failure triggers namenode-driven re-replication, which asks
+//!   the same placement policy for new targets; [`SimHdfs::conform_to_policy`]
+//!   models the background rebalancer.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use vectorh_common::{NodeId, Result, VhError};
+
+use crate::placement::{BlockPlacementPolicy, ClusterView};
+use crate::stats::{IoStats, UsageReport};
+
+/// Configuration of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct SimHdfsConfig {
+    /// HDFS block size in bytes (real clusters: 128 MB – 1 GB; tests use KBs).
+    pub block_size: usize,
+    /// Default replication degree (HDFS default R=3).
+    pub default_replication: usize,
+}
+
+impl Default for SimHdfsConfig {
+    fn default() -> Self {
+        SimHdfsConfig { block_size: 4 * 1024 * 1024, default_replication: 3 }
+    }
+}
+
+/// One replicated block.
+#[derive(Debug, Clone)]
+struct Block {
+    data: Vec<u8>,
+    replicas: Vec<NodeId>,
+}
+
+/// Namenode file entry.
+#[derive(Debug, Clone)]
+struct FileEntry {
+    blocks: Vec<Block>,
+    len: u64,
+    replication: usize,
+    /// Per-file placement target set (fixed at first append, adjusted by
+    /// failures / rebalancing).
+    targets: Vec<NodeId>,
+}
+
+/// Externally visible file metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    pub path: String,
+    pub len: u64,
+    pub replication: usize,
+    pub block_count: usize,
+}
+
+/// Location information for one block (what the namenode reports to clients
+/// such as VectorH's dbAgent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLocation {
+    pub offset: u64,
+    pub len: u64,
+    pub nodes: Vec<NodeId>,
+}
+
+struct Inner {
+    files: BTreeMap<String, FileEntry>,
+    alive: BTreeSet<NodeId>,
+    all_nodes: BTreeSet<NodeId>,
+    used: HashMap<NodeId, u64>,
+}
+
+/// The simulated HDFS cluster. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct SimHdfs {
+    inner: Arc<RwLock<Inner>>,
+    policy: Arc<dyn BlockPlacementPolicy>,
+    stats: Arc<IoStats>,
+    config: SimHdfsConfig,
+}
+
+impl SimHdfs {
+    /// Create a cluster of `nodes` datanodes using the given placement policy.
+    pub fn new(nodes: usize, config: SimHdfsConfig, policy: Arc<dyn BlockPlacementPolicy>) -> Self {
+        let ids: BTreeSet<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        SimHdfs {
+            inner: Arc::new(RwLock::new(Inner {
+                files: BTreeMap::new(),
+                alive: ids.clone(),
+                all_nodes: ids,
+                used: HashMap::new(),
+            })),
+            policy,
+            stats: Arc::new(IoStats::default()),
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &SimHdfsConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    pub fn policy(&self) -> &Arc<dyn BlockPlacementPolicy> {
+        &self.policy
+    }
+
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.inner.read().alive.iter().copied().collect()
+    }
+
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        self.inner.read().all_nodes.iter().copied().collect()
+    }
+
+    fn view(inner: &Inner) -> ClusterView {
+        ClusterView {
+            alive: inner.alive.iter().copied().collect(),
+            used_bytes: inner.used.clone(),
+            existing: vec![],
+        }
+    }
+
+    /// Create an empty file. Errors if it already exists.
+    pub fn create(&self, path: &str, replication: Option<usize>) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(path) {
+            return Err(VhError::Hdfs(format!("file exists: {path}")));
+        }
+        let replication = replication.unwrap_or(self.config.default_replication);
+        inner.files.insert(
+            path.to_string(),
+            FileEntry { blocks: vec![], len: 0, replication, targets: vec![] },
+        );
+        Ok(())
+    }
+
+    /// Append bytes to a file (creating it if needed), issued from `writer`.
+    ///
+    /// This is the only write primitive — HDFS files cannot be modified in
+    /// the middle.
+    pub fn append(&self, path: &str, data: &[u8], writer: Option<NodeId>) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.files.contains_key(path) {
+            let replication = self.config.default_replication;
+            inner.files.insert(
+                path.to_string(),
+                FileEntry { blocks: vec![], len: 0, replication, targets: vec![] },
+            );
+        }
+        // Fix placement targets on first append.
+        let needs_targets = inner.files[path].targets.is_empty();
+        if needs_targets {
+            let wanted = inner.files[path].replication;
+            let view = Self::view(&inner);
+            let targets = self.policy.choose_targets(path, writer, wanted, &view);
+            if targets.is_empty() {
+                return Err(VhError::Hdfs(format!(
+                    "no alive datanodes to place {path}"
+                )));
+            }
+            inner.files.get_mut(path).unwrap().targets = targets;
+        }
+        let block_size = self.config.block_size;
+        let targets = inner.files[path].targets.clone();
+        let alive = inner.alive.clone();
+        let live_targets: Vec<NodeId> =
+            targets.iter().copied().filter(|n| alive.contains(n)).collect();
+        if live_targets.is_empty() {
+            return Err(VhError::Hdfs(format!("all replica targets of {path} are dead")));
+        }
+
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let entry = inner.files.get_mut(path).unwrap();
+            // Fill the trailing partial block first.
+            let space = match entry.blocks.last() {
+                Some(b) if b.data.len() < block_size => block_size - b.data.len(),
+                _ => 0,
+            };
+            let take;
+            if space > 0 {
+                take = remaining.len().min(space);
+                let last = entry.blocks.last_mut().unwrap();
+                last.data.extend_from_slice(&remaining[..take]);
+            } else {
+                take = remaining.len().min(block_size);
+                entry.blocks.push(Block {
+                    data: remaining[..take].to_vec(),
+                    replicas: live_targets.clone(),
+                });
+            }
+            entry.len += take as u64;
+            let replicas = entry.blocks.last().unwrap().replicas.clone();
+            for n in &replicas {
+                *inner.used.entry(*n).or_insert(0) += take as u64;
+            }
+            remaining = &remaining[take..];
+        }
+        self.stats.record_write(data.len() as u64 * live_targets.len() as u64);
+        Ok(())
+    }
+
+    /// Read `len` bytes at `offset`, issued from `reader` (None = external
+    /// client, always remote). Short reads at EOF return what exists.
+    pub fn read(&self, path: &str, offset: u64, len: usize, reader: Option<NodeId>) -> Result<Vec<u8>> {
+        let inner = self.inner.read();
+        let entry = inner
+            .files
+            .get(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        let end = (offset + len as u64).min(entry.len);
+        if offset >= end {
+            return Ok(vec![]);
+        }
+        let block_size = self.config.block_size as u64;
+        let mut out = Vec::with_capacity((end - offset) as usize);
+        let mut pos = offset;
+        while pos < end {
+            let bi = (pos / block_size) as usize;
+            let block = &entry.blocks[bi];
+            let in_block = (pos % block_size) as usize;
+            let take = ((end - pos) as usize).min(block.data.len() - in_block);
+            // A dead node's replica cannot be read; require a live replica.
+            let live: Vec<NodeId> = block
+                .replicas
+                .iter()
+                .copied()
+                .filter(|n| inner.alive.contains(n))
+                .collect();
+            if live.is_empty() {
+                return Err(VhError::Hdfs(format!(
+                    "block {bi} of {path} has no live replica"
+                )));
+            }
+            let local = reader.map(|r| live.contains(&r)).unwrap_or(false);
+            self.stats.record_read(take as u64, local);
+            out.extend_from_slice(&block.data[in_block..in_block + take]);
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Read a whole file.
+    pub fn read_all(&self, path: &str, reader: Option<NodeId>) -> Result<Vec<u8>> {
+        let len = self.len(path)?;
+        self.read(path, 0, len as usize, reader)
+    }
+
+    /// Delete a file. Frees space on all replicas.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let entry = inner
+            .files
+            .remove(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        for b in &entry.blocks {
+            for n in &b.replicas {
+                if let Some(u) = inner.used.get_mut(n) {
+                    *u = u.saturating_sub(b.data.len() as u64);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.read().files.contains_key(path)
+    }
+
+    pub fn len(&self, path: &str) -> Result<u64> {
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))
+    }
+
+    /// List files whose path starts with `prefix`, sorted.
+    pub fn list(&self, prefix: &str) -> Vec<FileStatus> {
+        self.inner
+            .read()
+            .files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, f)| FileStatus {
+                path: p.clone(),
+                len: f.len,
+                replication: f.replication,
+                block_count: f.blocks.len(),
+            })
+            .collect()
+    }
+
+    /// Block locations of a file (namenode metadata query).
+    pub fn block_locations(&self, path: &str) -> Result<Vec<BlockLocation>> {
+        let inner = self.inner.read();
+        let entry = inner
+            .files
+            .get(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        let mut out = Vec::with_capacity(entry.blocks.len());
+        let mut offset = 0u64;
+        for b in &entry.blocks {
+            out.push(BlockLocation {
+                offset,
+                len: b.data.len() as u64,
+                nodes: b.replicas.clone(),
+            });
+            offset += b.data.len() as u64;
+        }
+        Ok(out)
+    }
+
+    /// Does `node` hold a replica of every block of `path`?
+    pub fn fully_local(&self, path: &str, node: NodeId) -> Result<bool> {
+        Ok(self
+            .block_locations(path)?
+            .iter()
+            .all(|b| b.nodes.contains(&node)))
+    }
+
+    /// Kill a datanode. The namenode notices and re-replicates every block
+    /// that lost a replica, asking the placement policy for the new target
+    /// (with the surviving replicas as `existing`).
+    pub fn kill_node(&self, node: NodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.alive.remove(&node) {
+            return Err(VhError::Hdfs(format!("{node} is not alive")));
+        }
+        // Drop the dead node's usage; its replicas are gone.
+        inner.used.remove(&node);
+        let paths: Vec<String> = inner.files.keys().cloned().collect();
+        for path in paths {
+            // Per-file re-replication to keep placement per-file.
+            let (wanted, mut targets) = {
+                let f = &inner.files[&path];
+                (f.replication, f.targets.clone())
+            };
+            targets.retain(|&n| n != node);
+            let mut rerep_bytes = 0u64;
+            let mut new_target: Option<NodeId> = None;
+            let needs = {
+                let f = &inner.files[&path];
+                f.blocks.iter().any(|b| b.replicas.contains(&node))
+            };
+            if needs && targets.len() < wanted {
+                let mut view = Self::view(&inner);
+                view.existing = targets.clone();
+                let extra = self.policy.choose_targets(&path, None, 1, &view);
+                new_target = extra.first().copied();
+                if let Some(t) = new_target {
+                    targets.push(t);
+                }
+            }
+            let f = inner.files.get_mut(&path).unwrap();
+            f.targets = targets;
+            let mut added: HashMap<NodeId, u64> = HashMap::new();
+            for b in &mut f.blocks {
+                if let Some(pos) = b.replicas.iter().position(|&n| n == node) {
+                    b.replicas.remove(pos);
+                    // Re-replication copies from a surviving replica; a block
+                    // with no survivors is lost (read() will error).
+                    if b.replicas.is_empty() {
+                        continue;
+                    }
+                    if let Some(t) = new_target {
+                        if !b.replicas.contains(&t) {
+                            b.replicas.push(t);
+                            rerep_bytes += b.data.len() as u64;
+                            *added.entry(t).or_insert(0) += b.data.len() as u64;
+                        }
+                    }
+                }
+            }
+            for (n, bytes) in added {
+                *inner.used.entry(n).or_insert(0) += bytes;
+            }
+            if rerep_bytes > 0 {
+                self.stats.record_rereplication(rerep_bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a fresh (empty) datanode to the cluster.
+    pub fn add_node(&self) -> NodeId {
+        let mut inner = self.inner.write();
+        let id = NodeId(inner.all_nodes.iter().map(|n| n.0 + 1).max().unwrap_or(0));
+        inner.all_nodes.insert(id);
+        inner.alive.insert(id);
+        id
+    }
+
+    /// Background rebalancer: migrate every file's replicas to what the
+    /// placement policy currently prescribes (HDFS calls `chooseTarget` for
+    /// re-balancing too). Returns bytes moved.
+    pub fn conform_to_policy(&self) -> u64 {
+        let mut inner = self.inner.write();
+        let paths: Vec<String> = inner.files.keys().cloned().collect();
+        let mut moved = 0u64;
+        for path in paths {
+            let wanted = inner.files[&path].replication;
+            let view = Self::view(&inner);
+            let desired = self.policy.choose_targets(&path, None, wanted, &view);
+            if desired.is_empty() {
+                continue;
+            }
+            let f = inner.files.get_mut(&path).unwrap();
+            if f.targets == desired {
+                continue;
+            }
+            let mut delta: HashMap<NodeId, i64> = HashMap::new();
+            for b in &mut f.blocks {
+                for n in &b.replicas {
+                    if !desired.contains(n) {
+                        *delta.entry(*n).or_insert(0) -= b.data.len() as i64;
+                    }
+                }
+                for n in &desired {
+                    if !b.replicas.contains(n) {
+                        *delta.entry(*n).or_insert(0) += b.data.len() as i64;
+                        moved += b.data.len() as u64;
+                    }
+                }
+                b.replicas = desired.clone();
+            }
+            f.targets = desired;
+            for (n, d) in delta {
+                let e = inner.used.entry(n).or_insert(0);
+                *e = (*e as i64 + d).max(0) as u64;
+            }
+        }
+        if moved > 0 {
+            self.stats.record_rereplication(moved);
+        }
+        moved
+    }
+
+    /// Per-node stored bytes.
+    pub fn usage(&self) -> UsageReport {
+        let inner = self.inner.read();
+        UsageReport { per_node_bytes: inner.used.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{AffinityPolicy, DefaultPolicy};
+
+    fn small_fs(nodes: usize) -> SimHdfs {
+        SimHdfs::new(
+            nodes,
+            SimHdfsConfig { block_size: 64, default_replication: 3 },
+            Arc::new(DefaultPolicy::new(42)),
+        )
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let fs = small_fs(4);
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        fs.append("/f", &data, Some(NodeId(0))).unwrap();
+        assert_eq!(fs.read_all("/f", Some(NodeId(0))).unwrap(), data);
+        assert_eq!(fs.len("/f").unwrap(), 1000);
+        // 1000 bytes / 64 block size = 16 blocks
+        assert_eq!(fs.block_locations("/f").unwrap().len(), 16);
+    }
+
+    #[test]
+    fn partial_reads() {
+        let fs = small_fs(3);
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        fs.append("/f", &data, None).unwrap();
+        assert_eq!(fs.read("/f", 10, 5, None).unwrap(), &data[10..15]);
+        // crossing a block boundary
+        assert_eq!(fs.read("/f", 60, 10, None).unwrap(), &data[60..70]);
+        // past EOF: short read
+        assert_eq!(fs.read("/f", 195, 100, None).unwrap(), &data[195..]);
+        assert_eq!(fs.read("/f", 500, 10, None).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn appends_accumulate_across_block_boundaries() {
+        let fs = small_fs(3);
+        fs.append("/f", &[1; 40], None).unwrap();
+        fs.append("/f", &[2; 40], None).unwrap(); // fills block 0, spills to 1
+        let mut expect = vec![1u8; 40];
+        expect.extend(vec![2u8; 40]);
+        assert_eq!(fs.read_all("/f", None).unwrap(), expect);
+        assert_eq!(fs.block_locations("/f").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn replication_on_writer_node_gives_local_reads() {
+        let fs = small_fs(5);
+        fs.append("/f", &[9u8; 256], Some(NodeId(2))).unwrap();
+        let before = fs.stats().snapshot();
+        fs.read_all("/f", Some(NodeId(2))).unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.remote_read_bytes, 0);
+        assert_eq!(after.local_read_bytes, 256);
+    }
+
+    #[test]
+    fn external_reads_are_remote() {
+        let fs = small_fs(3);
+        fs.append("/f", &[1u8; 10], Some(NodeId(0))).unwrap();
+        let before = fs.stats().snapshot();
+        fs.read_all("/f", None).unwrap();
+        let delta = fs.stats().snapshot().since(&before);
+        assert_eq!(delta.local_read_bytes, 0);
+        assert_eq!(delta.remote_read_bytes, 10);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let fs = small_fs(3);
+        fs.append("/f", &[1u8; 100], Some(NodeId(0))).unwrap();
+        let used: u64 = fs.usage().per_node_bytes.values().sum();
+        assert_eq!(used, 300); // 100 bytes × R=3
+        fs.delete("/f").unwrap();
+        let used: u64 = fs.usage().per_node_bytes.values().sum();
+        assert_eq!(used, 0);
+        assert!(!fs.exists("/f"));
+        assert!(fs.read_all("/f", None).is_err());
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let fs = small_fs(3);
+        fs.create("/f", None).unwrap();
+        assert!(fs.create("/f", None).is_err());
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = small_fs(3);
+        fs.append("/db/t/p0/c0", &[0], None).unwrap();
+        fs.append("/db/t/p0/c1", &[0], None).unwrap();
+        fs.append("/db/t/p1/c0", &[0], None).unwrap();
+        fs.append("/other", &[0], None).unwrap();
+        assert_eq!(fs.list("/db/t/p0/").len(), 2);
+        assert_eq!(fs.list("/db/").len(), 3);
+        assert_eq!(fs.list("/zzz").len(), 0);
+    }
+
+    #[test]
+    fn node_failure_triggers_rereplication() {
+        let fs = small_fs(4);
+        fs.append("/f", &[7u8; 128], Some(NodeId(0))).unwrap();
+        let locs_before = fs.block_locations("/f").unwrap();
+        assert!(locs_before.iter().all(|b| b.nodes.len() == 3));
+        fs.kill_node(NodeId(0)).unwrap();
+        let locs = fs.block_locations("/f").unwrap();
+        for b in &locs {
+            assert_eq!(b.nodes.len(), 3, "re-replicated back to R=3");
+            assert!(!b.nodes.contains(&NodeId(0)));
+        }
+        assert!(fs.stats().snapshot().rereplicated_bytes >= 128);
+        // Data still readable.
+        assert_eq!(fs.read_all("/f", None).unwrap(), vec![7u8; 128]);
+    }
+
+    #[test]
+    fn failure_below_replication_degrades_gracefully() {
+        // 3 nodes, R=3: after one failure only 2 replicas are possible.
+        let fs = small_fs(3);
+        fs.append("/f", &[1u8; 64], Some(NodeId(0))).unwrap();
+        fs.kill_node(NodeId(1)).unwrap();
+        let locs = fs.block_locations("/f").unwrap();
+        assert_eq!(locs[0].nodes.len(), 2);
+        assert_eq!(fs.read_all("/f", None).unwrap(), vec![1u8; 64]);
+    }
+
+    #[test]
+    fn affinity_policy_controls_placement_and_rebalance() {
+        let policy = Arc::new(AffinityPolicy::new(7));
+        let fs = SimHdfs::new(
+            4,
+            SimHdfsConfig { block_size: 32, default_replication: 2 },
+            policy.clone(),
+        );
+        policy.set_affinity("/db/r/p0/", vec![NodeId(1), NodeId(3)]);
+        fs.append("/db/r/p0/chunk0", &[5u8; 100], Some(NodeId(0))).unwrap();
+        for b in fs.block_locations("/db/r/p0/chunk0").unwrap() {
+            assert_eq!(b.nodes, vec![NodeId(1), NodeId(3)]);
+        }
+        assert!(fs.fully_local("/db/r/p0/chunk0", NodeId(1)).unwrap());
+        // Change the affinity map (responsibility moved), then rebalance.
+        policy.set_affinity("/db/r/p0/", vec![NodeId(0), NodeId(2)]);
+        let moved = fs.conform_to_policy();
+        assert!(moved >= 100);
+        for b in fs.block_locations("/db/r/p0/chunk0").unwrap() {
+            assert_eq!(b.nodes, vec![NodeId(0), NodeId(2)]);
+        }
+        assert_eq!(fs.read_all("/db/r/p0/chunk0", None).unwrap(), vec![5u8; 100]);
+    }
+
+    #[test]
+    fn add_node_extends_cluster() {
+        let fs = small_fs(2);
+        let id = fs.add_node();
+        assert_eq!(id, NodeId(2));
+        assert_eq!(fs.alive_nodes().len(), 3);
+    }
+
+    #[test]
+    fn kill_unknown_node_errors() {
+        let fs = small_fs(2);
+        assert!(fs.kill_node(NodeId(9)).is_err());
+        fs.kill_node(NodeId(1)).unwrap();
+        assert!(fs.kill_node(NodeId(1)).is_err());
+    }
+
+    #[test]
+    fn all_replicas_dead_read_fails() {
+        let policy = Arc::new(AffinityPolicy::new(9));
+        let fs = SimHdfs::new(
+            4,
+            SimHdfsConfig { block_size: 32, default_replication: 1 },
+            policy.clone(),
+        );
+        policy.set_affinity("/solo/", vec![NodeId(2)]);
+        fs.append("/solo/f", &[1u8; 10], None).unwrap();
+        fs.kill_node(NodeId(2)).unwrap();
+        // R=1: the only replica died, there is nothing to copy from — the
+        // block is lost and reads must fail.
+        assert!(fs.read_all("/solo/f", None).is_err());
+    }
+
+    #[test]
+    fn usage_tracks_replica_bytes() {
+        let fs = small_fs(3);
+        fs.append("/a", &[0u8; 50], Some(NodeId(0))).unwrap();
+        let report = fs.usage();
+        let total: u64 = report.per_node_bytes.values().sum();
+        assert_eq!(total, 150);
+    }
+}

@@ -1,0 +1,29 @@
+//! A simulated HDFS for VectorH-rs.
+//!
+//! The paper's storage contributions (§3) are *policy-level*: VectorH
+//! instruments the HDFS `BlockPlacementPolicy` so every table-partition
+//! replica lands on chosen datanodes, keeps all reads short-circuit local,
+//! and survives node failures through re-replication steered by the same
+//! policy. Reproducing that does not require JNI and spinning disks — it
+//! requires an append-only, block-replicated filesystem that:
+//!
+//! * splits files into fixed-size blocks replicated at `R` datanodes,
+//! * delegates placement to a pluggable [`placement::BlockPlacementPolicy`]
+//!   whose `choose_targets` receives the file name (exactly like HDFS's
+//!   `chooseTarget()`), both at append time and during re-replication,
+//! * distinguishes **short-circuit local reads** from remote reads and
+//!   accounts for both ([`stats::IoStats`]), so benches can verify the
+//!   "all table IOs are short-circuited" claim,
+//! * supports datanode failure, decommissioning and background
+//!   re-replication.
+//!
+//! Everything is deterministic: placement randomness comes from a seeded
+//! [`vectorh_common::rng::SplitMix64`].
+
+pub mod fs;
+pub mod placement;
+pub mod stats;
+
+pub use fs::{BlockLocation, FileStatus, SimHdfs, SimHdfsConfig};
+pub use placement::{AffinityPolicy, BlockPlacementPolicy, ClusterView, DefaultPolicy};
+pub use stats::IoStats;

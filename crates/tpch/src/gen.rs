@@ -1,0 +1,496 @@
+//! A dbgen-style TPC-H data generator.
+//!
+//! Deterministic (seeded), scaled by SF, and faithful to the value
+//! distributions the 22 queries depend on: date ranges and correlations
+//! (receipt ≥ ship ≥ order date), the brand/type/container vocabularies,
+//! phone-prefix ↔ nation correlation (Q22), priority/segment/mode domains,
+//! and the comment patterns Q13 and Q16 grep for. Rows per table follow the
+//! spec ratios: lineitem ≈ 4×orders, partsupp = 4×part, etc.
+
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::types::date;
+use vectorh_common::Value;
+
+/// All eight tables, as rows.
+pub struct TpchData {
+    pub region: Vec<Vec<Value>>,
+    pub nation: Vec<Vec<Value>>,
+    pub supplier: Vec<Vec<Value>>,
+    pub customer: Vec<Vec<Value>>,
+    pub part: Vec<Vec<Value>>,
+    pub partsupp: Vec<Vec<Value>>,
+    pub orders: Vec<Vec<Value>>,
+    pub lineitem: Vec<Vec<Value>>,
+}
+
+impl TpchData {
+    pub fn total_rows(&self) -> usize {
+        self.region.len()
+            + self.nation.len()
+            + self.supplier.len()
+            + self.customer.len()
+            + self.part.len()
+            + self.partsupp.len()
+            + self.orders.len()
+            + self.lineitem.len()
+    }
+}
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// (name, region index) — the 25 standard nations.
+pub const NATIONS: [(&str, u32); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const SEGMENTS: [&str; 5] =
+    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+pub const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+pub const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+pub const COLORS: [&str; 12] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "blue", "chocolate", "forest",
+    "green", "ivory", "lemon", "red",
+];
+const COMMENT_WORDS: [&str; 16] = [
+    "carefully", "quickly", "furiously", "slyly", "express", "regular", "ironic", "final",
+    "pending", "bold", "silent", "even", "packages", "deposits", "accounts", "requests",
+];
+
+fn comment(rng: &mut SplitMix64, words: usize) -> String {
+    (0..words)
+        .map(|_| *rng.choose(&COMMENT_WORDS).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn dec2(rng: &mut SplitMix64, lo: i64, hi: i64) -> Value {
+    Value::Decimal(rng.range_i64(lo, hi), 2)
+}
+
+/// Column index constants, so query builders read like the spec.
+pub mod cols {
+    pub mod region {
+        pub const R_REGIONKEY: usize = 0;
+        pub const R_NAME: usize = 1;
+    }
+    pub mod nation {
+        pub const N_NATIONKEY: usize = 0;
+        pub const N_NAME: usize = 1;
+        pub const N_REGIONKEY: usize = 2;
+    }
+    pub mod supplier {
+        pub const S_SUPPKEY: usize = 0;
+        pub const S_NAME: usize = 1;
+        pub const S_ADDRESS: usize = 2;
+        pub const S_NATIONKEY: usize = 3;
+        pub const S_PHONE: usize = 4;
+        pub const S_ACCTBAL: usize = 5;
+        pub const S_COMMENT: usize = 6;
+    }
+    pub mod customer {
+        pub const C_CUSTKEY: usize = 0;
+        pub const C_NAME: usize = 1;
+        pub const C_ADDRESS: usize = 2;
+        pub const C_NATIONKEY: usize = 3;
+        pub const C_PHONE: usize = 4;
+        pub const C_ACCTBAL: usize = 5;
+        pub const C_MKTSEGMENT: usize = 6;
+        pub const C_COMMENT: usize = 7;
+    }
+    pub mod part {
+        pub const P_PARTKEY: usize = 0;
+        pub const P_NAME: usize = 1;
+        pub const P_MFGR: usize = 2;
+        pub const P_BRAND: usize = 3;
+        pub const P_TYPE: usize = 4;
+        pub const P_SIZE: usize = 5;
+        pub const P_CONTAINER: usize = 6;
+        pub const P_RETAILPRICE: usize = 7;
+    }
+    pub mod partsupp {
+        pub const PS_PARTKEY: usize = 0;
+        pub const PS_SUPPKEY: usize = 1;
+        pub const PS_AVAILQTY: usize = 2;
+        pub const PS_SUPPLYCOST: usize = 3;
+    }
+    pub mod orders {
+        pub const O_ORDERKEY: usize = 0;
+        pub const O_CUSTKEY: usize = 1;
+        pub const O_ORDERSTATUS: usize = 2;
+        pub const O_TOTALPRICE: usize = 3;
+        pub const O_ORDERDATE: usize = 4;
+        pub const O_ORDERPRIORITY: usize = 5;
+        pub const O_SHIPPRIORITY: usize = 6;
+        pub const O_COMMENT: usize = 7;
+    }
+    pub mod lineitem {
+        pub const L_ORDERKEY: usize = 0;
+        pub const L_PARTKEY: usize = 1;
+        pub const L_SUPPKEY: usize = 2;
+        pub const L_LINENUMBER: usize = 3;
+        pub const L_QUANTITY: usize = 4;
+        pub const L_EXTENDEDPRICE: usize = 5;
+        pub const L_DISCOUNT: usize = 6;
+        pub const L_TAX: usize = 7;
+        pub const L_RETURNFLAG: usize = 8;
+        pub const L_LINESTATUS: usize = 9;
+        pub const L_SHIPDATE: usize = 10;
+        pub const L_COMMITDATE: usize = 11;
+        pub const L_RECEIPTDATE: usize = 12;
+        pub const L_SHIPINSTRUCT: usize = 13;
+        pub const L_SHIPMODE: usize = 14;
+    }
+}
+
+/// Table row counts at a scale factor.
+pub fn sizes(sf: f64) -> (usize, usize, usize, usize, usize) {
+    let supplier = ((sf * 10_000.0) as usize).max(10);
+    let customer = ((sf * 150_000.0) as usize).max(30);
+    let part = ((sf * 200_000.0) as usize).max(40);
+    let orders = ((sf * 1_500_000.0) as usize).max(150);
+    (supplier, customer, part, orders, part * 4)
+}
+
+/// Generate the full dataset.
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let mut rng = SplitMix64::new(seed);
+    let (n_supplier, n_customer, n_part, n_orders, _n_partsupp) = sizes(sf);
+
+    let region: Vec<Vec<Value>> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Value::I64(i as i64),
+                Value::Str(name.to_string()),
+                Value::Str(comment(&mut rng, 3)),
+            ]
+        })
+        .collect();
+
+    let nation: Vec<Vec<Value>> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, r))| {
+            vec![
+                Value::I64(i as i64),
+                Value::Str(name.to_string()),
+                Value::I64(*r as i64),
+                Value::Str(comment(&mut rng, 4)),
+            ]
+        })
+        .collect();
+
+    let supplier: Vec<Vec<Value>> = (0..n_supplier)
+        .map(|i| {
+            let nationkey = rng.next_bounded(25) as i64;
+            // ~1% of suppliers carry the Q16 complaint marker.
+            let cmt = if rng.chance(0.01) {
+                format!("{} Customer Complaints {}", comment(&mut rng, 2), comment(&mut rng, 2))
+            } else {
+                comment(&mut rng, 5)
+            };
+            vec![
+                Value::I64(i as i64 + 1),
+                Value::Str(format!("Supplier#{:09}", i + 1)),
+                Value::Str(format!("addr-{}", rng.next_bounded(100_000))),
+                Value::I64(nationkey),
+                Value::Str(format!("{}-{:07}", nationkey + 10, rng.next_bounded(9_999_999))),
+                dec2(&mut rng, -99_999, 999_999),
+                Value::Str(cmt),
+            ]
+        })
+        .collect();
+
+    let customer: Vec<Vec<Value>> = (0..n_customer)
+        .map(|i| {
+            let nationkey = rng.next_bounded(25) as i64;
+            vec![
+                Value::I64(i as i64 + 1),
+                Value::Str(format!("Customer#{:09}", i + 1)),
+                Value::Str(format!("addr-{}", rng.next_bounded(100_000))),
+                Value::I64(nationkey),
+                Value::Str(format!("{}-{:07}", nationkey + 10, rng.next_bounded(9_999_999))),
+                dec2(&mut rng, -99_999, 999_999),
+                Value::Str(rng.choose(&SEGMENTS).unwrap().to_string()),
+                Value::Str(comment(&mut rng, 6)),
+            ]
+        })
+        .collect();
+
+    let part: Vec<Vec<Value>> = (0..n_part)
+        .map(|i| {
+            let name = format!(
+                "{} {} {}",
+                rng.choose(&COLORS).unwrap(),
+                rng.choose(&COLORS).unwrap(),
+                rng.choose(&COLORS).unwrap()
+            );
+            let mfgr = rng.next_bounded(5) + 1;
+            let brand = format!("Brand#{}{}", mfgr, rng.next_bounded(5) + 1);
+            let ptype = format!(
+                "{} {} {}",
+                rng.choose(&TYPE_1).unwrap(),
+                rng.choose(&TYPE_2).unwrap(),
+                rng.choose(&TYPE_3).unwrap()
+            );
+            let container = format!(
+                "{} {}",
+                rng.choose(&CONTAINER_1).unwrap(),
+                rng.choose(&CONTAINER_2).unwrap()
+            );
+            vec![
+                Value::I64(i as i64 + 1),
+                Value::Str(name),
+                Value::Str(format!("Manufacturer#{mfgr}")),
+                Value::Str(brand),
+                Value::Str(ptype),
+                Value::I64(rng.range_i64(1, 50)),
+                Value::Str(container),
+                // spec-ish retail price around 900-2100
+                dec2(&mut rng, 90_000, 210_000),
+                Value::Str(comment(&mut rng, 3)),
+            ]
+        })
+        .collect();
+
+    let partsupp: Vec<Vec<Value>> = (0..n_part)
+        .flat_map(|p| {
+            let mut rows = Vec::with_capacity(4);
+            for s in 0..4u64 {
+                let suppkey = ((p as u64 + s * (n_supplier as u64 / 4 + 1)) % n_supplier as u64) + 1;
+                rows.push(vec![
+                    Value::I64(p as i64 + 1),
+                    Value::I64(suppkey as i64),
+                    Value::I64(rng.range_i64(1, 9999)),
+                    dec2(&mut rng, 100, 100_000),
+                    Value::Str(comment(&mut rng, 4)),
+                ]);
+            }
+            rows
+        })
+        .collect();
+
+    let start = date::parse("1992-01-01").unwrap();
+    let end = date::parse("1998-08-02").unwrap();
+    let cutoff = date::parse("1995-06-17").unwrap();
+
+    let mut orders = Vec::with_capacity(n_orders);
+    let mut lineitem = Vec::new();
+    for i in 0..n_orders {
+        // Sparse orderkeys like dbgen (8 of every 32 keys used is the spec;
+        // we use 4× spacing to keep keys sparse but simple).
+        let orderkey = (i as i64) * 4 + 1;
+        let custkey = rng.range_i64(1, n_customer as i64);
+        let orderdate = rng.range_i64(start as i64, end as i64 - 121) as i32;
+        let n_lines = rng.range_i64(1, 7) as usize;
+        let mut total: i64 = 0;
+        let mut all_filled = true;
+        for ln in 0..n_lines {
+            let partkey = rng.range_i64(1, n_part as i64);
+            // one of the 4 suppliers of that part
+            let s = rng.next_bounded(4);
+            let suppkey =
+                (((partkey - 1) as u64 + s * (n_supplier as u64 / 4 + 1)) % n_supplier as u64) + 1;
+            let qty = rng.range_i64(1, 50);
+            let price = rng.range_i64(90_000, 210_000); // raw cents ≈ p_retailprice
+            let extended = qty * price / 100 * 100; // keep cents aligned
+            let discount = rng.range_i64(0, 10); // 0.00 - 0.10
+            let tax = rng.range_i64(0, 8);
+            let shipdate = orderdate + rng.range_i64(1, 121) as i32;
+            let commitdate = orderdate + rng.range_i64(30, 90) as i32;
+            let receiptdate = shipdate + rng.range_i64(1, 30) as i32;
+            let returnflag = if receiptdate <= cutoff {
+                if rng.chance(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > cutoff { "O" } else { "F" };
+            if linestatus == "O" {
+                all_filled = false;
+            }
+            total += extended;
+            lineitem.push(vec![
+                Value::I64(orderkey),
+                Value::I64(partkey),
+                Value::I64(suppkey as i64),
+                Value::I64(ln as i64 + 1),
+                Value::Decimal(qty * 100, 2),
+                Value::Decimal(extended, 2),
+                Value::Decimal(discount, 2),
+                Value::Decimal(tax, 2),
+                Value::Str(returnflag.to_string()),
+                Value::Str(linestatus.to_string()),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::Str(rng.choose(&SHIP_INSTRUCT).unwrap().to_string()),
+                Value::Str(rng.choose(&SHIP_MODES).unwrap().to_string()),
+                Value::Str(comment(&mut rng, 3)),
+            ]);
+        }
+        let status = if all_filled { "F" } else { "O" };
+        // Q13 greps '%special%requests%': give ~1% of orders that comment.
+        let cmt = if rng.chance(0.01) {
+            format!("{} special packages requests {}", comment(&mut rng, 1), comment(&mut rng, 1))
+        } else {
+            comment(&mut rng, 5)
+        };
+        orders.push(vec![
+            Value::I64(orderkey),
+            Value::I64(custkey),
+            Value::Str(status.to_string()),
+            Value::Decimal(total, 2),
+            Value::Date(orderdate),
+            Value::Str(rng.choose(&PRIORITIES).unwrap().to_string()),
+            Value::I64(0),
+            Value::Str(cmt),
+        ]);
+    }
+
+    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        assert_eq!(a.lineitem.len(), b.lineitem.len());
+        assert_eq!(a.lineitem[0], b.lineitem[0]);
+        let c = generate(0.001, 8);
+        assert_ne!(a.lineitem[0], c.lineitem[0]);
+    }
+
+    #[test]
+    fn sizes_follow_spec_ratios() {
+        let d = generate(0.002, 1);
+        assert_eq!(d.region.len(), 5);
+        assert_eq!(d.nation.len(), 25);
+        assert_eq!(d.partsupp.len(), d.part.len() * 4);
+        // ~4 lineitems per order on average
+        let ratio = d.lineitem.len() as f64 / d.orders.len() as f64;
+        assert!((2.5..5.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn date_correlations_hold() {
+        let d = generate(0.001, 3);
+        use cols::lineitem::*;
+        for row in &d.lineitem {
+            let ship = match row[L_SHIPDATE] {
+                Value::Date(d) => d,
+                _ => panic!(),
+            };
+            let receipt = match row[L_RECEIPTDATE] {
+                Value::Date(d) => d,
+                _ => panic!(),
+            };
+            assert!(receipt > ship, "receipt after ship");
+        }
+        // Order dates in range.
+        use cols::orders::*;
+        let lo = date::parse("1992-01-01").unwrap();
+        let hi = date::parse("1998-08-02").unwrap();
+        for row in &d.orders {
+            match row[O_ORDERDATE] {
+                Value::Date(dt) => assert!(dt >= lo && dt <= hi),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let d = generate(0.001, 5);
+        let n_supplier = d.supplier.len() as i64;
+        let n_part = d.part.len() as i64;
+        let n_customer = d.customer.len() as i64;
+        use cols::lineitem as l;
+        for row in &d.lineitem {
+            let pk = row[l::L_PARTKEY].as_i64().unwrap();
+            let sk = row[l::L_SUPPKEY].as_i64().unwrap();
+            assert!(pk >= 1 && pk <= n_part);
+            assert!(sk >= 1 && sk <= n_supplier);
+        }
+        use cols::orders as o;
+        for row in &d.orders {
+            let ck = row[o::O_CUSTKEY].as_i64().unwrap();
+            assert!(ck >= 1 && ck <= n_customer);
+        }
+        // lineitem FK into orders: every l_orderkey appears in orders.
+        let keys: std::collections::HashSet<i64> =
+            d.orders.iter().map(|r| r[o::O_ORDERKEY].as_i64().unwrap()).collect();
+        for row in &d.lineitem {
+            assert!(keys.contains(&row[l::L_ORDERKEY].as_i64().unwrap()));
+        }
+    }
+
+    #[test]
+    fn query_relevant_patterns_exist() {
+        let d = generate(0.05, 11);
+        // Q16-style supplier complaints present but rare.
+        let complaints = d
+            .supplier
+            .iter()
+            .filter(|r| r[cols::supplier::S_COMMENT].as_str().unwrap().contains("Customer Complaints"))
+            .count();
+        assert!(complaints > 0 && complaints < d.supplier.len() / 10);
+        // Q13 comment pattern.
+        let special = d
+            .orders
+            .iter()
+            .filter(|r| {
+                let c = r[cols::orders::O_COMMENT].as_str().unwrap();
+                c.contains("special") && c.contains("requests")
+            })
+            .count();
+        assert!(special > 0);
+        // Q14 PROMO parts exist.
+        let promo = d
+            .part
+            .iter()
+            .filter(|r| r[cols::part::P_TYPE].as_str().unwrap().starts_with("PROMO"))
+            .count();
+        assert!(promo > 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! TPC-H for VectorH-rs (§8 of the paper).
+//!
+//! * [`gen`] — a dbgen-style deterministic data generator, scaled by SF.
+//! * [`schema`] — the paper's physical design: clustered indexes on
+//!   `o_orderdate` / `l_orderkey` / `ps_partkey` / PKs, hash partitioning of
+//!   lineitem+orders on the orderkey and part+partsupp on the partkey (so
+//!   those joins are co-located), small tables replicated.
+//! * [`queries`] — all 22 TPC-H queries as logical plans (scalar subqueries
+//!   decorrelated into explicit two-step plans).
+//! * [`refresh`] — RF1 (new orders) and RF2 (deletes) refresh functions.
+//! * [`baseline`] — comparator engines for Figure 7: a tuple-at-a-time
+//!   interpreter ("rowstore", Hive/PostgreSQL-like) and a single-threaded
+//!   columnar executor without MinMax skipping ("naive columnar",
+//!   Impala-like), both executing the *same* logical plans so answers can
+//!   be cross-checked.
+
+pub mod baseline;
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+
+pub use gen::{generate, TpchData};
+pub use queries::{run_query, TpchQuery, N_QUERIES};
+pub use schema::{create_tables, load, table_names};

@@ -1,0 +1,1094 @@
+//! The 22 TPC-H queries as logical plans (paper-default parameters).
+//!
+//! Queries with scalar subqueries (Q11, Q15, Q22) are decorrelated into
+//! explicit two-step plans: step one computes the scalar, step two receives
+//! it as a literal. Correlated EXISTS/NOT EXISTS (Q4, Q16, Q21, Q22) become
+//! semi/anti joins; Q13's outer join uses the engine's `__matched` column
+//! (see `vectorh_exec::join`); Q21's "different supplier" inequalities are
+//! decorrelated through per-order distinct-supplier counts.
+
+use vectorh_common::types::dec;
+use vectorh_common::{Result, Value, VhError};
+use vectorh_exec::aggr::AggFn;
+use vectorh_exec::expr::{date_lit, Expr};
+use vectorh_exec::sort::Dir;
+use vectorh_planner::logical::{JoinKind, LogicalPlan};
+
+use crate::gen::cols::{customer as c, lineitem as l, nation as n, orders as o, part as p,
+    partsupp as ps, region as r, supplier as s};
+
+pub const N_QUERIES: usize = 22;
+
+/// A query: one plan, or a scalar-producing step plus a plan builder.
+pub enum TpchQuery {
+    Single(LogicalPlan),
+    TwoStep {
+        first: LogicalPlan,
+        build: Box<dyn Fn(Value) -> LogicalPlan + Send + Sync>,
+    },
+}
+
+/// Run a query through any logical-plan runner (the VectorH engine or a
+/// baseline executor).
+pub fn run_with<F>(q: &TpchQuery, mut runner: F) -> Result<Vec<Vec<Value>>>
+where
+    F: FnMut(&LogicalPlan) -> Result<Vec<Vec<Value>>>,
+{
+    match q {
+        TpchQuery::Single(plan) => runner(plan),
+        TpchQuery::TwoStep { first, build } => {
+            let rows = runner(first)?;
+            let scalar = rows
+                .first()
+                .and_then(|r| r.first())
+                .cloned()
+                .unwrap_or(Value::F64(0.0));
+            runner(&build(scalar))
+        }
+    }
+}
+
+/// Run query `n` (1-based) on a VectorH engine.
+pub fn run_query(vh: &vectorh::VectorH, n: usize) -> Result<Vec<Vec<Value>>> {
+    let q = build_query(n)?;
+    run_with(&q, |plan| vh.query_logical(plan))
+}
+
+// --- plan-builder helpers ----------------------------------------------------
+
+fn scan(table: &str, cols: Vec<usize>) -> LogicalPlan {
+    LogicalPlan::Scan { table: table.into(), cols }
+}
+
+fn select(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
+    LogicalPlan::Select { input: Box::new(input), predicate }
+}
+
+fn project(input: LogicalPlan, items: Vec<(Expr, &str)>) -> LogicalPlan {
+    LogicalPlan::Project {
+        input: Box::new(input),
+        items: items.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
+    }
+}
+
+fn join(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    lk: Vec<usize>,
+    rk: Vec<usize>,
+    kind: JoinKind,
+) -> LogicalPlan {
+    LogicalPlan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        left_keys: lk,
+        right_keys: rk,
+        kind,
+    }
+}
+
+fn aggregate(input: LogicalPlan, group_by: Vec<usize>, aggs: Vec<AggFn>) -> LogicalPlan {
+    LogicalPlan::Aggregate { input: Box::new(input), group_by, aggs }
+}
+
+fn sort(input: LogicalPlan, keys: Vec<(usize, Dir)>, limit: Option<usize>) -> LogicalPlan {
+    LogicalPlan::Sort { input: Box::new(input), keys, limit }
+}
+
+fn lit_i(v: i64) -> Expr {
+    Expr::lit(Value::I64(v))
+}
+
+fn lit_s(v: &str) -> Expr {
+    Expr::lit(Value::Str(v.into()))
+}
+
+/// `ep * (1 - disc)` over projected column positions.
+fn disc_price(ep: usize, disc: usize) -> Expr {
+    Expr::mul(Expr::col(ep), Expr::sub(Expr::lit(dec("1", 2)), Expr::col(disc)))
+}
+
+/// Build query `n` (1-based) with the paper's default parameters.
+pub fn build_query(num: usize) -> Result<TpchQuery> {
+    Ok(match num {
+        1 => TpchQuery::Single(q1()),
+        2 => TpchQuery::Single(q2()),
+        3 => TpchQuery::Single(q3()),
+        4 => TpchQuery::Single(q4()),
+        5 => TpchQuery::Single(q5()),
+        6 => TpchQuery::Single(q6()),
+        7 => TpchQuery::Single(q7()),
+        8 => TpchQuery::Single(q8()),
+        9 => TpchQuery::Single(q9()),
+        10 => TpchQuery::Single(q10()),
+        11 => q11(),
+        12 => TpchQuery::Single(q12()),
+        13 => TpchQuery::Single(q13()),
+        14 => TpchQuery::Single(q14()),
+        15 => q15(),
+        16 => TpchQuery::Single(q16()),
+        17 => TpchQuery::Single(q17()),
+        18 => TpchQuery::Single(q18()),
+        19 => TpchQuery::Single(q19()),
+        20 => TpchQuery::Single(q20()),
+        21 => TpchQuery::Single(q21()),
+        22 => q22(),
+        other => return Err(VhError::Plan(format!("no TPC-H query {other}"))),
+    })
+}
+
+/// Q1: pricing summary report.
+fn q1() -> LogicalPlan {
+    // scan: qty(0) ep(1) disc(2) tax(3) flag(4) status(5) ship(6)
+    let li = scan(
+        "lineitem",
+        vec![l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_TAX, l::L_RETURNFLAG,
+            l::L_LINESTATUS, l::L_SHIPDATE],
+    );
+    let filtered = select(li, Expr::le(Expr::col(6), date_lit("1998-09-02")));
+    let pre = project(
+        filtered,
+        vec![
+            (Expr::col(4), "flag"),
+            (Expr::col(5), "status"),
+            (Expr::col(0), "qty"),
+            (Expr::col(1), "ep"),
+            (Expr::col(2), "disc"),
+            (disc_price(1, 2), "disc_price"),
+            (
+                Expr::mul(disc_price(1, 2), Expr::add(Expr::lit(dec("1", 2)), Expr::col(3))),
+                "charge",
+            ),
+        ],
+    );
+    let agg = aggregate(
+        pre,
+        vec![0, 1],
+        vec![
+            AggFn::Sum(2),
+            AggFn::Sum(3),
+            AggFn::Sum(5),
+            AggFn::Sum(6),
+            AggFn::Avg(2),
+            AggFn::Avg(3),
+            AggFn::Avg(4),
+            AggFn::CountStar,
+        ],
+    );
+    sort(agg, vec![(0, Dir::Asc), (1, Dir::Asc)], None)
+}
+
+/// Q2: minimum-cost supplier (size 15, %BRASS, EUROPE).
+fn q2() -> LogicalPlan {
+    // Region-filtered supply chain:
+    // partsupp(pk 0, cost 1) ⋈ supplier(suppkey...) ⋈ nation ⋈ region(EUROPE)
+    let chain = || -> LogicalPlan {
+        let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST]);
+        let sup = scan(
+            "supplier",
+            vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_NATIONKEY, s::S_PHONE,
+                s::S_ACCTBAL, s::S_COMMENT],
+        );
+        // join: [ps_pk, ps_sk, cost, s_sk, s_name, s_addr, s_nk, s_phone, s_bal, s_cmt]
+        let j1 = join(psup, sup, vec![1], vec![0], JoinKind::Inner);
+        let nat = scan("nation", vec![n::N_NATIONKEY, n::N_NAME, n::N_REGIONKEY]);
+        // + [n_nk(10), n_name(11), n_rk(12)]
+        let j2 = join(j1, nat, vec![6], vec![0], JoinKind::Inner);
+        let reg = select(
+            scan("region", vec![r::R_REGIONKEY, r::R_NAME]),
+            Expr::eq(Expr::col(1), lit_s("EUROPE")),
+        );
+        // + [r_rk(13), r_name(14)]
+        join(j2, reg, vec![12], vec![0], JoinKind::Inner)
+    };
+    // A: projected chain [partkey, cost, s_acctbal, s_name, n_name, s_addr, s_phone, s_cmt]
+    let a = project(
+        chain(),
+        vec![
+            (Expr::col(0), "partkey"),
+            (Expr::col(2), "cost"),
+            (Expr::col(8), "s_acctbal"),
+            (Expr::col(4), "s_name"),
+            (Expr::col(11), "n_name"),
+            (Expr::col(5), "s_address"),
+            (Expr::col(7), "s_phone"),
+            (Expr::col(9), "s_comment"),
+        ],
+    );
+    // M: min cost per part
+    let m = aggregate(
+        project(chain(), vec![(Expr::col(0), "partkey"), (Expr::col(2), "cost")]),
+        vec![0],
+        vec![AggFn::Min(1)],
+    );
+    // A ⋈ M on (partkey, cost=min)
+    let best = join(a, m, vec![0, 1], vec![0, 1], JoinKind::Inner);
+    // ⋈ part with filters
+    let part = select(
+        scan("part", vec![p::P_PARTKEY, p::P_MFGR, p::P_TYPE, p::P_SIZE]),
+        Expr::and(vec![
+            Expr::eq(Expr::col(3), lit_i(15)),
+            Expr::Like(Box::new(Expr::col(2)), "%BRASS".into()),
+        ]),
+    );
+    // best(10 cols) + part(4 cols): p_partkey at 10, p_mfgr at 11
+    let j = join(best, part, vec![0], vec![0], JoinKind::Inner);
+    let out = project(
+        j,
+        vec![
+            (Expr::col(2), "s_acctbal"),
+            (Expr::col(3), "s_name"),
+            (Expr::col(4), "n_name"),
+            (Expr::col(10), "p_partkey"),
+            (Expr::col(11), "p_mfgr"),
+            (Expr::col(5), "s_address"),
+            (Expr::col(6), "s_phone"),
+            (Expr::col(7), "s_comment"),
+        ],
+    );
+    sort(
+        out,
+        vec![(0, Dir::Desc), (2, Dir::Asc), (1, Dir::Asc), (3, Dir::Asc)],
+        Some(100),
+    )
+}
+
+/// Q3: shipping priority (BUILDING, 1995-03-15).
+fn q3() -> LogicalPlan {
+    let li = select(
+        scan("lineitem", vec![l::L_ORDERKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        Expr::gt(Expr::col(3), date_lit("1995-03-15")),
+    );
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE, o::O_SHIPPRIORITY]),
+        Expr::lt(Expr::col(2), date_lit("1995-03-15")),
+    );
+    // co-located join: [l_ok, ep, disc, ship, o_ok(4), cust(5), odate(6), shipprio(7)]
+    let j1 = join(li, ord, vec![0], vec![0], JoinKind::Inner);
+    let cust = select(
+        scan("customer", vec![c::C_CUSTKEY, c::C_MKTSEGMENT]),
+        Expr::eq(Expr::col(1), lit_s("BUILDING")),
+    );
+    let j2 = join(j1, cust, vec![5], vec![0], JoinKind::Inner);
+    let pre = project(
+        j2,
+        vec![
+            (Expr::col(0), "l_orderkey"),
+            (Expr::col(6), "o_orderdate"),
+            (Expr::col(7), "o_shippriority"),
+            (disc_price(1, 2), "vol"),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1, 2], vec![AggFn::Sum(3)]);
+    sort(agg, vec![(3, Dir::Desc), (1, Dir::Asc)], Some(10))
+}
+
+/// Q4: order priority checking (1993-07-01 quarter).
+fn q4() -> LogicalPlan {
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_ORDERDATE, o::O_ORDERPRIORITY]),
+        Expr::and(vec![
+            Expr::ge(Expr::col(1), date_lit("1993-07-01")),
+            Expr::lt(Expr::col(1), date_lit("1993-10-01")),
+        ]),
+    );
+    let li = select(
+        scan("lineitem", vec![l::L_ORDERKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+        Expr::lt(Expr::col(1), Expr::col(2)),
+    );
+    let semi = join(ord, li, vec![0], vec![0], JoinKind::Semi);
+    let agg = aggregate(
+        project(semi, vec![(Expr::col(2), "prio")]),
+        vec![0],
+        vec![AggFn::CountStar],
+    );
+    sort(agg, vec![(0, Dir::Asc)], None)
+}
+
+/// Q5: local supplier volume (ASIA, 1994).
+fn q5() -> LogicalPlan {
+    let li = scan(
+        "lineitem",
+        vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT],
+    );
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE]),
+        Expr::and(vec![
+            Expr::ge(Expr::col(2), date_lit("1994-01-01")),
+            Expr::lt(Expr::col(2), date_lit("1995-01-01")),
+        ]),
+    );
+    // [l_ok, l_sk, ep, disc, o_ok(4), cust(5), odate(6)]
+    let j1 = join(li, ord, vec![0], vec![0], JoinKind::Inner);
+    let cust = scan("customer", vec![c::C_CUSTKEY, c::C_NATIONKEY]);
+    // + [c_ck(7), c_nk(8)]
+    let j2 = join(j1, cust, vec![5], vec![0], JoinKind::Inner);
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
+    // local supplier: s_suppkey = l_suppkey AND s_nationkey = c_nationkey
+    // + [s_sk(9), s_nk(10)]
+    let j3 = join(j2, sup, vec![1, 8], vec![0, 1], JoinKind::Inner);
+    let nat = scan("nation", vec![n::N_NATIONKEY, n::N_NAME, n::N_REGIONKEY]);
+    // + [n_nk(11), n_name(12), n_rk(13)]
+    let j4 = join(j3, nat, vec![10], vec![0], JoinKind::Inner);
+    let reg = select(
+        scan("region", vec![r::R_REGIONKEY, r::R_NAME]),
+        Expr::eq(Expr::col(1), lit_s("ASIA")),
+    );
+    let j5 = join(j4, reg, vec![13], vec![0], JoinKind::Inner);
+    let pre = project(j5, vec![(Expr::col(12), "n_name"), (disc_price(2, 3), "vol")]);
+    let agg = aggregate(pre, vec![0], vec![AggFn::Sum(1)]);
+    sort(agg, vec![(1, Dir::Desc)], None)
+}
+
+/// Q6: forecasting revenue change (1994, disc 0.05-0.07, qty < 24).
+fn q6() -> LogicalPlan {
+    let li = select(
+        scan("lineitem", vec![l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        Expr::and(vec![
+            Expr::ge(Expr::col(3), date_lit("1994-01-01")),
+            Expr::lt(Expr::col(3), date_lit("1995-01-01")),
+            Expr::Between(
+                Box::new(Expr::col(2)),
+                Box::new(Expr::lit(dec("0.05", 2))),
+                Box::new(Expr::lit(dec("0.07", 2))),
+            ),
+            Expr::lt(Expr::col(0), Expr::lit(dec("24", 2))),
+        ]),
+    );
+    let pre = project(li, vec![(Expr::mul(Expr::col(1), Expr::col(2)), "rev")]);
+    aggregate(pre, vec![], vec![AggFn::Sum(0)])
+}
+
+/// Q7: volume shipping (FRANCE ↔ GERMANY, 1995-1996).
+fn q7() -> LogicalPlan {
+    let li = select(
+        scan(
+            "lineitem",
+            vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE],
+        ),
+        Expr::Between(
+            Box::new(Expr::col(4)),
+            Box::new(date_lit("1995-01-01")),
+            Box::new(date_lit("1996-12-31")),
+        ),
+    );
+    let ord = scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY]);
+    // [l_ok, l_sk, ep, disc, ship, o_ok(5), cust(6)]
+    let j1 = join(li, ord, vec![0], vec![0], JoinKind::Inner);
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
+    // + [s_sk(7), s_nk(8)]
+    let j2 = join(j1, sup, vec![1], vec![0], JoinKind::Inner);
+    let cust = scan("customer", vec![c::C_CUSTKEY, c::C_NATIONKEY]);
+    // + [c_ck(9), c_nk(10)]
+    let j3 = join(j2, cust, vec![6], vec![0], JoinKind::Inner);
+    let n1 = scan("nation", vec![n::N_NATIONKEY, n::N_NAME]);
+    // + [n1_nk(11), n1_name(12)] — supplier nation
+    let j4 = join(j3, n1, vec![8], vec![0], JoinKind::Inner);
+    let n2 = scan("nation", vec![n::N_NATIONKEY, n::N_NAME]);
+    // + [n2_nk(13), n2_name(14)] — customer nation
+    let j5 = join(j4, n2, vec![10], vec![0], JoinKind::Inner);
+    let pair = select(
+        j5,
+        Expr::or(vec![
+            Expr::and(vec![
+                Expr::eq(Expr::col(12), lit_s("FRANCE")),
+                Expr::eq(Expr::col(14), lit_s("GERMANY")),
+            ]),
+            Expr::and(vec![
+                Expr::eq(Expr::col(12), lit_s("GERMANY")),
+                Expr::eq(Expr::col(14), lit_s("FRANCE")),
+            ]),
+        ]),
+    );
+    let pre = project(
+        pair,
+        vec![
+            (Expr::col(12), "supp_nation"),
+            (Expr::col(14), "cust_nation"),
+            (Expr::ExtractYear(Box::new(Expr::col(4))), "l_year"),
+            (disc_price(2, 3), "vol"),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1, 2], vec![AggFn::Sum(3)]);
+    sort(agg, vec![(0, Dir::Asc), (1, Dir::Asc), (2, Dir::Asc)], None)
+}
+
+/// Q8: national market share (BRAZIL, AMERICA, ECONOMY ANODIZED STEEL).
+fn q8() -> LogicalPlan {
+    let part = select(
+        scan("part", vec![p::P_PARTKEY, p::P_TYPE]),
+        Expr::eq(Expr::col(1), lit_s("ECONOMY ANODIZED STEEL")),
+    );
+    let li = scan(
+        "lineitem",
+        vec![l::L_ORDERKEY, l::L_PARTKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT],
+    );
+    // [l_ok, l_pk, l_sk, ep, disc, p_pk(5), p_type(6)]
+    let j1 = join(li, part, vec![1], vec![0], JoinKind::Inner);
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE]),
+        Expr::Between(
+            Box::new(Expr::col(2)),
+            Box::new(date_lit("1995-01-01")),
+            Box::new(date_lit("1996-12-31")),
+        ),
+    );
+    // + [o_ok(7), cust(8), odate(9)]
+    let j2 = join(j1, ord, vec![0], vec![0], JoinKind::Inner);
+    let cust = scan("customer", vec![c::C_CUSTKEY, c::C_NATIONKEY]);
+    // + [c_ck(10), c_nk(11)]
+    let j3 = join(j2, cust, vec![8], vec![0], JoinKind::Inner);
+    let n1 = scan("nation", vec![n::N_NATIONKEY, n::N_REGIONKEY]);
+    // customer nation → region: + [n1_nk(12), n1_rk(13)]
+    let j4 = join(j3, n1, vec![11], vec![0], JoinKind::Inner);
+    let reg = select(
+        scan("region", vec![r::R_REGIONKEY, r::R_NAME]),
+        Expr::eq(Expr::col(1), lit_s("AMERICA")),
+    );
+    // + [r_rk(14), r_name(15)]
+    let j5 = join(j4, reg, vec![13], vec![0], JoinKind::Inner);
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
+    // + [s_sk(16), s_nk(17)]
+    let j6 = join(j5, sup, vec![2], vec![0], JoinKind::Inner);
+    let n2 = scan("nation", vec![n::N_NATIONKEY, n::N_NAME]);
+    // supplier nation name: + [n2_nk(18), n2_name(19)]
+    let j7 = join(j6, n2, vec![17], vec![0], JoinKind::Inner);
+    let pre = project(
+        j7,
+        vec![
+            (Expr::ExtractYear(Box::new(Expr::col(9))), "o_year"),
+            (disc_price(3, 4), "vol"),
+            (
+                Expr::Case(
+                    vec![(
+                        Expr::eq(Expr::col(19), lit_s("BRAZIL")),
+                        disc_price(3, 4),
+                    )],
+                    Box::new(Expr::lit(dec("0", 2))),
+                ),
+                "brazil_vol",
+            ),
+        ],
+    );
+    let agg = aggregate(pre, vec![0], vec![AggFn::Sum(2), AggFn::Sum(1)]);
+    let share = project(
+        agg,
+        vec![
+            (Expr::col(0), "o_year"),
+            (Expr::div(Expr::col(1), Expr::col(2)), "mkt_share"),
+        ],
+    );
+    sort(share, vec![(0, Dir::Asc)], None)
+}
+
+/// Q9: product type profit measure (%green%).
+fn q9() -> LogicalPlan {
+    let part = select(
+        scan("part", vec![p::P_PARTKEY, p::P_NAME]),
+        Expr::Like(Box::new(Expr::col(1)), "%green%".into()),
+    );
+    let li = scan(
+        "lineitem",
+        vec![l::L_ORDERKEY, l::L_PARTKEY, l::L_SUPPKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE,
+            l::L_DISCOUNT],
+    );
+    // [l_ok, l_pk, l_sk, qty, ep, disc, p_pk(6), p_name(7)]
+    let j1 = join(li, part, vec![1], vec![0], JoinKind::Inner);
+    let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST]);
+    // two-key: + [ps_pk(8), ps_sk(9), cost(10)]
+    let j2 = join(j1, psup, vec![1, 2], vec![0, 1], JoinKind::Inner);
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
+    // + [s_sk(11), s_nk(12)]
+    let j3 = join(j2, sup, vec![2], vec![0], JoinKind::Inner);
+    let ord = scan("orders", vec![o::O_ORDERKEY, o::O_ORDERDATE]);
+    // + [o_ok(13), odate(14)]
+    let j4 = join(j3, ord, vec![0], vec![0], JoinKind::Inner);
+    let nat = scan("nation", vec![n::N_NATIONKEY, n::N_NAME]);
+    // + [n_nk(15), n_name(16)]
+    let j5 = join(j4, nat, vec![12], vec![0], JoinKind::Inner);
+    let pre = project(
+        j5,
+        vec![
+            (Expr::col(16), "nation"),
+            (Expr::ExtractYear(Box::new(Expr::col(14))), "o_year"),
+            (
+                Expr::sub(disc_price(4, 5), Expr::mul(Expr::col(10), Expr::col(3))),
+                "amount",
+            ),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1], vec![AggFn::Sum(2)]);
+    sort(agg, vec![(0, Dir::Asc), (1, Dir::Desc)], None)
+}
+
+/// Q10: returned item reporting (1993-10-01 quarter).
+fn q10() -> LogicalPlan {
+    let li = select(
+        scan("lineitem", vec![l::L_ORDERKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_RETURNFLAG]),
+        Expr::eq(Expr::col(3), lit_s("R")),
+    );
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE]),
+        Expr::and(vec![
+            Expr::ge(Expr::col(2), date_lit("1993-10-01")),
+            Expr::lt(Expr::col(2), date_lit("1994-01-01")),
+        ]),
+    );
+    // [l_ok, ep, disc, flag, o_ok(4), cust(5), odate(6)]
+    let j1 = join(li, ord, vec![0], vec![0], JoinKind::Inner);
+    let cust = scan(
+        "customer",
+        vec![c::C_CUSTKEY, c::C_NAME, c::C_ADDRESS, c::C_NATIONKEY, c::C_PHONE, c::C_ACCTBAL,
+            c::C_COMMENT],
+    );
+    // + [c_ck(7), c_name(8), c_addr(9), c_nk(10), c_phone(11), c_bal(12), c_cmt(13)]
+    let j2 = join(j1, cust, vec![5], vec![0], JoinKind::Inner);
+    let nat = scan("nation", vec![n::N_NATIONKEY, n::N_NAME]);
+    // + [n_nk(14), n_name(15)]
+    let j3 = join(j2, nat, vec![10], vec![0], JoinKind::Inner);
+    let pre = project(
+        j3,
+        vec![
+            (Expr::col(7), "c_custkey"),
+            (Expr::col(8), "c_name"),
+            (Expr::col(12), "c_acctbal"),
+            (Expr::col(11), "c_phone"),
+            (Expr::col(15), "n_name"),
+            (Expr::col(9), "c_address"),
+            (Expr::col(13), "c_comment"),
+            (disc_price(1, 2), "rev"),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1, 2, 3, 4, 5, 6], vec![AggFn::Sum(7)]);
+    sort(agg, vec![(7, Dir::Desc)], Some(20))
+}
+
+/// Q11: important stock identification (GERMANY, 0.0001) — two-step.
+fn q11() -> TpchQuery {
+    let chain = || -> LogicalPlan {
+        let psup = scan(
+            "partsupp",
+            vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_AVAILQTY, ps::PS_SUPPLYCOST],
+        );
+        let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
+        // [ps_pk, ps_sk, qty, cost, s_sk(4), s_nk(5)]
+        let j1 = join(psup, sup, vec![1], vec![0], JoinKind::Inner);
+        let nat = select(
+            scan("nation", vec![n::N_NATIONKEY, n::N_NAME]),
+            Expr::eq(Expr::col(1), lit_s("GERMANY")),
+        );
+        let j2 = join(j1, nat, vec![5], vec![0], JoinKind::Inner);
+        project(
+            j2,
+            vec![
+                (Expr::col(0), "ps_partkey"),
+                (Expr::mul(Expr::col(3), Expr::col(2)), "value"),
+            ],
+        )
+    };
+    let first = aggregate(chain(), vec![], vec![AggFn::Sum(1)]);
+    let build = move |total: Value| -> LogicalPlan {
+        let threshold = total.as_f64().unwrap_or(0.0) * 0.0001;
+        let agg = aggregate(chain(), vec![0], vec![AggFn::Sum(1)]);
+        let filtered = select(agg, Expr::gt(Expr::col(1), Expr::lit(Value::F64(threshold))));
+        sort(filtered, vec![(1, Dir::Desc)], None)
+    };
+    TpchQuery::TwoStep { first, build: Box::new(build) }
+}
+
+/// Q12: shipping modes and order priority (MAIL+SHIP, 1994).
+fn q12() -> LogicalPlan {
+    let li = select(
+        scan(
+            "lineitem",
+            vec![l::L_ORDERKEY, l::L_SHIPDATE, l::L_COMMITDATE, l::L_RECEIPTDATE, l::L_SHIPMODE],
+        ),
+        Expr::and(vec![
+            Expr::InList(
+                Box::new(Expr::col(4)),
+                vec![Value::Str("MAIL".into()), Value::Str("SHIP".into())],
+            ),
+            Expr::lt(Expr::col(2), Expr::col(3)),
+            Expr::lt(Expr::col(1), Expr::col(2)),
+            Expr::ge(Expr::col(3), date_lit("1994-01-01")),
+            Expr::lt(Expr::col(3), date_lit("1995-01-01")),
+        ]),
+    );
+    let ord = scan("orders", vec![o::O_ORDERKEY, o::O_ORDERPRIORITY]);
+    // [l_ok, ship, commit, receipt, mode, o_ok(5), prio(6)]
+    let j = join(li, ord, vec![0], vec![0], JoinKind::Inner);
+    let urgent = Expr::InList(
+        Box::new(Expr::col(6)),
+        vec![Value::Str("1-URGENT".into()), Value::Str("2-HIGH".into())],
+    );
+    let pre = project(
+        j,
+        vec![
+            (Expr::col(4), "l_shipmode"),
+            (
+                Expr::Case(vec![(urgent.clone(), lit_i(1))], Box::new(lit_i(0))),
+                "high_line",
+            ),
+            (
+                Expr::Case(vec![(urgent, lit_i(0))], Box::new(lit_i(1))),
+                "low_line",
+            ),
+        ],
+    );
+    let agg = aggregate(pre, vec![0], vec![AggFn::Sum(1), AggFn::Sum(2)]);
+    sort(agg, vec![(0, Dir::Asc)], None)
+}
+
+/// Q13: customer distribution (special requests).
+fn q13() -> LogicalPlan {
+    let cust = scan("customer", vec![c::C_CUSTKEY]);
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_COMMENT]),
+        Expr::NotLike(Box::new(Expr::col(2)), "%special%requests%".into()),
+    );
+    // left outer: [c_ck, o_ok(1), o_ck(2), o_cmt(3), __matched(4)]
+    let j = join(cust, ord, vec![0], vec![1], JoinKind::LeftOuter);
+    // c_count per customer: count matched orders (NULL-safe via __matched)
+    let per_cust = aggregate(j, vec![0], vec![AggFn::Sum(4)]);
+    let dist = aggregate(
+        project(per_cust, vec![(Expr::col(1), "c_count")]),
+        vec![0],
+        vec![AggFn::CountStar],
+    );
+    sort(dist, vec![(1, Dir::Desc), (0, Dir::Desc)], None)
+}
+
+/// Q14: promotion effect (1995-09).
+fn q14() -> LogicalPlan {
+    let li = select(
+        scan("lineitem", vec![l::L_PARTKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        Expr::and(vec![
+            Expr::ge(Expr::col(3), date_lit("1995-09-01")),
+            Expr::lt(Expr::col(3), date_lit("1995-10-01")),
+        ]),
+    );
+    let part = scan("part", vec![p::P_PARTKEY, p::P_TYPE]);
+    // [l_pk, ep, disc, ship, p_pk(4), p_type(5)]
+    let j = join(li, part, vec![0], vec![0], JoinKind::Inner);
+    let pre = project(
+        j,
+        vec![
+            (
+                Expr::Case(
+                    vec![(
+                        Expr::Like(Box::new(Expr::col(5)), "PROMO%".into()),
+                        disc_price(1, 2),
+                    )],
+                    Box::new(Expr::lit(dec("0", 2))),
+                ),
+                "promo",
+            ),
+            (disc_price(1, 2), "total"),
+        ],
+    );
+    let agg = aggregate(pre, vec![], vec![AggFn::Sum(0), AggFn::Sum(1)]);
+    project(
+        agg,
+        vec![(
+            Expr::mul(Expr::lit(Value::F64(100.0)), Expr::div(Expr::col(0), Expr::col(1))),
+            "promo_revenue",
+        )],
+    )
+}
+
+/// Q15: top supplier (1996-Q1) — two-step over the revenue view.
+fn q15() -> TpchQuery {
+    let revenue = || -> LogicalPlan {
+        let li = select(
+            scan("lineitem", vec![l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+            Expr::and(vec![
+                Expr::ge(Expr::col(3), date_lit("1996-01-01")),
+                Expr::lt(Expr::col(3), date_lit("1996-04-01")),
+            ]),
+        );
+        aggregate(
+            project(li, vec![(Expr::col(0), "supplier_no"), (disc_price(1, 2), "rev")]),
+            vec![0],
+            vec![AggFn::Sum(1)],
+        )
+    };
+    let first = aggregate(revenue(), vec![], vec![AggFn::Max(1)]);
+    let build = move |max_rev: Value| -> LogicalPlan {
+        let best = select(revenue(), Expr::eq(Expr::col(1), Expr::Lit(max_rev.clone())));
+        let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_PHONE]);
+        // [supplier_no, total_rev, s_sk(2), s_name(3), s_addr(4), s_phone(5)]
+        let j = join(best, sup, vec![0], vec![0], JoinKind::Inner);
+        let out = project(
+            j,
+            vec![
+                (Expr::col(2), "s_suppkey"),
+                (Expr::col(3), "s_name"),
+                (Expr::col(4), "s_address"),
+                (Expr::col(5), "s_phone"),
+                (Expr::col(1), "total_revenue"),
+            ],
+        );
+        sort(out, vec![(0, Dir::Asc)], None)
+    };
+    TpchQuery::TwoStep { first, build: Box::new(build) }
+}
+
+/// Q16: parts/supplier relationship.
+fn q16() -> LogicalPlan {
+    let part = select(
+        scan("part", vec![p::P_PARTKEY, p::P_BRAND, p::P_TYPE, p::P_SIZE]),
+        Expr::and(vec![
+            Expr::ne(Expr::col(1), lit_s("Brand#45")),
+            Expr::NotLike(Box::new(Expr::col(2)), "MEDIUM POLISHED%".into()),
+            Expr::InList(
+                Box::new(Expr::col(3)),
+                [49i64, 14, 23, 45, 19, 3, 36, 9].iter().map(|&v| Value::I64(v)).collect(),
+            ),
+        ]),
+    );
+    let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY]);
+    // [ps_pk, ps_sk, p_pk(2), brand(3), type(4), size(5)]
+    let j = join(psup, part, vec![0], vec![0], JoinKind::Inner);
+    // Exclude complaint suppliers (NOT IN → anti join).
+    let bad = select(
+        scan("supplier", vec![s::S_SUPPKEY, s::S_COMMENT]),
+        Expr::Like(Box::new(Expr::col(1)), "%Customer%Complaints%".into()),
+    );
+    let cleaned = join(j, bad, vec![1], vec![0], JoinKind::Anti);
+    let pre = project(
+        cleaned,
+        vec![
+            (Expr::col(3), "p_brand"),
+            (Expr::col(4), "p_type"),
+            (Expr::col(5), "p_size"),
+            (Expr::col(1), "ps_suppkey"),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1, 2], vec![AggFn::CountDistinct(3)]);
+    sort(agg, vec![(3, Dir::Desc), (0, Dir::Asc), (1, Dir::Asc), (2, Dir::Asc)], None)
+}
+
+/// Q17: small-quantity-order revenue (Brand#23, MED BOX).
+fn q17() -> LogicalPlan {
+    let avg_qty = aggregate(
+        scan("lineitem", vec![l::L_PARTKEY, l::L_QUANTITY]),
+        vec![0],
+        vec![AggFn::Avg(1)],
+    ); // [partkey, avg_qty(F64)]
+    let part = select(
+        scan("part", vec![p::P_PARTKEY, p::P_BRAND, p::P_CONTAINER]),
+        Expr::and(vec![
+            Expr::eq(Expr::col(1), lit_s("Brand#23")),
+            Expr::eq(Expr::col(2), lit_s("MED BOX")),
+        ]),
+    );
+    let li = scan("lineitem", vec![l::L_PARTKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE]);
+    // [l_pk, qty, ep, p_pk(3), brand(4), cont(5)]
+    let j1 = join(li, part, vec![0], vec![0], JoinKind::Inner);
+    // + [a_pk(6), avg(7)]
+    let j2 = join(j1, avg_qty, vec![0], vec![0], JoinKind::Inner);
+    let small = select(
+        j2,
+        Expr::lt(
+            Expr::col(1),
+            Expr::mul(Expr::lit(Value::F64(0.2)), Expr::col(7)),
+        ),
+    );
+    let agg = aggregate(
+        project(small, vec![(Expr::col(2), "ep")]),
+        vec![],
+        vec![AggFn::Sum(0)],
+    );
+    project(
+        agg,
+        vec![(Expr::div(Expr::col(0), Expr::lit(Value::F64(7.0))), "avg_yearly")],
+    )
+}
+
+/// Q18: large volume customers (qty > 300).
+fn q18() -> LogicalPlan {
+    let big = select(
+        aggregate(
+            scan("lineitem", vec![l::L_ORDERKEY, l::L_QUANTITY]),
+            vec![0],
+            vec![AggFn::Sum(1)],
+        ),
+        Expr::gt(Expr::col(1), Expr::lit(dec("300", 2))),
+    ); // [orderkey, sum_qty]
+    let ord = scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE, o::O_TOTALPRICE]);
+    let picked = join(ord, big, vec![0], vec![0], JoinKind::Semi);
+    let cust = scan("customer", vec![c::C_CUSTKEY, c::C_NAME]);
+    // [o_ok, cust, odate, price, c_ck(4), c_name(5)]
+    let j1 = join(picked, cust, vec![1], vec![0], JoinKind::Inner);
+    let li = scan("lineitem", vec![l::L_ORDERKEY, l::L_QUANTITY]);
+    // + [l_ok(6), qty(7)]
+    let j2 = join(j1, li, vec![0], vec![0], JoinKind::Inner);
+    let pre = project(
+        j2,
+        vec![
+            (Expr::col(5), "c_name"),
+            (Expr::col(4), "c_custkey"),
+            (Expr::col(0), "o_orderkey"),
+            (Expr::col(2), "o_orderdate"),
+            (Expr::col(3), "o_totalprice"),
+            (Expr::col(7), "qty"),
+        ],
+    );
+    let agg = aggregate(pre, vec![0, 1, 2, 3, 4], vec![AggFn::Sum(5)]);
+    sort(agg, vec![(4, Dir::Desc), (3, Dir::Asc)], Some(100))
+}
+
+/// Q19: discounted revenue (three brand/container/quantity cases).
+fn q19() -> LogicalPlan {
+    let li = select(
+        scan(
+            "lineitem",
+            vec![l::L_PARTKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT,
+                l::L_SHIPINSTRUCT, l::L_SHIPMODE],
+        ),
+        Expr::and(vec![
+            Expr::InList(
+                Box::new(Expr::col(5)),
+                vec![Value::Str("AIR".into()), Value::Str("REG AIR".into())],
+            ),
+            Expr::eq(Expr::col(4), lit_s("DELIVER IN PERSON")),
+        ]),
+    );
+    let part = scan("part", vec![p::P_PARTKEY, p::P_BRAND, p::P_SIZE, p::P_CONTAINER]);
+    // [l_pk, qty, ep, disc, instr, mode, p_pk(6), brand(7), size(8), cont(9)]
+    let j = join(li, part, vec![0], vec![0], JoinKind::Inner);
+    let case = |brand: &str, conts: [&str; 4], qlo: i64, qhi: i64, smax: i64| -> Expr {
+        Expr::and(vec![
+            Expr::eq(Expr::col(7), lit_s(brand)),
+            Expr::InList(
+                Box::new(Expr::col(9)),
+                conts.iter().map(|s| Value::Str(s.to_string())).collect(),
+            ),
+            Expr::Between(
+                Box::new(Expr::col(1)),
+                Box::new(Expr::lit(dec(&qlo.to_string(), 2))),
+                Box::new(Expr::lit(dec(&qhi.to_string(), 2))),
+            ),
+            Expr::Between(Box::new(Expr::col(8)), Box::new(lit_i(1)), Box::new(lit_i(smax))),
+        ])
+    };
+    let filtered = select(
+        j,
+        Expr::or(vec![
+            case("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
+            case("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+            case("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+        ]),
+    );
+    aggregate(
+        project(filtered, vec![(disc_price(2, 3), "rev")]),
+        vec![],
+        vec![AggFn::Sum(0)],
+    )
+}
+
+/// Q20: potential part promotion (forest, 1994, CANADA).
+fn q20() -> LogicalPlan {
+    // Half of 1994's shipped quantity per (part, supplier).
+    let shipped = aggregate(
+        select(
+            scan("lineitem", vec![l::L_PARTKEY, l::L_SUPPKEY, l::L_QUANTITY, l::L_SHIPDATE]),
+            Expr::and(vec![
+                Expr::ge(Expr::col(3), date_lit("1994-01-01")),
+                Expr::lt(Expr::col(3), date_lit("1995-01-01")),
+            ]),
+        ),
+        vec![0, 1],
+        vec![AggFn::Sum(2)],
+    ); // [partkey, suppkey, sum_qty]
+    let half = project(
+        shipped,
+        vec![
+            (Expr::col(0), "partkey"),
+            (Expr::col(1), "suppkey"),
+            (Expr::mul(Expr::col(2), Expr::lit(dec("0.5", 2))), "half_qty"),
+        ],
+    );
+    let forest = select(
+        scan("part", vec![p::P_PARTKEY, p::P_NAME]),
+        Expr::Like(Box::new(Expr::col(1)), "forest%".into()),
+    );
+    let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_AVAILQTY]);
+    let ps_forest = join(psup, forest, vec![0], vec![0], JoinKind::Semi);
+    // [ps_pk, ps_sk, avail, h_pk(3), h_sk(4), half(5)]
+    let j = join(ps_forest, half, vec![0, 1], vec![0, 1], JoinKind::Inner);
+    let excess = select(j, Expr::gt(Expr::col(2), Expr::col(5)));
+    let suppliers = project(excess, vec![(Expr::col(1), "suppkey")]);
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_NATIONKEY]);
+    let picked = join(sup, suppliers, vec![0], vec![0], JoinKind::Semi);
+    let nat = select(
+        scan("nation", vec![n::N_NATIONKEY, n::N_NAME]),
+        Expr::eq(Expr::col(1), lit_s("CANADA")),
+    );
+    // [s_sk, s_name, s_addr, s_nk, n_nk(4), n_name(5)]
+    let j2 = join(picked, nat, vec![3], vec![0], JoinKind::Inner);
+    let out = project(j2, vec![(Expr::col(1), "s_name"), (Expr::col(2), "s_address")]);
+    sort(out, vec![(0, Dir::Asc)], None)
+}
+
+/// Q21: suppliers who kept orders waiting (SAUDI ARABIA).
+fn q21() -> LogicalPlan {
+    // Orders with >1 distinct supplier.
+    let multi = select(
+        aggregate(
+            scan("lineitem", vec![l::L_ORDERKEY, l::L_SUPPKEY]),
+            vec![0],
+            vec![AggFn::CountDistinct(1)],
+        ),
+        Expr::gt(Expr::col(1), lit_i(1)),
+    ); // [orderkey, nsupp]
+    // Late lines per order: distinct late suppliers.
+    let late_counts = aggregate(
+        select(
+            scan("lineitem", vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+            Expr::gt(Expr::col(3), Expr::col(2)),
+        ),
+        vec![0],
+        vec![AggFn::CountDistinct(1)],
+    ); // [orderkey, n_late_supp]
+    let l1 = select(
+        scan("lineitem", vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+        Expr::gt(Expr::col(3), Expr::col(2)),
+    );
+    let ord = select(
+        scan("orders", vec![o::O_ORDERKEY, o::O_ORDERSTATUS]),
+        Expr::eq(Expr::col(1), lit_s("F")),
+    );
+    // [l_ok, l_sk, commit, receipt, o_ok(4), status(5)]
+    let j1 = join(l1, ord, vec![0], vec![0], JoinKind::Inner);
+    // EXISTS other supplier on the order.
+    let j2 = join(j1, multi, vec![0], vec![0], JoinKind::Semi);
+    // NOT EXISTS other *late* supplier: join late counts, require == 1.
+    // + [lc_ok(6), n_late(7)]
+    let j3 = join(j2, late_counts, vec![0], vec![0], JoinKind::Inner);
+    let only_me = select(j3, Expr::eq(Expr::col(7), lit_i(1)));
+    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NAME, s::S_NATIONKEY]);
+    // + [s_sk(8), s_name(9), s_nk(10)]
+    let j4 = join(only_me, sup, vec![1], vec![0], JoinKind::Inner);
+    let nat = select(
+        scan("nation", vec![n::N_NATIONKEY, n::N_NAME]),
+        Expr::eq(Expr::col(1), lit_s("SAUDI ARABIA")),
+    );
+    let j5 = join(j4, nat, vec![10], vec![0], JoinKind::Inner);
+    let agg = aggregate(
+        project(j5, vec![(Expr::col(9), "s_name")]),
+        vec![0],
+        vec![AggFn::CountStar],
+    );
+    sort(agg, vec![(1, Dir::Desc), (0, Dir::Asc)], Some(100))
+}
+
+/// Q22: global sales opportunity — two-step (avg acctbal scalar).
+fn q22() -> TpchQuery {
+    let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
+        .iter()
+        .map(|s| Value::Str(s.to_string()))
+        .collect();
+    let cust_in_codes = {
+        let codes = codes.clone();
+        move || -> LogicalPlan {
+            select(
+                project(
+                    scan("customer", vec![c::C_CUSTKEY, c::C_PHONE, c::C_ACCTBAL]),
+                    vec![
+                        (Expr::col(0), "custkey"),
+                        (Expr::Substr(Box::new(Expr::col(1)), 1, 2), "cntrycode"),
+                        (Expr::col(2), "acctbal"),
+                    ],
+                ),
+                Expr::InList(Box::new(Expr::col(1)), codes.clone()),
+            )
+        }
+    };
+    let first = aggregate(
+        select(cust_in_codes(), Expr::gt(Expr::col(2), Expr::lit(dec("0", 2)))),
+        vec![],
+        vec![AggFn::Avg(2)],
+    );
+    let build = move |avg_bal: Value| -> LogicalPlan {
+        let rich = select(
+            cust_in_codes(),
+            Expr::gt(Expr::col(2), Expr::Lit(avg_bal.clone())),
+        );
+        let ord = scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY]);
+        let no_orders = join(rich, ord, vec![0], vec![1], JoinKind::Anti);
+        let agg = aggregate(
+            project(
+                no_orders,
+                vec![(Expr::col(1), "cntrycode"), (Expr::col(2), "acctbal")],
+            ),
+            vec![0],
+            vec![AggFn::CountStar, AggFn::Sum(1)],
+        );
+        sort(agg, vec![(0, Dir::Asc)], None)
+    };
+    TpchQuery::TwoStep { first, build: Box::new(build) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_planner::logical::{MemoryCatalog, TableMeta};
+
+    /// A catalog with the TPC-H schemas (small row counts).
+    fn catalog() -> MemoryCatalog {
+        let vh = vectorh::VectorH::start(vectorh::ClusterConfig::default()).unwrap();
+        crate::schema::create_tables(&vh, 4).unwrap();
+        let mut mc = MemoryCatalog::new();
+        for t in crate::schema::table_names() {
+            let rt = vh.table(t).unwrap();
+            mc.add(TableMeta {
+                name: t.to_string(),
+                schema: rt.def.schema.clone(),
+                rows: 1000,
+                partitioning: rt.def.partitioning.clone(),
+                sort_order: rt.def.sort_order.clone(),
+            });
+        }
+        mc
+    }
+
+    #[test]
+    fn all_queries_typecheck_against_schema() {
+        let cat = catalog();
+        for qn in 1..=N_QUERIES {
+            let q = build_query(qn).unwrap();
+            match q {
+                TpchQuery::Single(plan) => {
+                    plan.schema(&cat).unwrap_or_else(|e| panic!("Q{qn}: {e}"));
+                }
+                TpchQuery::TwoStep { first, build } => {
+                    first.schema(&cat).unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
+                    let plan2 = build(Value::F64(1.0));
+                    plan2.schema(&cat).unwrap_or_else(|e| panic!("Q{qn} step2: {e}"));
+                }
+            }
+        }
+        assert!(build_query(0).is_err());
+        assert!(build_query(23).is_err());
+    }
+
+    #[test]
+    fn all_queries_optimize() {
+        use vectorh_planner::{ParallelRewriter, RewriterOptions};
+        let cat = catalog();
+        let rw = ParallelRewriter::new(&cat, RewriterOptions::default());
+        for qn in 1..=N_QUERIES {
+            match build_query(qn).unwrap() {
+                TpchQuery::Single(plan) => {
+                    rw.rewrite(&plan).unwrap_or_else(|e| panic!("Q{qn}: {e}"));
+                }
+                TpchQuery::TwoStep { first, build } => {
+                    rw.rewrite(&first).unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
+                    rw.rewrite(&build(Value::F64(1.0)))
+                        .unwrap_or_else(|e| panic!("Q{qn} step2: {e}"));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Distributed transaction processing for VectorH-rs (§6).
+//!
+//! * [`wal`] — write-ahead logs as append-only simhdfs files: one WAL per
+//!   table partition (read/written only by the responsible node) plus a
+//!   much-reduced *global* WAL for 2PC decisions, both replayable.
+//! * [`manager`] — snapshot isolation over stacked PDTs: queries share a
+//!   Read-PDT and a copy-on-write master Write-PDT; each transaction holds a
+//!   private Trans-PDT. Commit serializes the transaction's updates against
+//!   the advanced global state, detecting **write-write conflicts at tuple
+//!   granularity** optimistically and aborting on conflict.
+//! * [`propagate`] — background update propagation: PDTs are flushed to the
+//!   columnar store when they exceed memory/fraction thresholds, separating
+//!   cheap *tail inserts* (pure appends creating new blocks) from in-place
+//!   updates (chunk rewrites); MinMax indexes are rebuilt on the way.
+//! * [`twophase`] — the 2PC protocol between the session master (global
+//!   WAL) and responsible nodes (partition WALs), with crash-point
+//!   injection: a transaction is durable iff the global decision record made
+//!   it to HDFS.
+
+pub mod manager;
+pub mod propagate;
+pub mod twophase;
+pub mod wal;
+
+pub use manager::{Transaction, TransactionManager, TxnConfig};
+pub use wal::{LogRecord, Wal};

@@ -1,0 +1,434 @@
+//! Write-ahead logging on the (append-only) simulated HDFS.
+//!
+//! Vectorwise used one global WAL; VectorH splits it (§6): each table
+//! partition gets its own WAL, read at startup and written at commit only by
+//! the partition's responsible node, so PDT memory is distributed. A small
+//! global WAL holds 2PC decisions and DDL. HDFS being append-only is no
+//! obstacle — a log only ever appends. The WAL also persists MinMax
+//! summaries, which VectorH deliberately stores *away* from the data files.
+
+use vectorh_common::{NodeId, Result, Value, VhError};
+use vectorh_simhdfs::SimHdfs;
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A transaction's update batch for this partition begins.
+    TxnBegin { txn: u64 },
+    Insert { txn: u64, rid: u64, tag: u64, values: Vec<Value> },
+    Delete { txn: u64, rid: u64 },
+    Modify { txn: u64, rid: u64, col: u32, value: Value },
+    /// Direct bulk append of `rows` rows (bypassing PDTs).
+    Append { txn: u64, rows: u64 },
+    /// Local commit mark (participant side of 2PC).
+    Commit { txn: u64, seq: u64 },
+    Abort { txn: u64 },
+    /// 2PC participant prepared.
+    Prepare { txn: u64 },
+    /// 2PC coordinator decision (global WAL only).
+    GlobalCommit { txn: u64 },
+    /// PDTs flushed into storage; entries before this are obsolete.
+    Checkpoint { stable_rows: u64 },
+    /// MinMax summary for (chunk, column) — stored in the WAL, not the data.
+    MinMax { chunk: u32, col: u32, min: Value, max: Value },
+    /// Opaque DDL statement (global WAL).
+    Ddl { statement: String },
+}
+
+// --- manual binary (de)serialization ----------------------------------------
+
+fn put_u32(v: u32, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(v: u64, out: &mut Vec<u8>) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::I32(x) => {
+            out.push(0);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::I64(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Decimal(x, s) => {
+            out.push(2);
+            out.extend_from_slice(&x.to_le_bytes());
+            out.push(*s);
+        }
+        Value::Date(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::F64(x) => {
+            out.push(4);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(5);
+            put_u32(s.len() as u32, out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Null => out.push(6),
+    }
+}
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| VhError::Storage("truncated WAL record".into()))?;
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn value(&mut self) -> Result<Value> {
+        Ok(match self.u8()? {
+            0 => Value::I32(i32::from_le_bytes(self.take(4)?.try_into().unwrap())),
+            1 => Value::I64(i64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            2 => {
+                let x = i64::from_le_bytes(self.take(8)?.try_into().unwrap());
+                Value::Decimal(x, self.u8()?)
+            }
+            3 => Value::Date(i32::from_le_bytes(self.take(4)?.try_into().unwrap())),
+            4 => Value::F64(f64::from_le_bytes(self.take(8)?.try_into().unwrap())),
+            5 => {
+                let n = self.u32()? as usize;
+                Value::Str(
+                    String::from_utf8(self.take(n)?.to_vec())
+                        .map_err(|_| VhError::Storage("bad WAL utf8".into()))?,
+                )
+            }
+            6 => Value::Null,
+            t => return Err(VhError::Storage(format!("bad value tag {t}"))),
+        })
+    }
+}
+
+impl LogRecord {
+    /// Serialize one record (without the length frame).
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LogRecord::TxnBegin { txn } => {
+                out.push(0);
+                put_u64(*txn, out);
+            }
+            LogRecord::Insert { txn, rid, tag, values } => {
+                out.push(1);
+                put_u64(*txn, out);
+                put_u64(*rid, out);
+                put_u64(*tag, out);
+                put_u32(values.len() as u32, out);
+                for v in values {
+                    put_value(v, out);
+                }
+            }
+            LogRecord::Delete { txn, rid } => {
+                out.push(2);
+                put_u64(*txn, out);
+                put_u64(*rid, out);
+            }
+            LogRecord::Modify { txn, rid, col, value } => {
+                out.push(3);
+                put_u64(*txn, out);
+                put_u64(*rid, out);
+                put_u32(*col, out);
+                put_value(value, out);
+            }
+            LogRecord::Append { txn, rows } => {
+                out.push(4);
+                put_u64(*txn, out);
+                put_u64(*rows, out);
+            }
+            LogRecord::Commit { txn, seq } => {
+                out.push(5);
+                put_u64(*txn, out);
+                put_u64(*seq, out);
+            }
+            LogRecord::Abort { txn } => {
+                out.push(6);
+                put_u64(*txn, out);
+            }
+            LogRecord::Prepare { txn } => {
+                out.push(7);
+                put_u64(*txn, out);
+            }
+            LogRecord::GlobalCommit { txn } => {
+                out.push(8);
+                put_u64(*txn, out);
+            }
+            LogRecord::Checkpoint { stable_rows } => {
+                out.push(9);
+                put_u64(*stable_rows, out);
+            }
+            LogRecord::MinMax { chunk, col, min, max } => {
+                out.push(10);
+                put_u32(*chunk, out);
+                put_u32(*col, out);
+                put_value(min, out);
+                put_value(max, out);
+            }
+            LogRecord::Ddl { statement } => {
+                out.push(11);
+                put_u32(statement.len() as u32, out);
+                out.extend_from_slice(statement.as_bytes());
+            }
+        }
+    }
+
+    fn decode(rd: &mut Rd) -> Result<LogRecord> {
+        Ok(match rd.u8()? {
+            0 => LogRecord::TxnBegin { txn: rd.u64()? },
+            1 => {
+                let txn = rd.u64()?;
+                let rid = rd.u64()?;
+                let tag = rd.u64()?;
+                let n = rd.u32()? as usize;
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(rd.value()?);
+                }
+                LogRecord::Insert { txn, rid, tag, values }
+            }
+            2 => LogRecord::Delete { txn: rd.u64()?, rid: rd.u64()? },
+            3 => LogRecord::Modify {
+                txn: rd.u64()?,
+                rid: rd.u64()?,
+                col: rd.u32()?,
+                value: rd.value()?,
+            },
+            4 => LogRecord::Append { txn: rd.u64()?, rows: rd.u64()? },
+            5 => LogRecord::Commit { txn: rd.u64()?, seq: rd.u64()? },
+            6 => LogRecord::Abort { txn: rd.u64()? },
+            7 => LogRecord::Prepare { txn: rd.u64()? },
+            8 => LogRecord::GlobalCommit { txn: rd.u64()? },
+            9 => LogRecord::Checkpoint { stable_rows: rd.u64()? },
+            10 => LogRecord::MinMax {
+                chunk: rd.u32()?,
+                col: rd.u32()?,
+                min: rd.value()?,
+                max: rd.value()?,
+            },
+            11 => {
+                let n = rd.u32()? as usize;
+                LogRecord::Ddl {
+                    statement: String::from_utf8(rd.take(n)?.to_vec())
+                        .map_err(|_| VhError::Storage("bad WAL utf8".into()))?,
+                }
+            }
+            t => return Err(VhError::Storage(format!("bad WAL record tag {t}"))),
+        })
+    }
+}
+
+/// Encode a record in the on-disk WAL format for network shipping —
+/// §6: "the log actions sent over the network use the same format as in
+/// the on-disk transaction log".
+pub fn encode_for_shipping(record: &LogRecord, out: &mut Vec<u8>) {
+    record.encode(out);
+}
+
+/// A write-ahead log backed by one append-only HDFS file.
+pub struct Wal {
+    fs: SimHdfs,
+    path: String,
+    /// The responsible node: all WAL IO is issued from here.
+    home: Option<NodeId>,
+}
+
+impl Wal {
+    pub fn new(fs: SimHdfs, path: impl Into<String>, home: Option<NodeId>) -> Wal {
+        Wal { fs, path: path.into(), home }
+    }
+
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    pub fn set_home(&mut self, home: Option<NodeId>) {
+        self.home = home;
+    }
+
+    /// Append records (length-framed) and flush to HDFS.
+    pub fn append(&self, records: &[LogRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::new();
+        for r in records {
+            let mut body = Vec::new();
+            r.encode(&mut body);
+            put_u32(body.len() as u32, &mut buf);
+            buf.extend_from_slice(&body);
+        }
+        self.fs.append(&self.path, &buf, self.home)
+    }
+
+    /// Read the whole log back (recovery/startup).
+    pub fn read_all(&self) -> Result<Vec<LogRecord>> {
+        if !self.fs.exists(&self.path) {
+            return Ok(vec![]);
+        }
+        let bytes = self.fs.read_all(&self.path, self.home)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            if pos + 4 > bytes.len() {
+                return Err(VhError::Storage("torn WAL frame".into()));
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 4;
+            let body = bytes
+                .get(pos..pos + len)
+                .ok_or_else(|| VhError::Storage("torn WAL frame".into()))?;
+            pos += len;
+            let mut rd = Rd { buf: body, pos: 0 };
+            out.push(LogRecord::decode(&mut rd)?);
+        }
+        Ok(out)
+    }
+
+    /// Records after the last checkpoint (what recovery replays), plus the
+    /// checkpointed stable row count.
+    pub fn read_since_checkpoint(&self) -> Result<(u64, Vec<LogRecord>)> {
+        let all = self.read_all()?;
+        let mut stable = 0u64;
+        let mut tail_start = 0usize;
+        for (i, r) in all.iter().enumerate() {
+            if let LogRecord::Checkpoint { stable_rows } = r {
+                stable = *stable_rows;
+                tail_start = i + 1;
+            }
+        }
+        Ok((stable, all[tail_start..].to_vec()))
+    }
+
+    /// Delete the backing file (after a destructive checkpoint rewrite).
+    pub fn truncate(&self) -> Result<()> {
+        if self.fs.exists(&self.path) {
+            self.fs.delete(&self.path)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vectorh_simhdfs::{DefaultPolicy, SimHdfsConfig};
+
+    fn wal() -> Wal {
+        let fs = SimHdfs::new(
+            3,
+            SimHdfsConfig { block_size: 128, default_replication: 2 },
+            Arc::new(DefaultPolicy::new(5)),
+        );
+        Wal::new(fs, "/vectorh/wal/t0-p0.wal", Some(NodeId(1)))
+    }
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::TxnBegin { txn: 7 },
+            LogRecord::Insert {
+                txn: 7,
+                rid: 3,
+                tag: 100,
+                values: vec![
+                    Value::I64(5),
+                    Value::Str("hello".into()),
+                    Value::Decimal(125, 2),
+                    Value::Date(9000),
+                    Value::F64(1.5),
+                    Value::Null,
+                ],
+            },
+            LogRecord::Delete { txn: 7, rid: 9 },
+            LogRecord::Modify { txn: 7, rid: 2, col: 1, value: Value::Str("x".into()) },
+            LogRecord::Append { txn: 7, rows: 500 },
+            LogRecord::Prepare { txn: 7 },
+            LogRecord::Commit { txn: 7, seq: 42 },
+            LogRecord::GlobalCommit { txn: 7 },
+            LogRecord::Abort { txn: 8 },
+            LogRecord::MinMax { chunk: 1, col: 2, min: Value::I64(-5), max: Value::I64(99) },
+            LogRecord::Ddl { statement: "CREATE TABLE t (x int)".into() },
+            LogRecord::Checkpoint { stable_rows: 1234 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let w = wal();
+        let records = sample_records();
+        w.append(&records).unwrap();
+        assert_eq!(w.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn multiple_appends_accumulate() {
+        let w = wal();
+        w.append(&[LogRecord::TxnBegin { txn: 1 }]).unwrap();
+        w.append(&[LogRecord::Commit { txn: 1, seq: 1 }]).unwrap();
+        let all = w.read_all().unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn empty_wal_reads_empty() {
+        let w = wal();
+        assert!(w.read_all().unwrap().is_empty());
+        assert_eq!(w.read_since_checkpoint().unwrap(), (0, vec![]));
+    }
+
+    #[test]
+    fn checkpoint_splits_replay_tail() {
+        let w = wal();
+        w.append(&[
+            LogRecord::TxnBegin { txn: 1 },
+            LogRecord::Commit { txn: 1, seq: 1 },
+            LogRecord::Checkpoint { stable_rows: 100 },
+            LogRecord::TxnBegin { txn: 2 },
+        ])
+        .unwrap();
+        let (stable, tail) = w.read_since_checkpoint().unwrap();
+        assert_eq!(stable, 100);
+        assert_eq!(tail, vec![LogRecord::TxnBegin { txn: 2 }]);
+    }
+
+    #[test]
+    fn truncate_removes_log() {
+        let w = wal();
+        w.append(&[LogRecord::TxnBegin { txn: 1 }]).unwrap();
+        w.truncate().unwrap();
+        assert!(w.read_all().unwrap().is_empty());
+        w.truncate().unwrap(); // idempotent
+    }
+
+    #[test]
+    fn wal_io_is_local_to_home_node() {
+        let w = wal();
+        w.append(&sample_records()).unwrap();
+        let fs_stats_before = {
+            // fresh reader from home node: all reads short-circuit
+            w.read_all().unwrap();
+        };
+        let _ = fs_stats_before;
+    }
+}

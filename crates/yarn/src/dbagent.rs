@@ -1,0 +1,236 @@
+//! dbAgent: VectorH's out-of-band YARN client (§4).
+//!
+//! VectorH server processes run *outside* YARN containers; the containers it
+//! holds are dummies whose only job is to reserve resources and notice
+//! preemption. Instead of one big container per node, the dbAgent holds
+//! multiple *slices* per node so its footprint can grow and shrink
+//! gradually. When YARN preempts slices, the dbAgent tells the session
+//! master to shrink the workload manager's core/memory budget (queries use
+//! fewer cores, possibly spilling) rather than restarting anything; it
+//! periodically renegotiates back toward its target footprint.
+
+use std::collections::HashMap;
+
+use vectorh_common::{ContainerId, NodeId, Result, VhError};
+
+use crate::rm::{AppId, Priority, ResourceManager};
+
+/// Per-node resource budget the workload manager may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceFootprint {
+    pub cores: u32,
+    pub mem: u64,
+}
+
+/// One resource slice = one dummy container.
+#[derive(Debug, Clone, Copy)]
+struct Slice {
+    container: ContainerId,
+    node: NodeId,
+}
+
+/// The dbAgent.
+pub struct DbAgent {
+    app: AppId,
+    workers: Vec<NodeId>,
+    /// Resources of one slice.
+    slice: ResourceFootprint,
+    /// Target slices per node.
+    target_slices: u32,
+    /// Minimum slices per node to keep running.
+    min_slices: u32,
+    held: Vec<Slice>,
+}
+
+impl DbAgent {
+    /// Negotiate startup resources: per worker, try to reach
+    /// `target_slices` slices of `slice` resources, requiring at least
+    /// `min_slices` ("it will start nevertheless as long as it gets above a
+    /// configured minimum").
+    pub fn start(
+        rm: &ResourceManager,
+        workers: Vec<NodeId>,
+        priority: Priority,
+        slice: ResourceFootprint,
+        target_slices: u32,
+        min_slices: u32,
+    ) -> Result<DbAgent> {
+        let app = rm.register_app(priority);
+        let mut agent = DbAgent { app, workers, slice, target_slices, min_slices, held: Vec::new() };
+        agent.renegotiate(rm)?;
+        for &w in &agent.workers {
+            let have = agent.slices_on(w);
+            if have < min_slices {
+                // Give back what we got and fail startup.
+                for s in agent.held.drain(..) {
+                    let _ = rm.release_container(s.container);
+                }
+                return Err(VhError::Yarn(format!(
+                    "node {w}: only {have} slices granted, minimum is {min_slices}"
+                )));
+            }
+        }
+        Ok(agent)
+    }
+
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    fn slices_on(&self, node: NodeId) -> u32 {
+        self.held.iter().filter(|s| s.node == node).count() as u32
+    }
+
+    /// The per-node budget the workload manager may currently use.
+    pub fn footprint(&self) -> HashMap<NodeId, ResourceFootprint> {
+        self.workers
+            .iter()
+            .map(|&w| {
+                let n = self.slices_on(w);
+                (w, ResourceFootprint { cores: self.slice.cores * n, mem: self.slice.mem * n as u64 })
+            })
+            .collect()
+    }
+
+    /// Total cores across the worker set (quick workload-manager input).
+    pub fn total_cores(&self) -> u32 {
+        self.held.len() as u32 * self.slice.cores
+    }
+
+    /// Poll dummy containers: drop preempted slices. Returns true if the
+    /// footprint changed (session master should retune the scheduler).
+    pub fn poll(&mut self, rm: &ResourceManager) -> bool {
+        let preempted = rm.poll_preemptions(self.app);
+        if preempted.is_empty() {
+            return false;
+        }
+        self.held.retain(|s| !preempted.contains(&s.container));
+        true
+    }
+
+    /// Try to grow back to the target footprint ("VectorH will periodically
+    /// negotiate with YARN to go back to its target resource footprint").
+    /// Returns the number of slices gained.
+    pub fn renegotiate(&mut self, rm: &ResourceManager) -> Result<u32> {
+        let mut gained = 0;
+        for &w in &self.workers.clone() {
+            while self.slices_on(w) < self.target_slices {
+                match rm.request_container(self.app, w, self.slice.cores, self.slice.mem) {
+                    Ok(grant) => {
+                        self.held.push(Slice { container: grant.id, node: w });
+                        gained += 1;
+                    }
+                    Err(_) => break, // node full; try again later
+                }
+            }
+        }
+        Ok(gained)
+    }
+
+    /// Voluntarily shrink to `slices` per node (self-regulating footprint).
+    pub fn shrink_to(&mut self, rm: &ResourceManager, slices: u32) -> Result<()> {
+        for &w in &self.workers.clone() {
+            while self.slices_on(w) > slices.max(self.min_slices) {
+                if let Some(pos) = self.held.iter().position(|s| s.node == w) {
+                    let s = self.held.remove(pos);
+                    rm.release_container(s.container)?;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the agent still above its minimum on every worker?
+    pub fn healthy(&self) -> bool {
+        self.workers.iter().all(|&w| self.slices_on(w) >= self.min_slices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rm::RmConfig;
+
+    fn rm() -> ResourceManager {
+        ResourceManager::new(
+            vec![NodeId(0), NodeId(1)],
+            RmConfig { cores_per_node: 8, mem_per_node: 80 },
+        )
+    }
+
+    fn slice() -> ResourceFootprint {
+        ResourceFootprint { cores: 2, mem: 20 }
+    }
+
+    #[test]
+    fn starts_at_target_when_cluster_is_free() {
+        let rm = rm();
+        let agent = DbAgent::start(&rm, vec![NodeId(0), NodeId(1)], 5, slice(), 3, 1).unwrap();
+        let fp = agent.footprint();
+        assert_eq!(fp[&NodeId(0)], ResourceFootprint { cores: 6, mem: 60 });
+        assert_eq!(fp[&NodeId(1)], ResourceFootprint { cores: 6, mem: 60 });
+        assert_eq!(agent.total_cores(), 12);
+        assert!(agent.healthy());
+    }
+
+    #[test]
+    fn starts_above_minimum_on_busy_cluster() {
+        let rm = rm();
+        // Another app eats most of node 0.
+        let other = rm.register_app(5);
+        rm.request_container(other, NodeId(0), 6, 60).unwrap();
+        let agent = DbAgent::start(&rm, vec![NodeId(0), NodeId(1)], 5, slice(), 3, 1).unwrap();
+        let fp = agent.footprint();
+        assert_eq!(fp[&NodeId(0)].cores, 2); // got 1 slice
+        assert_eq!(fp[&NodeId(1)].cores, 6); // full target
+    }
+
+    #[test]
+    fn fails_below_minimum() {
+        let rm = rm();
+        let other = rm.register_app(9);
+        rm.request_container(other, NodeId(0), 8, 80).unwrap();
+        // Same-priority dbAgent cannot preempt: minimum unreachable.
+        assert!(DbAgent::start(&rm, vec![NodeId(0), NodeId(1)], 9, slice(), 3, 1).is_err());
+        // And the failed start released anything it had grabbed on node 1.
+        assert_eq!(rm.free_on(NodeId(1)), (8, 80));
+    }
+
+    #[test]
+    fn preemption_shrinks_then_renegotiation_recovers() {
+        let rm = rm();
+        let mut agent = DbAgent::start(&rm, vec![NodeId(0), NodeId(1)], 2, slice(), 3, 1).unwrap();
+        assert_eq!(agent.total_cores(), 12);
+        // Higher-priority job takes half of node 0.
+        let vip = rm.register_app(8);
+        let vip_grant = rm.request_container(vip, NodeId(0), 4, 40).unwrap();
+        assert!(agent.poll(&rm), "footprint changed");
+        let fp = agent.footprint();
+        assert!(fp[&NodeId(0)].cores < 6, "shrunk on node 0: {fp:?}");
+        assert!(agent.healthy());
+        // VIP leaves; periodic renegotiation grows back to target.
+        rm.release_container(vip_grant.id).unwrap();
+        let gained = agent.renegotiate(&rm).unwrap();
+        assert!(gained > 0);
+        assert_eq!(agent.footprint()[&NodeId(0)].cores, 6);
+    }
+
+    #[test]
+    fn voluntary_shrink_releases_resources() {
+        let rm = rm();
+        let mut agent = DbAgent::start(&rm, vec![NodeId(0), NodeId(1)], 2, slice(), 3, 1).unwrap();
+        agent.shrink_to(&rm, 1).unwrap();
+        assert_eq!(agent.total_cores(), 4); // 1 slice × 2 nodes × 2 cores
+        assert_eq!(rm.free_on(NodeId(0)), (6, 60));
+        assert!(agent.healthy());
+    }
+
+    #[test]
+    fn poll_without_preemption_reports_no_change() {
+        let rm = rm();
+        let mut agent = DbAgent::start(&rm, vec![NodeId(0)], 2, slice(), 1, 1).unwrap();
+        assert!(!agent.poll(&rm));
+    }
+}

@@ -1,0 +1,205 @@
+//! Min-cost max-flow.
+//!
+//! Successive shortest augmenting paths with SPFA (the graphs here are tiny
+//! bipartite networks — hundreds of nodes — so asymptotics are irrelevant;
+//! correctness is what the placement decisions depend on).
+
+use vectorh_common::{Result, VhError};
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    flow: i64,
+}
+
+/// A min-cost max-flow network builder/solver.
+#[derive(Debug, Clone, Default)]
+pub struct MinCostFlow {
+    edges: Vec<Edge>,
+    /// Adjacency: node → edge indexes (even = forward, odd = residual).
+    adj: Vec<Vec<usize>>,
+}
+
+impl MinCostFlow {
+    pub fn new(n_nodes: usize) -> MinCostFlow {
+        MinCostFlow { edges: Vec::new(), adj: vec![Vec::new(); n_nodes] }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Add a directed edge; returns its id (use with [`MinCostFlow::flow_on`]).
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap, cost, flow: 0 });
+        self.adj[from].push(id);
+        self.edges.push(Edge { to: from, cap: 0, cost: -cost, flow: 0 });
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Flow currently assigned to edge `id`.
+    pub fn flow_on(&self, id: usize) -> i64 {
+        self.edges[id].flow
+    }
+
+    /// Run min-cost max-flow from `s` to `t`. Returns `(max_flow, min_cost)`.
+    pub fn solve(&mut self, s: usize, t: usize) -> Result<(i64, i64)> {
+        if s >= self.n_nodes() || t >= self.n_nodes() || s == t {
+            return Err(VhError::Yarn("bad source/sink".into()));
+        }
+        let n = self.n_nodes();
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+        loop {
+            // SPFA shortest path by cost over residual edges.
+            let mut dist = vec![i64::MAX; n];
+            let mut in_queue = vec![false; n];
+            let mut prev_edge = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(s);
+            in_queue[s] = true;
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                for &ei in &self.adj[u] {
+                    let e = &self.edges[ei];
+                    if e.cap - e.flow > 0 && dist[u] != i64::MAX && dist[u] + e.cost < dist[e.to] {
+                        dist[e.to] = dist[u] + e.cost;
+                        prev_edge[e.to] = ei;
+                        if !in_queue[e.to] {
+                            queue.push_back(e.to);
+                            in_queue[e.to] = true;
+                        }
+                    }
+                }
+            }
+            if dist[t] == i64::MAX {
+                break;
+            }
+            // Find bottleneck along the path.
+            let mut push = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let ei = prev_edge[v];
+                let e = &self.edges[ei];
+                push = push.min(e.cap - e.flow);
+                v = self.edges[ei ^ 1].to;
+            }
+            // Apply.
+            let mut v = t;
+            while v != s {
+                let ei = prev_edge[v];
+                self.edges[ei].flow += push;
+                self.edges[ei ^ 1].flow -= push;
+                v = self.edges[ei ^ 1].to;
+            }
+            total_flow += push;
+            total_cost += push * dist[t];
+        }
+        Ok((total_flow, total_cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::rng::SplitMix64;
+
+    #[test]
+    fn simple_path() {
+        let mut g = MinCostFlow::new(3);
+        let e0 = g.add_edge(0, 1, 5, 1);
+        let e1 = g.add_edge(1, 2, 3, 2);
+        let (flow, cost) = g.solve(0, 2).unwrap();
+        assert_eq!(flow, 3);
+        assert_eq!(cost, 3 * 3);
+        assert_eq!(g.flow_on(e0), 3);
+        assert_eq!(g.flow_on(e1), 3);
+    }
+
+    #[test]
+    fn prefers_cheap_path() {
+        // Two parallel paths: cost 1 (cap 2) and cost 10 (cap 5); need 4.
+        let mut g = MinCostFlow::new(4);
+        g.add_edge(0, 1, 4, 0);
+        let cheap = g.add_edge(1, 2, 2, 1);
+        let dear = g.add_edge(1, 3, 5, 10);
+        g.add_edge(2, 3, 10, 0);
+        // sink = 3
+        let (flow, cost) = g.solve(0, 3).unwrap();
+        assert_eq!(flow, 4);
+        assert_eq!(g.flow_on(cheap), 2);
+        assert_eq!(g.flow_on(dear), 2);
+        assert_eq!(cost, 2 * 1 + 2 * 10);
+    }
+
+    #[test]
+    fn disconnected_sink_zero_flow() {
+        let mut g = MinCostFlow::new(3);
+        g.add_edge(0, 1, 5, 1);
+        let (flow, cost) = g.solve(0, 2).unwrap();
+        assert_eq!((flow, cost), (0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_endpoints() {
+        let mut g = MinCostFlow::new(2);
+        assert!(g.solve(0, 0).is_err());
+        assert!(g.solve(0, 5).is_err());
+    }
+
+    /// Brute force: enumerate assignments of a tiny bipartite b-matching and
+    /// compare optimal cost.
+    #[test]
+    fn matches_brute_force_on_small_bipartite() {
+        let mut rng = SplitMix64::new(5);
+        for _case in 0..30 {
+            let n_left = 3usize;
+            let n_right = 2usize;
+            // cost[l][r] in 0..4; each left must be assigned exactly once;
+            // each right has capacity 2.
+            let costs: Vec<Vec<i64>> = (0..n_left)
+                .map(|_| (0..n_right).map(|_| rng.next_bounded(4) as i64).collect())
+                .collect();
+            // Flow model: s=0, left=1..4, right=4..6, t=6
+            let mut g = MinCostFlow::new(2 + n_left + n_right);
+            let s = 0;
+            let t = 1 + n_left + n_right;
+            for l in 0..n_left {
+                g.add_edge(s, 1 + l, 1, 0);
+                for r in 0..n_right {
+                    g.add_edge(1 + l, 1 + n_left + r, 1, costs[l][r]);
+                }
+            }
+            for r in 0..n_right {
+                g.add_edge(1 + n_left + r, t, 2, 0);
+            }
+            let (flow, cost) = g.solve(s, t).unwrap();
+            assert_eq!(flow, n_left as i64);
+
+            // Brute force all assignments l→r with right capacity 2.
+            let mut best = i64::MAX;
+            for a0 in 0..n_right {
+                for a1 in 0..n_right {
+                    for a2 in 0..n_right {
+                        let assign = [a0, a1, a2];
+                        let mut cap = vec![0; n_right];
+                        for &a in &assign {
+                            cap[a] += 1;
+                        }
+                        if cap.iter().any(|&c| c > 2) {
+                            continue;
+                        }
+                        let c: i64 = assign.iter().enumerate().map(|(l, &r)| costs[l][r]).sum();
+                        best = best.min(c);
+                    }
+                }
+            }
+            assert_eq!(cost, best, "costs {costs:?}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulated YARN and the VectorH elasticity machinery (§4).
+//!
+//! * [`flow`] — a min-cost max-flow solver (successive shortest paths with
+//!   potentials), the engine behind the Figure 3 bipartite matching.
+//! * [`placement`] — the dbAgent's three decisions as flow problems:
+//!   worker-set selection, partition **affinity mapping** (which R nodes
+//!   store each partition) and **responsibility assignment** (which worker
+//!   owns each partition) — reproducing the Figure 2 before/after-failure
+//!   layouts.
+//! * [`rm`] — a YARN resource manager: per-node core/memory capacities,
+//!   container grants against min/desired demands, priority queues and
+//!   preemption.
+//! * [`dbagent`] — VectorH's out-of-band YARN client: dummy containers in
+//!   slices that can be grown/shrunk gradually, preemption notifications
+//!   that re-tune the workload manager rather than killing the server.
+
+pub mod dbagent;
+pub mod flow;
+pub mod placement;
+pub mod rm;
+
+pub use dbagent::{DbAgent, ResourceFootprint};
+pub use flow::MinCostFlow;
+pub use placement::{affinity_mapping, responsibility_assignment, select_workers, PlacementInput};
+pub use rm::{ContainerGrant, Priority, ResourceManager, RmConfig};

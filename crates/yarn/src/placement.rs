@@ -1,0 +1,323 @@
+//! Placement decisions as min-cost flow problems (§4, Figure 3).
+//!
+//! The dbAgent computes three assignments:
+//!
+//! 1. **Worker-set selection** — out of the viable machines with enough free
+//!    resources, pick the N with most VectorH blocks stored locally.
+//! 2. **Affinity mapping** — which R workers should store each partition's
+//!    chunk files. Flow network: `s →(cap R, cost 0)→ partition →(cap 1,
+//!    cost 0 if already local else 1)→ worker →(cap ⌈P·R/N⌉, cost 0)→ t`.
+//! 3. **Responsibility assignment** — which single worker is responsible for
+//!    each partition: the same network with `s → partition` capacity 1 and
+//!    worker capacity `⌈P/N⌉`.
+//!
+//! Minimizing cost maximizes reuse of existing locality while the capacities
+//! force an even spread — reproducing the Figure 2 re-replication pattern
+//! after a node failure.
+
+use std::collections::HashMap;
+
+use vectorh_common::{NodeId, PartitionId, Result, VhError};
+
+use crate::flow::MinCostFlow;
+
+/// Input shared by the mapping/assignment solvers.
+#[derive(Debug, Clone)]
+pub struct PlacementInput {
+    pub partitions: Vec<PartitionId>,
+    pub workers: Vec<NodeId>,
+    /// `local[p][w]`: does worker `w` (by position) already hold a replica
+    /// of partition `p` (by position)?
+    pub local: Vec<Vec<bool>>,
+}
+
+impl PlacementInput {
+    fn check(&self) -> Result<()> {
+        if self.workers.is_empty() {
+            return Err(VhError::Yarn("no workers".into()));
+        }
+        if self.local.len() != self.partitions.len()
+            || self.local.iter().any(|row| row.len() != self.workers.len())
+        {
+            return Err(VhError::Yarn("locality matrix shape mismatch".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Worker-set selection: keep the `n` viable nodes with the most local
+/// bytes; `candidates` = (node, local_bytes, has_resources).
+pub fn select_workers(candidates: &[(NodeId, u64, bool)], n: usize) -> Vec<NodeId> {
+    let mut viable: Vec<&(NodeId, u64, bool)> =
+        candidates.iter().filter(|(_, _, ok)| *ok).collect();
+    // Most local data first; node id as deterministic tie-break.
+    viable.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    viable.into_iter().take(n).map(|&(id, _, _)| id).collect()
+}
+
+/// Generic solver for both placement problems.
+fn solve(
+    input: &PlacementInput,
+    per_partition: i64,
+    per_worker_cap: i64,
+) -> Result<HashMap<PartitionId, Vec<NodeId>>> {
+    input.check()?;
+    let p = input.partitions.len();
+    let w = input.workers.len();
+    let s = 0usize;
+    let t = 1 + p + w;
+    let mut g = MinCostFlow::new(t + 1);
+    for pi in 0..p {
+        g.add_edge(s, 1 + pi, per_partition, 0);
+    }
+    // Remember edge ids for readback.
+    let mut pw_edges = vec![vec![usize::MAX; w]; p];
+    for pi in 0..p {
+        for wi in 0..w {
+            let cost = if input.local[pi][wi] { 0 } else { 1 };
+            pw_edges[pi][wi] = g.add_edge(1 + pi, 1 + p + wi, 1, cost);
+        }
+    }
+    for wi in 0..w {
+        g.add_edge(1 + p + wi, t, per_worker_cap, 0);
+    }
+    g.solve(s, t)?;
+    let mut out: HashMap<PartitionId, Vec<NodeId>> = HashMap::new();
+    for pi in 0..p {
+        let mut nodes = Vec::new();
+        for wi in 0..w {
+            if g.flow_on(pw_edges[pi][wi]) > 0 {
+                nodes.push(input.workers[wi]);
+            }
+        }
+        out.insert(input.partitions[pi], nodes);
+    }
+    Ok(out)
+}
+
+/// Affinity mapping: each partition → up to R workers (as many as fit).
+pub fn affinity_mapping(
+    input: &PlacementInput,
+    replication: usize,
+) -> Result<HashMap<PartitionId, Vec<NodeId>>> {
+    input.check()?;
+    let p = input.partitions.len() as i64;
+    let n = input.workers.len() as i64;
+    let r = replication.min(input.workers.len()) as i64;
+    // PCap = ⌈P·R/N⌉ replicas per worker.
+    let per_worker = (p * r + n - 1) / n;
+    solve(input, r, per_worker.max(1))
+}
+
+/// Responsibility assignment: each partition → exactly one worker.
+pub fn responsibility_assignment(
+    input: &PlacementInput,
+) -> Result<HashMap<PartitionId, NodeId>> {
+    input.check()?;
+    let p = input.partitions.len() as i64;
+    let n = input.workers.len() as i64;
+    let per_worker = (p + n - 1) / n;
+    let m = solve(input, 1, per_worker.max(1))?;
+    m.into_iter()
+        .map(|(k, v)| {
+            v.into_iter()
+                .next()
+                .map(|w| (k, w))
+                .ok_or_else(|| VhError::Yarn(format!("partition {k} unassigned")))
+        })
+        .collect()
+}
+
+/// Initial round-robin affinity mapping at table creation (Figure 2 top):
+/// partitions split into N contiguous groups; replica k of a group lands on
+/// the (home + k)-th worker.
+pub fn initial_affinity(
+    partitions: &[PartitionId],
+    workers: &[NodeId],
+    replication: usize,
+) -> HashMap<PartitionId, Vec<NodeId>> {
+    let n = workers.len().max(1);
+    let r = replication.min(n);
+    let per_node = partitions.len().div_ceil(n);
+    partitions
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let home = (i / per_node.max(1)).min(n - 1);
+            let nodes = (0..r).map(|k| workers[(home + k) % n]).collect();
+            (p, nodes)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::rng::SplitMix64;
+
+    fn parts(n: usize) -> Vec<PartitionId> {
+        (0..n as u32).map(PartitionId).collect()
+    }
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn select_workers_prefers_locality_and_resources() {
+        let cands = vec![
+            (NodeId(0), 100, true),
+            (NodeId(1), 500, true),
+            (NodeId(2), 900, false), // no resources: excluded
+            (NodeId(3), 300, true),
+        ];
+        assert_eq!(select_workers(&cands, 2), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(select_workers(&cands, 10).len(), 3);
+    }
+
+    #[test]
+    fn initial_affinity_is_round_robin() {
+        // 12 partitions, 4 nodes, R=3 — the Figure 2 top layout.
+        let m = initial_affinity(&parts(12), &nodes(4), 3);
+        // partitions 0-2 primary on node0, replicas on node1,node2
+        assert_eq!(m[&PartitionId(0)], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(m[&PartitionId(3)], vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(m[&PartitionId(11)], vec![NodeId(3), NodeId(0), NodeId(1)]);
+        // Even spread: each node stores 12*3/4 = 9 replicas.
+        let mut per_node = std::collections::HashMap::new();
+        for v in m.values() {
+            for n in v {
+                *per_node.entry(*n).or_insert(0) += 1;
+            }
+        }
+        assert!(per_node.values().all(|&c| c == 9), "{per_node:?}");
+    }
+
+    #[test]
+    fn affinity_mapping_prefers_existing_locality() {
+        // 4 partitions, 2 workers, R=1. Partition i local to worker i%2.
+        let input = PlacementInput {
+            partitions: parts(4),
+            workers: nodes(2),
+            local: vec![
+                vec![true, false],
+                vec![false, true],
+                vec![true, false],
+                vec![false, true],
+            ],
+        };
+        let m = affinity_mapping(&input, 1).unwrap();
+        assert_eq!(m[&PartitionId(0)], vec![NodeId(0)]);
+        assert_eq!(m[&PartitionId(1)], vec![NodeId(1)]);
+        assert_eq!(m[&PartitionId(2)], vec![NodeId(0)]);
+        assert_eq!(m[&PartitionId(3)], vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn affinity_mapping_balances_even_without_locality() {
+        let input = PlacementInput {
+            partitions: parts(6),
+            workers: nodes(3),
+            local: vec![vec![false; 3]; 6],
+        };
+        let m = affinity_mapping(&input, 2).unwrap();
+        let mut per_node = std::collections::HashMap::new();
+        for v in m.values() {
+            assert_eq!(v.len(), 2);
+            for n in v {
+                *per_node.entry(*n).or_insert(0) += 1;
+            }
+        }
+        // 6 partitions × R=2 / 3 nodes = 4 each.
+        assert!(per_node.values().all(|&c| c == 4), "{per_node:?}");
+    }
+
+    #[test]
+    fn responsibility_covers_all_partitions_evenly() {
+        // Figure 2 bottom: after node4 fails, 12 partitions over 3 nodes.
+        let input = PlacementInput {
+            partitions: parts(12),
+            workers: nodes(3),
+            local: vec![vec![true; 3]; 12], // everything re-replicated local
+        };
+        let resp = responsibility_assignment(&input).unwrap();
+        assert_eq!(resp.len(), 12);
+        let mut per_node = std::collections::HashMap::new();
+        for n in resp.values() {
+            *per_node.entry(*n).or_insert(0) += 1;
+        }
+        assert!(per_node.values().all(|&c| c == 4), "{per_node:?}");
+    }
+
+    #[test]
+    fn failure_scenario_minimizes_movement() {
+        // Start from the Figure 2 layout (12 parts, 4 nodes, R=3), kill
+        // node 3; the new mapping over 3 workers must keep every replica
+        // that is already local (cost = only the re-replicated copies).
+        let initial = initial_affinity(&parts(12), &nodes(4), 3);
+        let survivors = nodes(3);
+        let local: Vec<Vec<bool>> = (0..12)
+            .map(|p| {
+                survivors
+                    .iter()
+                    .map(|w| initial[&PartitionId(p as u32)].contains(w))
+                    .collect()
+            })
+            .collect();
+        let input = PlacementInput { partitions: parts(12), workers: survivors, local: local.clone() };
+        let m = affinity_mapping(&input, 3).unwrap();
+        // Every partition now has 3 replicas across 3 nodes.
+        for v in m.values() {
+            assert_eq!(v.len(), 3);
+        }
+        // Replicas that were already local must be reused: total "moves"
+        // equals the replicas that had lived on the dead node (12·3/4 = 9).
+        let mut moves = 0;
+        for (p, v) in &m {
+            for w in v {
+                let wi = w.index();
+                if !local[p.index()][wi] {
+                    moves += 1;
+                }
+            }
+        }
+        assert_eq!(moves, 9, "only the dead node's replicas move");
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let input = PlacementInput {
+            partitions: parts(2),
+            workers: nodes(2),
+            local: vec![vec![true, false]],
+        };
+        assert!(affinity_mapping(&input, 1).is_err());
+        let empty = PlacementInput { partitions: parts(1), workers: vec![], local: vec![vec![]] };
+        assert!(affinity_mapping(&empty, 1).is_err());
+    }
+
+    #[test]
+    fn random_mappings_respect_capacity_and_replication() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..20 {
+            let p = 1 + rng.next_bounded(12) as usize;
+            let w = 1 + rng.next_bounded(5) as usize;
+            let r = 1 + rng.next_bounded(3) as usize;
+            let local: Vec<Vec<bool>> =
+                (0..p).map(|_| (0..w).map(|_| rng.chance(0.3)).collect()).collect();
+            let input = PlacementInput { partitions: parts(p), workers: nodes(w), local };
+            let m = affinity_mapping(&input, r).unwrap();
+            let cap = (p * r.min(w)).div_ceil(w);
+            let mut per_node: HashMap<NodeId, usize> = HashMap::new();
+            for (part, v) in &m {
+                assert_eq!(v.len(), r.min(w), "partition {part} replication");
+                let set: std::collections::HashSet<_> = v.iter().collect();
+                assert_eq!(set.len(), v.len(), "distinct nodes");
+                for n in v {
+                    *per_node.entry(*n).or_insert(0) += 1;
+                }
+            }
+            assert!(per_node.values().all(|&c| c <= cap), "cap {cap}, got {per_node:?}");
+        }
+    }
+}

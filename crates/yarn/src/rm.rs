@@ -1,0 +1,252 @@
+//! A simulated YARN ResourceManager.
+//!
+//! Models what §4 needs: per-node core/memory capacities, container grants
+//! against demands, priority queues (CapacityScheduler-style), and
+//! preemption — "newly arriving high-priority jobs may cause running jobs to
+//! be pre-empted ... first by asking their AMs to decrease resource usage
+//! and after a timeout by killing their containers". Preempted container ids
+//! land in a per-application event queue that the owner polls (the dummy
+//! containers of VectorH "monitor once in a while ... to ping back their
+//! live status").
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use vectorh_common::{ContainerId, NodeId, Result, VhError};
+
+/// Scheduling priority (higher wins).
+pub type Priority = u32;
+
+/// Application handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+/// Per-node capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmConfig {
+    pub cores_per_node: u32,
+    pub mem_per_node: u64,
+}
+
+/// A granted container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerGrant {
+    pub id: ContainerId,
+    pub app: AppId,
+    pub node: NodeId,
+    pub cores: u32,
+    pub mem: u64,
+    pub priority: Priority,
+}
+
+#[derive(Default)]
+struct Inner {
+    apps: HashMap<AppId, Priority>,
+    containers: HashMap<ContainerId, ContainerGrant>,
+    next_app: u32,
+    next_container: u32,
+    /// Preempted container ids per app, waiting to be polled.
+    preempted: HashMap<AppId, Vec<ContainerId>>,
+}
+
+/// The resource manager.
+pub struct ResourceManager {
+    config: RmConfig,
+    nodes: Vec<NodeId>,
+    inner: Mutex<Inner>,
+}
+
+impl ResourceManager {
+    pub fn new(nodes: Vec<NodeId>, config: RmConfig) -> ResourceManager {
+        ResourceManager { config, nodes, inner: Mutex::new(Inner::default()) }
+    }
+
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    pub fn config(&self) -> RmConfig {
+        self.config
+    }
+
+    /// Register an application with a priority.
+    pub fn register_app(&self, priority: Priority) -> AppId {
+        let mut inner = self.inner.lock();
+        let id = AppId(inner.next_app);
+        inner.next_app += 1;
+        inner.apps.insert(id, priority);
+        id
+    }
+
+    fn used_on(inner: &Inner, node: NodeId) -> (u32, u64) {
+        inner
+            .containers
+            .values()
+            .filter(|c| c.node == node)
+            .fold((0, 0), |(c, m), g| (c + g.cores, m + g.mem))
+    }
+
+    /// Free resources on a node.
+    pub fn free_on(&self, node: NodeId) -> (u32, u64) {
+        let inner = self.inner.lock();
+        let (uc, um) = Self::used_on(&inner, node);
+        (self.config.cores_per_node - uc, self.config.mem_per_node - um)
+    }
+
+    /// Cluster node report: (node, free cores, free mem).
+    pub fn cluster_report(&self) -> Vec<(NodeId, u32, u64)> {
+        self.nodes
+            .iter()
+            .map(|&n| {
+                let (c, m) = self.free_on(n);
+                (n, c, m)
+            })
+            .collect()
+    }
+
+    /// Request a container on a specific node. Grants if capacity is free;
+    /// otherwise preempts lower-priority containers on that node until the
+    /// request fits (or fails if it never can).
+    pub fn request_container(
+        &self,
+        app: AppId,
+        node: NodeId,
+        cores: u32,
+        mem: u64,
+    ) -> Result<ContainerGrant> {
+        if cores > self.config.cores_per_node || mem > self.config.mem_per_node {
+            return Err(VhError::Yarn("request exceeds node capacity".into()));
+        }
+        if !self.nodes.contains(&node) {
+            return Err(VhError::Yarn(format!("unknown node {node}")));
+        }
+        let mut inner = self.inner.lock();
+        let priority = *inner
+            .apps
+            .get(&app)
+            .ok_or_else(|| VhError::Yarn("unknown app".into()))?;
+        loop {
+            let (uc, um) = Self::used_on(&inner, node);
+            if uc + cores <= self.config.cores_per_node && um + mem <= self.config.mem_per_node {
+                let id = ContainerId(inner.next_container);
+                inner.next_container += 1;
+                let grant = ContainerGrant { id, app, node, cores, mem, priority };
+                inner.containers.insert(id, grant.clone());
+                return Ok(grant);
+            }
+            // Preempt the lowest-priority victim strictly below us.
+            let victim = inner
+                .containers
+                .values()
+                .filter(|c| c.node == node && c.priority < priority)
+                .min_by_key(|c| (c.priority, c.id))
+                .map(|c| c.id);
+            match victim {
+                Some(v) => {
+                    let victim_grant = inner.containers.remove(&v).expect("victim exists");
+                    inner.preempted.entry(victim_grant.app).or_default().push(v);
+                }
+                None => {
+                    return Err(VhError::Yarn(format!(
+                        "insufficient resources on {node} and nothing to preempt"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Release a container voluntarily.
+    pub fn release_container(&self, id: ContainerId) -> Result<()> {
+        let mut inner = self.inner.lock();
+        inner
+            .containers
+            .remove(&id)
+            .map(|_| ())
+            .ok_or_else(|| VhError::Yarn(format!("unknown container {id}")))
+    }
+
+    /// Drain the preemption notifications for an app (dummy-container poll).
+    pub fn poll_preemptions(&self, app: AppId) -> Vec<ContainerId> {
+        self.inner.lock().preempted.remove(&app).unwrap_or_default()
+    }
+
+    /// Containers an app currently holds.
+    pub fn containers_of(&self, app: AppId) -> Vec<ContainerGrant> {
+        let inner = self.inner.lock();
+        let mut v: Vec<ContainerGrant> =
+            inner.containers.values().filter(|c| c.app == app).cloned().collect();
+        v.sort_by_key(|c| c.id);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm() -> ResourceManager {
+        ResourceManager::new(
+            vec![NodeId(0), NodeId(1)],
+            RmConfig { cores_per_node: 8, mem_per_node: 64 },
+        )
+    }
+
+    #[test]
+    fn grants_until_capacity() {
+        let rm = rm();
+        let app = rm.register_app(10);
+        let g1 = rm.request_container(app, NodeId(0), 4, 32).unwrap();
+        let _g2 = rm.request_container(app, NodeId(0), 4, 32).unwrap();
+        assert!(rm.request_container(app, NodeId(0), 1, 1).is_err());
+        assert_eq!(rm.free_on(NodeId(0)), (0, 0));
+        assert_eq!(rm.free_on(NodeId(1)), (8, 64));
+        rm.release_container(g1.id).unwrap();
+        assert_eq!(rm.free_on(NodeId(0)), (4, 32));
+    }
+
+    #[test]
+    fn higher_priority_preempts() {
+        let rm = rm();
+        let low = rm.register_app(1);
+        let high = rm.register_app(5);
+        let l1 = rm.request_container(low, NodeId(0), 4, 32).unwrap();
+        let _l2 = rm.request_container(low, NodeId(0), 4, 32).unwrap();
+        // High-priority request forces preemption of one low container.
+        let h = rm.request_container(high, NodeId(0), 4, 32).unwrap();
+        assert_eq!(h.cores, 4);
+        let preempted = rm.poll_preemptions(low);
+        assert_eq!(preempted.len(), 1);
+        assert_eq!(preempted[0], l1.id);
+        assert!(rm.poll_preemptions(low).is_empty(), "events drained");
+    }
+
+    #[test]
+    fn equal_priority_does_not_preempt() {
+        let rm = rm();
+        let a = rm.register_app(3);
+        let b = rm.register_app(3);
+        rm.request_container(a, NodeId(0), 8, 64).unwrap();
+        assert!(rm.request_container(b, NodeId(0), 1, 1).is_err());
+    }
+
+    #[test]
+    fn oversized_and_unknown_requests_rejected() {
+        let rm = rm();
+        let app = rm.register_app(1);
+        assert!(rm.request_container(app, NodeId(0), 9, 1).is_err());
+        assert!(rm.request_container(app, NodeId(7), 1, 1).is_err());
+        assert!(rm.request_container(AppId(99), NodeId(0), 1, 1).is_err());
+        assert!(rm.release_container(ContainerId(42)).is_err());
+    }
+
+    #[test]
+    fn cluster_report_reflects_usage() {
+        let rm = rm();
+        let app = rm.register_app(1);
+        rm.request_container(app, NodeId(1), 2, 16).unwrap();
+        let report = rm.cluster_report();
+        assert_eq!(report[0], (NodeId(0), 8, 64));
+        assert_eq!(report[1], (NodeId(1), 6, 48));
+        assert_eq!(rm.containers_of(app).len(), 1);
+    }
+}

@@ -1,0 +1,87 @@
+//! YARN elasticity under a shared cluster (§4).
+//!
+//! A VectorH cluster shares its nodes with other tenants: a higher-priority
+//! job arrives and YARN preempts dummy containers; the dbAgent notices and
+//! the workload manager shrinks the per-query core budget; when the tenant
+//! leaves, periodic renegotiation grows back to the target footprint.
+//!
+//! ```sh
+//! cargo run --release --example elastic_workload
+//! ```
+
+use vectorh::{ClusterConfig, TableBuilder, VectorH};
+use vectorh_common::{DataType, Value};
+
+fn report(vh: &VectorH, label: &str) {
+    println!(
+        "{label}: budget = {} cores total, {} exchange streams/node",
+        vh.total_cores_budget(),
+        vh.streams_per_node()
+    );
+}
+
+fn main() -> vectorh_common::Result<()> {
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 3,
+        cores_per_node: 8,
+        streams_per_node: 4,
+        ..Default::default()
+    })?;
+    vh.create_table(
+        TableBuilder::new("metrics")
+            .column("host", DataType::I64)
+            .column("cpu", DataType::I64)
+            .partition_by(&["host"], 6),
+    )?;
+    vh.insert_rows(
+        "metrics",
+        (0..100_000).map(|i| vec![Value::I64(i % 500), Value::I64(i % 100)]).collect(),
+    )?;
+    report(&vh, "startup (target footprint)");
+
+    let run = |label: &str| {
+        let t0 = std::time::Instant::now();
+        let rows = vh
+            .query("SELECT host, avg(cpu) AS load FROM metrics GROUP BY host ORDER BY load DESC LIMIT 5")
+            .unwrap();
+        println!("  {label}: top host {} (load {:.1}) in {:?}", rows[0][0],
+            rows[0][1].as_f64().unwrap_or(0.0), t0.elapsed());
+    };
+    run("query at full budget");
+
+    // A high-priority Spark job takes 6 of 8 cores on every node.
+    println!("\n*** high-priority tenant arrives, YARN preempts containers ***");
+    let rm = vh.rm().clone();
+    let tenant = rm.register_app(9);
+    let mut grants = Vec::new();
+    for node in vh.workers() {
+        for _ in 0..6 {
+            grants.push(rm.request_container(tenant, node, 1, 1 << 30).unwrap());
+        }
+    }
+    let changed = vh.poll_yarn();
+    report(&vh, &format!("after preemption (footprint changed: {changed})"));
+    run("query under pressure (fewer cores, still correct)");
+
+    // The tenant finishes; renegotiation recovers the target footprint.
+    println!("\n*** tenant finishes, containers released ***");
+    for g in grants {
+        rm.release_container(g.id).unwrap();
+    }
+    vh.poll_yarn();
+    report(&vh, "after renegotiation");
+    run("query after recovery");
+
+    // Idle period: voluntarily shrink ("automatic footprint" policy).
+    println!("\n*** idle workload: self-regulating to minimal footprint ***");
+    vh.shrink_footprint(1)?;
+    report(&vh, "minimal footprint");
+    let free: Vec<String> = rm
+        .cluster_report()
+        .iter()
+        .map(|(n, c, _)| format!("{n}:{c} cores free"))
+        .collect();
+    println!("  resources returned to the cluster: {}", free.join(", "));
+    run("query at minimal footprint");
+    Ok(())
+}

@@ -1,0 +1,121 @@
+//! Spark-connector pipeline (§7, Figure 6).
+//!
+//! Simulates SparkSQL feeding VectorH through the connector: CSV input
+//! splits on HDFS get matched to ExternalScan operators by block affinity
+//! (Hopcroft–Karp-style), "Spark" worker threads parse and stream binary
+//! rows, and VectorH ingests them in parallel.
+//!
+//! ```sh
+//! cargo run --release --example spark_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use vectorh::{ClusterConfig, TableBuilder, VectorH};
+use vectorh_common::{DataType, NodeId, Schema};
+use vectorh_connector::csv::{parse_csv, to_csv, CsvOptions};
+use vectorh_connector::external::ExternalScan;
+use vectorh_connector::splits::{assign_splits, InputSplit};
+use vectorh_exec::operator::Operator;
+use vectorh_exec::Batch;
+use vectorh_net::NetStats;
+
+fn main() -> vectorh_common::Result<()> {
+    let vh = VectorH::start(ClusterConfig { nodes: 4, ..Default::default() })?;
+    let schema = Arc::new(Schema::of(&[
+        ("id", DataType::I64),
+        ("qty", DataType::I64),
+        ("price", DataType::Decimal { scale: 2 }),
+    ]));
+
+    // 1. "Upstream job" wrote 12 CSV files into HDFS.
+    println!("writing 12 CSV input files to HDFS...");
+    let mut splits = Vec::new();
+    for f in 0..12 {
+        let cols = vec![
+            vectorh_common::ColumnData::I64(((f * 1000)..(f * 1000 + 1000)).collect()),
+            vectorh_common::ColumnData::I64((0..1000).map(|i| i % 50).collect()),
+            vectorh_common::ColumnData::I64((0..1000).map(|i| 100 + i % 900).collect()),
+        ];
+        let text = to_csv(&cols, &schema, '|');
+        let path = format!("/staging/input-{f:02}.csv");
+        // Each file written from a different node → different affinities.
+        vh.fs().append(&path, text.as_bytes(), Some(NodeId((f % 4) as u32)))?;
+        let locs = vh.fs().block_locations(&path)?;
+        splits.push(InputSplit {
+            path,
+            preferred: locs.first().map(|b| b.nodes.clone()).unwrap_or_default(),
+        });
+    }
+
+    // 2. The connector matches RDD partitions to ExternalScan operators by
+    //    affinity (getPreferredLocations + NarrowDependency).
+    let operators: Vec<NodeId> = vh.workers();
+    let assignment = assign_splits(&splits, &operators);
+    println!(
+        "split → operator assignment: {:.0}% affinity-local",
+        assignment.locality_fraction() * 100.0
+    );
+
+    // 3. One ExternalScan per worker; "Spark" threads parse CSV and stream
+    //    binary rows to their assigned operator.
+    let stats = Arc::new(NetStats::default());
+    let mut total_rows = 0u64;
+    let mut handles = Vec::new();
+    let mut scans = Vec::new();
+    for (op_idx, &node) in operators.iter().enumerate() {
+        let (scan, port) = ExternalScan::new(schema.clone(), stats.clone());
+        scans.push((node, scan));
+        for (s_idx, split) in splits.iter().enumerate() {
+            if assignment.operator_of[s_idx] != op_idx {
+                continue;
+            }
+            let writer = port.connect(!assignment.local[s_idx]);
+            let text = String::from_utf8(vh.fs().read_all(&split.path, Some(node))?).unwrap();
+            let schema = schema.clone();
+            handles.push(std::thread::spawn(move || {
+                let parsed = parse_csv(&text, &schema, &CsvOptions::default()).unwrap();
+                let batch = Batch::new(schema, parsed.columns).unwrap();
+                writer.send(&batch).unwrap();
+            }));
+        }
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // 4. VectorH side: drain the scans into a table.
+    vh.create_table(
+        TableBuilder::new("ingested")
+            .column("id", DataType::I64)
+            .column("qty", DataType::I64)
+            .column("price", DataType::Decimal { scale: 2 })
+            .partition_by(&["id"], 8),
+    )?;
+    for (_, mut scan) in scans {
+        let mut rows = Vec::new();
+        while let Some(b) = scan.next()? {
+            rows.extend(b.rows());
+            total_rows += b.len() as u64;
+        }
+        if !rows.is_empty() {
+            vh.insert_rows("ingested", rows)?;
+        }
+    }
+    println!("ingested {total_rows} rows through ExternalScan");
+
+    // 5. Query what arrived.
+    let out = vh.query(
+        "SELECT qty, count(*) AS n, sum(price) FROM ingested GROUP BY qty ORDER BY n DESC LIMIT 5",
+    )?;
+    println!("top quantities:");
+    for row in out {
+        println!("  qty={} n={} total={}", row[0], row[1], row[2]);
+    }
+    let net = stats.snapshot();
+    println!(
+        "connector traffic: {} intra-node frames, {} cross-node frames ({} bytes serialized)",
+        net.intra_messages, net.net_messages, net.net_bytes
+    );
+    Ok(())
+}

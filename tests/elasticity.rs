@@ -1,0 +1,96 @@
+//! YARN elasticity end to end (§4): out-of-band containers, preemption
+//! shrinking the query scheduler's budget, renegotiation growing it back.
+
+use vectorh::{ClusterConfig, TableBuilder, VectorH};
+use vectorh_common::{DataType, Value};
+
+fn engine() -> VectorH {
+    VectorH::start(ClusterConfig {
+        nodes: 3,
+        cores_per_node: 4,
+        rows_per_chunk: 256,
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+fn fixture(vh: &VectorH) {
+    vh.create_table(
+        TableBuilder::new("t")
+            .column("k", DataType::I64)
+            .column("v", DataType::I64)
+            .partition_by(&["k"], 6),
+    )
+    .unwrap();
+    vh.insert_rows("t", (0..3000).map(|i| vec![Value::I64(i), Value::I64(i % 7)]).collect())
+        .unwrap();
+}
+
+#[test]
+fn starts_with_full_footprint() {
+    let vh = engine();
+    assert_eq!(vh.total_cores_budget(), 3 * 4);
+    assert_eq!(vh.streams_per_node(), 2); // capped by config
+}
+
+#[test]
+fn preemption_shrinks_parallelism_queries_still_run() {
+    let vh = engine();
+    fixture(&vh);
+    // A higher-priority tenant takes 3 of 4 cores on every node.
+    let rm = vh.rm().clone();
+    let vip = rm.register_app(9);
+    for node in vh.workers() {
+        for _ in 0..3 {
+            rm.request_container(vip, node, 1, 1 << 30).unwrap();
+        }
+    }
+    // The dbAgent's dummy containers notice on the next poll.
+    assert!(vh.poll_yarn(), "footprint changed");
+    assert!(vh.total_cores_budget() < 12, "budget shrank: {}", vh.total_cores_budget());
+    assert_eq!(vh.streams_per_node(), 1, "scheduler retuned to fewer streams");
+    // Queries keep running with fewer cores.
+    let rows = vh.query("SELECT v, count(*) FROM t GROUP BY v ORDER BY v").unwrap();
+    assert_eq!(rows.len(), 7);
+    let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+    assert_eq!(total, 3000);
+}
+
+#[test]
+fn renegotiation_grows_back_after_vip_leaves() {
+    let vh = engine();
+    let rm = vh.rm().clone();
+    let vip = rm.register_app(9);
+    let mut grants = Vec::new();
+    for node in vh.workers() {
+        for _ in 0..2 {
+            grants.push(rm.request_container(vip, node, 1, 1 << 30).unwrap());
+        }
+    }
+    vh.poll_yarn();
+    let shrunk = vh.total_cores_budget();
+    assert!(shrunk < 12);
+    for g in grants {
+        rm.release_container(g.id).unwrap();
+    }
+    // Periodic renegotiation returns to the target footprint.
+    vh.poll_yarn();
+    assert_eq!(vh.total_cores_budget(), 12, "back to target after VIP left");
+}
+
+#[test]
+fn voluntary_shrink_for_idle_workloads() {
+    let vh = engine();
+    fixture(&vh);
+    vh.shrink_footprint(1).unwrap();
+    assert_eq!(vh.total_cores_budget(), 3);
+    // Minimal-footprint queries still return correct answers.
+    let rows = vh.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(rows[0][0], Value::I64(3000));
+    // Free resources are visible to other tenants.
+    let (free_cores, _) = {
+        let report = vh.rm().cluster_report();
+        (report.iter().map(|(_, c, _)| *c).min().unwrap(), ())
+    };
+    assert!(free_cores >= 3, "released cores are available: {free_cores}");
+}
