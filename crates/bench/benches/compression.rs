@@ -1,10 +1,9 @@
-//! Criterion: compression codecs — PFOR family vs ORC/Parquet-like
-//! baselines (decode speed is what §2 claims: "decompresses 64 or 128
-//! consecutive values in typically less than half a CPU cycle per value"
-//! vs value-at-a-time baseline readers).
+//! Compression codecs — PFOR family vs ORC/Parquet-like baselines (decode
+//! speed is what §2 claims: "decompresses 64 or 128 consecutive values in
+//! typically less than half a CPU cycle per value" vs value-at-a-time
+//! baseline readers).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vectorh_bench::harness::Group;
 use vectorh_common::rng::SplitMix64;
 use vectorh_common::ColumnData;
 use vectorh_compress::baseline::{decode as bdecode, encode as bencode, BaselineFormat};
@@ -17,84 +16,81 @@ fn datasets() -> Vec<(&'static str, Vec<i64>)> {
     let mut rng = SplitMix64::new(7);
     vec![
         ("sorted", (0..N as i64).map(|i| i * 3).collect()),
-        ("small-range", (0..N).map(|_| rng.range_i64(0, 1 << 12)).collect()),
-        ("skewed-outliers", (0..N)
-            .map(|_| {
-                if rng.chance(0.02) {
-                    rng.next_u64() as i64
-                } else {
-                    rng.range_i64(0, 255)
-                }
-            })
-            .collect()),
-        ("low-cardinality", (0..N).map(|_| rng.next_bounded(16) as i64 * 1_000_003).collect()),
+        (
+            "small-range",
+            (0..N).map(|_| rng.range_i64(0, 1 << 12)).collect(),
+        ),
+        (
+            "skewed-outliers",
+            (0..N)
+                .map(|_| {
+                    if rng.chance(0.02) {
+                        rng.next_u64() as i64
+                    } else {
+                        rng.range_i64(0, 255)
+                    }
+                })
+                .collect(),
+        ),
+        (
+            "low-cardinality",
+            (0..N)
+                .map(|_| rng.next_bounded(16) as i64 * 1_000_003)
+                .collect(),
+        ),
     ]
 }
 
-fn bench_decode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decode");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
-    g.throughput(Throughput::Elements(N as u64));
+fn bench_decode() {
+    let mut g = Group::new("decode");
+    g.throughput(N as u64);
     for (name, data) in datasets() {
         let pfor = Pfor::encode(&data);
-        g.bench_with_input(BenchmarkId::new("pfor", name), &pfor, |b, enc| {
-            b.iter(|| {
-                let mut out = Vec::with_capacity(N);
-                enc.decode(&mut out);
-                out
-            })
+        g.bench(&format!("pfor/{name}"), || {
+            let mut out = Vec::with_capacity(N);
+            pfor.decode(&mut out);
+            out
         });
         let delta = PforDelta::encode(&data);
-        g.bench_with_input(BenchmarkId::new("pfor-delta", name), &delta, |b, enc| {
-            b.iter(|| {
-                let mut out = Vec::with_capacity(N);
-                enc.decode(&mut out);
-                out
-            })
+        g.bench(&format!("pfor-delta/{name}"), || {
+            let mut out = Vec::with_capacity(N);
+            delta.decode(&mut out);
+            out
         });
         let pdict = PdictI64::encode(&data);
-        g.bench_with_input(BenchmarkId::new("pdict", name), &pdict, |b, enc| {
-            b.iter(|| {
-                let mut out = Vec::with_capacity(N);
-                enc.decode(&mut out);
-                out
-            })
+        g.bench(&format!("pdict/{name}"), || {
+            let mut out = Vec::with_capacity(N);
+            pdict.decode(&mut out);
+            out
         });
         let col = ColumnData::I64(data.clone());
         let orc = bencode(BaselineFormat::OrcLike, &col);
-        g.bench_with_input(BenchmarkId::new("orc-like", name), &orc, |b, enc| {
-            b.iter(|| bdecode(BaselineFormat::OrcLike, enc).unwrap())
+        g.bench(&format!("orc-like/{name}"), || {
+            bdecode(BaselineFormat::OrcLike, &orc).unwrap()
         });
         let parquet = bencode(BaselineFormat::ParquetLike, &col);
-        g.bench_with_input(BenchmarkId::new("parquet-like", name), &parquet, |b, enc| {
-            b.iter(|| bdecode(BaselineFormat::ParquetLike, enc).unwrap())
+        g.bench(&format!("parquet-like/{name}"), || {
+            bdecode(BaselineFormat::ParquetLike, &parquet).unwrap()
         });
     }
-    g.finish();
 }
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("encode");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
-    g.throughput(Throughput::Elements(N as u64));
+fn bench_encode() {
+    let mut g = Group::new("encode");
+    g.throughput(N as u64);
     for (name, data) in datasets() {
-        g.bench_with_input(BenchmarkId::new("pfor", name), &data, |b, d| {
-            b.iter(|| Pfor::encode(d))
-        });
+        g.bench(&format!("pfor/{name}"), || Pfor::encode(&data));
         let col = ColumnData::I64(data.clone());
-        g.bench_with_input(BenchmarkId::new("auto-scheme", name), &col, |b, c| {
-            b.iter(|| vectorh_compress::encode_column(c))
+        g.bench(&format!("auto-scheme/{name}"), || {
+            vectorh_compress::encode_column(&col)
         });
-        g.bench_with_input(BenchmarkId::new("orc-like", name), &col, |b, c| {
-            b.iter(|| bencode(BaselineFormat::OrcLike, c))
+        g.bench(&format!("orc-like/{name}"), || {
+            bencode(BaselineFormat::OrcLike, &col)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_decode, bench_encode);
-criterion_main!(benches);
+fn main() {
+    bench_decode();
+    bench_encode();
+}

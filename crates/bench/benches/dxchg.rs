@@ -1,9 +1,8 @@
-//! Criterion: DXchg throughput — thread-to-thread vs thread-to-node (§5).
+//! DXchg throughput — thread-to-thread vs thread-to-node (§5).
 
 use std::sync::Arc;
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vectorh_bench::harness::Group;
 use vectorh_common::{ColumnData, DataType, Schema};
 use vectorh_exec::operator::BatchSource;
 use vectorh_exec::{Batch, Operator};
@@ -18,20 +17,29 @@ fn run(nodes: u32, threads: u32, mode: FanoutMode) -> u64 {
         .map(|n| {
             let batch = Batch::new(
                 schema.clone(),
-                vec![ColumnData::I64((0..ROWS).map(|i| i * nodes as i64 + n as i64).collect())],
+                vec![ColumnData::I64(
+                    (0..ROWS).map(|i| i * nodes as i64 + n as i64).collect(),
+                )],
             )
             .unwrap();
-            (n, Box::new(BatchSource::from_batch(batch, 1024)) as Box<dyn Operator>)
+            (
+                n,
+                Box::new(BatchSource::from_batch(batch, 1024)) as Box<dyn Operator>,
+            )
         })
         .collect();
-    let consumers: Vec<u32> =
-        (0..nodes).flat_map(|n| std::iter::repeat(n).take(threads as usize)).collect();
+    let consumers: Vec<u32> = (0..nodes)
+        .flat_map(|n| std::iter::repeat_n(n, threads as usize))
+        .collect();
     let stats = Arc::new(NetStats::default());
     let receivers = dxchg_hash_split(
         producers,
         consumers,
         vec![0],
-        DxchgConfig { buffer_bytes: 64 * 1024, mode },
+        DxchgConfig {
+            buffer_bytes: 64 * 1024,
+            mode,
+        },
         stats,
     )
     .unwrap();
@@ -50,26 +58,16 @@ fn run(nodes: u32, threads: u32, mode: FanoutMode) -> u64 {
     handles.into_iter().map(|h| h.join().unwrap()).sum()
 }
 
-fn bench_dxchg(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dxchg-hash-split");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+fn main() {
+    let mut g = Group::new("dxchg-hash-split");
     for (nodes, threads) in [(2u32, 2u32), (3, 4)] {
-        g.throughput(Throughput::Elements(nodes as u64 * ROWS as u64));
+        g.throughput(nodes as u64 * ROWS as u64);
         for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
-            let label = format!("{nodes}x{threads}-{mode:?}");
-            g.bench_with_input(BenchmarkId::from_parameter(&label), &mode, |b, &mode| {
-                b.iter(|| {
-                    let total = run(nodes, threads, mode);
-                    assert_eq!(total, nodes as u64 * ROWS as u64);
-                    total
-                })
+            g.bench(&format!("{nodes}x{threads}-{mode:?}"), || {
+                let total = run(nodes, threads, mode);
+                assert_eq!(total, nodes as u64 * ROWS as u64);
+                total
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_dxchg);
-criterion_main!(benches);

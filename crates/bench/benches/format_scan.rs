@@ -1,10 +1,9 @@
-//! Criterion: Figure 1(a) as a microbenchmark — scan + predicate over the
-//! VectorH format with/without MinMax skipping, vs the baseline formats.
+//! Figure 1(a) as a microbenchmark — scan + predicate over the VectorH
+//! format with/without MinMax skipping, vs the baseline formats.
 
 use std::sync::Arc;
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vectorh_bench::harness::Group;
 use vectorh_common::{ColumnData, DataType, Schema, Value};
 use vectorh_compress::baseline::{decode as bdecode, encode as bencode, BaselineFormat};
 use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
@@ -16,11 +15,21 @@ const N: i64 = 200_000;
 fn store() -> PartitionStore {
     let fs = SimHdfs::new(
         1,
-        SimHdfsConfig { block_size: 1 << 20, default_replication: 1 },
+        SimHdfsConfig {
+            block_size: 1 << 20,
+            default_replication: 1,
+        },
         Arc::new(DefaultPolicy::new(1)),
     );
     let schema = Schema::of(&[("ship", DataType::Date), ("lineno", DataType::I64)]);
-    let mut s = PartitionStore::new(fs, "/bench/li/", schema, StorageConfig { rows_per_chunk: 8192 });
+    let mut s = PartitionStore::new(
+        fs,
+        "/bench/li/",
+        schema,
+        StorageConfig {
+            rows_per_chunk: 8192,
+        },
+    );
     // Sorted dates — the clustered-index case.
     s.append_rows(&[
         ColumnData::I32((0..N as i32).map(|i| i / 100).collect()),
@@ -53,7 +62,7 @@ fn vectorh_scan(s: &PartitionStore, cut: i32, skip: bool) -> i64 {
     best
 }
 
-fn bench_scan(c: &mut Criterion) {
+fn main() {
     let s = store();
     // Baseline chunks.
     let mut orc_chunks = Vec::new();
@@ -69,38 +78,29 @@ fn bench_scan(c: &mut Criterion) {
         at = to;
     }
 
-    let mut g = c.benchmark_group("fig1-scan");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
-    g.throughput(Throughput::Elements(N as u64));
+    let mut g = Group::new("fig1-scan");
+    g.throughput(N as u64);
     for sel in [10u32, 50, 90] {
         let cut = (N as i32 / 100) * sel as i32 / 100;
-        g.bench_with_input(BenchmarkId::new("vectorh+minmax", sel), &cut, |b, &cut| {
-            b.iter(|| vectorh_scan(&s, cut, true))
+        g.bench(&format!("vectorh+minmax/{sel}"), || {
+            vectorh_scan(&s, cut, true)
         });
-        g.bench_with_input(BenchmarkId::new("vectorh-no-skip", sel), &cut, |b, &cut| {
-            b.iter(|| vectorh_scan(&s, cut, false))
+        g.bench(&format!("vectorh-no-skip/{sel}"), || {
+            vectorh_scan(&s, cut, false)
         });
-        g.bench_with_input(BenchmarkId::new("orc-like", sel), &cut, |b, &cut| {
-            b.iter(|| {
-                let mut best = i64::MIN;
-                for (ship_enc, line_enc) in &orc_chunks {
-                    let ship = bdecode(BaselineFormat::OrcLike, ship_enc).unwrap();
-                    let line = bdecode(BaselineFormat::OrcLike, line_enc).unwrap();
-                    let (ship, line) = (ship.as_i32().unwrap(), line.as_i64().unwrap());
-                    for i in 0..ship.len() {
-                        if ship[i] < cut && line[i] > best {
-                            best = line[i];
-                        }
+        g.bench(&format!("orc-like/{sel}"), || {
+            let mut best = i64::MIN;
+            for (ship_enc, line_enc) in &orc_chunks {
+                let ship = bdecode(BaselineFormat::OrcLike, ship_enc).unwrap();
+                let line = bdecode(BaselineFormat::OrcLike, line_enc).unwrap();
+                let (ship, line) = (ship.as_i32().unwrap(), line.as_i64().unwrap());
+                for i in 0..ship.len() {
+                    if ship[i] < cut && line[i] > best {
+                        best = line[i];
                     }
                 }
-                best
-            })
+            }
+            best
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_scan);
-criterion_main!(benches);

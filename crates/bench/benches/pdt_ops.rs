@@ -1,11 +1,10 @@
-//! Criterion: PDT operations — updates, SID↔RID translation, merge plans.
+//! PDT operations — updates, SID↔RID translation, merge plans.
 //!
 //! "Their primary goal is fast merging of differences in a scan, which
 //! happens for each and every query" (§2) — merge-plan construction and the
 //! positional ops are the hot paths this measures.
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vectorh_bench::harness::Group;
 use vectorh_common::rng::SplitMix64;
 use vectorh_common::Value;
 use vectorh_pdt::tree::Pdt;
@@ -20,84 +19,69 @@ fn loaded_pdt(entries: usize, seed: u64) -> Pdt {
         match rng.next_bounded(10) {
             0..=4 => {
                 let rid = rng.next_bounded(image + 1);
-                pdt.insert_at(rid, vec![Value::I64(tag as i64)], tag, STABLE).unwrap();
+                pdt.insert_at(rid, vec![Value::I64(tag as i64)], tag, STABLE)
+                    .unwrap();
             }
             5..=7 => {
                 pdt.delete_at(rng.next_bounded(image), STABLE).unwrap();
             }
             _ => {
-                pdt.modify_at(rng.next_bounded(image), 0, Value::I64(-1), STABLE).unwrap();
+                pdt.modify_at(rng.next_bounded(image), 0, Value::I64(-1), STABLE)
+                    .unwrap();
             }
         }
     }
     pdt
 }
 
-fn bench_updates(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pdt-updates");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+fn bench_updates() {
+    let mut g = Group::new("pdt-updates");
     for &n in &[1_000usize, 10_000, 50_000] {
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("mixed-ops", n), &n, |b, &n| {
-            b.iter(|| loaded_pdt(n, 3))
-        });
+        g.throughput(n as u64);
+        g.bench(&format!("mixed-ops/{n}"), || loaded_pdt(n, 3));
     }
-    g.finish();
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pdt-lookup");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+fn bench_lookup() {
+    let mut g = Group::new("pdt-lookup");
     for &n in &[1_000usize, 10_000, 50_000] {
         let pdt = loaded_pdt(n, 5);
         let image = pdt.image_len(STABLE);
-        g.throughput(Throughput::Elements(1024));
-        g.bench_with_input(BenchmarkId::new("find_rid", n), &pdt, |b, pdt| {
-            let mut rng = SplitMix64::new(9);
-            b.iter(|| {
-                let mut hits = 0u64;
-                for _ in 0..1024 {
-                    let rid = rng.next_bounded(image);
-                    if pdt.find_rid(rid, STABLE).is_ok() {
-                        hits += 1;
-                    }
+        g.throughput(1024);
+        let mut rng = SplitMix64::new(9);
+        g.bench(&format!("find_rid/{n}"), || {
+            let mut hits = 0u64;
+            for _ in 0..1024 {
+                let rid = rng.next_bounded(image);
+                if pdt.find_rid(rid, STABLE).is_ok() {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
-        g.bench_with_input(BenchmarkId::new("rid_of_stable", n), &pdt, |b, pdt| {
-            let mut rng = SplitMix64::new(11);
-            b.iter(|| {
-                let mut hits = 0u64;
-                for _ in 0..1024 {
-                    if pdt.rid_of_stable(rng.next_bounded(STABLE)).is_some() {
-                        hits += 1;
-                    }
+        let mut rng = SplitMix64::new(11);
+        g.bench(&format!("rid_of_stable/{n}"), || {
+            let mut hits = 0u64;
+            for _ in 0..1024 {
+                if pdt.rid_of_stable(rng.next_bounded(STABLE)).is_some() {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    g.finish();
 }
 
-fn bench_merge_plan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pdt-merge-plan");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+fn bench_merge_plan() {
+    let mut g = Group::new("pdt-merge-plan");
     for &n in &[0usize, 1_000, 10_000, 50_000] {
         let pdt = loaded_pdt(n, 13);
-        g.bench_with_input(BenchmarkId::new("merge_plan", n), &pdt, |b, pdt| {
-            b.iter(|| pdt.merge_plan(STABLE))
-        });
+        g.bench(&format!("merge_plan/{n}"), || pdt.merge_plan(STABLE));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_updates, bench_lookup, bench_merge_plan);
-criterion_main!(benches);
+fn main() {
+    bench_updates();
+    bench_lookup();
+    bench_merge_plan();
+}

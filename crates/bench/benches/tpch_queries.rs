@@ -1,9 +1,8 @@
-//! Criterion: representative TPC-H queries on the full VectorH stack vs the
+//! Representative TPC-H queries on the full VectorH stack vs the
 //! single-threaded columnar baseline (a steady-state slice of Figure 7).
 
-use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vectorh::{ClusterConfig, VectorH};
+use vectorh_bench::harness::Group;
 use vectorh_tpch::baseline::{BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
 
@@ -24,34 +23,21 @@ fn setup() -> Setup {
     Setup { vh, db }
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     let s = setup();
-    let mut g = c.benchmark_group("tpch-sf0.005");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_millis(300));
-    g.measurement_time(Duration::from_millis(900));
+    let mut g = Group::new("tpch-sf0.005");
     for qn in [1usize, 3, 6, 12, 14] {
-        g.bench_with_input(BenchmarkId::new("vectorh", qn), &qn, |b, &qn| {
-            b.iter(|| {
-                let q = build_query(qn).unwrap();
-                run_with(&q, |p| s.vh.query_logical(p)).unwrap()
-            })
+        g.bench(&format!("vectorh/q{qn}"), || {
+            let q = build_query(qn).unwrap();
+            run_with(&q, |p| s.vh.query_logical(p)).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("naive-columnar", qn), &qn, |b, &qn| {
-            b.iter(|| {
-                let q = build_query(qn).unwrap();
-                s.db.run_query(&q, BaselineKind::NaiveColumnar).unwrap()
-            })
+        g.bench(&format!("naive-columnar/q{qn}"), || {
+            let q = build_query(qn).unwrap();
+            s.db.run_query(&q, BaselineKind::NaiveColumnar).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("rowstore", qn), &qn, |b, &qn| {
-            b.iter(|| {
-                let q = build_query(qn).unwrap();
-                s.db.run_query(&q, BaselineKind::RowStore).unwrap()
-            })
+        g.bench(&format!("rowstore/q{qn}"), || {
+            let q = build_query(qn).unwrap();
+            s.db.run_query(&q, BaselineKind::RowStore).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

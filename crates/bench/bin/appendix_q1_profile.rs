@@ -29,13 +29,20 @@ fn main() {
         TpchQuery::Single(p) => p.clone(),
         _ => unreachable!("Q1 is a single plan"),
     };
-    println!("distributed plan:\n{}", vh.optimize(&plan).unwrap().explain());
+    println!(
+        "distributed plan:\n{}",
+        vh.optimize(&plan).unwrap().explain()
+    );
 
     // Warm, then profile.
     let _ = run_with(&q, |p| vh.query_logical(p)).unwrap();
     let phys = vh.optimize(&plan).unwrap();
     let ((rows, profile), wall) = timed(|| vh.run_physical_public(&phys).unwrap());
-    println!("Q1 returned {} groups in {:.1} ms\n", rows.len(), wall * 1e3);
+    println!(
+        "Q1 returned {} groups in {:.1} ms\n",
+        rows.len(),
+        wall * 1e3
+    );
     println!("per-operator profile (time = self, cum_time = incl. children):");
     println!("{profile}");
 
@@ -61,7 +68,11 @@ fn main() {
             sender_walls.len(),
             min,
             max,
-            if min > 0.0 { (max / min - 1.0) * 100.0 } else { 0.0 }
+            if min > 0.0 {
+                (max / min - 1.0) * 100.0
+            } else {
+                0.0
+            }
         );
         println!(
             "paper shape: the parallel Aggr/Project/MScan dominate; thread spread ~20% with\n\

@@ -54,7 +54,12 @@ fn main() {
     println!("Figure 1 reproduction — lineitem at SF {sf}, sorted on l_shipdate\n");
     let data = gen::generate(sf, 1);
     let defs = vectorh_tpch::schema::table_defs(1).unwrap();
-    let schema = defs.iter().find(|d| d.name == "lineitem").unwrap().schema.clone();
+    let schema = defs
+        .iter()
+        .find(|d| d.name == "lineitem")
+        .unwrap()
+        .schema
+        .clone();
     let mut rows = data.lineitem;
     rows.sort_by_key(|r| match r[l::L_SHIPDATE] {
         Value::Date(d) => d,
@@ -66,16 +71,23 @@ fn main() {
     // --- VectorH storage: chunked columnar with MinMax --------------------
     let fs = SimHdfs::new(
         1,
-        SimHdfsConfig { block_size: 1 << 20, default_replication: 1 },
+        SimHdfsConfig {
+            block_size: 1 << 20,
+            default_replication: 1,
+        },
         Arc::new(DefaultPolicy::new(1)),
     );
     let mut store = PartitionStore::new(
         fs.clone(),
         "/bench/lineitem/",
         schema.clone(),
-        StorageConfig { rows_per_chunk: 4096 },
+        StorageConfig {
+            rows_per_chunk: 4096,
+        },
     );
-    let cols: Vec<ColumnData> = (0..schema.len()).map(|c| column_of(&rows, &schema, c)).collect();
+    let cols: Vec<ColumnData> = (0..schema.len())
+        .map(|c| column_of(&rows, &schema, c))
+        .collect();
     store.append_rows(&cols).unwrap();
 
     // --- Baseline storage: per-chunk encoded columns ----------------------
@@ -111,7 +123,9 @@ fn main() {
         .collect();
     let selectivities = [0.1, 0.3, 0.6, 0.9];
 
-    println!("(a) hot query time  +  (b) data read — SELECT max(l_linenumber) WHERE l_shipdate < X");
+    println!(
+        "(a) hot query time  +  (b) data read — SELECT max(l_linenumber) WHERE l_shipdate < X"
+    );
     let mut out_rows = Vec::new();
     for &sel in &selectivities {
         let cut = dates[((n as f64 * sel) as usize).min(n - 1)];
@@ -124,8 +138,12 @@ fn main() {
                 if !*keep {
                     continue;
                 }
-                let ship = store.read_column(chunk, l::L_SHIPDATE, Some(vectorh_common::NodeId(0))).unwrap();
-                let line = store.read_column(chunk, l::L_LINENUMBER, Some(vectorh_common::NodeId(0))).unwrap();
+                let ship = store
+                    .read_column(chunk, l::L_SHIPDATE, Some(vectorh_common::NodeId(0)))
+                    .unwrap();
+                let line = store
+                    .read_column(chunk, l::L_LINENUMBER, Some(vectorh_common::NodeId(0)))
+                    .unwrap();
                 let ship = ship.as_i32().unwrap();
                 let line = line.as_i64().unwrap();
                 for i in 0..ship.len() {
@@ -168,14 +186,32 @@ fn main() {
         assert_eq!(vh_max, p_max);
         out_rows.push(vec![
             format!("{:.0}%", sel * 100.0),
-            format!("{:.1} ({})", vh_time * 1e3, vectorh_common::util::fmt_bytes(vh_read)),
-            format!("{:.1} ({})", o_time * 1e3, vectorh_common::util::fmt_bytes(o_read)),
-            format!("{:.1} ({})", p_time * 1e3, vectorh_common::util::fmt_bytes(p_read)),
+            format!(
+                "{:.1} ({})",
+                vh_time * 1e3,
+                vectorh_common::util::fmt_bytes(vh_read)
+            ),
+            format!(
+                "{:.1} ({})",
+                o_time * 1e3,
+                vectorh_common::util::fmt_bytes(o_read)
+            ),
+            format!(
+                "{:.1} ({})",
+                p_time * 1e3,
+                vectorh_common::util::fmt_bytes(p_read)
+            ),
             format!("{:.1}x / {:.1}x", o_time / vh_time, p_time / vh_time),
         ]);
     }
     print_table(
-        &["selectivity", "vectorh ms (read)", "orc-like ms (read)", "parquet-like ms (read)", "speedup orc/parquet"],
+        &[
+            "selectivity",
+            "vectorh ms (read)",
+            "orc-like ms (read)",
+            "parquet-like ms (read)",
+            "speedup orc/parquet",
+        ],
         &out_rows,
     );
 
@@ -207,7 +243,10 @@ fn main() {
         totals.1.to_string(),
         totals.2.to_string(),
     ]);
-    print_table(&["column", "vh scheme", "vectorh", "orc-like", "parquet-like"], &size_rows);
+    print_table(
+        &["column", "vh scheme", "vectorh", "orc-like", "parquet-like"],
+        &size_rows,
+    );
     println!(
         "\nshape check: vectorh total is {:.2}x smaller than orc-like, {:.2}x than parquet-like",
         totals.1 as f64 / totals.0 as f64,

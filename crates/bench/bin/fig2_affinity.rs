@@ -28,7 +28,11 @@ fn print_mapping(vh: &VectorH, label: &str) {
             let mut nodes: Vec<String> = vh
                 .workers()
                 .iter()
-                .filter(|w| files.iter().all(|f| vh.fs().fully_local(&f.path, **w).unwrap_or(false)))
+                .filter(|w| {
+                    files
+                        .iter()
+                        .all(|f| vh.fs().fully_local(&f.path, **w).unwrap_or(false))
+                })
                 .map(|w| w.to_string())
                 .collect();
             nodes.sort();
@@ -76,25 +80,42 @@ fn main() {
                 .partition_by(&["key"], 12),
         )
         .unwrap();
-        vh.insert_rows(t, (0..24_000).map(|i| vec![Value::I64(i), Value::I64(i % 7)]).collect())
-            .unwrap();
+        vh.insert_rows(
+            t,
+            (0..24_000)
+                .map(|i| vec![Value::I64(i), Value::I64(i % 7)])
+                .collect(),
+        )
+        .unwrap();
     }
 
     print_mapping(&vh, "before failure (round-robin initial affinity):");
-    println!("\nco-located R/S responsibility: {}", co_location_holds(&vh));
+    println!(
+        "\nco-located R/S responsibility: {}",
+        co_location_holds(&vh)
+    );
     let (local, remote) = scan_locality(&vh);
-    println!("scan IO: {} local / {} remote", fmt_bytes(local), fmt_bytes(remote));
+    println!(
+        "scan IO: {} local / {} remote",
+        fmt_bytes(local),
+        fmt_bytes(remote)
+    );
     assert_eq!(remote, 0, "all table IO short-circuited before failure");
 
     // The co-located join runs without any repartition exchange.
-    let explain = vh.explain("SELECT count(*) FROM r JOIN s ON r.key = s.key").unwrap();
+    let explain = vh
+        .explain("SELECT count(*) FROM r JOIN s ON r.key = s.key")
+        .unwrap();
     println!("\nWHERE R.key = S.key join plan:\n{explain}");
 
     println!("*** node3 fails ***");
     let rerep_before = vh.fs().stats().snapshot().rereplicated_bytes;
     vh.kill_node(NodeId(3)).unwrap();
     let rerep = vh.fs().stats().snapshot().rereplicated_bytes - rerep_before;
-    println!("re-replicated {} (only the lost replicas move)", fmt_bytes(rerep));
+    println!(
+        "re-replicated {} (only the lost replicas move)",
+        fmt_bytes(rerep)
+    );
 
     print_mapping(&vh, "after failure (min-cost-flow remap, Figure 2 bottom):");
     // Responsibility spread 12/3 nodes.
@@ -108,11 +129,17 @@ fn main() {
     println!("co-located R/S responsibility: {}", co_location_holds(&vh));
 
     let (local, remote) = scan_locality(&vh);
-    println!("scan IO after failover: {} local / {} remote", fmt_bytes(local), fmt_bytes(remote));
+    println!(
+        "scan IO after failover: {} local / {} remote",
+        fmt_bytes(local),
+        fmt_bytes(remote)
+    );
     assert_eq!(remote, 0, "all table IO short-circuited after failover");
 
     // Join answers still correct.
-    let rows = vh.query("SELECT count(*) FROM r JOIN s ON r.key = s.key").unwrap();
+    let rows = vh
+        .query("SELECT count(*) FROM r JOIN s ON r.key = s.key")
+        .unwrap();
     println!("\nR ⋈ S row count after failover: {}", rows[0][0]);
     assert_eq!(rows[0][0], Value::I64(24_000));
     println!("\nOK — Figure 2 semantics reproduced.");

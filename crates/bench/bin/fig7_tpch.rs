@@ -14,7 +14,7 @@ use vectorh::{ClusterConfig, VectorH};
 use vectorh_bench::{print_table, timed_hot};
 use vectorh_common::util::geometric_mean;
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
-use vectorh_tpch::queries::{build_query, run_with, N_QUERIES, TpchQuery};
+use vectorh_tpch::queries::{build_query, run_with, TpchQuery, N_QUERIES};
 
 /// Estimate the wall time this query would take on a real cluster with
 /// `slots` concurrent streams: the host has one core, so the per-sender
@@ -31,7 +31,11 @@ fn estimate_cluster_secs(vh: &VectorH, q: &TpchQuery, slots: f64) -> f64 {
         for line in profile.lines() {
             let t = line.trim_start();
             if t.starts_with("sender ") || t.starts_with("thread ") {
-                if let Some(ms) = t.split("cum_time=").nth(1).and_then(|r| r.split("ms").next()) {
+                if let Some(ms) = t
+                    .split("cum_time=")
+                    .nth(1)
+                    .and_then(|r| r.split("ms").next())
+                {
                     if let Ok(v) = ms.parse::<f64>() {
                         parallel += v / 1e3;
                     }
@@ -77,11 +81,20 @@ fn main() {
         let (vh_out, vh_t) = timed_hot(|| run_with(&q, |p| vh.query_logical(p)).unwrap());
         let est = estimate_cluster_secs(&vh, &build_query(qn).unwrap(), slots);
         let q2 = build_query(qn).unwrap();
-        let (col_out, col_t) = timed_hot(|| db.run_query(&q2, BaselineKind::NaiveColumnar).unwrap());
+        let (col_out, col_t) =
+            timed_hot(|| db.run_query(&q2, BaselineKind::NaiveColumnar).unwrap());
         let q3 = build_query(qn).unwrap();
         let (row_out, row_t) = timed_hot(|| db.run_query(&q3, BaselineKind::RowStore).unwrap());
-        assert_eq!(canonical(vh_out.clone()), canonical(row_out), "Q{qn} mismatch vs rowstore");
-        assert_eq!(canonical(vh_out), canonical(col_out), "Q{qn} mismatch vs columnar");
+        assert_eq!(
+            canonical(vh_out.clone()),
+            canonical(row_out),
+            "Q{qn} mismatch vs rowstore"
+        );
+        assert_eq!(
+            canonical(vh_out),
+            canonical(col_out),
+            "Q{qn} mismatch vs columnar"
+        );
         vh_times.push(vh_t.max(1e-6));
         vh_est.push(est.max(1e-6));
         col_times.push(col_t.max(1e-6));
@@ -89,6 +102,7 @@ fn main() {
         rows.push(vec![
             format!("Q{qn}"),
             format!("{:.1}", vh_t * 1e3),
+            format!("{:.2}M", data.total_rows() as f64 / vh_t / 1e6),
             format!("{:.1}", est * 1e3),
             format!("{:.1}", col_t * 1e3),
             format!("{:.1}", row_t * 1e3),
@@ -100,6 +114,7 @@ fn main() {
     rows.push(vec![
         "GEO-MEAN".into(),
         format!("{:.1}", gm(&vh_times) * 1e3),
+        format!("{:.2}M", data.total_rows() as f64 / gm(&vh_times) / 1e6),
         format!("{:.1}", gm(&vh_est) * 1e3),
         format!("{:.1}", gm(&col_times) * 1e3),
         format!("{:.1}", gm(&row_times) * 1e3),
@@ -107,8 +122,22 @@ fn main() {
         format!("{:.1}x", gm(&row_times) / gm(&vh_est)),
     ]);
     print_table(
-        &["query", "vectorh wall ms", "vectorh est-cluster ms", "naive-columnar ms", "rowstore ms", "col/vh", "row/vh"],
+        &[
+            "query",
+            "vectorh wall ms",
+            "vh rows/s",
+            "vectorh est-cluster ms",
+            "naive-columnar ms",
+            "rowstore ms",
+            "col/vh",
+            "row/vh",
+        ],
         &rows,
+    );
+    println!(
+        "\nthroughput: {} table rows per query; geo-mean VectorH rate {:.2}M rows/s (wall)",
+        data.total_rows(),
+        data.total_rows() as f64 / gm(&vh_times) / 1e6
     );
     println!("\n\"how many times faster is VectorH\" (the Figure 7 chart series, est-cluster):");
     let series: Vec<String> = (0..N_QUERIES)
@@ -121,7 +150,10 @@ fn main() {
     println!("  vs naive-columnar: {}", series.join(" "));
     println!("\nnote: the host is a single-core machine — the measured wall column serializes");
     println!("all per-partition pipelines; the est-cluster column divides the profiled");
-    println!("parallel pipeline work across the cluster's stream slots ({} here).", slots);
+    println!(
+        "parallel pipeline work across the cluster's stream slots ({} here).",
+        slots
+    );
     println!("\npaper shape: VectorH wins everywhere; the gap to the tuple-at-a-time engine");
     println!("is the largest (Hive/HAWQ-like), the single-core columnar engine (Impala-like)");
     println!("sits in between.");

@@ -83,9 +83,17 @@ fn main() {
     // --- Hive-like refresh: delta tables matched by key -----------------------
     let (_, base_rf) = timed(|| {
         db.apply_delta("orders", 0, set.orders.clone(), set.delete_keys.clone());
-        db.apply_delta("lineitem", 0, set.lineitems.clone(), set.delete_keys.clone());
+        db.apply_delta(
+            "lineitem",
+            0,
+            set.lineitems.clone(),
+            set.delete_keys.clone(),
+        );
     });
-    println!("baseline delta registration: {:.1} ms (cost is paid at query time)\n", base_rf * 1e3);
+    println!(
+        "baseline delta registration: {:.1} ms (cost is paid at query time)\n",
+        base_rf * 1e3
+    );
 
     println!("re-measuring the 22 queries after updates...");
     let vh_after = sweep_vh(&vh);

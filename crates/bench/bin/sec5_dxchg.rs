@@ -17,7 +17,12 @@ use vectorh_exec::{Batch, Operator};
 use vectorh_net::dxchg::{dxchg_hash_split, DxchgConfig};
 use vectorh_net::{FanoutMode, NetStats};
 
-fn run(nodes: u32, threads_per_node: u32, rows_per_producer: i64, mode: FanoutMode) -> (f64, u64, u64, u64) {
+fn run(
+    nodes: u32,
+    threads_per_node: u32,
+    rows_per_producer: i64,
+    mode: FanoutMode,
+) -> (f64, u64, u64, u64) {
     let schema = Arc::new(Schema::of(&[("k", DataType::I64), ("v", DataType::I64)]));
     let producers: Vec<(u32, Box<dyn Operator>)> = (0..nodes)
         .map(|node| {
@@ -30,13 +35,20 @@ fn run(nodes: u32, threads_per_node: u32, rows_per_producer: i64, mode: FanoutMo
                 ],
             )
             .unwrap();
-            (node, Box::new(BatchSource::from_batch(batch, 1024)) as Box<dyn Operator>)
+            (
+                node,
+                Box::new(BatchSource::from_batch(batch, 1024)) as Box<dyn Operator>,
+            )
         })
         .collect();
-    let consumers: Vec<u32> =
-        (0..nodes).flat_map(|n| std::iter::repeat(n).take(threads_per_node as usize)).collect();
+    let consumers: Vec<u32> = (0..nodes)
+        .flat_map(|n| std::iter::repeat_n(n, threads_per_node as usize))
+        .collect();
     let stats = Arc::new(NetStats::default());
-    let config = DxchgConfig { buffer_bytes: 64 * 1024, mode };
+    let config = DxchgConfig {
+        buffer_bytes: 64 * 1024,
+        mode,
+    };
     let (rows, secs) = timed(|| {
         let receivers =
             dxchg_hash_split(producers, consumers, vec![0], config, stats.clone()).unwrap();
@@ -56,7 +68,12 @@ fn run(nodes: u32, threads_per_node: u32, rows_per_producer: i64, mode: FanoutMo
         handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
     });
     let snap = stats.snapshot();
-    (secs, rows, snap.buffer_bytes_peak, snap.net_messages + snap.intra_messages)
+    (
+        secs,
+        rows,
+        snap.buffer_bytes_peak,
+        snap.net_messages + snap.intra_messages,
+    )
 }
 
 fn main() {
@@ -77,10 +94,16 @@ fn main() {
         let (t2t, t2n) = (per_mode[0], per_mode[1]);
         out.push(vec![
             format!("{nodes}x{threads}"),
-            format!("{:.0} MB/s", (rows_per_producer * nodes as i64 * 16) as f64 / t2t.0 / 1e6),
+            format!(
+                "{:.0} MB/s",
+                (rows_per_producer * nodes as i64 * 16) as f64 / t2t.0 / 1e6
+            ),
             vectorh_common::util::fmt_bytes(t2t.1),
             t2t.2.to_string(),
-            format!("{:.0} MB/s", (rows_per_producer * nodes as i64 * 16) as f64 / t2n.0 / 1e6),
+            format!(
+                "{:.0} MB/s",
+                (rows_per_producer * nodes as i64 * 16) as f64 / t2n.0 / 1e6
+            ),
             vectorh_common::util::fmt_bytes(t2n.1),
             t2n.2.to_string(),
             format!("{:.1}x", t2t.1 as f64 / t2n.1 as f64),

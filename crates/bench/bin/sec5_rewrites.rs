@@ -14,7 +14,7 @@ use vectorh_bench::{print_table, timed_hot};
 use vectorh_common::Value;
 
 fn engine(local_join: bool, repl_build: bool, partial_aggr: bool) -> VectorH {
-    let vh = VectorH::start(ClusterConfig {
+    VectorH::start(ClusterConfig {
         nodes: 3,
         rows_per_chunk: 4096,
         streams_per_node: 2,
@@ -23,8 +23,7 @@ fn engine(local_join: bool, repl_build: bool, partial_aggr: bool) -> VectorH {
         enable_partial_aggr: partial_aggr,
         ..Default::default()
     })
-    .unwrap();
-    vh
+    .unwrap()
 }
 
 const SEC5_SQL: &str = "SELECT s.s_suppkey, s.s_name, count(*) AS l_count \
@@ -77,7 +76,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["configuration", "hot time", "vs all-on", "DXchg ops in plan", "network bytes"],
+        &[
+            "configuration",
+            "hot time",
+            "vs all-on",
+            "DXchg ops in plan",
+            "network bytes",
+        ],
         &rows,
     );
     println!("\npaper shape: 5.02 / 5.64 / 5.67 / 25.51 / 26.14 s — local joins dominate,");

@@ -54,9 +54,13 @@ fn stage_inputs(fs: &SimHdfs, rows_per_file: i64) -> Vec<InputSplit> {
             ];
             let text = to_csv(&cols, &schema, '|');
             let path = format!("/staging/in-{f:02}.csv");
-            fs.append(&path, text.as_bytes(), Some(NodeId(f as u32 % NODES))).unwrap();
+            fs.append(&path, text.as_bytes(), Some(NodeId(f as u32 % NODES)))
+                .unwrap();
             let locs = fs.block_locations(&path).unwrap();
-            InputSplit { path, preferred: locs.first().map(|b| b.nodes.clone()).unwrap_or_default() }
+            InputSplit {
+                path,
+                preferred: locs.first().map(|b| b.nodes.clone()).unwrap_or_default(),
+            }
         })
         .collect()
 }
@@ -116,7 +120,12 @@ fn spark_connector(fs: &SimHdfs, splits: &[InputSplit], net: &Arc<NetStats>) -> 
         scans.push(scan);
         for (s_idx, split) in splits.iter().enumerate() {
             if assignment.operator_of[s_idx] == op_idx {
-                writers.push((split.path.clone(), node, assignment.local[s_idx], port.connect(!assignment.local[s_idx])));
+                writers.push((
+                    split.path.clone(),
+                    node,
+                    assignment.local[s_idx],
+                    port.connect(!assignment.local[s_idx]),
+                ));
             }
         }
     }
@@ -159,12 +168,13 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000i64);
-    println!(
-        "§7 load comparison — {FILES} CSV files × {rows_per_file} rows on {NODES} nodes\n"
-    );
+    println!("§7 load comparison — {FILES} CSV files × {rows_per_file} rows on {NODES} nodes\n");
     let fs = SimHdfs::new(
         NODES as usize,
-        SimHdfsConfig { block_size: 4 << 20, default_replication: 2 },
+        SimHdfsConfig {
+            block_size: 4 << 20,
+            default_replication: 2,
+        },
         Arc::new(DefaultPolicy::new(3)),
     );
     let splits = stage_inputs(&fs, rows_per_file);
@@ -178,8 +188,7 @@ fn main() {
     // cannot show on one host core).
     let per_file: u64 = fs.len(&splits[0].path).unwrap();
     let sim_time = |max_node_parse_bytes: u64, remote_bytes: u64| -> f64 {
-        max_node_parse_bytes as f64 / (PARSE_MBPS * 1e6)
-            + remote_bytes as f64 / (REMOTE_MBPS * 1e6)
+        max_node_parse_bytes as f64 / (PARSE_MBPS * 1e6) + remote_bytes as f64 / (REMOTE_MBPS * 1e6)
     };
 
     let mut rows_out = Vec::new();
@@ -202,7 +211,10 @@ fn main() {
     let (n2, t2) = timed(|| vwload_local(&fs, &splits));
     let io2 = fs.stats().snapshot().since(&before);
     // Each node parses its own 4 files in parallel.
-    let s2 = sim_time(per_file * (FILES as u64 / NODES as u64), io2.remote_read_bytes);
+    let s2 = sim_time(
+        per_file * (FILES as u64 / NODES as u64),
+        io2.remote_read_bytes,
+    );
     rows_out.push(vec![
         "vwload (locality-ordered)".into(),
         format!("{s2:.2} s"),
@@ -218,8 +230,10 @@ fn main() {
     // Spark parses per node too, plus the ExternalScan transfer of the
     // parsed binary rows (counted by the connector's NetStats).
     let xfer = net.snapshot();
-    let s3 = sim_time(per_file * (FILES as u64 / NODES as u64), io3.remote_read_bytes)
-        + (xfer.net_bytes + xfer.rows * 4) as f64 / (REMOTE_MBPS * 1e6 * 4.0);
+    let s3 = sim_time(
+        per_file * (FILES as u64 / NODES as u64),
+        io3.remote_read_bytes,
+    ) + (xfer.net_bytes + xfer.rows * 4) as f64 / (REMOTE_MBPS * 1e6 * 4.0);
     rows_out.push(vec![
         format!("spark connector ({:.0}% affinity)", affinity * 100.0),
         format!("{s3:.2} s"),
@@ -231,7 +245,13 @@ fn main() {
     assert_eq!(n1, n3);
 
     print_table(
-        &["strategy", "simulated cluster time", "host wall", "HDFS read locality", "rows"],
+        &[
+            "strategy",
+            "simulated cluster time",
+            "host wall",
+            "HDFS read locality",
+            "rows",
+        ],
         &rows_out,
     );
     println!("\npaper shape (1237 s / 850 s / 892 s): master-only vwload pays remote reads");
@@ -239,7 +259,10 @@ fn main() {
     println!("gets out-of-the-box locality via matching and lands close behind.");
     assert!(s2 < s1, "locality-ordered must beat master-only");
     assert!(s3 < s1, "connector must beat master-only");
-    assert!(s3 >= s2, "connector pays a small transfer overhead vs direct local load");
+    assert!(
+        s3 >= s2,
+        "connector pays a small transfer overhead vs direct local load"
+    );
     let v: Value = Value::I64(n1 as i64);
     let _ = v;
 }

@@ -48,12 +48,116 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 
 /// Scale factor from `VH_SF` (default tuned for quick runs).
 pub fn env_sf(default: f64) -> f64 {
-    std::env::var("VH_SF").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+    std::env::var("VH_SF")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Minimal in-tree micro-benchmark runner used by the `benches/` targets.
+///
+/// A [`harness::Group`] collects named cases: each case gets one untimed
+/// warm-up call, then is run repeatedly until the measurement budget is
+/// spent (or a minimum iteration count is reached), and the *median*
+/// per-iteration time is reported, plus element throughput when
+/// [`harness::Group::throughput`] was set. Everything prints immediately,
+/// one line per case, so partial runs still show results.
+pub mod harness {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    const WARMUP: Duration = Duration::from_millis(200);
+    const MEASURE: Duration = Duration::from_millis(600);
+    const MIN_ITERS: usize = 5;
+    const MAX_ITERS: usize = 10_000;
+
+    /// A named group of benchmark cases sharing a throughput setting.
+    pub struct Group {
+        name: String,
+        elems: Option<u64>,
+    }
+
+    impl Group {
+        pub fn new(name: &str) -> Group {
+            println!("\n== {name} ==");
+            Group {
+                name: name.to_string(),
+                elems: None,
+            }
+        }
+
+        /// Elements processed per iteration; subsequent cases report
+        /// elems/s alongside the per-iteration time.
+        pub fn throughput(&mut self, elems: u64) {
+            self.elems = Some(elems);
+        }
+
+        /// Run one case and print its median time. Returns the median
+        /// seconds per iteration so callers can compute speedup ratios.
+        pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) -> f64 {
+            // Warm-up: at least one call, then keep going briefly so
+            // caches/allocators reach steady state.
+            let t0 = Instant::now();
+            loop {
+                black_box(f());
+                if t0.elapsed() >= WARMUP {
+                    break;
+                }
+            }
+            let mut samples = Vec::new();
+            let t0 = Instant::now();
+            while (t0.elapsed() < MEASURE || samples.len() < MIN_ITERS) && samples.len() < MAX_ITERS
+            {
+                let it = Instant::now();
+                black_box(f());
+                samples.push(it.elapsed().as_secs_f64());
+            }
+            samples.sort_by(f64::total_cmp);
+            let median = samples[samples.len() / 2];
+            let label = format!("{}/{}", self.name, id);
+            match self.elems {
+                Some(n) => println!(
+                    "{label:<48} {:>12}  {:>14}",
+                    fmt_time(median),
+                    format!("{} elems/s", fmt_count(n as f64 / median)),
+                ),
+                None => println!("{label:<48} {:>12}", fmt_time(median)),
+            }
+            median
+        }
+    }
+
+    fn fmt_time(secs: f64) -> String {
+        if secs < 1e-6 {
+            format!("{:.1} ns", secs * 1e9)
+        } else if secs < 1e-3 {
+            format!("{:.2} us", secs * 1e6)
+        } else if secs < 1.0 {
+            format!("{:.2} ms", secs * 1e3)
+        } else {
+            format!("{secs:.3} s")
+        }
+    }
+
+    fn fmt_count(x: f64) -> String {
+        if x >= 1e9 {
+            format!("{:.2}G", x / 1e9)
+        } else if x >= 1e6 {
+            format!("{:.2}M", x / 1e6)
+        } else if x >= 1e3 {
+            format!("{:.1}k", x / 1e3)
+        } else {
+            format!("{x:.0}")
+        }
+    }
 }
 
 /// First value of the first row, as f64 (harness assertions).
 pub fn scalar(rows: &[Vec<Value>]) -> f64 {
-    rows.first().and_then(|r| r.first()).and_then(|v| v.as_f64()).unwrap_or(f64::NAN)
+    rows.first()
+        .and_then(|r| r.first())
+        .and_then(|v| v.as_f64())
+        .unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]

@@ -12,12 +12,18 @@ pub struct Bitmap {
 impl Bitmap {
     /// All-zero bitmap with `len` addressable bits.
     pub fn new(len: usize) -> Self {
-        Bitmap { words: vec![0; len.div_ceil(64)], len }
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-one bitmap with `len` addressable bits.
     pub fn all_set(len: usize) -> Self {
-        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        let mut b = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
         b.clear_tail();
         b
     }

@@ -1,0 +1,275 @@
+//! Bounded multi-producer multi-consumer channels.
+//!
+//! The exchange operators need `crossbeam-channel`-style MPMC channels —
+//! cloneable senders *and* receivers, blocking `send`/`recv`, disconnect
+//! detection — but the workspace builds without crates.io access, so this is
+//! a small homegrown implementation over a mutex-protected ring and two
+//! condition variables. Throughput is well above what the exchange layer
+//! needs: messages are whole vectors (≥1K rows), so channel traffic is
+//! amortized exactly like every other per-vector cost in the engine.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The sending side is gone; carries the undeliverable message back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// The channel is empty and every sender has disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Chan<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Create a bounded MPMC channel with room for `cap` in-flight messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let chan = Arc::new(Chan {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap: cap.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+/// Producer handle; cloning adds another producer.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Consumer handle; cloning adds another consumer.
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room, then enqueue. Errors (returning the
+    /// message) once every receiver is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if inner.queue.len() < inner.cap {
+                inner.queue.push_back(value);
+                drop(inner);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self
+                .chan
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives. Errors once the channel is empty and
+    /// every sender is gone (end of stream).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self
+                .chan
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pop a message only if one is already queued.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let v = inner.queue.pop_front();
+        if v.is_some() {
+            drop(inner);
+            self.chan.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Drain whatever is queued right now without blocking.
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+}
+
+/// Iterator over currently-queued messages (see [`Receiver::try_iter`]).
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv()
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.senders += 1;
+        drop(inner);
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.receivers += 1;
+        drop(inner);
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.senders -= 1;
+        let last = inner.senders == 0;
+        drop(inner);
+        if last {
+            // Wake blocked consumers so they observe end-of-stream.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.receivers -= 1;
+        let last = inner.receivers == 0;
+        drop(inner);
+        if last {
+            // Wake blocked producers so they observe the disconnect.
+            self.chan.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = bounded::<i32>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_all_receivers_drop() {
+        let (tx, rx) = bounded(2);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn backpressure_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap();
+        let h = std::thread::spawn(move || tx.send(1).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = bounded(8);
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(rx.try_iter().count(), 0); // empty, does not block
+    }
+
+    #[test]
+    fn mpmc_many_producers_many_consumers() {
+        let (tx, rx) = bounded(16);
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<i32> = (0..4)
+            .flat_map(|p| (0..500).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+}

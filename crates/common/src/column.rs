@@ -210,7 +210,10 @@ mod tests {
     #[test]
     fn physical_mapping() {
         assert_eq!(physical_of(DataType::Date), PhysicalType::I32);
-        assert_eq!(physical_of(DataType::Decimal { scale: 2 }), PhysicalType::I64);
+        assert_eq!(
+            physical_of(DataType::Decimal { scale: 2 }),
+            PhysicalType::I64
+        );
         assert_eq!(physical_of(DataType::Str), PhysicalType::Str);
     }
 

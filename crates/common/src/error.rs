@@ -101,10 +101,7 @@ mod tests {
 
     #[test]
     fn errors_compare_by_value() {
-        assert_eq!(
-            VhError::Plan("x".into()),
-            VhError::Plan("x".into())
-        );
+        assert_eq!(VhError::Plan("x".into()), VhError::Plan("x".into()));
         assert_ne!(VhError::Plan("x".into()), VhError::Exec("x".into()));
     }
 
@@ -125,8 +122,7 @@ mod tests {
             VhError::InvalidArg(String::new()),
             VhError::Internal(String::new()),
         ];
-        let tags: std::collections::HashSet<_> =
-            variants.iter().map(|v| v.subsystem()).collect();
+        let tags: std::collections::HashSet<_> = variants.iter().map(|v| v.subsystem()).collect();
         assert_eq!(tags.len(), variants.len(), "subsystem tags must be unique");
     }
 }

@@ -11,11 +11,13 @@
 //! entropy.
 
 pub mod bitmap;
+pub mod channel;
 pub mod column;
 pub mod error;
 pub mod ids;
 pub mod rng;
 pub mod schema;
+pub mod sync;
 pub mod types;
 pub mod util;
 

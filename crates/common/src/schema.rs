@@ -2,10 +2,9 @@
 
 use crate::types::DataType;
 use crate::{Result, VhError};
-use serde::{Deserialize, Serialize};
 
 /// One column of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub dtype: DataType,
@@ -13,12 +12,15 @@ pub struct Field {
 
 impl Field {
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
 /// An ordered list of fields.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }

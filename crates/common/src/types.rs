@@ -6,12 +6,11 @@
 //! values), dates (days since 1970-01-01, like Vectorwise's internal date),
 //! and strings.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// Physical data types of column values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 32-bit signed integer.
     I32,
@@ -64,7 +63,7 @@ impl fmt::Display for DataType {
 ///
 /// `Decimal` carries its scale so values stay self-describing; arithmetic on
 /// decimals of equal scale is exact integer arithmetic.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     I32(i32),
     I64(i64),
@@ -160,7 +159,13 @@ impl fmt::Display for Value {
                 let scale = 10i64.pow(*s as u32);
                 let sign = if *v < 0 { "-" } else { "" };
                 let v = v.unsigned_abs() as i64;
-                write!(f, "{sign}{}.{:0width$}", v / scale, v % scale, width = *s as usize)
+                write!(
+                    f,
+                    "{sign}{}.{:0width$}",
+                    v / scale,
+                    v % scale,
+                    width = *s as usize
+                )
             }
             Value::Date(v) => {
                 let (y, m, d) = date::from_days(*v);
@@ -191,8 +196,8 @@ pub mod date {
         // then rebase to the 1970 epoch (which is day 719162 from year 1).
         let y = year as i64 - 1;
         let mut days = y * 365 + y / 4 - y / 100 + y / 400;
-        for m in 0..(month as usize - 1) {
-            days += MDAYS[m];
+        for (m, &md) in MDAYS.iter().enumerate().take(month as usize - 1) {
+            days += md;
             if m == 1 && is_leap(year as i64) {
                 days += 1;
             }
@@ -204,7 +209,7 @@ pub mod date {
     /// Convert days since 1970-01-01 back to `(year, month, day)`.
     pub fn from_days(days: i32) -> (i32, u32, u32) {
         let mut rem = days as i64 + 719_162; // days since year 1, Jan 1
-        // 400-year cycles of 146097 days keep the loop count tiny.
+                                             // 400-year cycles of 146097 days keep the loop count tiny.
         let mut year: i64 = 1;
         year += 400 * (rem / 146_097);
         rem %= 146_097;
@@ -325,7 +330,10 @@ mod tests {
 
     #[test]
     fn value_display() {
-        assert_eq!(Value::Date(date::parse("1997-03-05").unwrap()).to_string(), "1997-03-05");
+        assert_eq!(
+            Value::Date(date::parse("1997-03-05").unwrap()).to_string(),
+            "1997-03-05"
+        );
         assert_eq!(Value::Str("x".into()).to_string(), "x");
         assert_eq!(Value::Null.to_string(), "NULL");
     }

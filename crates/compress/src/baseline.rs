@@ -281,7 +281,9 @@ pub fn decode(format: BaselineFormat, bytes: &[u8]) -> Option<ColumnData> {
                 BaselineFormat::OrcLike => orc_decode_ints_raw(&raw)?,
                 BaselineFormat::ParquetLike => parquet_decode_ints_raw(&raw, false)?,
             };
-            Some(ColumnData::I32(wide.into_iter().map(|x| x as i32).collect()))
+            Some(ColumnData::I32(
+                wide.into_iter().map(|x| x as i32).collect(),
+            ))
         }
         1 => {
             let v = match format {
@@ -308,7 +310,6 @@ pub fn decode(format: BaselineFormat, bytes: &[u8]) -> Option<ColumnData> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use vectorh_common::rng::SplitMix64;
 
     fn roundtrip(format: BaselineFormat, col: &ColumnData) -> usize {
@@ -340,14 +341,22 @@ mod tests {
         let vals: Vec<i64> = (100..200).collect();
         let mut raw = Vec::new();
         orc_encode_ints_raw(&vals, &mut raw);
-        assert!(raw.len() < 12, "one run token expected, got {} bytes", raw.len());
+        assert!(
+            raw.len() < 12,
+            "one run token expected, got {} bytes",
+            raw.len()
+        );
         assert_eq!(orc_decode_ints_raw(&raw).unwrap(), vals);
     }
 
     #[test]
     fn all_formats_roundtrip_all_types() {
         let mut rng = SplitMix64::new(3);
-        let i32c = ColumnData::I32((0..500).map(|_| rng.range_i64(-1000, 1000) as i32).collect());
+        let i32c = ColumnData::I32(
+            (0..500)
+                .map(|_| rng.range_i64(-1000, 1000) as i32)
+                .collect(),
+        );
         let i64c = ColumnData::I64((0..500).map(|_| rng.next_u64() as i64).collect());
         let f64c = ColumnData::F64((0..100).map(|_| rng.next_f64()).collect());
         let strc = ColumnData::Str((0..100).map(|i| format!("value-{}", i % 7)).collect());
@@ -378,25 +387,43 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_orc_ints_roundtrip(seed in any::<u64>(), n in 0usize..1000) {
+    #[test]
+    fn prop_orc_ints_roundtrip() {
+        let mut meta = SplitMix64::new(0x06C5);
+        for _ in 0..64 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(1000) as usize;
             let mut rng = SplitMix64::new(seed);
-            let vals: Vec<i64> = (0..n).map(|_| {
-                if rng.chance(0.3) { rng.range_i64(0, 10) } else { rng.next_u64() as i64 }
-            }).collect();
+            let vals: Vec<i64> = (0..n)
+                .map(|_| {
+                    if rng.chance(0.3) {
+                        rng.range_i64(0, 10)
+                    } else {
+                        rng.next_u64() as i64
+                    }
+                })
+                .collect();
             let mut raw = Vec::new();
             orc_encode_ints_raw(&vals, &mut raw);
-            prop_assert_eq!(orc_decode_ints_raw(&raw), Some(vals));
+            assert_eq!(orc_decode_ints_raw(&raw), Some(vals), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_baseline_column_roundtrip(seed in any::<u64>(), n in 0usize..500, fmt in 0..2) {
-            let format = if fmt == 0 { BaselineFormat::OrcLike } else { BaselineFormat::ParquetLike };
+    #[test]
+    fn prop_baseline_column_roundtrip() {
+        let mut meta = SplitMix64::new(0xBA5E);
+        for case in 0..64 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(500) as usize;
+            let format = if case % 2 == 0 {
+                BaselineFormat::OrcLike
+            } else {
+                BaselineFormat::ParquetLike
+            };
             let mut rng = SplitMix64::new(seed);
             let col = ColumnData::I64((0..n).map(|_| rng.range_i64(-50, 50)).collect());
             let enc = encode(format, &col);
-            prop_assert_eq!(decode(format, &enc), Some(col));
+            assert_eq!(decode(format, &enc), Some(col), "seed {seed}");
         }
     }
 }

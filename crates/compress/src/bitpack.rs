@@ -20,7 +20,10 @@ pub fn pack(values: &[u64], width: u8, out: &mut Vec<u8>) {
     let mut acc: u128 = 0;
     let mut acc_bits: u32 = 0;
     for &v in values {
-        debug_assert!(width == 64 || v < (1u64 << width), "value {v} exceeds width {width}");
+        debug_assert!(
+            width == 64 || v < (1u64 << width),
+            "value {v} exceeds width {width}"
+        );
         acc |= (v as u128) << acc_bits;
         acc_bits += width;
         while acc_bits >= 8 {
@@ -41,11 +44,15 @@ pub fn unpack(bytes: &[u8], count: usize, width: u8, out: &mut Vec<u64>) -> usiz
     assert!(width as usize <= 64);
     out.reserve(count);
     if width == 0 {
-        out.extend(std::iter::repeat(0u64).take(count));
+        out.extend(std::iter::repeat_n(0u64, count));
         return 0;
     }
     let width = width as u32;
-    let mask: u128 = if width == 64 { u128::MAX >> 64 } else { (1u128 << width) - 1 };
+    let mask: u128 = if width == 64 {
+        u128::MAX >> 64
+    } else {
+        (1u128 << width) - 1
+    };
     let mut acc: u128 = 0;
     let mut acc_bits: u32 = 0;
     let mut pos = 0usize;
@@ -88,7 +95,6 @@ pub fn packed_size(count: usize, width: u8) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn roundtrip(values: &[u64], width: u8) {
         let mut bytes = Vec::new();
@@ -135,21 +141,27 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_any_width(
-            width in 0u8..=64,
-            seed in any::<u64>(),
-            n in 0usize..300,
-        ) {
+    #[test]
+    fn prop_roundtrip_any_width() {
+        let mut meta = vectorh_common::rng::SplitMix64::new(0xB17);
+        // Sweep every width; draw random lengths/payloads per width.
+        for width in 0u8..=64 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(300) as usize;
             let mut rng = vectorh_common::rng::SplitMix64::new(seed);
-            let mask = if width == 0 { 0 } else if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let mask = if width == 0 {
+                0
+            } else if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
             let vals: Vec<u64> = (0..n).map(|_| rng.next_u64() & mask).collect();
             let mut bytes = Vec::new();
             pack(&vals, width, &mut bytes);
             let mut out = Vec::new();
             unpack(&bytes, vals.len(), width, &mut out);
-            prop_assert_eq!(out, vals);
+            assert_eq!(out, vals, "width {width} seed {seed}");
         }
     }
 }

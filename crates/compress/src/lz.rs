@@ -107,7 +107,6 @@ pub fn decompress(input: &[u8], out: &mut Vec<u8>) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use vectorh_common::rng::SplitMix64;
 
     fn roundtrip(data: &[u8]) -> usize {
@@ -181,27 +180,38 @@ mod tests {
         assert_eq!(decompress(&[0, b'x', 130, 1], &mut out), None);
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip_structured(seed in any::<u64>(), n in 0usize..5000, alphabet in 1u64..20) {
+    #[test]
+    fn prop_roundtrip_structured() {
+        let mut meta = SplitMix64::new(0x1_2277);
+        for _ in 0..40 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(5000) as usize;
+            let alphabet = 1 + meta.next_bounded(19);
             let mut rng = SplitMix64::new(seed);
-            let data: Vec<u8> = (0..n).map(|_| b'a' + rng.next_bounded(alphabet) as u8).collect();
+            let data: Vec<u8> = (0..n)
+                .map(|_| b'a' + rng.next_bounded(alphabet) as u8)
+                .collect();
             let mut c = Vec::new();
             compress(&data, &mut c);
             let mut d = Vec::new();
-            prop_assert_eq!(decompress(&c, &mut d), Some(data.len()));
-            prop_assert_eq!(d, data);
+            assert_eq!(decompress(&c, &mut d), Some(data.len()), "seed {seed}");
+            assert_eq!(d, data, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_roundtrip_random(seed in any::<u64>(), n in 0usize..3000) {
+    #[test]
+    fn prop_roundtrip_random() {
+        let mut meta = SplitMix64::new(0x1_24A2);
+        for _ in 0..40 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(3000) as usize;
             let mut rng = SplitMix64::new(seed);
             let data: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
             let mut c = Vec::new();
             compress(&data, &mut c);
             let mut d = Vec::new();
-            prop_assert_eq!(decompress(&c, &mut d), Some(data.len()));
-            prop_assert_eq!(d, data);
+            assert_eq!(decompress(&c, &mut d), Some(data.len()), "seed {seed}");
+            assert_eq!(d, data, "seed {seed}");
         }
     }
 }

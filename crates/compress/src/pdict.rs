@@ -77,11 +77,14 @@ pub struct PdictStr {
 
 /// Shared encode: given per-value dictionary codes (`None` = not in dict),
 /// produce the packed slot stream and exception position list.
-fn encode_slots(
-    codes_opt: &[Option<u64>],
-    width: u8,
-) -> (Vec<u8>, u32, Vec<usize>) {
-    let mask = if width == 0 { 0 } else if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+fn encode_slots(codes_opt: &[Option<u64>], width: u8) -> (Vec<u8>, u32, Vec<usize>) {
+    let mask = if width == 0 {
+        0
+    } else if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
     let codeable: Vec<bool> = codes_opt.iter().map(|c| c.is_some()).collect();
     let exc_pos = plan_exceptions(&codeable, mask);
     let mut slots = Vec::with_capacity(codes_opt.len());
@@ -138,7 +141,14 @@ fn choose_dict_size(
 impl PdictI64 {
     pub fn encode(values: &[i64]) -> PdictI64 {
         if values.is_empty() {
-            return PdictI64 { dict: vec![], width: 0, n: 0, first_exc: u32::MAX, codes: vec![], exceptions: vec![] };
+            return PdictI64 {
+                dict: vec![],
+                width: 0,
+                n: 0,
+                first_exc: u32::MAX,
+                codes: vec![],
+                exceptions: vec![],
+            };
         }
         let mut freq: HashMap<i64, usize> = HashMap::new();
         for &v in values {
@@ -151,12 +161,22 @@ impl PdictI64 {
         let k = choose_dict_size(&freqs, values.len(), &costs, 8).max(1);
         let dict: Vec<i64> = by_freq[..k].iter().map(|&(v, _)| v).collect();
         let width = bits_needed((k - 1) as u64).max(1);
-        let index: HashMap<i64, u64> =
-            dict.iter().enumerate().map(|(i, &v)| (v, i as u64)).collect();
+        let index: HashMap<i64, u64> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u64))
+            .collect();
         let codes_opt: Vec<Option<u64>> = values.iter().map(|v| index.get(v).copied()).collect();
         let (codes, first_exc, exc_pos) = encode_slots(&codes_opt, width);
         let exceptions = exc_pos.iter().map(|&i| values[i]).collect();
-        PdictI64 { dict, width, n: values.len() as u32, first_exc, codes, exceptions }
+        PdictI64 {
+            dict,
+            width,
+            n: values.len() as u32,
+            first_exc,
+            codes,
+            exceptions,
+        }
     }
 
     pub fn decode(&self, out: &mut Vec<i64>) {
@@ -184,7 +204,14 @@ impl PdictI64 {
 impl PdictStr {
     pub fn encode(values: &[String]) -> PdictStr {
         if values.is_empty() {
-            return PdictStr { dict: vec![], width: 0, n: 0, first_exc: u32::MAX, codes: vec![], exceptions: vec![] };
+            return PdictStr {
+                dict: vec![],
+                width: 0,
+                n: 0,
+                first_exc: u32::MAX,
+                codes: vec![],
+                exceptions: vec![],
+            };
         }
         let mut freq: HashMap<&str, usize> = HashMap::new();
         for v in values {
@@ -198,13 +225,25 @@ impl PdictStr {
         let k = choose_dict_size(&freqs, values.len(), &costs, avg_len).max(1);
         let dict: Vec<String> = by_freq[..k].iter().map(|&(v, _)| v.to_string()).collect();
         let width = bits_needed((k - 1) as u64).max(1);
-        let index: HashMap<&str, u64> =
-            dict.iter().enumerate().map(|(i, v)| (v.as_str(), i as u64)).collect();
-        let codes_opt: Vec<Option<u64>> =
-            values.iter().map(|v| index.get(v.as_str()).copied()).collect();
+        let index: HashMap<&str, u64> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i as u64))
+            .collect();
+        let codes_opt: Vec<Option<u64>> = values
+            .iter()
+            .map(|v| index.get(v.as_str()).copied())
+            .collect();
         let (codes, first_exc, exc_pos) = encode_slots(&codes_opt, width);
         let exceptions = exc_pos.iter().map(|&i| values[i].clone()).collect();
-        PdictStr { dict, width, n: values.len() as u32, first_exc, codes, exceptions }
+        PdictStr {
+            dict,
+            width,
+            n: values.len() as u32,
+            first_exc,
+            codes,
+            exceptions,
+        }
     }
 
     pub fn decode(&self, out: &mut Vec<String>) {
@@ -213,7 +252,11 @@ impl PdictStr {
         let mut slots = Vec::with_capacity(n);
         bitpack::unpack(&self.codes, n, self.width, &mut slots);
         let dmax = self.dict.len().saturating_sub(1);
-        out.extend(slots.iter().map(|&c| self.dict[(c as usize).min(dmax)].clone()));
+        out.extend(
+            slots
+                .iter()
+                .map(|&c| self.dict[(c as usize).min(dmax)].clone()),
+        );
         let exc_pos = exception_positions(&slots, self.first_exc, self.exceptions.len());
         for (&pos, e) in exc_pos.iter().zip(&self.exceptions) {
             out[start + pos] = e.clone();
@@ -230,7 +273,6 @@ impl PdictStr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use vectorh_common::rng::SplitMix64;
 
     fn roundtrip_i64(values: &[i64]) -> PdictI64 {
@@ -280,7 +322,11 @@ mod tests {
             })
             .collect();
         let enc = roundtrip_str(&vals);
-        assert!(enc.dict.len() <= 16 + 40, "dict stays small: {}", enc.dict.len());
+        assert!(
+            enc.dict.len() <= 16 + 40,
+            "dict stays small: {}",
+            enc.dict.len()
+        );
         assert!(!enc.exceptions.is_empty());
         let raw: usize = vals.iter().map(|s| s.len() + 4).sum();
         assert!(enc.body_size() < raw / 2);
@@ -314,33 +360,50 @@ mod tests {
         assert_eq!(exc, vec![1], "no trailing forced exceptions");
     }
 
-    proptest! {
-        #[test]
-        fn prop_pdict_i64_roundtrip(seed in any::<u64>(), n in 0usize..1500, card in 1u64..40) {
+    #[test]
+    fn prop_pdict_i64_roundtrip() {
+        let mut meta = SplitMix64::new(0x0D1C_7164);
+        for _ in 0..48 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(1500) as usize;
+            let card = 1 + meta.next_bounded(39);
             let mut rng = SplitMix64::new(seed);
-            let vals: Vec<i64> = (0..n).map(|_| {
-                if rng.chance(0.03) { rng.next_u64() as i64 } else { rng.next_bounded(card) as i64 }
-            }).collect();
+            let vals: Vec<i64> = (0..n)
+                .map(|_| {
+                    if rng.chance(0.03) {
+                        rng.next_u64() as i64
+                    } else {
+                        rng.next_bounded(card) as i64
+                    }
+                })
+                .collect();
             let enc = PdictI64::encode(&vals);
             let mut out = Vec::new();
             enc.decode(&mut out);
-            prop_assert_eq!(out, vals);
+            assert_eq!(out, vals, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_pdict_str_roundtrip(seed in any::<u64>(), n in 0usize..800) {
+    #[test]
+    fn prop_pdict_str_roundtrip() {
+        let mut meta = SplitMix64::new(0x0D1C_7572);
+        for _ in 0..48 {
+            let seed = meta.next_u64();
+            let n = meta.next_bounded(800) as usize;
             let mut rng = SplitMix64::new(seed);
-            let vals: Vec<String> = (0..n).map(|_| {
-                if rng.chance(0.05) {
-                    format!("unique-{}", rng.next_u64())
-                } else {
-                    format!("tag{}", rng.next_bounded(6))
-                }
-            }).collect();
+            let vals: Vec<String> = (0..n)
+                .map(|_| {
+                    if rng.chance(0.05) {
+                        format!("unique-{}", rng.next_u64())
+                    } else {
+                        format!("tag{}", rng.next_bounded(6))
+                    }
+                })
+                .collect();
             let enc = PdictStr::encode(&vals);
             let mut out = Vec::new();
             enc.decode(&mut out);
-            prop_assert_eq!(out, vals);
+            assert_eq!(out, vals, "seed {seed}");
         }
     }
 }

@@ -22,7 +22,11 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { delimiter: '|', column_subset: None, max_errors: 0 }
+        CsvOptions {
+            delimiter: '|',
+            column_subset: None,
+            max_errors: 0,
+        }
     }
 }
 
@@ -54,8 +58,11 @@ fn parse_field(text: &str, dtype: DataType) -> Result<Value> {
 
 /// Parse CSV text into columns of `schema`.
 pub fn parse_csv(text: &str, schema: &Schema, opts: &CsvOptions) -> Result<CsvResult> {
-    let mut columns: Vec<ColumnData> =
-        schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+    let mut columns: Vec<ColumnData> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnData::new(f.dtype))
+        .collect();
     let mut rejected = Vec::new();
     let mut rows = 0usize;
     for (lineno, line) in text.lines().enumerate() {
@@ -90,7 +97,10 @@ pub fn parse_csv(text: &str, schema: &Schema, opts: &CsvOptions) -> Result<CsvRe
             None => fields.clone(),
         };
         if picked.len() < schema.len() {
-            rejected.push((lineno, format!("{} fields, need {}", picked.len(), schema.len())));
+            rejected.push((
+                lineno,
+                format!("{} fields, need {}", picked.len(), schema.len()),
+            ));
             if rejected.len() > opts.max_errors {
                 return Err(VhError::InvalidArg(format!(
                     "line {lineno}: too few fields (error limit exceeded)"
@@ -120,7 +130,11 @@ pub fn parse_csv(text: &str, schema: &Schema, opts: &CsvOptions) -> Result<CsvRe
             }
         }
     }
-    Ok(CsvResult { columns, rows, rejected })
+    Ok(CsvResult {
+        columns,
+        rows,
+        rejected,
+    })
 }
 
 /// Render columns as CSV (for generating test inputs and ExternalDump).
@@ -186,7 +200,10 @@ mod tests {
         // Zero tolerance: fail.
         assert!(parse_csv(text, &schema(), &CsvOptions::default()).is_err());
         // One allowed: row logged, parse continues.
-        let opts = CsvOptions { max_errors: 1, ..Default::default() };
+        let opts = CsvOptions {
+            max_errors: 1,
+            ..Default::default()
+        };
         let r = parse_csv(text, &schema(), &opts).unwrap();
         assert_eq!(r.rows, 1);
         assert_eq!(r.rejected.len(), 1);
@@ -198,7 +215,10 @@ mod tests {
     #[test]
     fn short_rows_rejected() {
         let text = "1|2.00\n";
-        let opts = CsvOptions { max_errors: 5, ..Default::default() };
+        let opts = CsvOptions {
+            max_errors: 5,
+            ..Default::default()
+        };
         let r = parse_csv(text, &schema(), &opts).unwrap();
         assert_eq!(r.rows, 0);
         assert_eq!(r.rejected.len(), 1);

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use vectorh_common::channel::{bounded, Receiver, Sender};
 use vectorh_common::{Result, Schema, VhError};
 use vectorh_exec::operator::{Counters, OpProfile, Operator};
 use vectorh_exec::Batch;
@@ -39,7 +39,8 @@ impl SocketWriter {
     pub fn send(&self, batch: &Batch) -> Result<()> {
         let bytes = buffer::serialize(batch);
         if self.remote {
-            self.stats.record_net_message(bytes.len() as u64, batch.len() as u64);
+            self.stats
+                .record_net_message(bytes.len() as u64, batch.len() as u64);
         } else {
             self.stats.record_intra_message(batch.len() as u64);
         }
@@ -59,7 +60,11 @@ impl ExternalScan {
     pub fn new(schema: Arc<Schema>, stats: Arc<NetStats>) -> (ExternalScan, ExternalPort) {
         let (tx, rx) = bounded(1024);
         (
-            ExternalScan { schema, rx, counters: Counters::default() },
+            ExternalScan {
+                schema,
+                rx,
+                counters: Counters::default(),
+            },
             ExternalPort { tx, stats },
         )
     }
@@ -73,7 +78,11 @@ pub struct ExternalPort {
 
 impl ExternalPort {
     pub fn connect(&self, remote: bool) -> SocketWriter {
-        SocketWriter { tx: self.tx.clone(), stats: self.stats.clone(), remote }
+        SocketWriter {
+            tx: self.tx.clone(),
+            stats: self.stats.clone(),
+            remote,
+        }
     }
 }
 
@@ -123,7 +132,15 @@ impl ExternalDump {
         remote: bool,
     ) -> (ExternalDump, Receiver<std::result::Result<Frame, VhError>>) {
         let (tx, rx) = bounded(1024);
-        (ExternalDump { child, tx, stats, remote }, rx)
+        (
+            ExternalDump {
+                child,
+                tx,
+                stats,
+                remote,
+            },
+            rx,
+        )
     }
 
     /// Drain the child to completion, returning rows exported.
@@ -133,7 +150,8 @@ impl ExternalDump {
             rows += batch.len() as u64;
             let bytes = buffer::serialize(&batch);
             if self.remote {
-                self.stats.record_net_message(bytes.len() as u64, batch.len() as u64);
+                self.stats
+                    .record_net_message(bytes.len() as u64, batch.len() as u64);
             } else {
                 self.stats.record_intra_message(batch.len() as u64);
             }

@@ -45,7 +45,10 @@ pub fn assign_splits(splits: &[InputSplit], operators: &[NodeId]) -> Assignment 
     let n = splits.len();
     let m = operators.len();
     if m == 0 {
-        return Assignment { operator_of: vec![], local: vec![] };
+        return Assignment {
+            operator_of: vec![],
+            local: vec![],
+        };
     }
     let cap = n.div_ceil(m);
     // Bipartite graph: split → operator slots (operator j has `cap` slots).
@@ -107,22 +110,20 @@ pub fn assign_splits(splits: &[InputSplit], operators: &[NodeId]) -> Assignment 
 
     // Unmatched splits: round-robin over operators with remaining capacity.
     let mut load = vec![0usize; m];
-    for s in 0..n {
-        if let Some(slot) = match_of_split[s] {
-            load[slot / cap] += 1;
-        }
+    for slot in match_of_split.iter().take(n).flatten() {
+        load[slot / cap] += 1;
     }
     let mut operator_of = vec![usize::MAX; n];
     let mut local = vec![false; n];
-    for s in 0..n {
-        if let Some(slot) = match_of_split[s] {
+    for (s, slot) in match_of_split.iter().take(n).enumerate() {
+        if let Some(slot) = slot {
             operator_of[s] = slot / cap;
             local[s] = true;
         }
     }
     let mut next = 0usize;
-    for s in 0..n {
-        if operator_of[s] == usize::MAX {
+    for op in operator_of.iter_mut().take(n) {
+        if *op == usize::MAX {
             // Find the least-loaded operator (ties round-robin).
             let mut best = next % m;
             for j in 0..m {
@@ -132,7 +133,7 @@ pub fn assign_splits(splits: &[InputSplit], operators: &[NodeId]) -> Assignment 
                     break;
                 }
             }
-            operator_of[s] = best;
+            *op = best;
             load[best] += 1;
             next = best + 1;
         }
@@ -146,7 +147,10 @@ mod tests {
     use vectorh_common::rng::SplitMix64;
 
     fn split(path: &str, nodes: &[u32]) -> InputSplit {
-        InputSplit { path: path.into(), preferred: nodes.iter().map(|&n| NodeId(n)).collect() }
+        InputSplit {
+            path: path.into(),
+            preferred: nodes.iter().map(|&n| NodeId(n)).collect(),
+        }
     }
 
     #[test]
@@ -217,8 +221,7 @@ mod tests {
             let ops: Vec<NodeId> = (0..n_ops as u32).map(NodeId).collect();
             let splits: Vec<InputSplit> = (0..n_splits)
                 .map(|i| {
-                    let prefs: Vec<u32> =
-                        (0..2).map(|_| rng.next_bounded(6) as u32).collect();
+                    let prefs: Vec<u32> = (0..2).map(|_| rng.next_bounded(6) as u32).collect();
                     split(&format!("s{i}"), &prefs)
                 })
                 .collect();

@@ -59,7 +59,10 @@ impl TableBuilder {
 
     pub fn build(self) -> Result<TableDef> {
         if self.fields.is_empty() {
-            return Err(VhError::Catalog(format!("table '{}' has no columns", self.name)));
+            return Err(VhError::Catalog(format!(
+                "table '{}' has no columns",
+                self.name
+            )));
         }
         let schema = Schema::new(
             self.fields
@@ -83,7 +86,12 @@ impl TableBuilder {
             Some(cols) => Some(resolve(cols)?),
             None => None,
         };
-        Ok(TableDef { name: self.name, schema, partitioning, sort_order })
+        Ok(TableDef {
+            name: self.name,
+            schema,
+            partitioning,
+            sort_order,
+        })
     }
 }
 
@@ -100,7 +108,10 @@ impl Catalog {
 
     pub fn add(&mut self, def: TableDef) -> Result<()> {
         if self.tables.contains_key(&def.name) {
-            return Err(VhError::Catalog(format!("table '{}' already exists", def.name)));
+            return Err(VhError::Catalog(format!(
+                "table '{}' already exists",
+                def.name
+            )));
         }
         self.tables.insert(def.name.clone(), def);
         Ok(())
@@ -159,7 +170,10 @@ mod tests {
     #[test]
     fn catalog_add_get_drop() {
         let mut c = Catalog::new();
-        let def = TableBuilder::new("t").column("a", DataType::I64).build().unwrap();
+        let def = TableBuilder::new("t")
+            .column("a", DataType::I64)
+            .build()
+            .unwrap();
         c.add(def.clone()).unwrap();
         assert!(c.add(def).is_err());
         assert_eq!(c.get("t").unwrap().name, "t");

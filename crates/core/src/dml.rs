@@ -30,15 +30,19 @@ fn materialize_cols(
 ) -> Result<Vec<ColumnData>> {
     let schema = store.schema();
     // Stable data for the selected columns.
-    let mut stable: Vec<ColumnData> =
-        cols.iter().map(|&c| ColumnData::new(schema.dtype(c))).collect();
+    let mut stable: Vec<ColumnData> = cols
+        .iter()
+        .map(|&c| ColumnData::new(schema.dtype(c)))
+        .collect();
     for chunk in 0..store.n_chunks() {
         for (j, &c) in cols.iter().enumerate() {
             stable[j].append(&store.read_column(chunk, c, reader)?)?;
         }
     }
-    let mut out: Vec<ColumnData> =
-        cols.iter().map(|&c| ColumnData::new(schema.dtype(c))).collect();
+    let mut out: Vec<ColumnData> = cols
+        .iter()
+        .map(|&c| ColumnData::new(schema.dtype(c)))
+        .collect();
     for step in plan {
         match step {
             MergeStep::CopyStable { from_sid, count } => {
@@ -170,8 +174,7 @@ impl VectorH {
                             .map(|(j, &k)| sort_cols[j].value_at(idx, schema.dtype(k)))
                             .collect()
                     };
-                    let mut inserted = 0u64;
-                    for row in bucket {
+                    for (inserted, row) in bucket.into_iter().enumerate() {
                         let key: Vec<Value> = order.iter().map(|&k| row[k].clone()).collect();
                         // Upper-bound binary search on the original image.
                         let (mut lo, mut hi) = (0usize, image);
@@ -183,9 +186,8 @@ impl VectorH {
                                 lo = mid + 1;
                             }
                         }
-                        let rid = lo as u64 + inserted;
+                        let rid = lo as u64 + inserted as u64;
                         self.txns.insert_at(&mut txn, pid, rid, row)?;
-                        inserted += 1;
                     }
                 }
             }
@@ -204,12 +206,7 @@ impl VectorH {
         self.mutate_where(table, pred, Some((col, value)))
     }
 
-    fn mutate_where(
-        &self,
-        table: &str,
-        pred: &Expr,
-        set: Option<(usize, Value)>,
-    ) -> Result<u64> {
+    fn mutate_where(&self, table: &str, pred: &Expr, set: Option<(usize, Value)>) -> Result<u64> {
         let rt = self.table(table)?;
         let mut txn = self.txns.begin(&rt.pids)?;
         let schema = Arc::new(rt.def.schema.clone());
@@ -238,7 +235,8 @@ impl VectorH {
                 Some((col, value)) => {
                     for (rid, hit) in mask.iter().enumerate() {
                         if *hit {
-                            self.txns.modify_at(&mut txn, *pid, rid as u64, *col, value.clone())?;
+                            self.txns
+                                .modify_at(&mut txn, *pid, rid as u64, *col, value.clone())?;
                             touched += 1;
                         }
                     }
@@ -298,8 +296,13 @@ mod tests {
     fn trickle_insert_into_clustered_table_keeps_order() {
         let vh = engine();
         mk_table(&vh, true);
-        vh.insert_rows("t", (0..100).map(|i| vec![Value::I64(i * 2), Value::I64(i)]).collect())
-            .unwrap();
+        vh.insert_rows(
+            "t",
+            (0..100)
+                .map(|i| vec![Value::I64(i * 2), Value::I64(i)])
+                .collect(),
+        )
+        .unwrap();
         // Insert odd keys that must interleave.
         vh.trickle_insert(
             "t",
@@ -328,8 +331,13 @@ mod tests {
     fn delete_where_and_update_where() {
         let vh = engine();
         mk_table(&vh, false);
-        vh.insert_rows("t", (0..50).map(|i| vec![Value::I64(i), Value::I64(0)]).collect())
-            .unwrap();
+        vh.insert_rows(
+            "t",
+            (0..50)
+                .map(|i| vec![Value::I64(i), Value::I64(0)])
+                .collect(),
+        )
+        .unwrap();
         let deleted = vh
             .delete_where("t", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(10))))
             .unwrap();
@@ -352,32 +360,52 @@ mod tests {
     fn updates_are_durable_in_wals() {
         let vh = engine();
         mk_table(&vh, false);
-        vh.insert_rows("t", (0..20).map(|i| vec![Value::I64(i), Value::I64(0)]).collect())
+        vh.insert_rows(
+            "t",
+            (0..20)
+                .map(|i| vec![Value::I64(i), Value::I64(0)])
+                .collect(),
+        )
+        .unwrap();
+        vh.delete_where("t", &Expr::eq(Expr::col(0), Expr::lit(Value::I64(3))))
             .unwrap();
-        vh.delete_where("t", &Expr::eq(Expr::col(0), Expr::lit(Value::I64(3)))).unwrap();
         // Some partition WAL carries the delete + prepare + commit.
         let rt = vh.table("t").unwrap();
         let mut found = false;
         for wal in &rt.wals {
             let records = wal.read_all().unwrap();
-            if records.iter().any(|r| matches!(r, LogRecord::Delete { .. })) {
-                assert!(records.iter().any(|r| matches!(r, LogRecord::Prepare { .. })));
-                assert!(records.iter().any(|r| matches!(r, LogRecord::Commit { .. })));
+            if records
+                .iter()
+                .any(|r| matches!(r, LogRecord::Delete { .. }))
+            {
+                assert!(records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::Prepare { .. })));
+                assert!(records
+                    .iter()
+                    .any(|r| matches!(r, LogRecord::Commit { .. })));
                 found = true;
             }
         }
         assert!(found, "delete must be logged in a partition WAL");
         // And the global decision exists.
         let global = vh.coordinator.global_wal().read_all().unwrap();
-        assert!(global.iter().any(|r| matches!(r, LogRecord::GlobalCommit { .. })));
+        assert!(global
+            .iter()
+            .any(|r| matches!(r, LogRecord::GlobalCommit { .. })));
     }
 
     #[test]
     fn delete_by_keys_matches_rf2_shape() {
         let vh = engine();
         mk_table(&vh, true);
-        vh.insert_rows("t", (0..30).map(|i| vec![Value::I64(i), Value::I64(i)]).collect())
-            .unwrap();
+        vh.insert_rows(
+            "t",
+            (0..30)
+                .map(|i| vec![Value::I64(i), Value::I64(i)])
+                .collect(),
+        )
+        .unwrap();
         let n = vh
             .delete_by_keys("t", 0, &[Value::I64(3), Value::I64(7), Value::I64(999)])
             .unwrap();

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
 use vectorh_net::{DxchgConfig, NetStats};
@@ -128,18 +128,28 @@ impl VectorH {
         let workers: Vec<NodeId> = fs.alive_nodes();
         let rm = Arc::new(ResourceManager::new(
             workers.clone(),
-            RmConfig { cores_per_node: config.cores_per_node, mem_per_node: config.mem_per_node },
+            RmConfig {
+                cores_per_node: config.cores_per_node,
+                mem_per_node: config.mem_per_node,
+            },
         ));
         // Negotiate the full node as target, one core slices, min 1 slice.
         let agent = DbAgent::start(
             &rm,
             workers.clone(),
             5,
-            ResourceFootprint { cores: 1, mem: config.mem_per_node / config.cores_per_node as u64 },
+            ResourceFootprint {
+                cores: 1,
+                mem: config.mem_per_node / config.cores_per_node as u64,
+            },
             config.cores_per_node,
             1,
         )?;
-        let global_wal = Wal::new(fs.clone(), "/vectorh/wal/global.wal", workers.first().copied());
+        let global_wal = Wal::new(
+            fs.clone(),
+            "/vectorh/wal/global.wal",
+            workers.first().copied(),
+        );
         Ok(VectorH {
             config,
             fs,
@@ -244,7 +254,9 @@ impl VectorH {
                 self.fs.clone(),
                 dir.clone(),
                 def.schema.clone(),
-                StorageConfig { rows_per_chunk: self.config.rows_per_chunk },
+                StorageConfig {
+                    rows_per_chunk: self.config.rows_per_chunk,
+                },
             );
             store.set_home(home);
             stores.push(Arc::new(RwLock::new(store)));
@@ -254,13 +266,21 @@ impl VectorH {
             self.txns.register_partition(*pid, 0);
         }
         drop(resp);
-        self.coordinator.global_wal().append(&[vectorh_txn::LogRecord::Ddl {
-            statement: format!("CREATE TABLE {}", def.name),
-        }])?;
+        self.coordinator
+            .global_wal()
+            .append(&[vectorh_txn::LogRecord::Ddl {
+                statement: format!("CREATE TABLE {}", def.name),
+            }])?;
         self.catalog.write().add(def.clone())?;
-        self.tables
-            .write()
-            .insert(def.name.clone(), Arc::new(TableRuntime { def, pids, stores, wals }));
+        self.tables.write().insert(
+            def.name.clone(),
+            Arc::new(TableRuntime {
+                def,
+                pids,
+                stores,
+                wals,
+            }),
+        );
         Ok(())
     }
 
@@ -423,8 +443,9 @@ impl VectorH {
         // synthetic partition in the flow network; the result applies to
         // every member partition.
         let tables = self.tables.read();
-        let mut classes: HashMap<(usize, usize), Vec<(String, PartitionId, String, usize)>> =
-            HashMap::new();
+        // class (replication, index) -> members (table, partition, col, idx)
+        type ClassMembers = Vec<(String, PartitionId, String, usize)>;
+        let mut classes: HashMap<(usize, usize), ClassMembers> = HashMap::new();
         for rt in tables.values() {
             if rt.def.partitioning.is_none() {
                 // Replicated tables stay replicated on every worker.
@@ -537,8 +558,12 @@ impl VectorH {
         for (i, pid) in rt.pids.iter().enumerate() {
             if force || self.txns.needs_propagation(*pid) {
                 let mut store = rt.stores[i].write();
-                let report =
-                    vectorh_txn::propagate::propagate_partition(&self.txns, *pid, &mut store, &rt.wals[i])?;
+                let report = vectorh_txn::propagate::propagate_partition(
+                    &self.txns,
+                    *pid,
+                    &mut store,
+                    &rt.wals[i],
+                )?;
                 if report.mode != vectorh_txn::propagate::PropagationMode::Noop {
                     done += 1;
                 }

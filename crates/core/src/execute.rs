@@ -67,12 +67,15 @@ impl<'a> Ctx<'a> {
 
 /// Run a physical plan, returning rows and the execution profile.
 pub(crate) fn execute(vh: &VectorH, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
-    let ctx = Ctx { vh, master: vh.session_master().0 };
+    let ctx = Ctx {
+        vh,
+        master: vh.session_master().0,
+    };
     let streams = build(&ctx, phys)?;
     let mut top: Box<dyn Operator> = match streams {
         Streams::Serial(op) => op,
         Streams::Parallel(streams) => Box::new(dxchg_union(
-            streams.into_iter().map(|(n, op)| (n, op)).collect(),
+            streams.into_iter().collect(),
             ctx.master,
             vh.config.dxchg.clone(),
             vh.net_stats().clone(),
@@ -221,21 +224,28 @@ fn build_for_node(ctx: &Ctx, phys: &PhysPlan, node: NodeId) -> Result<Box<dyn Op
         PhysPlan::ScanReplicated { table, cols, pred } => {
             scan_replicated_at(ctx, table, cols, pred, node)?
         }
-        PhysPlan::Select { input, predicate } => {
-            Box::new(Select::new(build_for_node(ctx, input, node)?, predicate.clone()))
-        }
-        PhysPlan::Project { input, items } => {
-            Box::new(Project::new(build_for_node(ctx, input, node)?, items.clone())?)
-        }
-        PhysPlan::HashJoin { probe, build, probe_keys, build_keys, kind, .. } => {
-            Box::new(HashJoin::new(
-                build_for_node(ctx, probe, node)?,
-                build_for_node(ctx, build, node)?,
-                probe_keys.clone(),
-                build_keys.clone(),
-                exec_join_kind(*kind),
-            )?)
-        }
+        PhysPlan::Select { input, predicate } => Box::new(Select::new(
+            build_for_node(ctx, input, node)?,
+            predicate.clone(),
+        )),
+        PhysPlan::Project { input, items } => Box::new(Project::new(
+            build_for_node(ctx, input, node)?,
+            items.clone(),
+        )?),
+        PhysPlan::HashJoin {
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            kind,
+            ..
+        } => Box::new(HashJoin::new(
+            build_for_node(ctx, probe, node)?,
+            build_for_node(ctx, build, node)?,
+            probe_keys.clone(),
+            build_keys.clone(),
+            exec_join_kind(*kind),
+        )?),
         other => {
             return Err(VhError::Exec(format!(
                 "broadcast build side contains non-replicated operator: {}",
@@ -247,11 +257,13 @@ fn build_for_node(ctx: &Ctx, phys: &PhysPlan, node: NodeId) -> Result<Box<dyn Op
 
 /// Materialize a broadcast build side once per distinct node.
 /// Returns `node → batches` plus the build-side schema.
+type PerNodeBatches = std::collections::HashMap<u32, Vec<Batch>>;
+
 fn build_side_per_node(
     ctx: &Ctx,
     side: &PhysPlan,
     nodes: &[u32],
-) -> Result<(std::collections::HashMap<u32, Vec<Batch>>, Arc<vectorh_common::Schema>)> {
+) -> Result<(PerNodeBatches, Arc<vectorh_common::Schema>)> {
     let mut distinct: Vec<u32> = nodes.to_vec();
     distinct.sort_unstable();
     distinct.dedup();
@@ -300,7 +312,8 @@ fn build_side_per_node(
                 }
                 map.insert(n, batches);
             }
-            let schema = schema.ok_or_else(|| VhError::Exec("broadcast build with no nodes".into()))?;
+            let schema =
+                schema.ok_or_else(|| VhError::Exec("broadcast build with no nodes".into()))?;
             Ok((map, schema))
         }
     }
@@ -346,7 +359,12 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
         PhysPlan::Project { input, items } => Ok(map_streams(build(ctx, input)?, |op| {
             Ok(Box::new(Project::new(op, items.clone())?) as Box<dyn Operator>)
         })?),
-        PhysPlan::MergeJoin { left, right, left_key, right_key } => {
+        PhysPlan::MergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+        } => {
             let l = build(ctx, left)?.into_parallel();
             let r = build(ctx, right)?.into_parallel();
             if l.len() != r.len() {
@@ -365,7 +383,14 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
             }
             Ok(Streams::Parallel(out))
         }
-        PhysPlan::HashJoin { probe, build: build_side, probe_keys, build_keys, kind, strategy } => {
+        PhysPlan::HashJoin {
+            probe,
+            build: build_side,
+            probe_keys,
+            build_keys,
+            kind,
+            strategy,
+        } => {
             match strategy {
                 JoinStrategy::Local => {
                     let l = build(ctx, probe)?.into_parallel();
@@ -455,101 +480,110 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 }
             }
         }
-        PhysPlan::Aggr { input, group_by, aggs, strategy } => {
-            match strategy {
-                AggStrategy::Local => Ok(map_streams(build(ctx, input)?, |op| {
-                    Ok(Box::new(Aggr::new(op, group_by.clone(), aggs.clone(), AggMode::Complete)?)
-                        as Box<dyn Operator>)
-                })?),
-                AggStrategy::PartialFinal => {
-                    let partials = map_streams(build(ctx, input)?, |op| {
-                        Ok(Box::new(Aggr::new(
-                            op,
+        PhysPlan::Aggr {
+            input,
+            group_by,
+            aggs,
+            strategy,
+        } => match strategy {
+            AggStrategy::Local => Ok(map_streams(build(ctx, input)?, |op| {
+                Ok(Box::new(Aggr::new(
+                    op,
+                    group_by.clone(),
+                    aggs.clone(),
+                    AggMode::Complete,
+                )?) as Box<dyn Operator>)
+            })?),
+            AggStrategy::PartialFinal => {
+                let partials = map_streams(build(ctx, input)?, |op| {
+                    Ok(Box::new(Aggr::new(
+                        op,
+                        group_by.clone(),
+                        aggs.clone(),
+                        AggMode::Partial,
+                    )?) as Box<dyn Operator>)
+                })?;
+                let consumers = ctx.consumer_layout();
+                let recv = dxchg_hash_split(
+                    partials.into_parallel(),
+                    consumers.clone(),
+                    (0..group_by.len()).collect(),
+                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.net_stats().clone(),
+                )?;
+                let fin = final_aggs(group_by.len(), aggs);
+                let mut out = Vec::with_capacity(consumers.len());
+                for (node, r) in consumers.iter().zip(recv) {
+                    out.push((
+                        *node,
+                        Box::new(Aggr::new(
+                            Box::new(r),
+                            (0..group_by.len()).collect(),
+                            fin.clone(),
+                            AggMode::Final,
+                        )?) as Box<dyn Operator>,
+                    ));
+                }
+                Ok(Streams::Parallel(out))
+            }
+            AggStrategy::RepartitionComplete => {
+                let consumers = ctx.consumer_layout();
+                let recv = dxchg_hash_split(
+                    build(ctx, input)?.into_parallel(),
+                    consumers.clone(),
+                    group_by.clone(),
+                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.net_stats().clone(),
+                )?;
+                let mut out = Vec::with_capacity(consumers.len());
+                for (node, r) in consumers.iter().zip(recv) {
+                    out.push((
+                        *node,
+                        Box::new(Aggr::new(
+                            Box::new(r),
                             group_by.clone(),
                             aggs.clone(),
-                            AggMode::Partial,
-                        )?) as Box<dyn Operator>)
-                    })?;
-                    let consumers = ctx.consumer_layout();
-                    let recv = dxchg_hash_split(
-                        partials.into_parallel(),
-                        consumers.clone(),
-                        (0..group_by.len()).collect(),
-                        ctx.vh.config.dxchg.clone(),
-                        ctx.vh.net_stats().clone(),
-                    )?;
-                    let fin = final_aggs(group_by.len(), aggs);
-                    let mut out = Vec::with_capacity(consumers.len());
-                    for (node, r) in consumers.iter().zip(recv) {
-                        out.push((
-                            *node,
-                            Box::new(Aggr::new(
-                                Box::new(r),
-                                (0..group_by.len()).collect(),
-                                fin.clone(),
-                                AggMode::Final,
-                            )?) as Box<dyn Operator>,
-                        ));
-                    }
-                    Ok(Streams::Parallel(out))
+                            AggMode::Complete,
+                        )?) as Box<dyn Operator>,
+                    ));
                 }
-                AggStrategy::RepartitionComplete => {
-                    let consumers = ctx.consumer_layout();
-                    let recv = dxchg_hash_split(
-                        build(ctx, input)?.into_parallel(),
-                        consumers.clone(),
-                        group_by.clone(),
-                        ctx.vh.config.dxchg.clone(),
-                        ctx.vh.net_stats().clone(),
-                    )?;
-                    let mut out = Vec::with_capacity(consumers.len());
-                    for (node, r) in consumers.iter().zip(recv) {
-                        out.push((
-                            *node,
-                            Box::new(Aggr::new(
-                                Box::new(r),
-                                group_by.clone(),
-                                aggs.clone(),
-                                AggMode::Complete,
-                            )?) as Box<dyn Operator>,
-                        ));
-                    }
-                    Ok(Streams::Parallel(out))
-                }
-                AggStrategy::GlobalPartialFinal => {
-                    let partials = map_streams(build(ctx, input)?, |op| {
-                        Ok(Box::new(Aggr::new(op, vec![], aggs.clone(), AggMode::Partial)?)
-                            as Box<dyn Operator>)
-                    })?;
-                    let union = dxchg_union(
-                        partials.into_parallel(),
-                        ctx.master,
-                        ctx.vh.config.dxchg.clone(),
-                        ctx.vh.net_stats().clone(),
-                    )?;
-                    Ok(Streams::Serial(Box::new(Aggr::new(
-                        Box::new(union),
-                        vec![],
-                        final_aggs(0, aggs),
-                        AggMode::Final,
-                    )?)))
-                }
-                AggStrategy::GlobalComplete => {
-                    let union = dxchg_union(
-                        build(ctx, input)?.into_parallel(),
-                        ctx.master,
-                        ctx.vh.config.dxchg.clone(),
-                        ctx.vh.net_stats().clone(),
-                    )?;
-                    Ok(Streams::Serial(Box::new(Aggr::new(
-                        Box::new(union),
-                        vec![],
-                        aggs.clone(),
-                        AggMode::Complete,
-                    )?)))
-                }
+                Ok(Streams::Parallel(out))
             }
-        }
+            AggStrategy::GlobalPartialFinal => {
+                let partials = map_streams(build(ctx, input)?, |op| {
+                    Ok(
+                        Box::new(Aggr::new(op, vec![], aggs.clone(), AggMode::Partial)?)
+                            as Box<dyn Operator>,
+                    )
+                })?;
+                let union = dxchg_union(
+                    partials.into_parallel(),
+                    ctx.master,
+                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.net_stats().clone(),
+                )?;
+                Ok(Streams::Serial(Box::new(Aggr::new(
+                    Box::new(union),
+                    vec![],
+                    final_aggs(0, aggs),
+                    AggMode::Final,
+                )?)))
+            }
+            AggStrategy::GlobalComplete => {
+                let union = dxchg_union(
+                    build(ctx, input)?.into_parallel(),
+                    ctx.master,
+                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.net_stats().clone(),
+                )?;
+                Ok(Streams::Serial(Box::new(Aggr::new(
+                    Box::new(union),
+                    vec![],
+                    aggs.clone(),
+                    AggMode::Complete,
+                )?)))
+            }
+        },
         PhysPlan::Sort { input, keys, limit } => {
             // Partial TopN below the union when a limit exists.
             let serial: Box<dyn Operator> = match (input.as_ref(), limit) {
@@ -574,7 +608,11 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                     )?),
                 },
             };
-            Ok(Streams::Serial(Box::new(Sort::new(serial, keys.clone(), *limit))))
+            Ok(Streams::Serial(Box::new(Sort::new(
+                serial,
+                keys.clone(),
+                *limit,
+            ))))
         }
         PhysPlan::Limit { input, n } => {
             let serial: Box<dyn Operator> = match build(ctx, input)? {

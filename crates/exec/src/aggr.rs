@@ -3,15 +3,24 @@
 //! Supports the §5 "partial aggregation" rewrite: a `Partial` instance runs
 //! below the exchange and emits mergeable states; a `Final` instance above
 //! the exchange merges them. `Complete` does both at once (the DIRECT mode
-//! the appendix Q1 profile shows). Group keys hash through the same
-//! fast integer/byte hashing as joins.
+//! the appendix Q1 profile shows).
+//!
+//! The group table is the kernel layer's flat open-addressing table over
+//! *columnar* group keys: each input batch is hashed column-at-a-time
+//! ([`kernels::hash`]), rows chase candidate chains with one stored-hash
+//! compare, and new groups append their key row to per-column key stores —
+//! no per-row key materialization, no `Vec<KeyAtom>` allocations on the
+//! hot path.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use vectorh_common::{ColumnData, DataType, Field, Result, Schema, Value, VhError, VECTOR_SIZE};
 
 use crate::batch::Batch;
+use crate::kernels::gather::append_row;
+use crate::kernels::hash::{hash_columns, JOIN_SEED};
+use crate::kernels::table::HashTable;
 use crate::operator::{Counters, OpProfile, Operator};
 
 /// Aggregate functions.
@@ -36,23 +45,40 @@ pub enum AggMode {
     Final,
 }
 
-/// Hashable group key atom (floats are not groupable, as in SQL engines
-/// that care about sanity).
+/// Hashable distinct-value atom (COUNT(DISTINCT) sets only; the group
+/// table itself keys on columnar data).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum KeyAtom {
     I(i64),
     S(String),
 }
 
-fn key_of(cols: &[&ColumnData], keys: &[usize], i: usize) -> Result<Vec<KeyAtom>> {
-    keys.iter()
-        .map(|&k| match cols[k] {
-            ColumnData::I32(v) => Ok(KeyAtom::I(v[i] as i64)),
-            ColumnData::I64(v) => Ok(KeyAtom::I(v[i])),
-            ColumnData::Str(v) => Ok(KeyAtom::S(v[i].clone())),
-            ColumnData::F64(_) => Err(VhError::Exec("GROUP BY over float".into())),
+fn atom_of(col: &ColumnData, i: usize) -> Result<KeyAtom> {
+    match col {
+        ColumnData::I32(v) => Ok(KeyAtom::I(v[i] as i64)),
+        ColumnData::I64(v) => Ok(KeyAtom::I(v[i])),
+        ColumnData::Str(v) => Ok(KeyAtom::S(v[i].clone())),
+        ColumnData::F64(_) => Err(VhError::Exec("COUNT(DISTINCT) over float".into())),
+    }
+}
+
+/// Does group `gi` of the columnar key store equal row `i` of the batch?
+fn group_eq(
+    group_keys: &[ColumnData],
+    cols: &[&ColumnData],
+    keys: &[usize],
+    gi: usize,
+    i: usize,
+) -> bool {
+    group_keys
+        .iter()
+        .zip(keys)
+        .all(|(g, &k)| match (g, cols[k]) {
+            (ColumnData::I32(a), ColumnData::I32(b)) => a[gi] == b[i],
+            (ColumnData::I64(a), ColumnData::I64(b)) => a[gi] == b[i],
+            (ColumnData::Str(a), ColumnData::Str(b)) => a[gi] == b[i],
+            _ => false,
         })
-        .collect()
 }
 
 /// Per-group accumulator.
@@ -76,8 +102,10 @@ pub struct Aggr {
     out_schema: Arc<Schema>,
     /// Input dtypes of aggregated columns (drives state selection).
     agg_dtypes: Vec<Option<DataType>>,
-    groups: HashMap<Vec<KeyAtom>, usize>,
-    key_rows: Vec<Vec<KeyAtom>>,
+    /// Flat hash index over the group-key rows stored in `group_keys`.
+    groups: HashTable,
+    /// One column per GROUP BY key; row `gi` is group `gi`'s key.
+    group_keys: Vec<ColumnData>,
     states: Vec<Vec<AggState>>,
     drained: bool,
     emit_at: usize,
@@ -133,6 +161,12 @@ impl Aggr {
                 "COUNT(DISTINCT) requires Complete mode after repartitioning".into(),
             ));
         }
+        if group_by
+            .iter()
+            .any(|&g| in_schema.dtype(g) == DataType::F64)
+        {
+            return Err(VhError::Exec("GROUP BY over float".into()));
+        }
         let mut fields: Vec<Field> = group_by
             .iter()
             .map(|&g| in_schema.field(g).clone())
@@ -146,6 +180,10 @@ impl Aggr {
             agg_dtypes.push(dt);
             fields.extend(agg_fields(f, dt, mode, i));
         }
+        let group_keys = group_by
+            .iter()
+            .map(|&g| ColumnData::new(in_schema.dtype(g)))
+            .collect();
         Ok(Aggr {
             child,
             group_by,
@@ -153,8 +191,8 @@ impl Aggr {
             mode,
             out_schema: Arc::new(Schema::new(fields)),
             agg_dtypes,
-            groups: HashMap::new(),
-            key_rows: Vec::new(),
+            groups: HashTable::new(),
+            group_keys,
             states: Vec::new(),
             drained: false,
             emit_at: 0,
@@ -186,17 +224,24 @@ impl Aggr {
 
     /// Consume the whole input, accumulating groups.
     fn drain_input(&mut self) -> Result<()> {
+        let mut hashes = Vec::new();
         while let Some(batch) = self.child.next()? {
             self.counters.rows_in += batch.len() as u64;
             let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            for i in 0..batch.len() {
-                let key = key_of(&cols, &self.group_by, i)?;
-                let gi = match self.groups.get(&key) {
-                    Some(&g) => g,
+            hash_columns(&cols, &self.group_by, JOIN_SEED, &mut hashes);
+            for (i, &h) in hashes.iter().enumerate() {
+                let gi = match self
+                    .groups
+                    .candidates(h)
+                    .find(|&g| group_eq(&self.group_keys, &cols, &self.group_by, g as usize, i))
+                {
+                    Some(g) => g as usize,
                     None => {
                         let g = self.states.len();
-                        self.groups.insert(key.clone(), g);
-                        self.key_rows.push(key);
+                        self.groups.insert_batch(&[h]);
+                        for (dst, &k) in self.group_keys.iter_mut().zip(&self.group_by) {
+                            append_row(dst, cols[k], i);
+                        }
                         self.states.push(self.fresh_states());
                         g
                     }
@@ -240,20 +285,18 @@ impl Aggr {
             }
             (AggFn::Min(c), AggState::MinMax(m)) => {
                 let v = b.column(c).value_at(i, b.schema.dtype(c));
-                if m.as_ref().map_or(true, |cur| v < *cur) {
+                if m.as_ref().is_none_or(|cur| v < *cur) {
                     *m = Some(v);
                 }
             }
             (AggFn::Max(c), AggState::MinMax(m)) => {
                 let v = b.column(c).value_at(i, b.schema.dtype(c));
-                if m.as_ref().map_or(true, |cur| v > *cur) {
+                if m.as_ref().is_none_or(|cur| v > *cur) {
                     *m = Some(v);
                 }
             }
             (AggFn::CountDistinct(c), AggState::Distinct(set)) => {
-                let cols: Vec<&ColumnData> = b.columns.iter().collect();
-                let atom = key_of(&cols, &[c], i)?.pop().unwrap();
-                set.insert(atom);
+                set.insert(atom_of(b.column(c), i)?);
             }
             _ => return Err(VhError::Internal("agg state mismatch".into())),
         }
@@ -296,14 +339,14 @@ impl Aggr {
             }
             (AggFn::Min(_), AggState::MinMax(m)) => {
                 let v = b.column(col).value_at(i, b.schema.dtype(col));
-                if m.as_ref().map_or(true, |cur| v < *cur) {
+                if m.as_ref().is_none_or(|cur| v < *cur) {
                     *m = Some(v);
                 }
                 Ok(1)
             }
             (AggFn::Max(_), AggState::MinMax(m)) => {
                 let v = b.column(col).value_at(i, b.schema.dtype(col));
-                if m.as_ref().map_or(true, |cur| v > *cur) {
+                if m.as_ref().is_none_or(|cur| v > *cur) {
                     *m = Some(v);
                 }
                 Ok(1)
@@ -315,16 +358,8 @@ impl Aggr {
     /// Serialize a group into output column builders.
     fn emit_group(&self, gi: usize, builders: &mut [ColumnData]) -> Result<()> {
         let mut col = 0usize;
-        for atom in &self.key_rows[gi] {
-            let v = match atom {
-                KeyAtom::I(x) => match self.out_schema.dtype(col) {
-                    DataType::Date => Value::Date(*x as i32),
-                    DataType::Decimal { scale } => Value::Decimal(*x, scale),
-                    DataType::I32 => Value::I32(*x as i32),
-                    _ => Value::I64(*x),
-                },
-                KeyAtom::S(s) => Value::Str(s.clone()),
-            };
+        for key_col in &self.group_keys {
+            let v = key_col.value_at(gi, self.out_schema.dtype(col));
             builders[col].push_value(&v)?;
             col += 1;
         }
@@ -372,14 +407,13 @@ impl Aggr {
                     col += 1;
                 }
                 (AggState::AvgF { sum, count }, _) => {
-                    builders[col]
-                        .push_value(&Value::F64(*sum / (*count as f64).max(1.0)))?;
+                    builders[col].push_value(&Value::F64(*sum / (*count as f64).max(1.0)))?;
                     col += 1;
                 }
                 (AggState::MinMax(m), _) => {
-                    let v = m.clone().ok_or_else(|| {
-                        VhError::Exec("MIN/MAX over empty group".into())
-                    })?;
+                    let v = m
+                        .clone()
+                        .ok_or_else(|| VhError::Exec("MIN/MAX over empty group".into()))?;
                     builders[col].push_value(&v)?;
                     col += 1;
                 }
@@ -427,7 +461,6 @@ impl Operator for Aggr {
                     .iter()
                     .all(|a| matches!(a, AggFn::CountStar | AggFn::Count(_)));
                 if only_counts {
-                    self.key_rows.push(vec![]);
                     self.states.push(self.fresh_states());
                 }
             }
@@ -503,7 +536,13 @@ mod tests {
         let mut a = Aggr::new(
             source(),
             vec![0],
-            vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Min(1), AggFn::Max(1), AggFn::Avg(1)],
+            vec![
+                AggFn::CountStar,
+                AggFn::Sum(1),
+                AggFn::Min(1),
+                AggFn::Max(1),
+                AggFn::Avg(1),
+            ],
             AggMode::Complete,
         )
         .unwrap();
@@ -535,23 +574,35 @@ mod tests {
     #[test]
     fn partial_then_final_equals_complete() {
         // partial on two halves, final over the concatenation
-        let mut complete =
-            Aggr::new(source(), vec![0], vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)], AggMode::Complete)
-                .unwrap();
+        let mut complete = Aggr::new(
+            source(),
+            vec![0],
+            vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)],
+            AggMode::Complete,
+        )
+        .unwrap();
         let want = sorted_rows(&mut complete);
 
-        let mut partial =
-            Aggr::new(source(), vec![0], vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)], AggMode::Partial)
-                .unwrap();
+        let mut partial = Aggr::new(
+            source(),
+            vec![0],
+            vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)],
+            AggMode::Partial,
+        )
+        .unwrap();
         let pschema = partial.schema();
         let mut pbatches = Vec::new();
         while let Some(b) = partial.next().unwrap() {
             pbatches.push(b);
         }
         let src = Box::new(BatchSource::new(pschema, pbatches));
-        let mut fin =
-            Aggr::new(src, vec![0], vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)], AggMode::Final)
-                .unwrap();
+        let mut fin = Aggr::new(
+            src,
+            vec![0],
+            vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)],
+            AggMode::Final,
+        )
+        .unwrap();
         let got = sorted_rows(&mut fin);
         assert_eq!(got, want);
     }
@@ -573,7 +624,13 @@ mod tests {
 
     #[test]
     fn count_distinct_rejected_in_partial() {
-        assert!(Aggr::new(source(), vec![0], vec![AggFn::CountDistinct(1)], AggMode::Partial).is_err());
+        assert!(Aggr::new(
+            source(),
+            vec![0],
+            vec![AggFn::CountDistinct(1)],
+            AggMode::Partial
+        )
+        .is_err());
     }
 
     #[test]
@@ -596,11 +653,7 @@ mod tests {
     #[test]
     fn group_by_date_key_roundtrips() {
         let schema = Arc::new(Schema::of(&[("d", DataType::Date)]));
-        let batch = Batch::new(
-            schema,
-            vec![ColumnData::I32(vec![100, 100, 200])],
-        )
-        .unwrap();
+        let batch = Batch::new(schema, vec![ColumnData::I32(vec![100, 100, 200])]).unwrap();
         let src = Box::new(BatchSource::from_batch(batch, 1024));
         let mut a = Aggr::new(src, vec![0], vec![AggFn::CountStar], AggMode::Complete).unwrap();
         assert_eq!(a.schema().dtype(0), DataType::Date);

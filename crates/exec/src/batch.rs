@@ -32,13 +32,25 @@ impl Batch {
         if columns.iter().any(|c| c.len() != len) {
             return Err(VhError::Exec("ragged batch".into()));
         }
-        Ok(Batch { schema, columns, len })
+        Ok(Batch {
+            schema,
+            columns,
+            len,
+        })
     }
 
     /// An empty batch of the given schema.
     pub fn empty(schema: Arc<Schema>) -> Batch {
-        let columns = schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
-        Batch { schema, columns, len: 0 }
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::new(f.dtype))
+            .collect();
+        Batch {
+            schema,
+            columns,
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -72,6 +84,15 @@ impl Batch {
         }
     }
 
+    /// Keep only the rows at the given `u32` positions (kernel row ids).
+    pub fn gather_u32(&self, positions: &[u32]) -> Batch {
+        Batch {
+            schema: self.schema.clone(),
+            columns: crate::kernels::gather::gather_columns(&self.columns, positions),
+            len: positions.len(),
+        }
+    }
+
     /// Subrange `[from, to)`.
     pub fn slice(&self, from: usize, to: usize) -> Batch {
         Batch {
@@ -99,7 +120,11 @@ impl Batch {
         let schema = Arc::new(self.schema.join(&other.schema));
         let mut columns = self.columns.clone();
         columns.extend(other.columns.iter().cloned());
-        Ok(Batch { schema, columns, len: self.len })
+        Ok(Batch {
+            schema,
+            columns,
+            len: self.len,
+        })
     }
 
     /// Materialize every row (testing / result collection).
@@ -159,10 +184,13 @@ mod tests {
     fn gather_and_slice() {
         let b = batch();
         let g = b.gather(&[2, 0]);
-        assert_eq!(g.rows(), vec![
-            vec![Value::I64(3), Value::Str("z".into())],
-            vec![Value::I64(1), Value::Str("x".into())],
-        ]);
+        assert_eq!(
+            g.rows(),
+            vec![
+                vec![Value::I64(3), Value::Str("z".into())],
+                vec![Value::I64(1), Value::Str("x".into())],
+            ]
+        );
         let s = b.slice(1, 3);
         assert_eq!(s.len(), 2);
         assert_eq!(s.row(0)[0], Value::I64(2));

@@ -69,6 +69,7 @@ pub enum Expr {
     ExtractYear(Box<Expr>),
 }
 
+#[allow(clippy::should_implement_trait)] // add/sub/mul/div build Arith nodes, not std ops
 impl Expr {
     // Convenience constructors (used heavily by the planner and TPC-H).
     pub fn col(i: usize) -> Expr {
@@ -124,8 +125,14 @@ impl Expr {
                 schema.dtype(*i)
             }
             Expr::Lit(v) => v.data_type().unwrap_or(DataType::I64),
-            Expr::Cmp(..) | Expr::And(_) | Expr::Or(_) | Expr::Not(_) | Expr::Between(..)
-            | Expr::InList(..) | Expr::Like(..) | Expr::NotLike(..) => DataType::I32,
+            Expr::Cmp(..)
+            | Expr::And(_)
+            | Expr::Or(_)
+            | Expr::Not(_)
+            | Expr::Between(..)
+            | Expr::InList(..)
+            | Expr::Like(..)
+            | Expr::NotLike(..) => DataType::I32,
             Expr::Arith(op, a, b) => {
                 let (ta, tb) = (a.dtype(schema)?, b.dtype(schema)?);
                 arith_dtype(*op, ta, tb)
@@ -177,7 +184,10 @@ impl Expr {
             }
             Expr::Not(e) => {
                 let m = e.eval_mask(b)?;
-                Ok((mask_to_col(&m.iter().map(|x| !x).collect::<Vec<_>>()), DataType::I32))
+                Ok((
+                    mask_to_col(&m.iter().map(|x| !x).collect::<Vec<_>>()),
+                    DataType::I32,
+                ))
             }
             Expr::Between(e, lo, hi) => {
                 let lo_mask = cmp_mask(CmpOp::Ge, e, lo, b)?;
@@ -253,7 +263,9 @@ impl Expr {
                 if dt != DataType::Date {
                     return Err(VhError::Exec("EXTRACT(YEAR) over non-date".into()));
                 }
-                let days = col.as_i32().ok_or_else(|| VhError::Exec("date layout".into()))?;
+                let days = col
+                    .as_i32()
+                    .ok_or_else(|| VhError::Exec("date layout".into()))?;
                 let out: Vec<i32> = days.iter().map(|&d| date::from_days(d).0).collect();
                 Ok((ColumnData::I32(out), DataType::I32))
             }
@@ -291,7 +303,9 @@ impl Expr {
                 match col {
                     ColumnData::I32(v) => Ok(v.into_iter().map(|x| x != 0).collect()),
                     ColumnData::I64(v) => Ok(v.into_iter().map(|x| x != 0).collect()),
-                    _ => Err(VhError::Exec("predicate did not evaluate to boolean".into())),
+                    _ => Err(VhError::Exec(
+                        "predicate did not evaluate to boolean".into(),
+                    )),
                 }
             }
         }
@@ -384,7 +398,9 @@ fn arith_dtype(op: ArithOp, ta: DataType, tb: DataType) -> DataType {
         }
         ArithOp::Mul => {
             if sa > 0 || sb > 0 {
-                Decimal { scale: (sa + sb).min(MAX_SCALE) }
+                Decimal {
+                    scale: (sa + sb).min(MAX_SCALE),
+                }
             } else {
                 I64
             }
@@ -393,52 +409,57 @@ fn arith_dtype(op: ArithOp, ta: DataType, tb: DataType) -> DataType {
     }
 }
 
-fn arith_eval(op: ArithOp, a: &Expr, b_expr: &Expr, batch: &Batch) -> Result<(ColumnData, DataType)> {
+fn arith_eval(
+    op: ArithOp,
+    a: &Expr,
+    b_expr: &Expr,
+    batch: &Batch,
+) -> Result<(ColumnData, DataType)> {
     let (ca, ta) = a.eval(batch)?;
     let (cb, tb) = b_expr.eval(batch)?;
     let na = to_numeric(&ca, ta)?;
     let nb = to_numeric(&cb, tb)?;
     let out_dt = arith_dtype(op, ta, tb);
     match (na, nb) {
-        (NumVec::Int(va, ta), NumVec::Int(vb, tb)) if out_dt != DataType::F64 => {
-            match op {
-                ArithOp::Add | ArithOp::Sub => {
-                    let (va, vb, scale) = align_scales(va, ta, vb, tb);
-                    let out: Vec<i64> = if op == ArithOp::Add {
-                        va.iter().zip(&vb).map(|(x, y)| x + y).collect()
-                    } else {
-                        va.iter().zip(&vb).map(|(x, y)| x - y).collect()
-                    };
-                    let dt = if scale > 0 {
-                        DataType::Decimal { scale }
-                    } else {
-                        out_dt
-                    };
-                    if dt == DataType::Date {
-                        Ok((ColumnData::I32(out.iter().map(|&x| x as i32).collect()), dt))
-                    } else {
-                        Ok((ColumnData::I64(out), dt))
-                    }
-                }
-                ArithOp::Mul => {
-                    let (sa, sb) = (scale_of(ta), scale_of(tb));
-                    let result_scale = (sa + sb).min(MAX_SCALE);
-                    let shrink = 10i128.pow((sa + sb - result_scale) as u32);
-                    let out: Vec<i64> = va
-                        .iter()
-                        .zip(&vb)
-                        .map(|(&x, &y)| ((x as i128 * y as i128) / shrink) as i64)
-                        .collect();
-                    let dt = if result_scale > 0 {
-                        DataType::Decimal { scale: result_scale }
-                    } else {
-                        DataType::I64
-                    };
+        (NumVec::Int(va, ta), NumVec::Int(vb, tb)) if out_dt != DataType::F64 => match op {
+            ArithOp::Add | ArithOp::Sub => {
+                let (va, vb, scale) = align_scales(va, ta, vb, tb);
+                let out: Vec<i64> = if op == ArithOp::Add {
+                    va.iter().zip(&vb).map(|(x, y)| x + y).collect()
+                } else {
+                    va.iter().zip(&vb).map(|(x, y)| x - y).collect()
+                };
+                let dt = if scale > 0 {
+                    DataType::Decimal { scale }
+                } else {
+                    out_dt
+                };
+                if dt == DataType::Date {
+                    Ok((ColumnData::I32(out.iter().map(|&x| x as i32).collect()), dt))
+                } else {
                     Ok((ColumnData::I64(out), dt))
                 }
-                ArithOp::Div => unreachable!("division always yields F64"),
             }
-        }
+            ArithOp::Mul => {
+                let (sa, sb) = (scale_of(ta), scale_of(tb));
+                let result_scale = (sa + sb).min(MAX_SCALE);
+                let shrink = 10i128.pow((sa + sb - result_scale) as u32);
+                let out: Vec<i64> = va
+                    .iter()
+                    .zip(&vb)
+                    .map(|(&x, &y)| ((x as i128 * y as i128) / shrink) as i64)
+                    .collect();
+                let dt = if result_scale > 0 {
+                    DataType::Decimal {
+                        scale: result_scale,
+                    }
+                } else {
+                    DataType::I64
+                };
+                Ok((ColumnData::I64(out), dt))
+            }
+            ArithOp::Div => unreachable!("division always yields F64"),
+        },
         (na, nb) => {
             // Float path (including every division).
             let fa = num_to_f64(na);
@@ -496,11 +517,7 @@ fn cmp_mask(op: CmpOp, a: &Expr, b_expr: &Expr, batch: &Batch) -> Result<Vec<boo
             Ok(fa
                 .iter()
                 .zip(&fb)
-                .map(|(x, y)| {
-                    x.partial_cmp(y)
-                        .map(|o| apply_ord(op, o))
-                        .unwrap_or(false)
-                })
+                .map(|(x, y)| x.partial_cmp(y).map(|o| apply_ord(op, o)).unwrap_or(false))
                 .collect())
         }
     }
@@ -634,7 +651,9 @@ mod tests {
     #[test]
     fn comparisons_and_masks() {
         let b = batch();
-        let m = Expr::gt(Expr::col(0), Expr::lit(Value::I64(2))).eval_mask(&b).unwrap();
+        let m = Expr::gt(Expr::col(0), Expr::lit(Value::I64(2)))
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![false, false, true, true]);
         let m = Expr::and(vec![
             Expr::ge(Expr::col(0), Expr::lit(Value::I64(2))),
@@ -653,10 +672,14 @@ mod tests {
     fn decimal_scale_alignment_in_compare() {
         let b = batch();
         // disc > 0.06 — literal same scale
-        let m = Expr::gt(Expr::col(2), Expr::lit(dec("0.06", 2))).eval_mask(&b).unwrap();
+        let m = Expr::gt(Expr::col(2), Expr::lit(dec("0.06", 2)))
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![false, true, false, true]);
         // price < 25 — integer literal must scale up
-        let m = Expr::lt(Expr::col(1), Expr::lit(Value::I64(25))).eval_mask(&b).unwrap();
+        let m = Expr::lt(Expr::col(1), Expr::lit(Value::I64(25)))
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![true, true, false, false]);
     }
 
@@ -678,7 +701,9 @@ mod tests {
     #[test]
     fn division_goes_float() {
         let b = batch();
-        let (col, dt) = Expr::div(Expr::col(1), Expr::lit(Value::I64(2))).eval(&b).unwrap();
+        let (col, dt) = Expr::div(Expr::col(1), Expr::lit(Value::I64(2)))
+            .eval(&b)
+            .unwrap();
         assert_eq!(dt, DataType::F64);
         assert_eq!(col.as_f64().unwrap()[0], 5.0);
     }
@@ -686,7 +711,9 @@ mod tests {
     #[test]
     fn date_compare_and_between() {
         let b = batch();
-        let m = Expr::lt(Expr::col(3), date_lit("1995-01-01")).eval_mask(&b).unwrap();
+        let m = Expr::lt(Expr::col(3), date_lit("1995-01-01"))
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![true, false, false, true]);
         let m = Expr::Between(
             Box::new(Expr::col(3)),
@@ -709,16 +736,24 @@ mod tests {
     #[test]
     fn like_and_substr() {
         let b = batch();
-        let m = Expr::Like(Box::new(Expr::col(4)), "green%".into()).eval_mask(&b).unwrap();
+        let m = Expr::Like(Box::new(Expr::col(4)), "green%".into())
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![true, false, true, false]);
-        let m = Expr::Like(Box::new(Expr::col(4)), "%box".into()).eval_mask(&b).unwrap();
+        let m = Expr::Like(Box::new(Expr::col(4)), "%box".into())
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![true, false, false, true]);
         // 'e' followed later by 'c': only "red plastic cup" qualifies.
-        let m = Expr::Like(Box::new(Expr::col(4)), "%e%c%".into()).eval_mask(&b).unwrap();
+        let m = Expr::Like(Box::new(Expr::col(4)), "%e%c%".into())
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![false, true, false, false]);
         let (col, _) = Expr::Substr(Box::new(Expr::col(4)), 1, 3).eval(&b).unwrap();
         assert_eq!(col.as_str().unwrap()[0], "gre");
-        let m = Expr::NotLike(Box::new(Expr::col(4)), "%green%".into()).eval_mask(&b).unwrap();
+        let m = Expr::NotLike(Box::new(Expr::col(4)), "%green%".into())
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![false, true, false, true]);
     }
 
@@ -736,19 +771,13 @@ mod tests {
     #[test]
     fn in_list_over_types() {
         let b = batch();
-        let m = Expr::InList(
-            Box::new(Expr::col(0)),
-            vec![Value::I64(1), Value::I64(4)],
-        )
-        .eval_mask(&b)
-        .unwrap();
+        let m = Expr::InList(Box::new(Expr::col(0)), vec![Value::I64(1), Value::I64(4)])
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![true, false, false, true]);
-        let m = Expr::InList(
-            Box::new(Expr::col(4)),
-            vec![Value::Str("blue box".into())],
-        )
-        .eval_mask(&b)
-        .unwrap();
+        let m = Expr::InList(Box::new(Expr::col(4)), vec![Value::Str("blue box".into())])
+            .eval_mask(&b)
+            .unwrap();
         assert_eq!(m, vec![false, false, false, true]);
     }
 
@@ -787,15 +816,21 @@ mod tests {
             ("d", DataType::Date),
         ]);
         assert_eq!(
-            Expr::mul(Expr::col(1), Expr::col(1)).dtype(&schema).unwrap(),
+            Expr::mul(Expr::col(1), Expr::col(1))
+                .dtype(&schema)
+                .unwrap(),
             DataType::Decimal { scale: 4 }
         );
         assert_eq!(
-            Expr::add(Expr::col(0), Expr::col(0)).dtype(&schema).unwrap(),
+            Expr::add(Expr::col(0), Expr::col(0))
+                .dtype(&schema)
+                .unwrap(),
             DataType::I64
         );
         assert_eq!(
-            Expr::div(Expr::col(0), Expr::col(0)).dtype(&schema).unwrap(),
+            Expr::div(Expr::col(0), Expr::col(0))
+                .dtype(&schema)
+                .unwrap(),
             DataType::F64
         );
         assert_eq!(

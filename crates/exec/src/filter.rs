@@ -21,7 +21,11 @@ pub struct Select {
 
 impl Select {
     pub fn new(child: Box<dyn Operator>, predicate: Expr) -> Select {
-        Select { child, predicate, counters: Counters::default() }
+        Select {
+            child,
+            predicate,
+            counters: Counters::default(),
+        }
     }
 }
 
@@ -33,11 +37,17 @@ impl Operator for Select {
     fn next(&mut self) -> Result<Option<Batch>> {
         let start = std::time::Instant::now();
         let out = loop {
-            let Some(batch) = self.child.next()? else { break None };
+            let Some(batch) = self.child.next()? else {
+                break None;
+            };
             self.counters.rows_in += batch.len() as u64;
             let mask = self.predicate.eval_mask(&batch)?;
-            let positions: Vec<usize> =
-                mask.iter().enumerate().filter(|(_, m)| **m).map(|(i, _)| i).collect();
+            let positions: Vec<usize> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| **m)
+                .map(|(i, _)| i)
+                .collect();
             if positions.is_empty() {
                 continue; // fully filtered vector: pull the next one
             }

@@ -1,8 +1,10 @@
 //! HashJoin: build/probe hash join with vectorized probing.
 //!
-//! The build side is drained into a columnar hash table; probe vectors are
-//! hashed in bulk and matches gathered column-wise. Modes cover what TPC-H
-//! needs: inner, left-outer, semi (EXISTS / IN) and anti (NOT EXISTS).
+//! The build side is drained into columnar storage indexed by a flat
+//! open-addressing table ([`kernels::table::HashTable`]); probe vectors are
+//! hashed column-at-a-time in bulk ([`kernels::hash`]) and matches gathered
+//! column-wise ([`kernels::gather`]). Modes cover what TPC-H needs: inner,
+//! left-outer, semi (EXISTS / IN) and anti (NOT EXISTS).
 //!
 //! Left-outer note: VectorH-rs columns are non-nullable (TPC-H data has no
 //! NULLs), so unmatched probe rows get type-default build values and the
@@ -10,13 +12,14 @@
 //! over the nullable side — e.g. Q13's `count(o_orderkey)` — become
 //! `sum(__matched)`, which is the same number.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
-use vectorh_common::{ColumnData, DataType, Field, Result, Schema, Value, VhError};
+use vectorh_common::{ColumnData, DataType, Field, Result, Schema, VhError};
 
 use crate::batch::Batch;
+use crate::kernels::gather::{gather, gather_or_default};
+use crate::kernels::hash::{hash_columns, JOIN_SEED};
+use crate::kernels::table::{HashTable, EMPTY};
 use crate::operator::{Counters, OpProfile, Operator};
 
 /// Join flavours.
@@ -31,23 +34,8 @@ pub enum JoinKind {
     Anti,
 }
 
-/// Hash of row `i`'s key columns.
-fn row_key_hash(cols: &[&ColumnData], keys: &[usize], i: usize) -> u64 {
-    let mut h = 0xA5A5_5A5A_DEAD_BEEFu64;
-    for &k in keys {
-        let hk = match cols[k] {
-            ColumnData::I32(v) => hash_u64(v[i] as u64),
-            ColumnData::I64(v) => hash_u64(v[i] as u64),
-            ColumnData::F64(v) => hash_u64(v[i].to_bits()),
-            ColumnData::Str(v) => hash_bytes(v[i].as_bytes()),
-        };
-        h = hash_combine(h, hk);
-    }
-    h
-}
-
 /// Are the key columns of (a, i) and (b, j) equal?
-fn keys_eq(
+pub(crate) fn keys_eq(
     a: &[&ColumnData],
     akeys: &[usize],
     i: usize,
@@ -55,15 +43,74 @@ fn keys_eq(
     bkeys: &[usize],
     j: usize,
 ) -> bool {
-    akeys.iter().zip(bkeys).all(|(&ka, &kb)| match (a[ka], b[kb]) {
-        (ColumnData::I32(x), ColumnData::I32(y)) => x[i] == y[j],
-        (ColumnData::I64(x), ColumnData::I64(y)) => x[i] == y[j],
-        (ColumnData::I32(x), ColumnData::I64(y)) => x[i] as i64 == y[j],
-        (ColumnData::I64(x), ColumnData::I32(y)) => x[i] == y[j] as i64,
-        (ColumnData::F64(x), ColumnData::F64(y)) => x[i] == y[j],
-        (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
-        _ => false,
-    })
+    akeys
+        .iter()
+        .zip(bkeys)
+        .all(|(&ka, &kb)| match (a[ka], b[kb]) {
+            (ColumnData::I32(x), ColumnData::I32(y)) => x[i] == y[j],
+            (ColumnData::I64(x), ColumnData::I64(y)) => x[i] == y[j],
+            (ColumnData::I32(x), ColumnData::I64(y)) => x[i] as i64 == y[j],
+            (ColumnData::I64(x), ColumnData::I32(y)) => x[i] == y[j] as i64,
+            (ColumnData::F64(x), ColumnData::F64(y)) => x[i] == y[j],
+            (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
+            _ => false,
+        })
+}
+
+/// Columnar build side plus its hash index. Shared by [`HashJoin`] and
+/// [`SharedBuild`]: drain an operator once, probe with hash vectors.
+struct BuildSide {
+    data: Vec<ColumnData>,
+    table: HashTable,
+    keys: Vec<usize>,
+}
+
+impl BuildSide {
+    fn drain(input: &mut dyn Operator, keys: &[usize]) -> Result<BuildSide> {
+        let schema = input.schema();
+        let mut data: Vec<ColumnData> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::new(f.dtype))
+            .collect();
+        let mut table = HashTable::new();
+        let mut hashes = Vec::new();
+        while let Some(batch) = input.next()? {
+            for (dst, src) in data.iter_mut().zip(&batch.columns) {
+                dst.append(src)?;
+            }
+            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
+            hash_columns(&cols, keys, JOIN_SEED, &mut hashes);
+            table.insert_batch(&hashes);
+        }
+        Ok(BuildSide {
+            data,
+            table,
+            keys: keys.to_vec(),
+        })
+    }
+
+    /// Match one probe batch: for each probe row, every build row with an
+    /// equal key. Returns parallel (probe position, build row) vectors.
+    fn match_inner(
+        &self,
+        cols: &[&ColumnData],
+        probe_keys: &[usize],
+        hashes: &[u64],
+    ) -> (Vec<u32>, Vec<u32>) {
+        let build_cols: Vec<&ColumnData> = self.data.iter().collect();
+        let mut probe_idx = Vec::new();
+        let mut build_idx = Vec::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            for bi in self.table.candidates(h) {
+                if keys_eq(&build_cols, &self.keys, bi as usize, cols, probe_keys, i) {
+                    probe_idx.push(i as u32);
+                    build_idx.push(bi);
+                }
+            }
+        }
+        (probe_idx, build_idx)
+    }
 }
 
 /// The hash join operator. Left child = probe, right child = build.
@@ -71,12 +118,9 @@ pub struct HashJoin {
     probe: Box<dyn Operator>,
     build: Box<dyn Operator>,
     probe_keys: Vec<usize>,
-    build_keys: Vec<usize>,
     kind: JoinKind,
-    built: bool,
-    /// Build rows stored columnar, plus hash index: hash → row ids.
-    build_data: Vec<ColumnData>,
-    index: HashMap<u64, Vec<u32>>,
+    built: Option<BuildSide>,
+    build_keys: Vec<usize>,
     out_schema: Arc<Schema>,
     counters: Counters,
 }
@@ -105,43 +149,12 @@ impl HashJoin {
             probe,
             build,
             probe_keys,
-            build_keys,
             kind,
-            built: false,
-            build_data: vec![],
-            index: HashMap::new(),
+            built: None,
+            build_keys,
             out_schema,
             counters: Counters::default(),
         })
-    }
-
-    fn build_table(&mut self) -> Result<()> {
-        let schema = self.build.schema();
-        self.build_data = schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
-        while let Some(batch) = self.build.next()? {
-            let base = self.build_data.first().map(|c| c.len()).unwrap_or(0);
-            for (dst, src) in self.build_data.iter_mut().zip(&batch.columns) {
-                dst.append(src)?;
-            }
-            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            for i in 0..batch.len() {
-                let h = row_key_hash(&cols, &self.build_keys, i);
-                self.index.entry(h).or_default().push((base + i) as u32);
-            }
-        }
-        self.built = true;
-        Ok(())
-    }
-
-    /// Default value used for unmatched build columns in left-outer mode.
-    fn default_value(dt: DataType) -> Value {
-        match dt {
-            DataType::Str => Value::Str(String::new()),
-            DataType::F64 => Value::F64(0.0),
-            DataType::Date => Value::Date(0),
-            DataType::Decimal { scale } => Value::Decimal(0, scale),
-            _ => Value::I64(0),
-        }
     }
 }
 
@@ -152,130 +165,87 @@ impl Operator for HashJoin {
 
     fn next(&mut self) -> Result<Option<Batch>> {
         let start = std::time::Instant::now();
-        if !self.built {
-            self.build_table()?;
+        if self.built.is_none() {
+            self.built = Some(BuildSide::drain(self.build.as_mut(), &self.build_keys)?);
         }
+        let side = self.built.as_ref().unwrap();
+        let mut hashes = Vec::new();
         let out = loop {
-            let Some(batch) = self.probe.next()? else { break None };
+            let Some(batch) = self.probe.next()? else {
+                break None;
+            };
             self.counters.rows_in += batch.len() as u64;
             let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            let build_cols: Vec<&ColumnData> = self.build_data.iter().collect();
+            hash_columns(&cols, &self.probe_keys, JOIN_SEED, &mut hashes);
 
             match self.kind {
                 JoinKind::Inner => {
-                    let mut probe_idx = Vec::new();
-                    let mut build_idx = Vec::new();
-                    for i in 0..batch.len() {
-                        let h = row_key_hash(&cols, &self.probe_keys, i);
-                        if let Some(cands) = self.index.get(&h) {
-                            for &bi in cands {
-                                if keys_eq(
-                                    &build_cols,
-                                    &self.build_keys,
-                                    bi as usize,
-                                    &cols,
-                                    &self.probe_keys,
-                                    i,
-                                ) {
-                                    probe_idx.push(i);
-                                    build_idx.push(bi as usize);
-                                }
-                            }
-                        }
-                    }
+                    let (probe_idx, build_idx) = side.match_inner(&cols, &self.probe_keys, &hashes);
                     if probe_idx.is_empty() {
                         continue;
                     }
-                    let left = batch.gather(&probe_idx);
-                    let right_cols: Vec<ColumnData> =
-                        self.build_data.iter().map(|c| c.gather(&build_idx)).collect();
+                    let left = batch.gather_u32(&probe_idx);
                     let mut columns = left.columns;
-                    columns.extend(right_cols);
+                    columns.extend(side.data.iter().map(|c| gather(c, &build_idx)));
                     break Some(Batch::new(self.out_schema.clone(), columns)?);
                 }
                 JoinKind::LeftOuter => {
-                    let mut probe_idx = Vec::new();
-                    // Build side: either a real row id or "unmatched".
-                    let mut build_idx: Vec<Option<usize>> = Vec::new();
-                    for i in 0..batch.len() {
-                        let h = row_key_hash(&cols, &self.probe_keys, i);
+                    let build_cols: Vec<&ColumnData> = side.data.iter().collect();
+                    let mut probe_idx: Vec<u32> = Vec::new();
+                    // Build side: a real row id, or EMPTY for "unmatched".
+                    let mut build_idx: Vec<u32> = Vec::new();
+                    for (i, &h) in hashes.iter().enumerate() {
                         let mut any = false;
-                        if let Some(cands) = self.index.get(&h) {
-                            for &bi in cands {
-                                if keys_eq(
-                                    &build_cols,
-                                    &self.build_keys,
-                                    bi as usize,
-                                    &cols,
-                                    &self.probe_keys,
-                                    i,
-                                ) {
-                                    probe_idx.push(i);
-                                    build_idx.push(Some(bi as usize));
-                                    any = true;
-                                }
+                        for bi in side.table.candidates(h) {
+                            if keys_eq(
+                                &build_cols,
+                                &side.keys,
+                                bi as usize,
+                                &cols,
+                                &self.probe_keys,
+                                i,
+                            ) {
+                                probe_idx.push(i as u32);
+                                build_idx.push(bi);
+                                any = true;
                             }
                         }
                         if !any {
-                            probe_idx.push(i);
-                            build_idx.push(None);
+                            probe_idx.push(i as u32);
+                            build_idx.push(EMPTY);
                         }
                     }
-                    let left = batch.gather(&probe_idx);
-                    let bschema = self.build.schema();
-                    let mut right_cols: Vec<ColumnData> = bschema
-                        .fields()
-                        .iter()
-                        .map(|f| ColumnData::with_capacity(f.dtype, build_idx.len()))
-                        .collect();
-                    let mut matched: Vec<i32> = Vec::with_capacity(build_idx.len());
-                    for &bi in &build_idx {
-                        match bi {
-                            Some(b) => {
-                                for (c, col) in right_cols.iter_mut().enumerate() {
-                                    let v = self.build_data[c].value_at(b, bschema.dtype(c));
-                                    col.push_value(&v)?;
-                                }
-                                matched.push(1);
-                            }
-                            None => {
-                                for (c, col) in right_cols.iter_mut().enumerate() {
-                                    col.push_value(&Self::default_value(bschema.dtype(c)))?;
-                                }
-                                matched.push(0);
-                            }
-                        }
-                    }
+                    let left = batch.gather_u32(&probe_idx);
+                    let matched: Vec<i32> =
+                        build_idx.iter().map(|&b| (b != EMPTY) as i32).collect();
                     let mut columns = left.columns;
-                    columns.extend(right_cols);
+                    columns.extend(side.data.iter().map(|c| gather_or_default(c, &build_idx)));
                     columns.push(ColumnData::I32(matched));
                     break Some(Batch::new(self.out_schema.clone(), columns)?);
                 }
                 JoinKind::Semi | JoinKind::Anti => {
+                    let build_cols: Vec<&ColumnData> = side.data.iter().collect();
                     let want_match = self.kind == JoinKind::Semi;
-                    let mut keep = Vec::new();
-                    for i in 0..batch.len() {
-                        let h = row_key_hash(&cols, &self.probe_keys, i);
-                        let any = self.index.get(&h).map_or(false, |cands| {
-                            cands.iter().any(|&bi| {
-                                keys_eq(
-                                    &build_cols,
-                                    &self.build_keys,
-                                    bi as usize,
-                                    &cols,
-                                    &self.probe_keys,
-                                    i,
-                                )
-                            })
+                    let mut keep: Vec<u32> = Vec::new();
+                    for (i, &h) in hashes.iter().enumerate() {
+                        let any = side.table.candidates(h).any(|bi| {
+                            keys_eq(
+                                &build_cols,
+                                &side.keys,
+                                bi as usize,
+                                &cols,
+                                &self.probe_keys,
+                                i,
+                            )
                         });
                         if any == want_match {
-                            keep.push(i);
+                            keep.push(i as u32);
                         }
                     }
                     if keep.is_empty() {
                         continue;
                     }
-                    break Some(batch.gather(&keep));
+                    break Some(batch.gather_u32(&keep));
                 }
             }
         };
@@ -301,44 +271,33 @@ impl Operator for HashJoin {
 /// drained once, and many probe threads join against clones of the Arc.
 pub struct SharedBuild {
     pub schema: Arc<Schema>,
-    pub data: Arc<Vec<ColumnData>>,
-    pub index: Arc<HashMap<u64, Vec<u32>>>,
-    pub keys: Vec<usize>,
+    side: Arc<BuildSide>,
 }
 
 impl SharedBuild {
     pub fn build(mut input: Box<dyn Operator>, keys: Vec<usize>) -> Result<SharedBuild> {
         let schema = input.schema();
-        let mut data: Vec<ColumnData> =
-            schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
-        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
-        while let Some(batch) = input.next()? {
-            let base = data.first().map(|c| c.len()).unwrap_or(0);
-            for (dst, src) in data.iter_mut().zip(&batch.columns) {
-                dst.append(src)?;
-            }
-            let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            for i in 0..batch.len() {
-                let h = row_key_hash(&cols, &keys, i);
-                index.entry(h).or_default().push((base + i) as u32);
-            }
-        }
-        Ok(SharedBuild { schema, data: Arc::new(data), index: Arc::new(index), keys })
+        let side = BuildSide::drain(input.as_mut(), &keys)?;
+        Ok(SharedBuild {
+            schema,
+            side: Arc::new(side),
+        })
     }
 
     /// An operator probing this shared table (inner join).
-    pub fn probe(self: &SharedBuild, probe: Box<dyn Operator>, probe_keys: Vec<usize>) -> SharedProbe {
+    pub fn probe(
+        self: &SharedBuild,
+        probe: Box<dyn Operator>,
+        probe_keys: Vec<usize>,
+    ) -> SharedProbe {
+        let out_schema = Arc::new(probe.schema().join(&self.schema));
         SharedProbe {
             probe,
             probe_keys,
-            build_schema: self.schema.clone(),
-            data: self.data.clone(),
-            index: self.index.clone(),
-            build_keys: self.keys.clone(),
-            out_schema: Arc::new(Schema::new(vec![])), // set below
+            side: self.side.clone(),
+            out_schema,
             counters: Counters::default(),
         }
-        .finish_schema()
     }
 }
 
@@ -346,19 +305,9 @@ impl SharedBuild {
 pub struct SharedProbe {
     probe: Box<dyn Operator>,
     probe_keys: Vec<usize>,
-    build_schema: Arc<Schema>,
-    data: Arc<Vec<ColumnData>>,
-    index: Arc<HashMap<u64, Vec<u32>>>,
-    build_keys: Vec<usize>,
+    side: Arc<BuildSide>,
     out_schema: Arc<Schema>,
     counters: Counters,
-}
-
-impl SharedProbe {
-    fn finish_schema(mut self) -> SharedProbe {
-        self.out_schema = Arc::new(self.probe.schema().join(&self.build_schema));
-        self
-    }
 }
 
 impl Operator for SharedProbe {
@@ -368,31 +317,21 @@ impl Operator for SharedProbe {
 
     fn next(&mut self) -> Result<Option<Batch>> {
         let start = std::time::Instant::now();
+        let mut hashes = Vec::new();
         let out = loop {
-            let Some(batch) = self.probe.next()? else { break None };
+            let Some(batch) = self.probe.next()? else {
+                break None;
+            };
             self.counters.rows_in += batch.len() as u64;
             let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            let build_cols: Vec<&ColumnData> = self.data.iter().collect();
-            let mut probe_idx = Vec::new();
-            let mut build_idx = Vec::new();
-            for i in 0..batch.len() {
-                let h = row_key_hash(&cols, &self.probe_keys, i);
-                if let Some(cands) = self.index.get(&h) {
-                    for &bi in cands {
-                        if keys_eq(&build_cols, &self.build_keys, bi as usize, &cols, &self.probe_keys, i) {
-                            probe_idx.push(i);
-                            build_idx.push(bi as usize);
-                        }
-                    }
-                }
-            }
+            hash_columns(&cols, &self.probe_keys, JOIN_SEED, &mut hashes);
+            let (probe_idx, build_idx) = self.side.match_inner(&cols, &self.probe_keys, &hashes);
             if probe_idx.is_empty() {
                 continue;
             }
-            let left = batch.gather(&probe_idx);
-            let right: Vec<ColumnData> = self.data.iter().map(|c| c.gather(&build_idx)).collect();
+            let left = batch.gather_u32(&probe_idx);
             let mut columns = left.columns;
-            columns.extend(right);
+            columns.extend(self.side.data.iter().map(|c| gather(c, &build_idx)));
             break Some(Batch::new(self.out_schema.clone(), columns)?);
         };
         self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
@@ -416,7 +355,7 @@ impl Operator for SharedProbe {
 mod tests {
     use super::*;
     use crate::operator::BatchSource;
-    use vectorh_common::VECTOR_SIZE;
+    use vectorh_common::{Value, VECTOR_SIZE};
 
     fn table(name_prefix: &str, keys: Vec<i64>, payload: Vec<i64>) -> Box<dyn Operator> {
         let schema = Arc::new(Schema::of(&[
@@ -439,9 +378,33 @@ mod tests {
         let mut rows = crate::batch::collect_rows(&mut j).unwrap();
         rows.sort_by_key(|r| (r[0].as_i64(), r[1].as_i64()));
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], vec![Value::I64(2), Value::I64(20), Value::I64(2), Value::I64(200)]);
-        assert_eq!(rows[1], vec![Value::I64(2), Value::I64(21), Value::I64(2), Value::I64(200)]);
-        assert_eq!(rows[2], vec![Value::I64(3), Value::I64(30), Value::I64(3), Value::I64(300)]);
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::I64(2),
+                Value::I64(20),
+                Value::I64(2),
+                Value::I64(200)
+            ]
+        );
+        assert_eq!(
+            rows[1],
+            vec![
+                Value::I64(2),
+                Value::I64(21),
+                Value::I64(2),
+                Value::I64(200)
+            ]
+        );
+        assert_eq!(
+            rows[2],
+            vec![
+                Value::I64(3),
+                Value::I64(30),
+                Value::I64(3),
+                Value::I64(300)
+            ]
+        );
     }
 
     #[test]
@@ -482,7 +445,9 @@ mod tests {
         .unwrap();
         let rows = crate::batch::collect_rows(&mut semi).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![2, 4]
         );
         assert_eq!(rows[0].len(), 2, "semi join keeps probe schema");
@@ -490,7 +455,9 @@ mod tests {
         let mut anti = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Anti).unwrap();
         let rows = crate::batch::collect_rows(&mut anti).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 3]
         );
     }
@@ -501,7 +468,9 @@ mod tests {
         let mk = |names: Vec<&str>| -> Box<dyn Operator> {
             let batch = Batch::new(
                 schema.clone(),
-                vec![ColumnData::Str(names.into_iter().map(String::from).collect())],
+                vec![ColumnData::Str(
+                    names.into_iter().map(String::from).collect(),
+                )],
             )
             .unwrap();
             Box::new(BatchSource::from_batch(batch, VECTOR_SIZE))
@@ -552,6 +521,27 @@ mod tests {
         let build = table("r", vec![], vec![]);
         let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Inner).unwrap();
         assert!(crate::batch::collect_rows(&mut j).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cross_width_keys_i32_probe_i64_build() {
+        // An I32 (date-layout) probe key against an I64 build key: the
+        // normalized hash kernels must route equal values to the same chain.
+        let pschema = Arc::new(Schema::of(&[("k", DataType::I32)]));
+        let probe = Batch::new(pschema, vec![ColumnData::I32(vec![1, -2, 3])]).unwrap();
+        let probe: Box<dyn Operator> = Box::new(BatchSource::from_batch(probe, VECTOR_SIZE));
+        let bschema = Arc::new(Schema::of(&[("k", DataType::I64)]));
+        let build = Batch::new(bschema, vec![ColumnData::I64(vec![-2, 3, 4])]).unwrap();
+        let build: Box<dyn Operator> = Box::new(BatchSource::from_batch(build, VECTOR_SIZE));
+        let mut j = HashJoin::new(probe, build, vec![0], vec![0], JoinKind::Inner).unwrap();
+        let mut rows = crate::batch::collect_rows(&mut j).unwrap();
+        rows.sort_by_key(|r| match r[0] {
+            Value::I32(x) => x,
+            _ => 0,
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::I64(-2));
+        assert_eq!(rows[1][1], Value::I64(3));
     }
 
     #[test]

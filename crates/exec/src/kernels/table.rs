@@ -1,0 +1,239 @@
+//! Flat open-addressing hash table: the classic Vectorwise layout.
+//!
+//! The table never stores keys. It is an index over rows `0..n` held
+//! elsewhere (columnar build-side data, aggregation group columns): a
+//! power-of-two `buckets` array maps a hash to the head of a chain, and a
+//! parallel `next` array links rows that share a bucket. Everything is a
+//! plain `u32` in two flat arrays — no per-key heap allocation, no
+//! rehash-on-read, and growing is a cache-friendly relink of the bucket
+//! heads from the stored hash vector.
+//!
+//! The full 64-bit hash of every row is stored so probes can prefilter
+//! chain candidates with one integer compare before the caller runs its
+//! (possibly multi-column, possibly string) key equality check.
+//!
+//! The batch APIs take precomputed hash vectors from
+//! [`super::hash::hash_columns`] — the table itself never hashes anything.
+
+/// Sentinel row id: end of a chain / empty bucket / no match.
+pub const EMPTY: u32 = u32::MAX;
+
+const MIN_BUCKETS: usize = 16;
+
+/// Hash index over externally-stored rows.
+#[derive(Debug, Default, Clone)]
+pub struct HashTable {
+    /// Chain heads; length is a power of two.
+    buckets: Vec<u32>,
+    /// `next[r]` = next row in `r`'s chain, [`EMPTY`] terminates.
+    next: Vec<u32>,
+    /// Stored per-row hashes (also the source of truth for relinking).
+    hashes: Vec<u64>,
+}
+
+impl HashTable {
+    pub fn new() -> HashTable {
+        HashTable::default()
+    }
+
+    /// Number of rows inserted.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    #[inline]
+    fn bucket_of(&self, hash: u64) -> usize {
+        (hash & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Relink every chain head for a new bucket count (power of two).
+    fn rebuild(&mut self, n_buckets: usize) {
+        debug_assert!(n_buckets.is_power_of_two());
+        self.buckets.clear();
+        self.buckets.resize(n_buckets, EMPTY);
+        for r in 0..self.hashes.len() {
+            let b = self.bucket_of(self.hashes[r]);
+            self.next[r] = self.buckets[b];
+            self.buckets[b] = r as u32;
+        }
+    }
+
+    /// Insert a batch of rows given their hash vector. Row ids are assigned
+    /// sequentially from the current length; the first inserted row is 0.
+    pub fn insert_batch(&mut self, hashes: &[u64]) {
+        let new_len = self.hashes.len() + hashes.len();
+        assert!(new_len < EMPTY as usize, "hash table row ids exceed u32");
+        self.hashes.extend_from_slice(hashes);
+        self.next.resize(new_len, EMPTY);
+        // Keep load factor <= 1/2: buckets = next power of two >= 2n.
+        let want = (new_len * 2).next_power_of_two().max(MIN_BUCKETS);
+        if want > self.buckets.len() {
+            self.rebuild(want);
+        } else {
+            for r in new_len - hashes.len()..new_len {
+                let b = self.bucket_of(self.hashes[r]);
+                self.next[r] = self.buckets[b];
+                self.buckets[b] = r as u32;
+            }
+        }
+    }
+
+    /// First candidate row whose stored hash equals `hash`, or [`EMPTY`].
+    #[inline]
+    pub fn first_candidate(&self, hash: u64) -> u32 {
+        if self.buckets.is_empty() {
+            return EMPTY;
+        }
+        self.filter_chain(self.buckets[self.bucket_of(hash)], hash)
+    }
+
+    /// Next candidate after `row` with the same stored hash, or [`EMPTY`].
+    #[inline]
+    pub fn next_candidate(&self, row: u32, hash: u64) -> u32 {
+        self.filter_chain(self.next[row as usize], hash)
+    }
+
+    /// Walk the chain from `row` to the next entry whose stored hash is
+    /// `hash` (the one-compare prefilter before real key equality).
+    #[inline]
+    fn filter_chain(&self, mut row: u32, hash: u64) -> u32 {
+        while row != EMPTY && self.hashes[row as usize] != hash {
+            row = self.next[row as usize];
+        }
+        row
+    }
+
+    /// Iterate all candidate rows for `hash` (stored-hash matches only).
+    pub fn candidates(&self, hash: u64) -> Candidates<'_> {
+        Candidates {
+            table: self,
+            row: self.first_candidate(hash),
+            hash,
+        }
+    }
+
+    /// Batch probe: `out[j]` = first candidate for `hashes[j]` (or
+    /// [`EMPTY`]). Callers walk the rest of each chain with
+    /// [`next_candidate`](Self::next_candidate).
+    pub fn probe_batch(&self, hashes: &[u64], out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(hashes.len());
+        out.extend(hashes.iter().map(|&h| self.first_candidate(h)));
+    }
+}
+
+/// Iterator over a probe's candidate rows (see [`HashTable::candidates`]).
+pub struct Candidates<'a> {
+    table: &'a HashTable,
+    row: u32,
+    hash: u64,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.row == EMPTY {
+            return None;
+        }
+        let r = self.row;
+        self.row = self.table.next_candidate(r, self.hash);
+        Some(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use vectorh_common::rng::SplitMix64;
+    use vectorh_common::util::hash_u64;
+
+    #[test]
+    fn empty_table_has_no_candidates() {
+        let t = HashTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.first_candidate(42), EMPTY);
+        assert_eq!(t.candidates(42).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_hashes_chain_up() {
+        let mut t = HashTable::new();
+        t.insert_batch(&[7, 9, 7, 7]);
+        let got: Vec<u32> = t.candidates(7).collect();
+        assert_eq!(got.len(), 3);
+        assert!(got.contains(&0) && got.contains(&2) && got.contains(&3));
+        assert_eq!(t.candidates(9).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(t.candidates(8).count(), 0);
+    }
+
+    #[test]
+    fn batch_probe_matches_scalar_probe() {
+        let mut t = HashTable::new();
+        let hashes: Vec<u64> = (0..100).map(|i| hash_u64(i % 13)).collect();
+        t.insert_batch(&hashes);
+        let probes: Vec<u64> = (0..20).map(hash_u64).collect();
+        let mut heads = Vec::new();
+        t.probe_batch(&probes, &mut heads);
+        for (j, &h) in probes.iter().enumerate() {
+            assert_eq!(heads[j], t.first_candidate(h));
+        }
+    }
+
+    #[test]
+    fn growth_keeps_all_rows_reachable() {
+        let mut t = HashTable::new();
+        let mut all = Vec::new();
+        // Many small batches force repeated rebuilds.
+        for b in 0..50 {
+            let batch: Vec<u64> = (0..37).map(|i| hash_u64(b * 37 + i)).collect();
+            all.extend_from_slice(&batch);
+            t.insert_batch(&batch);
+        }
+        assert_eq!(t.len(), all.len());
+        for (r, &h) in all.iter().enumerate() {
+            assert!(
+                t.candidates(h).any(|c| c == r as u32),
+                "row {r} lost after growth"
+            );
+        }
+    }
+
+    /// Property test: the flat table agrees with `std::collections::HashMap`
+    /// on random workloads of interleaved batch inserts and probes.
+    #[test]
+    fn prop_agrees_with_std_hashmap() {
+        let mut meta = SplitMix64::new(0x7AB1E);
+        for _ in 0..30 {
+            let seed = meta.next_u64();
+            let key_space = 1 + meta.next_bounded(200);
+            let mut rng = SplitMix64::new(seed);
+            let mut t = HashTable::new();
+            let mut model: HashMap<u64, Vec<u32>> = HashMap::new();
+            let mut n_rows = 0u32;
+            for _ in 0..1 + rng.next_bounded(8) {
+                let batch: Vec<u64> = (0..rng.next_bounded(600))
+                    .map(|_| hash_u64(rng.next_bounded(key_space)))
+                    .collect();
+                for &h in &batch {
+                    model.entry(h).or_default().push(n_rows);
+                    n_rows += 1;
+                }
+                t.insert_batch(&batch);
+                // Probe every key in the space plus some misses.
+                for k in 0..key_space + 5 {
+                    let h = hash_u64(k);
+                    let mut got: Vec<u32> = t.candidates(h).collect();
+                    got.sort_unstable();
+                    let want = model.get(&h).cloned().unwrap_or_default();
+                    assert_eq!(got, want, "seed {seed} key {k}");
+                }
+            }
+        }
+    }
+}

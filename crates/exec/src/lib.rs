@@ -16,6 +16,8 @@
 //! * [`operator`] — the `Operator` trait and profiling plumbing that
 //!   regenerates the appendix-style per-operator profiles.
 //! * [`scan`] — MScan: chunk reads + MinMax skipping + positional PDT merge.
+//! * [`kernels`] — columnar hash / flat hash table / batch gather
+//!   primitives shared by joins, aggregation and the exchanges.
 //! * [`filter`], [`project`], [`join`], [`mergejoin`], [`aggr`], [`sort`] —
 //!   the relational operators TPC-H needs.
 //! * [`rowengine`] — the deliberately tuple-at-a-time baseline interpreter
@@ -26,6 +28,7 @@ pub mod batch;
 pub mod expr;
 pub mod filter;
 pub mod join;
+pub mod kernels;
 pub mod mergejoin;
 pub mod operator;
 pub mod project;

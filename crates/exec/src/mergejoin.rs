@@ -181,17 +181,18 @@ impl Operator for MergeJoin {
             } else {
                 let lrun = self.take_run_left(lkey)?;
                 let rrun = self.take_run_right(rkey)?;
-                // Cross product of the equal-key runs.
+                // Cross product of the equal-key runs, materialized with
+                // the batch gather kernels.
                 let mut lidx = Vec::with_capacity(lrun.len() * rrun.len());
                 let mut ridx = Vec::with_capacity(lrun.len() * rrun.len());
-                for i in 0..lrun.len() {
-                    for j in 0..rrun.len() {
+                for i in 0..lrun.len() as u32 {
+                    for j in 0..rrun.len() as u32 {
                         lidx.push(i);
                         ridx.push(j);
                     }
                 }
-                let lg = lrun.gather(&lidx);
-                let rg = rrun.gather(&ridx);
+                let lg = lrun.gather_u32(&lidx);
+                let rg = rrun.gather_u32(&ridx);
                 let mut columns = lg.columns;
                 columns.extend(rg.columns);
                 break Some(Batch::new(self.out_schema.clone(), columns)?);
@@ -224,11 +225,7 @@ mod tests {
 
     fn table(keys: Vec<i64>, vals: Vec<i64>, chunk: usize) -> Box<dyn Operator> {
         let schema = Arc::new(Schema::of(&[("k", DataType::I64), ("v", DataType::I64)]));
-        let batch = Batch::new(
-            schema,
-            vec![ColumnData::I64(keys), ColumnData::I64(vals)],
-        )
-        .unwrap();
+        let batch = Batch::new(schema, vec![ColumnData::I64(keys), ColumnData::I64(vals)]).unwrap();
         Box::new(BatchSource::from_batch(batch, chunk))
     }
 
@@ -243,9 +240,33 @@ mod tests {
         .unwrap();
         let rows = crate::batch::collect_rows(&mut j).unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0], vec![Value::I64(2), Value::I64(20), Value::I64(2), Value::I64(200)]);
-        assert_eq!(rows[1], vec![Value::I64(2), Value::I64(21), Value::I64(2), Value::I64(200)]);
-        assert_eq!(rows[2], vec![Value::I64(4), Value::I64(40), Value::I64(4), Value::I64(400)]);
+        assert_eq!(
+            rows[0],
+            vec![
+                Value::I64(2),
+                Value::I64(20),
+                Value::I64(2),
+                Value::I64(200)
+            ]
+        );
+        assert_eq!(
+            rows[1],
+            vec![
+                Value::I64(2),
+                Value::I64(21),
+                Value::I64(2),
+                Value::I64(200)
+            ]
+        );
+        assert_eq!(
+            rows[2],
+            vec![
+                Value::I64(4),
+                Value::I64(40),
+                Value::I64(4),
+                Value::I64(400)
+            ]
+        );
     }
 
     #[test]

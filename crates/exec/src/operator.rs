@@ -113,7 +113,11 @@ pub fn collect_profiles(op: &dyn Operator) -> Vec<ProfileLine> {
         let child_cum: u64 = children.iter().map(|c| c.profile().cum_time_ns).sum();
         let profile = op.profile();
         let self_time_ns = profile.cum_time_ns.saturating_sub(child_cum);
-        out.push(ProfileLine { depth, profile, self_time_ns });
+        out.push(ProfileLine {
+            depth,
+            profile,
+            self_time_ns,
+        });
         for c in children {
             walk(c, depth + 1, out);
         }
@@ -168,7 +172,11 @@ pub struct BatchSource {
 
 impl BatchSource {
     pub fn new(schema: Arc<Schema>, batches: Vec<Batch>) -> BatchSource {
-        BatchSource { schema, batches: batches.into(), counters: Counters::default() }
+        BatchSource {
+            schema,
+            batches: batches.into(),
+            counters: Counters::default(),
+        }
     }
 
     /// Chop a single big batch into vector-sized pieces.

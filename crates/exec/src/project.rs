@@ -92,7 +92,10 @@ mod tests {
         let schema = Arc::new(Schema::of(&[("a", DataType::I64), ("b", DataType::I64)]));
         let batch = Batch::new(
             schema,
-            vec![ColumnData::I64(vec![1, 2, 3]), ColumnData::I64(vec![10, 20, 30])],
+            vec![
+                ColumnData::I64(vec![1, 2, 3]),
+                ColumnData::I64(vec![10, 20, 30]),
+            ],
         )
         .unwrap();
         Box::new(BatchSource::from_batch(batch, 1024))
@@ -119,11 +122,14 @@ mod tests {
         let mut p = Project::columns(source(), &[1]).unwrap();
         assert_eq!(p.schema().names(), vec!["b"]);
         let rows = crate::batch::collect_rows(&mut p).unwrap();
-        assert_eq!(rows, vec![
-            vec![Value::I64(10)],
-            vec![Value::I64(20)],
-            vec![Value::I64(30)],
-        ]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::I64(10)],
+                vec![Value::I64(20)],
+                vec![Value::I64(30)],
+            ]
+        );
     }
 
     #[test]

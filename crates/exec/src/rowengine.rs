@@ -13,8 +13,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use vectorh_common::{ColumnData, Result, Schema, Value, VhError};
 use crate::operator::Operator as _;
+use vectorh_common::{ColumnData, Result, Schema, Value, VhError};
 
 use crate::batch::Batch;
 use crate::expr::Expr;
@@ -59,7 +59,10 @@ pub struct RowScan {
 
 impl RowScan {
     pub fn new(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> RowScan {
-        RowScan { schema, rows: rows.into_iter() }
+        RowScan {
+            schema,
+            rows: rows.into_iter(),
+        }
     }
 }
 
@@ -115,7 +118,11 @@ impl RowProject {
             fields.push(vectorh_common::Field::new(n, e.dtype(&in_schema)?));
             exprs.push(e);
         }
-        Ok(RowProject { child, exprs, out_schema: Arc::new(Schema::new(fields)) })
+        Ok(RowProject {
+            child,
+            exprs,
+            out_schema: Arc::new(Schema::new(fields)),
+        })
     }
 }
 
@@ -128,8 +135,11 @@ impl RowOperator for RowProject {
         match self.child.next_row()? {
             None => Ok(None),
             Some(row) => {
-                let out: Result<Vec<Value>> =
-                    self.exprs.iter().map(|e| eval_row(e, &schema, &row)).collect();
+                let out: Result<Vec<Value>> = self
+                    .exprs
+                    .iter()
+                    .map(|e| eval_row(e, &schema, &row))
+                    .collect();
                 Ok(Some(out?))
             }
         }
@@ -178,14 +188,19 @@ impl RowOperator for RowHashJoin {
     fn next_row(&mut self) -> Result<Option<Vec<Value>>> {
         if let Some(mut build) = self.build.take() {
             while let Some(row) = build.next_row()? {
-                self.table.entry(key_repr(&row[self.build_key])).or_default().push(row);
+                self.table
+                    .entry(key_repr(&row[self.build_key]))
+                    .or_default()
+                    .push(row);
             }
         }
         loop {
             if let Some(row) = self.pending.pop() {
                 return Ok(Some(row));
             }
-            let Some(prow) = self.probe.next_row()? else { return Ok(None) };
+            let Some(prow) = self.probe.next_row()? else {
+                return Ok(None);
+            };
             if let Some(matches) = self.table.get(&key_repr(&prow[self.probe_key])) {
                 for m in matches {
                     let mut out = prow.clone();
@@ -224,7 +239,14 @@ impl RowAggr {
             crate::aggr::AggMode::Complete,
         )?;
         let out_schema = probe.schema();
-        Ok(RowAggr { child, group_by, aggs, done: false, out: Vec::new(), out_schema })
+        Ok(RowAggr {
+            child,
+            group_by,
+            aggs,
+            done: false,
+            out: Vec::new(),
+            out_schema,
+        })
     }
 
     fn run(&mut self) -> Result<()> {
@@ -262,13 +284,13 @@ impl RowAggr {
                     }
                     AggFn::Min(c) => {
                         let v = row[*c].clone();
-                        if g.minmax[a].as_ref().map_or(true, |m| v < *m) {
+                        if g.minmax[a].as_ref().is_none_or(|m| v < *m) {
                             g.minmax[a] = Some(v);
                         }
                     }
                     AggFn::Max(c) => {
                         let v = row[*c].clone();
-                        if g.minmax[a].as_ref().map_or(true, |m| v > *m) {
+                        if g.minmax[a].as_ref().is_none_or(|m| v > *m) {
                             g.minmax[a] = Some(v);
                         }
                     }
@@ -309,9 +331,9 @@ impl RowAggr {
                         let denom = (g.count[a] as f64).max(1.0);
                         row.push(match dt {
                             vectorh_common::DataType::F64 => Value::F64(g.sum_f[a] / denom),
-                            vectorh_common::DataType::Decimal { scale } => Value::F64(
-                                g.sum_i[a] as f64 / denom / 10f64.powi(scale as i32),
-                            ),
+                            vectorh_common::DataType::Decimal { scale } => {
+                                Value::F64(g.sum_i[a] as f64 / denom / 10f64.powi(scale as i32))
+                            }
                             _ => Value::F64(g.sum_i[a] as f64 / denom),
                         });
                     }
@@ -379,7 +401,10 @@ mod tests {
         );
         let mut proj = RowProject::new(
             Box::new(sel),
-            vec![(Expr::add(Expr::col(1), Expr::lit(Value::I64(1))), "x1".into())],
+            vec![(
+                Expr::add(Expr::col(1), Expr::lit(Value::I64(1))),
+                "x1".into(),
+            )],
         )
         .unwrap();
         let mut got = collect_row_op(&mut proj).unwrap();
@@ -392,7 +417,10 @@ mod tests {
         let l = RowScan::new(schema(), rows());
         let r = RowScan::new(
             schema(),
-            vec![vec![Value::I64(1), Value::I64(100)], vec![Value::I64(3), Value::I64(300)]],
+            vec![
+                vec![Value::I64(1), Value::I64(100)],
+                vec![Value::I64(3), Value::I64(300)],
+            ],
         );
         let mut j = RowHashJoin::new(Box::new(l), Box::new(r), 0, 0);
         let got = collect_row_op(&mut j).unwrap();

@@ -88,11 +88,18 @@ impl MScan {
     }
 
     /// Convenience: scan everything with no updates pending.
-    pub fn full(store: PartitionStore, cols: Vec<usize>, reader: Option<vectorh_common::NodeId>) -> Result<MScan> {
+    pub fn full(
+        store: PartitionStore,
+        cols: Vec<usize>,
+        reader: Option<vectorh_common::NodeId>,
+    ) -> Result<MScan> {
         let n = store.row_count();
         let keep = vec![true; store.n_chunks()];
         let plan = if n > 0 {
-            vec![MergeStep::CopyStable { from_sid: 0, count: n }]
+            vec![MergeStep::CopyStable {
+                from_sid: 0,
+                count: n,
+            }]
         } else {
             vec![]
         };
@@ -137,7 +144,11 @@ impl MScan {
     }
 
     /// Emit one full-width row given as values, projected.
-    fn emit_row(&self, values: &[vectorh_common::Value], builders: &mut [ColumnData]) -> Result<()> {
+    fn emit_row(
+        &self,
+        values: &[vectorh_common::Value],
+        builders: &mut [ColumnData],
+    ) -> Result<()> {
         for (p, &c) in self.cols.iter().enumerate() {
             builders[p].push_value(&values[c])?;
         }
@@ -272,16 +283,14 @@ mod tests {
     fn store(rows_per_chunk: usize, n: i64) -> PartitionStore {
         let fs = SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 1024, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 1024,
+                default_replication: 2,
+            },
             StdArc::new(DefaultPolicy::new(7)),
         );
         let schema = Schema::of(&[("k", DataType::I64), ("tag", DataType::Str)]);
-        let mut s = PartitionStore::new(
-            fs,
-            "/db/t/p0/",
-            schema,
-            StorageConfig { rows_per_chunk },
-        );
+        let mut s = PartitionStore::new(fs, "/db/t/p0/", schema, StorageConfig { rows_per_chunk });
         let cols = vec![
             ColumnData::I64((0..n).collect()),
             ColumnData::Str((0..n).map(|i| format!("t{}", i % 4)).collect()),
@@ -320,12 +329,15 @@ mod tests {
         let s = store(100, 300);
         let keep = s.prune(&vec![(0, PruneOp::Lt, Value::I64(150))]);
         assert_eq!(keep, vec![true, true, false]);
-        let fs_stats = {
+        {
             let mut scan = MScan::new(
                 s.clone(),
                 vec![0],
                 keep,
-                vec![MergeStep::CopyStable { from_sid: 0, count: 300 }],
+                vec![MergeStep::CopyStable {
+                    from_sid: 0,
+                    count: 300,
+                }],
                 None,
             )
             .unwrap();
@@ -334,16 +346,17 @@ mod tests {
             assert_eq!(rows.len(), 200);
             assert_eq!(rows.last().unwrap()[0], Value::I64(199));
         };
-        let _ = fs_stats;
     }
 
     #[test]
     fn merge_plan_applies_updates() {
         let s = store(100, 100);
         let mut pdt = Pdt::new();
-        pdt.insert_at(0, vec![Value::I64(-1), Value::Str("new".into())], 1, 100).unwrap();
+        pdt.insert_at(0, vec![Value::I64(-1), Value::Str("new".into())], 1, 100)
+            .unwrap();
         pdt.delete_at(51, 100).unwrap(); // deletes stable row 50 (shifted by insert)
-        pdt.modify_at(11, 1, Value::Str("patched".into()), 100).unwrap(); // stable row 10
+        pdt.modify_at(11, 1, Value::Str("patched".into()), 100)
+            .unwrap(); // stable row 10
         let layers = Layers::new(100, vec![&pdt]);
         let plan = layers.merged_plan();
         let keep = vec![true; s.n_chunks()];
@@ -371,7 +384,8 @@ mod tests {
     fn trailing_inserts_after_last_chunk() {
         let s = store(50, 50);
         let mut pdt = Pdt::new();
-        pdt.insert_at(50, vec![Value::I64(999), Value::Str("app".into())], 7, 50).unwrap();
+        pdt.insert_at(50, vec![Value::I64(999), Value::Str("app".into())], 7, 50)
+            .unwrap();
         let plan = Layers::new(50, vec![&pdt]).merged_plan();
         let mut scan = MScan::new(s, vec![0, 1], vec![true], plan, None).unwrap();
         let rows = drain(&mut scan);
@@ -400,18 +414,30 @@ mod tests {
     fn scan_reads_local_when_reader_holds_replica() {
         let fs = SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 2048, default_replication: 3 },
+            SimHdfsConfig {
+                block_size: 2048,
+                default_replication: 3,
+            },
             StdArc::new(DefaultPolicy::new(9)),
         );
         let schema = Schema::of(&[("k", DataType::I64)]);
-        let mut s = PartitionStore::new(fs.clone(), "/db/l/p0/", schema, StorageConfig { rows_per_chunk: 64 });
+        let mut s = PartitionStore::new(
+            fs.clone(),
+            "/db/l/p0/",
+            schema,
+            StorageConfig { rows_per_chunk: 64 },
+        );
         s.set_home(Some(NodeId(1)));
-        s.append_rows(&[ColumnData::I64((0..200).collect())]).unwrap();
+        s.append_rows(&[ColumnData::I64((0..200).collect())])
+            .unwrap();
         let before = fs.stats().snapshot();
         let mut scan = MScan::full(s, vec![0], Some(NodeId(1))).unwrap();
         let rows = drain(&mut scan);
         assert_eq!(rows.len(), 200);
         let delta = fs.stats().snapshot().since(&before);
-        assert_eq!(delta.remote_read_bytes, 0, "scan must be fully short-circuit");
+        assert_eq!(
+            delta.remote_read_bytes, 0,
+            "scan must be fully short-circuit"
+        );
     }
 }

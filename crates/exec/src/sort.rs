@@ -32,7 +32,14 @@ pub struct Sort {
 
 impl Sort {
     pub fn new(child: Box<dyn Operator>, keys: Vec<(usize, Dir)>, limit: Option<usize>) -> Sort {
-        Sort { child, keys, limit, sorted: None, emit_at: 0, counters: Counters::default() }
+        Sort {
+            child,
+            keys,
+            limit,
+            sorted: None,
+            emit_at: 0,
+            counters: Counters::default(),
+        }
     }
 
     fn cmp_rows(&self, batch: &Batch, a: usize, b: usize) -> Ordering {
@@ -92,7 +99,8 @@ impl Operator for Sort {
     }
 
     fn profile(&self) -> OpProfile {
-        self.counters.profile(if self.limit.is_some() { "TopN" } else { "Sort" })
+        self.counters
+            .profile(if self.limit.is_some() { "TopN" } else { "Sort" })
     }
 
     fn children(&self) -> Vec<&dyn Operator> {
@@ -109,7 +117,11 @@ pub struct Limit {
 
 impl Limit {
     pub fn new(child: Box<dyn Operator>, n: usize) -> Limit {
-        Limit { child, remaining: n, counters: Counters::default() }
+        Limit {
+            child,
+            remaining: n,
+            counters: Counters::default(),
+        }
     }
 }
 
@@ -192,7 +204,9 @@ mod tests {
         );
         let rows = crate::batch::collect_rows(&mut s).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         let mut s = Sort::new(
@@ -202,7 +216,9 @@ mod tests {
         );
         let rows = crate::batch::collect_rows(&mut s).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![3, 2, 1]
         );
     }
@@ -229,7 +245,9 @@ mod tests {
         );
         let rows = crate::batch::collect_rows(&mut s).unwrap();
         assert_eq!(
-            rows.iter().map(|r| r[0].as_i64().unwrap()).collect::<Vec<_>>(),
+            rows.iter()
+                .map(|r| r[0].as_i64().unwrap())
+                .collect::<Vec<_>>(),
             vec![9, 7]
         );
         assert_eq!(s.profile().name, "TopN");
@@ -237,7 +255,10 @@ mod tests {
 
     #[test]
     fn limit_stops_pulling() {
-        let mut l = Limit::new(source(vec![1, 2, 3, 4, 5], vec!["a", "b", "c", "d", "e"]), 4);
+        let mut l = Limit::new(
+            source(vec![1, 2, 3, 4, 5], vec!["a", "b", "c", "d", "e"]),
+            4,
+        );
         let rows = crate::batch::collect_rows(&mut l).unwrap();
         assert_eq!(rows.len(), 4);
     }

@@ -1,0 +1,328 @@
+//! Kernel-path vs scalar-reference equivalence.
+//!
+//! The vectorized hash kernels (columnar hashing, flat open-addressing
+//! table, batch gather) must produce byte-identical results to naive
+//! row-at-a-time implementations on TPC-H-shaped data: integer and string
+//! keys, dates (I32 layout), scaled decimals (I64 layout), duplicate keys,
+//! empty build sides, multi-column keys.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::{ColumnData, DataType, Schema, Value};
+use vectorh_exec::aggr::{AggFn, AggMode, Aggr};
+use vectorh_exec::batch::collect_rows;
+use vectorh_exec::join::{HashJoin, JoinKind};
+use vectorh_exec::operator::BatchSource;
+use vectorh_exec::{Batch, Operator};
+
+/// A TPC-H-shaped table: orderkey-like I64, date (I32 layout), decimal
+/// price (I64 layout), low-cardinality string tag.
+fn lineitem_like(rng: &mut SplitMix64, n: usize, key_space: u64) -> Batch {
+    let schema = Arc::new(Schema::of(&[
+        ("k", DataType::I64),
+        ("d", DataType::Date),
+        ("price", DataType::Decimal { scale: 2 }),
+        ("tag", DataType::Str),
+    ]));
+    let keys: Vec<i64> = (0..n).map(|_| rng.next_bounded(key_space) as i64).collect();
+    let dates: Vec<i32> = (0..n)
+        .map(|_| 9000 + rng.next_bounded(2500) as i32)
+        .collect();
+    let prices: Vec<i64> = (0..n).map(|_| rng.range_i64(100, 99_999)).collect();
+    let tags: Vec<String> = (0..n)
+        .map(|_| {
+            if rng.chance(0.1) {
+                format!(
+                    "rare-{}-{}",
+                    rng.next_bounded(50),
+                    "x".repeat(rng.next_bounded(30) as usize)
+                )
+            } else {
+                format!("tag{}", rng.next_bounded(7))
+            }
+        })
+        .collect();
+    Batch::new(
+        schema,
+        vec![
+            ColumnData::I64(keys),
+            ColumnData::I32(dates),
+            ColumnData::I64(prices),
+            ColumnData::Str(tags),
+        ],
+    )
+    .unwrap()
+}
+
+fn source(b: &Batch, chunk: usize) -> Box<dyn Operator> {
+    Box::new(BatchSource::from_batch(b.clone(), chunk))
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+/// Row-at-a-time reference inner/outer/semi/anti join on whole-row values.
+fn reference_join(
+    probe: &Batch,
+    build: &Batch,
+    pkeys: &[usize],
+    bkeys: &[usize],
+    kind: JoinKind,
+) -> Vec<Vec<Value>> {
+    let key_of = |b: &Batch, keys: &[usize], i: usize| -> String {
+        let vals: Vec<Value> = keys
+            .iter()
+            .map(|&k| b.column(k).value_at(i, b.schema.dtype(k)))
+            .collect();
+        format!("{vals:?}")
+    };
+    let mut index: HashMap<String, Vec<usize>> = HashMap::new();
+    for j in 0..build.len() {
+        index.entry(key_of(build, bkeys, j)).or_default().push(j);
+    }
+    let mut out = Vec::new();
+    for i in 0..probe.len() {
+        let matches = index.get(&key_of(probe, pkeys, i));
+        let hits = matches.map(|m| m.len()).unwrap_or(0);
+        match kind {
+            JoinKind::Inner => {
+                for &j in matches.into_iter().flatten() {
+                    let mut row = probe.row(i);
+                    row.extend(build.row(j));
+                    out.push(row);
+                }
+            }
+            JoinKind::LeftOuter => {
+                if hits == 0 {
+                    let mut row = probe.row(i);
+                    for c in 0..build.schema.len() {
+                        row.push(match build.schema.dtype(c) {
+                            DataType::Str => Value::Str(String::new()),
+                            DataType::F64 => Value::F64(0.0),
+                            DataType::Date => Value::Date(0),
+                            DataType::Decimal { scale } => Value::Decimal(0, scale),
+                            _ => Value::I64(0),
+                        });
+                    }
+                    row.push(Value::I32(0));
+                    out.push(row);
+                } else {
+                    for &j in matches.into_iter().flatten() {
+                        let mut row = probe.row(i);
+                        row.extend(build.row(j));
+                        row.push(Value::I32(1));
+                        out.push(row);
+                    }
+                }
+            }
+            JoinKind::Semi => {
+                if hits > 0 {
+                    out.push(probe.row(i));
+                }
+            }
+            JoinKind::Anti => {
+                if hits == 0 {
+                    out.push(probe.row(i));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn joins_match_reference_on_tpch_shaped_data() {
+    let mut rng = SplitMix64::new(0x10E9);
+    for round in 0..3 {
+        let key_space = [3, 17, 400][round];
+        let probe = lineitem_like(&mut rng, 400, key_space);
+        let build = lineitem_like(&mut rng, 200, key_space);
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            // Single integer key, string key, and multi-column (int, str) key.
+            for keys in [vec![0usize], vec![3], vec![0, 3]] {
+                let mut j = HashJoin::new(
+                    source(&probe, 97),
+                    source(&build, 64),
+                    keys.clone(),
+                    keys.clone(),
+                    kind,
+                )
+                .unwrap();
+                let got = sorted(collect_rows(&mut j).unwrap());
+                let want = sorted(reference_join(&probe, &build, &keys, &keys, kind));
+                assert_eq!(got, want, "round {round} kind {kind:?} keys {keys:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn join_with_empty_build_side_all_kinds() {
+    let mut rng = SplitMix64::new(0xE0);
+    let probe = lineitem_like(&mut rng, 100, 10);
+    let schema = probe.schema.clone();
+    let empty = Batch::empty(schema);
+    for kind in [
+        JoinKind::Inner,
+        JoinKind::LeftOuter,
+        JoinKind::Semi,
+        JoinKind::Anti,
+    ] {
+        let mut j = HashJoin::new(
+            source(&probe, 33),
+            source(&empty, 33),
+            vec![0],
+            vec![0],
+            kind,
+        )
+        .unwrap();
+        let got = sorted(collect_rows(&mut j).unwrap());
+        let want = sorted(reference_join(&probe, &empty, &[0], &[0], kind));
+        assert_eq!(got, want, "kind {kind:?}");
+        match kind {
+            JoinKind::Inner | JoinKind::Semi => assert!(got.is_empty()),
+            JoinKind::LeftOuter | JoinKind::Anti => assert_eq!(got.len(), probe.len()),
+        }
+    }
+}
+
+/// Row-at-a-time reference grouped aggregation (count, sum, min, max).
+fn reference_aggr(input: &Batch, group: usize, sum_col: usize) -> Vec<Vec<Value>> {
+    let key_of = |i: usize| input.column(group).value_at(i, input.schema.dtype(group));
+    // key bytes -> (key value, count, sum, min, max)
+    type Slot = (Value, i64, i64, Option<i64>, Option<i64>);
+    let mut acc: HashMap<Vec<u8>, Slot> = HashMap::new();
+    for i in 0..input.len() {
+        let key = key_of(i);
+        let x = match input.column(sum_col) {
+            ColumnData::I64(v) => v[i],
+            ColumnData::I32(v) => v[i] as i64,
+            _ => unreachable!(),
+        };
+        let slot = acc
+            .entry(format!("{key:?}").into_bytes())
+            .or_insert_with(|| (key, 0, 0, None, None));
+        slot.1 += 1;
+        slot.2 += x;
+        slot.3 = Some(slot.3.map_or(x, |m: i64| m.min(x)));
+        slot.4 = Some(slot.4.map_or(x, |m: i64| m.max(x)));
+    }
+    let sum_dt = input.schema.dtype(sum_col);
+    let wrap = |raw: i64| match sum_dt {
+        DataType::Decimal { scale } => Value::Decimal(raw, scale),
+        _ => Value::I64(raw),
+    };
+    let minmax_dt = input.schema.dtype(sum_col);
+    let wrap_mm = |raw: i64| match minmax_dt {
+        DataType::Decimal { scale } => Value::Decimal(raw, scale),
+        DataType::I32 | DataType::Date => Value::I32(raw as i32),
+        _ => Value::I64(raw),
+    };
+    acc.into_values()
+        .map(|(key, count, sum, min, max)| {
+            vec![
+                key,
+                Value::I64(count),
+                wrap(sum),
+                wrap_mm(min.unwrap()),
+                wrap_mm(max.unwrap()),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn aggregation_matches_reference_on_tpch_shaped_data() {
+    let mut rng = SplitMix64::new(0xA6612);
+    for round in 0..3 {
+        let input = lineitem_like(&mut rng, 700, [4, 50, 999][round]);
+        // Group by string tag and by integer key; aggregate the decimal.
+        for group in [0usize, 3] {
+            let aggs = vec![
+                AggFn::CountStar,
+                AggFn::Sum(2),
+                AggFn::Min(2),
+                AggFn::Max(2),
+            ];
+            let mut a =
+                Aggr::new(source(&input, 128), vec![group], aggs, AggMode::Complete).unwrap();
+            let got = sorted(collect_rows(&mut a).unwrap());
+            let want = sorted(reference_aggr(&input, group, 2));
+            assert_eq!(got, want, "round {round} group col {group}");
+        }
+    }
+}
+
+#[test]
+fn partial_final_split_matches_complete_across_shapes() {
+    let mut rng = SplitMix64::new(0x9A97);
+    for _ in 0..3 {
+        let input = lineitem_like(&mut rng, 500, 30);
+        let aggs = || {
+            vec![
+                AggFn::CountStar,
+                AggFn::Sum(2),
+                AggFn::Avg(2),
+                AggFn::Min(1),
+                AggFn::Max(1),
+            ]
+        };
+        let mut complete =
+            Aggr::new(source(&input, 100), vec![3], aggs(), AggMode::Complete).unwrap();
+        let want = sorted(collect_rows(&mut complete).unwrap());
+
+        // Split the input across two partial instances, merge with a final.
+        let half = input.slice(0, input.len() / 2);
+        let rest = input.slice(input.len() / 2, input.len());
+        let mut partial_batches = Vec::new();
+        let mut pschema = None;
+        for part in [half, rest] {
+            let mut p = Aggr::new(source(&part, 77), vec![3], aggs(), AggMode::Partial).unwrap();
+            pschema = Some(p.schema());
+            while let Some(b) = p.next().unwrap() {
+                partial_batches.push(b);
+            }
+        }
+        // Final-mode agg column indices address the partial *state* columns:
+        // [tag, count, sum, avg_sum, avg_count, min, max].
+        let final_aggs = vec![
+            AggFn::CountStar,
+            AggFn::Sum(2),
+            AggFn::Avg(3),
+            AggFn::Min(5),
+            AggFn::Max(6),
+        ];
+        let src = Box::new(BatchSource::new(pschema.unwrap(), partial_batches));
+        let mut fin = Aggr::new(src, vec![0], final_aggs, AggMode::Final).unwrap();
+        let got = sorted(collect_rows(&mut fin).unwrap());
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn group_count_stress_forces_table_growth() {
+    // More groups than the initial bucket count by orders of magnitude.
+    let n = 40_000u64;
+    let schema = Arc::new(Schema::of(&[("g", DataType::I64)]));
+    let keys: Vec<i64> = (0..n as i64).flat_map(|k| [k, k]).collect();
+    let batch = Batch::new(schema, vec![ColumnData::I64(keys)]).unwrap();
+    let mut a = Aggr::new(
+        source(&batch, 1024),
+        vec![0],
+        vec![AggFn::CountStar],
+        AggMode::Complete,
+    )
+    .unwrap();
+    let rows = collect_rows(&mut a).unwrap();
+    assert_eq!(rows.len(), n as usize);
+    assert!(rows.iter().all(|r| r[1] == Value::I64(2)));
+}

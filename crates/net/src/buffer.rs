@@ -17,9 +17,15 @@ use crate::stats::NetStats;
 /// A batch serialized for the wire, or pointer-passed intra-node.
 pub enum Message {
     /// Serialized PAX buffer (+ optional route column).
-    Wire { bytes: Vec<u8>, route: Option<Vec<u8>> },
+    Wire {
+        bytes: Vec<u8>,
+        route: Option<Vec<u8>>,
+    },
     /// Intra-node shortcut: the batch travels by pointer.
-    Local { batch: crate::xchg::BatchMsg, route: Option<Vec<u8>> },
+    Local {
+        batch: crate::xchg::BatchMsg,
+        route: Option<Vec<u8>>,
+    },
 }
 
 /// Serialize the columns of a batch into a PAX buffer.
@@ -101,8 +107,7 @@ pub fn deserialize(bytes: &[u8], schema: Arc<Schema>) -> Result<vectorh_exec::Ba
             3 => {
                 let mut v = Vec::with_capacity(n_rows);
                 for _ in 0..n_rows {
-                    let len =
-                        u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+                    let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
                     let s = take(&mut pos, len)?;
                     v.push(String::from_utf8(s.to_vec()).map_err(|_| err())?);
                 }
@@ -125,7 +130,10 @@ pub fn make_message(
 ) -> Message {
     if from_node == to_node {
         stats.record_intra_message(batch.len() as u64);
-        Message::Local { batch: crate::xchg::BatchMsg(batch), route }
+        Message::Local {
+            batch: crate::xchg::BatchMsg(batch),
+            route,
+        }
     } else {
         let bytes = serialize(&batch);
         stats.record_net_message(
@@ -137,7 +145,10 @@ pub fn make_message(
 }
 
 /// Unpack a message into a batch (+ route column).
-pub fn open_message(msg: Message, schema: Arc<Schema>) -> Result<(vectorh_exec::Batch, Option<Vec<u8>>)> {
+pub fn open_message(
+    msg: Message,
+    schema: Arc<Schema>,
+) -> Result<(vectorh_exec::Batch, Option<Vec<u8>>)> {
     match msg {
         Message::Local { batch, route } => Ok((batch.0, route)),
         Message::Wire { bytes, route } => Ok((deserialize(&bytes, schema)?, route)),

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam_channel::{bounded, Receiver, Sender};
+use vectorh_common::channel::{bounded, Receiver, Sender};
 use vectorh_common::{Result, Schema, VhError};
 use vectorh_exec::operator::{Counters, OpProfile};
 use vectorh_exec::{Batch, Operator};
@@ -47,7 +47,10 @@ pub struct DxchgConfig {
 
 impl Default for DxchgConfig {
     fn default() -> Self {
-        DxchgConfig { buffer_bytes: 256 * 1024, mode: FanoutMode::ThreadToNode }
+        DxchgConfig {
+            buffer_bytes: 256 * 1024,
+            mode: FanoutMode::ThreadToNode,
+        }
     }
 }
 
@@ -68,7 +71,7 @@ pub struct DxchgReceiver {
 /// Shared collection point for producer-pipeline profiles.
 pub struct ProfileHub {
     rx: Receiver<crate::xchg::WorkerProfile>,
-    collected: parking_lot::Mutex<Vec<crate::xchg::WorkerProfile>>,
+    collected: vectorh_common::sync::Mutex<Vec<crate::xchg::WorkerProfile>>,
 }
 
 impl ProfileHub {
@@ -200,7 +203,14 @@ pub fn dxchg_broadcast(
     config: DxchgConfig,
     stats: Arc<NetStats>,
 ) -> Result<Vec<DxchgReceiver>> {
-    dxchg("DXchgBroadcast", producers, consumers, Partitioning::Broadcast, config, stats)
+    dxchg(
+        "DXchgBroadcast",
+        producers,
+        consumers,
+        Partitioning::Broadcast,
+        config,
+        stats,
+    )
 }
 
 /// Generic distributed exchange.
@@ -218,12 +228,24 @@ pub fn dxchg(
     let schema = producers[0].1.schema();
 
     match config.mode {
-        FanoutMode::ThreadToThread => {
-            dxchg_t2t(name, producers, consumers, partitioning, config, stats, schema)
-        }
-        FanoutMode::ThreadToNode => {
-            dxchg_t2n(name, producers, consumers, partitioning, config, stats, schema)
-        }
+        FanoutMode::ThreadToThread => dxchg_t2t(
+            name,
+            producers,
+            consumers,
+            partitioning,
+            config,
+            stats,
+            schema,
+        ),
+        FanoutMode::ThreadToNode => dxchg_t2n(
+            name,
+            producers,
+            consumers,
+            partitioning,
+            config,
+            stats,
+            schema,
+        ),
     }
 }
 
@@ -238,8 +260,9 @@ fn dxchg_t2t(
     stats: Arc<NetStats>,
     schema: Arc<Schema>,
 ) -> Result<Vec<DxchgReceiver>> {
-    let channels: Vec<(Sender<Payload>, Receiver<Payload>)> =
-        (0..consumers.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
+    let channels: Vec<(Sender<Payload>, Receiver<Payload>)> = (0..consumers.len())
+        .map(|_| bounded(crate::xchg::CHANNEL_CAP))
+        .collect();
     let (ptx, prx) = bounded::<crate::xchg::WorkerProfile>(producers.len().max(1));
     for (wi, (prod_node, mut prod)) in producers.into_iter().enumerate() {
         let senders: Vec<Sender<Payload>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -275,7 +298,7 @@ fn dxchg_t2t(
                                     if pos.is_empty() {
                                         continue;
                                     }
-                                    let piece = batch.gather(pos);
+                                    let piece = batch.gather_u32(pos);
                                     bufs[c].append(&piece).ok();
                                     let size: usize =
                                         bufs[c].columns.iter().map(|x| x.byte_size()).sum();
@@ -291,8 +314,8 @@ fn dxchg_t2t(
                         }
                     }
                     Ok(None) => {
-                        for c in 0..fanout {
-                            let mut b = std::mem::replace(&mut bufs[c], Batch::empty(schema.clone()));
+                        for (c, buf) in bufs.iter_mut().enumerate().take(fanout) {
+                            let mut b = std::mem::replace(buf, Batch::empty(schema.clone()));
                             if !flush(c, &mut b) {
                                 break;
                             }
@@ -315,7 +338,10 @@ fn dxchg_t2t(
         });
     }
     drop(ptx);
-    let hub = Arc::new(ProfileHub { rx: prx, collected: parking_lot::Mutex::new(Vec::new()) });
+    let hub = Arc::new(ProfileHub {
+        rx: prx,
+        collected: vectorh_common::sync::Mutex::new(Vec::new()),
+    });
     Ok(channels
         .into_iter()
         .map(|(_, rx)| DxchgReceiver {
@@ -362,17 +388,19 @@ fn dxchg_t2n(
         .iter()
         .map(|n| consumers.iter().filter(|c| *c == n).count() as u8)
         .collect();
-    if threads_per_node.iter().any(|&t| t == 0) {
+    if threads_per_node.contains(&0) {
         return Err(VhError::Net("node without consumer threads".into()));
     }
 
     // One fan-in channel per node; a demux thread forwards each node-level
     // message to every consumer thread on the node, and the receivers
     // "selectively consume" their rows by route byte.
-    let node_ch: Vec<(Sender<Payload>, Receiver<Payload>)> =
-        (0..nodes.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
-    let thread_ch: Vec<(Sender<Payload>, Receiver<Payload>)> =
-        (0..consumers.len()).map(|_| bounded(crate::xchg::CHANNEL_CAP)).collect();
+    let node_ch: Vec<(Sender<Payload>, Receiver<Payload>)> = (0..nodes.len())
+        .map(|_| bounded(crate::xchg::CHANNEL_CAP))
+        .collect();
+    let thread_ch: Vec<(Sender<Payload>, Receiver<Payload>)> = (0..consumers.len())
+        .map(|_| bounded(crate::xchg::CHANNEL_CAP))
+        .collect();
     for (ni, _) in nodes.iter().enumerate() {
         let node_rx = node_ch[ni].1.clone();
         let thread_txs: Vec<Sender<Payload>> = routing
@@ -387,7 +415,10 @@ fn dxchg_t2n(
                     Ok(Message::Wire { bytes, route }) => {
                         for tx in &thread_txs {
                             if tx
-                                .send(Ok(Message::Wire { bytes: bytes.clone(), route: route.clone() }))
+                                .send(Ok(Message::Wire {
+                                    bytes: bytes.clone(),
+                                    route: route.clone(),
+                                }))
                                 .is_err()
                             {
                                 return;
@@ -458,10 +489,10 @@ fn dxchg_t2n(
                                         continue;
                                     }
                                     let (ni, route) = routing[j];
-                                    let piece = batch.gather(pos);
+                                    let piece = batch.gather_u32(pos);
                                     let n = piece.len();
                                     bufs[ni].0.append(&piece).ok();
-                                    bufs[ni].1.extend(std::iter::repeat(route).take(n));
+                                    bufs[ni].1.extend(std::iter::repeat_n(route, n));
                                     let size: usize = bufs[ni]
                                         .0
                                         .columns
@@ -487,11 +518,9 @@ fn dxchg_t2n(
                         }
                     }
                     Ok(None) => {
-                        for ni in 0..fanout {
-                            let mut b = std::mem::replace(
-                                &mut bufs[ni],
-                                (Batch::empty(schema.clone()), Vec::new()),
-                            );
+                        for (ni, buf) in bufs.iter_mut().enumerate().take(fanout) {
+                            let mut b =
+                                std::mem::replace(buf, (Batch::empty(schema.clone()), Vec::new()));
                             if !flush(ni, &mut b) {
                                 break;
                             }
@@ -514,7 +543,10 @@ fn dxchg_t2n(
         });
     }
     drop(ptx);
-    let hub = Arc::new(ProfileHub { rx: prx, collected: parking_lot::Mutex::new(Vec::new()) });
+    let hub = Arc::new(ProfileHub {
+        rx: prx,
+        collected: vectorh_common::sync::Mutex::new(Vec::new()),
+    });
 
     Ok(thread_ch
         .into_iter()
@@ -544,7 +576,10 @@ mod tests {
     }
 
     fn config(mode: FanoutMode) -> DxchgConfig {
-        DxchgConfig { buffer_bytes: 512, mode }
+        DxchgConfig {
+            buffer_bytes: 512,
+            mode,
+        }
     }
 
     fn drain(mut ops: Vec<DxchgReceiver>) -> Vec<Vec<i64>> {
@@ -565,7 +600,10 @@ mod tests {
         for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
             let stats = Arc::new(NetStats::default());
             let r = dxchg_union(
-                vec![(0, source((0..100).collect())), (1, source((100..200).collect()))],
+                vec![
+                    (0, source((0..100).collect())),
+                    (1, source((100..200).collect())),
+                ],
                 0,
                 config(mode),
                 stats.clone(),
@@ -584,7 +622,10 @@ mod tests {
         let run = |mode| {
             let stats = Arc::new(NetStats::default());
             let recv = dxchg_hash_split(
-                vec![(0, source((0..300).collect())), (1, source((300..600).collect()))],
+                vec![
+                    (0, source((0..300).collect())),
+                    (1, source((300..600).collect())),
+                ],
                 vec![0, 0, 1, 1], // 2 nodes × 2 threads
                 vec![0],
                 config(mode),
@@ -631,7 +672,10 @@ mod tests {
                 vec![(0, source((0..1000).collect()))],
                 vec![0, 0, 1, 1],
                 vec![0],
-                DxchgConfig { buffer_bytes: 1024, mode },
+                DxchgConfig {
+                    buffer_bytes: 1024,
+                    mode,
+                },
                 stats.clone(),
             )
             .unwrap();

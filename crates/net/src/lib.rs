@@ -21,7 +21,7 @@
 //! * [`stats`] — network accounting (messages, bytes, peak buffer memory)
 //!   that the §5 DXchg benchmarks report.
 //!
-//! The "MPI" here is crossbeam channels between threads of one process; the
+//! The "MPI" here is MPMC channels between threads of one process; the
 //! properties the paper measures (buffer memory scaling, message counts,
 //! serialization cost, intra-node shortcuts) are preserved.
 

@@ -15,9 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam_channel::{bounded, Receiver, Sender};
-use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
+use vectorh_common::channel::{bounded, Receiver, Sender};
 use vectorh_common::{ColumnData, Result, Schema, Value, VhError};
+use vectorh_exec::kernels::gather::scatter_partitions;
+use vectorh_exec::kernels::hash::{hash_columns, XCHG_SEED};
 use vectorh_exec::operator::{collect_profiles, Counters, OpProfile, ProfileLine};
 use vectorh_exec::{Batch, Operator};
 
@@ -48,60 +49,47 @@ type Payload = std::result::Result<BatchMsg, VhError>;
 /// deadlock producers; real deployments drain receivers concurrently.
 pub(crate) const CHANNEL_CAP: usize = 4096;
 
-/// Hash of the key columns of row `i` (same family the joins use, so
-/// co-partitioning lines up).
-pub fn row_hash(cols: &[&ColumnData], keys: &[usize], i: usize) -> u64 {
-    let mut h = 0x9E37_79B9_7F4A_7C15u64;
-    for &k in keys {
-        let hk = match cols[k] {
-            ColumnData::I32(v) => hash_u64(v[i] as u64),
-            ColumnData::I64(v) => hash_u64(v[i] as u64),
-            ColumnData::F64(v) => hash_u64(v[i].to_bits()),
-            ColumnData::Str(v) => hash_bytes(v[i].as_bytes()),
-        };
-        h = hash_combine(h, hk);
-    }
-    h
-}
-
 /// Partition a batch into per-consumer position lists.
+///
+/// The `Hash` arm hashes the key columns once, column-at-a-time
+/// ([`hash_columns`] with [`XCHG_SEED`] — the same hash vector family every
+/// node computes, so co-partitioning lines up), then scatters row ids by
+/// hash modulo. No per-row type dispatch.
 pub fn partition_positions(
     batch: &Batch,
     partitioning: &Partitioning,
     n_consumers: usize,
-) -> Result<Vec<Vec<usize>>> {
-    let mut out = vec![Vec::new(); n_consumers];
+) -> Result<Vec<Vec<u32>>> {
+    let all = || (0..batch.len() as u32).collect::<Vec<u32>>();
     match partitioning {
         Partitioning::Union => {
-            out[0] = (0..batch.len()).collect();
+            let mut out = vec![Vec::new(); n_consumers];
+            out[0] = all();
+            Ok(out)
         }
-        Partitioning::Broadcast => {
-            for part in out.iter_mut() {
-                *part = (0..batch.len()).collect();
-            }
-        }
+        Partitioning::Broadcast => Ok(vec![all(); n_consumers]),
         Partitioning::Hash { keys } => {
             let cols: Vec<&ColumnData> = batch.columns.iter().collect();
-            for i in 0..batch.len() {
-                let h = row_hash(&cols, keys, i);
-                out[(h % n_consumers as u64) as usize].push(i);
-            }
+            let mut hashes = Vec::new();
+            hash_columns(&cols, keys, XCHG_SEED, &mut hashes);
+            Ok(scatter_partitions(&hashes, n_consumers))
         }
         Partitioning::Range { col, bounds } => {
             if bounds.len() + 1 != n_consumers {
                 return Err(VhError::Net("range bounds/consumers mismatch".into()));
             }
+            let mut out = vec![Vec::new(); n_consumers];
             let vals = batch
                 .column(*col)
                 .to_i64_vec()
                 .ok_or_else(|| VhError::Net("range split needs integer column".into()))?;
             for (i, v) in vals.iter().enumerate() {
                 let c = bounds.iter().position(|b| v <= b).unwrap_or(bounds.len());
-                out[c].push(i);
+                out[c].push(i as u32);
             }
+            Ok(out)
         }
     }
-    Ok(out)
 }
 
 /// Per-thread profile reported by a producer when its pipeline completes.
@@ -117,7 +105,7 @@ pub struct WorkerProfile {
 struct Shared {
     profiles_rx: Receiver<WorkerProfile>,
     producer_wait_ns: Arc<AtomicU64>,
-    collected: parking_lot::Mutex<Vec<WorkerProfile>>,
+    collected: vectorh_common::sync::Mutex<Vec<WorkerProfile>>,
 }
 
 /// The consumer-side operator of an exchange.
@@ -203,7 +191,9 @@ pub fn xchg(
     stats: Arc<NetStats>,
 ) -> Result<Vec<XchgReceiver>> {
     if producers.is_empty() || n_consumers == 0 {
-        return Err(VhError::Net("exchange needs producers and consumers".into()));
+        return Err(VhError::Net(
+            "exchange needs producers and consumers".into(),
+        ));
     }
     if matches!(partitioning, Partitioning::Union) && n_consumers != 1 {
         return Err(VhError::Net("XchgUnion has a single consumer".into()));
@@ -242,7 +232,7 @@ pub fn xchg(
                                     let piece = if pos.len() == batch.len() {
                                         batch.clone()
                                     } else {
-                                        batch.gather(pos)
+                                        batch.gather_u32(pos)
                                     };
                                     stats.record_intra_message(piece.len() as u64);
                                     if !send(c, Ok(BatchMsg(piece))) {
@@ -277,7 +267,7 @@ pub fn xchg(
     let shared = Arc::new(Shared {
         profiles_rx: prx,
         producer_wait_ns: producer_wait,
-        collected: parking_lot::Mutex::new(Vec::new()),
+        collected: vectorh_common::sync::Mutex::new(Vec::new()),
     });
     Ok(channels
         .into_iter()
@@ -322,9 +312,19 @@ pub fn merge_union(
                 }
             }
         });
-        streams.push(StreamHead { rx, buf: None, off: 0, done: false });
+        streams.push(StreamHead {
+            rx,
+            buf: None,
+            off: 0,
+            done: false,
+        });
     }
-    Ok(MergeUnionReceiver { schema, keys, streams, counters: Counters::default() })
+    Ok(MergeUnionReceiver {
+        schema,
+        keys,
+        streams,
+        counters: Counters::default(),
+    })
 }
 
 struct StreamHead {
@@ -507,7 +507,10 @@ mod tests {
         let mut all: Vec<i64> = per.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..200).collect::<Vec<_>>());
-        assert!(per.iter().filter(|p| !p.is_empty()).count() >= 3, "spread across consumers");
+        assert!(
+            per.iter().filter(|p| !p.is_empty()).count() >= 3,
+            "spread across consumers"
+        );
         // Same key never lands on two consumers: re-split a second stream.
         let stats = Arc::new(NetStats::default());
         let recv2 = xchg(
@@ -561,7 +564,10 @@ mod tests {
             "XchgRangeSplit",
             vec![source((0..90).collect())],
             3,
-            Partitioning::Range { col: 0, bounds: vec![29, 59] },
+            Partitioning::Range {
+                col: 0,
+                bounds: vec![29, 59],
+            },
             stats,
         )
         .unwrap();
@@ -602,7 +608,14 @@ mod tests {
     #[test]
     fn union_requires_single_consumer() {
         let stats = Arc::new(NetStats::default());
-        assert!(xchg("XchgUnion", vec![source(vec![1])], 2, Partitioning::Union, stats).is_err());
+        assert!(xchg(
+            "XchgUnion",
+            vec![source(vec![1])],
+            2,
+            Partitioning::Union,
+            stats
+        )
+        .is_err());
     }
 
     #[test]

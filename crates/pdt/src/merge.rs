@@ -60,7 +60,10 @@ impl Pdt {
         let mut copy_start = 0u64; // next stable sid not yet covered
         let push_copy = |out: &mut Vec<MergeStep>, from: u64, to: u64| {
             if to > from {
-                out.push(MergeStep::CopyStable { from_sid: from, count: to - from });
+                out.push(MergeStep::CopyStable {
+                    from_sid: from,
+                    count: to - from,
+                });
             }
         };
         let entries: Vec<_> = self.entries().collect();
@@ -81,7 +84,10 @@ impl Pdt {
             }
             push_copy(&mut out, copy_start, sid.min(stable_len));
             for (tag, values) in inserts {
-                out.push(MergeStep::EmitInsert { tag, values: values.clone() });
+                out.push(MergeStep::EmitInsert {
+                    tag,
+                    values: values.clone(),
+                });
             }
             if sid < stable_len {
                 if deleted {
@@ -93,7 +99,10 @@ impl Pdt {
                             continue;
                         }
                     }
-                    out.push(MergeStep::SkipStable { from_sid: sid, count: 1 });
+                    out.push(MergeStep::SkipStable {
+                        from_sid: sid,
+                        count: 1,
+                    });
                     copy_start = sid + 1;
                 } else if !mods.is_empty() {
                     out.push(MergeStep::ModifyStable { sid, mods });
@@ -153,7 +162,10 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
         /// row-producing step (they are position-transparent).
         fn drain_skips(&mut self) {
             while let Some(MergeStep::SkipStable { from_sid, count }) = self.steps.get(self.idx) {
-                self.out.push(MergeStep::SkipStable { from_sid: *from_sid, count: *count });
+                self.out.push(MergeStep::SkipStable {
+                    from_sid: *from_sid,
+                    count: *count,
+                });
                 self.idx += 1;
             }
         }
@@ -164,7 +176,9 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
             let mut taken = 0u64;
             while taken < n {
                 self.drain_skips();
-                let Some(step) = self.steps.get(self.idx) else { break };
+                let Some(step) = self.steps.get(self.idx) else {
+                    break;
+                };
                 match step {
                     MergeStep::CopyStable { from_sid, count } => {
                         let avail = count - self.off;
@@ -172,8 +186,10 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                         let start = from_sid + self.off;
                         if keep {
                             // Coalesce with a preceding copy run.
-                            if let Some(MergeStep::CopyStable { from_sid: f, count: c }) =
-                                self.out.last_mut()
+                            if let Some(MergeStep::CopyStable {
+                                from_sid: f,
+                                count: c,
+                            }) = self.out.last_mut()
                             {
                                 if *f + *c == start {
                                     *c += grab;
@@ -184,11 +200,16 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                                     });
                                 }
                             } else {
-                                self.out
-                                    .push(MergeStep::CopyStable { from_sid: start, count: grab });
+                                self.out.push(MergeStep::CopyStable {
+                                    from_sid: start,
+                                    count: grab,
+                                });
                             }
                         } else {
-                            self.out.push(MergeStep::SkipStable { from_sid: start, count: grab });
+                            self.out.push(MergeStep::SkipStable {
+                                from_sid: start,
+                                count: grab,
+                            });
                         }
                         self.off += grab;
                         taken += grab;
@@ -199,18 +220,25 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                     }
                     MergeStep::ModifyStable { sid, mods } => {
                         if keep {
-                            self.out
-                                .push(MergeStep::ModifyStable { sid: *sid, mods: mods.clone() });
+                            self.out.push(MergeStep::ModifyStable {
+                                sid: *sid,
+                                mods: mods.clone(),
+                            });
                         } else {
-                            self.out.push(MergeStep::SkipStable { from_sid: *sid, count: 1 });
+                            self.out.push(MergeStep::SkipStable {
+                                from_sid: *sid,
+                                count: 1,
+                            });
                         }
                         self.idx += 1;
                         taken += 1;
                     }
                     MergeStep::EmitInsert { tag, values } => {
                         if keep {
-                            self.out
-                                .push(MergeStep::EmitInsert { tag: *tag, values: values.clone() });
+                            self.out.push(MergeStep::EmitInsert {
+                                tag: *tag,
+                                values: values.clone(),
+                            });
                         }
                         // dropped inserts vanish entirely
                         self.idx += 1;
@@ -225,18 +253,26 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
         /// Take exactly one row and apply column patches to it.
         fn take_modified(&mut self, mods: &[(usize, Value)]) {
             self.drain_skips();
-            let Some(step) = self.steps.get(self.idx) else { return };
+            let Some(step) = self.steps.get(self.idx) else {
+                return;
+            };
             match step {
                 MergeStep::CopyStable { from_sid, count } => {
                     let sid = from_sid + self.off;
-                    self.out.push(MergeStep::ModifyStable { sid, mods: mods.to_vec() });
+                    self.out.push(MergeStep::ModifyStable {
+                        sid,
+                        mods: mods.to_vec(),
+                    });
                     self.off += 1;
                     if self.off == *count {
                         self.idx += 1;
                         self.off = 0;
                     }
                 }
-                MergeStep::ModifyStable { sid, mods: lower_mods } => {
+                MergeStep::ModifyStable {
+                    sid,
+                    mods: lower_mods,
+                } => {
                     // Upper mods override lower mods per column.
                     let mut merged = lower_mods.clone();
                     for (c, v) in mods {
@@ -246,7 +282,10 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                             merged.push((*c, v.clone()));
                         }
                     }
-                    self.out.push(MergeStep::ModifyStable { sid: *sid, mods: merged });
+                    self.out.push(MergeStep::ModifyStable {
+                        sid: *sid,
+                        mods: merged,
+                    });
                     self.idx += 1;
                 }
                 MergeStep::EmitInsert { tag, values } => {
@@ -254,7 +293,10 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                     for (c, v) in mods {
                         patched[*c] = v.clone();
                     }
-                    self.out.push(MergeStep::EmitInsert { tag: *tag, values: patched });
+                    self.out.push(MergeStep::EmitInsert {
+                        tag: *tag,
+                        values: patched,
+                    });
                     self.idx += 1;
                 }
                 MergeStep::SkipStable { .. } => unreachable!("drained above"),
@@ -262,7 +304,12 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
         }
     }
 
-    let mut cur = Cursor { steps: lower, idx: 0, off: 0, out: Vec::new() };
+    let mut cur = Cursor {
+        steps: lower,
+        idx: 0,
+        off: 0,
+        out: Vec::new(),
+    };
     for step in upper {
         match step {
             MergeStep::CopyStable { count, .. } => {
@@ -275,7 +322,10 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
                 cur.take_modified(mods);
             }
             MergeStep::EmitInsert { tag, values } => {
-                cur.out.push(MergeStep::EmitInsert { tag: *tag, values: values.clone() });
+                cur.out.push(MergeStep::EmitInsert {
+                    tag: *tag,
+                    values: values.clone(),
+                });
             }
         }
     }
@@ -287,7 +337,6 @@ pub fn compose(lower: &[MergeStep], upper: &[MergeStep]) -> Vec<MergeStep> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use vectorh_common::rng::SplitMix64;
 
     fn v(i: i64) -> Vec<Value> {
@@ -301,7 +350,13 @@ mod tests {
     #[test]
     fn empty_pdt_single_copy() {
         let plan = Pdt::new().merge_plan(10);
-        assert_eq!(plan, vec![MergeStep::CopyStable { from_sid: 0, count: 10 }]);
+        assert_eq!(
+            plan,
+            vec![MergeStep::CopyStable {
+                from_sid: 0,
+                count: 10
+            }]
+        );
     }
 
     #[test]
@@ -316,7 +371,9 @@ mod tests {
         assert_eq!(rows[0][1], Value::I64(-5));
         assert_eq!(rows[3][0], Value::I64(100));
         // row 6 (stable sid 6) deleted; stable 7 is gone
-        assert!(!rows.iter().any(|r| r[0] == Value::I64(6) && r[1] == Value::I64(60)));
+        assert!(!rows
+            .iter()
+            .any(|r| r[0] == Value::I64(6) && r[1] == Value::I64(60)));
     }
 
     #[test]
@@ -329,9 +386,18 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                MergeStep::CopyStable { from_sid: 0, count: 2 },
-                MergeStep::SkipStable { from_sid: 2, count: 4 },
-                MergeStep::CopyStable { from_sid: 6, count: 4 },
+                MergeStep::CopyStable {
+                    from_sid: 0,
+                    count: 2
+                },
+                MergeStep::SkipStable {
+                    from_sid: 2,
+                    count: 4
+                },
+                MergeStep::CopyStable {
+                    from_sid: 6,
+                    count: 4
+                },
             ]
         );
     }
@@ -344,9 +410,18 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                MergeStep::CopyStable { from_sid: 0, count: 5 },
-                MergeStep::EmitInsert { tag: 1, values: v(99) },
-                MergeStep::CopyStable { from_sid: 5, count: 5 },
+                MergeStep::CopyStable {
+                    from_sid: 0,
+                    count: 5
+                },
+                MergeStep::EmitInsert {
+                    tag: 1,
+                    values: v(99)
+                },
+                MergeStep::CopyStable {
+                    from_sid: 5,
+                    count: 5
+                },
             ]
         );
     }
@@ -356,7 +431,13 @@ mod tests {
         let mut pdt = Pdt::new();
         pdt.insert_at(10, v(100), 1, 10).unwrap();
         let plan = pdt.merge_plan(10);
-        assert_eq!(plan.last().unwrap(), &MergeStep::EmitInsert { tag: 1, values: v(100) });
+        assert_eq!(
+            plan.last().unwrap(),
+            &MergeStep::EmitInsert {
+                tag: 1,
+                values: v(100)
+            }
+        );
         assert_eq!(apply_plan(&plan, &stable(10)).len(), 11);
     }
 
@@ -367,7 +448,10 @@ mod tests {
         let plan = pdt.merge_plan(5);
         let id = Pdt::new().merge_plan(6); // upper identity over 6-row image
         let composed = compose(&plan, &id);
-        assert_eq!(apply_plan(&composed, &stable(5)), apply_plan(&plan, &stable(5)));
+        assert_eq!(
+            apply_plan(&composed, &stable(5)),
+            apply_plan(&plan, &stable(5))
+        );
     }
 
     #[test]
@@ -406,7 +490,8 @@ mod tests {
                 match rng.next_bounded(3) {
                     0 => {
                         let rid = rng.next_bounded(image + 1);
-                        pdt.insert_at(rid, v(rng.range_i64(500, 999)), *tag, base).unwrap();
+                        pdt.insert_at(rid, v(rng.range_i64(500, 999)), *tag, base)
+                            .unwrap();
                         *tag += 1;
                     }
                     1 if image > 0 => {
@@ -445,10 +530,15 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(40))]
-        #[test]
-        fn prop_plan_conservation(seed in any::<u64>(), stable_n in 0u64..50, ops in 0usize..60) {
+    /// Randomized property: 40 cases of (seed, stable_n, ops) drawn from a
+    /// fixed meta-stream, so failures reproduce deterministically.
+    #[test]
+    fn prop_plan_conservation() {
+        let mut meta = SplitMix64::new(0x9E1A_5CA5E5);
+        for _ in 0..40 {
+            let seed = meta.next_u64();
+            let stable_n = meta.next_bounded(50);
+            let ops = meta.next_bounded(60) as usize;
             let mut rng = SplitMix64::new(seed);
             let mut pdt = Pdt::new();
             let mut tag = 0u64;
@@ -456,12 +546,16 @@ mod tests {
                 let image = pdt.image_len(stable_n);
                 match rng.next_bounded(3) {
                     0 => {
-                        pdt.insert_at(rng.next_bounded(image + 1), v(7), tag, stable_n).unwrap();
+                        pdt.insert_at(rng.next_bounded(image + 1), v(7), tag, stable_n)
+                            .unwrap();
                         tag += 1;
                     }
-                    1 if image > 0 => { pdt.delete_at(rng.next_bounded(image), stable_n).unwrap(); }
+                    1 if image > 0 => {
+                        pdt.delete_at(rng.next_bounded(image), stable_n).unwrap();
+                    }
                     _ if image > 0 => {
-                        pdt.modify_at(rng.next_bounded(image), 0, Value::I64(1), stable_n).unwrap();
+                        pdt.modify_at(rng.next_bounded(image), 0, Value::I64(1), stable_n)
+                            .unwrap();
                     }
                     _ => {}
                 }
@@ -470,12 +564,18 @@ mod tests {
             // Plans consume every stable row exactly once and emit image_len rows.
             let consumed: u64 = plan.iter().map(|s| s.consumes()).sum();
             let emitted: u64 = plan.iter().map(|s| s.emits()).sum();
-            prop_assert_eq!(consumed, stable_n);
-            prop_assert_eq!(emitted, pdt.image_len(stable_n));
+            assert_eq!(consumed, stable_n, "seed {seed}");
+            assert_eq!(emitted, pdt.image_len(stable_n), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_compose_equivalence(seed in any::<u64>(), stable_n in 0u64..40, ops in 1usize..30) {
+    #[test]
+    fn prop_compose_equivalence() {
+        let mut meta = SplitMix64::new(0x0C04_405E);
+        for _ in 0..40 {
+            let seed = meta.next_u64();
+            let stable_n = meta.next_bounded(40);
+            let ops = 1 + meta.next_bounded(29) as usize;
             run_compose_model(seed, stable_n, ops);
         }
     }

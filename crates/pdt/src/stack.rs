@@ -104,7 +104,10 @@ impl<'a> Layers<'a> {
         if first {
             // No layers: identity plan.
             if self.stable_len > 0 {
-                plan.push(MergeStep::CopyStable { from_sid: 0, count: self.stable_len });
+                plan.push(MergeStep::CopyStable {
+                    from_sid: 0,
+                    count: self.stable_len,
+                });
             }
         }
         plan
@@ -141,7 +144,10 @@ mod tests {
         assert_eq!(layers.image_len(), 5);
         assert_eq!(
             layers.merged_plan(),
-            vec![MergeStep::CopyStable { from_sid: 0, count: 5 }]
+            vec![MergeStep::CopyStable {
+                from_sid: 0,
+                count: 5
+            }]
         );
     }
 

@@ -163,13 +163,17 @@ impl Pdt {
             }
             // Gap before this leaf.
             if r < leaf.first_sid() as i64 + cum {
-                return Ok(Find::Stable { sid: (r - cum) as u64 });
+                return Ok(Find::Stable {
+                    sid: (r - cum) as u64,
+                });
             }
             let mut i = 0usize;
             while i < leaf.entries.len() {
                 let e_sid = leaf.entries[i].sid;
                 if r < e_sid as i64 + cum {
-                    return Ok(Find::Stable { sid: (r - cum) as u64 });
+                    return Ok(Find::Stable {
+                        sid: (r - cum) as u64,
+                    });
                 }
                 let (k, m, deleted) = group_shape(&leaf.entries, i);
                 // Inserted rows occupy [e_sid+cum, e_sid+cum+k).
@@ -188,7 +192,9 @@ impl Pdt {
             }
             // Fell past the leaf's entries: handled by next leaf / tail gap.
         }
-        Ok(Find::Stable { sid: (r - cum) as u64 })
+        Ok(Find::Stable {
+            sid: (r - cum) as u64,
+        })
     }
 
     /// Current RID of stable row `sid`, or `None` if this PDT deletes it.
@@ -290,7 +296,13 @@ impl Pdt {
         }
         let leaf_idx = leaf_idx.min(self.leaves.len() - 1);
         let leaf = &mut self.leaves[leaf_idx];
-        leaf.entries.insert(entry_idx, Entry { sid, upd: Update::Insert { tag, values } });
+        leaf.entries.insert(
+            entry_idx,
+            Entry {
+                sid,
+                upd: Update::Insert { tag, values },
+            },
+        );
         leaf.delta += 1;
         self.total_delta += 1;
         self.n_inserts += 1;
@@ -319,7 +331,13 @@ impl Pdt {
                     .iter()
                     .position(|e| e.sid > sid)
                     .unwrap_or(leaf.entries.len());
-                leaf.entries.insert(pos, Entry { sid, upd: Update::Delete });
+                leaf.entries.insert(
+                    pos,
+                    Entry {
+                        sid,
+                        upd: Update::Delete,
+                    },
+                );
                 leaf.delta -= 1;
                 self.total_delta -= 1;
                 self.n_deletes += 1;
@@ -377,7 +395,13 @@ impl Pdt {
                     .iter()
                     .position(|e| e.sid > sid)
                     .unwrap_or(leaf.entries.len());
-                leaf.entries.insert(pos, Entry { sid, upd: Update::Modify { col, value } });
+                leaf.entries.insert(
+                    pos,
+                    Entry {
+                        sid,
+                        upd: Update::Modify { col, value },
+                    },
+                );
                 self.n_modifies += 1;
                 self.maybe_split(leaf_idx);
             }
@@ -450,7 +474,11 @@ impl Pdt {
             // a stable-gap position inside this leaf's tail.
             return (li, leaf.entries.len(), (r - cum) as u64);
         }
-        let li = if self.leaves.is_empty() { 0 } else { self.leaves.len() - 1 };
+        let li = if self.leaves.is_empty() {
+            0
+        } else {
+            self.leaves.len() - 1
+        };
         let ei = self.leaves.last().map(|l| l.entries.len()).unwrap_or(0);
         (li, ei, (r - cum) as u64)
     }
@@ -488,9 +516,11 @@ impl Pdt {
 
     fn remove_insert_by_tag(&mut self, tag: u64) {
         for leaf in &mut self.leaves {
-            if let Some(pos) = leaf.entries.iter().position(|e| {
-                matches!(e.upd, Update::Insert { tag: t, .. } if t == tag)
-            }) {
+            if let Some(pos) = leaf
+                .entries
+                .iter()
+                .position(|e| matches!(e.upd, Update::Insert { tag: t, .. } if t == tag))
+            {
                 leaf.entries.remove(pos);
                 leaf.delta -= 1;
                 self.total_delta -= 1;
@@ -532,7 +562,10 @@ impl Pdt {
         leaf.delta -= right_delta;
         self.leaves.insert(
             leaf_idx + 1,
-            Leaf { entries: right_entries, delta: right_delta },
+            Leaf {
+                entries: right_entries,
+                delta: right_delta,
+            },
         );
     }
 
@@ -616,7 +649,6 @@ fn value_bytes(v: &Value) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use vectorh_common::rng::SplitMix64;
 
     /// Naive reference: materialized rows.
@@ -638,22 +670,24 @@ mod tests {
     fn materialize(pdt: &Pdt, stable_rows: &[Vec<Value>]) -> Vec<Vec<Value>> {
         let n = pdt.image_len(stable_rows.len() as u64);
         (0..n)
-            .map(|rid| match pdt.find_rid(rid, stable_rows.len() as u64).unwrap() {
-                Find::Stable { sid } => {
-                    let mut row = stable_rows[sid as usize].clone();
-                    for (c, val) in pdt.modifies_of(sid) {
-                        row[c] = val;
+            .map(
+                |rid| match pdt.find_rid(rid, stable_rows.len() as u64).unwrap() {
+                    Find::Stable { sid } => {
+                        let mut row = stable_rows[sid as usize].clone();
+                        for (c, val) in pdt.modifies_of(sid) {
+                            row[c] = val;
+                        }
+                        row
                     }
-                    row
-                }
-                Find::Inserted { tag } => pdt
-                    .entries()
-                    .find_map(|e| match &e.upd {
-                        Update::Insert { tag: t, values } if *t == tag => Some(values.clone()),
-                        _ => None,
-                    })
-                    .unwrap(),
-            })
+                    Find::Inserted { tag } => pdt
+                        .entries()
+                        .find_map(|e| match &e.upd {
+                            Update::Insert { tag: t, values } if *t == tag => Some(values.clone()),
+                            _ => None,
+                        })
+                        .unwrap(),
+                },
+            )
             .collect()
     }
 
@@ -782,10 +816,15 @@ mod tests {
         let stable_n = 10_000u64;
         // Interleave enough entries to force many leaf splits.
         for i in 0..1000u64 {
-            pdt.insert_at(i * 7 % pdt.image_len(stable_n), v(i as i64), i, stable_n).unwrap();
+            pdt.insert_at(i * 7 % pdt.image_len(stable_n), v(i as i64), i, stable_n)
+                .unwrap();
         }
         pdt.check_invariants().unwrap();
-        assert!(pdt.leaves.len() > 4, "splits expected, got {}", pdt.leaves.len());
+        assert!(
+            pdt.leaves.len() > 4,
+            "splits expected, got {}",
+            pdt.leaves.len()
+        );
         assert_eq!(pdt.image_len(stable_n), stable_n + 1000);
     }
 
@@ -816,11 +855,10 @@ mod tests {
         let mut upper = Pdt::new();
         upper.insert_at(0, v(200), 2, image1.len() as u64).unwrap();
         upper.delete_at(7, image1.len() as u64).unwrap();
-        upper.modify_at(3, 1, Value::I64(777), image1.len() as u64).unwrap();
-        let expect: Vec<Vec<Value>> = {
-            let m = materialize(&upper, &image1);
-            m
-        };
+        upper
+            .modify_at(3, 1, Value::I64(777), image1.len() as u64)
+            .unwrap();
+        let expect: Vec<Vec<Value>> = { materialize(&upper, &image1) };
 
         upper.propagate_into(&mut below, 8).unwrap();
         assert_eq!(materialize(&below, &stable(8)), expect);
@@ -832,7 +870,9 @@ mod tests {
     fn run_model(seed: u64, stable_n: u64, ops: usize) {
         let mut rng = SplitMix64::new(seed);
         let mut pdt = Pdt::new();
-        let mut model = Reference { rows: stable(stable_n) };
+        let mut model = Reference {
+            rows: stable(stable_n),
+        };
         let mut tag = 1000u64;
         for op in 0..ops {
             let image = pdt.image_len(stable_n);
@@ -885,15 +925,26 @@ mod tests {
         run_model(4, 500, 1200);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn prop_model_equivalence(seed in any::<u64>(), stable_n in 0u64..60, ops in 1usize..120) {
+    /// Randomized property: 48 parameter draws from a fixed meta-stream so
+    /// failures reproduce deterministically.
+    #[test]
+    fn prop_model_equivalence() {
+        let mut meta = SplitMix64::new(0x7EE5_1DE5);
+        for _ in 0..48 {
+            let seed = meta.next_u64();
+            let stable_n = meta.next_bounded(60);
+            let ops = 1 + meta.next_bounded(119) as usize;
             run_model(seed, stable_n, ops);
         }
+    }
 
-        #[test]
-        fn prop_propagate_equivalence(seed in any::<u64>(), stable_n in 1u64..40, ops in 1usize..40) {
+    #[test]
+    fn prop_propagate_equivalence() {
+        let mut meta = SplitMix64::new(0x0A6A_6A7E);
+        for _ in 0..48 {
+            let seed = meta.next_u64();
+            let stable_n = 1 + meta.next_bounded(39);
+            let ops = 1 + meta.next_bounded(39) as usize;
             let mut rng = SplitMix64::new(seed);
             let mut upper = Pdt::new();
             let mut tag = 0u64;
@@ -902,23 +953,33 @@ mod tests {
                 match rng.next_bounded(3) {
                     0 => {
                         let rid = rng.next_bounded(image + 1);
-                        upper.insert_at(rid, v(rng.range_i64(0, 99)), tag, stable_n).unwrap();
+                        upper
+                            .insert_at(rid, v(rng.range_i64(0, 99)), tag, stable_n)
+                            .unwrap();
                         tag += 1;
                     }
                     1 if image > 0 => {
                         upper.delete_at(rng.next_bounded(image), stable_n).unwrap();
                     }
                     _ if image > 0 => {
-                        upper.modify_at(rng.next_bounded(image), 0, Value::I64(rng.range_i64(0, 9)), stable_n).unwrap();
+                        upper
+                            .modify_at(
+                                rng.next_bounded(image),
+                                0,
+                                Value::I64(rng.range_i64(0, 9)),
+                                stable_n,
+                            )
+                            .unwrap();
                     }
                     _ => {}
                 }
             }
             let mut below = Pdt::new();
             upper.propagate_into(&mut below, stable_n).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 materialize(&below, &stable(stable_n)),
-                materialize(&upper, &stable(stable_n))
+                materialize(&upper, &stable(stable_n)),
+                "seed {seed}"
             );
         }
     }

@@ -35,9 +35,18 @@ pub trait CatalogInfo {
 #[derive(Debug, Clone)]
 pub enum LogicalPlan {
     /// Base table scan with projection by column index.
-    Scan { table: String, cols: Vec<usize> },
-    Select { input: Box<LogicalPlan>, predicate: Expr },
-    Project { input: Box<LogicalPlan>, items: Vec<(Expr, String)> },
+    Scan {
+        table: String,
+        cols: Vec<usize>,
+    },
+    Select {
+        input: Box<LogicalPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        items: Vec<(Expr, String)>,
+    },
     /// Equi-join; `kind` mirrors the executor's join kinds.
     Join {
         left: Box<LogicalPlan>,
@@ -46,9 +55,20 @@ pub enum LogicalPlan {
         right_keys: Vec<usize>,
         kind: JoinKind,
     },
-    Aggregate { input: Box<LogicalPlan>, group_by: Vec<usize>, aggs: Vec<AggFn> },
-    Sort { input: Box<LogicalPlan>, keys: Vec<(usize, Dir)>, limit: Option<usize> },
-    Limit { input: Box<LogicalPlan>, n: usize },
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<usize>,
+        aggs: Vec<AggFn>,
+    },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<(usize, Dir)>,
+        limit: Option<usize>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        n: usize,
+    },
 }
 
 /// Join kinds at the logical level.
@@ -70,11 +90,16 @@ impl LogicalPlan {
                 let in_schema = input.schema(catalog)?;
                 let mut fields = Vec::new();
                 for (e, name) in items {
-                    fields.push(vectorh_common::Field::new(name.clone(), e.dtype(&in_schema)?));
+                    fields.push(vectorh_common::Field::new(
+                        name.clone(),
+                        e.dtype(&in_schema)?,
+                    ));
                 }
                 Schema::new(fields)
             }
-            LogicalPlan::Join { left, right, kind, .. } => {
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
                 let l = left.schema(catalog)?;
                 match kind {
                     JoinKind::Semi | JoinKind::Anti => l,
@@ -86,13 +111,19 @@ impl LogicalPlan {
                     }
                 }
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 // Delegate the field typing to the executor's Aggr by
                 // construction rules: group fields then one field per agg
                 // (avg partials never appear at the logical level).
                 let in_schema = input.schema(catalog)?;
-                let mut fields: Vec<vectorh_common::Field> =
-                    group_by.iter().map(|&g| in_schema.field(g).clone()).collect();
+                let mut fields: Vec<vectorh_common::Field> = group_by
+                    .iter()
+                    .map(|&g| in_schema.field(g).clone())
+                    .collect();
                 for (i, a) in aggs.iter().enumerate() {
                     let name = format!("agg{i}");
                     let dt = match a {
@@ -125,7 +156,9 @@ impl LogicalPlan {
             LogicalPlan::Scan { table, .. } => catalog.table(table)?.rows as f64,
             LogicalPlan::Select { input, .. } => 0.3 * input.estimate_rows(catalog)?,
             LogicalPlan::Project { input, .. } => input.estimate_rows(catalog)?,
-            LogicalPlan::Join { left, right, kind, .. } => {
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
                 let l = left.estimate_rows(catalog)?;
                 let r = right.estimate_rows(catalog)?;
                 match kind {
@@ -135,7 +168,9 @@ impl LogicalPlan {
                     JoinKind::Semi | JoinKind::Anti => 0.5 * l,
                 }
             }
-            LogicalPlan::Aggregate { input, group_by, .. } => {
+            LogicalPlan::Aggregate {
+                input, group_by, ..
+            } => {
                 let n = input.estimate_rows(catalog)?;
                 if group_by.is_empty() {
                     1.0
@@ -147,9 +182,7 @@ impl LogicalPlan {
                 let n = input.estimate_rows(catalog)?;
                 limit.map(|l| (l as f64).min(n)).unwrap_or(n)
             }
-            LogicalPlan::Limit { input, n } => {
-                (*n as f64).min(input.estimate_rows(catalog)?)
-            }
+            LogicalPlan::Limit { input, n } => (*n as f64).min(input.estimate_rows(catalog)?),
         })
     }
 }
@@ -214,17 +247,31 @@ mod tests {
     #[test]
     fn scan_schema_projects() {
         let c = catalog();
-        let p = LogicalPlan::Scan { table: "orders".into(), cols: vec![1] };
+        let p = LogicalPlan::Scan {
+            table: "orders".into(),
+            cols: vec![1],
+        };
         assert_eq!(p.schema(&c).unwrap().names(), vec!["o_total"]);
-        assert!(LogicalPlan::Scan { table: "nope".into(), cols: vec![] }.schema(&c).is_err());
+        assert!(LogicalPlan::Scan {
+            table: "nope".into(),
+            cols: vec![]
+        }
+        .schema(&c)
+        .is_err());
     }
 
     #[test]
     fn join_schema_concatenates() {
         let c = catalog();
         let p = LogicalPlan::Join {
-            left: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0, 1] }),
-            right: Box::new(LogicalPlan::Scan { table: "nation".into(), cols: vec![0, 1] }),
+            left: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                cols: vec![0, 1],
+            }),
+            right: Box::new(LogicalPlan::Scan {
+                table: "nation".into(),
+                cols: vec![0, 1],
+            }),
             left_keys: vec![0],
             right_keys: vec![0],
             kind: JoinKind::Inner,
@@ -236,7 +283,10 @@ mod tests {
     fn aggregate_schema_types() {
         let c = catalog();
         let p = LogicalPlan::Aggregate {
-            input: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0, 1] }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                cols: vec![0, 1],
+            }),
             group_by: vec![0],
             aggs: vec![AggFn::CountStar, AggFn::Sum(1), AggFn::Avg(1)],
         };
@@ -250,14 +300,21 @@ mod tests {
     #[test]
     fn estimates_are_sane() {
         let c = catalog();
-        let scan = LogicalPlan::Scan { table: "orders".into(), cols: vec![0] };
+        let scan = LogicalPlan::Scan {
+            table: "orders".into(),
+            cols: vec![0],
+        };
         assert_eq!(scan.estimate_rows(&c).unwrap(), 1000.0);
         let sel = LogicalPlan::Select {
             input: Box::new(scan),
             predicate: Expr::lit(vectorh_common::Value::I32(1)),
         };
         assert!(sel.estimate_rows(&c).unwrap() < 1000.0);
-        let top = LogicalPlan::Sort { input: Box::new(sel), keys: vec![], limit: Some(10) };
+        let top = LogicalPlan::Sort {
+            input: Box::new(sel),
+            keys: vec![],
+            limit: Some(10),
+        };
         assert_eq!(top.estimate_rows(&c).unwrap(), 10.0);
     }
 

@@ -46,11 +46,25 @@ pub enum AggStrategy {
 pub enum PhysPlan {
     /// Partition-parallel scan at the responsible nodes. `pred` is pushed
     /// into the scan for MinMax skipping.
-    ScanPartitioned { table: String, cols: Vec<usize>, pred: Option<Expr> },
+    ScanPartitioned {
+        table: String,
+        cols: Vec<usize>,
+        pred: Option<Expr>,
+    },
     /// Scan of a replicated table, executed locally wherever it is needed.
-    ScanReplicated { table: String, cols: Vec<usize>, pred: Option<Expr> },
-    Select { input: Box<PhysPlan>, predicate: Expr },
-    Project { input: Box<PhysPlan>, items: Vec<(Expr, String)> },
+    ScanReplicated {
+        table: String,
+        cols: Vec<usize>,
+        pred: Option<Expr>,
+    },
+    Select {
+        input: Box<PhysPlan>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<PhysPlan>,
+        items: Vec<(Expr, String)>,
+    },
     HashJoin {
         probe: Box<PhysPlan>,
         build: Box<PhysPlan>,
@@ -60,7 +74,12 @@ pub enum PhysPlan {
         strategy: JoinStrategy,
     },
     /// Co-ordered merge join of co-located partitions.
-    MergeJoin { left: Box<PhysPlan>, right: Box<PhysPlan>, left_key: usize, right_key: usize },
+    MergeJoin {
+        left: Box<PhysPlan>,
+        right: Box<PhysPlan>,
+        left_key: usize,
+        right_key: usize,
+    },
     Aggr {
         input: Box<PhysPlan>,
         group_by: Vec<usize>,
@@ -68,12 +87,26 @@ pub enum PhysPlan {
         strategy: AggStrategy,
     },
     /// Per-stream partial TopN → DXchgUnion → final TopN (or plain sort).
-    Sort { input: Box<PhysPlan>, keys: Vec<(usize, Dir)>, limit: Option<usize> },
-    Limit { input: Box<PhysPlan>, n: usize },
+    Sort {
+        input: Box<PhysPlan>,
+        keys: Vec<(usize, Dir)>,
+        limit: Option<usize>,
+    },
+    Limit {
+        input: Box<PhysPlan>,
+        n: usize,
+    },
     /// Explicit exchanges.
-    DxchgHashSplit { input: Box<PhysPlan>, keys: Vec<usize> },
-    DxchgUnion { input: Box<PhysPlan> },
-    DxchgBroadcast { input: Box<PhysPlan> },
+    DxchgHashSplit {
+        input: Box<PhysPlan>,
+        keys: Vec<usize>,
+    },
+    DxchgUnion {
+        input: Box<PhysPlan>,
+    },
+    DxchgBroadcast {
+        input: Box<PhysPlan>,
+    },
 }
 
 impl PhysPlan {
@@ -108,7 +141,13 @@ impl PhysPlan {
                 out.push_str(&format!("{pad}Project {names:?}\n"));
                 input.explain_into(depth + 1, out);
             }
-            PhysPlan::HashJoin { probe, build, strategy, kind, .. } => {
+            PhysPlan::HashJoin {
+                probe,
+                build,
+                strategy,
+                kind,
+                ..
+            } => {
                 out.push_str(&format!("{pad}HashJoin ({kind:?}, {strategy:?})\n"));
                 probe.explain_into(depth + 1, out);
                 build.explain_into(depth + 1, out);
@@ -118,7 +157,12 @@ impl PhysPlan {
                 left.explain_into(depth + 1, out);
                 right.explain_into(depth + 1, out);
             }
-            PhysPlan::Aggr { input, group_by, strategy, .. } => {
+            PhysPlan::Aggr {
+                input,
+                group_by,
+                strategy,
+                ..
+            } => {
                 out.push_str(&format!("{pad}Aggr (by {group_by:?}, {strategy:?})\n"));
                 input.explain_into(depth + 1, out);
             }
@@ -149,7 +193,9 @@ impl PhysPlan {
     pub fn exchange_count(&self) -> usize {
         let own = matches!(
             self,
-            PhysPlan::DxchgHashSplit { .. } | PhysPlan::DxchgUnion { .. } | PhysPlan::DxchgBroadcast { .. }
+            PhysPlan::DxchgHashSplit { .. }
+                | PhysPlan::DxchgUnion { .. }
+                | PhysPlan::DxchgBroadcast { .. }
         ) as usize;
         own + self
             .children()

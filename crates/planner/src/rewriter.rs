@@ -120,7 +120,9 @@ impl<'a> ParallelRewriter<'a> {
         Ok(if cand.props.serial {
             cand.plan
         } else {
-            PhysPlan::DxchgUnion { input: Box::new(cand.plan) }
+            PhysPlan::DxchgUnion {
+                input: Box::new(cand.plan),
+            }
         })
     }
 
@@ -133,49 +135,87 @@ impl<'a> ParallelRewriter<'a> {
                 // Push the predicate into a scan when directly below —
                 // that is what enables MinMax skipping.
                 let plan = match child.plan {
-                    PhysPlan::ScanPartitioned { table, cols, pred: None } => {
-                        PhysPlan::ScanPartitioned { table, cols, pred: Some(predicate.clone()) }
-                    }
-                    PhysPlan::ScanReplicated { table, cols, pred: None } => {
-                        PhysPlan::ScanReplicated { table, cols, pred: Some(predicate.clone()) }
-                    }
+                    PhysPlan::ScanPartitioned {
+                        table,
+                        cols,
+                        pred: None,
+                    } => PhysPlan::ScanPartitioned {
+                        table,
+                        cols,
+                        pred: Some(predicate.clone()),
+                    },
+                    PhysPlan::ScanReplicated {
+                        table,
+                        cols,
+                        pred: None,
+                    } => PhysPlan::ScanReplicated {
+                        table,
+                        cols,
+                        pred: Some(predicate.clone()),
+                    },
                     other => PhysPlan::Select {
                         input: Box::new(other),
                         predicate: predicate.clone(),
                     },
                 };
-                Ok(Candidate { plan, props: child.props, rows, cost: child.cost + child.rows * 0.5 })
+                Ok(Candidate {
+                    plan,
+                    props: child.props,
+                    rows,
+                    cost: child.cost + child.rows * 0.5,
+                })
             }
             LogicalPlan::Project { input, items } => {
                 let child = self.plan(input)?;
                 let part = child.props.part.as_ref().and_then(|p| {
                     remap_keys(&p.keys, items).map(|keys| Part { keys, ..p.clone() })
                 });
-                let sorted =
-                    child.props.sorted.as_ref().and_then(|keys| remap_keys(keys, items));
-                let props = Props { part, sorted, ..child.props };
+                let sorted = child
+                    .props
+                    .sorted
+                    .as_ref()
+                    .and_then(|keys| remap_keys(keys, items));
+                let props = Props {
+                    part,
+                    sorted,
+                    ..child.props
+                };
                 Ok(Candidate {
-                    plan: PhysPlan::Project { input: Box::new(child.plan), items: items.clone() },
+                    plan: PhysPlan::Project {
+                        input: Box::new(child.plan),
+                        items: items.clone(),
+                    },
                     props,
                     rows: child.rows,
                     cost: child.cost + child.rows * 0.2,
                 })
             }
-            LogicalPlan::Join { left, right, left_keys, right_keys, kind } => {
-                self.plan_join(left, right, left_keys, right_keys, *kind)
-            }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
-                self.plan_aggregate(input, group_by, aggs)
-            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => self.plan_join(left, right, left_keys, right_keys, *kind),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => self.plan_aggregate(input, group_by, aggs),
             LogicalPlan::Sort { input, keys, limit } => {
                 let child = self.plan(input)?;
-                let rows = limit.map(|l| l as f64).unwrap_or(child.rows).min(child.rows);
+                let rows = limit
+                    .map(|l| l as f64)
+                    .unwrap_or(child.rows)
+                    .min(child.rows);
                 // Partial TopN below / final above is decided by the engine
                 // from the strategy implied here: Sort is always serialized.
                 let input_plan = if child.props.serial {
                     child.plan
                 } else {
-                    PhysPlan::DxchgUnion { input: Box::new(child.plan) }
+                    PhysPlan::DxchgUnion {
+                        input: Box::new(child.plan),
+                    }
                 };
                 Ok(Candidate {
                     plan: PhysPlan::Sort {
@@ -183,7 +223,12 @@ impl<'a> ParallelRewriter<'a> {
                         keys: keys.clone(),
                         limit: *limit,
                     },
-                    props: Props { part: None, sorted: None, replicated: false, serial: true },
+                    props: Props {
+                        part: None,
+                        sorted: None,
+                        replicated: false,
+                        serial: true,
+                    },
                     rows,
                     cost: child.cost + child.rows * 1.0,
                 })
@@ -193,11 +238,21 @@ impl<'a> ParallelRewriter<'a> {
                 let input_plan = if child.props.serial {
                     child.plan
                 } else {
-                    PhysPlan::DxchgUnion { input: Box::new(child.plan) }
+                    PhysPlan::DxchgUnion {
+                        input: Box::new(child.plan),
+                    }
                 };
                 Ok(Candidate {
-                    plan: PhysPlan::Limit { input: Box::new(input_plan), n: *n },
-                    props: Props { part: None, sorted: None, replicated: false, serial: true },
+                    plan: PhysPlan::Limit {
+                        input: Box::new(input_plan),
+                        n: *n,
+                    },
+                    props: Props {
+                        part: None,
+                        sorted: None,
+                        replicated: false,
+                        serial: true,
+                    },
                     rows: (*n as f64).min(child.rows),
                     cost: child.cost,
                 })
@@ -208,14 +263,25 @@ impl<'a> ParallelRewriter<'a> {
     fn plan_scan(&self, table: &str, cols: &[usize]) -> Result<Candidate> {
         let meta = self.catalog.table(table)?;
         let rows = meta.rows as f64;
-        let sorted = meta
-            .sort_order
-            .as_ref()
-            .and_then(|order| order.iter().map(|k| cols.iter().position(|c| c == k)).collect());
+        let sorted = meta.sort_order.as_ref().and_then(|order| {
+            order
+                .iter()
+                .map(|k| cols.iter().position(|c| c == k))
+                .collect()
+        });
         if meta.is_replicated() {
             Ok(Candidate {
-                plan: PhysPlan::ScanReplicated { table: table.into(), cols: cols.to_vec(), pred: None },
-                props: Props { part: None, sorted, replicated: true, serial: false },
+                plan: PhysPlan::ScanReplicated {
+                    table: table.into(),
+                    cols: cols.to_vec(),
+                    pred: None,
+                },
+                props: Props {
+                    part: None,
+                    sorted,
+                    replicated: true,
+                    serial: false,
+                },
                 rows,
                 cost: rows,
             })
@@ -226,11 +292,23 @@ impl<'a> ParallelRewriter<'a> {
                 .iter()
                 .filter_map(|k| cols.iter().position(|c| c == k))
                 .collect();
-            let keys = if keys.len() == pkeys.len() { keys } else { vec![] };
+            let keys = if keys.len() == pkeys.len() {
+                keys
+            } else {
+                vec![]
+            };
             Ok(Candidate {
-                plan: PhysPlan::ScanPartitioned { table: table.into(), cols: cols.to_vec(), pred: None },
+                plan: PhysPlan::ScanPartitioned {
+                    table: table.into(),
+                    cols: cols.to_vec(),
+                    pred: None,
+                },
                 props: Props {
-                    part: Some(Part { keys, n_parts, table_aligned: true }),
+                    part: Some(Part {
+                        keys,
+                        n_parts,
+                        table_aligned: true,
+                    }),
                     sorted,
                     replicated: false,
                     serial: false,
@@ -259,23 +337,34 @@ impl<'a> ParallelRewriter<'a> {
         let mut cands: Vec<Candidate> = Vec::new();
 
         let partitioned_on = |p: &Props, keys: &[usize]| -> Option<Part> {
-            p.part.as_ref().filter(|part| !part.keys.is_empty() && part.keys == keys).cloned()
+            p.part
+                .as_ref()
+                .filter(|part| !part.keys.is_empty() && part.keys == keys)
+                .cloned()
         };
 
         // Rule: LOCAL JOIN — co-partitioned inputs, no exchange.
         if self.options.enable_local_join {
-            if let (Some(lp), Some(rp)) =
-                (partitioned_on(&l.props, left_keys), partitioned_on(&r.props, right_keys))
-            {
+            if let (Some(lp), Some(rp)) = (
+                partitioned_on(&l.props, left_keys),
+                partitioned_on(&r.props, right_keys),
+            ) {
                 if lp.n_parts == rp.n_parts && lp.table_aligned && rp.table_aligned {
                     // Co-ordered single-key inputs merge-join instead.
                     let co_sorted = left_keys.len() == 1
-                        && l.props.sorted.as_deref().map(|s| s.first() == Some(&left_keys[0]))
+                        && l.props
+                            .sorted
+                            .as_deref()
+                            .map(|s| s.first() == Some(&left_keys[0]))
                             == Some(true)
-                        && r.props.sorted.as_deref().map(|s| s.first() == Some(&right_keys[0]))
+                        && r.props
+                            .sorted
+                            .as_deref()
+                            .map(|s| s.first() == Some(&right_keys[0]))
                             == Some(true)
                         && kind == JoinKind::Inner;
-                    let cost = l.cost + r.cost + (l.rows + r.rows) * if co_sorted { 1.0 } else { 2.0 };
+                    let cost =
+                        l.cost + r.cost + (l.rows + r.rows) * if co_sorted { 1.0 } else { 2.0 };
                     let plan = if co_sorted {
                         PhysPlan::MergeJoin {
                             left: Box::new(l.plan.clone()),
@@ -313,10 +402,15 @@ impl<'a> ParallelRewriter<'a> {
             let small = r.rows <= self.options.broadcast_threshold_rows;
             if r.props.replicated || small {
                 let (build_plan, extra) = if r.props.replicated {
-                    (r.plan.clone(), r.rows * (self.options.nodes as f64 - 1.0) * 0.1)
+                    (
+                        r.plan.clone(),
+                        r.rows * (self.options.nodes as f64 - 1.0) * 0.1,
+                    )
                 } else {
                     (
-                        PhysPlan::DxchgBroadcast { input: Box::new(r.plan.clone()) },
+                        PhysPlan::DxchgBroadcast {
+                            input: Box::new(r.plan.clone()),
+                        },
                         r.rows * self.options.net_cost_per_row * self.options.nodes as f64,
                     )
                 };
@@ -392,7 +486,11 @@ impl<'a> ParallelRewriter<'a> {
     ) -> Result<Candidate> {
         let child = self.plan(input)?;
         let has_distinct = aggs.iter().any(|a| matches!(a, AggFn::CountDistinct(_)));
-        let out_rows = if group_by.is_empty() { 1.0 } else { (child.rows / 10.0).max(1.0) };
+        let out_rows = if group_by.is_empty() {
+            1.0
+        } else {
+            (child.rows / 10.0).max(1.0)
+        };
         let mk = |strategy: AggStrategy, child_plan: PhysPlan| PhysPlan::Aggr {
             input: Box::new(child_plan),
             group_by: group_by.to_vec(),
@@ -409,7 +507,12 @@ impl<'a> ParallelRewriter<'a> {
             };
             return Ok(Candidate {
                 plan: mk(strategy, child.plan),
-                props: Props { part: None, sorted: None, replicated: false, serial: true },
+                props: Props {
+                    part: None,
+                    sorted: None,
+                    replicated: false,
+                    serial: true,
+                },
                 rows: 1.0,
                 cost: child.cost + child.rows * 1.5,
             });
@@ -435,7 +538,12 @@ impl<'a> ParallelRewriter<'a> {
             });
             return Ok(Candidate {
                 plan: mk(AggStrategy::Local, child.plan),
-                props: Props { part, sorted: None, replicated: false, serial: false },
+                props: Props {
+                    part,
+                    sorted: None,
+                    replicated: false,
+                    serial: false,
+                },
                 rows: out_rows,
                 cost: child.cost + child.rows * 1.5,
             });
@@ -515,8 +623,14 @@ mod tests {
     fn sec5_query() -> LogicalPlan {
         // lineitem ⋈ orders on orderkey, then ⋈ supplier on suppkey,
         // GROUP BY s_suppkey, ORDER BY count LIMIT 10 — the §5 example.
-        let li = LogicalPlan::Scan { table: "lineitem".into(), cols: vec![0, 1] };
-        let ord = LogicalPlan::Scan { table: "orders".into(), cols: vec![0] };
+        let li = LogicalPlan::Scan {
+            table: "lineitem".into(),
+            cols: vec![0, 1],
+        };
+        let ord = LogicalPlan::Scan {
+            table: "orders".into(),
+            cols: vec![0],
+        };
         let join1 = LogicalPlan::Join {
             left: Box::new(li),
             right: Box::new(ord),
@@ -524,7 +638,10 @@ mod tests {
             right_keys: vec![0],
             kind: JoinKind::Inner,
         };
-        let sup = LogicalPlan::Scan { table: "supplier".into(), cols: vec![0, 1] };
+        let sup = LogicalPlan::Scan {
+            table: "supplier".into(),
+            cols: vec![0, 1],
+        };
         let join2 = LogicalPlan::Join {
             left: Box::new(join1),
             right: Box::new(sup),
@@ -546,12 +663,20 @@ mod tests {
 
     fn count_strategy(plan: &PhysPlan, want: JoinStrategy) -> usize {
         let own = matches!(plan, PhysPlan::HashJoin { strategy, .. } if *strategy == want) as usize;
-        own + plan.children().iter().map(|c| count_strategy(c, want)).sum::<usize>()
+        own + plan
+            .children()
+            .iter()
+            .map(|c| count_strategy(c, want))
+            .sum::<usize>()
     }
 
     fn count_mergejoin(plan: &PhysPlan) -> usize {
         let own = matches!(plan, PhysPlan::MergeJoin { .. }) as usize;
-        own + plan.children().iter().map(|c| count_mergejoin(c)).sum::<usize>()
+        own + plan
+            .children()
+            .iter()
+            .map(|c| count_mergejoin(c))
+            .sum::<usize>()
     }
 
     #[test]
@@ -560,30 +685,47 @@ mod tests {
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         let plan = rw.rewrite(&sec5_query()).unwrap();
         // Local (merge) join between the co-partitioned, co-ordered tables.
-        assert_eq!(count_mergejoin(&plan) + count_strategy(&plan, JoinStrategy::Local), 1);
+        assert_eq!(
+            count_mergejoin(&plan) + count_strategy(&plan, JoinStrategy::Local),
+            1
+        );
         // Replicated build side for supplier.
         assert_eq!(count_strategy(&plan, JoinStrategy::BroadcastBuild), 1);
         // The only exchanges: the aggregation split + final union.
         assert!(plan.exchange_count() <= 2, "{}", plan.explain());
         // Partial aggregation chosen.
-        assert!(plan.explain().contains("PartialFinal"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("PartialFinal"),
+            "{}",
+            plan.explain()
+        );
     }
 
     #[test]
     fn disabling_local_join_forces_repartition() {
         let c = catalog();
-        let opts = RewriterOptions { enable_local_join: false, ..Default::default() };
+        let opts = RewriterOptions {
+            enable_local_join: false,
+            ..Default::default()
+        };
         let rw = ParallelRewriter::new(&c, opts);
         let plan = rw.rewrite(&sec5_query()).unwrap();
         assert_eq!(count_mergejoin(&plan), 0);
-        assert!(count_strategy(&plan, JoinStrategy::Repartitioned) >= 1, "{}", plan.explain());
+        assert!(
+            count_strategy(&plan, JoinStrategy::Repartitioned) >= 1,
+            "{}",
+            plan.explain()
+        );
         assert!(plan.exchange_count() > 2);
     }
 
     #[test]
     fn disabling_replicated_build_repartitions_supplier_join() {
         let c = catalog();
-        let opts = RewriterOptions { enable_replicated_build: false, ..Default::default() };
+        let opts = RewriterOptions {
+            enable_replicated_build: false,
+            ..Default::default()
+        };
         let rw = ParallelRewriter::new(&c, opts);
         let plan = rw.rewrite(&sec5_query()).unwrap();
         assert_eq!(count_strategy(&plan, JoinStrategy::BroadcastBuild), 0);
@@ -593,10 +735,17 @@ mod tests {
     #[test]
     fn disabling_partial_aggr_changes_strategy() {
         let c = catalog();
-        let opts = RewriterOptions { enable_partial_aggr: false, ..Default::default() };
+        let opts = RewriterOptions {
+            enable_partial_aggr: false,
+            ..Default::default()
+        };
         let rw = ParallelRewriter::new(&c, opts);
         let plan = rw.rewrite(&sec5_query()).unwrap();
-        assert!(plan.explain().contains("RepartitionComplete"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("RepartitionComplete"),
+            "{}",
+            plan.explain()
+        );
     }
 
     #[test]
@@ -604,11 +753,18 @@ mod tests {
         let c = catalog();
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         let lp = LogicalPlan::Select {
-            input: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0, 1] }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                cols: vec![0, 1],
+            }),
             predicate: Expr::lt(Expr::col(1), Expr::lit(Value::Date(9000))),
         };
         let plan = rw.rewrite(&lp).unwrap();
-        assert!(plan.explain().contains("+minmax-pred"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("+minmax-pred"),
+            "{}",
+            plan.explain()
+        );
     }
 
     #[test]
@@ -616,7 +772,10 @@ mod tests {
         let c = catalog();
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         let lp = LogicalPlan::Aggregate {
-            input: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0, 1] }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "orders".into(),
+                cols: vec![0, 1],
+            }),
             group_by: vec![0], // o_orderkey = partition key
             aggs: vec![AggFn::CountStar],
         };
@@ -630,7 +789,10 @@ mod tests {
         let c = catalog();
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         let lp = LogicalPlan::Aggregate {
-            input: Box::new(LogicalPlan::Scan { table: "lineitem".into(), cols: vec![2] }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "lineitem".into(),
+                cols: vec![2],
+            }),
             group_by: vec![],
             aggs: vec![AggFn::Sum(0)],
         };
@@ -645,12 +807,19 @@ mod tests {
         let c = catalog();
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         let lp = LogicalPlan::Aggregate {
-            input: Box::new(LogicalPlan::Scan { table: "lineitem".into(), cols: vec![1, 2] }),
+            input: Box::new(LogicalPlan::Scan {
+                table: "lineitem".into(),
+                cols: vec![1, 2],
+            }),
             group_by: vec![1],
             aggs: vec![AggFn::CountDistinct(0)],
         };
         let plan = rw.rewrite(&lp).unwrap();
-        assert!(plan.explain().contains("RepartitionComplete"), "{}", plan.explain());
+        assert!(
+            plan.explain().contains("RepartitionComplete"),
+            "{}",
+            plan.explain()
+        );
     }
 
     #[test]
@@ -659,13 +828,16 @@ mod tests {
         let rw = ParallelRewriter::new(&c, RewriterOptions::default());
         // Project reorders columns; partition key tracked through it.
         let li = LogicalPlan::Project {
-            input: Box::new(LogicalPlan::Scan { table: "lineitem".into(), cols: vec![0, 2] }),
-            items: vec![
-                (Expr::col(1), "disc".into()),
-                (Expr::col(0), "ok".into()),
-            ],
+            input: Box::new(LogicalPlan::Scan {
+                table: "lineitem".into(),
+                cols: vec![0, 2],
+            }),
+            items: vec![(Expr::col(1), "disc".into()), (Expr::col(0), "ok".into())],
         };
-        let ord = LogicalPlan::Scan { table: "orders".into(), cols: vec![0] };
+        let ord = LogicalPlan::Scan {
+            table: "orders".into(),
+            cols: vec![0],
+        };
         let lp = LogicalPlan::Join {
             left: Box::new(li),
             right: Box::new(ord),

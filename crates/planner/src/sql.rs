@@ -50,8 +50,7 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                while i < b.len() && matches!(b[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
                 {
                     i += 1;
                 }
@@ -160,7 +159,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(VhError::Plan(format!("expected '{kw}' at token {:?}", self.peek())))
+            Err(VhError::Plan(format!(
+                "expected '{kw}' at token {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -177,7 +179,10 @@ impl Parser {
         if self.eat_sym(c) {
             Ok(())
         } else {
-            Err(VhError::Plan(format!("expected '{c}' at token {:?}", self.peek())))
+            Err(VhError::Plan(format!(
+                "expected '{c}' at token {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -260,7 +265,9 @@ impl Parser {
         };
         match self.next() {
             Some(Tok::Str(p)) => Ok(Ast::Like(Box::new(e), p, negated)),
-            t => Err(VhError::Plan(format!("LIKE expects a string pattern, got {t:?}"))),
+            t => Err(VhError::Plan(format!(
+                "LIKE expects a string pattern, got {t:?}"
+            ))),
         }
     }
 
@@ -304,7 +311,11 @@ impl Parser {
             Some(Tok::Sym('-')) => {
                 // unary minus
                 let inner = self.atom()?;
-                Ok(Ast::Bin("-".into(), Box::new(Ast::IntLit(0)), Box::new(inner)))
+                Ok(Ast::Bin(
+                    "-".into(),
+                    Box::new(Ast::IntLit(0)),
+                    Box::new(inner),
+                ))
             }
             Some(Tok::Ident(name)) => {
                 let aggs = ["sum", "count", "avg", "min", "max"];
@@ -360,9 +371,7 @@ impl Env {
 /// column (dates from strings, decimal scaling of ints).
 fn coerce(value: Value, target: DataType) -> Value {
     match (&value, target) {
-        (Value::Str(s), DataType::Date) => {
-            date::parse(s).map(Value::Date).unwrap_or(value)
-        }
+        (Value::Str(s), DataType::Date) => date::parse(s).map(Value::Date).unwrap_or(value),
         (Value::I64(v), DataType::Decimal { scale }) => {
             Value::Decimal(v * 10i64.pow(scale as u32), scale)
         }
@@ -461,17 +470,13 @@ fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
                         "<=" => CmpOp::Le,
                         ">" => CmpOp::Gt,
                         ">=" => CmpOp::Ge,
-                        other => {
-                            return Err(VhError::Plan(format!("unknown operator '{other}'")))
-                        }
+                        other => return Err(VhError::Plan(format!("unknown operator '{other}'"))),
                     };
                     Expr::Cmp(op, Box::new(le), Box::new(re))
                 }
             }
         }
-        Ast::Agg(..) => {
-            return Err(VhError::Plan("aggregate in unexpected position".into()))
-        }
+        Ast::Agg(..) => return Err(VhError::Plan("aggregate in unexpected position".into())),
     })
 }
 
@@ -487,7 +492,10 @@ fn coerce_resolved(ast: &Ast, env: &Env, schema: &Schema, target: DataType) -> R
 
 /// Parse a SQL query into a logical plan.
 pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> {
-    let mut p = Parser { toks: tokenize(sql)?, pos: 0 };
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
     p.expect_kw("select")?;
 
     // Select list (deferred resolution).
@@ -498,7 +506,11 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
             select_items.push((Ast::Star, None));
         } else {
             let e = p.expr()?;
-            let alias = if p.eat_kw("as") { Some(p.ident()?) } else { None };
+            let alias = if p.eat_kw("as") {
+                Some(p.ident()?)
+            } else {
+                None
+            };
             select_items.push((e, alias));
         }
         if !p.eat_sym(',') {
@@ -536,7 +548,12 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
             .map(|f| (alias.clone(), f.name.clone()))
             .collect();
         let combined = Env {
-            cols: env.cols.iter().cloned().chain(right_env_cols.iter().cloned()).collect(),
+            cols: env
+                .cols
+                .iter()
+                .cloned()
+                .chain(right_env_cols.iter().cloned())
+                .collect(),
         };
         let left_width = env.cols.len();
         let mut lkeys = Vec::new();
@@ -564,7 +581,10 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
         let rcols: Vec<usize> = (0..meta.schema.len()).collect();
         plan = LogicalPlan::Join {
             left: Box::new(plan),
-            right: Box::new(LogicalPlan::Scan { table: tname, cols: rcols }),
+            right: Box::new(LogicalPlan::Scan {
+                table: tname,
+                cols: rcols,
+            }),
             left_keys: lkeys,
             right_keys: rkeys,
             kind: JoinKind::Inner,
@@ -577,7 +597,10 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
     if p.eat_kw("where") {
         let ast = p.expr()?;
         let predicate = resolve_expr(&ast, &env, &schema)?;
-        plan = LogicalPlan::Select { input: Box::new(plan), predicate };
+        plan = LogicalPlan::Select {
+            input: Box::new(plan),
+            predicate,
+        };
     }
 
     // GROUP BY / aggregates.
@@ -623,18 +646,10 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
                             let col = push_arg(a, &env, &schema, &mut pre_items)?;
                             AggFn::Count(col)
                         }
-                        ("sum", _, a) => {
-                            AggFn::Sum(push_arg(a, &env, &schema, &mut pre_items)?)
-                        }
-                        ("avg", _, a) => {
-                            AggFn::Avg(push_arg(a, &env, &schema, &mut pre_items)?)
-                        }
-                        ("min", _, a) => {
-                            AggFn::Min(push_arg(a, &env, &schema, &mut pre_items)?)
-                        }
-                        ("max", _, a) => {
-                            AggFn::Max(push_arg(a, &env, &schema, &mut pre_items)?)
-                        }
+                        ("sum", _, a) => AggFn::Sum(push_arg(a, &env, &schema, &mut pre_items)?),
+                        ("avg", _, a) => AggFn::Avg(push_arg(a, &env, &schema, &mut pre_items)?),
+                        ("min", _, a) => AggFn::Min(push_arg(a, &env, &schema, &mut pre_items)?),
+                        ("max", _, a) => AggFn::Max(push_arg(a, &env, &schema, &mut pre_items)?),
                         (other, _, _) => {
                             return Err(VhError::Plan(format!("unknown aggregate '{other}'")))
                         }
@@ -645,12 +660,9 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
                 other => {
                     // Must be a grouped column reference.
                     let col = resolve_col(other, &env)?;
-                    let gpos = group_cols
-                        .iter()
-                        .position(|g| *g == col)
-                        .ok_or_else(|| {
-                            VhError::Plan("non-aggregated select column must be in GROUP BY".into())
-                        })?;
+                    let gpos = group_cols.iter().position(|g| *g == col).ok_or_else(|| {
+                        VhError::Plan("non-aggregated select column must be in GROUP BY".into())
+                    })?;
                     post_items.push((Expr::Col(gpos), default_name));
                 }
             }
@@ -658,10 +670,20 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
         // A pure `count(*)` needs no pre-projection — and an empty
         // projection would lose the row count entirely.
         if !pre_items.is_empty() {
-            plan = LogicalPlan::Project { input: Box::new(plan), items: pre_items };
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                items: pre_items,
+            };
         }
-        plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by: (0..group_cols.len()).collect(), aggs };
-        plan = LogicalPlan::Project { input: Box::new(plan), items: post_items };
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: (0..group_cols.len()).collect(),
+            aggs,
+        };
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            items: post_items,
+        };
     } else {
         // Plain projection.
         let mut items: Vec<(Expr, String)> = Vec::new();
@@ -677,7 +699,10 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
                 out_names.push(name);
             }
         }
-        plan = LogicalPlan::Project { input: Box::new(plan), items };
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            items,
+        };
     }
 
     // ORDER BY on output names / 1-based positions.
@@ -714,10 +739,19 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
         } else {
             None
         };
-        plan = LogicalPlan::Sort { input: Box::new(plan), keys, limit };
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+            limit,
+        };
     } else if p.eat_kw("limit") {
         match p.next() {
-            Some(Tok::Int(n)) => plan = LogicalPlan::Limit { input: Box::new(plan), n: n as usize },
+            Some(Tok::Int(n)) => {
+                plan = LogicalPlan::Limit {
+                    input: Box::new(plan),
+                    n: n as usize,
+                }
+            }
             t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
         }
     }
@@ -731,7 +765,9 @@ pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> 
 fn parse_table_ref(p: &mut Parser) -> Result<(String, String)> {
     let name = p.ident()?;
     // Optional alias (not a keyword).
-    let keywords = ["join", "inner", "left", "on", "where", "group", "order", "limit"];
+    let keywords = [
+        "join", "inner", "left", "on", "where", "group", "order", "limit",
+    ];
     let alias = match p.peek() {
         Some(Tok::Ident(s)) if !keywords.contains(&s.as_str()) => {
             let a = s.clone();
@@ -808,10 +844,7 @@ mod tests {
         });
         c.add(TableMeta {
             name: "customer".into(),
-            schema: Schema::of(&[
-                ("c_custkey", DataType::I64),
-                ("c_name", DataType::Str),
-            ]),
+            schema: Schema::of(&[("c_custkey", DataType::I64), ("c_name", DataType::Str)]),
             rows: 100,
             partitioning: Some((vec![0], 4)),
             sort_order: None,
@@ -838,9 +871,7 @@ mod tests {
         // The literal became a Date value.
         fn find_date(plan: &LogicalPlan) -> bool {
             match plan {
-                LogicalPlan::Select { predicate, .. } => {
-                    format!("{predicate:?}").contains("Date(")
-                }
+                LogicalPlan::Select { predicate, .. } => format!("{predicate:?}").contains("Date("),
                 LogicalPlan::Project { input, .. } => find_date(input),
                 _ => false,
             }
@@ -866,9 +897,11 @@ mod tests {
         .unwrap();
         fn find_join(plan: &LogicalPlan) -> Option<(Vec<usize>, Vec<usize>)> {
             match plan {
-                LogicalPlan::Join { left_keys, right_keys, .. } => {
-                    Some((left_keys.clone(), right_keys.clone()))
-                }
+                LogicalPlan::Join {
+                    left_keys,
+                    right_keys,
+                    ..
+                } => Some((left_keys.clone(), right_keys.clone())),
                 LogicalPlan::Project { input, .. } | LogicalPlan::Select { input, .. } => {
                     find_join(input)
                 }
@@ -901,11 +934,7 @@ mod tests {
     #[test]
     fn aggregate_over_expression() {
         let c = catalog();
-        let p = parse_query(
-            "SELECT sum(o_totalprice * 2) FROM orders",
-            &c,
-        )
-        .unwrap();
+        let p = parse_query("SELECT sum(o_totalprice * 2) FROM orders", &c).unwrap();
         assert!(p.schema(&c).is_ok());
     }
 
@@ -955,7 +984,11 @@ mod tests {
     #[test]
     fn order_by_position() {
         let c = catalog();
-        let p = parse_query("SELECT o_orderkey, o_custkey FROM orders ORDER BY 2 DESC", &c).unwrap();
+        let p = parse_query(
+            "SELECT o_orderkey, o_custkey FROM orders ORDER BY 2 DESC",
+            &c,
+        )
+        .unwrap();
         match p {
             LogicalPlan::Sort { keys, .. } => assert_eq!(keys, vec![(1, Dir::Desc)]),
             other => panic!("{other:?}"),

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use vectorh_common::sync::RwLock;
 use vectorh_common::{NodeId, Result, VhError};
 
 use crate::placement::{BlockPlacementPolicy, ClusterView};
@@ -35,7 +35,10 @@ pub struct SimHdfsConfig {
 
 impl Default for SimHdfsConfig {
     fn default() -> Self {
-        SimHdfsConfig { block_size: 4 * 1024 * 1024, default_replication: 3 }
+        SimHdfsConfig {
+            block_size: 4 * 1024 * 1024,
+            default_replication: 3,
+        }
     }
 }
 
@@ -145,7 +148,12 @@ impl SimHdfs {
         let replication = replication.unwrap_or(self.config.default_replication);
         inner.files.insert(
             path.to_string(),
-            FileEntry { blocks: vec![], len: 0, replication, targets: vec![] },
+            FileEntry {
+                blocks: vec![],
+                len: 0,
+                replication,
+                targets: vec![],
+            },
         );
         Ok(())
     }
@@ -160,7 +168,12 @@ impl SimHdfs {
             let replication = self.config.default_replication;
             inner.files.insert(
                 path.to_string(),
-                FileEntry { blocks: vec![], len: 0, replication, targets: vec![] },
+                FileEntry {
+                    blocks: vec![],
+                    len: 0,
+                    replication,
+                    targets: vec![],
+                },
             );
         }
         // Fix placement targets on first append.
@@ -170,19 +183,22 @@ impl SimHdfs {
             let view = Self::view(&inner);
             let targets = self.policy.choose_targets(path, writer, wanted, &view);
             if targets.is_empty() {
-                return Err(VhError::Hdfs(format!(
-                    "no alive datanodes to place {path}"
-                )));
+                return Err(VhError::Hdfs(format!("no alive datanodes to place {path}")));
             }
             inner.files.get_mut(path).unwrap().targets = targets;
         }
         let block_size = self.config.block_size;
         let targets = inner.files[path].targets.clone();
         let alive = inner.alive.clone();
-        let live_targets: Vec<NodeId> =
-            targets.iter().copied().filter(|n| alive.contains(n)).collect();
+        let live_targets: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|n| alive.contains(n))
+            .collect();
         if live_targets.is_empty() {
-            return Err(VhError::Hdfs(format!("all replica targets of {path} are dead")));
+            return Err(VhError::Hdfs(format!(
+                "all replica targets of {path} are dead"
+            )));
         }
 
         let mut remaining = data;
@@ -212,13 +228,20 @@ impl SimHdfs {
             }
             remaining = &remaining[take..];
         }
-        self.stats.record_write(data.len() as u64 * live_targets.len() as u64);
+        self.stats
+            .record_write(data.len() as u64 * live_targets.len() as u64);
         Ok(())
     }
 
     /// Read `len` bytes at `offset`, issued from `reader` (None = external
     /// client, always remote). Short reads at EOF return what exists.
-    pub fn read(&self, path: &str, offset: u64, len: usize, reader: Option<NodeId>) -> Result<Vec<u8>> {
+    pub fn read(
+        &self,
+        path: &str,
+        offset: u64,
+        len: usize,
+        reader: Option<NodeId>,
+    ) -> Result<Vec<u8>> {
         let inner = self.inner.read();
         let entry = inner
             .files
@@ -456,7 +479,9 @@ impl SimHdfs {
     /// Per-node stored bytes.
     pub fn usage(&self) -> UsageReport {
         let inner = self.inner.read();
-        UsageReport { per_node_bytes: inner.used.clone() }
+        UsageReport {
+            per_node_bytes: inner.used.clone(),
+        }
     }
 }
 
@@ -468,7 +493,10 @@ mod tests {
     fn small_fs(nodes: usize) -> SimHdfs {
         SimHdfs::new(
             nodes,
-            SimHdfsConfig { block_size: 64, default_replication: 3 },
+            SimHdfsConfig {
+                block_size: 64,
+                default_replication: 3,
+            },
             Arc::new(DefaultPolicy::new(42)),
         )
     }
@@ -595,11 +623,15 @@ mod tests {
         let policy = Arc::new(AffinityPolicy::new(7));
         let fs = SimHdfs::new(
             4,
-            SimHdfsConfig { block_size: 32, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 32,
+                default_replication: 2,
+            },
             policy.clone(),
         );
         policy.set_affinity("/db/r/p0/", vec![NodeId(1), NodeId(3)]);
-        fs.append("/db/r/p0/chunk0", &[5u8; 100], Some(NodeId(0))).unwrap();
+        fs.append("/db/r/p0/chunk0", &[5u8; 100], Some(NodeId(0)))
+            .unwrap();
         for b in fs.block_locations("/db/r/p0/chunk0").unwrap() {
             assert_eq!(b.nodes, vec![NodeId(1), NodeId(3)]);
         }
@@ -611,7 +643,10 @@ mod tests {
         for b in fs.block_locations("/db/r/p0/chunk0").unwrap() {
             assert_eq!(b.nodes, vec![NodeId(0), NodeId(2)]);
         }
-        assert_eq!(fs.read_all("/db/r/p0/chunk0", None).unwrap(), vec![5u8; 100]);
+        assert_eq!(
+            fs.read_all("/db/r/p0/chunk0", None).unwrap(),
+            vec![5u8; 100]
+        );
     }
 
     #[test]
@@ -635,7 +670,10 @@ mod tests {
         let policy = Arc::new(AffinityPolicy::new(9));
         let fs = SimHdfs::new(
             4,
-            SimHdfsConfig { block_size: 32, default_replication: 1 },
+            SimHdfsConfig {
+                block_size: 32,
+                default_replication: 1,
+            },
             policy.clone(),
         );
         policy.set_affinity("/solo/", vec![NodeId(2)]);

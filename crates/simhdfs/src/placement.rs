@@ -16,8 +16,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::RwLock;
 use vectorh_common::rng::SplitMix64;
+use vectorh_common::sync::RwLock;
 use vectorh_common::NodeId;
 
 /// What a policy may inspect when choosing targets — the namenode's view.
@@ -68,7 +68,9 @@ pub struct DefaultPolicy {
 
 impl DefaultPolicy {
     pub fn new(seed: u64) -> Self {
-        DefaultPolicy { rng: RwLock::new(SplitMix64::new(seed)) }
+        DefaultPolicy {
+            rng: RwLock::new(SplitMix64::new(seed)),
+        }
     }
 }
 
@@ -90,7 +92,11 @@ impl BlockPlacementPolicy for DefaultPolicy {
         }
         let mut rng = self.rng.write();
         rng.shuffle(&mut candidates);
-        out.extend(candidates.into_iter().take(wanted.saturating_sub(out.len())));
+        out.extend(
+            candidates
+                .into_iter()
+                .take(wanted.saturating_sub(out.len())),
+        );
         out.truncate(wanted);
         out
     }
@@ -114,7 +120,10 @@ pub struct AffinityPolicy {
 
 impl AffinityPolicy {
     pub fn new(seed: u64) -> Self {
-        AffinityPolicy { affinities: RwLock::new(HashMap::new()), fallback: DefaultPolicy::new(seed) }
+        AffinityPolicy {
+            affinities: RwLock::new(HashMap::new()),
+            fallback: DefaultPolicy::new(seed),
+        }
     }
 
     /// Register (or update) the target nodes for a directory prefix.
@@ -164,12 +173,9 @@ impl BlockPlacementPolicy for AffinityPolicy {
                 // the block still reaches the requested replication.
                 let mut inner_view = view.clone();
                 inner_view.existing.extend(out.iter().copied());
-                let extra = self.fallback.choose_targets(
-                    path,
-                    writer,
-                    wanted - out.len(),
-                    &inner_view,
-                );
+                let extra =
+                    self.fallback
+                        .choose_targets(path, writer, wanted - out.len(), &inner_view);
                 out.extend(extra);
             }
             out

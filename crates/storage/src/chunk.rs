@@ -106,7 +106,12 @@ pub fn read_column(
             meta.n_cols()
         )));
     }
-    let bytes = fs.read(&meta.path, meta.offsets[col], meta.col_bytes(col) as usize, reader)?;
+    let bytes = fs.read(
+        &meta.path,
+        meta.offsets[col],
+        meta.col_bytes(col) as usize,
+        reader,
+    )?;
     decode_column(&bytes)
 }
 
@@ -143,7 +148,10 @@ mod tests {
     fn fs() -> SimHdfs {
         SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 256, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 256,
+                default_replication: 2,
+            },
             Arc::new(DefaultPolicy::new(1)),
         )
     }
@@ -151,7 +159,7 @@ mod tests {
     fn sample_cols() -> Vec<ColumnData> {
         vec![
             ColumnData::I64((0..500).collect()),
-            ColumnData::I32((0..500).map(|i| (i % 7) as i32).collect()),
+            ColumnData::I32((0..500).map(|i| i % 7).collect()),
             ColumnData::Str((0..500).map(|i| format!("s{}", i % 3)).collect()),
         ]
     }

@@ -109,7 +109,10 @@ impl MinMaxIndex {
     }
 
     pub fn stats(&self, chunk: usize, col: usize) -> Option<&ColumnStats> {
-        self.chunks.get(chunk).and_then(|c| c.get(col)).and_then(|s| s.as_ref())
+        self.chunks
+            .get(chunk)
+            .and_then(|c| c.get(col))
+            .and_then(|s| s.as_ref())
     }
 
     /// Widen a chunk's column to cover `v` (insert/modify into that range).
@@ -125,10 +128,12 @@ impl MinMaxIndex {
         self.chunks
             .iter()
             .map(|cols| {
-                preds.iter().all(|(col, op, probe)| match cols.get(*col).and_then(|s| s.as_ref()) {
-                    Some(stats) => stats.may_match(op.clone(), probe),
-                    None => true,
-                })
+                preds.iter().all(
+                    |(col, op, probe)| match cols.get(*col).and_then(|s| s.as_ref()) {
+                        Some(stats) => stats.may_match(op.clone(), probe),
+                        None => true,
+                    },
+                )
             })
             .collect()
     }
@@ -144,7 +149,10 @@ mod tests {
     use super::*;
 
     fn stats(min: i64, max: i64) -> ColumnStats {
-        ColumnStats { min: Value::I64(min), max: Value::I64(max) }
+        ColumnStats {
+            min: Value::I64(min),
+            max: Value::I64(max),
+        }
     }
 
     #[test]
@@ -167,7 +175,10 @@ mod tests {
     fn widen_only_grows() {
         let mut s = stats(10, 20);
         s.widen(&Value::I64(15));
-        assert_eq!((s.min.clone(), s.max.clone()), (Value::I64(10), Value::I64(20)));
+        assert_eq!(
+            (s.min.clone(), s.max.clone()),
+            (Value::I64(10), Value::I64(20))
+        );
         s.widen(&Value::I64(5));
         s.widen(&Value::I64(30));
         assert_eq!((s.min, s.max), (Value::I64(5), Value::I64(30)));

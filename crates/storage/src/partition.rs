@@ -24,7 +24,9 @@ pub struct StorageConfig {
 
 impl Default for StorageConfig {
     fn default() -> Self {
-        StorageConfig { rows_per_chunk: 4096 }
+        StorageConfig {
+            rows_per_chunk: 4096,
+        }
     }
 }
 
@@ -144,16 +146,16 @@ impl PartitionStore {
         }
         // Absorb the trailing partial chunk, if any.
         let mut data: Vec<ColumnData> = Vec::with_capacity(columns.len());
-        let absorb = match self.chunks.last() {
-            Some(last) if last.n_rows < self.config.rows_per_chunk => true,
-            _ => false,
-        };
+        let absorb = self
+            .chunks
+            .last()
+            .is_some_and(|last| last.n_rows < self.config.rows_per_chunk);
         if absorb {
             let last = self.chunks.pop().unwrap();
             self.minmax.remove_chunk(self.chunks.len());
-            for col in 0..self.schema.len() {
+            for (col, new_col) in columns.iter().enumerate().take(self.schema.len()) {
                 let mut existing = chunk::read_column(&self.fs, &last, col, self.home)?;
-                existing.append(&columns[col])?;
+                existing.append(new_col)?;
                 data.push(existing);
             }
             self.fs.delete(&last.path)?;
@@ -177,7 +179,12 @@ impl PartitionStore {
     }
 
     /// Read one column of one chunk.
-    pub fn read_column(&self, chunk: usize, col: usize, reader: Option<NodeId>) -> Result<ColumnData> {
+    pub fn read_column(
+        &self,
+        chunk: usize,
+        col: usize,
+        reader: Option<NodeId>,
+    ) -> Result<ColumnData> {
         chunk::read_column(&self.fs, &self.chunks[chunk], col, reader)
     }
 
@@ -188,7 +195,9 @@ impl PartitionStore {
         cols: &[usize],
         reader: Option<NodeId>,
     ) -> Result<Vec<ColumnData>> {
-        cols.iter().map(|&c| self.read_column(chunk, c, reader)).collect()
+        cols.iter()
+            .map(|&c| self.read_column(chunk, c, reader))
+            .collect()
     }
 
     /// Which chunks survive MinMax pruning for these predicates?
@@ -246,7 +255,11 @@ impl PartitionStore {
         for f in files {
             let header = fs.read(&f.path, 0, 4096.min(f.len as usize), reader)?;
             let (n_rows, offsets) = chunk::parse_header(&header)?;
-            let meta = ChunkMeta { path: f.path.clone(), n_rows, offsets };
+            let meta = ChunkMeta {
+                path: f.path.clone(),
+                n_rows,
+                offsets,
+            };
             // Recompute stats from data.
             let cols: Vec<ColumnData> = (0..store.schema.len())
                 .map(|c| chunk::read_column(&fs, &meta, c, reader))
@@ -279,7 +292,10 @@ mod tests {
     fn fs() -> SimHdfs {
         SimHdfs::new(
             4,
-            SimHdfsConfig { block_size: 512, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 512,
+                default_replication: 2,
+            },
             Arc::new(DefaultPolicy::new(3)),
         )
     }
@@ -322,7 +338,11 @@ mod tests {
         s.append_rows(&cols(150, 30)).unwrap(); // partial absorbed: 100 + 80
         assert_eq!(s.n_chunks(), 2);
         assert_eq!(s.chunk_meta(1).n_rows, 80);
-        assert_ne!(s.chunk_meta(1).path, partial_path, "partial chunk file replaced");
+        assert_ne!(
+            s.chunk_meta(1).path,
+            partial_path,
+            "partial chunk file replaced"
+        );
         // Verify data integrity across the merge.
         let keys = s.read_column(1, 0, None).unwrap();
         assert_eq!(keys.as_i64().unwrap()[0], 100);
@@ -371,20 +391,34 @@ mod tests {
         let policy = Arc::new(AffinityPolicy::new(5));
         let fs = SimHdfs::new(
             4,
-            SimHdfsConfig { block_size: 512, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 512,
+                default_replication: 2,
+            },
             policy.clone(),
         );
-        policy.set_affinity("/db/t/p0/", vec![vectorh_common::NodeId(2), vectorh_common::NodeId(3)]);
-        let mut s = PartitionStore::new(fs.clone(), "/db/t/p0/", schema(), StorageConfig { rows_per_chunk: 64 });
+        policy.set_affinity(
+            "/db/t/p0/",
+            vec![vectorh_common::NodeId(2), vectorh_common::NodeId(3)],
+        );
+        let mut s = PartitionStore::new(
+            fs.clone(),
+            "/db/t/p0/",
+            schema(),
+            StorageConfig { rows_per_chunk: 64 },
+        );
         s.set_home(Some(vectorh_common::NodeId(2)));
         s.append_rows(&cols(0, 200)).unwrap();
         for i in 0..s.n_chunks() {
-            assert!(fs.fully_local(&s.chunk_meta(i).path, vectorh_common::NodeId(2)).unwrap());
+            assert!(fs
+                .fully_local(&s.chunk_meta(i).path, vectorh_common::NodeId(2))
+                .unwrap());
         }
         // Scanning from home is 100% short-circuit.
         let before = fs.stats().snapshot();
         for i in 0..s.n_chunks() {
-            s.read_column(i, 0, Some(vectorh_common::NodeId(2))).unwrap();
+            s.read_column(i, 0, Some(vectorh_common::NodeId(2)))
+                .unwrap();
         }
         let delta = fs.stats().snapshot().since(&before);
         assert_eq!(delta.remote_read_bytes, 0);

@@ -64,14 +64,21 @@ fn encode_table(schema: &Schema, rows: &[Vec<Value>]) -> Result<Vec<Vec<Vec<u8>>
     let mut at = 0;
     while at < rows.len() {
         let to = (at + CHUNK_ROWS).min(rows.len());
-        let mut cols: Vec<ColumnData> =
-            schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+        let mut cols: Vec<ColumnData> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnData::new(f.dtype))
+            .collect();
         for row in &rows[at..to] {
             for (c, v) in row.iter().enumerate() {
                 cols[c].push_value(v)?;
             }
         }
-        chunks.push(cols.iter().map(|c| encode(BaselineFormat::OrcLike, c)).collect());
+        chunks.push(
+            cols.iter()
+                .map(|c| encode(BaselineFormat::OrcLike, c))
+                .collect(),
+        );
         at = to;
     }
     Ok(chunks)
@@ -103,11 +110,22 @@ impl BaselineDb {
             schemas.insert(name.to_string(), def.schema.clone());
             rows.insert(name.to_string(), trows.clone());
         }
-        Ok(BaselineDb { schemas, rows, encoded, deltas: HashMap::new() })
+        Ok(BaselineDb {
+            schemas,
+            rows,
+            encoded,
+            deltas: HashMap::new(),
+        })
     }
 
     /// Register delta-table state (RF1 inserts / RF2 deletes) for a table.
-    pub fn apply_delta(&mut self, table: &str, key_col: usize, inserted: Vec<Vec<Value>>, deleted: Vec<i64>) {
+    pub fn apply_delta(
+        &mut self,
+        table: &str,
+        key_col: usize,
+        inserted: Vec<Vec<Value>>,
+        deleted: Vec<i64>,
+    ) {
         let d = self.deltas.entry(table.to_string()).or_default();
         d.key_col = key_col;
         d.inserted.extend(inserted);
@@ -115,7 +133,10 @@ impl BaselineDb {
     }
 
     pub fn has_deltas(&self, table: &str) -> bool {
-        self.deltas.get(table).map(|d| !d.inserted.is_empty() || !d.deleted.is_empty()).unwrap_or(false)
+        self.deltas
+            .get(table)
+            .map(|d| !d.inserted.is_empty() || !d.deleted.is_empty())
+            .unwrap_or(false)
     }
 
     /// Merge base rows with deltas *by key* — the per-row key lookup is the
@@ -159,7 +180,11 @@ impl BaselineDb {
     }
 
     /// Run a [`crate::queries::TpchQuery`] on a baseline.
-    pub fn run_query(&self, q: &crate::queries::TpchQuery, kind: BaselineKind) -> Result<Vec<Vec<Value>>> {
+    pub fn run_query(
+        &self,
+        q: &crate::queries::TpchQuery,
+        kind: BaselineKind,
+    ) -> Result<Vec<Vec<Value>>> {
         crate::queries::run_with(q, |plan| self.run(plan, kind))
     }
 
@@ -198,22 +223,32 @@ impl BaselineDb {
             LogicalPlan::Select { input, predicate } => {
                 let schema = self.schema_of(input)?;
                 let rows = self.eval_rowstore(input)?;
-                let mut op = RowSelect::new(Box::new(RowScan::new(schema, rows)), predicate.clone());
+                let mut op =
+                    RowSelect::new(Box::new(RowScan::new(schema, rows)), predicate.clone());
                 collect_row_op(&mut op)?
             }
             LogicalPlan::Project { input, items } => {
                 let schema = self.schema_of(input)?;
                 let rows = self.eval_rowstore(input)?;
-                let mut op =
-                    RowProject::new(Box::new(RowScan::new(schema, rows)), items.clone())?;
+                let mut op = RowProject::new(Box::new(RowScan::new(schema, rows)), items.clone())?;
                 collect_row_op(&mut op)?
             }
-            LogicalPlan::Join { left, right, left_keys, right_keys, kind } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
                 let lrows = self.eval_rowstore(left)?;
                 let rrows = self.eval_rowstore(right)?;
                 row_join(lrows, rrows, left_keys, right_keys, *kind)
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let schema = self.schema_of(input)?;
                 let rows = self.eval_rowstore(input)?;
                 let mut op = RowAggr::new(
@@ -254,8 +289,11 @@ impl BaselineDb {
                     // Delta merge by key: the whole table re-materializes
                     // through row-wise key checks.
                     let rows = self.merged_rows(table)?;
-                    let mut bcols: Vec<ColumnData> =
-                        out_schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+                    let mut bcols: Vec<ColumnData> = out_schema
+                        .fields()
+                        .iter()
+                        .map(|f| ColumnData::new(f.dtype))
+                        .collect();
                     for r in &rows {
                         for (j, &c) in cols.iter().enumerate() {
                             bcols[j].push_value(&r[c])?;
@@ -270,9 +308,8 @@ impl BaselineDb {
                         let bcols: Result<Vec<ColumnData>> = cols
                             .iter()
                             .map(|&c| {
-                                decode(BaselineFormat::OrcLike, &chunk[c]).ok_or_else(|| {
-                                    VhError::Codec("baseline chunk corrupt".into())
-                                })
+                                decode(BaselineFormat::OrcLike, &chunk[c])
+                                    .ok_or_else(|| VhError::Codec("baseline chunk corrupt".into()))
                             })
                             .collect();
                         batches.push(Batch::new(out_schema.clone(), bcols?)?);
@@ -300,7 +337,13 @@ impl BaselineDb {
             LogicalPlan::Project { input, items } => {
                 Box::new(VProject::new(self.build_columnar(input)?, items.clone())?)
             }
-            LogicalPlan::Join { left, right, left_keys, right_keys, kind } => {
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => {
                 let k = match kind {
                     JoinKind::Inner => ExecJoinKind::Inner,
                     JoinKind::LeftOuter => ExecJoinKind::LeftOuter,
@@ -315,7 +358,11 @@ impl BaselineDb {
                     k,
                 )?)
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => Box::new(Aggr::new(
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => Box::new(Aggr::new(
                 self.build_columnar(input)?,
                 group_by.clone(),
                 aggs.clone(),
@@ -326,9 +373,10 @@ impl BaselineDb {
                 keys.clone(),
                 *limit,
             )),
-            LogicalPlan::Limit { input, n } => {
-                Box::new(vectorh_exec::sort::Limit::new(self.build_columnar(input)?, *n))
-            }
+            LogicalPlan::Limit { input, n } => Box::new(vectorh_exec::sort::Limit::new(
+                self.build_columnar(input)?,
+                *n,
+            )),
         })
     }
 }
@@ -467,7 +515,10 @@ mod tests {
         let before = db
             .run(
                 &LogicalPlan::Aggregate {
-                    input: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0] }),
+                    input: Box::new(LogicalPlan::Scan {
+                        table: "orders".into(),
+                        cols: vec![0],
+                    }),
                     group_by: vec![],
                     aggs: vec![AggFn::CountStar],
                 },
@@ -486,7 +537,10 @@ mod tests {
             let after = db
                 .run(
                     &LogicalPlan::Aggregate {
-                        input: Box::new(LogicalPlan::Scan { table: "orders".into(), cols: vec![0] }),
+                        input: Box::new(LogicalPlan::Scan {
+                            table: "orders".into(),
+                            cols: vec![0],
+                        }),
                         group_by: vec![],
                         aggs: vec![AggFn::CountStar],
                     },

@@ -67,25 +67,57 @@ pub const NATIONS: [(&str, u32); 25] = [
     ("UNITED STATES", 1),
 ];
 
-pub const SEGMENTS: [&str; 5] =
-    ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-pub const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-pub const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 pub const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 pub const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 pub const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 pub const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 pub const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 pub const COLORS: [&str; 12] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "blue", "chocolate", "forest",
-    "green", "ivory", "lemon", "red",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "blue",
+    "chocolate",
+    "forest",
+    "green",
+    "ivory",
+    "lemon",
+    "red",
 ];
 const COMMENT_WORDS: [&str; 16] = [
-    "carefully", "quickly", "furiously", "slyly", "express", "regular", "ironic", "final",
-    "pending", "bold", "silent", "even", "packages", "deposits", "accounts", "requests",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "express",
+    "regular",
+    "ironic",
+    "final",
+    "pending",
+    "bold",
+    "silent",
+    "even",
+    "packages",
+    "deposits",
+    "accounts",
+    "requests",
 ];
 
 fn comment(rng: &mut SplitMix64, words: usize) -> String {
@@ -218,7 +250,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
             let nationkey = rng.next_bounded(25) as i64;
             // ~1% of suppliers carry the Q16 complaint marker.
             let cmt = if rng.chance(0.01) {
-                format!("{} Customer Complaints {}", comment(&mut rng, 2), comment(&mut rng, 2))
+                format!(
+                    "{} Customer Complaints {}",
+                    comment(&mut rng, 2),
+                    comment(&mut rng, 2)
+                )
             } else {
                 comment(&mut rng, 5)
             };
@@ -227,7 +263,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
                 Value::Str(format!("Supplier#{:09}", i + 1)),
                 Value::Str(format!("addr-{}", rng.next_bounded(100_000))),
                 Value::I64(nationkey),
-                Value::Str(format!("{}-{:07}", nationkey + 10, rng.next_bounded(9_999_999))),
+                Value::Str(format!(
+                    "{}-{:07}",
+                    nationkey + 10,
+                    rng.next_bounded(9_999_999)
+                )),
                 dec2(&mut rng, -99_999, 999_999),
                 Value::Str(cmt),
             ]
@@ -242,7 +282,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
                 Value::Str(format!("Customer#{:09}", i + 1)),
                 Value::Str(format!("addr-{}", rng.next_bounded(100_000))),
                 Value::I64(nationkey),
-                Value::Str(format!("{}-{:07}", nationkey + 10, rng.next_bounded(9_999_999))),
+                Value::Str(format!(
+                    "{}-{:07}",
+                    nationkey + 10,
+                    rng.next_bounded(9_999_999)
+                )),
                 dec2(&mut rng, -99_999, 999_999),
                 Value::Str(rng.choose(&SEGMENTS).unwrap().to_string()),
                 Value::Str(comment(&mut rng, 6)),
@@ -290,7 +334,8 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         .flat_map(|p| {
             let mut rows = Vec::with_capacity(4);
             for s in 0..4u64 {
-                let suppkey = ((p as u64 + s * (n_supplier as u64 / 4 + 1)) % n_supplier as u64) + 1;
+                let suppkey =
+                    ((p as u64 + s * (n_supplier as u64 / 4 + 1)) % n_supplier as u64) + 1;
                 rows.push(vec![
                     Value::I64(p as i64 + 1),
                     Value::I64(suppkey as i64),
@@ -368,7 +413,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         let status = if all_filled { "F" } else { "O" };
         // Q13 greps '%special%requests%': give ~1% of orders that comment.
         let cmt = if rng.chance(0.01) {
-            format!("{} special packages requests {}", comment(&mut rng, 1), comment(&mut rng, 1))
+            format!(
+                "{} special packages requests {}",
+                comment(&mut rng, 1),
+                comment(&mut rng, 1)
+            )
         } else {
             comment(&mut rng, 5)
         };
@@ -384,7 +433,16 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
         ]);
     }
 
-    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
 }
 
 #[cfg(test)]
@@ -458,8 +516,11 @@ mod tests {
             assert!(ck >= 1 && ck <= n_customer);
         }
         // lineitem FK into orders: every l_orderkey appears in orders.
-        let keys: std::collections::HashSet<i64> =
-            d.orders.iter().map(|r| r[o::O_ORDERKEY].as_i64().unwrap()).collect();
+        let keys: std::collections::HashSet<i64> = d
+            .orders
+            .iter()
+            .map(|r| r[o::O_ORDERKEY].as_i64().unwrap())
+            .collect();
         for row in &d.lineitem {
             assert!(keys.contains(&row[l::L_ORDERKEY].as_i64().unwrap()));
         }
@@ -472,7 +533,12 @@ mod tests {
         let complaints = d
             .supplier
             .iter()
-            .filter(|r| r[cols::supplier::S_COMMENT].as_str().unwrap().contains("Customer Complaints"))
+            .filter(|r| {
+                r[cols::supplier::S_COMMENT]
+                    .as_str()
+                    .unwrap()
+                    .contains("Customer Complaints")
+            })
             .count();
         assert!(complaints > 0 && complaints < d.supplier.len() / 10);
         // Q13 comment pattern.

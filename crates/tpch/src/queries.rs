@@ -14,8 +14,10 @@ use vectorh_exec::expr::{date_lit, Expr};
 use vectorh_exec::sort::Dir;
 use vectorh_planner::logical::{JoinKind, LogicalPlan};
 
-use crate::gen::cols::{customer as c, lineitem as l, nation as n, orders as o, part as p,
-    partsupp as ps, region as r, supplier as s};
+use crate::gen::cols::{
+    customer as c, lineitem as l, nation as n, orders as o, part as p, partsupp as ps, region as r,
+    supplier as s,
+};
 
 pub const N_QUERIES: usize = 22;
 
@@ -57,11 +59,17 @@ pub fn run_query(vh: &vectorh::VectorH, n: usize) -> Result<Vec<Vec<Value>>> {
 // --- plan-builder helpers ----------------------------------------------------
 
 fn scan(table: &str, cols: Vec<usize>) -> LogicalPlan {
-    LogicalPlan::Scan { table: table.into(), cols }
+    LogicalPlan::Scan {
+        table: table.into(),
+        cols,
+    }
 }
 
 fn select(input: LogicalPlan, predicate: Expr) -> LogicalPlan {
-    LogicalPlan::Select { input: Box::new(input), predicate }
+    LogicalPlan::Select {
+        input: Box::new(input),
+        predicate,
+    }
 }
 
 fn project(input: LogicalPlan, items: Vec<(Expr, &str)>) -> LogicalPlan {
@@ -88,11 +96,19 @@ fn join(
 }
 
 fn aggregate(input: LogicalPlan, group_by: Vec<usize>, aggs: Vec<AggFn>) -> LogicalPlan {
-    LogicalPlan::Aggregate { input: Box::new(input), group_by, aggs }
+    LogicalPlan::Aggregate {
+        input: Box::new(input),
+        group_by,
+        aggs,
+    }
 }
 
 fn sort(input: LogicalPlan, keys: Vec<(usize, Dir)>, limit: Option<usize>) -> LogicalPlan {
-    LogicalPlan::Sort { input: Box::new(input), keys, limit }
+    LogicalPlan::Sort {
+        input: Box::new(input),
+        keys,
+        limit,
+    }
 }
 
 fn lit_i(v: i64) -> Expr {
@@ -105,7 +121,10 @@ fn lit_s(v: &str) -> Expr {
 
 /// `ep * (1 - disc)` over projected column positions.
 fn disc_price(ep: usize, disc: usize) -> Expr {
-    Expr::mul(Expr::col(ep), Expr::sub(Expr::lit(dec("1", 2)), Expr::col(disc)))
+    Expr::mul(
+        Expr::col(ep),
+        Expr::sub(Expr::lit(dec("1", 2)), Expr::col(disc)),
+    )
 }
 
 /// Build query `n` (1-based) with the paper's default parameters.
@@ -142,8 +161,15 @@ fn q1() -> LogicalPlan {
     // scan: qty(0) ep(1) disc(2) tax(3) flag(4) status(5) ship(6)
     let li = scan(
         "lineitem",
-        vec![l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_TAX, l::L_RETURNFLAG,
-            l::L_LINESTATUS, l::L_SHIPDATE],
+        vec![
+            l::L_QUANTITY,
+            l::L_EXTENDEDPRICE,
+            l::L_DISCOUNT,
+            l::L_TAX,
+            l::L_RETURNFLAG,
+            l::L_LINESTATUS,
+            l::L_SHIPDATE,
+        ],
     );
     let filtered = select(li, Expr::le(Expr::col(6), date_lit("1998-09-02")));
     let pre = project(
@@ -156,7 +182,10 @@ fn q1() -> LogicalPlan {
             (Expr::col(2), "disc"),
             (disc_price(1, 2), "disc_price"),
             (
-                Expr::mul(disc_price(1, 2), Expr::add(Expr::lit(dec("1", 2)), Expr::col(3))),
+                Expr::mul(
+                    disc_price(1, 2),
+                    Expr::add(Expr::lit(dec("1", 2)), Expr::col(3)),
+                ),
                 "charge",
             ),
         ],
@@ -183,11 +212,21 @@ fn q2() -> LogicalPlan {
     // Region-filtered supply chain:
     // partsupp(pk 0, cost 1) ⋈ supplier(suppkey...) ⋈ nation ⋈ region(EUROPE)
     let chain = || -> LogicalPlan {
-        let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST]);
+        let psup = scan(
+            "partsupp",
+            vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST],
+        );
         let sup = scan(
             "supplier",
-            vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_NATIONKEY, s::S_PHONE,
-                s::S_ACCTBAL, s::S_COMMENT],
+            vec![
+                s::S_SUPPKEY,
+                s::S_NAME,
+                s::S_ADDRESS,
+                s::S_NATIONKEY,
+                s::S_PHONE,
+                s::S_ACCTBAL,
+                s::S_COMMENT,
+            ],
         );
         // join: [ps_pk, ps_sk, cost, s_sk, s_name, s_addr, s_nk, s_phone, s_bal, s_cmt]
         let j1 = join(psup, sup, vec![1], vec![0], JoinKind::Inner);
@@ -217,7 +256,10 @@ fn q2() -> LogicalPlan {
     );
     // M: min cost per part
     let m = aggregate(
-        project(chain(), vec![(Expr::col(0), "partkey"), (Expr::col(2), "cost")]),
+        project(
+            chain(),
+            vec![(Expr::col(0), "partkey"), (Expr::col(2), "cost")],
+        ),
         vec![0],
         vec![AggFn::Min(1)],
     );
@@ -256,11 +298,27 @@ fn q2() -> LogicalPlan {
 /// Q3: shipping priority (BUILDING, 1995-03-15).
 fn q3() -> LogicalPlan {
     let li = select(
-        scan("lineitem", vec![l::L_ORDERKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        scan(
+            "lineitem",
+            vec![
+                l::L_ORDERKEY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_SHIPDATE,
+            ],
+        ),
         Expr::gt(Expr::col(3), date_lit("1995-03-15")),
     );
     let ord = select(
-        scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE, o::O_SHIPPRIORITY]),
+        scan(
+            "orders",
+            vec![
+                o::O_ORDERKEY,
+                o::O_CUSTKEY,
+                o::O_ORDERDATE,
+                o::O_SHIPPRIORITY,
+            ],
+        ),
         Expr::lt(Expr::col(2), date_lit("1995-03-15")),
     );
     // co-located join: [l_ok, ep, disc, ship, o_ok(4), cust(5), odate(6), shipprio(7)]
@@ -286,14 +344,20 @@ fn q3() -> LogicalPlan {
 /// Q4: order priority checking (1993-07-01 quarter).
 fn q4() -> LogicalPlan {
     let ord = select(
-        scan("orders", vec![o::O_ORDERKEY, o::O_ORDERDATE, o::O_ORDERPRIORITY]),
+        scan(
+            "orders",
+            vec![o::O_ORDERKEY, o::O_ORDERDATE, o::O_ORDERPRIORITY],
+        ),
         Expr::and(vec![
             Expr::ge(Expr::col(1), date_lit("1993-07-01")),
             Expr::lt(Expr::col(1), date_lit("1993-10-01")),
         ]),
     );
     let li = select(
-        scan("lineitem", vec![l::L_ORDERKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+        scan(
+            "lineitem",
+            vec![l::L_ORDERKEY, l::L_COMMITDATE, l::L_RECEIPTDATE],
+        ),
         Expr::lt(Expr::col(1), Expr::col(2)),
     );
     let semi = join(ord, li, vec![0], vec![0], JoinKind::Semi);
@@ -309,7 +373,12 @@ fn q4() -> LogicalPlan {
 fn q5() -> LogicalPlan {
     let li = scan(
         "lineitem",
-        vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT],
+        vec![
+            l::L_ORDERKEY,
+            l::L_SUPPKEY,
+            l::L_EXTENDEDPRICE,
+            l::L_DISCOUNT,
+        ],
     );
     let ord = select(
         scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE]),
@@ -335,7 +404,10 @@ fn q5() -> LogicalPlan {
         Expr::eq(Expr::col(1), lit_s("ASIA")),
     );
     let j5 = join(j4, reg, vec![13], vec![0], JoinKind::Inner);
-    let pre = project(j5, vec![(Expr::col(12), "n_name"), (disc_price(2, 3), "vol")]);
+    let pre = project(
+        j5,
+        vec![(Expr::col(12), "n_name"), (disc_price(2, 3), "vol")],
+    );
     let agg = aggregate(pre, vec![0], vec![AggFn::Sum(1)]);
     sort(agg, vec![(1, Dir::Desc)], None)
 }
@@ -343,7 +415,15 @@ fn q5() -> LogicalPlan {
 /// Q6: forecasting revenue change (1994, disc 0.05-0.07, qty < 24).
 fn q6() -> LogicalPlan {
     let li = select(
-        scan("lineitem", vec![l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        scan(
+            "lineitem",
+            vec![
+                l::L_QUANTITY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_SHIPDATE,
+            ],
+        ),
         Expr::and(vec![
             Expr::ge(Expr::col(3), date_lit("1994-01-01")),
             Expr::lt(Expr::col(3), date_lit("1995-01-01")),
@@ -364,7 +444,13 @@ fn q7() -> LogicalPlan {
     let li = select(
         scan(
             "lineitem",
-            vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE],
+            vec![
+                l::L_ORDERKEY,
+                l::L_SUPPKEY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_SHIPDATE,
+            ],
         ),
         Expr::Between(
             Box::new(Expr::col(4)),
@@ -421,7 +507,13 @@ fn q8() -> LogicalPlan {
     );
     let li = scan(
         "lineitem",
-        vec![l::L_ORDERKEY, l::L_PARTKEY, l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT],
+        vec![
+            l::L_ORDERKEY,
+            l::L_PARTKEY,
+            l::L_SUPPKEY,
+            l::L_EXTENDEDPRICE,
+            l::L_DISCOUNT,
+        ],
     );
     // [l_ok, l_pk, l_sk, ep, disc, p_pk(5), p_type(6)]
     let j1 = join(li, part, vec![1], vec![0], JoinKind::Inner);
@@ -460,10 +552,7 @@ fn q8() -> LogicalPlan {
             (disc_price(3, 4), "vol"),
             (
                 Expr::Case(
-                    vec![(
-                        Expr::eq(Expr::col(19), lit_s("BRAZIL")),
-                        disc_price(3, 4),
-                    )],
+                    vec![(Expr::eq(Expr::col(19), lit_s("BRAZIL")), disc_price(3, 4))],
                     Box::new(Expr::lit(dec("0", 2))),
                 ),
                 "brazil_vol",
@@ -489,12 +578,21 @@ fn q9() -> LogicalPlan {
     );
     let li = scan(
         "lineitem",
-        vec![l::L_ORDERKEY, l::L_PARTKEY, l::L_SUPPKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE,
-            l::L_DISCOUNT],
+        vec![
+            l::L_ORDERKEY,
+            l::L_PARTKEY,
+            l::L_SUPPKEY,
+            l::L_QUANTITY,
+            l::L_EXTENDEDPRICE,
+            l::L_DISCOUNT,
+        ],
     );
     // [l_ok, l_pk, l_sk, qty, ep, disc, p_pk(6), p_name(7)]
     let j1 = join(li, part, vec![1], vec![0], JoinKind::Inner);
-    let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST]);
+    let psup = scan(
+        "partsupp",
+        vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_SUPPLYCOST],
+    );
     // two-key: + [ps_pk(8), ps_sk(9), cost(10)]
     let j2 = join(j1, psup, vec![1, 2], vec![0, 1], JoinKind::Inner);
     let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
@@ -524,7 +622,15 @@ fn q9() -> LogicalPlan {
 /// Q10: returned item reporting (1993-10-01 quarter).
 fn q10() -> LogicalPlan {
     let li = select(
-        scan("lineitem", vec![l::L_ORDERKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_RETURNFLAG]),
+        scan(
+            "lineitem",
+            vec![
+                l::L_ORDERKEY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_RETURNFLAG,
+            ],
+        ),
         Expr::eq(Expr::col(3), lit_s("R")),
     );
     let ord = select(
@@ -538,8 +644,15 @@ fn q10() -> LogicalPlan {
     let j1 = join(li, ord, vec![0], vec![0], JoinKind::Inner);
     let cust = scan(
         "customer",
-        vec![c::C_CUSTKEY, c::C_NAME, c::C_ADDRESS, c::C_NATIONKEY, c::C_PHONE, c::C_ACCTBAL,
-            c::C_COMMENT],
+        vec![
+            c::C_CUSTKEY,
+            c::C_NAME,
+            c::C_ADDRESS,
+            c::C_NATIONKEY,
+            c::C_PHONE,
+            c::C_ACCTBAL,
+            c::C_COMMENT,
+        ],
     );
     // + [c_ck(7), c_name(8), c_addr(9), c_nk(10), c_phone(11), c_bal(12), c_cmt(13)]
     let j2 = join(j1, cust, vec![5], vec![0], JoinKind::Inner);
@@ -568,7 +681,12 @@ fn q11() -> TpchQuery {
     let chain = || -> LogicalPlan {
         let psup = scan(
             "partsupp",
-            vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_AVAILQTY, ps::PS_SUPPLYCOST],
+            vec![
+                ps::PS_PARTKEY,
+                ps::PS_SUPPKEY,
+                ps::PS_AVAILQTY,
+                ps::PS_SUPPLYCOST,
+            ],
         );
         let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NATIONKEY]);
         // [ps_pk, ps_sk, qty, cost, s_sk(4), s_nk(5)]
@@ -590,10 +708,16 @@ fn q11() -> TpchQuery {
     let build = move |total: Value| -> LogicalPlan {
         let threshold = total.as_f64().unwrap_or(0.0) * 0.0001;
         let agg = aggregate(chain(), vec![0], vec![AggFn::Sum(1)]);
-        let filtered = select(agg, Expr::gt(Expr::col(1), Expr::lit(Value::F64(threshold))));
+        let filtered = select(
+            agg,
+            Expr::gt(Expr::col(1), Expr::lit(Value::F64(threshold))),
+        );
         sort(filtered, vec![(1, Dir::Desc)], None)
     };
-    TpchQuery::TwoStep { first, build: Box::new(build) }
+    TpchQuery::TwoStep {
+        first,
+        build: Box::new(build),
+    }
 }
 
 /// Q12: shipping modes and order priority (MAIL+SHIP, 1994).
@@ -601,7 +725,13 @@ fn q12() -> LogicalPlan {
     let li = select(
         scan(
             "lineitem",
-            vec![l::L_ORDERKEY, l::L_SHIPDATE, l::L_COMMITDATE, l::L_RECEIPTDATE, l::L_SHIPMODE],
+            vec![
+                l::L_ORDERKEY,
+                l::L_SHIPDATE,
+                l::L_COMMITDATE,
+                l::L_RECEIPTDATE,
+                l::L_SHIPMODE,
+            ],
         ),
         Expr::and(vec![
             Expr::InList(
@@ -661,7 +791,15 @@ fn q13() -> LogicalPlan {
 /// Q14: promotion effect (1995-09).
 fn q14() -> LogicalPlan {
     let li = select(
-        scan("lineitem", vec![l::L_PARTKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+        scan(
+            "lineitem",
+            vec![
+                l::L_PARTKEY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_SHIPDATE,
+            ],
+        ),
         Expr::and(vec![
             Expr::ge(Expr::col(3), date_lit("1995-09-01")),
             Expr::lt(Expr::col(3), date_lit("1995-10-01")),
@@ -690,7 +828,10 @@ fn q14() -> LogicalPlan {
     project(
         agg,
         vec![(
-            Expr::mul(Expr::lit(Value::F64(100.0)), Expr::div(Expr::col(0), Expr::col(1))),
+            Expr::mul(
+                Expr::lit(Value::F64(100.0)),
+                Expr::div(Expr::col(0), Expr::col(1)),
+            ),
             "promo_revenue",
         )],
     )
@@ -700,22 +841,39 @@ fn q14() -> LogicalPlan {
 fn q15() -> TpchQuery {
     let revenue = || -> LogicalPlan {
         let li = select(
-            scan("lineitem", vec![l::L_SUPPKEY, l::L_EXTENDEDPRICE, l::L_DISCOUNT, l::L_SHIPDATE]),
+            scan(
+                "lineitem",
+                vec![
+                    l::L_SUPPKEY,
+                    l::L_EXTENDEDPRICE,
+                    l::L_DISCOUNT,
+                    l::L_SHIPDATE,
+                ],
+            ),
             Expr::and(vec![
                 Expr::ge(Expr::col(3), date_lit("1996-01-01")),
                 Expr::lt(Expr::col(3), date_lit("1996-04-01")),
             ]),
         );
         aggregate(
-            project(li, vec![(Expr::col(0), "supplier_no"), (disc_price(1, 2), "rev")]),
+            project(
+                li,
+                vec![(Expr::col(0), "supplier_no"), (disc_price(1, 2), "rev")],
+            ),
             vec![0],
             vec![AggFn::Sum(1)],
         )
     };
     let first = aggregate(revenue(), vec![], vec![AggFn::Max(1)]);
     let build = move |max_rev: Value| -> LogicalPlan {
-        let best = select(revenue(), Expr::eq(Expr::col(1), Expr::Lit(max_rev.clone())));
-        let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_PHONE]);
+        let best = select(
+            revenue(),
+            Expr::eq(Expr::col(1), Expr::Lit(max_rev.clone())),
+        );
+        let sup = scan(
+            "supplier",
+            vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_PHONE],
+        );
         // [supplier_no, total_rev, s_sk(2), s_name(3), s_addr(4), s_phone(5)]
         let j = join(best, sup, vec![0], vec![0], JoinKind::Inner);
         let out = project(
@@ -730,7 +888,10 @@ fn q15() -> TpchQuery {
         );
         sort(out, vec![(0, Dir::Asc)], None)
     };
-    TpchQuery::TwoStep { first, build: Box::new(build) }
+    TpchQuery::TwoStep {
+        first,
+        build: Box::new(build),
+    }
 }
 
 /// Q16: parts/supplier relationship.
@@ -742,7 +903,10 @@ fn q16() -> LogicalPlan {
             Expr::NotLike(Box::new(Expr::col(2)), "MEDIUM POLISHED%".into()),
             Expr::InList(
                 Box::new(Expr::col(3)),
-                [49i64, 14, 23, 45, 19, 3, 36, 9].iter().map(|&v| Value::I64(v)).collect(),
+                [49i64, 14, 23, 45, 19, 3, 36, 9]
+                    .iter()
+                    .map(|&v| Value::I64(v))
+                    .collect(),
             ),
         ]),
     );
@@ -765,7 +929,11 @@ fn q16() -> LogicalPlan {
         ],
     );
     let agg = aggregate(pre, vec![0, 1, 2], vec![AggFn::CountDistinct(3)]);
-    sort(agg, vec![(3, Dir::Desc), (0, Dir::Asc), (1, Dir::Asc), (2, Dir::Asc)], None)
+    sort(
+        agg,
+        vec![(3, Dir::Desc), (0, Dir::Asc), (1, Dir::Asc), (2, Dir::Asc)],
+        None,
+    )
 }
 
 /// Q17: small-quantity-order revenue (Brand#23, MED BOX).
@@ -782,7 +950,10 @@ fn q17() -> LogicalPlan {
             Expr::eq(Expr::col(2), lit_s("MED BOX")),
         ]),
     );
-    let li = scan("lineitem", vec![l::L_PARTKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE]);
+    let li = scan(
+        "lineitem",
+        vec![l::L_PARTKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE],
+    );
     // [l_pk, qty, ep, p_pk(3), brand(4), cont(5)]
     let j1 = join(li, part, vec![0], vec![0], JoinKind::Inner);
     // + [a_pk(6), avg(7)]
@@ -801,7 +972,10 @@ fn q17() -> LogicalPlan {
     );
     project(
         agg,
-        vec![(Expr::div(Expr::col(0), Expr::lit(Value::F64(7.0))), "avg_yearly")],
+        vec![(
+            Expr::div(Expr::col(0), Expr::lit(Value::F64(7.0))),
+            "avg_yearly",
+        )],
     )
 }
 
@@ -815,7 +989,10 @@ fn q18() -> LogicalPlan {
         ),
         Expr::gt(Expr::col(1), Expr::lit(dec("300", 2))),
     ); // [orderkey, sum_qty]
-    let ord = scan("orders", vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE, o::O_TOTALPRICE]);
+    let ord = scan(
+        "orders",
+        vec![o::O_ORDERKEY, o::O_CUSTKEY, o::O_ORDERDATE, o::O_TOTALPRICE],
+    );
     let picked = join(ord, big, vec![0], vec![0], JoinKind::Semi);
     let cust = scan("customer", vec![c::C_CUSTKEY, c::C_NAME]);
     // [o_ok, cust, odate, price, c_ck(4), c_name(5)]
@@ -843,8 +1020,14 @@ fn q19() -> LogicalPlan {
     let li = select(
         scan(
             "lineitem",
-            vec![l::L_PARTKEY, l::L_QUANTITY, l::L_EXTENDEDPRICE, l::L_DISCOUNT,
-                l::L_SHIPINSTRUCT, l::L_SHIPMODE],
+            vec![
+                l::L_PARTKEY,
+                l::L_QUANTITY,
+                l::L_EXTENDEDPRICE,
+                l::L_DISCOUNT,
+                l::L_SHIPINSTRUCT,
+                l::L_SHIPMODE,
+            ],
         ),
         Expr::and(vec![
             Expr::InList(
@@ -854,7 +1037,10 @@ fn q19() -> LogicalPlan {
             Expr::eq(Expr::col(4), lit_s("DELIVER IN PERSON")),
         ]),
     );
-    let part = scan("part", vec![p::P_PARTKEY, p::P_BRAND, p::P_SIZE, p::P_CONTAINER]);
+    let part = scan(
+        "part",
+        vec![p::P_PARTKEY, p::P_BRAND, p::P_SIZE, p::P_CONTAINER],
+    );
     // [l_pk, qty, ep, disc, instr, mode, p_pk(6), brand(7), size(8), cont(9)]
     let j = join(li, part, vec![0], vec![0], JoinKind::Inner);
     let case = |brand: &str, conts: [&str; 4], qlo: i64, qhi: i64, smax: i64| -> Expr {
@@ -869,15 +1055,37 @@ fn q19() -> LogicalPlan {
                 Box::new(Expr::lit(dec(&qlo.to_string(), 2))),
                 Box::new(Expr::lit(dec(&qhi.to_string(), 2))),
             ),
-            Expr::Between(Box::new(Expr::col(8)), Box::new(lit_i(1)), Box::new(lit_i(smax))),
+            Expr::Between(
+                Box::new(Expr::col(8)),
+                Box::new(lit_i(1)),
+                Box::new(lit_i(smax)),
+            ),
         ])
     };
     let filtered = select(
         j,
         Expr::or(vec![
-            case("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
-            case("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
-            case("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+            case(
+                "Brand#12",
+                ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1,
+                11,
+                5,
+            ),
+            case(
+                "Brand#23",
+                ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10,
+                20,
+                10,
+            ),
+            case(
+                "Brand#34",
+                ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                20,
+                30,
+                15,
+            ),
         ]),
     );
     aggregate(
@@ -892,7 +1100,10 @@ fn q20() -> LogicalPlan {
     // Half of 1994's shipped quantity per (part, supplier).
     let shipped = aggregate(
         select(
-            scan("lineitem", vec![l::L_PARTKEY, l::L_SUPPKEY, l::L_QUANTITY, l::L_SHIPDATE]),
+            scan(
+                "lineitem",
+                vec![l::L_PARTKEY, l::L_SUPPKEY, l::L_QUANTITY, l::L_SHIPDATE],
+            ),
             Expr::and(vec![
                 Expr::ge(Expr::col(3), date_lit("1994-01-01")),
                 Expr::lt(Expr::col(3), date_lit("1995-01-01")),
@@ -906,20 +1117,29 @@ fn q20() -> LogicalPlan {
         vec![
             (Expr::col(0), "partkey"),
             (Expr::col(1), "suppkey"),
-            (Expr::mul(Expr::col(2), Expr::lit(dec("0.5", 2))), "half_qty"),
+            (
+                Expr::mul(Expr::col(2), Expr::lit(dec("0.5", 2))),
+                "half_qty",
+            ),
         ],
     );
     let forest = select(
         scan("part", vec![p::P_PARTKEY, p::P_NAME]),
         Expr::Like(Box::new(Expr::col(1)), "forest%".into()),
     );
-    let psup = scan("partsupp", vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_AVAILQTY]);
+    let psup = scan(
+        "partsupp",
+        vec![ps::PS_PARTKEY, ps::PS_SUPPKEY, ps::PS_AVAILQTY],
+    );
     let ps_forest = join(psup, forest, vec![0], vec![0], JoinKind::Semi);
     // [ps_pk, ps_sk, avail, h_pk(3), h_sk(4), half(5)]
     let j = join(ps_forest, half, vec![0, 1], vec![0, 1], JoinKind::Inner);
     let excess = select(j, Expr::gt(Expr::col(2), Expr::col(5)));
     let suppliers = project(excess, vec![(Expr::col(1), "suppkey")]);
-    let sup = scan("supplier", vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_NATIONKEY]);
+    let sup = scan(
+        "supplier",
+        vec![s::S_SUPPKEY, s::S_NAME, s::S_ADDRESS, s::S_NATIONKEY],
+    );
     let picked = join(sup, suppliers, vec![0], vec![0], JoinKind::Semi);
     let nat = select(
         scan("nation", vec![n::N_NATIONKEY, n::N_NAME]),
@@ -927,7 +1147,10 @@ fn q20() -> LogicalPlan {
     );
     // [s_sk, s_name, s_addr, s_nk, n_nk(4), n_name(5)]
     let j2 = join(picked, nat, vec![3], vec![0], JoinKind::Inner);
-    let out = project(j2, vec![(Expr::col(1), "s_name"), (Expr::col(2), "s_address")]);
+    let out = project(
+        j2,
+        vec![(Expr::col(1), "s_name"), (Expr::col(2), "s_address")],
+    );
     sort(out, vec![(0, Dir::Asc)], None)
 }
 
@@ -942,17 +1165,33 @@ fn q21() -> LogicalPlan {
         ),
         Expr::gt(Expr::col(1), lit_i(1)),
     ); // [orderkey, nsupp]
-    // Late lines per order: distinct late suppliers.
+       // Late lines per order: distinct late suppliers.
     let late_counts = aggregate(
         select(
-            scan("lineitem", vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+            scan(
+                "lineitem",
+                vec![
+                    l::L_ORDERKEY,
+                    l::L_SUPPKEY,
+                    l::L_COMMITDATE,
+                    l::L_RECEIPTDATE,
+                ],
+            ),
             Expr::gt(Expr::col(3), Expr::col(2)),
         ),
         vec![0],
         vec![AggFn::CountDistinct(1)],
     ); // [orderkey, n_late_supp]
     let l1 = select(
-        scan("lineitem", vec![l::L_ORDERKEY, l::L_SUPPKEY, l::L_COMMITDATE, l::L_RECEIPTDATE]),
+        scan(
+            "lineitem",
+            vec![
+                l::L_ORDERKEY,
+                l::L_SUPPKEY,
+                l::L_COMMITDATE,
+                l::L_RECEIPTDATE,
+            ],
+        ),
         Expr::gt(Expr::col(3), Expr::col(2)),
     );
     let ord = select(
@@ -1006,7 +1245,10 @@ fn q22() -> TpchQuery {
         }
     };
     let first = aggregate(
-        select(cust_in_codes(), Expr::gt(Expr::col(2), Expr::lit(dec("0", 2)))),
+        select(
+            cust_in_codes(),
+            Expr::gt(Expr::col(2), Expr::lit(dec("0", 2))),
+        ),
         vec![],
         vec![AggFn::Avg(2)],
     );
@@ -1027,7 +1269,10 @@ fn q22() -> TpchQuery {
         );
         sort(agg, vec![(0, Dir::Asc)], None)
     };
-    TpchQuery::TwoStep { first, build: Box::new(build) }
+    TpchQuery::TwoStep {
+        first,
+        build: Box::new(build),
+    }
 }
 
 #[cfg(test)]
@@ -1063,9 +1308,13 @@ mod tests {
                     plan.schema(&cat).unwrap_or_else(|e| panic!("Q{qn}: {e}"));
                 }
                 TpchQuery::TwoStep { first, build } => {
-                    first.schema(&cat).unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
+                    first
+                        .schema(&cat)
+                        .unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
                     let plan2 = build(Value::F64(1.0));
-                    plan2.schema(&cat).unwrap_or_else(|e| panic!("Q{qn} step2: {e}"));
+                    plan2
+                        .schema(&cat)
+                        .unwrap_or_else(|e| panic!("Q{qn} step2: {e}"));
                 }
             }
         }
@@ -1084,7 +1333,8 @@ mod tests {
                     rw.rewrite(&plan).unwrap_or_else(|e| panic!("Q{qn}: {e}"));
                 }
                 TpchQuery::TwoStep { first, build } => {
-                    rw.rewrite(&first).unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
+                    rw.rewrite(&first)
+                        .unwrap_or_else(|e| panic!("Q{qn} step1: {e}"));
                     rw.rewrite(&build(Value::F64(1.0)))
                         .unwrap_or_else(|e| panic!("Q{qn} step2: {e}"));
                 }

@@ -82,11 +82,18 @@ pub fn refresh_set(data: &TpchData, pairs: usize, seed: u64) -> RefreshSet {
     }
 
     // RF2: delete a random sample of *existing* orderkeys.
-    let mut keys: Vec<i64> =
-        data.orders.iter().map(|r| r[o::O_ORDERKEY].as_i64().unwrap()).collect();
+    let mut keys: Vec<i64> = data
+        .orders
+        .iter()
+        .map(|r| r[o::O_ORDERKEY].as_i64().unwrap())
+        .collect();
     rng.shuffle(&mut keys);
     keys.truncate(pairs);
-    RefreshSet { orders, lineitems, delete_keys: keys }
+    RefreshSet {
+        orders,
+        lineitems,
+        delete_keys: keys,
+    }
 }
 
 /// RF1: trickle-insert the new orders and lineitems.

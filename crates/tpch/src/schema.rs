@@ -18,108 +18,111 @@ const DEC: DataType = DataType::Decimal { scale: 2 };
 
 /// All table names in load order.
 pub fn table_names() -> Vec<&'static str> {
-    vec!["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+    vec![
+        "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+    ]
 }
 
 /// The eight table definitions with the paper's DDL, using `parts`
 /// partitions for the big tables.
 pub fn table_defs(parts: usize) -> Result<Vec<vectorh::TableDef>> {
-    let mut defs = Vec::new();
-    defs.push(builder_build(
-        TableBuilder::new("region")
-            .column("r_regionkey", DataType::I64)
-            .column("r_name", DataType::Str)
-            .column("r_comment", DataType::Str)
-            .clustered_by(&["r_regionkey"]),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("nation")
-            .column("n_nationkey", DataType::I64)
-            .column("n_name", DataType::Str)
-            .column("n_regionkey", DataType::I64)
-            .column("n_comment", DataType::Str)
-            .clustered_by(&["n_regionkey"]),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("supplier")
-            .column("s_suppkey", DataType::I64)
-            .column("s_name", DataType::Str)
-            .column("s_address", DataType::Str)
-            .column("s_nationkey", DataType::I64)
-            .column("s_phone", DataType::Str)
-            .column("s_acctbal", DEC)
-            .column("s_comment", DataType::Str),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("customer")
-            .column("c_custkey", DataType::I64)
-            .column("c_name", DataType::Str)
-            .column("c_address", DataType::Str)
-            .column("c_nationkey", DataType::I64)
-            .column("c_phone", DataType::Str)
-            .column("c_acctbal", DEC)
-            .column("c_mktsegment", DataType::Str)
-            .column("c_comment", DataType::Str)
-            .partition_by(&["c_custkey"], parts),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("part")
-            .column("p_partkey", DataType::I64)
-            .column("p_name", DataType::Str)
-            .column("p_mfgr", DataType::Str)
-            .column("p_brand", DataType::Str)
-            .column("p_type", DataType::Str)
-            .column("p_size", DataType::I64)
-            .column("p_container", DataType::Str)
-            .column("p_retailprice", DEC)
-            .column("p_comment", DataType::Str)
-            .partition_by(&["p_partkey"], parts)
-            .clustered_by(&["p_partkey"]),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("partsupp")
-            .column("ps_partkey", DataType::I64)
-            .column("ps_suppkey", DataType::I64)
-            .column("ps_availqty", DataType::I64)
-            .column("ps_supplycost", DEC)
-            .column("ps_comment", DataType::Str)
-            .partition_by(&["ps_partkey"], parts)
-            .clustered_by(&["ps_partkey"]),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("orders")
-            .column("o_orderkey", DataType::I64)
-            .column("o_custkey", DataType::I64)
-            .column("o_orderstatus", DataType::Str)
-            .column("o_totalprice", DEC)
-            .column("o_orderdate", DataType::Date)
-            .column("o_orderpriority", DataType::Str)
-            .column("o_shippriority", DataType::I64)
-            .column("o_comment", DataType::Str)
-            .partition_by(&["o_orderkey"], parts)
-            .clustered_by(&["o_orderdate"]),
-    )?);
-    defs.push(builder_build(
-        TableBuilder::new("lineitem")
-            .column("l_orderkey", DataType::I64)
-            .column("l_partkey", DataType::I64)
-            .column("l_suppkey", DataType::I64)
-            .column("l_linenumber", DataType::I64)
-            .column("l_quantity", DEC)
-            .column("l_extendedprice", DEC)
-            .column("l_discount", DEC)
-            .column("l_tax", DEC)
-            .column("l_returnflag", DataType::Str)
-            .column("l_linestatus", DataType::Str)
-            .column("l_shipdate", DataType::Date)
-            .column("l_commitdate", DataType::Date)
-            .column("l_receiptdate", DataType::Date)
-            .column("l_shipinstruct", DataType::Str)
-            .column("l_shipmode", DataType::Str)
-            .column("l_comment", DataType::Str)
-            .partition_by(&["l_orderkey"], parts)
-            .clustered_by(&["l_orderkey"]),
-    )?);
+    let defs = vec![
+        builder_build(
+            TableBuilder::new("region")
+                .column("r_regionkey", DataType::I64)
+                .column("r_name", DataType::Str)
+                .column("r_comment", DataType::Str)
+                .clustered_by(&["r_regionkey"]),
+        )?,
+        builder_build(
+            TableBuilder::new("nation")
+                .column("n_nationkey", DataType::I64)
+                .column("n_name", DataType::Str)
+                .column("n_regionkey", DataType::I64)
+                .column("n_comment", DataType::Str)
+                .clustered_by(&["n_regionkey"]),
+        )?,
+        builder_build(
+            TableBuilder::new("supplier")
+                .column("s_suppkey", DataType::I64)
+                .column("s_name", DataType::Str)
+                .column("s_address", DataType::Str)
+                .column("s_nationkey", DataType::I64)
+                .column("s_phone", DataType::Str)
+                .column("s_acctbal", DEC)
+                .column("s_comment", DataType::Str),
+        )?,
+        builder_build(
+            TableBuilder::new("customer")
+                .column("c_custkey", DataType::I64)
+                .column("c_name", DataType::Str)
+                .column("c_address", DataType::Str)
+                .column("c_nationkey", DataType::I64)
+                .column("c_phone", DataType::Str)
+                .column("c_acctbal", DEC)
+                .column("c_mktsegment", DataType::Str)
+                .column("c_comment", DataType::Str)
+                .partition_by(&["c_custkey"], parts),
+        )?,
+        builder_build(
+            TableBuilder::new("part")
+                .column("p_partkey", DataType::I64)
+                .column("p_name", DataType::Str)
+                .column("p_mfgr", DataType::Str)
+                .column("p_brand", DataType::Str)
+                .column("p_type", DataType::Str)
+                .column("p_size", DataType::I64)
+                .column("p_container", DataType::Str)
+                .column("p_retailprice", DEC)
+                .column("p_comment", DataType::Str)
+                .partition_by(&["p_partkey"], parts)
+                .clustered_by(&["p_partkey"]),
+        )?,
+        builder_build(
+            TableBuilder::new("partsupp")
+                .column("ps_partkey", DataType::I64)
+                .column("ps_suppkey", DataType::I64)
+                .column("ps_availqty", DataType::I64)
+                .column("ps_supplycost", DEC)
+                .column("ps_comment", DataType::Str)
+                .partition_by(&["ps_partkey"], parts)
+                .clustered_by(&["ps_partkey"]),
+        )?,
+        builder_build(
+            TableBuilder::new("orders")
+                .column("o_orderkey", DataType::I64)
+                .column("o_custkey", DataType::I64)
+                .column("o_orderstatus", DataType::Str)
+                .column("o_totalprice", DEC)
+                .column("o_orderdate", DataType::Date)
+                .column("o_orderpriority", DataType::Str)
+                .column("o_shippriority", DataType::I64)
+                .column("o_comment", DataType::Str)
+                .partition_by(&["o_orderkey"], parts)
+                .clustered_by(&["o_orderdate"]),
+        )?,
+        builder_build(
+            TableBuilder::new("lineitem")
+                .column("l_orderkey", DataType::I64)
+                .column("l_partkey", DataType::I64)
+                .column("l_suppkey", DataType::I64)
+                .column("l_linenumber", DataType::I64)
+                .column("l_quantity", DEC)
+                .column("l_extendedprice", DEC)
+                .column("l_discount", DEC)
+                .column("l_tax", DEC)
+                .column("l_returnflag", DataType::Str)
+                .column("l_linestatus", DataType::Str)
+                .column("l_shipdate", DataType::Date)
+                .column("l_commitdate", DataType::Date)
+                .column("l_receiptdate", DataType::Date)
+                .column("l_shipinstruct", DataType::Str)
+                .column("l_shipmode", DataType::Str)
+                .column("l_comment", DataType::Str)
+                .partition_by(&["l_orderkey"], parts)
+                .clustered_by(&["l_orderkey"]),
+        )?,
+    ];
     Ok(defs)
 }
 
@@ -187,7 +190,10 @@ mod tests {
         let data = setup(&vh, 0.001, 4, 42).unwrap();
         assert_eq!(vh.table_rows("region").unwrap(), 5);
         assert_eq!(vh.table_rows("nation").unwrap(), 25);
-        assert_eq!(vh.table_rows("lineitem").unwrap(), data.lineitem.len() as u64);
+        assert_eq!(
+            vh.table_rows("lineitem").unwrap(),
+            data.lineitem.len() as u64
+        );
         assert_eq!(vh.table_rows("orders").unwrap(), data.orders.len() as u64);
         // Co-partitioned: lineitem and orders have the same partition count.
         assert_eq!(

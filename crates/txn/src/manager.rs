@@ -21,7 +21,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use vectorh_common::sync::RwLock;
 use vectorh_common::{PartitionId, Result, Value, VhError};
 use vectorh_pdt::tree::Pdt;
 use vectorh_pdt::{Layers, MergeStep, TupleKey};
@@ -71,9 +71,20 @@ impl PartitionTxnState {
 /// One logged update, keyed positionally by tuple identity.
 #[derive(Debug, Clone)]
 enum Op {
-    Ins { anchor: Option<TupleKey>, at_end: bool, values: Vec<Value>, tag: u64 },
-    Del { key: TupleKey },
-    Mod { key: TupleKey, col: usize, value: Value },
+    Ins {
+        anchor: Option<TupleKey>,
+        at_end: bool,
+        values: Vec<Value>,
+        tag: u64,
+    },
+    Del {
+        key: TupleKey,
+    },
+    Mod {
+        key: TupleKey,
+        col: usize,
+        value: Value,
+    },
 }
 
 /// An open transaction.
@@ -127,8 +138,11 @@ impl Transaction {
                 &empty
             }
         };
-        Layers::new(snap.stable_len, vec![snap.read.as_ref(), snap.write.as_ref(), trans])
-            .locate(rid)
+        Layers::new(
+            snap.stable_len,
+            vec![snap.read.as_ref(), snap.write.as_ref(), trans],
+        )
+        .locate(rid)
     }
 }
 
@@ -168,7 +182,11 @@ impl TransactionManager {
     pub fn register_partition(&self, pid: PartitionId, stable_len: u64) {
         self.inner.write().partitions.insert(
             pid,
-            PartitionTxnState { stable_len, read: Arc::new(Pdt::new()), write: Arc::new(Pdt::new()) },
+            PartitionTxnState {
+                stable_len,
+                read: Arc::new(Pdt::new()),
+                write: Arc::new(Pdt::new()),
+            },
         );
     }
 
@@ -238,7 +256,9 @@ impl TransactionManager {
     ) -> Result<()> {
         let image = txn.image_len(pid)?;
         if rid > image {
-            return Err(VhError::TxnAbort(format!("insert rid {rid} > image {image}")));
+            return Err(VhError::TxnAbort(format!(
+                "insert rid {rid} > image {image}"
+            )));
         }
         let at_end = rid == image;
         // Anchor on the row currently before the insert point.
@@ -256,7 +276,15 @@ impl TransactionManager {
             .entry(pid)
             .or_default()
             .insert_at(rid, values.clone(), tag, snap_len)?;
-        txn.ops.push((pid, Op::Ins { anchor, at_end, values, tag }));
+        txn.ops.push((
+            pid,
+            Op::Ins {
+                anchor,
+                at_end,
+                values,
+                tag,
+            },
+        ));
         Ok(())
     }
 
@@ -409,7 +437,12 @@ impl TransactionManager {
                 recs.push(LogRecord::TxnBegin { txn: txn.id });
             }
             match op {
-                Op::Ins { anchor, at_end, values, tag } => {
+                Op::Ins {
+                    anchor,
+                    at_end,
+                    values,
+                    tag,
+                } => {
                     let rid = if *at_end {
                         write.image_len(write_base)
                     } else {
@@ -424,7 +457,12 @@ impl TransactionManager {
                         }
                     };
                     write.insert_at(rid, values.clone(), *tag, write_base)?;
-                    recs.push(LogRecord::Insert { txn: txn.id, rid, tag: *tag, values: values.clone() });
+                    recs.push(LogRecord::Insert {
+                        txn: txn.id,
+                        rid,
+                        tag: *tag,
+                        values: values.clone(),
+                    });
                 }
                 Op::Del { key } => {
                     let rid = rid_of_key(write, *key)
@@ -464,13 +502,16 @@ impl TransactionManager {
         touched.extend(txn.own_tags.iter().map(|t| {
             // Fresh inserts are conflict-relevant for later txns that
             // modify them; register under their tag.
-            (txn.ops
-                .iter()
-                .find_map(|(p, op)| match op {
-                    Op::Ins { tag, .. } if tag == t => Some(*p),
-                    _ => None,
-                })
-                .unwrap_or(PartitionId(0)), TupleKey::Tagged(*t))
+            (
+                txn.ops
+                    .iter()
+                    .find_map(|(p, op)| match op {
+                        Op::Ins { tag, .. } if tag == t => Some(*p),
+                        _ => None,
+                    })
+                    .unwrap_or(PartitionId(0)),
+                TupleKey::Tagged(*t),
+            )
         }));
         inner.commit_log.push((seq, touched));
         for pid in txn.snapshots.keys() {
@@ -484,11 +525,14 @@ impl TransactionManager {
     /// Should this partition be propagated? (size/fraction policy of §6)
     pub fn needs_propagation(&self, pid: PartitionId) -> bool {
         let inner = self.inner.read();
-        let Some(st) = inner.partitions.get(&pid) else { return false };
+        let Some(st) = inner.partitions.get(&pid) else {
+            return false;
+        };
         let mem = st.read.mem_bytes() + st.write.mem_bytes();
         let entries = (st.read.n_entries() + st.write.n_entries()) as f64;
         mem > self.config.propagate_mem_bytes
-            || (st.stable_len > 0 && entries / st.stable_len as f64 > self.config.propagate_fraction)
+            || (st.stable_len > 0
+                && entries / st.stable_len as f64 > self.config.propagate_fraction)
     }
 
     /// Roll the master Write-PDT into the Read-PDT ("changes from Write-PDT
@@ -570,13 +614,17 @@ impl TransactionManager {
         let base = st.read.image_len(st.stable_len);
         for r in records {
             match r {
-                LogRecord::Insert { rid, tag, values, .. } => {
+                LogRecord::Insert {
+                    rid, tag, values, ..
+                } => {
                     write.insert_at(*rid, values.clone(), *tag, base)?;
                 }
                 LogRecord::Delete { rid, .. } => {
                     write.delete_at(*rid, base)?;
                 }
-                LogRecord::Modify { rid, col, value, .. } => {
+                LogRecord::Modify {
+                    rid, col, value, ..
+                } => {
                     write.modify_at(*rid, *col as usize, value.clone(), base)?;
                 }
                 _ => {}
@@ -716,7 +764,9 @@ mod tests {
         let rows = materialize(&m, P, 1);
         assert_eq!(rows[0][0], Value::I64(99));
         // No Modify record: the patch folded into the insert.
-        assert!(wal_records.iter().all(|r| !matches!(r, LogRecord::Modify { .. })));
+        assert!(wal_records
+            .iter()
+            .all(|r| !matches!(r, LogRecord::Modify { .. })));
     }
 
     #[test]
@@ -779,7 +829,10 @@ mod tests {
         assert_eq!(new_rows.len(), 5);
         m.finish_propagation(P, 5).unwrap();
         assert_eq!(m.visible_rows(P).unwrap(), 5);
-        assert!(m.scan_plan(P).unwrap().len() == 1, "clean plan after propagation");
+        assert!(
+            m.scan_plan(P).unwrap().len() == 1,
+            "clean plan after propagation"
+        );
     }
 
     #[test]

@@ -79,20 +79,28 @@ fn apply_plan_columnar(
 ) -> Result<Vec<ColumnData>> {
     let schema = store.schema();
     // Materialize current stable data column by column.
-    let mut stable: Vec<ColumnData> =
-        schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+    let mut stable: Vec<ColumnData> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnData::new(f.dtype))
+        .collect();
     for chunk in 0..store.n_chunks() {
         for (c, col) in stable.iter_mut().enumerate() {
             col.append(&store.read_column(chunk, c, reader)?)?;
         }
     }
-    let mut out: Vec<ColumnData> =
-        schema.fields().iter().map(|f| ColumnData::new(f.dtype)).collect();
+    let mut out: Vec<ColumnData> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnData::new(f.dtype))
+        .collect();
     for step in plan {
         match step {
             MergeStep::CopyStable { from_sid, count } => {
                 for (c, col) in out.iter_mut().enumerate() {
-                    col.append(&stable[c].slice(*from_sid as usize, (*from_sid + *count) as usize))?;
+                    col.append(
+                        &stable[c].slice(*from_sid as usize, (*from_sid + *count) as usize),
+                    )?;
                 }
             }
             MergeStep::SkipStable { .. } => {}
@@ -146,7 +154,10 @@ pub fn propagate_partition(
     let rows_before = stable;
     let emitted: u64 = plan.iter().map(|s| s.emits()).sum();
     let (body, tail) = split_tail_inserts(&plan);
-    let mode = if plan.iter().all(|s| matches!(s, MergeStep::CopyStable { .. })) {
+    let mode = if plan
+        .iter()
+        .all(|s| matches!(s, MergeStep::CopyStable { .. }))
+    {
         PropagationMode::Noop
     } else if body_is_identity(body, stable) {
         PropagationMode::TailAppend
@@ -156,7 +167,11 @@ pub fn propagate_partition(
 
     match mode {
         PropagationMode::Noop => {
-            return Ok(PropagationReport { mode, rows_before, rows_after: rows_before })
+            return Ok(PropagationReport {
+                mode,
+                rows_before,
+                rows_after: rows_before,
+            })
         }
         PropagationMode::TailAppend => {
             let rows: Vec<&Vec<Value>> = tail
@@ -175,10 +190,16 @@ pub fn propagate_partition(
             store.append_rows(&new_data)?;
         }
     }
-    wal.append(&[LogRecord::Checkpoint { stable_rows: emitted }])?;
+    wal.append(&[LogRecord::Checkpoint {
+        stable_rows: emitted,
+    }])?;
     log_minmax(store, wal)?;
     mgr.finish_propagation(pid, emitted)?;
-    Ok(PropagationReport { mode, rows_before, rows_after: emitted })
+    Ok(PropagationReport {
+        mode,
+        rows_before,
+        rows_after: emitted,
+    })
 }
 
 #[cfg(test)]
@@ -195,7 +216,10 @@ mod tests {
     fn setup(stable: i64) -> (TransactionManager, PartitionStore, Wal) {
         let fs = SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 1024, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 1024,
+                default_replication: 2,
+            },
             Arc::new(DefaultPolicy::new(9)),
         );
         let schema = Schema::of(&[("k", DataType::I64), ("s", DataType::Str)]);
@@ -262,7 +286,8 @@ mod tests {
         let (mgr, mut store, wal) = setup(100);
         let mut t = mgr.begin(&[P]).unwrap();
         mgr.delete_at(&mut t, P, 0).unwrap();
-        mgr.modify_at(&mut t, P, 50, 1, Value::Str("patched".into())).unwrap();
+        mgr.modify_at(&mut t, P, 50, 1, Value::Str("patched".into()))
+            .unwrap();
         mgr.insert_at(&mut t, P, 10, row(-7)).unwrap();
         mgr.commit(t, |_, _| Ok(())).unwrap();
         let r = propagate_partition(&mgr, P, &mut store, &wal).unwrap();
@@ -276,7 +301,14 @@ mod tests {
         // Modified string present.
         let mut all_strings = Vec::new();
         for c in 0..store.n_chunks() {
-            all_strings.extend(store.read_column(c, 1, None).unwrap().as_str().unwrap().to_vec());
+            all_strings.extend(
+                store
+                    .read_column(c, 1, None)
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_vec(),
+            );
         }
         assert!(all_strings.contains(&"patched".to_string()));
         // MinMax rebuilt to include the new extreme (-7).
@@ -291,8 +323,12 @@ mod tests {
         mgr.commit(t, |_, _| Ok(())).unwrap();
         propagate_partition(&mgr, P, &mut store, &wal).unwrap();
         let records = wal.read_all().unwrap();
-        assert!(records.iter().any(|r| matches!(r, LogRecord::Checkpoint { stable_rows: 19 })));
-        assert!(records.iter().any(|r| matches!(r, LogRecord::MinMax { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, LogRecord::Checkpoint { stable_rows: 19 })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, LogRecord::MinMax { .. })));
         let (stable, tail) = wal.read_since_checkpoint().unwrap();
         assert_eq!(stable, 19);
         assert!(tail.iter().all(|r| matches!(r, LogRecord::MinMax { .. })));
@@ -326,7 +362,14 @@ mod tests {
         let keys = {
             let mut v = Vec::new();
             for c in 0..store.n_chunks() {
-                v.extend(store.read_column(c, 0, None).unwrap().as_i64().unwrap().to_vec());
+                v.extend(
+                    store
+                        .read_column(c, 0, None)
+                        .unwrap()
+                        .as_i64()
+                        .unwrap()
+                        .to_vec(),
+                );
             }
             v
         };

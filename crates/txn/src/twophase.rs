@@ -65,13 +65,17 @@ impl TwoPhaseCoordinator {
             return Ok(Outcome::InDoubt);
         }
         // Commit point: the decision in the global WAL.
-        self.global_wal.append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
+        self.global_wal
+            .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
         if crash == CrashPoint::AfterGlobalCommit {
             return Ok(Outcome::InDoubt);
         }
         // Phase 2: participants acknowledge locally.
         for (_, wal, _) in participants {
-            wal.append(&[LogRecord::Commit { txn: txn_id, seq: 0 }])?;
+            wal.append(&[LogRecord::Commit {
+                txn: txn_id,
+                seq: 0,
+            }])?;
         }
         Ok(Outcome::Committed)
     }
@@ -157,11 +161,13 @@ impl LogShipper {
     }
 
     pub fn shipped_bytes(&self) -> u64 {
-        self.shipped_bytes.load(std::sync::atomic::Ordering::Relaxed)
+        self.shipped_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     pub fn shipped_batches(&self) -> u64 {
-        self.shipped_batches.load(std::sync::atomic::Ordering::Relaxed)
+        self.shipped_batches
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -175,7 +181,10 @@ mod tests {
     fn fs() -> SimHdfs {
         SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 256, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 256,
+                default_replication: 2,
+            },
             Arc::new(DefaultPolicy::new(3)),
         )
     }
@@ -191,7 +200,12 @@ mod tests {
     fn recs(txn: u64) -> Vec<LogRecord> {
         vec![
             LogRecord::TxnBegin { txn },
-            LogRecord::Insert { txn, rid: 0, tag: 1, values: vec![Value::I64(1)] },
+            LogRecord::Insert {
+                txn,
+                rid: 0,
+                tag: 1,
+                values: vec![Value::I64(1)],
+            },
         ]
     }
 

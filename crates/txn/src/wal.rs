@@ -14,25 +14,61 @@ use vectorh_simhdfs::SimHdfs;
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
     /// A transaction's update batch for this partition begins.
-    TxnBegin { txn: u64 },
-    Insert { txn: u64, rid: u64, tag: u64, values: Vec<Value> },
-    Delete { txn: u64, rid: u64 },
-    Modify { txn: u64, rid: u64, col: u32, value: Value },
+    TxnBegin {
+        txn: u64,
+    },
+    Insert {
+        txn: u64,
+        rid: u64,
+        tag: u64,
+        values: Vec<Value>,
+    },
+    Delete {
+        txn: u64,
+        rid: u64,
+    },
+    Modify {
+        txn: u64,
+        rid: u64,
+        col: u32,
+        value: Value,
+    },
     /// Direct bulk append of `rows` rows (bypassing PDTs).
-    Append { txn: u64, rows: u64 },
+    Append {
+        txn: u64,
+        rows: u64,
+    },
     /// Local commit mark (participant side of 2PC).
-    Commit { txn: u64, seq: u64 },
-    Abort { txn: u64 },
+    Commit {
+        txn: u64,
+        seq: u64,
+    },
+    Abort {
+        txn: u64,
+    },
     /// 2PC participant prepared.
-    Prepare { txn: u64 },
+    Prepare {
+        txn: u64,
+    },
     /// 2PC coordinator decision (global WAL only).
-    GlobalCommit { txn: u64 },
+    GlobalCommit {
+        txn: u64,
+    },
     /// PDTs flushed into storage; entries before this are obsolete.
-    Checkpoint { stable_rows: u64 },
+    Checkpoint {
+        stable_rows: u64,
+    },
     /// MinMax summary for (chunk, column) — stored in the WAL, not the data.
-    MinMax { chunk: u32, col: u32, min: Value, max: Value },
+    MinMax {
+        chunk: u32,
+        col: u32,
+        min: Value,
+        max: Value,
+    },
     /// Opaque DDL statement (global WAL).
-    Ddl { statement: String },
+    Ddl {
+        statement: String,
+    },
 }
 
 // --- manual binary (de)serialization ----------------------------------------
@@ -130,7 +166,12 @@ impl LogRecord {
                 out.push(0);
                 put_u64(*txn, out);
             }
-            LogRecord::Insert { txn, rid, tag, values } => {
+            LogRecord::Insert {
+                txn,
+                rid,
+                tag,
+                values,
+            } => {
                 out.push(1);
                 put_u64(*txn, out);
                 put_u64(*rid, out);
@@ -145,7 +186,12 @@ impl LogRecord {
                 put_u64(*txn, out);
                 put_u64(*rid, out);
             }
-            LogRecord::Modify { txn, rid, col, value } => {
+            LogRecord::Modify {
+                txn,
+                rid,
+                col,
+                value,
+            } => {
                 out.push(3);
                 put_u64(*txn, out);
                 put_u64(*rid, out);
@@ -178,7 +224,12 @@ impl LogRecord {
                 out.push(9);
                 put_u64(*stable_rows, out);
             }
-            LogRecord::MinMax { chunk, col, min, max } => {
+            LogRecord::MinMax {
+                chunk,
+                col,
+                min,
+                max,
+            } => {
                 out.push(10);
                 put_u32(*chunk, out);
                 put_u32(*col, out);
@@ -205,21 +256,37 @@ impl LogRecord {
                 for _ in 0..n {
                     values.push(rd.value()?);
                 }
-                LogRecord::Insert { txn, rid, tag, values }
+                LogRecord::Insert {
+                    txn,
+                    rid,
+                    tag,
+                    values,
+                }
             }
-            2 => LogRecord::Delete { txn: rd.u64()?, rid: rd.u64()? },
+            2 => LogRecord::Delete {
+                txn: rd.u64()?,
+                rid: rd.u64()?,
+            },
             3 => LogRecord::Modify {
                 txn: rd.u64()?,
                 rid: rd.u64()?,
                 col: rd.u32()?,
                 value: rd.value()?,
             },
-            4 => LogRecord::Append { txn: rd.u64()?, rows: rd.u64()? },
-            5 => LogRecord::Commit { txn: rd.u64()?, seq: rd.u64()? },
+            4 => LogRecord::Append {
+                txn: rd.u64()?,
+                rows: rd.u64()?,
+            },
+            5 => LogRecord::Commit {
+                txn: rd.u64()?,
+                seq: rd.u64()?,
+            },
             6 => LogRecord::Abort { txn: rd.u64()? },
             7 => LogRecord::Prepare { txn: rd.u64()? },
             8 => LogRecord::GlobalCommit { txn: rd.u64()? },
-            9 => LogRecord::Checkpoint { stable_rows: rd.u64()? },
+            9 => LogRecord::Checkpoint {
+                stable_rows: rd.u64()?,
+            },
             10 => LogRecord::MinMax {
                 chunk: rd.u32()?,
                 col: rd.u32()?,
@@ -255,7 +322,11 @@ pub struct Wal {
 
 impl Wal {
     pub fn new(fs: SimHdfs, path: impl Into<String>, home: Option<NodeId>) -> Wal {
-        Wal { fs, path: path.into(), home }
+        Wal {
+            fs,
+            path: path.into(),
+            home,
+        }
     }
 
     pub fn path(&self) -> &str {
@@ -338,7 +409,10 @@ mod tests {
     fn wal() -> Wal {
         let fs = SimHdfs::new(
             3,
-            SimHdfsConfig { block_size: 128, default_replication: 2 },
+            SimHdfsConfig {
+                block_size: 128,
+                default_replication: 2,
+            },
             Arc::new(DefaultPolicy::new(5)),
         );
         Wal::new(fs, "/vectorh/wal/t0-p0.wal", Some(NodeId(1)))
@@ -361,14 +435,26 @@ mod tests {
                 ],
             },
             LogRecord::Delete { txn: 7, rid: 9 },
-            LogRecord::Modify { txn: 7, rid: 2, col: 1, value: Value::Str("x".into()) },
+            LogRecord::Modify {
+                txn: 7,
+                rid: 2,
+                col: 1,
+                value: Value::Str("x".into()),
+            },
             LogRecord::Append { txn: 7, rows: 500 },
             LogRecord::Prepare { txn: 7 },
             LogRecord::Commit { txn: 7, seq: 42 },
             LogRecord::GlobalCommit { txn: 7 },
             LogRecord::Abort { txn: 8 },
-            LogRecord::MinMax { chunk: 1, col: 2, min: Value::I64(-5), max: Value::I64(99) },
-            LogRecord::Ddl { statement: "CREATE TABLE t (x int)".into() },
+            LogRecord::MinMax {
+                chunk: 1,
+                col: 2,
+                min: Value::I64(-5),
+                max: Value::I64(99),
+            },
+            LogRecord::Ddl {
+                statement: "CREATE TABLE t (x int)".into(),
+            },
             LogRecord::Checkpoint { stable_rows: 1234 },
         ]
     }
@@ -425,10 +511,9 @@ mod tests {
     fn wal_io_is_local_to_home_node() {
         let w = wal();
         w.append(&sample_records()).unwrap();
-        let fs_stats_before = {
+        {
             // fresh reader from home node: all reads short-circuit
             w.read_all().unwrap();
         };
-        let _ = fs_stats_before;
     }
 }

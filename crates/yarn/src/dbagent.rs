@@ -56,7 +56,14 @@ impl DbAgent {
         min_slices: u32,
     ) -> Result<DbAgent> {
         let app = rm.register_app(priority);
-        let mut agent = DbAgent { app, workers, slice, target_slices, min_slices, held: Vec::new() };
+        let mut agent = DbAgent {
+            app,
+            workers,
+            slice,
+            target_slices,
+            min_slices,
+            held: Vec::new(),
+        };
         agent.renegotiate(rm)?;
         for &w in &agent.workers {
             let have = agent.slices_on(w);
@@ -87,7 +94,13 @@ impl DbAgent {
             .iter()
             .map(|&w| {
                 let n = self.slices_on(w);
-                (w, ResourceFootprint { cores: self.slice.cores * n, mem: self.slice.mem * n as u64 })
+                (
+                    w,
+                    ResourceFootprint {
+                        cores: self.slice.cores * n,
+                        mem: self.slice.mem * n as u64,
+                    },
+                )
             })
             .collect()
     }
@@ -117,7 +130,10 @@ impl DbAgent {
             while self.slices_on(w) < self.target_slices {
                 match rm.request_container(self.app, w, self.slice.cores, self.slice.mem) {
                     Ok(grant) => {
-                        self.held.push(Slice { container: grant.id, node: w });
+                        self.held.push(Slice {
+                            container: grant.id,
+                            node: w,
+                        });
                         gained += 1;
                     }
                     Err(_) => break, // node full; try again later
@@ -144,7 +160,9 @@ impl DbAgent {
 
     /// Is the agent still above its minimum on every worker?
     pub fn healthy(&self) -> bool {
-        self.workers.iter().all(|&w| self.slices_on(w) >= self.min_slices)
+        self.workers
+            .iter()
+            .all(|&w| self.slices_on(w) >= self.min_slices)
     }
 }
 
@@ -156,7 +174,10 @@ mod tests {
     fn rm() -> ResourceManager {
         ResourceManager::new(
             vec![NodeId(0), NodeId(1)],
-            RmConfig { cores_per_node: 8, mem_per_node: 80 },
+            RmConfig {
+                cores_per_node: 8,
+                mem_per_node: 80,
+            },
         )
     }
 

@@ -24,7 +24,10 @@ pub struct MinCostFlow {
 
 impl MinCostFlow {
     pub fn new(n_nodes: usize) -> MinCostFlow {
-        MinCostFlow { edges: Vec::new(), adj: vec![Vec::new(); n_nodes] }
+        MinCostFlow {
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n_nodes],
+        }
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -34,9 +37,19 @@ impl MinCostFlow {
     /// Add a directed edge; returns its id (use with [`MinCostFlow::flow_on`]).
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
         let id = self.edges.len();
-        self.edges.push(Edge { to, cap, cost, flow: 0 });
+        self.edges.push(Edge {
+            to,
+            cap,
+            cost,
+            flow: 0,
+        });
         self.adj[from].push(id);
-        self.edges.push(Edge { to: from, cap: 0, cost: -cost, flow: 0 });
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            flow: 0,
+        });
         self.adj[to].push(id + 1);
         id
     }
@@ -134,7 +147,7 @@ mod tests {
         assert_eq!(flow, 4);
         assert_eq!(g.flow_on(cheap), 2);
         assert_eq!(g.flow_on(dear), 2);
-        assert_eq!(cost, 2 * 1 + 2 * 10);
+        assert_eq!(cost, 2 + 2 * 10);
     }
 
     #[test]
@@ -169,10 +182,10 @@ mod tests {
             let mut g = MinCostFlow::new(2 + n_left + n_right);
             let s = 0;
             let t = 1 + n_left + n_right;
-            for l in 0..n_left {
+            for (l, row) in costs.iter().enumerate().take(n_left) {
                 g.add_edge(s, 1 + l, 1, 0);
-                for r in 0..n_right {
-                    g.add_edge(1 + l, 1 + n_left + r, 1, costs[l][r]);
+                for (r, &cost) in row.iter().enumerate().take(n_right) {
+                    g.add_edge(1 + l, 1 + n_left + r, 1, cost);
                 }
             }
             for r in 0..n_right {

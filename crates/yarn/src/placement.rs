@@ -72,10 +72,10 @@ fn solve(
     }
     // Remember edge ids for readback.
     let mut pw_edges = vec![vec![usize::MAX; w]; p];
-    for pi in 0..p {
-        for wi in 0..w {
+    for (pi, row) in pw_edges.iter_mut().enumerate() {
+        for (wi, edge) in row.iter_mut().enumerate() {
             let cost = if input.local[pi][wi] { 0 } else { 1 };
-            pw_edges[pi][wi] = g.add_edge(1 + pi, 1 + p + wi, 1, cost);
+            *edge = g.add_edge(1 + pi, 1 + p + wi, 1, cost);
         }
     }
     for wi in 0..w {
@@ -83,10 +83,10 @@ fn solve(
     }
     g.solve(s, t)?;
     let mut out: HashMap<PartitionId, Vec<NodeId>> = HashMap::new();
-    for pi in 0..p {
+    for (pi, row) in pw_edges.iter().enumerate() {
         let mut nodes = Vec::new();
-        for wi in 0..w {
-            if g.flow_on(pw_edges[pi][wi]) > 0 {
+        for (wi, &edge) in row.iter().enumerate() {
+            if g.flow_on(edge) > 0 {
                 nodes.push(input.workers[wi]);
             }
         }
@@ -110,9 +110,7 @@ pub fn affinity_mapping(
 }
 
 /// Responsibility assignment: each partition → exactly one worker.
-pub fn responsibility_assignment(
-    input: &PlacementInput,
-) -> Result<HashMap<PartitionId, NodeId>> {
+pub fn responsibility_assignment(input: &PlacementInput) -> Result<HashMap<PartitionId, NodeId>> {
     input.check()?;
     let p = input.partitions.len() as i64;
     let n = input.workers.len() as i64;
@@ -264,7 +262,11 @@ mod tests {
                     .collect()
             })
             .collect();
-        let input = PlacementInput { partitions: parts(12), workers: survivors, local: local.clone() };
+        let input = PlacementInput {
+            partitions: parts(12),
+            workers: survivors,
+            local: local.clone(),
+        };
         let m = affinity_mapping(&input, 3).unwrap();
         // Every partition now has 3 replicas across 3 nodes.
         for v in m.values() {
@@ -292,7 +294,11 @@ mod tests {
             local: vec![vec![true, false]],
         };
         assert!(affinity_mapping(&input, 1).is_err());
-        let empty = PlacementInput { partitions: parts(1), workers: vec![], local: vec![vec![]] };
+        let empty = PlacementInput {
+            partitions: parts(1),
+            workers: vec![],
+            local: vec![vec![]],
+        };
         assert!(affinity_mapping(&empty, 1).is_err());
     }
 
@@ -303,9 +309,14 @@ mod tests {
             let p = 1 + rng.next_bounded(12) as usize;
             let w = 1 + rng.next_bounded(5) as usize;
             let r = 1 + rng.next_bounded(3) as usize;
-            let local: Vec<Vec<bool>> =
-                (0..p).map(|_| (0..w).map(|_| rng.chance(0.3)).collect()).collect();
-            let input = PlacementInput { partitions: parts(p), workers: nodes(w), local };
+            let local: Vec<Vec<bool>> = (0..p)
+                .map(|_| (0..w).map(|_| rng.chance(0.3)).collect())
+                .collect();
+            let input = PlacementInput {
+                partitions: parts(p),
+                workers: nodes(w),
+                local,
+            };
             let m = affinity_mapping(&input, r).unwrap();
             let cap = (p * r.min(w)).div_ceil(w);
             let mut per_node: HashMap<NodeId, usize> = HashMap::new();
@@ -317,7 +328,10 @@ mod tests {
                     *per_node.entry(*n).or_insert(0) += 1;
                 }
             }
-            assert!(per_node.values().all(|&c| c <= cap), "cap {cap}, got {per_node:?}");
+            assert!(
+                per_node.values().all(|&c| c <= cap),
+                "cap {cap}, got {per_node:?}"
+            );
         }
     }
 }

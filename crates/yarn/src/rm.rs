@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use vectorh_common::sync::Mutex;
 use vectorh_common::{ContainerId, NodeId, Result, VhError};
 
 /// Scheduling priority (higher wins).
@@ -58,7 +58,11 @@ pub struct ResourceManager {
 
 impl ResourceManager {
     pub fn new(nodes: Vec<NodeId>, config: RmConfig) -> ResourceManager {
-        ResourceManager { config, nodes, inner: Mutex::new(Inner::default()) }
+        ResourceManager {
+            config,
+            nodes,
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     pub fn nodes(&self) -> &[NodeId] {
@@ -90,7 +94,10 @@ impl ResourceManager {
     pub fn free_on(&self, node: NodeId) -> (u32, u64) {
         let inner = self.inner.lock();
         let (uc, um) = Self::used_on(&inner, node);
-        (self.config.cores_per_node - uc, self.config.mem_per_node - um)
+        (
+            self.config.cores_per_node - uc,
+            self.config.mem_per_node - um,
+        )
     }
 
     /// Cluster node report: (node, free cores, free mem).
@@ -130,7 +137,14 @@ impl ResourceManager {
             if uc + cores <= self.config.cores_per_node && um + mem <= self.config.mem_per_node {
                 let id = ContainerId(inner.next_container);
                 inner.next_container += 1;
-                let grant = ContainerGrant { id, app, node, cores, mem, priority };
+                let grant = ContainerGrant {
+                    id,
+                    app,
+                    node,
+                    cores,
+                    mem,
+                    priority,
+                };
                 inner.containers.insert(id, grant.clone());
                 return Ok(grant);
             }
@@ -173,8 +187,12 @@ impl ResourceManager {
     /// Containers an app currently holds.
     pub fn containers_of(&self, app: AppId) -> Vec<ContainerGrant> {
         let inner = self.inner.lock();
-        let mut v: Vec<ContainerGrant> =
-            inner.containers.values().filter(|c| c.app == app).cloned().collect();
+        let mut v: Vec<ContainerGrant> = inner
+            .containers
+            .values()
+            .filter(|c| c.app == app)
+            .cloned()
+            .collect();
         v.sort_by_key(|c| c.id);
         v
     }
@@ -187,7 +205,10 @@ mod tests {
     fn rm() -> ResourceManager {
         ResourceManager::new(
             vec![NodeId(0), NodeId(1)],
-            RmConfig { cores_per_node: 8, mem_per_node: 64 },
+            RmConfig {
+                cores_per_node: 8,
+                mem_per_node: 64,
+            },
         )
     }
 

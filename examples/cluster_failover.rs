@@ -42,7 +42,12 @@ fn main() -> vectorh_common::Result<()> {
             .column("v", DataType::I64)
             .partition_by(&["k"], 12),
     )?;
-    vh.insert_rows("r", (0..60_000).map(|i| vec![Value::I64(i), Value::I64(i % 100)]).collect())?;
+    vh.insert_rows(
+        "r",
+        (0..60_000)
+            .map(|i| vec![Value::I64(i), Value::I64(i % 100)])
+            .collect(),
+    )?;
 
     println!("partition responsibility before failure:");
     let rt = vh.table("r")?;
@@ -57,7 +62,10 @@ fn main() -> vectorh_common::Result<()> {
     println!("\n*** killing node3 ***");
     vh.kill_node(NodeId(3))?;
     let rereplicated = vh.fs().stats().snapshot().rereplicated_bytes;
-    println!("re-replicated {} to restore R=3 on the survivors", fmt_bytes(rereplicated));
+    println!(
+        "re-replicated {} to restore R=3 on the survivors",
+        fmt_bytes(rereplicated)
+    );
 
     println!("\npartition responsibility after failure (even 12/3 spread):");
     for (i, pid) in rt.pids.iter().enumerate() {
@@ -69,8 +77,16 @@ fn main() -> vectorh_common::Result<()> {
     locality_of(&vh, "\nafter failure + re-replication");
 
     // Updates keep flowing to the new responsible nodes.
-    vh.trickle_insert("r", (60_000..60_100).map(|i| vec![Value::I64(i), Value::I64(0)]).collect())?;
-    println!("\ntrickle inserts after failover: rows = {}", vh.table_rows("r")?);
+    vh.trickle_insert(
+        "r",
+        (60_000..60_100)
+            .map(|i| vec![Value::I64(i), Value::I64(0)])
+            .collect(),
+    )?;
+    println!(
+        "\ntrickle inserts after failover: rows = {}",
+        vh.table_rows("r")?
+    );
 
     // Session-master failover: kill the master too.
     let old_master = vh.session_master();

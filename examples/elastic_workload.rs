@@ -35,7 +35,9 @@ fn main() -> vectorh_common::Result<()> {
     )?;
     vh.insert_rows(
         "metrics",
-        (0..100_000).map(|i| vec![Value::I64(i % 500), Value::I64(i % 100)]).collect(),
+        (0..100_000)
+            .map(|i| vec![Value::I64(i % 500), Value::I64(i % 100)])
+            .collect(),
     )?;
     report(&vh, "startup (target footprint)");
 
@@ -44,8 +46,12 @@ fn main() -> vectorh_common::Result<()> {
         let rows = vh
             .query("SELECT host, avg(cpu) AS load FROM metrics GROUP BY host ORDER BY load DESC LIMIT 5")
             .unwrap();
-        println!("  {label}: top host {} (load {:.1}) in {:?}", rows[0][0],
-            rows[0][1].as_f64().unwrap_or(0.0), t0.elapsed());
+        println!(
+            "  {label}: top host {} (load {:.1}) in {:?}",
+            rows[0][0],
+            rows[0][1].as_f64().unwrap_or(0.0),
+            t0.elapsed()
+        );
     };
     run("query at full budget");
 
@@ -60,7 +66,10 @@ fn main() -> vectorh_common::Result<()> {
         }
     }
     let changed = vh.poll_yarn();
-    report(&vh, &format!("after preemption (footprint changed: {changed})"));
+    report(
+        &vh,
+        &format!("after preemption (footprint changed: {changed})"),
+    );
     run("query under pressure (fewer cores, still correct)");
 
     // The tenant finishes; renegotiation recovers the target footprint.

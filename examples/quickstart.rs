@@ -11,8 +11,15 @@ use vectorh_common::{DataType, Value};
 fn main() -> vectorh_common::Result<()> {
     // A 3-node "Hadoop cluster" with HDFS, YARN and VectorH workers —
     // all simulated in-process.
-    let vh = VectorH::start(ClusterConfig { nodes: 3, ..Default::default() })?;
-    println!("cluster up: {} workers, session master = {}", vh.workers().len(), vh.session_master());
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 3,
+        ..Default::default()
+    })?;
+    println!(
+        "cluster up: {} workers, session master = {}",
+        vh.workers().len(),
+        vh.session_master()
+    );
 
     // DDL: a partitioned, clustered fact table.
     vh.create_table(
@@ -40,8 +47,11 @@ fn main() -> vectorh_common::Result<()> {
         })
         .collect();
     vh.insert_rows("trips", rows)?;
-    println!("loaded {} rows ({} compressed bytes on HDFS)",
-        vh.table_rows("trips")?, vh.table_bytes("trips")?);
+    println!(
+        "loaded {} rows ({} compressed bytes on HDFS)",
+        vh.table_rows("trips")?,
+        vh.table_bytes("trips")?
+    );
 
     // SQL: the query parses, the Parallel Rewriter distributes it, and the
     // result funnels back to the session master.
@@ -49,8 +59,13 @@ fn main() -> vectorh_common::Result<()> {
                FROM trips WHERE day < '1996-04-01' GROUP BY city ORDER BY total DESC";
     println!("\nEXPLAIN {sql}\n{}", vh.explain(sql)?);
     for row in vh.query(sql)? {
-        println!("{:<12} trips={:<6} total={:<12} avg={:.2}",
-            row[0], row[1], row[2], row[3].as_f64().unwrap_or(0.0));
+        println!(
+            "{:<12} trips={:<6} total={:<12} avg={:.2}",
+            row[0],
+            row[1],
+            row[2],
+            row[3].as_f64().unwrap_or(0.0)
+        );
     }
 
     // Trickle updates land in Positional Delta Trees — queries see them

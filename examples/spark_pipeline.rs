@@ -21,7 +21,10 @@ use vectorh_exec::Batch;
 use vectorh_net::NetStats;
 
 fn main() -> vectorh_common::Result<()> {
-    let vh = VectorH::start(ClusterConfig { nodes: 4, ..Default::default() })?;
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 4,
+        ..Default::default()
+    })?;
     let schema = Arc::new(Schema::of(&[
         ("id", DataType::I64),
         ("qty", DataType::I64),
@@ -40,7 +43,8 @@ fn main() -> vectorh_common::Result<()> {
         let text = to_csv(&cols, &schema, '|');
         let path = format!("/staging/input-{f:02}.csv");
         // Each file written from a different node → different affinities.
-        vh.fs().append(&path, text.as_bytes(), Some(NodeId((f % 4) as u32)))?;
+        vh.fs()
+            .append(&path, text.as_bytes(), Some(NodeId((f % 4) as u32)))?;
         let locs = vh.fs().block_locations(&path)?;
         splits.push(InputSplit {
             path,

@@ -14,7 +14,11 @@ use vectorh_common::{DataType, Value};
 use vectorh_exec::expr::Expr;
 
 fn main() -> vectorh_common::Result<()> {
-    let vh = VectorH::start(ClusterConfig { nodes: 3, rows_per_chunk: 2048, ..Default::default() })?;
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 3,
+        rows_per_chunk: 2048,
+        ..Default::default()
+    })?;
     vh.create_table(
         TableBuilder::new("events")
             .column("ts", DataType::I64)
@@ -35,7 +39,15 @@ fn main() -> vectorh_common::Result<()> {
     // via PDTs, without rewriting any compressed block.
     vh.trickle_insert(
         "events",
-        (0..500).map(|i| vec![Value::I64(i * 400 + 5), Value::Str("late".into()), Value::I64(7)]).collect(),
+        (0..500)
+            .map(|i| {
+                vec![
+                    Value::I64(i * 400 + 5),
+                    Value::Str("late".into()),
+                    Value::I64(7),
+                ]
+            })
+            .collect(),
     )?;
     let rows = vh.query("SELECT count(*) FROM events WHERE kind = 'late'")?;
     println!("late arrivals visible immediately: {}", rows[0][0]);
@@ -57,8 +69,10 @@ fn main() -> vectorh_common::Result<()> {
     let rt = vh.table("events")?;
     let mut t1 = vh.txns.begin(&rt.pids)?;
     let mut t2 = vh.txns.begin(&rt.pids)?;
-    vh.txns.modify_at(&mut t1, rt.pids[0], 0, 2, Value::I64(-1))?;
-    vh.txns.modify_at(&mut t2, rt.pids[0], 0, 2, Value::I64(-2))?;
+    vh.txns
+        .modify_at(&mut t1, rt.pids[0], 0, 2, Value::I64(-1))?;
+    vh.txns
+        .modify_at(&mut t2, rt.pids[0], 0, 2, Value::I64(-2))?;
     vh.txns.commit(t1, |_, _| Ok(()))?;
     match vh.txns.commit(t2, |_, _| Ok(())) {
         Err(e) => println!("second writer aborted as expected: {e}"),

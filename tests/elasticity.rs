@@ -22,8 +22,13 @@ fn fixture(vh: &VectorH) {
             .partition_by(&["k"], 6),
     )
     .unwrap();
-    vh.insert_rows("t", (0..3000).map(|i| vec![Value::I64(i), Value::I64(i % 7)]).collect())
-        .unwrap();
+    vh.insert_rows(
+        "t",
+        (0..3000)
+            .map(|i| vec![Value::I64(i), Value::I64(i % 7)])
+            .collect(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -47,10 +52,20 @@ fn preemption_shrinks_parallelism_queries_still_run() {
     }
     // The dbAgent's dummy containers notice on the next poll.
     assert!(vh.poll_yarn(), "footprint changed");
-    assert!(vh.total_cores_budget() < 12, "budget shrank: {}", vh.total_cores_budget());
-    assert_eq!(vh.streams_per_node(), 1, "scheduler retuned to fewer streams");
+    assert!(
+        vh.total_cores_budget() < 12,
+        "budget shrank: {}",
+        vh.total_cores_budget()
+    );
+    assert_eq!(
+        vh.streams_per_node(),
+        1,
+        "scheduler retuned to fewer streams"
+    );
     // Queries keep running with fewer cores.
-    let rows = vh.query("SELECT v, count(*) FROM t GROUP BY v ORDER BY v").unwrap();
+    let rows = vh
+        .query("SELECT v, count(*) FROM t GROUP BY v ORDER BY v")
+        .unwrap();
     assert_eq!(rows.len(), 7);
     let total: i64 = rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
     assert_eq!(total, 3000);
@@ -92,5 +107,8 @@ fn voluntary_shrink_for_idle_workloads() {
         let report = vh.rm().cluster_report();
         (report.iter().map(|(_, c, _)| *c).min().unwrap(), ())
     };
-    assert!(free_cores >= 3, "released cores are available: {free_cores}");
+    assert!(
+        free_cores >= 3,
+        "released cores are available: {free_cores}"
+    );
 }

@@ -46,14 +46,19 @@ fn count_sum_avg_with_predicates() {
     let rows = vh.query("SELECT count(*) FROM sales").unwrap();
     assert_eq!(rows, vec![vec![Value::I64(1000)]]);
 
-    let rows = vh.query("SELECT count(*) FROM sales WHERE amount < 10").unwrap();
+    let rows = vh
+        .query("SELECT count(*) FROM sales WHERE amount < 10")
+        .unwrap();
     // amounts 0..9 appear for i%100 in 0..10 → 10 per 100 → 100 rows
     assert_eq!(rows, vec![vec![Value::I64(100)]]);
 
     let rows = vh
         .query("SELECT sum(amount), avg(amount) FROM sales WHERE store = 'north'")
         .unwrap();
-    let north_sum: i64 = (0..1000i64).filter(|i| i % 3 == 0).map(|i| (i % 100) * 100).sum();
+    let north_sum: i64 = (0..1000i64)
+        .filter(|i| i % 3 == 0)
+        .map(|i| (i % 100) * 100)
+        .sum();
     assert_eq!(rows[0][0], Value::Decimal(north_sum, 2));
 }
 
@@ -91,7 +96,8 @@ fn date_range_queries_use_minmax_pruning() {
     assert_eq!(rows[0][0], Value::I64(30));
 
     let before = vh.fs().stats().snapshot();
-    vh.query("SELECT count(*) FROM sales WHERE day < '1999-01-01'").unwrap();
+    vh.query("SELECT count(*) FROM sales WHERE day < '1999-01-01'")
+        .unwrap();
     let wide = vh.fs().stats().snapshot().since(&before);
     assert!(
         narrow.read_bytes() < wide.read_bytes(),
@@ -120,7 +126,9 @@ fn joins_via_sql() {
     .unwrap();
     vh.insert_rows(
         "orders2",
-        (0..100).map(|i| vec![Value::I64(i), Value::I64(i % 10)]).collect(),
+        (0..100)
+            .map(|i| vec![Value::I64(i), Value::I64(i % 10)])
+            .collect(),
     )
     .unwrap();
     vh.insert_rows(
@@ -134,7 +142,10 @@ fn joins_via_sql() {
     let explain = vh
         .explain("SELECT count(*) FROM items2 i JOIN orders2 o ON i.ok = o.ok")
         .unwrap();
-    assert!(explain.contains("Local") || explain.contains("MergeJoin"), "{explain}");
+    assert!(
+        explain.contains("Local") || explain.contains("MergeJoin"),
+        "{explain}"
+    );
     let rows = vh
         .query("SELECT count(*) FROM items2 i JOIN orders2 o ON i.ok = o.ok")
         .unwrap();
@@ -147,7 +158,10 @@ fn joins_via_sql() {
         )
         .unwrap();
     assert_eq!(rows.len(), 10);
-    assert_eq!(rows.iter().map(|r| r[1].as_i64().unwrap()).sum::<i64>(), 300);
+    assert_eq!(
+        rows.iter().map(|r| r[1].as_i64().unwrap()).sum::<i64>(),
+        300
+    );
 }
 
 #[test]
@@ -160,7 +174,9 @@ fn profile_shows_distributed_execution() {
     // The profile shows the exchange and per-sender pipelines.
     assert!(profile.contains("DXchg"), "{profile}");
     assert!(profile.contains("MScan"), "{profile}");
-    let explain = vh.explain("SELECT store, count(*) FROM sales GROUP BY store").unwrap();
+    let explain = vh
+        .explain("SELECT store, count(*) FROM sales GROUP BY store")
+        .unwrap();
     assert!(explain.contains("Aggr"), "{explain}");
     assert!(explain.contains("Scan[sales] (partitioned)"), "{explain}");
 }

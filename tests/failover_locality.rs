@@ -27,8 +27,13 @@ fn fixture(vh: &VectorH, parts: usize) {
             .partition_by(&["k"], parts),
     )
     .unwrap();
-    vh.insert_rows("t", (0..5000).map(|i| vec![Value::I64(i), Value::I64(i * 3)]).collect())
-        .unwrap();
+    vh.insert_rows(
+        "t",
+        (0..5000)
+            .map(|i| vec![Value::I64(i), Value::I64(i * 3)])
+            .collect(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -52,7 +57,10 @@ fn failure_rereplicates_and_restores_locality() {
     // responsibility assignment moves to survivors.
     vh.kill_node(NodeId(3)).unwrap();
     assert_eq!(vh.workers().len(), 3);
-    assert!(vh.fs().stats().snapshot().rereplicated_bytes > 0, "re-replication happened");
+    assert!(
+        vh.fs().stats().snapshot().rereplicated_bytes > 0,
+        "re-replication happened"
+    );
 
     // Data intact.
     let rows = vh.query("SELECT count(*), sum(v) FROM t").unwrap();
@@ -95,7 +103,9 @@ fn writes_after_failover_land_on_new_homes() {
     // Trickle updates go to the new responsible nodes' partitions and WALs.
     vh.trickle_insert(
         "t",
-        (5000..5100).map(|i| vec![Value::I64(i), Value::I64(0)]).collect(),
+        (5000..5100)
+            .map(|i| vec![Value::I64(i), Value::I64(0)])
+            .collect(),
     )
     .unwrap();
     assert_eq!(vh.table_rows("t").unwrap(), 5100);
@@ -127,7 +137,10 @@ fn default_policy_degrades_locality_after_failure() {
     use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
     let fs = SimHdfs::new(
         4,
-        SimHdfsConfig { block_size: 4096, default_replication: 2 },
+        SimHdfsConfig {
+            block_size: 4096,
+            default_replication: 2,
+        },
         Arc::new(DefaultPolicy::new(77)),
     );
     // Writer node 0 writes a file; its first replica is local.

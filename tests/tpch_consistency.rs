@@ -58,7 +58,12 @@ fn queries_match_after_trickle_updates() {
     vectorh_tpch::refresh::rf1(&vh, &set).unwrap();
     vectorh_tpch::refresh::rf2(&vh, &set).unwrap();
     db.apply_delta("orders", 0, set.orders.clone(), set.delete_keys.clone());
-    db.apply_delta("lineitem", 0, set.lineitems.clone(), set.delete_keys.clone());
+    db.apply_delta(
+        "lineitem",
+        0,
+        set.lineitems.clone(),
+        set.delete_keys.clone(),
+    );
     // Queries over the updated tables still agree (PDT merge vs key merge).
     for qn in [1usize, 3, 4, 5, 6, 10, 12, 18] {
         let q = build_query(qn).unwrap();
@@ -77,7 +82,12 @@ fn queries_match_after_propagation() {
     vectorh_tpch::refresh::rf1(&vh, &set).unwrap();
     vectorh_tpch::refresh::rf2(&vh, &set).unwrap();
     db.apply_delta("orders", 0, set.orders.clone(), set.delete_keys.clone());
-    db.apply_delta("lineitem", 0, set.lineitems.clone(), set.delete_keys.clone());
+    db.apply_delta(
+        "lineitem",
+        0,
+        set.lineitems.clone(),
+        set.delete_keys.clone(),
+    );
     // Flush PDTs into the columnar store; answers must be unchanged.
     vh.propagate_table("orders", true).unwrap();
     vh.propagate_table("lineitem", true).unwrap();

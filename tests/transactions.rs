@@ -25,8 +25,13 @@ fn fixture(vh: &VectorH) {
             .partition_by(&["id"], 4),
     )
     .unwrap();
-    vh.insert_rows("acct", (0..200).map(|i| vec![Value::I64(i), Value::I64(100)]).collect())
-        .unwrap();
+    vh.insert_rows(
+        "acct",
+        (0..200)
+            .map(|i| vec![Value::I64(i), Value::I64(100)])
+            .collect(),
+    )
+    .unwrap();
 }
 
 #[test]
@@ -34,7 +39,12 @@ fn updates_are_atomic_and_visible() {
     let vh = engine();
     fixture(&vh);
     let n = vh
-        .update_where("acct", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(50))), 1, Value::I64(0))
+        .update_where(
+            "acct",
+            &Expr::lt(Expr::col(0), Expr::lit(Value::I64(50))),
+            1,
+            Value::I64(0),
+        )
         .unwrap();
     assert_eq!(n, 50);
     let rows = vh.query("SELECT sum(bal) FROM acct").unwrap();
@@ -50,8 +60,12 @@ fn concurrent_conflicting_updates_abort_one() {
     let mut t1 = vh.txns.begin(&rt.pids).unwrap();
     let mut t2 = vh.txns.begin(&rt.pids).unwrap();
     let pid = rt.pids[0];
-    vh.txns.modify_at(&mut t1, pid, 0, 1, Value::I64(1)).unwrap();
-    vh.txns.modify_at(&mut t2, pid, 0, 1, Value::I64(2)).unwrap();
+    vh.txns
+        .modify_at(&mut t1, pid, 0, 1, Value::I64(1))
+        .unwrap();
+    vh.txns
+        .modify_at(&mut t2, pid, 0, 1, Value::I64(2))
+        .unwrap();
     vh.txns.commit(t1, |_, _| Ok(())).unwrap();
     let err = vh.txns.commit(t2, |_, _| Ok(())).unwrap_err();
     assert!(err.to_string().contains("conflict"), "{err}");
@@ -61,8 +75,10 @@ fn concurrent_conflicting_updates_abort_one() {
 fn wal_replay_reconstructs_pdts() {
     let vh = engine();
     fixture(&vh);
-    vh.delete_where("acct", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(10)))).unwrap();
-    vh.trickle_insert("acct", vec![vec![Value::I64(1000), Value::I64(77)]]).unwrap();
+    vh.delete_where("acct", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(10))))
+        .unwrap();
+    vh.trickle_insert("acct", vec![vec![Value::I64(1000), Value::I64(77)]])
+        .unwrap();
     let want = vh.query("SELECT count(*), sum(bal) FROM acct").unwrap();
 
     // Simulate a cold restart of the update state: fresh txn manager,
@@ -118,14 +134,18 @@ fn two_phase_commit_crash_points() {
         .unwrap();
     assert_eq!(out, Outcome::InDoubt);
     assert!(coordinator.recover_decision(501).unwrap());
-    assert!(coordinator.committed_txns_of(&rt.wals[1]).unwrap().contains(&501));
+    assert!(coordinator
+        .committed_txns_of(&rt.wals[1])
+        .unwrap()
+        .contains(&501));
 }
 
 #[test]
 fn propagation_persists_updates_into_chunks() {
     let vh = engine();
     fixture(&vh);
-    vh.delete_where("acct", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(20)))).unwrap();
+    vh.delete_where("acct", &Expr::lt(Expr::col(0), Expr::lit(Value::I64(20))))
+        .unwrap();
     vh.update_where(
         "acct",
         &Expr::ge(Expr::col(0), Expr::lit(Value::I64(190))),
@@ -155,7 +175,9 @@ fn log_shipping_for_replicated_tables() {
     .unwrap();
     vh.insert_rows(
         "dim",
-        (0..10).map(|i| vec![Value::I64(i), Value::Str(format!("d{i}"))]).collect(),
+        (0..10)
+            .map(|i| vec![Value::I64(i), Value::Str(format!("d{i}"))])
+            .collect(),
     )
     .unwrap();
     assert_eq!(vh.shipper.shipped_batches(), 0);
