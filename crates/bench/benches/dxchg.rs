@@ -39,6 +39,7 @@ fn run(nodes: u32, threads: u32, mode: FanoutMode) -> u64 {
         DxchgConfig {
             buffer_bytes: 64 * 1024,
             mode,
+            fault: None,
         },
         stats,
     )

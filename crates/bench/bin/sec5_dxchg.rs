@@ -48,6 +48,7 @@ fn run(
     let config = DxchgConfig {
         buffer_bytes: 64 * 1024,
         mode,
+        fault: None,
     };
     let (rows, secs) = timed(|| {
         let receivers =

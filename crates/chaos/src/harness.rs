@@ -1,0 +1,391 @@
+//! The chaos schedule: one seed → one reproducible fault campaign.
+//!
+//! [`run_schedule`] builds a small TPC-H cluster and drives three phases,
+//! each derived from the seed via [`SplitMix64`]:
+//!
+//! 1. **Faulty I/O queries** — a rate-based [`FaultPlan`] injects transient
+//!    HDFS read errors, slow reads and exchange drop/duplicate/delay while
+//!    TPC-H queries run; every answer must match the row-store baseline.
+//! 2. **Transaction crash storm** — scripted [`DirectedFault`]s crash the
+//!    WAL append and both 2PC phases across a shuffled sequence of
+//!    distributed commits; recovery (with a transient replay fault of its
+//!    own) must resurrect exactly the committed transactions, identically
+//!    on every participant.
+//! 3. **Mid-query node kill** — a watcher thread kills a worker once the
+//!    query has read enough bytes; the query must still return
+//!    baseline-correct rows, and a follow-up scan must be fully
+//!    short-circuit local (zero remote reads).
+//!
+//! Every decision the harness itself makes (cluster size, query choice,
+//! fault rates, txn script order, victim node) comes from the seed, and
+//! every injected fault comes from set-deterministic hooks, so the
+//! resulting [`ScheduleReport`] — steps and per-site fired counters — is
+//! identical run-to-run. Failures embed the seed; rerun just that schedule
+//! with `CHAOS_SEED=<seed>`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use vectorh::{ClusterConfig, VectorH};
+use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::{NodeId, PartitionId, Result, VhError};
+use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
+use vectorh_tpch::queries::{build_query, run_with};
+use vectorh_txn::manager::{TransactionManager, TxnConfig};
+use vectorh_txn::twophase::{CrashPoint, Outcome, TwoPhaseCoordinator};
+use vectorh_txn::wal::{LogRecord, Wal};
+
+use crate::plan::{site_index, DirectedFault, FaultPlan, N_SITES};
+
+/// Seeds per default corpus (CI runs all of them).
+pub const DEFAULT_CORPUS_LEN: usize = 16;
+
+/// What one schedule did, in deterministic order. Two runs of the same
+/// seed must produce byte-identical reports — the determinism test relies
+/// on `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleReport {
+    pub seed: u64,
+    /// Human-readable narration of each step taken.
+    pub steps: Vec<String>,
+    /// Faults fired per site, indexed like [`FaultSite::ALL`].
+    pub fired: [u64; N_SITES],
+}
+
+/// The seed corpus: `CHAOS_SEED` (decimal or `0x`-hex) replays a single
+/// schedule; otherwise a fixed [`DEFAULT_CORPUS_LEN`]-seed corpus runs.
+pub fn corpus() -> Vec<u64> {
+    corpus_from(std::env::var("CHAOS_SEED").ok().as_deref())
+}
+
+/// Testable core of [`corpus`].
+pub fn corpus_from(env: Option<&str>) -> Vec<u64> {
+    match env {
+        Some(s) => {
+            let s = s.trim();
+            let seed = s
+                .strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16))
+                .unwrap_or_else(|| s.parse::<u64>())
+                .unwrap_or_else(|_| {
+                    panic!("CHAOS_SEED must be a u64 (decimal or 0x-hex), got {s:?}")
+                });
+            vec![seed]
+        }
+        None => (0..DEFAULT_CORPUS_LEN as u64)
+            .map(|i| 0x56EC_7040 + i)
+            .collect(),
+    }
+}
+
+/// Run one complete chaos schedule. `Err` means an engine invariant broke
+/// (or the cluster failed to come up); the message embeds the seed.
+pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
+    let mut rng = SplitMix64::new(seed);
+    let mut report = ScheduleReport {
+        seed,
+        steps: Vec::new(),
+        fired: [0; N_SITES],
+    };
+
+    // Cluster shape: ≥4 nodes so replication 3 survives a node kill.
+    let nodes = 4 + rng.next_bounded(2) as usize;
+    let vh = VectorH::start(ClusterConfig {
+        nodes,
+        rows_per_chunk: 256,
+        hdfs_block_size: 32 * 1024,
+        streams_per_node: 2,
+        replication: 3,
+        ..Default::default()
+    })?;
+    let data = vectorh_tpch::schema::setup(&vh, 0.001, 4, 20260807)?;
+    let db = BaselineDb::load(&data)?;
+    report
+        .steps
+        .push(format!("cluster: {nodes} nodes, 4 partitions, sf 0.001"));
+
+    phase_faulty_io(&vh, &db, &mut rng, &mut report)?;
+    phase_txn_crashes(&vh, &mut rng, &mut report)?;
+    phase_kill_node(&vh, &db, &mut rng, &mut report)?;
+    Ok(report)
+}
+
+/// Run query `qn` on the engine and compare against the row-store
+/// baseline; returns the row count.
+fn checked_query(vh: &VectorH, db: &BaselineDb, qn: usize, ctx: &str, seed: u64) -> Result<usize> {
+    let got = canonical(run_with(&build_query(qn)?, |p| vh.query_logical(p))?);
+    let want = canonical(db.run_query(&build_query(qn)?, BaselineKind::RowStore)?);
+    if got != want {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: Q{qn} diverged from row-store baseline {ctx} \
+             ({} vs {} rows)",
+            got.len(),
+            want.len()
+        )));
+    }
+    Ok(got.len())
+}
+
+/// Phase 1: queries under a rate-based I/O + exchange fault plan.
+///
+/// The plan's palettes are chosen so queries must still *succeed*: HDFS
+/// errors are transient (cleared by the engine's bounded retry), slow reads
+/// only add simulated latency, and exchange drop/duplicate/delay are
+/// absorbed by the reliable-transport semantics (retransmit, receiver
+/// dedup, bounded reorder).
+fn phase_faulty_io(
+    vh: &VectorH,
+    db: &BaselineDb,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let plan = std::sync::Arc::new(
+        FaultPlan::new(rng.next_u64())
+            .with_site(
+                FaultSite::HdfsRead,
+                40 + rng.next_bounded(120) as u16,
+                &[FaultAction::TransientError, FaultAction::SlowRead],
+            )
+            .with_site(
+                FaultSite::XchgSend,
+                20 + rng.next_bounded(80) as u16,
+                &[
+                    FaultAction::Drop,
+                    FaultAction::Duplicate,
+                    FaultAction::Delay,
+                ],
+            ),
+    );
+    vh.install_fault_hook(Some(plan.clone() as SharedFaultHook));
+    let mut pool = vec![1usize, 3, 5, 6, 10, 12, 14, 19];
+    rng.shuffle(&mut pool);
+    let result = (|| {
+        for &qn in pool.iter().take(3) {
+            let rows = checked_query(vh, db, qn, "under the I/O fault plan", report.seed)?;
+            report
+                .steps
+                .push(format!("faulty-io Q{qn}: {rows} rows ok"));
+        }
+        Ok(())
+    })();
+    vh.install_fault_hook(None);
+    result?;
+    for (total, fired) in report.fired.iter_mut().zip(plan.fired_counts()) {
+        *total += fired;
+    }
+    Ok(())
+}
+
+/// Phase 2: distributed commits under scripted crash faults, then a
+/// simulated restart whose recovery must agree with the acknowledged
+/// outcomes.
+fn phase_txn_crashes(
+    vh: &VectorH,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let seed = report.seed;
+    let fs = vh.fs().clone();
+    let dir = format!("/chaos/{seed:016x}");
+    let coord = TwoPhaseCoordinator::new(Wal::new(fs.clone(), format!("{dir}/global.wal"), None));
+    let pa = PartitionId(9000);
+    let pb = PartitionId(9001);
+    let wa = Wal::new(fs.clone(), format!("{dir}/pa.wal"), None);
+    let wb = Wal::new(fs.clone(), format!("{dir}/pb.wal"), None);
+
+    // One transaction per scripted fault (plus clean controls), in
+    // seed-shuffled order. Every crash-capable txn site appears.
+    let mut script: Vec<Option<(FaultSite, FaultAction)>> = vec![
+        None,
+        Some((FaultSite::HdfsAppend, FaultAction::TransientError)),
+        Some((FaultSite::WalAppend, FaultAction::CrashBefore)),
+        Some((FaultSite::WalAppend, FaultAction::CrashMid)),
+        Some((FaultSite::WalAppend, FaultAction::CrashAfter)),
+        Some((FaultSite::TwoPhasePrepare, FaultAction::CrashBefore)),
+        Some((FaultSite::TwoPhaseDecide, FaultAction::CrashBefore)),
+        Some((FaultSite::TwoPhaseDecide, FaultAction::CrashAfter)),
+        None,
+    ];
+    rng.shuffle(&mut script);
+
+    let mut acked: Vec<u64> = Vec::new();
+    let mut unresolved: Vec<u64> = Vec::new();
+    for (i, fault) in script.iter().enumerate() {
+        let txn_id = 100 + i as u64;
+        let recs = |part: u64| {
+            vec![
+                LogRecord::TxnBegin { txn: txn_id },
+                LogRecord::Insert {
+                    txn: txn_id,
+                    rid: 0,
+                    tag: txn_id * 10 + part,
+                    values: vec![vectorh_common::Value::I64(txn_id as i64)],
+                },
+            ]
+        };
+        let (ra, rb) = (recs(0), recs(1));
+        let directed = fault.map(|(site, action)| DirectedFault::new(site, action, 1));
+        vh.install_fault_hook(directed.clone().map(|d| d as SharedFaultHook));
+        let out =
+            coord.commit_distributed(txn_id, &[(pa, &wa, &ra), (pb, &wb, &rb)], CrashPoint::None);
+        vh.install_fault_hook(None);
+        if let Some(d) = &directed {
+            report.fired[site_index(d.site())] += d.fired();
+        }
+        let label = match fault {
+            Some((site, action)) => format!("{site}/{action:?}"),
+            None => "clean".to_string(),
+        };
+        match out {
+            Ok(Outcome::Committed) => {
+                acked.push(txn_id);
+                report
+                    .steps
+                    .push(format!("txn{txn_id} [{label}]: committed"));
+            }
+            Ok(Outcome::InDoubt) => {
+                unresolved.push(txn_id);
+                report
+                    .steps
+                    .push(format!("txn{txn_id} [{label}]: in doubt"));
+            }
+            Err(e) => {
+                unresolved.push(txn_id);
+                report
+                    .steps
+                    .push(format!("txn{txn_id} [{label}]: crashed ({e})"));
+                // The "crashed" coordinator restarts: recovery repairs any
+                // torn WAL tails before the logs are appended to again.
+                for wal in [&wa, &wb, coord.global_wal()] {
+                    wal.repair()?;
+                }
+            }
+        }
+    }
+
+    // Simulated restart. The first recovery read itself suffers a
+    // transient fault, which the WAL's retry loop must absorb.
+    let replay_fault = DirectedFault::new(FaultSite::WalReplay, FaultAction::TransientError, 1);
+    vh.install_fault_hook(Some(replay_fault.clone() as SharedFaultHook));
+    let committed_a = coord.committed_txns_of(&wa)?;
+    vh.install_fault_hook(None);
+    report.fired[site_index(FaultSite::WalReplay)] += replay_fault.fired();
+    let committed_b = coord.committed_txns_of(&wb)?;
+
+    if committed_a != committed_b {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: 2PC atomicity violated — participants \
+             recover different commit sets ({committed_a:?} vs {committed_b:?})"
+        )));
+    }
+    for txn in &acked {
+        if !committed_a.contains(txn) {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: acknowledged txn{txn} lost across recovery"
+            )));
+        }
+    }
+    for txn in &unresolved {
+        // In-doubt resolution must follow the global WAL's decision.
+        if committed_a.contains(txn) != coord.recover_decision(*txn)? {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: in-doubt txn{txn} resolved against the \
+                 global decision"
+            )));
+        }
+    }
+
+    // Replay into a fresh manager: exactly one row per committed txn
+    // becomes visible, nothing from uncommitted ones.
+    let mgr = TransactionManager::new(TxnConfig::default());
+    for (pid, wal) in [(pa, &wa), (pb, &wb)] {
+        mgr.register_partition(pid, 0);
+        for txn in &committed_a {
+            mgr.replay(pid, &TwoPhaseCoordinator::records_of(wal, *txn)?)?;
+        }
+        let visible = mgr.visible_rows(pid)?;
+        if visible != committed_a.len() as u64 {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: replay of {pid} shows {visible} rows, \
+                 expected {} (one per committed txn)",
+                committed_a.len()
+            )));
+        }
+    }
+    report.steps.push(format!(
+        "recovery: {} committed of {} attempted, replay verified on both partitions",
+        committed_a.len(),
+        script.len()
+    ));
+    Ok(())
+}
+
+/// Phase 3: kill a worker mid-query; the query must return baseline-correct
+/// rows via failover, and a follow-up scan must be fully local again.
+fn phase_kill_node(
+    vh: &VectorH,
+    db: &BaselineDb,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let seed = report.seed;
+    let master = vh.session_master();
+    let pool: Vec<NodeId> = vh.workers().into_iter().filter(|w| *w != master).collect();
+    let victim = pool[rng.next_bounded(pool.len() as u64) as usize];
+    let qn = [3usize, 5, 10][rng.next_bounded(3) as usize];
+    let q = build_query(qn)?;
+    let want = canonical(db.run_query(&build_query(qn)?, BaselineKind::RowStore)?);
+    let threshold = vh.fs().stats().snapshot().read_bytes() + 2048 + rng.next_bounded(16 * 1024);
+
+    let done = AtomicBool::new(false);
+    let (got, killed_mid) = std::thread::scope(|s| {
+        let killer = s.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                if vh.fs().stats().snapshot().read_bytes() >= threshold {
+                    return vh.kill_node(victim).is_ok();
+                }
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            false
+        });
+        let got = run_with(&q, |p| vh.query_logical(p));
+        done.store(true, Ordering::Release);
+        (got, killer.join().unwrap_or(false))
+    });
+    let got = canonical(got?);
+    if got != want {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: Q{qn} diverged from baseline across a \
+             mid-query node kill ({} vs {} rows)",
+            got.len(),
+            want.len()
+        )));
+    }
+    if !killed_mid {
+        // Tiny queries can finish before the watcher crosses the read
+        // threshold; the failover invariants below still apply.
+        vh.kill_node(victim)?;
+    }
+    if vh.workers().contains(&victim) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {victim} still in the worker set after kill"
+        )));
+    }
+
+    // Locality fully restored: a fresh scan does zero remote reads.
+    let before = vh.fs().stats().snapshot();
+    checked_query(vh, db, 6, "after the node kill", seed)?;
+    let delta = vh.fs().stats().snapshot().since(&before);
+    if delta.remote_read_bytes != 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: locality not restored after killing \
+             {victim} — {} remote bytes read",
+            delta.remote_read_bytes
+        )));
+    }
+    report.steps.push(format!(
+        "killed {victim} during Q{qn}; post-failure Q6 fully local"
+    ));
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Seeded chaos harness for the VectorH engine.
+//!
+//! The paper's robustness story (§3–§4 locality restoration after node
+//! failure, §6 durability of trickle updates) is exercised here as
+//! *reproducible* fault schedules: one `u64` seed determines every injected
+//! fault — transient/slow HDFS I/O, dropped/duplicated/delayed exchange
+//! buffers, WAL and 2PC crash points, and a mid-query node kill — and the
+//! harness checks the engine's invariants after each phase:
+//!
+//! 1. Query answers under fault injection match the single-node row-engine
+//!    baseline exactly.
+//! 2. Acknowledged (committed) transactions survive crash + recovery; no
+//!    uncommitted transaction's data is ever replayed.
+//! 3. After a node kill, queries still answer correctly and scan locality
+//!    is fully restored (zero remote reads).
+//!
+//! Determinism rests on the [`vectorh_common::fault`] contract: rate-based
+//! plans ([`FaultPlan`]) decide purely from `(site, detail, attempt)`
+//! coordinates, so the *set* of fired faults is identical run-to-run even
+//! though subsystems are multi-threaded. Failures print the seed; replay a
+//! red schedule with `CHAOS_SEED=<seed> cargo test -p vectorh-chaos`.
+
+pub mod harness;
+pub mod plan;
+
+pub use harness::{corpus, corpus_from, run_schedule, ScheduleReport, DEFAULT_CORPUS_LEN};
+pub use plan::{site_index, DirectedFault, FaultPlan, N_SITES};

@@ -26,6 +26,9 @@ pub enum VhError {
     Yarn(String),
     /// Network / exchange-operator failure.
     Net(String),
+    /// A node needed by the current operation is dead; the query layer can
+    /// recover by re-planning on the surviving worker set.
+    NodeDown(String),
     /// Catalog failure (unknown table/column, duplicate DDL).
     Catalog(String),
     /// Constraint violation (unique key / foreign key).
@@ -49,6 +52,7 @@ impl VhError {
             VhError::TxnAbort(_) => "txn",
             VhError::Yarn(_) => "yarn",
             VhError::Net(_) => "net",
+            VhError::NodeDown(_) => "node-down",
             VhError::Catalog(_) => "catalog",
             VhError::Constraint(_) => "constraint",
             VhError::InvalidArg(_) => "invalid-arg",
@@ -68,6 +72,7 @@ impl VhError {
             | VhError::TxnAbort(m)
             | VhError::Yarn(m)
             | VhError::Net(m)
+            | VhError::NodeDown(m)
             | VhError::Catalog(m)
             | VhError::Constraint(m)
             | VhError::InvalidArg(m)
@@ -117,6 +122,7 @@ mod tests {
             VhError::TxnAbort(String::new()),
             VhError::Yarn(String::new()),
             VhError::Net(String::new()),
+            VhError::NodeDown(String::new()),
             VhError::Catalog(String::new()),
             VhError::Constraint(String::new()),
             VhError::InvalidArg(String::new()),

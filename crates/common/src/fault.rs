@@ -1,0 +1,179 @@
+//! Deterministic fault injection.
+//!
+//! The robustness claims of VectorH (§3–§4 locality restoration after node
+//! failure, §6 durability under crashes) are only credible if they survive
+//! adversarial schedules. This module defines the *injection points*: a
+//! [`FaultHook`] that subsystems consult at named [`FaultSite`]s before
+//! performing fallible work, and the [`FaultAction`]s they must honour.
+//!
+//! Determinism contract: a hook's [`FaultHook::decide`] must be a **pure
+//! function** of `(site, detail, attempt)` — no interior mutation, no clocks,
+//! no ambient entropy. Subsystems run multi-threaded, so sequential RNG draws
+//! would make the fired-fault *set* depend on thread interleaving; hashing
+//! the call coordinates instead keeps the set of fired faults identical
+//! run-to-run for a given seed ("set-determinism"). The chaos harness in
+//! `crates/chaos` builds its plans on this contract.
+//!
+//! Hooks must never call back into the subsystem that invoked them: callers
+//! typically hold locks (e.g. the simulated-HDFS namenode lock) across the
+//! `decide` call.
+
+use std::sync::Arc;
+
+/// A named place in the engine where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// `SimHdfs::read` — transient/permanent I/O errors, slow reads.
+    HdfsRead,
+    /// `SimHdfs::append` — transient/permanent I/O errors.
+    HdfsAppend,
+    /// Exchange-operator buffer flush (xchg/dxchg) — drop/duplicate/delay.
+    XchgSend,
+    /// WAL frame append — crash before/mid (torn frame)/after.
+    WalAppend,
+    /// WAL replay during recovery — transient read errors.
+    WalReplay,
+    /// 2PC phase 1 (participant prepare) — crash points.
+    TwoPhasePrepare,
+    /// 2PC decision/phase 2 (global commit + participant commit) — crash points.
+    TwoPhaseDecide,
+}
+
+impl FaultSite {
+    /// Every site, for coverage accounting in the chaos harness.
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::HdfsRead,
+        FaultSite::HdfsAppend,
+        FaultSite::XchgSend,
+        FaultSite::WalAppend,
+        FaultSite::WalReplay,
+        FaultSite::TwoPhasePrepare,
+        FaultSite::TwoPhaseDecide,
+    ];
+
+    /// Stable short name (used in schedule reports and hashing).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultSite::HdfsRead => "hdfs-read",
+            FaultSite::HdfsAppend => "hdfs-append",
+            FaultSite::XchgSend => "xchg-send",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalReplay => "wal-replay",
+            FaultSite::TwoPhasePrepare => "2pc-prepare",
+            FaultSite::TwoPhaseDecide => "2pc-decide",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What the subsystem must do at an injection point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Fail this attempt with a typed error; succeeding attempts (higher
+    /// `attempt` numbers) may pass. Retry loops recover from these.
+    TransientError,
+    /// Fail every attempt with a typed error.
+    PermanentError,
+    /// Succeed, but account the operation as slowed (simulated latency).
+    SlowRead,
+    /// Exchange only: pretend the buffer was lost in flight; the sender
+    /// must retransmit (reliable transport).
+    Drop,
+    /// Exchange only: deliver the buffer twice; receivers must dedup.
+    Duplicate,
+    /// Exchange only: hold the buffer and deliver it after the next one
+    /// (bounded reordering).
+    Delay,
+    /// WAL/2PC only: simulate a crash before the write reaches the log.
+    CrashBefore,
+    /// WAL append only: simulate a crash mid-write — a torn (partial)
+    /// frame reaches the log, then the error surfaces.
+    CrashMid,
+    /// WAL/2PC only: the write is durable, then the crash happens.
+    CrashAfter,
+}
+
+impl FaultAction {
+    /// Does this action surface as an `Err` to the caller?
+    pub fn is_error(&self) -> bool {
+        !matches!(
+            self,
+            FaultAction::None | FaultAction::SlowRead | FaultAction::Duplicate | FaultAction::Delay
+        )
+    }
+}
+
+/// Decision callback consulted at every [`FaultSite`].
+///
+/// `detail` identifies the concrete operation (file path, exchange name,
+/// WAL path); `attempt` is the 0-based retry counter so a hook can model
+/// transient faults that clear after k failures.
+pub trait FaultHook: Send + Sync + std::fmt::Debug {
+    fn decide(&self, site: FaultSite, detail: &str, attempt: u32) -> FaultAction;
+}
+
+/// Shared, clonable hook handle as stored by subsystems.
+pub type SharedFaultHook = Arc<dyn FaultHook>;
+
+/// Mix the coordinates of an injection point into a single deterministic
+/// 64-bit value (FNV-1a over the detail string, then a SplitMix64-style
+/// finalizer). Pure by construction — the foundation for set-deterministic
+/// fault plans.
+pub fn mix_site(seed: u64, site: FaultSite, detail: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for &b in site.name().as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = (h ^ 0x7e).wrapping_mul(0x0000_0100_0000_01B3); // site/detail separator
+    for &b in detail.as_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h = h.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    // SplitMix64 finalizer for avalanche.
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_sensitive() {
+        let a = mix_site(1, FaultSite::HdfsRead, "/db/t/p0/c0", 0);
+        assert_eq!(a, mix_site(1, FaultSite::HdfsRead, "/db/t/p0/c0", 0));
+        assert_ne!(a, mix_site(2, FaultSite::HdfsRead, "/db/t/p0/c0", 0));
+        assert_ne!(a, mix_site(1, FaultSite::HdfsAppend, "/db/t/p0/c0", 0));
+        assert_ne!(a, mix_site(1, FaultSite::HdfsRead, "/db/t/p0/c1", 0));
+        assert_ne!(a, mix_site(1, FaultSite::HdfsRead, "/db/t/p0/c0", 1));
+    }
+
+    #[test]
+    fn site_names_are_unique() {
+        let names: std::collections::HashSet<_> = FaultSite::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), FaultSite::ALL.len());
+    }
+
+    #[test]
+    fn error_actions_classified() {
+        assert!(FaultAction::TransientError.is_error());
+        assert!(FaultAction::PermanentError.is_error());
+        assert!(FaultAction::CrashBefore.is_error());
+        assert!(FaultAction::CrashMid.is_error());
+        assert!(FaultAction::CrashAfter.is_error());
+        assert!(!FaultAction::None.is_error());
+        assert!(!FaultAction::SlowRead.is_error());
+        assert!(!FaultAction::Duplicate.is_error());
+        assert!(!FaultAction::Delay.is_error());
+        assert!(FaultAction::Drop.is_error()); // the send "fails"; sender retransmits
+    }
+}

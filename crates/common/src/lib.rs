@@ -14,6 +14,7 @@ pub mod bitmap;
 pub mod channel;
 pub mod column;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod schema;

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
@@ -170,6 +171,21 @@ impl VectorH {
 
     pub fn fs(&self) -> &SimHdfs {
         &self.fs
+    }
+
+    /// Install (or clear) the fault-injection hook. The filesystem holds it
+    /// Arc-shared, so WALs, 2PC (via the global WAL's fs) and exchanges
+    /// (via [`Self::dxchg_config`]) all observe the same hook.
+    pub fn install_fault_hook(&self, hook: Option<SharedFaultHook>) {
+        self.fs.set_fault_hook(hook);
+    }
+
+    /// Exchange configuration for query execution, carrying the currently
+    /// installed fault hook.
+    pub fn dxchg_config(&self) -> DxchgConfig {
+        let mut c = self.config.dxchg.clone();
+        c.fault = self.fs.fault_hook();
+        c
     }
 
     pub fn net_stats(&self) -> &Arc<NetStats> {
@@ -383,10 +399,33 @@ impl VectorH {
         self.query_logical(&logical)
     }
 
-    /// Optimize and run a logical plan.
+    /// Optimize and run a logical plan, with query-level failover: when a
+    /// node dies mid-query ([`VhError::NodeDown`]), the worker set is
+    /// reconciled with the filesystem's alive set, affinity/responsibility
+    /// are remapped, and the query is re-planned and re-run on the
+    /// survivors. Each failover shrinks the cluster, so the retry count is
+    /// bounded by the original node count.
     pub fn query_logical(&self, logical: &LogicalPlan) -> Result<Vec<Vec<Value>>> {
-        let phys = self.optimize(logical)?;
-        self.run_physical(&phys).map(|(rows, _)| rows)
+        let mut failovers = 0usize;
+        loop {
+            let phys = self.optimize(logical)?;
+            match self.run_physical(&phys) {
+                Ok((rows, _)) => return Ok(rows),
+                Err(e) => {
+                    failovers += 1;
+                    // A mid-query death surfaces as NodeDown from the pinned
+                    // read that hit the dead node, but sibling pipelines may
+                    // collapse with secondary transport errors that win the
+                    // race to the collector. "Did the worker set shrink?" is
+                    // therefore the authoritative failover signal.
+                    let node_died = self.reconcile_workers().unwrap_or(false);
+                    let retryable = node_died || matches!(e, VhError::NodeDown(_));
+                    if !retryable || failovers > self.config.nodes {
+                        return Err(e);
+                    }
+                }
+            }
+        }
     }
 
     /// Run a query and return its appendix-style execution profile too.
@@ -426,13 +465,32 @@ impl VectorH {
     /// partition homes move — after which all scans are local again.
     pub fn kill_node(&self, node: NodeId) -> Result<()> {
         self.fs.kill_node(node)?;
+        // YARN learns about the dead NodeManager; its containers surface to
+        // the dbAgent as lost on the next poll.
+        self.rm.node_lost(node);
+        self.reconcile_workers()?;
+        Ok(())
+    }
+
+    /// Sync the worker set with the filesystem's alive set and remap
+    /// affinity + responsibility. This is the recovery half of
+    /// [`Self::kill_node`], callable on its own when a node death is
+    /// detected mid-query (the chaos harness kills nodes underneath running
+    /// queries). Returns whether the worker set shrank.
+    pub fn reconcile_workers(&self) -> Result<bool> {
+        let alive = self.fs.alive_nodes();
         let mut workers = self.workers.write();
-        workers.retain(|&w| w != node);
+        let before = workers.len();
+        workers.retain(|w| alive.contains(w));
         if workers.is_empty() {
             return Err(VhError::Yarn("no workers left".into()));
         }
+        let changed = workers.len() != before;
         let workers_now = workers.clone();
         drop(workers);
+        if !changed {
+            return Ok(false);
+        }
 
         // Recompute the affinity map from actual block locality.
         //
@@ -536,7 +594,7 @@ impl VectorH {
                 }
             }
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Responsible node of a partition.

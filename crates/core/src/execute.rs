@@ -77,7 +77,7 @@ pub(crate) fn execute(vh: &VectorH, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>,
         Streams::Parallel(streams) => Box::new(dxchg_union(
             streams.into_iter().collect(),
             ctx.master,
-            vh.config.dxchg.clone(),
+            vh.dxchg_config(),
             vh.net_stats().clone(),
         )?),
     };
@@ -278,7 +278,7 @@ fn build_side_per_node(
                 Streams::Parallel(streams) => Box::new(dxchg_union(
                     streams,
                     ctx.master,
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?),
             };
@@ -453,14 +453,14 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                         build(ctx, probe_in)?.into_parallel(),
                         consumers.clone(),
                         pkeys,
-                        ctx.vh.config.dxchg.clone(),
+                        ctx.vh.dxchg_config(),
                         ctx.vh.net_stats().clone(),
                     )?;
                     let brecv = dxchg_hash_split(
                         build(ctx, build_in)?.into_parallel(),
                         consumers.clone(),
                         bkeys,
-                        ctx.vh.config.dxchg.clone(),
+                        ctx.vh.dxchg_config(),
                         ctx.vh.net_stats().clone(),
                     )?;
                     let mut out = Vec::with_capacity(consumers.len());
@@ -508,7 +508,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                     partials.into_parallel(),
                     consumers.clone(),
                     (0..group_by.len()).collect(),
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?;
                 let fin = final_aggs(group_by.len(), aggs);
@@ -532,7 +532,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                     build(ctx, input)?.into_parallel(),
                     consumers.clone(),
                     group_by.clone(),
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?;
                 let mut out = Vec::with_capacity(consumers.len());
@@ -559,7 +559,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 let union = dxchg_union(
                     partials.into_parallel(),
                     ctx.master,
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?;
                 Ok(Streams::Serial(Box::new(Aggr::new(
@@ -573,7 +573,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 let union = dxchg_union(
                     build(ctx, input)?.into_parallel(),
                     ctx.master,
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?;
                 Ok(Streams::Serial(Box::new(Aggr::new(
@@ -594,7 +594,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                     Box::new(dxchg_union(
                         partial.into_parallel(),
                         ctx.master,
-                        ctx.vh.config.dxchg.clone(),
+                        ctx.vh.dxchg_config(),
                         ctx.vh.net_stats().clone(),
                     )?)
                 }
@@ -603,7 +603,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                     Streams::Parallel(streams) => Box::new(dxchg_union(
                         streams,
                         ctx.master,
-                        ctx.vh.config.dxchg.clone(),
+                        ctx.vh.dxchg_config(),
                         ctx.vh.net_stats().clone(),
                     )?),
                 },
@@ -620,7 +620,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 Streams::Parallel(streams) => Box::new(dxchg_union(
                     streams,
                     ctx.master,
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?),
             };
@@ -633,7 +633,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 Streams::Parallel(streams) => Ok(Streams::Serial(Box::new(dxchg_union(
                     streams,
                     ctx.master,
-                    ctx.vh.config.dxchg.clone(),
+                    ctx.vh.dxchg_config(),
                     ctx.vh.net_stats().clone(),
                 )?))),
             }
@@ -644,7 +644,7 @@ fn build(ctx: &Ctx, phys: &PhysPlan) -> Result<Streams> {
                 build(ctx, input)?.into_parallel(),
                 consumers.clone(),
                 keys.clone(),
-                ctx.vh.config.dxchg.clone(),
+                ctx.vh.dxchg_config(),
                 ctx.vh.net_stats().clone(),
             )?;
             Ok(Streams::Parallel(

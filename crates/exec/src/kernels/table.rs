@@ -45,6 +45,16 @@ impl HashTable {
         self.hashes.is_empty()
     }
 
+    /// Remove all rows, keeping the allocated capacity for reuse (operators
+    /// that rebuild per partition recycle one table instead of
+    /// reallocating). Bucket heads are reset so probes of a cleared table
+    /// see no candidates.
+    pub fn clear(&mut self) {
+        self.hashes.clear();
+        self.next.clear();
+        self.buckets.fill(EMPTY);
+    }
+
     #[inline]
     fn bucket_of(&self, hash: u64) -> usize {
         (hash & (self.buckets.len() as u64 - 1)) as usize
@@ -202,6 +212,71 @@ mod tests {
                 "row {r} lost after growth"
             );
         }
+    }
+
+    #[test]
+    fn growth_exactly_at_load_factor_boundary() {
+        // buckets = next_power_of_two(2n): inserting one row past n where
+        // 2n is exactly a power of two forces a rebuild. Walk several such
+        // boundaries (n = 8, 16, 32, ...) one row at a time and check
+        // reachability right before and right after each rebuild.
+        for boundary in [8usize, 16, 32, 64, 128] {
+            let mut t = HashTable::new();
+            let hashes: Vec<u64> = (0..boundary as u64 + 1).map(hash_u64).collect();
+            t.insert_batch(&hashes[..boundary]);
+            let buckets_before = (boundary * 2).next_power_of_two().max(MIN_BUCKETS);
+            for (r, &h) in hashes[..boundary].iter().enumerate() {
+                assert!(t.candidates(h).any(|c| c == r as u32));
+            }
+            // One more row crosses the load-factor line.
+            t.insert_batch(&hashes[boundary..]);
+            assert!(
+                ((boundary + 1) * 2).next_power_of_two() > buckets_before
+                    || buckets_before == MIN_BUCKETS,
+                "test premise: boundary {boundary} must force growth"
+            );
+            for (r, &h) in hashes.iter().enumerate() {
+                assert!(
+                    t.candidates(h).any(|c| c == r as u32),
+                    "row {r} lost crossing boundary {boundary}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_duplicate_keys_build_one_long_chain() {
+        let mut t = HashTable::new();
+        const N: u32 = 10_000;
+        // Every row hashes identically: the degenerate all-duplicates case.
+        t.insert_batch(&vec![0xDEAD_BEEF; N as usize]);
+        let mut got: Vec<u32> = t.candidates(0xDEAD_BEEF).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..N).collect::<Vec<u32>>());
+        // Nothing else matches, even keys landing in the same bucket.
+        let same_bucket = 0xDEAD_BEEF ^ (t.buckets.len() as u64);
+        assert_eq!(t.candidates(same_bucket).count(), 0);
+    }
+
+    #[test]
+    fn probe_after_clear_finds_nothing_then_refills() {
+        let mut t = HashTable::new();
+        let hashes: Vec<u64> = (0..500).map(hash_u64).collect();
+        t.insert_batch(&hashes);
+        assert_eq!(t.len(), 500);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        for &h in &hashes {
+            assert_eq!(t.first_candidate(h), EMPTY, "stale candidate after clear");
+            assert_eq!(t.candidates(h).count(), 0);
+        }
+        let mut heads = Vec::new();
+        t.probe_batch(&hashes, &mut heads);
+        assert!(heads.iter().all(|&r| r == EMPTY));
+        // Row ids restart from zero after a clear.
+        t.insert_batch(&hashes[..10]);
+        assert_eq!(t.first_candidate(hashes[3]), 3);
     }
 
     /// Property test: the flat table agrees with `std::collections::HashMap`

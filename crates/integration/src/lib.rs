@@ -1,0 +1,4 @@
+//! Test-only crate: its `tests/` target pulls the repository-level
+//! integration suites (under `/tests` at the workspace root) into the
+//! workspace so plain `cargo test` runs them. The suites live at the root
+//! because they document engine-level behaviour, not any single crate.

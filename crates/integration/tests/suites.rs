@@ -1,0 +1,20 @@
+//! Binds the workspace-root integration suites into a cargo test target.
+//!
+//! The suite sources stay at `<workspace>/tests/` — they are engine-level
+//! documentation as much as tests — and are included here by path so
+//! `cargo test` from the workspace root compiles and runs all of them.
+
+#[path = "../../../tests/elasticity.rs"]
+mod elasticity;
+
+#[path = "../../../tests/end_to_end_sql.rs"]
+mod end_to_end_sql;
+
+#[path = "../../../tests/failover_locality.rs"]
+mod failover_locality;
+
+#[path = "../../../tests/tpch_consistency.rs"]
+mod tpch_consistency;
+
+#[path = "../../../tests/transactions.rs"]
+mod transactions;

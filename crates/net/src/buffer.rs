@@ -15,6 +15,7 @@ use vectorh_common::{ColumnData, Result, Schema, VhError};
 use crate::stats::NetStats;
 
 /// A batch serialized for the wire, or pointer-passed intra-node.
+#[derive(Clone)]
 pub enum Message {
     /// Serialized PAX buffer (+ optional route column).
     Wire {

@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use vectorh_common::channel::{bounded, Receiver, Sender};
+use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
 use vectorh_common::{Result, Schema, VhError};
 use vectorh_exec::operator::{Counters, OpProfile};
 use vectorh_exec::{Batch, Operator};
@@ -43,6 +44,10 @@ pub struct DxchgConfig {
     /// Flush threshold per buffer (paper: ≥256 KB for good MPI throughput).
     pub buffer_bytes: usize,
     pub mode: FanoutMode,
+    /// Optional fault hook consulted on every buffer flush
+    /// ([`FaultSite::XchgSend`]): drop (lost + retransmitted), duplicate
+    /// (deduped by receivers via message tags), delay (bounded reorder).
+    pub fault: Option<SharedFaultHook>,
 }
 
 impl Default for DxchgConfig {
@@ -50,11 +55,116 @@ impl Default for DxchgConfig {
         DxchgConfig {
             buffer_bytes: 256 * 1024,
             mode: FanoutMode::ThreadToNode,
+            fault: None,
         }
     }
 }
 
-type Payload = std::result::Result<Message, VhError>;
+/// A message plus a tag unique within its exchange, so receivers can
+/// discard injected duplicates.
+#[derive(Clone)]
+struct Envelope {
+    tag: u64,
+    msg: Message,
+}
+
+type Payload = std::result::Result<Envelope, VhError>;
+
+/// Producer-side send path of one exchange: owns the destination channels
+/// and applies injected channel faults. The transport is reliable — a
+/// "dropped" buffer is retransmitted, a delayed buffer is delivered after
+/// the next one to the same destination (or at end-of-stream) — so faults
+/// perturb schedules, never correctness.
+struct SendPlane {
+    txs: Vec<Sender<Payload>>,
+    hook: Option<SharedFaultHook>,
+    name: &'static str,
+    wi: usize,
+    stats: Arc<NetStats>,
+    seq: u64,
+    held: Vec<Option<Envelope>>,
+}
+
+impl SendPlane {
+    fn new(
+        txs: Vec<Sender<Payload>>,
+        hook: Option<SharedFaultHook>,
+        name: &'static str,
+        wi: usize,
+        stats: Arc<NetStats>,
+    ) -> Self {
+        let held = (0..txs.len()).map(|_| None).collect();
+        SendPlane {
+            txs,
+            hook,
+            name,
+            wi,
+            stats,
+            seq: 0,
+            held,
+        }
+    }
+
+    /// Deliver `env` to `dest`, then any earlier buffer held back by a
+    /// delay fault (which is what makes the delay an observable reorder).
+    fn deliver(&mut self, dest: usize, env: Envelope) -> bool {
+        if self.txs[dest].send(Ok(env)).is_err() {
+            return false;
+        }
+        match self.held[dest].take() {
+            Some(prev) => self.txs[dest].send(Ok(prev)).is_ok(),
+            None => true,
+        }
+    }
+
+    /// Send one logical message, applying the configured channel fault.
+    fn send(&mut self, dest: usize, msg: Message) -> bool {
+        self.seq += 1;
+        let tag = ((self.wi as u64 + 1) << 32) | self.seq;
+        let env = Envelope { tag, msg };
+        let action = match &self.hook {
+            Some(h) => {
+                let detail = format!("{}:w{}->d{}#{}", self.name, self.wi, dest, self.seq);
+                h.decide(FaultSite::XchgSend, &detail, 0)
+            }
+            None => FaultAction::None,
+        };
+        match action {
+            FaultAction::Drop => {
+                // Lost in flight; the reliable sender retransmits.
+                self.stats.record_dropped();
+                self.deliver(dest, env)
+            }
+            FaultAction::Duplicate => {
+                self.stats.record_duplicated();
+                let copy = env.clone();
+                self.deliver(dest, env) && self.deliver(dest, copy)
+            }
+            FaultAction::Delay => {
+                self.stats.record_delayed();
+                let prev = self.held[dest].replace(env);
+                match prev {
+                    Some(p) => self.txs[dest].send(Ok(p)).is_ok(),
+                    None => true,
+                }
+            }
+            _ => self.deliver(dest, env),
+        }
+    }
+
+    /// Flush any buffers still held back by delay faults (end of stream).
+    fn finish(&mut self) {
+        for dest in 0..self.txs.len() {
+            if let Some(env) = self.held[dest].take() {
+                let _ = self.txs[dest].send(Ok(env));
+            }
+        }
+    }
+
+    fn error(&self, e: VhError) {
+        let _ = self.txs[0].send(Err(e));
+    }
+}
 
 /// Consumer-side operator of a DXchg: thread `consumer_idx` on a node.
 pub struct DxchgReceiver {
@@ -63,6 +173,8 @@ pub struct DxchgReceiver {
     rx: Receiver<Payload>,
     /// Which route byte this receiver consumes (None = take everything).
     route_filter: Option<u8>,
+    /// Tags already consumed, so injected duplicate deliveries are dropped.
+    seen: std::collections::HashSet<u64>,
     counters: Counters,
     consumer_wait_ns: u64,
     profiles: Arc<ProfileHub>,
@@ -105,8 +217,11 @@ impl Operator for DxchgReceiver {
             match res {
                 Err(_) => return Ok(None),
                 Ok(Err(e)) => return Err(e),
-                Ok(Ok(msg)) => {
-                    let (batch, route) = open_message(msg, self.schema.clone())?;
+                Ok(Ok(env)) => {
+                    if !self.seen.insert(env.tag) {
+                        continue; // injected duplicate delivery
+                    }
+                    let (batch, route) = open_message(env.msg, self.schema.clone())?;
                     let batch = match (self.route_filter, route) {
                         (Some(me), Some(route)) => {
                             // Selectively consume my tuples by route byte.
@@ -271,6 +386,7 @@ fn dxchg_t2t(
         let stats = stats.clone();
         let schema = schema.clone();
         let buffer_bytes = config.buffer_bytes;
+        let hook = config.fault.clone();
         let ptx = ptx.clone();
         std::thread::spawn(move || {
             let t0 = Instant::now();
@@ -279,14 +395,15 @@ fn dxchg_t2t(
             let fanout = consumers.len();
             let accounted = (2 * fanout * buffer_bytes) as u64;
             stats.alloc_buffers(accounted);
+            let mut plane = SendPlane::new(senders, hook, name, wi, stats.clone());
             let mut bufs: Vec<Batch> = (0..fanout).map(|_| Batch::empty(schema.clone())).collect();
-            let flush = |c: usize, buf: &mut Batch| -> bool {
+            let flush = |plane: &mut SendPlane, c: usize, buf: &mut Batch| -> bool {
                 if buf.is_empty() {
                     return true;
                 }
                 let full = std::mem::replace(buf, Batch::empty(schema.clone()));
-                let msg = make_message(full, None, prod_node, consumers[c], &stats);
-                senders[c].send(Ok(msg)).is_ok()
+                let msg = make_message(full, None, prod_node, consumers[c], &plane.stats);
+                plane.send(c, msg)
             };
             'run: loop {
                 match prod.next() {
@@ -302,13 +419,13 @@ fn dxchg_t2t(
                                     bufs[c].append(&piece).ok();
                                     let size: usize =
                                         bufs[c].columns.iter().map(|x| x.byte_size()).sum();
-                                    if size >= buffer_bytes && !flush(c, &mut bufs[c]) {
+                                    if size >= buffer_bytes && !flush(&mut plane, c, &mut bufs[c]) {
                                         break 'run;
                                     }
                                 }
                             }
                             Err(e) => {
-                                let _ = senders[0].send(Err(e));
+                                plane.error(e);
                                 break 'run;
                             }
                         }
@@ -316,18 +433,19 @@ fn dxchg_t2t(
                     Ok(None) => {
                         for (c, buf) in bufs.iter_mut().enumerate().take(fanout) {
                             let mut b = std::mem::replace(buf, Batch::empty(schema.clone()));
-                            if !flush(c, &mut b) {
+                            if !flush(&mut plane, c, &mut b) {
                                 break;
                             }
                         }
                         break 'run;
                     }
                     Err(e) => {
-                        let _ = senders[0].send(Err(e));
+                        plane.error(e);
                         break 'run;
                     }
                 }
             }
+            plane.finish();
             stats.free_buffers(accounted);
             let _ = ptx.send(crate::xchg::WorkerProfile {
                 worker: wi,
@@ -349,6 +467,7 @@ fn dxchg_t2t(
             schema: schema.clone(),
             rx,
             route_filter: None,
+            seen: Default::default(),
             counters: Counters::default(),
             consumer_wait_ns: 0,
             profiles: hub.clone(),
@@ -412,26 +531,9 @@ fn dxchg_t2n(
         std::thread::spawn(move || {
             while let Ok(payload) = node_rx.recv() {
                 match payload {
-                    Ok(Message::Wire { bytes, route }) => {
+                    Ok(env) => {
                         for tx in &thread_txs {
-                            if tx
-                                .send(Ok(Message::Wire {
-                                    bytes: bytes.clone(),
-                                    route: route.clone(),
-                                }))
-                                .is_err()
-                            {
-                                return;
-                            }
-                        }
-                    }
-                    Ok(Message::Local { batch, route }) => {
-                        for tx in &thread_txs {
-                            let msg = Message::Local {
-                                batch: crate::xchg::BatchMsg(batch.0.clone()),
-                                route: route.clone(),
-                            };
-                            if tx.send(Ok(msg)).is_err() {
+                            if tx.send(Ok(env.clone())).is_err() {
                                 return;
                             }
                         }
@@ -456,6 +558,7 @@ fn dxchg_t2n(
         let stats = stats.clone();
         let schema = schema.clone();
         let buffer_bytes = config.buffer_bytes;
+        let hook = config.fault.clone();
         let n_consumers = consumers.len();
         let ptx = ptx.clone();
         std::thread::spawn(move || {
@@ -464,17 +567,18 @@ fn dxchg_t2n(
             let fanout = nodes.len();
             let accounted = (2 * fanout * buffer_bytes) as u64;
             stats.alloc_buffers(accounted);
+            let mut plane = SendPlane::new(node_txs, hook, name, wi, stats.clone());
             let mut bufs: Vec<(Batch, Vec<u8>)> = (0..fanout)
                 .map(|_| (Batch::empty(schema.clone()), Vec::new()))
                 .collect();
-            let flush = |ni: usize, buf: &mut (Batch, Vec<u8>)| -> bool {
+            let flush = |plane: &mut SendPlane, ni: usize, buf: &mut (Batch, Vec<u8>)| -> bool {
                 if buf.0.is_empty() {
                     return true;
                 }
                 let batch = std::mem::replace(&mut buf.0, Batch::empty(schema.clone()));
                 let route = std::mem::take(&mut buf.1);
-                let msg = make_message(batch, Some(route), prod_node, nodes[ni], &stats);
-                node_txs[ni].send(Ok(msg)).is_ok()
+                let msg = make_message(batch, Some(route), prod_node, nodes[ni], &plane.stats);
+                plane.send(ni, msg)
             };
             'run: loop {
                 match prod.next() {
@@ -505,14 +609,14 @@ fn dxchg_t2n(
                                             &mut bufs[ni],
                                             (Batch::empty(schema.clone()), Vec::new()),
                                         );
-                                        if !flush(ni, &mut b) {
+                                        if !flush(&mut plane, ni, &mut b) {
                                             break 'run;
                                         }
                                     }
                                 }
                             }
                             Err(e) => {
-                                let _ = node_txs[0].send(Err(e));
+                                plane.error(e);
                                 break 'run;
                             }
                         }
@@ -521,18 +625,19 @@ fn dxchg_t2n(
                         for (ni, buf) in bufs.iter_mut().enumerate().take(fanout) {
                             let mut b =
                                 std::mem::replace(buf, (Batch::empty(schema.clone()), Vec::new()));
-                            if !flush(ni, &mut b) {
+                            if !flush(&mut plane, ni, &mut b) {
                                 break;
                             }
                         }
                         break 'run;
                     }
                     Err(e) => {
-                        let _ = node_txs[0].send(Err(e));
+                        plane.error(e);
                         break 'run;
                     }
                 }
             }
+            plane.finish();
             stats.free_buffers(accounted);
             let _ = ptx.send(crate::xchg::WorkerProfile {
                 worker: wi,
@@ -556,6 +661,7 @@ fn dxchg_t2n(
             schema: schema.clone(),
             rx,
             route_filter: Some(routing[j].1),
+            seen: Default::default(),
             counters: Counters::default(),
             consumer_wait_ns: 0,
             profiles: hub.clone(),
@@ -579,6 +685,7 @@ mod tests {
         DxchgConfig {
             buffer_bytes: 512,
             mode,
+            fault: None,
         }
     }
 
@@ -675,6 +782,7 @@ mod tests {
                 DxchgConfig {
                     buffer_bytes: 1024,
                     mode,
+                    fault: None,
                 },
                 stats.clone(),
             )
@@ -687,6 +795,89 @@ mod tests {
         assert_eq!(t2t, 2 * 4 * 1024); // 2× (double buffering) × fanout × buf
         assert_eq!(t2n, 2 * 2 * 1024);
         assert!(t2n < t2t);
+    }
+
+    /// Faults every even-numbered buffer of an exchange. Pure function of
+    /// the detail string, as the determinism contract requires.
+    #[derive(Debug)]
+    struct EveryOther(FaultAction);
+
+    impl vectorh_common::fault::FaultHook for EveryOther {
+        fn decide(&self, site: FaultSite, detail: &str, _attempt: u32) -> FaultAction {
+            if site != FaultSite::XchgSend {
+                return FaultAction::None;
+            }
+            let seq: u64 = detail.rsplit('#').next().unwrap().parse().unwrap();
+            if seq.is_multiple_of(2) {
+                self.0
+            } else {
+                FaultAction::None
+            }
+        }
+    }
+
+    #[test]
+    fn channel_faults_never_lose_or_duplicate_rows() {
+        for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
+            for action in [
+                FaultAction::Drop,
+                FaultAction::Duplicate,
+                FaultAction::Delay,
+            ] {
+                let stats = Arc::new(NetStats::default());
+                let recv = dxchg_hash_split(
+                    vec![
+                        (0, source((0..300).collect())),
+                        (1, source((300..600).collect())),
+                    ],
+                    vec![0, 0, 1, 1],
+                    vec![0],
+                    DxchgConfig {
+                        buffer_bytes: 512,
+                        mode,
+                        fault: Some(Arc::new(EveryOther(action))),
+                    },
+                    stats.clone(),
+                )
+                .unwrap();
+                let mut all: Vec<i64> = drain(recv).into_iter().flatten().collect();
+                all.sort_unstable();
+                assert_eq!(
+                    all,
+                    (0..600).collect::<Vec<_>>(),
+                    "mode {mode:?} action {action:?}"
+                );
+                let snap = stats.snapshot();
+                let fired =
+                    snap.dropped_messages + snap.duplicated_messages + snap.delayed_messages;
+                assert!(fired > 0, "mode {mode:?} action {action:?} never fired");
+            }
+        }
+    }
+
+    #[test]
+    fn faulty_union_matches_clean_union() {
+        let run = |fault: Option<SharedFaultHook>| {
+            let stats = Arc::new(NetStats::default());
+            let r = dxchg_union(
+                vec![
+                    (0, source((0..250).collect())),
+                    (1, source((250..500).collect())),
+                ],
+                0,
+                DxchgConfig {
+                    buffer_bytes: 256,
+                    mode: FanoutMode::ThreadToNode,
+                    fault,
+                },
+                stats,
+            )
+            .unwrap();
+            drain(vec![r]).remove(0)
+        };
+        let clean = run(None);
+        let faulty = run(Some(Arc::new(EveryOther(FaultAction::Duplicate))));
+        assert_eq!(clean, faulty);
     }
 
     #[test]

@@ -18,6 +18,12 @@ pub struct NetStats {
     buffer_bytes_now: AtomicU64,
     /// High-water mark of allocated sender-buffer bytes.
     buffer_bytes_peak: AtomicU64,
+    /// Injected fault: buffers lost in flight (and retransmitted).
+    dropped_messages: AtomicU64,
+    /// Injected fault: buffers delivered twice (deduped by receivers).
+    duplicated_messages: AtomicU64,
+    /// Injected fault: buffers held back and delivered out of order.
+    delayed_messages: AtomicU64,
 }
 
 /// Point-in-time snapshot.
@@ -28,6 +34,9 @@ pub struct NetSnapshot {
     pub intra_messages: u64,
     pub rows: u64,
     pub buffer_bytes_peak: u64,
+    pub dropped_messages: u64,
+    pub duplicated_messages: u64,
+    pub delayed_messages: u64,
 }
 
 impl NetStats {
@@ -52,6 +61,18 @@ impl NetStats {
         self.buffer_bytes_now.fetch_sub(bytes, Ordering::Relaxed);
     }
 
+    pub fn record_dropped(&self) {
+        self.dropped_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_duplicated(&self) {
+        self.duplicated_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_delayed(&self) {
+        self.delayed_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> NetSnapshot {
         NetSnapshot {
             net_messages: self.net_messages.load(Ordering::Relaxed),
@@ -59,6 +80,9 @@ impl NetStats {
             intra_messages: self.intra_messages.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
             buffer_bytes_peak: self.buffer_bytes_peak.load(Ordering::Relaxed),
+            dropped_messages: self.dropped_messages.load(Ordering::Relaxed),
+            duplicated_messages: self.duplicated_messages.load(Ordering::Relaxed),
+            delayed_messages: self.delayed_messages.load(Ordering::Relaxed),
         }
     }
 }

@@ -25,6 +25,7 @@ use vectorh_exec::{Batch, Operator};
 use crate::stats::NetStats;
 
 /// Newtype so exchange messages have a crate-local name.
+#[derive(Clone)]
 pub struct BatchMsg(pub Batch);
 
 /// How an exchange redistributes rows.

@@ -18,11 +18,16 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
+use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
 use vectorh_common::sync::RwLock;
 use vectorh_common::{NodeId, Result, VhError};
 
 use crate::placement::{BlockPlacementPolicy, ClusterView};
 use crate::stats::{IoStats, UsageReport};
+
+/// Bounded retry budget for injected transient I/O errors: the first
+/// attempt plus up to three retries with (simulated) exponential backoff.
+const MAX_IO_ATTEMPTS: u32 = 4;
 
 /// Configuration of the simulated cluster.
 #[derive(Debug, Clone)]
@@ -92,6 +97,9 @@ pub struct SimHdfs {
     policy: Arc<dyn BlockPlacementPolicy>,
     stats: Arc<IoStats>,
     config: SimHdfsConfig,
+    // Arc-shared (not per-clone) so installing a hook on any handle is
+    // visible to every clone already embedded in WALs and stores.
+    hook: Arc<RwLock<Option<SharedFaultHook>>>,
 }
 
 impl SimHdfs {
@@ -108,6 +116,62 @@ impl SimHdfs {
             policy,
             stats: Arc::new(IoStats::default()),
             config,
+            hook: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Install (or clear) the fault hook consulted on every read/append.
+    /// Shared across all clones of this filesystem.
+    pub fn set_fault_hook(&self, hook: Option<SharedFaultHook>) {
+        *self.hook.write() = hook;
+    }
+
+    /// The currently installed fault hook, if any.
+    pub fn fault_hook(&self) -> Option<SharedFaultHook> {
+        self.hook.read().clone()
+    }
+
+    /// Consult the hook at `site` for `detail`, honouring transient-error
+    /// retries with simulated exponential backoff. `Ok(())` means proceed;
+    /// transient errors that exhaust [`MAX_IO_ATTEMPTS`] and permanent
+    /// errors surface as typed `Err`s. Public so layers built on the
+    /// filesystem (WAL replay) can gate their own sites on the same hook.
+    pub fn consult_fault(&self, site: FaultSite, detail: &str) -> Result<()> {
+        let hook = match self.fault_hook() {
+            Some(h) => h,
+            None => return Ok(()),
+        };
+        let mut attempt = 0u32;
+        loop {
+            match hook.decide(site, detail, attempt) {
+                FaultAction::None => return Ok(()),
+                FaultAction::SlowRead => {
+                    self.stats.record_slow_read();
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    return Ok(());
+                }
+                FaultAction::TransientError => {
+                    self.stats.record_injected_fault();
+                    attempt += 1;
+                    if attempt >= MAX_IO_ATTEMPTS {
+                        return Err(VhError::Hdfs(format!(
+                            "injected transient {site} error on {detail} \
+                             (gave up after {attempt} attempts)"
+                        )));
+                    }
+                    self.stats.record_read_retry();
+                    std::thread::sleep(std::time::Duration::from_micros(20 << attempt));
+                }
+                FaultAction::PermanentError => {
+                    self.stats.record_injected_fault();
+                    return Err(VhError::Hdfs(format!(
+                        "injected permanent {site} error on {detail}"
+                    )));
+                }
+                // Exchange/WAL-specific actions are meaningless for plain
+                // filesystem I/O; treat them as "no fault here".
+                _ => return Ok(()),
+            }
         }
     }
 
@@ -163,6 +227,7 @@ impl SimHdfs {
     /// This is the only write primitive — HDFS files cannot be modified in
     /// the middle.
     pub fn append(&self, path: &str, data: &[u8], writer: Option<NodeId>) -> Result<()> {
+        self.consult_fault(FaultSite::HdfsAppend, path)?;
         let mut inner = self.inner.write();
         if !inner.files.contains_key(path) {
             let replication = self.config.default_replication;
@@ -242,7 +307,18 @@ impl SimHdfs {
         len: usize,
         reader: Option<NodeId>,
     ) -> Result<Vec<u8>> {
+        self.consult_fault(FaultSite::HdfsRead, path)?;
         let inner = self.inner.read();
+        // A dead node cannot issue reads: surfacing this as `NodeDown` (not
+        // a generic Hdfs error) lets the query layer fail over by
+        // re-planning on the surviving worker set.
+        if let Some(r) = reader {
+            if !inner.alive.contains(&r) {
+                return Err(VhError::NodeDown(format!(
+                    "reader {r} is dead (reading {path})"
+                )));
+            }
+        }
         let entry = inner
             .files
             .get(path)
@@ -691,5 +767,124 @@ mod tests {
         let report = fs.usage();
         let total: u64 = report.per_node_bytes.values().sum();
         assert_eq!(total, 150);
+    }
+
+    /// Scripted hook for the injection tests: acts on paths containing a
+    /// marker substring, pure function of (site, detail, attempt).
+    #[derive(Debug)]
+    struct ScriptedHook {
+        site: FaultSite,
+        marker: &'static str,
+        action: FaultAction,
+        /// For TransientError: fail attempts `< clears_after`.
+        clears_after: u32,
+    }
+
+    impl vectorh_common::fault::FaultHook for ScriptedHook {
+        fn decide(&self, site: FaultSite, detail: &str, attempt: u32) -> FaultAction {
+            if site != self.site || !detail.contains(self.marker) {
+                return FaultAction::None;
+            }
+            if self.action == FaultAction::TransientError && attempt >= self.clears_after {
+                return FaultAction::None;
+            }
+            self.action
+        }
+    }
+
+    #[test]
+    fn transient_read_fault_is_retried_and_recovers() {
+        let fs = small_fs(3);
+        fs.append("/flaky/f", &[3u8; 32], Some(NodeId(0))).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsRead,
+            marker: "/flaky/",
+            action: FaultAction::TransientError,
+            clears_after: 2,
+        })));
+        assert_eq!(
+            fs.read_all("/flaky/f", Some(NodeId(0))).unwrap(),
+            vec![3u8; 32]
+        );
+        let snap = fs.stats().snapshot();
+        assert_eq!(snap.injected_faults, 2);
+        assert_eq!(snap.read_retries, 2);
+    }
+
+    #[test]
+    fn transient_read_fault_exhausts_retry_budget() {
+        let fs = small_fs(3);
+        fs.append("/flaky/f", &[3u8; 32], Some(NodeId(0))).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsRead,
+            marker: "/flaky/",
+            action: FaultAction::TransientError,
+            clears_after: u32::MAX,
+        })));
+        let err = fs.read_all("/flaky/f", Some(NodeId(0))).unwrap_err();
+        assert!(err.to_string().contains("gave up"), "{err}");
+        assert_eq!(
+            fs.stats().snapshot().injected_faults,
+            MAX_IO_ATTEMPTS as u64
+        );
+    }
+
+    #[test]
+    fn permanent_fault_and_hook_clearing() {
+        let fs = small_fs(3);
+        fs.append("/f", &[1u8; 8], None).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsAppend,
+            marker: "/f",
+            action: FaultAction::PermanentError,
+            clears_after: 0,
+        })));
+        assert!(fs.append("/f", &[1u8; 8], None).is_err());
+        // Reads are unaffected (different site).
+        assert!(fs.read_all("/f", None).is_ok());
+        fs.set_fault_hook(None);
+        assert!(fs.append("/f", &[1u8; 8], None).is_ok());
+    }
+
+    #[test]
+    fn slow_reads_are_accounted_not_failed() {
+        let fs = small_fs(3);
+        fs.append("/s/f", &[2u8; 16], Some(NodeId(1))).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsRead,
+            marker: "/s/",
+            action: FaultAction::SlowRead,
+            clears_after: 0,
+        })));
+        assert!(fs.read_all("/s/f", Some(NodeId(1))).is_ok());
+        let snap = fs.stats().snapshot();
+        assert_eq!(snap.slow_read_ops, 1);
+        assert_eq!(snap.injected_faults, 0);
+    }
+
+    #[test]
+    fn hook_is_shared_across_clones() {
+        let fs = small_fs(3);
+        let clone_made_before_install = fs.clone();
+        fs.append("/f", &[0u8; 4], None).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsRead,
+            marker: "/f",
+            action: FaultAction::PermanentError,
+            clears_after: 0,
+        })));
+        assert!(clone_made_before_install.read_all("/f", None).is_err());
+    }
+
+    #[test]
+    fn dead_reader_surfaces_node_down() {
+        let fs = small_fs(4);
+        fs.append("/f", &[1u8; 64], Some(NodeId(0))).unwrap();
+        fs.kill_node(NodeId(2)).unwrap();
+        let err = fs.read_all("/f", Some(NodeId(2))).unwrap_err();
+        assert!(matches!(err, VhError::NodeDown(_)), "{err}");
+        // Live readers and external clients still work.
+        assert!(fs.read_all("/f", Some(NodeId(0))).is_ok());
+        assert!(fs.read_all("/f", None).is_ok());
     }
 }

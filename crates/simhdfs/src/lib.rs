@@ -26,4 +26,4 @@ pub mod stats;
 
 pub use fs::{BlockLocation, FileStatus, SimHdfs, SimHdfsConfig};
 pub use placement::{AffinityPolicy, BlockPlacementPolicy, ClusterView, DefaultPolicy};
-pub use stats::IoStats;
+pub use stats::{IoSnapshot, IoStats};

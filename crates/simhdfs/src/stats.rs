@@ -20,6 +20,9 @@ pub struct IoStats {
     remote_read_ops: AtomicU64,
     write_ops: AtomicU64,
     rereplicated_bytes: AtomicU64,
+    injected_faults: AtomicU64,
+    slow_read_ops: AtomicU64,
+    read_retries: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -32,6 +35,12 @@ pub struct IoSnapshot {
     pub remote_read_ops: u64,
     pub write_ops: u64,
     pub rereplicated_bytes: u64,
+    /// I/O errors injected by a fault hook (transient and permanent).
+    pub injected_faults: u64,
+    /// Reads that completed but were accounted as slowed by a fault hook.
+    pub slow_read_ops: u64,
+    /// Retries performed after injected transient errors.
+    pub read_retries: u64,
 }
 
 impl IoSnapshot {
@@ -60,6 +69,9 @@ impl IoSnapshot {
             remote_read_ops: self.remote_read_ops - earlier.remote_read_ops,
             write_ops: self.write_ops - earlier.write_ops,
             rereplicated_bytes: self.rereplicated_bytes - earlier.rereplicated_bytes,
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            slow_read_ops: self.slow_read_ops - earlier.slow_read_ops,
+            read_retries: self.read_retries - earlier.read_retries,
         }
     }
 }
@@ -84,6 +96,18 @@ impl IoStats {
         self.rereplicated_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub fn record_injected_fault(&self) {
+        self.injected_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_slow_read(&self) {
+        self.slow_read_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_read_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             local_read_bytes: self.local_read_bytes.load(Ordering::Relaxed),
@@ -93,6 +117,9 @@ impl IoStats {
             remote_read_ops: self.remote_read_ops.load(Ordering::Relaxed),
             write_ops: self.write_ops.load(Ordering::Relaxed),
             rereplicated_bytes: self.rereplicated_bytes.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            slow_read_ops: self.slow_read_ops.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -104,6 +131,9 @@ impl IoStats {
         self.remote_read_ops.store(0, Ordering::Relaxed);
         self.write_ops.store(0, Ordering::Relaxed);
         self.rereplicated_bytes.store(0, Ordering::Relaxed);
+        self.injected_faults.store(0, Ordering::Relaxed);
+        self.slow_read_ops.store(0, Ordering::Relaxed);
+        self.read_retries.store(0, Ordering::Relaxed);
     }
 }
 

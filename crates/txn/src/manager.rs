@@ -363,32 +363,36 @@ impl TransactionManager {
         F: FnMut(PartitionId, &[LogRecord]) -> Result<()>,
     {
         let mut inner = self.inner.write();
+        let result = Self::commit_locked(&mut inner, &txn, &mut persist);
+        // Release snapshot references on EVERY path — success, conflict,
+        // resolution failure, or persist (WAL) error. Leaking them would
+        // block propagation on the partition forever.
+        for pid in txn.snapshots.keys() {
+            if let Some(n) = inner.active.get_mut(pid) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        result
+    }
+
+    fn commit_locked(
+        inner: &mut MgrInner,
+        txn: &Transaction,
+        persist: &mut dyn FnMut(PartitionId, &[LogRecord]) -> Result<()>,
+    ) -> Result<u64> {
         // 1. Optimistic validation at tuple granularity.
-        let mut conflict: Option<(u64, (PartitionId, TupleKey))> = None;
         for (seq, keys) in inner.commit_log.iter().rev() {
             if *seq <= txn.version {
                 break;
             }
             for k in txn.write_set.iter().chain(txn.anchor_set.iter()) {
                 if keys.contains(k) {
-                    conflict = Some((*seq, *k));
-                    break;
+                    return Err(VhError::TxnAbort(format!(
+                        "write-write conflict on {k:?} (committed seq {seq} > snapshot {})",
+                        txn.version
+                    )));
                 }
             }
-            if conflict.is_some() {
-                break;
-            }
-        }
-        if let Some((seq, k)) = conflict {
-            for pid in txn.snapshots.keys() {
-                if let Some(n) = inner.active.get_mut(pid) {
-                    *n = n.saturating_sub(1);
-                }
-            }
-            return Err(VhError::TxnAbort(format!(
-                "write-write conflict on {k:?} (committed seq {seq} > snapshot {})",
-                txn.version
-            )));
         }
 
         // 2. Resolve ops against current master state into WAL records,
@@ -413,7 +417,9 @@ impl TransactionManager {
                 .get(pid)
                 .ok_or_else(|| VhError::TxnAbort("op on unsnapshotted partition".into()))?
                 .clone();
-            let write = new_writes.get_mut(pid).expect("cloned above");
+            let write = new_writes
+                .get_mut(pid)
+                .ok_or_else(|| VhError::TxnAbort("op on unsnapshotted partition".into()))?;
             let write_base = read.image_len(stable_len);
             let rid_of_key = |write: &Pdt, key: TupleKey| -> Option<u64> {
                 // Identity through read layer, then write layer.
@@ -499,26 +505,18 @@ impl TransactionManager {
         }
         inner.commit_seq = seq;
         let mut touched = txn.write_set.clone();
-        touched.extend(txn.own_tags.iter().map(|t| {
-            // Fresh inserts are conflict-relevant for later txns that
-            // modify them; register under their tag.
-            (
-                txn.ops
-                    .iter()
-                    .find_map(|(p, op)| match op {
-                        Op::Ins { tag, .. } if tag == t => Some(*p),
-                        _ => None,
-                    })
-                    .unwrap_or(PartitionId(0)),
-                TupleKey::Tagged(*t),
-            )
-        }));
-        inner.commit_log.push((seq, touched));
-        for pid in txn.snapshots.keys() {
-            if let Some(n) = inner.active.get_mut(pid) {
-                *n = n.saturating_sub(1);
+        // Fresh inserts are conflict-relevant for later txns that modify
+        // them; register each under its tag, attributed to the partition of
+        // its own insert op (an own_tag always has a surviving Ins op —
+        // deleting a pending insert removes both the op and the tag).
+        for (p, op) in &txn.ops {
+            if let Op::Ins { tag, .. } = op {
+                if txn.own_tags.contains(tag) {
+                    touched.insert((*p, TupleKey::Tagged(*tag)));
+                }
             }
         }
+        inner.commit_log.push((seq, touched));
         Ok(seq)
     }
 
@@ -873,6 +871,36 @@ mod tests {
         m.delete_at(&mut t, P, 0).unwrap();
         m.commit(t, |_, _| Ok(())).unwrap();
         assert!(m.bulk_append(P, 5).is_err());
+    }
+
+    #[test]
+    fn failed_persist_releases_snapshot_refs() {
+        let m = mgr_with(P, 4);
+        let mut t = m.begin(&[P]).unwrap();
+        m.delete_at(&mut t, P, 0).unwrap();
+        let err = m
+            .commit(t, |_, _| {
+                Err(VhError::Storage("injected WAL failure".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, VhError::Storage(_)), "{err}");
+        // The failed commit must not leak its active-txn reference, or the
+        // partition could never be propagated again.
+        assert!(m.begin_propagation(P).is_ok());
+        // And the master state is untouched: the delete never landed.
+        assert_eq!(materialize(&m, P, 4), stable_rows(4));
+    }
+
+    #[test]
+    fn conflict_abort_releases_snapshot_refs() {
+        let m = mgr_with(P, 4);
+        let mut t1 = m.begin(&[P]).unwrap();
+        let mut t2 = m.begin(&[P]).unwrap();
+        m.modify_at(&mut t1, P, 2, 0, Value::I64(1)).unwrap();
+        m.modify_at(&mut t2, P, 2, 0, Value::I64(2)).unwrap();
+        m.commit(t1, |_, _| Ok(())).unwrap();
+        assert!(m.commit(t2, |_, _| Ok(())).is_err());
+        assert!(m.begin_propagation(P).is_ok());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! so recovery semantics are testable: a transaction is committed iff its
 //! `GlobalCommit` record reached the global WAL.
 
+use vectorh_common::fault::{FaultAction, FaultSite};
 use vectorh_common::{PartitionId, Result};
 
 use crate::wal::{LogRecord, Wal};
@@ -49,14 +50,31 @@ impl TwoPhaseCoordinator {
     /// Run 2PC for `txn_id` across the participants' partition WALs.
     /// `records` holds each participant's already-resolved update records
     /// (from [`crate::manager::TransactionManager::commit`]'s persist hook).
+    ///
+    /// Besides the explicit `crash` parameter (kept for directed tests),
+    /// the global WAL's fault hook is consulted at
+    /// [`FaultSite::TwoPhasePrepare`] (per participant) and
+    /// [`FaultSite::TwoPhaseDecide`]: any fault there stops the protocol at
+    /// that point and reports `InDoubt`, exactly as a coordinator crash
+    /// would. The commit point stays the `GlobalCommit` record — a
+    /// `CrashAfter`/`CrashMid` at the decide site still durably logs it, so
+    /// recovery resolves the transaction to committed.
     pub fn commit_distributed(
         &self,
         txn_id: u64,
         participants: &[(PartitionId, &Wal, &[LogRecord])],
         crash: CrashPoint,
     ) -> Result<Outcome> {
+        let hook = self.global_wal.fs().fault_hook();
         // Phase 1: participants persist their updates + Prepare vote.
-        for (_, wal, recs) in participants {
+        for (pid, wal, recs) in participants {
+            if let Some(h) = &hook {
+                let detail = format!("txn{txn_id}:{pid:?}");
+                if h.decide(FaultSite::TwoPhasePrepare, &detail, 0).is_error() {
+                    // Coordinator dies before this participant prepares.
+                    return Ok(Outcome::InDoubt);
+                }
+            }
             let mut batch = recs.to_vec();
             batch.push(LogRecord::Prepare { txn: txn_id });
             wal.append(&batch)?;
@@ -65,8 +83,29 @@ impl TwoPhaseCoordinator {
             return Ok(Outcome::InDoubt);
         }
         // Commit point: the decision in the global WAL.
+        let decide_fault = hook
+            .as_ref()
+            .map(|h| h.decide(FaultSite::TwoPhaseDecide, &format!("txn{txn_id}"), 0))
+            .unwrap_or(FaultAction::None);
+        match decide_fault {
+            FaultAction::CrashBefore
+            | FaultAction::TransientError
+            | FaultAction::PermanentError
+            | FaultAction::Drop => {
+                // Died before the decision reached the global WAL.
+                return Ok(Outcome::InDoubt);
+            }
+            _ => {}
+        }
         self.global_wal
             .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
+        if matches!(
+            decide_fault,
+            FaultAction::CrashMid | FaultAction::CrashAfter
+        ) {
+            // Decision is durable but the coordinator died before phase 2.
+            return Ok(Outcome::InDoubt);
+        }
         if crash == CrashPoint::AfterGlobalCommit {
             return Ok(Outcome::InDoubt);
         }
@@ -277,6 +316,92 @@ mod tests {
             .commit_distributed(11, &[(PartitionId(0), &w0, &r2)], CrashPoint::AfterPrepare)
             .unwrap();
         assert_eq!(coord.committed_txns_of(&w0).unwrap(), vec![10]);
+    }
+
+    /// Fires `action` once at `site`, then clears (crash-and-restart).
+    #[derive(Debug)]
+    struct OneShot {
+        site: vectorh_common::fault::FaultSite,
+        action: vectorh_common::fault::FaultAction,
+        fired: std::sync::atomic::AtomicBool,
+    }
+
+    impl vectorh_common::fault::FaultHook for OneShot {
+        fn decide(
+            &self,
+            site: vectorh_common::fault::FaultSite,
+            _detail: &str,
+            _attempt: u32,
+        ) -> vectorh_common::fault::FaultAction {
+            if site == self.site && !self.fired.swap(true, std::sync::atomic::Ordering::SeqCst) {
+                self.action
+            } else {
+                vectorh_common::fault::FaultAction::None
+            }
+        }
+    }
+
+    fn arm(coord: &TwoPhaseCoordinator, site: FaultSite, action: FaultAction) {
+        coord
+            .global_wal()
+            .fs()
+            .set_fault_hook(Some(Arc::new(OneShot {
+                site,
+                action,
+                fired: Default::default(),
+            })));
+    }
+
+    #[test]
+    fn prepare_fault_aborts_without_global_decision() {
+        let (coord, w0, w1) = setup();
+        let r = recs(20);
+        arm(&coord, FaultSite::TwoPhasePrepare, FaultAction::CrashBefore);
+        let out = coord
+            .commit_distributed(
+                20,
+                &[(PartitionId(0), &w0, &r), (PartitionId(1), &w1, &r)],
+                CrashPoint::None,
+            )
+            .unwrap();
+        assert_eq!(out, Outcome::InDoubt);
+        // No decision reached the global WAL: recovery resolves to abort.
+        assert!(!coord.recover_decision(20).unwrap());
+        assert!(coord.committed_txns_of(&w0).unwrap().is_empty());
+        assert!(coord.committed_txns_of(&w1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decide_crash_before_leaves_no_decision() {
+        let (coord, w0, _) = setup();
+        let r = recs(21);
+        arm(&coord, FaultSite::TwoPhaseDecide, FaultAction::CrashBefore);
+        let out = coord
+            .commit_distributed(21, &[(PartitionId(0), &w0, &r)], CrashPoint::None)
+            .unwrap();
+        assert_eq!(out, Outcome::InDoubt);
+        assert!(!coord.recover_decision(21).unwrap());
+        assert!(coord.committed_txns_of(&w0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn decide_crash_after_has_durable_decision() {
+        let (coord, w0, w1) = setup();
+        let r = recs(22);
+        arm(&coord, FaultSite::TwoPhaseDecide, FaultAction::CrashAfter);
+        let out = coord
+            .commit_distributed(
+                22,
+                &[(PartitionId(0), &w0, &r), (PartitionId(1), &w1, &r)],
+                CrashPoint::None,
+            )
+            .unwrap();
+        assert_eq!(out, Outcome::InDoubt);
+        // GlobalCommit is the commit point: both participants recover to
+        // committed even though phase 2 never ran.
+        assert!(coord.recover_decision(22).unwrap());
+        assert_eq!(coord.committed_txns_of(&w0).unwrap(), vec![22]);
+        assert_eq!(coord.committed_txns_of(&w1).unwrap(), vec![22]);
     }
 
     #[test]

@@ -45,8 +45,11 @@ struct Inner {
     containers: HashMap<ContainerId, ContainerGrant>,
     next_app: u32,
     next_container: u32,
-    /// Preempted container ids per app, waiting to be polled.
+    /// Preempted (or lost-with-node) container ids per app, waiting to be
+    /// polled.
     preempted: HashMap<AppId, Vec<ContainerId>>,
+    /// NodeManagers that stopped heartbeating.
+    lost: std::collections::HashSet<NodeId>,
 }
 
 /// The resource manager.
@@ -128,6 +131,9 @@ impl ResourceManager {
             return Err(VhError::Yarn(format!("unknown node {node}")));
         }
         let mut inner = self.inner.lock();
+        if inner.lost.contains(&node) {
+            return Err(VhError::Yarn(format!("node {node} is lost")));
+        }
         let priority = *inner
             .apps
             .get(&app)
@@ -177,6 +183,40 @@ impl ResourceManager {
             .remove(&id)
             .map(|_| ())
             .ok_or_else(|| VhError::Yarn(format!("unknown container {id}")))
+    }
+
+    /// A NodeManager stopped heartbeating: all its containers are lost and
+    /// reported to their owners through the same notification queue as
+    /// preemptions (the AM heartbeat is how YARN delivers both), and the
+    /// node stops accepting new container requests. Returns the lost
+    /// container ids.
+    pub fn node_lost(&self, node: NodeId) -> Vec<ContainerId> {
+        let mut inner = self.inner.lock();
+        inner.lost.insert(node);
+        let dead: Vec<ContainerGrant> = inner
+            .containers
+            .values()
+            .filter(|c| c.node == node)
+            .cloned()
+            .collect();
+        let mut ids = Vec::with_capacity(dead.len());
+        for g in dead {
+            inner.containers.remove(&g.id);
+            inner.preempted.entry(g.app).or_default().push(g.id);
+            ids.push(g.id);
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Registered nodes still heartbeating.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock();
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| !inner.lost.contains(n))
+            .collect()
     }
 
     /// Drain the preemption notifications for an app (dummy-container poll).
@@ -258,6 +298,24 @@ mod tests {
         assert!(rm.request_container(app, NodeId(7), 1, 1).is_err());
         assert!(rm.request_container(AppId(99), NodeId(0), 1, 1).is_err());
         assert!(rm.release_container(ContainerId(42)).is_err());
+    }
+
+    #[test]
+    fn node_loss_reports_containers_and_blocks_grants() {
+        let rm = rm();
+        let app = rm.register_app(2);
+        let g0 = rm.request_container(app, NodeId(0), 2, 16).unwrap();
+        let g1 = rm.request_container(app, NodeId(1), 2, 16).unwrap();
+        let lost = rm.node_lost(NodeId(0));
+        assert_eq!(lost, vec![g0.id]);
+        // The loss is delivered through the AM notification queue.
+        assert_eq!(rm.poll_preemptions(app), vec![g0.id]);
+        // The survivor is untouched; the dead node refuses new grants.
+        assert_eq!(rm.containers_of(app), vec![g1]);
+        assert!(rm.request_container(app, NodeId(0), 1, 1).is_err());
+        assert_eq!(rm.alive_nodes(), vec![NodeId(1)]);
+        // Losing an empty node is fine and idempotent.
+        assert!(rm.node_lost(NodeId(0)).is_empty());
     }
 
     #[test]
