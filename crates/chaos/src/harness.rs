@@ -1,35 +1,45 @@
 //! The chaos schedule: one seed → one reproducible fault campaign.
 //!
-//! [`run_schedule`] builds a small TPC-H cluster and drives three phases,
-//! each derived from the seed via [`SplitMix64`]:
+//! [`run_schedule`] builds a small TPC-H cluster and drives four phases,
+//! each with its own [`SplitMix64`] derived from `(seed, phase index)`:
 //!
-//! 1. **Faulty I/O queries** — a rate-based [`FaultPlan`] injects transient
-//!    HDFS read errors, slow reads and exchange drop/duplicate/delay while
-//!    TPC-H queries run; every answer must match the row-store baseline.
-//! 2. **Transaction crash storm** — scripted [`DirectedFault`]s crash the
-//!    WAL append and both 2PC phases across a shuffled sequence of
-//!    distributed commits; recovery (with a transient replay fault of its
-//!    own) must resurrect exactly the committed transactions, identically
-//!    on every participant.
-//! 3. **Mid-query node kill** — a watcher thread kills a worker once the
-//!    query has read enough bytes; the query must still return
+//! 1. **Faulty I/O queries** (`io`) — a rate-based [`FaultPlan`] injects
+//!    transient HDFS read errors, slow reads and exchange
+//!    drop/duplicate/delay while TPC-H queries run; every answer must match
+//!    the row-store baseline.
+//! 2. **Transaction crash storm** (`txn`) — scripted [`DirectedFault`]s
+//!    crash the WAL append and both 2PC phases across a shuffled sequence
+//!    of distributed commits; the engine's recovery entry point
+//!    ([`vectorh::recovery::recover_partition`]) must resurrect exactly the
+//!    committed transactions, identically on every participant.
+//! 3. **Mid-query node kill** (`kill`) — a watcher thread kills a worker
+//!    once the query has read enough bytes; the query must still return
 //!    baseline-correct rows, and a follow-up scan must be fully
 //!    short-circuit local (zero remote reads).
+//! 4. **Crash, detect, recover, rejoin** (`rejoin`) — the node responsible
+//!    for a trickle-updated partition crashes mid-commit; the heartbeat
+//!    detector (with one beat dropped in flight) declares it dead, takeover
+//!    recovery resurrects exactly the durably committed transactions, and
+//!    after [`VectorH::rejoin_node`] locality and replicated state converge
+//!    back.
 //!
-//! Every decision the harness itself makes (cluster size, query choice,
-//! fault rates, txn script order, victim node) comes from the seed, and
-//! every injected fault comes from set-deterministic hooks, so the
-//! resulting [`ScheduleReport`] — steps and per-site fired counters — is
-//! identical run-to-run. Failures embed the seed; rerun just that schedule
-//! with `CHAOS_SEED=<seed>`.
+//! Phases run selectively via `CHAOS_PHASES` (comma-separated names from
+//! [`ALL_PHASES`], default all) so CI can split a schedule across parallel
+//! jobs; per-phase RNGs keep each enabled phase's schedule identical
+//! regardless of which other phases run. Every decision the harness itself
+//! makes (cluster size, query choice, fault rates, txn script order, victim
+//! node) comes from the seed, and every injected fault comes from
+//! set-deterministic hooks, so the resulting [`ScheduleReport`] — steps and
+//! per-site fired counters — is identical run-to-run. Failures embed the
+//! seed; rerun just that schedule with `CHAOS_SEED=<seed>`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use vectorh::{ClusterConfig, VectorH};
+use vectorh::{ClusterConfig, TableBuilder, VectorH};
 use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
 use vectorh_common::rng::SplitMix64;
-use vectorh_common::{NodeId, PartitionId, Result, VhError};
+use vectorh_common::{DataType, NodeId, PartitionId, Result, Value, VhError};
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
 use vectorh_txn::manager::{TransactionManager, TxnConfig};
@@ -40,6 +50,46 @@ use crate::plan::{site_index, DirectedFault, FaultPlan, N_SITES};
 
 /// Seeds per default corpus (CI runs all of them).
 pub const DEFAULT_CORPUS_LEN: usize = 16;
+
+/// Phase names, in execution order. `CHAOS_PHASES` selects a subset.
+pub const ALL_PHASES: [&str; 4] = ["io", "txn", "kill", "rejoin"];
+
+/// Phases enabled by the environment: `CHAOS_PHASES=io,txn` runs just
+/// those two (CI splits the corpus this way); unset runs all of them.
+pub fn enabled_phases() -> Vec<&'static str> {
+    phases_from(std::env::var("CHAOS_PHASES").ok().as_deref())
+}
+
+/// Testable core of [`enabled_phases`].
+pub fn phases_from(env: Option<&str>) -> Vec<&'static str> {
+    match env {
+        None => ALL_PHASES.to_vec(),
+        Some(s) => {
+            let req: Vec<&str> = s
+                .split(',')
+                .map(|p| p.trim())
+                .filter(|p| !p.is_empty())
+                .collect();
+            for r in &req {
+                assert!(
+                    ALL_PHASES.contains(r),
+                    "CHAOS_PHASES names unknown phase {r:?} (known: {ALL_PHASES:?})"
+                );
+            }
+            ALL_PHASES
+                .iter()
+                .copied()
+                .filter(|p| req.contains(p))
+                .collect()
+        }
+    }
+}
+
+/// Per-phase RNG: derived from `(seed, phase index)` so an enabled phase's
+/// schedule is identical whether or not the other phases run.
+fn phase_rng(seed: u64, phase: u64) -> SplitMix64 {
+    SplitMix64::new(seed ^ phase.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
 
 /// What one schedule did, in deterministic order. Two runs of the same
 /// seed must produce byte-identical reports — the determinism test relies
@@ -105,9 +155,19 @@ pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
         .steps
         .push(format!("cluster: {nodes} nodes, 4 partitions, sf 0.001"));
 
-    phase_faulty_io(&vh, &db, &mut rng, &mut report)?;
-    phase_txn_crashes(&vh, &mut rng, &mut report)?;
-    phase_kill_node(&vh, &db, &mut rng, &mut report)?;
+    let phases = enabled_phases();
+    if phases.contains(&"io") {
+        phase_faulty_io(&vh, &db, &mut phase_rng(seed, 1), &mut report)?;
+    }
+    if phases.contains(&"txn") {
+        phase_txn_crashes(&vh, &mut phase_rng(seed, 2), &mut report)?;
+    }
+    if phases.contains(&"kill") {
+        phase_kill_node(&vh, &db, &mut phase_rng(seed, 3), &mut report)?;
+    }
+    if phases.contains(&"rejoin") {
+        phase_rejoin(&vh, &db, &mut phase_rng(seed, 4), &mut report)?;
+    }
     Ok(report)
 }
 
@@ -193,6 +253,10 @@ fn phase_txn_crashes(
     let pb = PartitionId(9001);
     let wa = Wal::new(fs.clone(), format!("{dir}/pa.wal"), None);
     let wb = Wal::new(fs.clone(), format!("{dir}/pb.wal"), None);
+    // The manager that each simulated restart recovers into.
+    let mgr = TransactionManager::new(TxnConfig::default());
+    mgr.register_partition(pa, 0);
+    mgr.register_partition(pb, 0);
 
     // One transaction per scripted fault (plus clean controls), in
     // seed-shuffled order. Every crash-capable txn site appears.
@@ -255,10 +319,14 @@ fn phase_txn_crashes(
                 report
                     .steps
                     .push(format!("txn{txn_id} [{label}]: crashed ({e})"));
-                // The "crashed" coordinator restarts: recovery repairs any
-                // torn WAL tails before the logs are appended to again.
-                for wal in [&wa, &wb, coord.global_wal()] {
-                    wal.repair()?;
+                // The "crashed" coordinator restarts through the engine's
+                // recovery entry point: each partition WAL's torn tail is
+                // repaired, in-doubt transactions resolve against the
+                // global WAL, and exactly the committed state is
+                // reinstalled before the logs are appended to again.
+                coord.global_wal().repair()?;
+                for (pid, wal) in [(pa, &wa), (pb, &wb)] {
+                    vectorh::recovery::recover_partition(&coord, &mgr, pid, 0, wal)?;
                 }
             }
         }
@@ -296,18 +364,24 @@ fn phase_txn_crashes(
         }
     }
 
-    // Replay into a fresh manager: exactly one row per committed txn
-    // becomes visible, nothing from uncommitted ones.
-    let mgr = TransactionManager::new(TxnConfig::default());
+    // Final restart through the engine recovery path: each participant's
+    // recovered commit set must match the log scan above, and exactly one
+    // row per committed txn becomes visible — nothing from uncommitted
+    // ones.
     for (pid, wal) in [(pa, &wa), (pb, &wb)] {
-        mgr.register_partition(pid, 0);
-        for txn in &committed_a {
-            mgr.replay(pid, &TwoPhaseCoordinator::records_of(wal, *txn)?)?;
+        let rep = vectorh::recovery::recover_partition(&coord, &mgr, pid, 0, wal)?;
+        let recovered: std::collections::BTreeSet<u64> = rep.committed.iter().copied().collect();
+        let scanned: std::collections::BTreeSet<u64> = committed_a.iter().copied().collect();
+        if recovered != scanned {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: recovery of {pid} resolved {recovered:?} \
+                 as committed, log scan says {committed_a:?}"
+            )));
         }
         let visible = mgr.visible_rows(pid)?;
         if visible != committed_a.len() as u64 {
             return Err(VhError::Internal(format!(
-                "chaos seed {seed:#x}: replay of {pid} shows {visible} rows, \
+                "chaos seed {seed:#x}: recovery of {pid} shows {visible} rows, \
                  expected {} (one per committed txn)",
                 committed_a.len()
             )));
@@ -386,6 +460,169 @@ fn phase_kill_node(
     }
     report.steps.push(format!(
         "killed {victim} during Q{qn}; post-failure Q6 fully local"
+    ));
+    Ok(())
+}
+
+/// Phase 4: the responsible node crashes mid-commit, the heartbeat monitor
+/// detects it (with one beat dropped in flight), takeover recovery
+/// resurrects exactly the durably committed transactions, and after rejoin
+/// the node's replica state and cluster locality converge back.
+fn phase_rejoin(
+    vh: &VectorH,
+    db: &BaselineDb,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let seed = report.seed;
+    // Fresh side tables so the expected contents are exactly modelled: a
+    // single-partition table whose responsibility will move across the
+    // crash, and a replicated table for shipped-log catch-up.
+    vh.create_table(
+        TableBuilder::new("rejoin_part")
+            .column("id", DataType::I64)
+            .column("v", DataType::I64)
+            .partition_by(&["id"], 1)
+            .clustered_by(&["id"]),
+    )?;
+    vh.create_table(
+        TableBuilder::new("rejoin_repl")
+            .column("id", DataType::I64)
+            .column("v", DataType::I64),
+    )?;
+    let part = vh.table("rejoin_part")?;
+    let pid = part.pids[0];
+    let mut next_id = 0i64;
+    let mut two_rows = move || {
+        let rows = vec![
+            vec![Value::I64(next_id), Value::I64(next_id * 7)],
+            vec![Value::I64(next_id + 1), Value::I64((next_id + 1) * 7)],
+        ];
+        next_id += 2;
+        rows
+    };
+
+    // Three acknowledged commits — these must survive the takeover.
+    let mut acked = 0u64;
+    for _ in 0..3 {
+        vh.trickle_insert("rejoin_part", two_rows())?;
+        acked += 1;
+    }
+
+    // The responsible node crashes mid-commit: a budget-1 WAL-append crash
+    // at a seed-chosen point tears the 4th transaction, and the process
+    // dies without the engine noticing — detection is the heartbeat
+    // monitor's job, not ours.
+    let victim = vh.responsible(pid);
+    let crash = [
+        FaultAction::CrashBefore,
+        FaultAction::CrashMid,
+        FaultAction::CrashAfter,
+    ][rng.next_bounded(3) as usize];
+    let fault = DirectedFault::new(FaultSite::WalAppend, crash, 1);
+    vh.install_fault_hook(Some(fault.clone() as SharedFaultHook));
+    let out = vh.trickle_insert("rejoin_part", two_rows());
+    vh.install_fault_hook(None);
+    report.fired[site_index(FaultSite::WalAppend)] += fault.fired();
+    if out.is_ok() {
+        acked += 1;
+    }
+    vh.fs().kill_node(victim)?;
+    vh.rm().node_lost(victim);
+
+    // Heartbeat detection, with one live node's beat dropped along the way
+    // — a drop may only delay detection, never false-kill a healthy node.
+    let hb = DirectedFault::new(FaultSite::Heartbeat, FaultAction::Drop, 1);
+    vh.install_fault_hook(Some(hb.clone() as SharedFaultHook));
+    let mut detected_at = 0u64;
+    for tick in 1..=8u64 {
+        if vh.health_tick()?.contains(&victim) {
+            detected_at = tick;
+            break;
+        }
+    }
+    vh.install_fault_hook(None);
+    report.fired[site_index(FaultSite::Heartbeat)] += hb.fired();
+    if detected_at == 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: heartbeat monitor never declared {victim} dead"
+        )));
+    }
+    if vh.workers().contains(&victim) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {victim} still in the worker set after detection"
+        )));
+    }
+
+    // Takeover ran inside the detection tick. The recovered partition must
+    // hold exactly the resolved transactions: every acknowledged one, plus
+    // a crash survivor only if its commit record is durable — and no
+    // uncommitted record ever becomes visible (each txn wrote 2 rows, so
+    // any torn partial state would break the 2×C row count).
+    let committed = vh
+        .coordinator
+        .recoverable_txns(&part.wals[0])?
+        .iter()
+        .filter(|t| t.resolution.is_committed())
+        .count() as u64;
+    if committed < acked {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: acknowledged txn lost across takeover \
+             ({acked} acked, {committed} recovered)"
+        )));
+    }
+    let visible = vh.table_rows("rejoin_part")?;
+    if visible != 2 * committed {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: takeover of {pid} shows {visible} rows, \
+             expected {} (2 per committed txn, atomically)",
+            2 * committed
+        )));
+    }
+
+    // While the victim is down, replicated-table commits pile up in the
+    // shipped log.
+    vh.trickle_insert("rejoin_repl", two_rows())?;
+    vh.trickle_insert("rejoin_repl", two_rows())?;
+
+    // Rejoin: the worker set, the victim's replica state and full scan
+    // locality all converge back.
+    vh.rejoin_node(victim)?;
+    if !vh.workers().contains(&victim) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {victim} not re-admitted by rejoin"
+        )));
+    }
+    let repl = vh.table("rejoin_repl")?;
+    let check_replica = |ctx: &str| -> Result<()> {
+        let caught_up = vh.replica_rows(victim, repl.pids[0])?;
+        let expect = vh.table_rows("rejoin_repl")?;
+        if caught_up != expect {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: {victim} replica has {caught_up} rows \
+                 {ctx}, primary has {expect}"
+            )));
+        }
+        Ok(())
+    };
+    check_replica("after rejoin catch-up")?;
+    // A post-rejoin commit must reach the rejoined replica live.
+    vh.trickle_insert("rejoin_repl", two_rows())?;
+    check_replica("after a post-rejoin commit")?;
+    let before = vh.fs().stats().snapshot();
+    checked_query(vh, db, 6, "after the node rejoin", seed)?;
+    let delta = vh.fs().stats().snapshot().since(&before);
+    if delta.remote_read_bytes != 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: locality not restored after rejoining \
+             {victim} — {} remote bytes read",
+            delta.remote_read_bytes
+        )));
+    }
+    report.steps.push(format!(
+        "rejoin: crashed {victim} mid-commit [{crash:?}], detected at tick \
+         {detected_at}, {committed}/4 txns recovered, replica caught up, \
+         post-rejoin Q6 fully local"
     ));
     Ok(())
 }

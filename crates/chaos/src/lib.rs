@@ -13,6 +13,15 @@
 //!    uncommitted transaction's data is ever replayed.
 //! 3. After a node kill, queries still answer correctly and scan locality
 //!    is fully restored (zero remote reads).
+//! 4. A responsible-node crash mid-commit is detected by the heartbeat
+//!    monitor, takeover recovery resurrects exactly the durably committed
+//!    transactions, and after rejoin the node's replica state and cluster
+//!    locality converge back to the fault-free picture.
+//!
+//! `CHAOS_PHASES=io,txn` (any comma-separated subset of
+//! [`harness::ALL_PHASES`]) runs only those phases — CI splits a schedule
+//! across parallel jobs this way; per-phase RNGs keep each phase's
+//! schedule identical regardless of the split.
 //!
 //! Determinism rests on the [`vectorh_common::fault`] contract: rate-based
 //! plans ([`FaultPlan`]) decide purely from `(site, detail, attempt)`
@@ -23,5 +32,8 @@
 pub mod harness;
 pub mod plan;
 
-pub use harness::{corpus, corpus_from, run_schedule, ScheduleReport, DEFAULT_CORPUS_LEN};
+pub use harness::{
+    corpus, corpus_from, enabled_phases, phases_from, run_schedule, ScheduleReport, ALL_PHASES,
+    DEFAULT_CORPUS_LEN,
+};
 pub use plan::{site_index, DirectedFault, FaultPlan, N_SITES};

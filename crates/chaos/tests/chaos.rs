@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use vectorh::{ClusterConfig, VectorH};
-use vectorh_chaos::{corpus, corpus_from, run_schedule, N_SITES};
+use vectorh_chaos::{corpus, corpus_from, enabled_phases, run_schedule, ALL_PHASES, N_SITES};
 use vectorh_common::fault::FaultSite;
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
@@ -29,8 +29,9 @@ fn seed_corpus_passes_and_covers_every_fault_site() {
             *total += fired;
         }
     }
-    // Coverage only holds over the full corpus, not a single replayed seed.
-    if seeds.len() > 1 {
+    // Coverage only holds over the full corpus with every phase enabled,
+    // not a single replayed seed or a CI phase-split subset.
+    if seeds.len() > 1 && enabled_phases().len() == ALL_PHASES.len() {
         for (i, site) in FaultSite::ALL.iter().enumerate() {
             assert!(
                 totals[i] > 0,
@@ -50,6 +51,16 @@ fn same_seed_same_schedule_and_outcome() {
     let b =
         run_schedule(seed).unwrap_or_else(|e| panic!("second run of seed {seed:#x} failed: {e}"));
     assert_eq!(a, b, "seed {seed:#x} produced two different schedules");
+}
+
+#[test]
+fn chaos_phases_env_selects_a_subset_in_execution_order() {
+    assert_eq!(vectorh_chaos::phases_from(None), ALL_PHASES.to_vec());
+    assert_eq!(
+        vectorh_chaos::phases_from(Some("txn,io")),
+        vec!["io", "txn"]
+    );
+    assert_eq!(vectorh_chaos::phases_from(Some(" rejoin ")), vec!["rejoin"]);
 }
 
 #[test]

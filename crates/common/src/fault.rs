@@ -37,11 +37,13 @@ pub enum FaultSite {
     TwoPhasePrepare,
     /// 2PC decision/phase 2 (global commit + participant commit) — crash points.
     TwoPhaseDecide,
+    /// Failure-detector heartbeat delivery — drop delays death detection.
+    Heartbeat,
 }
 
 impl FaultSite {
     /// Every site, for coverage accounting in the chaos harness.
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 8] = [
         FaultSite::HdfsRead,
         FaultSite::HdfsAppend,
         FaultSite::XchgSend,
@@ -49,6 +51,7 @@ impl FaultSite {
         FaultSite::WalReplay,
         FaultSite::TwoPhasePrepare,
         FaultSite::TwoPhaseDecide,
+        FaultSite::Heartbeat,
     ];
 
     /// Stable short name (used in schedule reports and hashing).
@@ -61,6 +64,7 @@ impl FaultSite {
             FaultSite::WalReplay => "wal-replay",
             FaultSite::TwoPhasePrepare => "2pc-prepare",
             FaultSite::TwoPhaseDecide => "2pc-decide",
+            FaultSite::Heartbeat => "heartbeat",
         }
     }
 }

@@ -112,13 +112,16 @@ impl VectorH {
         self.coordinator
             .global_wal()
             .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
-        // Log shipping for replicated tables: every worker applies the same
-        // records to its in-RAM replicated PDTs (§6).
+        // Log shipping for replicated tables: the commit's records go into
+        // the retained ship log, and every live worker applies them to its
+        // replica state through the ordinary replay path (§6). A node that
+        // is down right now catches up from the same log when it rejoins.
         if replicated && !shipped.is_empty() {
-            let receivers = self.workers().len().saturating_sub(1);
-            if receivers > 0 {
-                self.shipper.broadcast(&shipped, receivers);
-            }
+            let pid = rt.pids[0];
+            let workers = self.workers();
+            self.shipper
+                .ship(pid, &shipped, workers.len().saturating_sub(1));
+            self.apply_shipped(pid, &workers)?;
         }
         Ok(seq)
     }

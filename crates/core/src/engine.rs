@@ -8,7 +8,7 @@ use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
-use vectorh_net::{DxchgConfig, NetStats};
+use vectorh_net::{DxchgConfig, HeartbeatMonitor, NetStats};
 use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
 use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
@@ -87,11 +87,22 @@ pub struct VectorH {
     pub txns: Arc<TransactionManager>,
     pub coordinator: TwoPhaseCoordinator,
     pub shipper: LogShipper,
+    /// Per-worker in-RAM state for replicated tables: every worker applies
+    /// the shipped log to its own copy (§6), so any node can serve a
+    /// replicated scan without crossing the network.
+    pub(crate) replicas: RwLock<HashMap<NodeId, Arc<TransactionManager>>>,
+    /// Heartbeat failure detector, driven by [`VectorH::health_tick`].
+    pub(crate) health: HeartbeatMonitor,
     net: Arc<NetStats>,
     workers: RwLock<Vec<NodeId>>,
     responsibility: RwLock<HashMap<PartitionId, NodeId>>,
     next_pid: AtomicU32,
 }
+
+/// Consecutive missed heartbeats tolerated before a node is declared dead.
+/// Must be ≥ 2 so a single dropped heartbeat message (a budget-1 chaos
+/// fault) can only ever delay detection, never cause a false declaration.
+pub const HEARTBEAT_DEADLINE_MISSES: u32 = 2;
 
 /// Hash used for storage partitioning — deliberately the same per-value
 /// hashing as the exchange operators, so one hash family partitions both
@@ -151,6 +162,10 @@ impl VectorH {
             "/vectorh/wal/global.wal",
             workers.first().copied(),
         );
+        let replicas: HashMap<NodeId, Arc<TransactionManager>> = workers
+            .iter()
+            .map(|&w| (w, Arc::new(TransactionManager::new(TxnConfig::default()))))
+            .collect();
         Ok(VectorH {
             config,
             fs,
@@ -162,6 +177,8 @@ impl VectorH {
             txns: Arc::new(TransactionManager::new(TxnConfig::default())),
             coordinator: TwoPhaseCoordinator::new(global_wal),
             shipper: LogShipper::default(),
+            replicas: RwLock::new(replicas),
+            health: HeartbeatMonitor::new(HEARTBEAT_DEADLINE_MISSES),
             net: Arc::new(NetStats::default()),
             workers: RwLock::new(workers),
             responsibility: RwLock::new(HashMap::new()),
@@ -276,10 +293,16 @@ impl VectorH {
             );
             store.set_home(home);
             stores.push(Arc::new(RwLock::new(store)));
-            let mut wal = Wal::new(self.fs.clone(), format!("{dir}wal"), home);
-            wal.set_home(home);
+            let wal = Wal::new(self.fs.clone(), format!("{dir}wal"), home);
             wals.push(Arc::new(wal));
             self.txns.register_partition(*pid, 0);
+            if def.partitioning.is_none() {
+                // Replicated tables: every worker keeps its own replica
+                // state, fed by log shipping at commit time.
+                for mgr in self.replicas.read().values() {
+                    mgr.register_partition(*pid, 0);
+                }
+            }
         }
         drop(resp);
         self.coordinator
@@ -373,6 +396,11 @@ impl VectorH {
             }
             rt.stores[i].write().append_rows(&cols)?;
             self.txns.bulk_append(rt.pids[i], bucket.len() as u64)?;
+            if rt.def.partitioning.is_none() {
+                for mgr in self.replicas.read().values() {
+                    mgr.bulk_append(rt.pids[i], bucket.len() as u64)?;
+                }
+            }
             rt.wals[i].append(&[vectorh_txn::LogRecord::Append {
                 txn: 0,
                 rows: bucket.len() as u64,
@@ -420,7 +448,11 @@ impl VectorH {
                     // therefore the authoritative failover signal.
                     let node_died = self.reconcile_workers().unwrap_or(false);
                     let retryable = node_died || matches!(e, VhError::NodeDown(_));
-                    if !retryable || failovers > self.config.nodes {
+                    // Bound retries by the *current* worker count: each
+                    // failover shrinks the set, so the configured original
+                    // node count would over-retry a shrunken cluster and
+                    // loop on a persistently failing plan.
+                    if !retryable || failovers > self.workers().len() {
                         return Err(e);
                     }
                 }
@@ -492,6 +524,40 @@ impl VectorH {
             return Ok(false);
         }
 
+        // Snapshot the partitions whose responsible node died *before* the
+        // remap overwrites the assignment: those are the ones the new owners
+        // must recover (WAL repair + in-doubt resolution + replay).
+        let mut orphaned: Vec<PartitionId> = {
+            let r = self.responsibility.read();
+            r.iter()
+                .filter(|(_, n)| !workers_now.contains(n))
+                .map(|(pid, _)| *pid)
+                .collect()
+        };
+        orphaned.sort_unstable();
+        // A dead node's in-RAM replica state died with it.
+        self.replicas.write().retain(|n, _| workers_now.contains(n));
+        // The global WAL must live on a live node: if the session master
+        // died it moves to the new one, repairing any torn decision frame
+        // the crash left behind (the commit point is the durable
+        // GlobalCommit record, so a torn tail is an undecided transaction).
+        let gw = self.coordinator.global_wal();
+        if gw.home().map(|h| !workers_now.contains(&h)).unwrap_or(true) {
+            gw.set_home(workers_now.first().copied());
+            gw.repair()?;
+        }
+        self.remap_placement(&workers_now)?;
+        self.take_over_partitions(&orphaned)?;
+        Ok(true)
+    }
+
+    /// Recompute affinity + responsibility for the given worker set and move
+    /// partition homes (stores *and* WALs) to the new responsible nodes.
+    /// Shared by failover ([`Self::reconcile_workers`]) and rejoin
+    /// ([`Self::rejoin_node`]) — in both directions the min-cost-flow remap
+    /// plus `conform_to_policy` converges locality (the paper's Figure 2,
+    /// forward and in reverse).
+    pub(crate) fn remap_placement(&self, workers_now: &[NodeId]) -> Result<()> {
         // Recompute the affinity map from actual block locality.
         //
         // Placement is solved per *co-location class*: tables with the same
@@ -508,7 +574,18 @@ impl VectorH {
             if rt.def.partitioning.is_none() {
                 // Replicated tables stay replicated on every worker.
                 let dir = format!("/vectorh/db/{}/p{:04}/", rt.def.name, 0);
-                self.policy.set_affinity(dir, workers_now.clone());
+                self.policy.set_affinity(dir, workers_now.to_vec());
+                // If the writer (responsible node) is gone, the session
+                // master takes over the single partition.
+                let pid = rt.pids[0];
+                let holder = { self.responsibility.read().get(&pid).copied() };
+                if holder.map(|h| !workers_now.contains(&h)).unwrap_or(true) {
+                    if let Some(&h) = workers_now.first() {
+                        self.responsibility.write().insert(pid, h);
+                        rt.stores[0].write().set_home(Some(h));
+                        rt.wals[0].set_home(Some(h));
+                    }
+                }
                 continue;
             }
             let n = rt.pids.len();
@@ -545,7 +622,7 @@ impl VectorH {
                 (0..keys.len()).map(|i| PartitionId(i as u32)).collect();
             let input = PlacementInput {
                 partitions: class_ids.clone(),
-                workers: workers_now.clone(),
+                workers: workers_now.to_vec(),
                 local,
             };
             let repl = self.fs.config().default_replication.min(workers_now.len());
@@ -571,7 +648,7 @@ impl VectorH {
                 .collect();
             let input2 = PlacementInput {
                 partitions: class_ids.clone(),
-                workers: workers_now,
+                workers: workers_now.to_vec(),
                 local: local2,
             };
             let resp = responsibility_assignment(&input2)?;
@@ -584,17 +661,23 @@ impl VectorH {
                 }
             }
             drop(r);
-            // Move partition homes (writers) to the responsible nodes.
+            // Move partition homes (writers) to the responsible nodes —
+            // both the store and its WAL, so the next commit appends from
+            // the node that now owns the partition.
             for rt in tables.values() {
+                if rt.def.partitioning.is_none() {
+                    continue; // handled above
+                }
                 for (i, pid) in rt.pids.iter().enumerate() {
                     let node = self.responsibility.read().get(pid).copied();
                     if let Some(node) = node {
                         rt.stores[i].write().set_home(Some(node));
+                        rt.wals[i].set_home(Some(node));
                     }
                 }
             }
         }
-        Ok(true)
+        Ok(())
     }
 
     /// Responsible node of a partition.
@@ -604,6 +687,66 @@ impl VectorH {
             .get(&pid)
             .copied()
             .unwrap_or_else(|| self.session_master())
+    }
+
+    /// Operator override: pin a partition's responsibility to `node`
+    /// without consulting the placement solver (fault drills). The pin
+    /// holds until the next remap — a node death or rejoin recomputes the
+    /// assignment and overwrites it.
+    pub fn pin_responsible(&self, pid: PartitionId, node: NodeId) {
+        self.responsibility.write().insert(pid, node);
+    }
+
+    pub(crate) fn tables_snapshot(&self) -> HashMap<String, Arc<TableRuntime>> {
+        self.tables.read().clone()
+    }
+
+    /// Add a node back to the worker set (rejoin), returning the new set.
+    pub(crate) fn admit_worker(&self, node: NodeId) -> Vec<NodeId> {
+        let mut workers = self.workers.write();
+        if !workers.contains(&node) {
+            workers.push(node);
+            workers.sort_unstable();
+        }
+        workers.clone()
+    }
+
+    pub(crate) fn renegotiate_agent(&self) {
+        let _ = self.agent.lock().renegotiate(&self.rm);
+    }
+
+    pub(crate) fn health_clear(&self, node: NodeId) {
+        self.health.clear(node);
+    }
+
+    pub(crate) fn install_replica(&self, node: NodeId, mgr: Arc<TransactionManager>) {
+        self.replicas.write().insert(node, mgr);
+    }
+
+    /// Drain the shipped log of a replicated partition into every live
+    /// worker's replica state — the receive half of log shipping, applying
+    /// records through the ordinary replay path.
+    pub(crate) fn apply_shipped(&self, pid: PartitionId, workers: &[NodeId]) -> Result<()> {
+        let replicas = self.replicas.read();
+        for &w in workers {
+            if let Some(mgr) = replicas.get(&w) {
+                let batch = self.shipper.drain(pid, w);
+                if !batch.is_empty() {
+                    mgr.replay(pid, &batch)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Visible rows of a replicated partition as seen by `node`'s replica
+    /// state (catch-up verification in tests and the chaos harness).
+    pub fn replica_rows(&self, node: NodeId, pid: PartitionId) -> Result<u64> {
+        let replicas = self.replicas.read();
+        let mgr = replicas
+            .get(&node)
+            .ok_or_else(|| VhError::Internal(format!("no replica state on {node}")))?;
+        mgr.visible_rows(pid)
     }
 
     // --- maintenance --------------------------------------------------------------
@@ -624,6 +767,17 @@ impl VectorH {
                 )?;
                 if report.mode != vectorh_txn::propagate::PropagationMode::Noop {
                     done += 1;
+                    if rt.def.partitioning.is_none() {
+                        // Propagation folded the shipped updates into the
+                        // stable image: the retained ship log is obsolete
+                        // (mirroring the WAL `Checkpoint`) and every replica
+                        // re-bases on the new image.
+                        let stable = store.row_count();
+                        self.shipper.checkpoint(*pid);
+                        for mgr in self.replicas.read().values() {
+                            mgr.register_partition(*pid, stable);
+                        }
+                    }
                 }
             }
         }

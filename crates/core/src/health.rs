@@ -1,0 +1,78 @@
+//! Proactive failure detection: the engine's heartbeat round.
+//!
+//! Without a detector, a dead responsible node is only noticed when a query
+//! trips over it ([`VhError::NodeDown`] → query-level failover). The
+//! heartbeat round makes death detection *proactive*: each completed tick,
+//! every worker is expected to have delivered a heartbeat; a node that
+//! stays silent past the deadline is declared dead, fenced, and recovered
+//! exactly as if [`VectorH::kill_node`] had been called.
+//!
+//! Time is the monitor's explicit tick counter — there is no wall clock —
+//! so the chaos harness can schedule ticks deterministically between
+//! transactions and replay identical detection schedules from a seed.
+//! Heartbeat delivery consults the fault hook at [`FaultSite::Heartbeat`]
+//! (detail `"{node}@t{tick}"`), so a chaos plan can drop individual beats:
+//! one drop only delays detection (the deadline tolerates
+//! [`HEARTBEAT_DEADLINE_MISSES`](crate::engine::HEARTBEAT_DEADLINE_MISSES)
+//! consecutive misses), it never false-kills a healthy node.
+
+use vectorh_common::fault::{FaultAction, FaultSite};
+use vectorh_common::{NodeId, Result};
+use vectorh_net::NodeHealth;
+
+use crate::engine::VectorH;
+
+impl VectorH {
+    /// Run one heartbeat round: collect this tick's heartbeats from live
+    /// workers (each delivery consults the fault hook, so chaos schedules
+    /// can drop them), advance the deadline monitor, and run full recovery
+    /// — YARN `node_lost`, fencing, worker-set reconciliation with
+    /// partition takeover — for any node newly declared dead. Returns the
+    /// newly declared nodes.
+    pub fn health_tick(&self) -> Result<Vec<NodeId>> {
+        let workers = self.workers();
+        let alive = self.fs().alive_nodes();
+        let tick = self.health.tick() + 1;
+        for &node in &workers {
+            if !alive.contains(&node) {
+                continue; // a crashed process sends nothing
+            }
+            let action = match self.fs().fault_hook() {
+                Some(hook) => hook.decide(FaultSite::Heartbeat, &format!("{node}@t{tick}"), 0),
+                None => FaultAction::None,
+            };
+            // Anything other than a clean (possibly slow or duplicated)
+            // delivery means the beat was lost in flight this tick.
+            if matches!(
+                action,
+                FaultAction::None | FaultAction::SlowRead | FaultAction::Duplicate
+            ) {
+                self.health.beat(node);
+            }
+        }
+        let newly_dead = self.health.advance(&workers);
+        for &node in &newly_dead {
+            self.rm().node_lost(node);
+            // Fence before recovering: if the node is actually still up
+            // (false suspicion), kill it so the declaration and the
+            // filesystem agree — recovery must never race a live writer.
+            if self.fs().alive_nodes().contains(&node) {
+                self.fs().kill_node(node)?;
+            }
+        }
+        if !newly_dead.is_empty() {
+            self.reconcile_workers()?;
+        }
+        Ok(newly_dead)
+    }
+
+    /// The detector's current verdict for `node`.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.health.health(node)
+    }
+
+    /// Completed heartbeat ticks (the detector's clock).
+    pub fn health_ticks(&self) -> u64 {
+        self.health.tick()
+    }
+}

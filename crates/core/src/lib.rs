@@ -36,9 +36,13 @@ pub mod catalog;
 pub mod dml;
 pub mod engine;
 pub mod execute;
+pub mod health;
+pub mod recovery;
 
 pub use catalog::{Catalog, TableBuilder, TableDef};
 pub use engine::{ClusterConfig, VectorH};
+pub use recovery::{recover_partition, RecoveryReport};
+pub use vectorh_net::NodeHealth;
 
 // Re-exports for example/bench ergonomics.
 pub use vectorh_common as common;

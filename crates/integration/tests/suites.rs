@@ -13,6 +13,9 @@ mod end_to_end_sql;
 #[path = "../../../tests/failover_locality.rs"]
 mod failover_locality;
 
+#[path = "../../../tests/recovery.rs"]
+mod recovery;
+
 #[path = "../../../tests/tpch_consistency.rs"]
 mod tpch_consistency;
 

@@ -1,0 +1,201 @@
+//! Deterministic heartbeat failure detection.
+//!
+//! YARN detects NodeManager death by missed heartbeats against a deadline;
+//! VectorH's workers additionally watch each other so a dead responsible
+//! node is noticed *before* a query trips over it. This monitor is the
+//! clock-free core of that: time is an explicit tick counter advanced by
+//! the caller (the engine's `health_tick`), so detection schedules are
+//! reproducible under the chaos harness — a heartbeat that the fault hook
+//! drops is simply not recorded, and the node's miss count grows exactly as
+//! it would under a real network partition.
+
+use std::collections::HashMap;
+
+use vectorh_common::sync::Mutex;
+use vectorh_common::NodeId;
+
+/// Verdict for one node at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Heartbeat seen within the deadline.
+    Alive,
+    /// Missed some heartbeats but still within the deadline.
+    Suspect { missed: u32 },
+    /// Deadline expired: declared dead.
+    Dead,
+}
+
+#[derive(Default)]
+struct MonitorInner {
+    tick: u64,
+    /// Consecutive missed heartbeats per monitored node.
+    missed: HashMap<NodeId, u32>,
+    /// Nodes already declared dead (reported once, then latched until
+    /// `clear`).
+    declared: std::collections::BTreeSet<NodeId>,
+}
+
+/// A deadline-based failure detector over an explicit tick clock.
+///
+/// Usage per tick: call [`beat`](Self::beat) for every node whose heartbeat
+/// arrived, then [`advance`](Self::advance) once — it returns the nodes
+/// newly declared dead this tick (deadline just expired). A revived node is
+/// re-admitted with [`clear`](Self::clear).
+pub struct HeartbeatMonitor {
+    /// Consecutive missed ticks tolerated before declaring death.
+    deadline_misses: u32,
+    inner: Mutex<MonitorInner>,
+}
+
+impl HeartbeatMonitor {
+    /// `deadline_misses` must be ≥ 1: a single dropped heartbeat message
+    /// should delay detection, not cause a false declaration.
+    pub fn new(deadline_misses: u32) -> HeartbeatMonitor {
+        HeartbeatMonitor {
+            deadline_misses: deadline_misses.max(1),
+            inner: Mutex::new(MonitorInner::default()),
+        }
+    }
+
+    /// Record a heartbeat from `node` for the current tick.
+    pub fn beat(&self, node: NodeId) {
+        self.inner.lock().missed.insert(node, 0);
+    }
+
+    /// Close the current tick: every monitored node in `expected` that did
+    /// not [`beat`](Self::beat) since the last `advance` accrues a miss.
+    /// Returns nodes whose deadline expired *this* tick, in id order.
+    pub fn advance(&self, expected: &[NodeId]) -> Vec<NodeId> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let mut newly_dead = Vec::new();
+        for &n in expected {
+            let missed = inner.missed.entry(n).or_insert(0);
+            if *missed == 0 {
+                // Beat seen this tick; re-arm for the next one.
+                inner.missed.insert(n, 1);
+                continue;
+            }
+            *missed += 1;
+            // The counter baselines at 1 after a seen beat, so the actual
+            // consecutive-miss count is `missed - 1`.
+            let expired = *missed - 1 > self.deadline_misses;
+            if expired && inner.declared.insert(n) {
+                newly_dead.push(n);
+            }
+        }
+        // Forget nodes no longer monitored so a later re-add starts fresh.
+        inner.missed.retain(|n, _| expected.contains(n));
+        newly_dead
+    }
+
+    /// Current verdict for `node`.
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        let inner = self.inner.lock();
+        if inner.declared.contains(&node) {
+            return NodeHealth::Dead;
+        }
+        // `missed` counts from 1 after a seen beat (re-armed), so subtract
+        // the baseline to report actual consecutive misses.
+        match inner.missed.get(&node).copied().unwrap_or(0) {
+            0 | 1 => NodeHealth::Alive,
+            m => NodeHealth::Suspect { missed: m - 1 },
+        }
+    }
+
+    /// The number of completed ticks.
+    pub fn tick(&self) -> u64 {
+        self.inner.lock().tick
+    }
+
+    /// Re-admit a node (rejoin): wipes its miss count and dead latch.
+    pub fn clear(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        inner.missed.remove(&node);
+        inner.declared.remove(&node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeId = NodeId(0);
+    const B: NodeId = NodeId(1);
+
+    #[test]
+    fn beating_nodes_stay_alive() {
+        let m = HeartbeatMonitor::new(2);
+        for _ in 0..10 {
+            m.beat(A);
+            m.beat(B);
+            assert!(m.advance(&[A, B]).is_empty());
+        }
+        assert_eq!(m.health(A), NodeHealth::Alive);
+        assert_eq!(m.tick(), 10);
+    }
+
+    #[test]
+    fn silent_node_is_declared_dead_after_deadline() {
+        let m = HeartbeatMonitor::new(2);
+        m.beat(A);
+        m.beat(B);
+        assert!(m.advance(&[A, B]).is_empty());
+        // B goes silent: 2 tolerated misses, dead on the 3rd.
+        m.beat(A);
+        assert!(m.advance(&[A, B]).is_empty());
+        assert_eq!(m.health(B), NodeHealth::Suspect { missed: 1 });
+        m.beat(A);
+        assert!(m.advance(&[A, B]).is_empty());
+        m.beat(A);
+        assert_eq!(m.advance(&[A, B]), vec![B]);
+        assert_eq!(m.health(B), NodeHealth::Dead);
+        assert_eq!(m.health(A), NodeHealth::Alive);
+        // Declared once, not repeatedly.
+        m.beat(A);
+        assert!(m.advance(&[A, B]).is_empty());
+    }
+
+    #[test]
+    fn one_dropped_heartbeat_only_delays_detection() {
+        let m = HeartbeatMonitor::new(1);
+        m.beat(A);
+        m.advance(&[A]);
+        // One drop: suspect, not dead.
+        assert!(m.advance(&[A]).is_empty());
+        // Beat resumes: back to healthy.
+        m.beat(A);
+        assert!(m.advance(&[A]).is_empty());
+        assert_eq!(m.health(A), NodeHealth::Alive);
+        // Two consecutive drops with deadline 1: dead.
+        assert!(m.advance(&[A]).is_empty());
+        assert_eq!(m.advance(&[A]), vec![A]);
+    }
+
+    #[test]
+    fn clear_readmits_a_dead_node() {
+        let m = HeartbeatMonitor::new(1);
+        m.advance(&[A]);
+        m.advance(&[A]);
+        assert_eq!(m.advance(&[A]), vec![A]);
+        m.clear(A);
+        assert_eq!(m.health(A), NodeHealth::Alive);
+        m.beat(A);
+        assert!(m.advance(&[A]).is_empty());
+        // And it can die again later: one tolerated miss, dead on the 2nd.
+        assert!(m.advance(&[A]).is_empty());
+        assert_eq!(m.advance(&[A]), vec![A]);
+    }
+
+    #[test]
+    fn unmonitored_nodes_are_forgotten() {
+        let m = HeartbeatMonitor::new(1);
+        m.advance(&[A, B]);
+        // B leaves the expected set; its miss count resets.
+        m.beat(A);
+        m.advance(&[A]);
+        m.beat(A);
+        m.advance(&[A, B]);
+        assert_eq!(m.health(B), NodeHealth::Alive);
+    }
+}

@@ -27,9 +27,11 @@
 
 pub mod buffer;
 pub mod dxchg;
+pub mod heartbeat;
 pub mod stats;
 pub mod xchg;
 
 pub use dxchg::{DxchgConfig, FanoutMode};
+pub use heartbeat::{HeartbeatMonitor, NodeHealth};
 pub use stats::NetStats;
 pub use xchg::Partitioning;

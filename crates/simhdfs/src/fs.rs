@@ -498,6 +498,22 @@ impl SimHdfs {
         Ok(())
     }
 
+    /// Revive a previously killed datanode. It comes back *empty* — its
+    /// replicas were discarded at death and re-replicated elsewhere, exactly
+    /// like a restarted HDFS datanode whose blocks the namenode already
+    /// re-homed. [`conform_to_policy`](Self::conform_to_policy) repopulates
+    /// it once the placement policy prescribes replicas there again.
+    pub fn revive_node(&self, node: NodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.all_nodes.contains(&node) {
+            return Err(VhError::Hdfs(format!("{node} was never in the cluster")));
+        }
+        if !inner.alive.insert(node) {
+            return Err(VhError::Hdfs(format!("{node} is already alive")));
+        }
+        Ok(())
+    }
+
     /// Add a fresh (empty) datanode to the cluster.
     pub fn add_node(&self) -> NodeId {
         let mut inner = self.inner.write();
@@ -731,6 +747,39 @@ mod tests {
         let id = fs.add_node();
         assert_eq!(id, NodeId(2));
         assert_eq!(fs.alive_nodes().len(), 3);
+    }
+
+    #[test]
+    fn revive_restores_node_and_rebalance_repopulates_it() {
+        let policy = Arc::new(AffinityPolicy::new(11));
+        let fs = SimHdfs::new(
+            3,
+            SimHdfsConfig {
+                block_size: 32,
+                default_replication: 2,
+            },
+            policy.clone(),
+        );
+        policy.set_affinity("/db/t/p0/", vec![NodeId(1), NodeId(2)]);
+        fs.append("/db/t/p0/chunk0", &[4u8; 96], Some(NodeId(1)))
+            .unwrap();
+        fs.kill_node(NodeId(1)).unwrap();
+        assert_eq!(fs.alive_nodes().len(), 2);
+        // Revival: back in the alive set, holding nothing.
+        fs.revive_node(NodeId(1)).unwrap();
+        assert_eq!(fs.alive_nodes().len(), 3);
+        assert_eq!(fs.usage().per_node_bytes.get(&NodeId(1)), None);
+        assert!(!fs.fully_local("/db/t/p0/chunk0", NodeId(1)).unwrap());
+        // The rebalancer moves replicas back onto it per the policy.
+        assert!(fs.conform_to_policy() >= 96);
+        assert!(fs.fully_local("/db/t/p0/chunk0", NodeId(1)).unwrap());
+        assert_eq!(
+            fs.read_all("/db/t/p0/chunk0", Some(NodeId(1))).unwrap(),
+            vec![4u8; 96]
+        );
+        // Guard rails: double revive and unknown nodes error.
+        assert!(fs.revive_node(NodeId(1)).is_err());
+        assert!(fs.revive_node(NodeId(9)).is_err());
     }
 
     #[test]

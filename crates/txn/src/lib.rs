@@ -23,4 +23,5 @@ pub mod twophase;
 pub mod wal;
 
 pub use manager::{Transaction, TransactionManager, TxnConfig};
+pub use twophase::{LogShipper, RecoverableTxn, TwoPhaseCoordinator, TxnResolution};
 pub use wal::{LogRecord, Wal};

@@ -631,6 +631,49 @@ impl TransactionManager {
         st.write = Arc::new(write);
         Ok(())
     }
+
+    /// Failover takeover: (re)register a partition at `stable_len` and
+    /// replay the committed `records` into it, under ONE write lock. The
+    /// separate `register_partition` + `replay` sequence has a window where
+    /// a concurrent query sees registered-but-unreplayed (empty) state;
+    /// takeover after a node death must never expose that. Queries holding
+    /// the old state's `Arc`s keep a consistent (identical) image.
+    pub fn recover_partition(
+        &self,
+        pid: PartitionId,
+        stable_len: u64,
+        records: &[LogRecord],
+    ) -> Result<()> {
+        let mut inner = self.inner.write();
+        let mut write = Pdt::new();
+        for r in records {
+            match r {
+                LogRecord::Insert {
+                    rid, tag, values, ..
+                } => {
+                    write.insert_at(*rid, values.clone(), *tag, stable_len)?;
+                }
+                LogRecord::Delete { rid, .. } => {
+                    write.delete_at(*rid, stable_len)?;
+                }
+                LogRecord::Modify {
+                    rid, col, value, ..
+                } => {
+                    write.modify_at(*rid, *col as usize, value.clone(), stable_len)?;
+                }
+                _ => {}
+            }
+        }
+        inner.partitions.insert(
+            pid,
+            PartitionTxnState {
+                stable_len,
+                read: Arc::new(Pdt::new()),
+                write: Arc::new(write),
+            },
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -813,6 +856,32 @@ mod tests {
         let m2 = mgr_with(P, 5);
         m2.replay(P, &recs).unwrap();
         assert_eq!(materialize(&m2, P, 5), expect);
+    }
+
+    #[test]
+    fn recover_partition_is_atomic_register_plus_replay() {
+        let m = mgr_with(P, 5);
+        let mut t = m.begin(&[P]).unwrap();
+        m.insert_at(&mut t, P, 0, v(-1)).unwrap();
+        m.delete_at(&mut t, P, 3).unwrap();
+        let mut recs = Vec::new();
+        m.commit(t, |_, r| {
+            recs.extend(r.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        let expect = materialize(&m, P, 5);
+
+        // A taking-over node recovers in one step, even over a previously
+        // registered (stale) partition state.
+        let m2 = mgr_with(P, 999);
+        m2.recover_partition(P, 5, &recs).unwrap();
+        assert_eq!(materialize(&m2, P, 5), expect);
+        // And the recovered state accepts new transactions.
+        let mut t2 = m2.begin(&[P]).unwrap();
+        m2.modify_at(&mut t2, P, 0, 0, Value::I64(77)).unwrap();
+        m2.commit(t2, |_, _| Ok(())).unwrap();
+        assert_eq!(materialize(&m2, P, 5)[0][0], Value::I64(77));
     }
 
     #[test]

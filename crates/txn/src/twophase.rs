@@ -10,7 +10,7 @@
 //! `GlobalCommit` record reached the global WAL.
 
 use vectorh_common::fault::{FaultAction, FaultSite};
-use vectorh_common::{PartitionId, Result};
+use vectorh_common::{NodeId, PartitionId, Result};
 
 use crate::wal::{LogRecord, Wal};
 
@@ -152,6 +152,61 @@ impl TwoPhaseCoordinator {
         Ok(committed)
     }
 
+    /// Participant-side recovery, with the full per-transaction verdicts:
+    /// every transaction that left a trace in the partition WAL, in log
+    /// order, with how recovery resolves it. `committed_txns_of` is the
+    /// committed-only projection of this.
+    pub fn recoverable_txns(&self, partition_wal: &Wal) -> Result<Vec<RecoverableTxn>> {
+        let records = partition_wal.read_all()?;
+        let mut order: Vec<u64> = Vec::new();
+        let mut committed = std::collections::BTreeSet::new();
+        let mut prepared = std::collections::BTreeSet::new();
+        let mut aborted = std::collections::BTreeSet::new();
+        let seen = |order: &mut Vec<u64>, txn: u64| {
+            if !order.contains(&txn) {
+                order.push(txn);
+            }
+        };
+        for r in &records {
+            match r {
+                LogRecord::TxnBegin { txn }
+                | LogRecord::Insert { txn, .. }
+                | LogRecord::Delete { txn, .. }
+                | LogRecord::Modify { txn, .. }
+                | LogRecord::Append { txn, .. } => seen(&mut order, *txn),
+                LogRecord::Commit { txn, .. } => {
+                    seen(&mut order, *txn);
+                    committed.insert(*txn);
+                }
+                LogRecord::Prepare { txn } => {
+                    seen(&mut order, *txn);
+                    prepared.insert(*txn);
+                }
+                LogRecord::Abort { txn } => {
+                    seen(&mut order, *txn);
+                    aborted.insert(*txn);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for txn in order {
+            let resolution = if committed.contains(&txn) {
+                TxnResolution::CommittedLocally
+            } else if aborted.contains(&txn) {
+                TxnResolution::Aborted
+            } else if prepared.contains(&txn) && self.recover_decision(txn)? {
+                TxnResolution::CommittedByDecision
+            } else {
+                // Prepared without a global decision, or never even
+                // prepared: presumed abort.
+                TxnResolution::Aborted
+            };
+            out.push(RecoverableTxn { txn, resolution });
+        }
+        Ok(out)
+    }
+
     /// Extract the replayable update records of a committed txn from a
     /// partition WAL, in order.
     pub fn records_of(partition_wal: &Wal, txn_id: u64) -> Result<Vec<LogRecord>> {
@@ -169,34 +224,123 @@ impl TwoPhaseCoordinator {
     }
 }
 
+/// How recovery resolves one transaction found in a partition WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnResolution {
+    /// A local `Commit` record is in the log: committed before the crash.
+    CommittedLocally,
+    /// Prepared, and the global WAL holds the decision: commits on recovery.
+    CommittedByDecision,
+    /// No commit evidence anywhere: presumed abort, never replayed.
+    Aborted,
+}
+
+impl TxnResolution {
+    pub fn is_committed(&self) -> bool {
+        !matches!(self, TxnResolution::Aborted)
+    }
+}
+
+/// One transaction's recovery verdict (see
+/// [`TwoPhaseCoordinator::recoverable_txns`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverableTxn {
+    pub txn: u64,
+    pub resolution: TxnResolution,
+}
+
+/// The shipped log of one replicated partition, with per-receiver apply
+/// watermarks.
+#[derive(Debug, Default)]
+struct ShipLog {
+    records: Vec<LogRecord>,
+    /// How far into `records` each receiver has applied.
+    applied: std::collections::HashMap<NodeId, usize>,
+}
+
 /// Log shipping for replicated tables (§6): all workers keep replicated
 /// PDTs in RAM, so commits broadcast the same on-disk-format log actions to
-/// every worker. The simulation counts shipped bytes; receivers apply the
-/// records through the ordinary replay path ("allowing reuse of existing
-/// code and the testing infrastructure").
+/// every worker, and receivers apply them through the ordinary replay path
+/// ("allowing reuse of existing code and the testing infrastructure"). The
+/// shipper is the pipe: senders [`ship`](Self::ship) a batch, each receiver
+/// [`drain`](Self::drain)s its backlog and replays it. A node that was down
+/// while batches shipped [`rewind`](Self::rewind)s and re-applies the whole
+/// retained log on rejoin; propagation [`checkpoint`](Self::checkpoint)s the
+/// log once the records are in stable storage.
 #[derive(Debug, Default)]
 pub struct LogShipper {
+    inner: vectorh_common::sync::Mutex<std::collections::HashMap<PartitionId, ShipLog>>,
     shipped_bytes: std::sync::atomic::AtomicU64,
     shipped_batches: std::sync::atomic::AtomicU64,
 }
 
 impl LogShipper {
-    /// Ship `records` to `n_receivers` workers; returns the encoded size.
-    pub fn broadcast(&self, records: &[LogRecord], n_receivers: usize) -> u64 {
-        // Same format as the on-disk log: measure via a scratch WAL frame.
+    /// Ship `records` for `pid` to `n_receivers` workers; returns the total
+    /// encoded bytes put on the wire (on-disk WAL format, per §6).
+    pub fn ship(&self, pid: PartitionId, records: &[LogRecord], n_receivers: usize) -> u64 {
+        if records.is_empty() {
+            return 0;
+        }
         let mut size = 0u64;
         for r in records {
-            // Reuse the WAL encoding through a temporary buffer.
             let mut buf = Vec::new();
             crate::wal::encode_for_shipping(r, &mut buf);
             size += buf.len() as u64;
         }
+        self.inner
+            .lock()
+            .entry(pid)
+            .or_default()
+            .records
+            .extend_from_slice(records);
         let total = size * n_receivers as u64;
         self.shipped_bytes
             .fetch_add(total, std::sync::atomic::Ordering::Relaxed);
         self.shipped_batches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         total
+    }
+
+    /// Receiver side: everything shipped for `pid` that `node` has not yet
+    /// applied; advances the node's watermark past it.
+    pub fn drain(&self, pid: PartitionId, node: NodeId) -> Vec<LogRecord> {
+        let mut inner = self.inner.lock();
+        let Some(log) = inner.get_mut(&pid) else {
+            return vec![];
+        };
+        let from = *log.applied.get(&node).unwrap_or(&0);
+        let out = log.records[from.min(log.records.len())..].to_vec();
+        log.applied.insert(node, log.records.len());
+        out
+    }
+
+    /// Records shipped for `pid` that `node` has not applied yet.
+    pub fn backlog(&self, pid: PartitionId, node: NodeId) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .get(&pid)
+            .map(|log| {
+                log.records.len() - log.applied.get(&node).unwrap_or(&0).min(&log.records.len())
+            })
+            .unwrap_or(0)
+    }
+
+    /// Forget `node`'s watermark for `pid`: a rejoining node lost its RAM
+    /// state and must re-apply the whole retained log on top of stable data.
+    pub fn rewind(&self, pid: PartitionId, node: NodeId) {
+        if let Some(log) = self.inner.lock().get_mut(&pid) {
+            log.applied.remove(&node);
+        }
+    }
+
+    /// Drop `pid`'s retained records: propagation flushed them to stable
+    /// storage, so (like WAL records before a `Checkpoint`) they are
+    /// obsolete for catch-up.
+    pub fn checkpoint(&self, pid: PartitionId) {
+        if let Some(log) = self.inner.lock().get_mut(&pid) {
+            log.records.clear();
+            log.applied.clear();
+        }
     }
 
     pub fn shipped_bytes(&self) -> u64 {
@@ -408,12 +552,86 @@ mod tests {
     fn log_shipping_counts_bytes() {
         let shipper = LogShipper::default();
         let r = recs(5);
-        let shipped = shipper.broadcast(&r, 3);
+        let shipped = shipper.ship(PartitionId(0), &r, 3);
         assert!(shipped > 0);
         assert_eq!(shipper.shipped_bytes(), shipped);
         assert_eq!(shipper.shipped_batches(), 1);
-        shipper.broadcast(&r, 3);
+        shipper.ship(PartitionId(0), &r, 3);
         assert_eq!(shipper.shipped_batches(), 2);
         assert_eq!(shipper.shipped_bytes(), 2 * shipped);
+    }
+
+    #[test]
+    fn log_shipping_is_a_pipe_with_per_receiver_watermarks() {
+        let shipper = LogShipper::default();
+        let pid = PartitionId(7);
+        let (a, b) = (NodeId(1), NodeId(2));
+        shipper.ship(pid, &recs(1), 2);
+        // Receiver a applies immediately; b lags.
+        assert_eq!(shipper.drain(pid, a), recs(1));
+        assert_eq!(shipper.backlog(pid, a), 0);
+        assert_eq!(shipper.backlog(pid, b), 2);
+        shipper.ship(pid, &recs(2), 2);
+        // a sees only the new batch; b catches up with both.
+        assert_eq!(shipper.drain(pid, a), recs(2));
+        let caught_up: Vec<_> = [recs(1), recs(2)].concat();
+        assert_eq!(shipper.drain(pid, b), caught_up);
+        // Rewind models a rejoin after RAM loss: the whole log replays.
+        shipper.rewind(pid, a);
+        assert_eq!(shipper.drain(pid, a), caught_up);
+        // Checkpoint (propagation) empties the retained log for everyone.
+        shipper.checkpoint(pid);
+        assert_eq!(shipper.backlog(pid, b), 0);
+        assert!(shipper.drain(pid, b).is_empty());
+    }
+
+    #[test]
+    fn recoverable_txns_reports_per_txn_verdicts() {
+        let (coord, w0, _) = setup();
+        let committed = recs(30);
+        let in_doubt_commit = recs(31);
+        let in_doubt_abort = recs(32);
+        coord
+            .commit_distributed(30, &[(PartitionId(0), &w0, &committed)], CrashPoint::None)
+            .unwrap();
+        coord
+            .commit_distributed(
+                31,
+                &[(PartitionId(0), &w0, &in_doubt_commit)],
+                CrashPoint::AfterGlobalCommit,
+            )
+            .unwrap();
+        coord
+            .commit_distributed(
+                32,
+                &[(PartitionId(0), &w0, &in_doubt_abort)],
+                CrashPoint::AfterPrepare,
+            )
+            .unwrap();
+        let verdicts = coord.recoverable_txns(&w0).unwrap();
+        assert_eq!(
+            verdicts,
+            vec![
+                RecoverableTxn {
+                    txn: 30,
+                    resolution: TxnResolution::CommittedLocally,
+                },
+                RecoverableTxn {
+                    txn: 31,
+                    resolution: TxnResolution::CommittedByDecision,
+                },
+                RecoverableTxn {
+                    txn: 32,
+                    resolution: TxnResolution::Aborted,
+                },
+            ]
+        );
+        // The committed projection agrees.
+        let committed_only: Vec<u64> = verdicts
+            .iter()
+            .filter(|v| v.resolution.is_committed())
+            .map(|v| v.txn)
+            .collect();
+        assert_eq!(coord.committed_txns_of(&w0).unwrap(), committed_only);
     }
 }

@@ -317,8 +317,9 @@ pub fn encode_for_shipping(record: &LogRecord, out: &mut Vec<u8>) {
 pub struct Wal {
     fs: SimHdfs,
     path: String,
-    /// The responsible node: all WAL IO is issued from here.
-    home: Option<NodeId>,
+    /// The responsible node: all WAL IO is issued from here. Interior-mutable
+    /// so failover can move a shared (`Arc`'d) WAL to its new owner.
+    home: vectorh_common::sync::RwLock<Option<NodeId>>,
 }
 
 impl Wal {
@@ -326,7 +327,7 @@ impl Wal {
         Wal {
             fs,
             path: path.into(),
-            home,
+            home: vectorh_common::sync::RwLock::new(home),
         }
     }
 
@@ -339,8 +340,13 @@ impl Wal {
         &self.fs
     }
 
-    pub fn set_home(&mut self, home: Option<NodeId>) {
-        self.home = home;
+    /// The node currently issuing this WAL's IO.
+    pub fn home(&self) -> Option<NodeId> {
+        *self.home.read()
+    }
+
+    pub fn set_home(&self, home: Option<NodeId>) {
+        *self.home.write() = home;
     }
 
     /// Append records (length-framed) and flush to HDFS.
@@ -372,17 +378,17 @@ impl Wal {
                 FaultAction::CrashBefore => return crashed("before"),
                 FaultAction::CrashMid => {
                     self.fs
-                        .append(&self.path, &buf[..buf.len() - 1], self.home)?;
+                        .append(&self.path, &buf[..buf.len() - 1], self.home())?;
                     return crashed("during");
                 }
                 FaultAction::CrashAfter => {
-                    self.fs.append(&self.path, &buf, self.home)?;
+                    self.fs.append(&self.path, &buf, self.home())?;
                     return crashed("after");
                 }
                 _ => {}
             }
         }
-        self.fs.append(&self.path, &buf, self.home)
+        self.fs.append(&self.path, &buf, self.home())
     }
 
     /// Read the whole log back (recovery/startup).
@@ -396,7 +402,7 @@ impl Wal {
             return Ok(vec![]);
         }
         self.fs.consult_fault(FaultSite::WalReplay, &self.path)?;
-        let bytes = self.fs.read_all(&self.path, self.home)?;
+        let bytes = self.fs.read_all(&self.path, self.home())?;
         let mut out = Vec::new();
         let mut pos = 0usize;
         while pos < bytes.len() {
@@ -424,7 +430,7 @@ impl Wal {
         if !self.fs.exists(&self.path) {
             return Ok(0);
         }
-        let bytes = self.fs.read_all(&self.path, self.home)?;
+        let bytes = self.fs.read_all(&self.path, self.home())?;
         let mut pos = 0usize;
         while pos + 4 <= bytes.len() {
             let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
@@ -437,7 +443,7 @@ impl Wal {
         if torn > 0 {
             self.fs.delete(&self.path)?;
             if pos > 0 {
-                self.fs.append(&self.path, &bytes[..pos], self.home)?;
+                self.fs.append(&self.path, &bytes[..pos], self.home())?;
             }
         }
         Ok(torn)

@@ -209,6 +209,18 @@ impl ResourceManager {
         ids
     }
 
+    /// A NodeManager came back (node rejoin): it resumes heartbeating and
+    /// accepts container requests again. Containers lost at death are NOT
+    /// restored — the owning AM must re-request them. Errors if the node
+    /// was never registered.
+    pub fn node_added(&self, node: NodeId) -> Result<()> {
+        if !self.nodes.contains(&node) {
+            return Err(VhError::Yarn(format!("unknown node {node}")));
+        }
+        self.inner.lock().lost.remove(&node);
+        Ok(())
+    }
+
     /// Registered nodes still heartbeating.
     pub fn alive_nodes(&self) -> Vec<NodeId> {
         let inner = self.inner.lock();
@@ -316,6 +328,23 @@ mod tests {
         assert_eq!(rm.alive_nodes(), vec![NodeId(1)]);
         // Losing an empty node is fine and idempotent.
         assert!(rm.node_lost(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn node_added_readmits_a_lost_node() {
+        let rm = rm();
+        let app = rm.register_app(2);
+        rm.request_container(app, NodeId(0), 2, 16).unwrap();
+        rm.node_lost(NodeId(0));
+        assert!(rm.request_container(app, NodeId(0), 1, 1).is_err());
+        rm.node_added(NodeId(0)).unwrap();
+        assert_eq!(rm.alive_nodes(), vec![NodeId(0), NodeId(1)]);
+        // Lost containers stay lost; new requests are granted afresh.
+        assert!(rm.containers_of(app).is_empty());
+        assert!(rm.request_container(app, NodeId(0), 2, 16).is_ok());
+        // Unknown nodes are rejected; re-adding a live node is a no-op.
+        assert!(rm.node_added(NodeId(9)).is_err());
+        assert!(rm.node_added(NodeId(0)).is_ok());
     }
 
     #[test]
