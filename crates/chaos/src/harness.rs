@@ -22,6 +22,14 @@
 //!    recovery resurrects exactly the durably committed transactions, and
 //!    after [`VectorH::rejoin_node`] locality and replicated state converge
 //!    back.
+//! 5. **Master kill mid-2PC** (`master`) — the session master dies at a
+//!    seed-chosen 2PC decide crash point; detection and the election run
+//!    entirely from inside ordinary query traffic (the background health
+//!    plane), the new master resolves the in-doubt transaction exactly once
+//!    under a bumped epoch, a stale-epoch commit is fenced, a
+//!    replicated-table commit storm pushes the bounded ship log past its
+//!    truncation horizon, and the rejoining old master converges via
+//!    full-image bootstrap — without reclaiming the master role.
 //!
 //! Phases run selectively via `CHAOS_PHASES` (comma-separated names from
 //! [`ALL_PHASES`], default all) so CI can split a schedule across parallel
@@ -29,9 +37,10 @@
 //! regardless of which other phases run. Every decision the harness itself
 //! makes (cluster size, query choice, fault rates, txn script order, victim
 //! node) comes from the seed, and every injected fault comes from
-//! set-deterministic hooks, so the resulting [`ScheduleReport`] — steps and
-//! per-site fired counters — is identical run-to-run. Failures embed the
-//! seed; rerun just that schedule with `CHAOS_SEED=<seed>`.
+//! set-deterministic hooks, so the resulting [`ScheduleReport`] — steps,
+//! per-site fired counters, and the master-epoch history — is identical
+//! run-to-run. Failures embed the seed; rerun just that schedule with
+//! `CHAOS_SEED=<seed>`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -52,7 +61,7 @@ use crate::plan::{site_index, DirectedFault, FaultPlan, N_SITES};
 pub const DEFAULT_CORPUS_LEN: usize = 16;
 
 /// Phase names, in execution order. `CHAOS_PHASES` selects a subset.
-pub const ALL_PHASES: [&str; 4] = ["io", "txn", "kill", "rejoin"];
+pub const ALL_PHASES: [&str; 5] = ["io", "txn", "kill", "rejoin", "master"];
 
 /// Phases enabled by the environment: `CHAOS_PHASES=io,txn` runs just
 /// those two (CI splits the corpus this way); unset runs all of them.
@@ -101,6 +110,9 @@ pub struct ScheduleReport {
     pub steps: Vec<String>,
     /// Faults fired per site, indexed like [`FaultSite::ALL`].
     pub fired: [u64; N_SITES],
+    /// Every (epoch, master) in force across the schedule, oldest first —
+    /// the election audit trail (epoch 1 is the initial master).
+    pub epochs: Vec<(u64, NodeId)>,
 }
 
 /// The seed corpus: `CHAOS_SEED` (decimal or `0x`-hex) replays a single
@@ -129,14 +141,23 @@ pub fn corpus_from(env: Option<&str>) -> Vec<u64> {
     }
 }
 
-/// Run one complete chaos schedule. `Err` means an engine invariant broke
-/// (or the cluster failed to come up); the message embeds the seed.
+/// Run one complete chaos schedule with the phases selected by the
+/// environment (`CHAOS_PHASES`). `Err` means an engine invariant broke (or
+/// the cluster failed to come up); the message embeds the seed.
 pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
+    run_schedule_with_phases(seed, &enabled_phases())
+}
+
+/// [`run_schedule`] with an explicit phase selection — what the
+/// election-determinism tests use to replay just the `master` phase without
+/// touching the process environment.
+pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleReport> {
     let mut rng = SplitMix64::new(seed);
     let mut report = ScheduleReport {
         seed,
         steps: Vec::new(),
         fired: [0; N_SITES],
+        epochs: Vec::new(),
     };
 
     // Cluster shape: ≥4 nodes so replication 3 survives a node kill.
@@ -147,6 +168,12 @@ pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
         hdfs_block_size: 32 * 1024,
         streams_per_node: 2,
         replication: 3,
+        // Bounded ship-log retention, fixed (not from the environment) so
+        // the `master` phase's horizon storm is seed-deterministic.
+        ship_retention: vectorh_txn::twophase::ShipRetention {
+            max_bytes: None,
+            max_records: Some(8),
+        },
         ..Default::default()
     })?;
     let data = vectorh_tpch::schema::setup(&vh, 0.001, 4, 20260807)?;
@@ -155,7 +182,6 @@ pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
         .steps
         .push(format!("cluster: {nodes} nodes, 4 partitions, sf 0.001"));
 
-    let phases = enabled_phases();
     if phases.contains(&"io") {
         phase_faulty_io(&vh, &db, &mut phase_rng(seed, 1), &mut report)?;
     }
@@ -168,6 +194,10 @@ pub fn run_schedule(seed: u64) -> Result<ScheduleReport> {
     if phases.contains(&"rejoin") {
         phase_rejoin(&vh, &db, &mut phase_rng(seed, 4), &mut report)?;
     }
+    if phases.contains(&"master") {
+        phase_master_kill(&vh, &db, &mut phase_rng(seed, 5), &mut report)?;
+    }
+    report.epochs = vh.master_history();
     Ok(report)
 }
 
@@ -623,6 +653,232 @@ fn phase_rejoin(
         "rejoin: crashed {victim} mid-commit [{crash:?}], detected at tick \
          {detected_at}, {committed}/4 txns recovered, replica caught up, \
          post-rejoin Q6 fully local"
+    ));
+    Ok(())
+}
+
+/// Phase 5: the session master dies mid-2PC. Unlike phase 4, nothing drives
+/// detection by hand — ordinary query traffic advances the background
+/// health plane, which declares the master dead, elects the lowest live
+/// NodeId under a bumped epoch, and resolves the in-doubt transaction
+/// exactly once. A stale-epoch commit is fenced, a replicated-table commit
+/// storm pushes the bounded ship log past its truncation horizon, and the
+/// rejoining old master converges via full-image bootstrap without taking
+/// the master role back.
+fn phase_master_kill(
+    vh: &VectorH,
+    db: &BaselineDb,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let seed = report.seed;
+    vh.create_table(
+        TableBuilder::new("master_part")
+            .column("id", DataType::I64)
+            .column("v", DataType::I64)
+            .partition_by(&["id"], 2)
+            .clustered_by(&["id"]),
+    )?;
+    vh.create_table(
+        TableBuilder::new("master_repl")
+            .column("id", DataType::I64)
+            .column("v", DataType::I64),
+    )?;
+    let part = vh.table("master_part")?;
+    let repl = vh.table("master_repl")?;
+    let mut next_id = 1000i64;
+    let mut two_rows = move || {
+        let rows = vec![
+            vec![Value::I64(next_id), Value::I64(next_id * 3)],
+            vec![Value::I64(next_id + 1), Value::I64((next_id + 1) * 3)],
+        ];
+        next_id += 2;
+        rows
+    };
+
+    // Two acknowledged commits — the baseline that must survive everything.
+    let mut acked = 0u64;
+    for _ in 0..2 {
+        vh.trickle_insert("master_part", two_rows())?;
+        acked += 1;
+    }
+    let master0 = vh.session_master();
+    let epoch0 = vh.master_epoch();
+
+    // The master dies at the 2PC commit point: a budget-1 crash at the
+    // decide site at a seed-chosen moment — before the decision (presumed
+    // abort) or after it became durable (commit survives the master).
+    let crash = [FaultAction::CrashBefore, FaultAction::CrashAfter][rng.next_bounded(2) as usize];
+    let fault = DirectedFault::new(FaultSite::TwoPhaseDecide, crash, 1);
+    vh.install_fault_hook(Some(fault.clone() as SharedFaultHook));
+    let out = vh.trickle_insert("master_part", two_rows());
+    vh.install_fault_hook(None);
+    report.fired[site_index(FaultSite::TwoPhaseDecide)] += fault.fired();
+    if out.is_ok() {
+        acked += 1;
+    }
+    vh.fs().kill_node(master0)?;
+    vh.rm().node_lost(master0);
+
+    // Detection, election, takeover and in-doubt resolution all run from
+    // inside ordinary traffic: just keep querying. One surviving node's
+    // heartbeat is dropped along the way — it may delay detection, never
+    // false-kill the survivor.
+    let survivors: Vec<NodeId> = vh.workers().into_iter().filter(|w| *w != master0).collect();
+    let lucky = survivors[rng.next_bounded(survivors.len() as u64) as usize];
+    let hb = DirectedFault::matching(
+        FaultSite::Heartbeat,
+        FaultAction::Drop,
+        1,
+        &format!("{lucky}@"),
+    );
+    vh.install_fault_hook(Some(hb.clone() as SharedFaultHook));
+    let mut queries = 0u64;
+    let detect = (|| {
+        while vh.workers().contains(&master0) {
+            queries += 1;
+            if queries > 12 {
+                return Err(VhError::Internal(format!(
+                    "chaos seed {seed:#x}: background health plane never \
+                     removed the dead master {master0}"
+                )));
+            }
+            checked_query(vh, db, 6, "while the dead master goes undetected", seed)?;
+        }
+        Ok(())
+    })();
+    vh.install_fault_hook(None);
+    report.fired[site_index(FaultSite::Heartbeat)] += hb.fired();
+    detect?;
+    if !vh.workers().contains(&lucky) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {lucky} false-killed over one dropped heartbeat"
+        )));
+    }
+
+    // Election: lowest live NodeId, epoch bumped exactly once, durably
+    // logged in the global WAL.
+    let master1 = vh.session_master();
+    let epoch1 = vh.master_epoch();
+    if master1 != vh.workers()[0] || master1 == master0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: elected {master1}, expected lowest live \
+             node {}",
+            vh.workers()[0]
+        )));
+    }
+    if epoch1 != epoch0 + 1 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: epoch went {epoch0} -> {epoch1}, expected \
+             exactly one bump"
+        )));
+    }
+    let logged = vh.coordinator.global_wal().read_all()?.iter().any(
+        |r| matches!(r, LogRecord::MasterEpoch { epoch, node } if *epoch == epoch1 && *node == master1.0 as u64),
+    );
+    if !logged {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: election (epoch {epoch1}, {master1}) not \
+             logged in the global WAL"
+        )));
+    }
+    // Fencing: the deposed master's epoch must be rejected at the commit
+    // point with the typed error.
+    match vh.coordinator.check_epoch(epoch0) {
+        Err(VhError::StaleMaster(_)) => {}
+        other => {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: stale epoch {epoch0} not fenced \
+                 (got {other:?})"
+            )));
+        }
+    }
+
+    // Exactly-once: across both partition WALs, every acknowledged
+    // transaction is committed, the in-doubt one resolved exactly one way,
+    // and the visible image holds 2 rows per committed transaction — no
+    // loss, no duplicates.
+    let mut committed = std::collections::BTreeSet::new();
+    for wal in &part.wals {
+        for v in vh.coordinator.recoverable_txns(wal)? {
+            if v.resolution.is_committed() {
+                committed.insert(v.txn);
+            }
+        }
+    }
+    let c = committed.len() as u64;
+    if c < acked || c > acked + 1 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {acked} acked but {c} committed across \
+             the election — in-doubt resolution lost or duplicated a txn"
+        )));
+    }
+    let visible = vh.table_rows("master_part")?;
+    if visible != 2 * c {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: master_part shows {visible} rows, \
+             expected {} (2 per committed txn, exactly once)",
+            2 * c
+        )));
+    }
+    // Liveness under the new master: a fresh commit at the new epoch.
+    vh.trickle_insert("master_part", two_rows())?;
+    if vh.table_rows("master_part")? != 2 * (c + 1) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: post-election commit not visible"
+        )));
+    }
+
+    // Replicated commit storm past the retention horizon (max_records = 8,
+    // 3 records per commit): the old master's watermark is now unreachable
+    // from the retained log.
+    let rpid = repl.pids[0];
+    for _ in 0..3 {
+        vh.trickle_insert("master_repl", two_rows())?;
+    }
+    if vh.shipper.horizon(rpid) == 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: ship-log horizon never advanced under \
+             bounded retention"
+        )));
+    }
+    if vh.shipper.reclaimed_bytes() == 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: retention truncated nothing"
+        )));
+    }
+
+    // The old master rejoins behind the horizon: full-image bootstrap must
+    // converge its replica, and the master role must NOT fail back.
+    vh.rejoin_node(master0)?;
+    let caught_up = vh.replica_rows(master0, rpid)?;
+    let expect = vh.table_rows("master_repl")?;
+    if caught_up != expect {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: bootstrap left {master0} at {caught_up} \
+             rows, primary has {expect}"
+        )));
+    }
+    vh.trickle_insert("master_repl", two_rows())?;
+    if vh.replica_rows(master0, rpid)? != vh.table_rows("master_repl")? {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {master0} replica diverged on the first \
+             live commit after bootstrap"
+        )));
+    }
+    if vh.session_master() != master1 || vh.master_epoch() != epoch1 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: master role failed back to {} after \
+             rejoin",
+            vh.session_master()
+        )));
+    }
+    report.steps.push(format!(
+        "master: killed {master0} mid-2PC [{crash:?}], detected after \
+         {queries} queries, elected {master1} at epoch {epoch1}, \
+         {c}/{} txns exactly-once, stale epoch fenced, horizon bootstrap \
+         converged {master0}",
+        acked + 1
     ));
     Ok(())
 }

@@ -17,6 +17,12 @@
 //!    monitor, takeover recovery resurrects exactly the durably committed
 //!    transactions, and after rejoin the node's replica state and cluster
 //!    locality converge back to the fault-free picture.
+//! 5. A session-master kill mid-2PC is detected by the *background* health
+//!    plane (ordinary query traffic — nothing drives ticks by hand), a new
+//!    master is elected under a bumped, fenced epoch, the in-doubt
+//!    transaction resolves exactly once, and a node that rejoins behind the
+//!    bounded ship-log's truncation horizon converges via full-image
+//!    bootstrap.
 //!
 //! `CHAOS_PHASES=io,txn` (any comma-separated subset of
 //! [`harness::ALL_PHASES`]) runs only those phases — CI splits a schedule
@@ -33,7 +39,7 @@ pub mod harness;
 pub mod plan;
 
 pub use harness::{
-    corpus, corpus_from, enabled_phases, phases_from, run_schedule, ScheduleReport, ALL_PHASES,
-    DEFAULT_CORPUS_LEN,
+    corpus, corpus_from, enabled_phases, phases_from, run_schedule, run_schedule_with_phases,
+    ScheduleReport, ALL_PHASES, DEFAULT_CORPUS_LEN,
 };
 pub use plan::{site_index, DirectedFault, FaultPlan, N_SITES};

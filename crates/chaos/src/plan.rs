@@ -107,6 +107,10 @@ pub struct DirectedFault {
     action: FaultAction,
     budget: AtomicU64,
     fired: AtomicU64,
+    /// Optional detail filter: when set, the fault fires only at calls whose
+    /// detail string contains this needle (e.g. `"txn7"` to hit one specific
+    /// transaction's decide, or `"node2@"` to drop one node's heartbeats).
+    needle: Option<String>,
 }
 
 impl DirectedFault {
@@ -116,6 +120,25 @@ impl DirectedFault {
             action,
             budget: AtomicU64::new(budget),
             fired: AtomicU64::new(0),
+            needle: None,
+        })
+    }
+
+    /// A directed fault that fires only when the call's detail string
+    /// contains `needle` — for aiming at one transaction, node or file
+    /// instead of the first `budget` calls to reach the site.
+    pub fn matching(
+        site: FaultSite,
+        action: FaultAction,
+        budget: u64,
+        needle: &str,
+    ) -> Arc<DirectedFault> {
+        Arc::new(DirectedFault {
+            site,
+            action,
+            budget: AtomicU64::new(budget),
+            fired: AtomicU64::new(0),
+            needle: Some(needle.to_string()),
         })
     }
 
@@ -129,9 +152,14 @@ impl DirectedFault {
 }
 
 impl FaultHook for DirectedFault {
-    fn decide(&self, site: FaultSite, _detail: &str, _attempt: u32) -> FaultAction {
+    fn decide(&self, site: FaultSite, detail: &str, _attempt: u32) -> FaultAction {
         if site != self.site {
             return FaultAction::None;
+        }
+        if let Some(n) = &self.needle {
+            if !detail.contains(n.as_str()) {
+                return FaultAction::None;
+            }
         }
         let mut b = self.budget.load(Ordering::Relaxed);
         loop {
@@ -244,5 +272,33 @@ mod tests {
         );
         assert_eq!(d.decide(FaultSite::WalAppend, "c", 0), FaultAction::None);
         assert_eq!(d.fired(), 2);
+    }
+
+    #[test]
+    fn matching_fault_filters_on_detail() {
+        let d = DirectedFault::matching(
+            FaultSite::TwoPhaseDecide,
+            FaultAction::CrashBefore,
+            1,
+            "txn7",
+        );
+        // Wrong site and non-matching details spend no budget.
+        assert_eq!(d.decide(FaultSite::WalAppend, "txn7", 0), FaultAction::None);
+        assert_eq!(
+            d.decide(FaultSite::TwoPhaseDecide, "txn6", 0),
+            FaultAction::None
+        );
+        assert_eq!(d.fired(), 0);
+        // The aimed-at transaction takes the hit; the budget then protects
+        // later matches.
+        assert_eq!(
+            d.decide(FaultSite::TwoPhaseDecide, "txn7", 0),
+            FaultAction::CrashBefore
+        );
+        assert_eq!(
+            d.decide(FaultSite::TwoPhaseDecide, "txn7", 0),
+            FaultAction::None
+        );
+        assert_eq!(d.fired(), 1);
     }
 }

@@ -6,7 +6,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 
 use vectorh::{ClusterConfig, VectorH};
-use vectorh_chaos::{corpus, corpus_from, enabled_phases, run_schedule, ALL_PHASES, N_SITES};
+use vectorh_chaos::{
+    corpus, corpus_from, enabled_phases, run_schedule, run_schedule_with_phases, ALL_PHASES,
+    N_SITES,
+};
 use vectorh_common::fault::FaultSite;
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
@@ -61,6 +64,34 @@ fn chaos_phases_env_selects_a_subset_in_execution_order() {
         vec!["io", "txn"]
     );
     assert_eq!(vectorh_chaos::phases_from(Some(" rejoin ")), vec!["rejoin"]);
+    assert_eq!(
+        vectorh_chaos::phases_from(Some("master,kill")),
+        vec!["kill", "master"]
+    );
+}
+
+/// Election determinism across the whole corpus: replaying just the
+/// `master` phase for every seed must reproduce the identical report —
+/// including the epoch history (who won, at which epoch) and the
+/// narration of detection timing. Elections must be a pure function of
+/// the seed, never of wall-clock races.
+#[test]
+fn master_election_is_deterministic_across_the_corpus() {
+    for seed in corpus_from(None) {
+        let a = run_schedule_with_phases(seed, &["master"])
+            .unwrap_or_else(|e| panic!("master phase failed for seed {seed:#x}: {e}"));
+        let b = run_schedule_with_phases(seed, &["master"])
+            .unwrap_or_else(|e| panic!("master phase replay failed for seed {seed:#x}: {e}"));
+        assert_eq!(
+            a, b,
+            "seed {seed:#x}: two runs of the master phase diverged"
+        );
+        // The audit trail must show exactly one election on top of the
+        // initial epoch, won by a node other than the initial master.
+        assert_eq!(a.epochs.len(), 2, "seed {seed:#x}: epochs {:?}", a.epochs);
+        assert_eq!(a.epochs[1].0, a.epochs[0].0 + 1);
+        assert_ne!(a.epochs[0].1, a.epochs[1].1);
+    }
 }
 
 #[test]

@@ -29,6 +29,9 @@ pub enum VhError {
     /// A node needed by the current operation is dead; the query layer can
     /// recover by re-planning on the surviving worker set.
     NodeDown(String),
+    /// A 2PC commit carried a master epoch older than the current one: the
+    /// sender was deposed by an election and must not decide transactions.
+    StaleMaster(String),
     /// Catalog failure (unknown table/column, duplicate DDL).
     Catalog(String),
     /// Constraint violation (unique key / foreign key).
@@ -53,6 +56,7 @@ impl VhError {
             VhError::Yarn(_) => "yarn",
             VhError::Net(_) => "net",
             VhError::NodeDown(_) => "node-down",
+            VhError::StaleMaster(_) => "stale-master",
             VhError::Catalog(_) => "catalog",
             VhError::Constraint(_) => "constraint",
             VhError::InvalidArg(_) => "invalid-arg",
@@ -73,6 +77,7 @@ impl VhError {
             | VhError::Yarn(m)
             | VhError::Net(m)
             | VhError::NodeDown(m)
+            | VhError::StaleMaster(m)
             | VhError::Catalog(m)
             | VhError::Constraint(m)
             | VhError::InvalidArg(m)
@@ -123,6 +128,7 @@ mod tests {
             VhError::Yarn(String::new()),
             VhError::Net(String::new()),
             VhError::NodeDown(String::new()),
+            VhError::StaleMaster(String::new()),
             VhError::Catalog(String::new()),
             VhError::Constraint(String::new()),
             VhError::InvalidArg(String::new()),

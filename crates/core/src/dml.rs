@@ -90,28 +90,57 @@ impl VectorH {
             .ok_or_else(|| VhError::Internal(format!("partition {pid} not in table")))
     }
 
-    /// Commit a transaction with 2PC-style durability: update records and a
+    /// Commit a transaction with 2PC durability: update records and a
     /// Prepare vote reach each responsible node's partition WAL before the
-    /// in-memory state advances; the decision lands in the global WAL.
+    /// in-memory state advances; the fenced decision lands in the global
+    /// WAL; only then do phase-2 `Commit` records land in the partition
+    /// WALs. The commit runs under the master epoch observed at entry — an
+    /// election in between fences it with [`VhError::StaleMaster`], and a
+    /// coordinator crash injected at the decision leaves the transaction in
+    /// doubt (surfaced as an error here, resolved exactly once by the next
+    /// master's in-doubt resolution).
     fn commit_2pc(&self, rt: &TableRuntime, txn: Transaction) -> Result<u64> {
         let txn_id = txn.id;
-        let mut prepared: Vec<PartitionId> = Vec::new();
+        let epoch = self.master_epoch();
+        self.coordinator.check_epoch(epoch)?;
         let mut shipped: Vec<LogRecord> = Vec::new();
+        let mut commits: Vec<(PartitionId, LogRecord)> = Vec::new();
         let replicated = rt.def.partitioning.is_none();
         let seq = self.txns.commit(txn, |pid, recs| {
             let wal = self.wal_of(rt, pid)?;
             let mut batch = recs.to_vec();
+            // The manager ends every batch with its local Commit record,
+            // but 2PC must not persist that before the decision: hold it
+            // back for phase 2 and vote Prepare in its place.
+            let commit = match batch.pop() {
+                Some(c @ LogRecord::Commit { .. }) => c,
+                other => {
+                    return Err(VhError::Internal(format!(
+                        "commit batch must end in a Commit record, got {other:?}"
+                    )))
+                }
+            };
+            if replicated {
+                shipped.extend(batch.iter().cloned());
+            }
             batch.push(LogRecord::Prepare { txn: txn_id });
             wal.append(&batch)?;
-            prepared.push(pid);
-            if replicated {
-                shipped.extend(recs.to_vec());
-            }
+            commits.push((pid, commit));
             Ok(())
         })?;
-        self.coordinator
-            .global_wal()
-            .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
+        match self.coordinator.decide(epoch, txn_id)? {
+            vectorh_txn::twophase::Outcome::Committed => {}
+            vectorh_txn::twophase::Outcome::InDoubt => {
+                return Err(VhError::TxnAbort(format!(
+                    "txn {txn_id} in doubt: coordinator lost before phase 2"
+                )));
+            }
+        }
+        // Phase 2: local Commit records, after the durable decision.
+        for (pid, commit) in &commits {
+            self.wal_of(rt, *pid)?
+                .append(std::slice::from_ref(commit))?;
+        }
         // Log shipping for replicated tables: the commit's records go into
         // the retained ship log, and every live worker applies them to its
         // replica state through the ordinary replay path (§6). A node that
@@ -121,7 +150,7 @@ impl VectorH {
             let workers = self.workers();
             self.shipper
                 .ship(pid, &shipped, workers.len().saturating_sub(1));
-            self.apply_shipped(pid, &workers)?;
+            self.apply_shipped(rt, pid, &workers)?;
         }
         Ok(seq)
     }
@@ -130,6 +159,8 @@ impl VectorH {
     /// clustered sort position (ordinary append position for heap tables),
     /// through the PDT machinery.
     pub fn trickle_insert(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<u64> {
+        // DML is traffic too: it advances the background health plane.
+        self.advance_health(1)?;
         let rt = self.table(table)?;
         let n_parts = rt.n_partitions();
         let mut txn = self.txns.begin(&rt.pids)?;
@@ -210,6 +241,7 @@ impl VectorH {
     }
 
     fn mutate_where(&self, table: &str, pred: &Expr, set: Option<(usize, Value)>) -> Result<u64> {
+        self.advance_health(1)?;
         let rt = self.table(table)?;
         let mut txn = self.txns.begin(&rt.pids)?;
         let schema = Arc::new(rt.def.schema.clone());

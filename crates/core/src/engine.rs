@@ -1,7 +1,7 @@
 //! The VectorH engine: cluster lifecycle, DDL, loading, queries, failover.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 use vectorh_common::fault::SharedFaultHook;
@@ -13,8 +13,10 @@ use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
 use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
 use vectorh_storage::{PartitionStore, StorageConfig};
-use vectorh_txn::twophase::{LogShipper, TwoPhaseCoordinator};
+use vectorh_txn::twophase::{Drained, LogShipper, ShipRetention, TwoPhaseCoordinator};
 use vectorh_txn::{TransactionManager, TxnConfig, Wal};
+
+use crate::scheduler::HealthScheduler;
 use vectorh_yarn::placement::{
     affinity_mapping, initial_affinity, responsibility_assignment, PlacementInput,
 };
@@ -40,6 +42,15 @@ pub struct ClusterConfig {
     pub enable_local_join: bool,
     pub enable_replicated_build: bool,
     pub enable_partial_aggr: bool,
+    /// Virtual-clock period between background heartbeat rounds: one round
+    /// every `health_every` queries. 0 disables background scheduling
+    /// (health then runs only when `health_tick`/`advance_health` is called
+    /// explicitly).
+    pub health_every: u64,
+    /// Retention policy for the shipped replicated-table log. The default
+    /// reads `VH_SHIP_RETAIN_BYTES`/`VH_SHIP_RETAIN_RECORDS` from the
+    /// environment (unset = unbounded, truncate only at checkpoints).
+    pub ship_retention: ShipRetention,
 }
 
 impl Default for ClusterConfig {
@@ -57,8 +68,20 @@ impl Default for ClusterConfig {
             enable_local_join: true,
             enable_replicated_build: true,
             enable_partial_aggr: true,
+            health_every: 1,
+            ship_retention: ShipRetention::from_env(),
         }
     }
+}
+
+/// The session-master role: which node currently holds it, and under which
+/// epoch. The epoch is bumped by every election and fences deposed masters
+/// — a commit carrying an older epoch is rejected with
+/// [`VhError::StaleMaster`] at the 2PC commit point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterState {
+    pub node: NodeId,
+    pub epoch: u64,
 }
 
 /// Runtime state of one table.
@@ -93,6 +116,16 @@ pub struct VectorH {
     pub(crate) replicas: RwLock<HashMap<NodeId, Arc<TransactionManager>>>,
     /// Heartbeat failure detector, driven by [`VectorH::health_tick`].
     pub(crate) health: HeartbeatMonitor,
+    /// Virtual-clock scheduler that turns query traffic into heartbeat
+    /// rounds ([`VectorH::advance_health`]).
+    scheduler: HealthScheduler,
+    /// Reentrancy guard: recovery triggered by a health round must not
+    /// recurse into another round.
+    in_health_round: AtomicBool,
+    /// The current session master and its fencing epoch.
+    master: RwLock<MasterState>,
+    /// Every (epoch, master) ever in force, in order — election audit trail.
+    master_history: Mutex<Vec<(u64, NodeId)>>,
     net: Arc<NetStats>,
     workers: RwLock<Vec<NodeId>>,
     responsibility: RwLock<HashMap<PartitionId, NodeId>>,
@@ -166,6 +199,9 @@ impl VectorH {
             .iter()
             .map(|&w| (w, Arc::new(TransactionManager::new(TxnConfig::default()))))
             .collect();
+        let first = workers.first().copied().unwrap_or(NodeId(0));
+        let scheduler = HealthScheduler::new(config.health_every);
+        let shipper = LogShipper::with_retention(config.ship_retention.clone());
         Ok(VectorH {
             config,
             fs,
@@ -176,9 +212,16 @@ impl VectorH {
             tables: RwLock::new(HashMap::new()),
             txns: Arc::new(TransactionManager::new(TxnConfig::default())),
             coordinator: TwoPhaseCoordinator::new(global_wal),
-            shipper: LogShipper::default(),
+            shipper,
             replicas: RwLock::new(replicas),
             health: HeartbeatMonitor::new(HEARTBEAT_DEADLINE_MISSES),
+            scheduler,
+            in_health_round: AtomicBool::new(false),
+            master: RwLock::new(MasterState {
+                node: first,
+                epoch: 1,
+            }),
+            master_history: Mutex::new(vec![(1, first)]),
             net: Arc::new(NetStats::default()),
             workers: RwLock::new(workers),
             responsibility: RwLock::new(HashMap::new()),
@@ -217,10 +260,28 @@ impl VectorH {
         self.workers.read().clone()
     }
 
-    /// The session master: any worker can take the role (§6); we use the
-    /// first alive one.
+    /// The session master: any worker can take the role (§6). The holder is
+    /// elected — when the incumbent dies, the lowest live NodeId takes over
+    /// under a bumped epoch ([`Self::master_epoch`]).
     pub fn session_master(&self) -> NodeId {
-        self.workers.read().first().copied().unwrap_or(NodeId(0))
+        self.master.read().node
+    }
+
+    /// The current master epoch. Every 2PC commit carries the epoch its
+    /// sender observed; the commit point rejects older epochs.
+    pub fn master_epoch(&self) -> u64 {
+        self.master.read().epoch
+    }
+
+    /// Current master + epoch as one consistent snapshot.
+    pub fn master_state(&self) -> MasterState {
+        *self.master.read()
+    }
+
+    /// Every (epoch, master) ever in force, oldest first. Epoch 1 is the
+    /// initial master; each election appends exactly one entry.
+    pub fn master_history(&self) -> Vec<(u64, NodeId)> {
+        self.master_history.lock().clone()
     }
 
     /// Per-query parallelism budget from the dbAgent's current footprint.
@@ -436,6 +497,11 @@ impl VectorH {
     pub fn query_logical(&self, logical: &LogicalPlan) -> Result<Vec<Vec<Value>>> {
         let mut failovers = 0usize;
         loop {
+            // Background health plane: every query advances the virtual
+            // clock, so detection/election/takeover fire from inside
+            // ordinary traffic — a dead node is usually recovered *before*
+            // planning instead of tripping the retry path below.
+            self.advance_health(1)?;
             let phys = self.optimize(logical)?;
             match self.run_physical(&phys) {
                 Ok((rows, _)) => return Ok(rows),
@@ -537,18 +603,52 @@ impl VectorH {
         orphaned.sort_unstable();
         // A dead node's in-RAM replica state died with it.
         self.replicas.write().retain(|n, _| workers_now.contains(n));
-        // The global WAL must live on a live node: if the session master
-        // died it moves to the new one, repairing any torn decision frame
-        // the crash left behind (the commit point is the durable
-        // GlobalCommit record, so a torn tail is an undecided transaction).
-        let gw = self.coordinator.global_wal();
-        if gw.home().map(|h| !workers_now.contains(&h)).unwrap_or(true) {
-            gw.set_home(workers_now.first().copied());
-            gw.repair()?;
+        // Session-master election (§6): if the master is among the dead, the
+        // lowest live NodeId takes the role under a bumped epoch, the global
+        // WAL re-homes to it, and — after the takeover below re-owns the
+        // orphaned partitions — the new master finishes every transaction
+        // the old one left in doubt.
+        let deposed = {
+            let m = self.master.read();
+            !workers_now.contains(&m.node)
+        };
+        if deposed {
+            self.elect_master(&workers_now)?;
         }
         self.remap_placement(&workers_now)?;
         self.take_over_partitions(&orphaned)?;
+        if deposed {
+            self.resolve_in_doubt()?;
+        }
         Ok(true)
+    }
+
+    /// Elect a new session master from `workers_now` (sorted, so the first
+    /// entry is the lowest live NodeId — every survivor computes the same
+    /// result without a vote). Bumps the epoch, installs it at the 2PC
+    /// coordinator so stale commits fence, re-homes the global WAL onto the
+    /// winner (repairing any torn decision frame the crash left), and logs
+    /// the election durably as a `MasterEpoch` record.
+    pub(crate) fn elect_master(&self, workers_now: &[NodeId]) -> Result<MasterState> {
+        let new_node = *workers_now
+            .first()
+            .ok_or_else(|| VhError::Yarn("no workers to elect from".into()))?;
+        let state = {
+            let mut m = self.master.write();
+            m.node = new_node;
+            m.epoch += 1;
+            *m
+        };
+        self.coordinator.install_epoch(state.epoch);
+        let gw = self.coordinator.global_wal();
+        gw.set_home(Some(new_node));
+        gw.repair()?;
+        gw.append(&[vectorh_txn::LogRecord::MasterEpoch {
+            epoch: state.epoch,
+            node: new_node.0 as u64,
+        }])?;
+        self.master_history.lock().push((state.epoch, new_node));
+        Ok(state)
     }
 
     /// Recompute affinity + responsibility for the given worker set and move
@@ -702,21 +802,22 @@ impl VectorH {
     }
 
     /// Add a node back to the worker set (rejoin), returning the new set.
+    /// The heartbeat monitor's dead latch and missed-deadline counters are
+    /// cleared *inside* the worker-set lock: a background health round must
+    /// never observe the node re-admitted but still latched dead (it would
+    /// instantly re-fence a healthy node).
     pub(crate) fn admit_worker(&self, node: NodeId) -> Vec<NodeId> {
         let mut workers = self.workers.write();
         if !workers.contains(&node) {
             workers.push(node);
             workers.sort_unstable();
         }
+        self.health.clear(node);
         workers.clone()
     }
 
     pub(crate) fn renegotiate_agent(&self) {
         let _ = self.agent.lock().renegotiate(&self.rm);
-    }
-
-    pub(crate) fn health_clear(&self, node: NodeId) {
-        self.health.clear(node);
     }
 
     pub(crate) fn install_replica(&self, node: NodeId, mgr: Arc<TransactionManager>) {
@@ -725,18 +826,83 @@ impl VectorH {
 
     /// Drain the shipped log of a replicated partition into every live
     /// worker's replica state — the receive half of log shipping, applying
-    /// records through the ordinary replay path.
-    pub(crate) fn apply_shipped(&self, pid: PartitionId, workers: &[NodeId]) -> Result<()> {
+    /// records through the ordinary replay path. A receiver whose watermark
+    /// fell behind the retention horizon takes a full-image bootstrap
+    /// instead.
+    pub(crate) fn apply_shipped(
+        &self,
+        rt: &TableRuntime,
+        pid: PartitionId,
+        workers: &[NodeId],
+    ) -> Result<()> {
         let replicas = self.replicas.read();
         for &w in workers {
             if let Some(mgr) = replicas.get(&w) {
-                let batch = self.shipper.drain(pid, w);
-                if !batch.is_empty() {
-                    mgr.replay(pid, &batch)?;
+                match self.shipper.drain(pid, w) {
+                    Drained::Records(batch) => {
+                        if !batch.is_empty() {
+                            mgr.replay(pid, &batch)?;
+                        }
+                    }
+                    Drained::BehindHorizon => self.bootstrap_replica(rt, pid, w, mgr)?,
                 }
             }
         }
         Ok(())
+    }
+
+    /// Full-image bootstrap of one receiver's replica state: rebuild from
+    /// the stable on-disk image plus the committed tail of the partition
+    /// WAL (which reaches back at least as far as the ship log did before
+    /// truncation — both are cut at propagation), then fast-forward the
+    /// receiver's watermark to the head of the retained log.
+    pub(crate) fn bootstrap_replica(
+        &self,
+        rt: &TableRuntime,
+        pid: PartitionId,
+        node: NodeId,
+        mgr: &TransactionManager,
+    ) -> Result<()> {
+        let i = rt
+            .pids
+            .iter()
+            .position(|p| *p == pid)
+            .ok_or_else(|| VhError::Internal(format!("partition {pid} not in table")))?;
+        let stable = rt.stores[i].read().row_count();
+        crate::recovery::recover_partition(&self.coordinator, mgr, pid, stable, &rt.wals[i])?;
+        self.shipper.fast_forward(pid, node);
+        Ok(())
+    }
+
+    /// Advance the health plane's virtual clock by `units` and run every
+    /// heartbeat round that became due. Called with 1 from the query and
+    /// DML paths (background operation) and with arbitrary amounts by
+    /// tests. Reentrancy-guarded: recovery work inside a round may itself
+    /// run queries, which must not recurse into another round. Returns the
+    /// nodes newly declared dead.
+    pub fn advance_health(&self, units: u64) -> Result<Vec<NodeId>> {
+        let rounds = self.scheduler.advance(units);
+        if rounds == 0 || self.in_health_round.swap(true, Ordering::SeqCst) {
+            return Ok(vec![]);
+        }
+        let mut dead = Vec::new();
+        let mut result = Ok(());
+        for _ in 0..rounds {
+            match self.health_tick() {
+                Ok(newly) => dead.extend(newly),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.in_health_round.store(false, Ordering::SeqCst);
+        result.map(|_| dead)
+    }
+
+    /// The health scheduler's virtual clock (observability + tests).
+    pub fn health_clock(&self) -> u64 {
+        self.scheduler.now()
     }
 
     /// Visible rows of a replicated partition as seen by `node`'s replica

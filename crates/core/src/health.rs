@@ -10,6 +10,14 @@
 //! Time is the monitor's explicit tick counter — there is no wall clock —
 //! so the chaos harness can schedule ticks deterministically between
 //! transactions and replay identical detection schedules from a seed.
+//! In ordinary operation nobody calls [`VectorH::health_tick`] by hand:
+//! the engine's background health plane
+//! ([`HealthScheduler`](crate::scheduler::HealthScheduler), advanced via
+//! `advance_health` from inside `query_logical` and the trickle-DML entry
+//! points) fires a round every
+//! [`ClusterConfig::health_every`](crate::engine::ClusterConfig) work
+//! units, so detection, election and takeover all happen as a side effect
+//! of running queries.
 //! Heartbeat delivery consults the fault hook at [`FaultSite::Heartbeat`]
 //! (detail `"{node}@t{tick}"`), so a chaos plan can drop individual beats:
 //! one drop only delays detection (the deadline tolerates

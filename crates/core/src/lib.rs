@@ -38,10 +38,12 @@ pub mod engine;
 pub mod execute;
 pub mod health;
 pub mod recovery;
+pub mod scheduler;
 
 pub use catalog::{Catalog, TableBuilder, TableDef};
-pub use engine::{ClusterConfig, VectorH};
+pub use engine::{ClusterConfig, MasterState, VectorH};
 pub use recovery::{recover_partition, RecoveryReport};
+pub use scheduler::HealthScheduler;
 pub use vectorh_net::NodeHealth;
 
 // Re-exports for example/bench ergonomics.

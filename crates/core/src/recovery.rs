@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use vectorh_common::{NodeId, PartitionId, Result};
-use vectorh_txn::twophase::TwoPhaseCoordinator;
+use vectorh_txn::twophase::{Drained, TwoPhaseCoordinator};
 use vectorh_txn::{LogRecord, TransactionManager, TxnConfig, Wal};
 
 use crate::engine::VectorH;
@@ -132,15 +132,20 @@ impl VectorH {
     pub fn rejoin_node(&self, node: NodeId) -> Result<()> {
         self.fs().revive_node(node)?;
         self.rm().node_added(node)?;
+        // `admit_worker` also clears the heartbeat monitor's dead latch,
+        // atomically with re-admission (a background health round between
+        // the two would otherwise instantly re-fence the node).
         let workers_now = self.admit_worker(node);
         // The dbAgent kept the node in its worker list; renegotiation
         // re-acquires slices there now that the RM accepts requests again.
         self.renegotiate_agent();
-        self.health_clear(node);
         self.remap_placement(&workers_now)?;
         // Replicated-table catch-up: fresh per-node state registered at the
-        // stable image, then the retained shipped log replays on top —
-        // the ordinary replay path, same as a live receiver.
+        // stable image, then the retained shipped log replays on top — the
+        // ordinary replay path, same as a live receiver. If retention
+        // truncated the log past the beginning, the node is behind the
+        // horizon and takes the full-image bootstrap instead (stable image
+        // + committed WAL tail, watermark fast-forwarded to the head).
         let mgr = Arc::new(TransactionManager::new(TxnConfig::default()));
         let tables = self.tables_snapshot();
         for rt in tables.values() {
@@ -151,10 +156,65 @@ impl VectorH {
             let stable = rt.stores[0].read().row_count();
             mgr.register_partition(pid, stable);
             self.shipper.rewind(pid, node);
-            let backlog = self.shipper.drain(pid, node);
-            mgr.replay(pid, &backlog)?;
+            match self.shipper.drain(pid, node) {
+                Drained::Records(backlog) => mgr.replay(pid, &backlog)?,
+                Drained::BehindHorizon => self.bootstrap_replica(rt, pid, node, &mgr)?,
+            }
         }
         self.install_replica(node, mgr);
         Ok(())
+    }
+
+    /// Finish every transaction the deposed master left in doubt: for each
+    /// partition WAL, find transactions that prepared but never got a local
+    /// verdict, append the phase-2 `Commit` where the global WAL holds the
+    /// decision and an explicit `Abort` otherwise (presumed abort), then
+    /// realign the in-memory image with the durable outcome via
+    /// [`recover_partition`] — the old master may have installed state for
+    /// a transaction whose decision never became durable (or vice versa).
+    /// Decided transactions on replicated tables are re-shipped so every
+    /// replica converges. Returns the number of transactions resolved.
+    ///
+    /// Called by `reconcile_workers` right after an election; also callable
+    /// directly by drills that depose a master without killing it.
+    pub fn resolve_in_doubt(&self) -> Result<usize> {
+        let tables = self.tables_snapshot();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort_unstable();
+        let workers = self.workers();
+        let mut resolved = 0;
+        for name in names {
+            let rt = &tables[name];
+            for (i, pid) in rt.pids.iter().enumerate() {
+                let wal = &rt.wals[i];
+                wal.repair()?;
+                let in_doubt = self.coordinator.in_doubt_txns_of(wal)?;
+                if in_doubt.is_empty() {
+                    continue;
+                }
+                for &(txn, decided) in &in_doubt {
+                    let verdict = if decided {
+                        LogRecord::Commit { txn, seq: 0 }
+                    } else {
+                        LogRecord::Abort { txn }
+                    };
+                    wal.append(&[verdict])?;
+                    resolved += 1;
+                }
+                let stable = rt.stores[i].read().row_count();
+                recover_partition(&self.coordinator, &self.txns, *pid, stable, wal)?;
+                if rt.def.partitioning.is_none() {
+                    for &(txn, decided) in &in_doubt {
+                        if decided {
+                            let recs = TwoPhaseCoordinator::records_of(wal, txn)?;
+                            self.shipper
+                                .ship(*pid, &recs, workers.len().saturating_sub(1));
+                        }
+                    }
+                    self.apply_shipped(rt, *pid, &workers)?;
+                }
+            }
+        }
+        Ok(resolved)
     }
 }

@@ -1,0 +1,107 @@
+//! Deterministic background health scheduling.
+//!
+//! VectorH's health plane must run *during ordinary query traffic*, not only
+//! when a test harness remembers to call `health_tick`. A wall-clock timer
+//! thread would make every run schedule-dependent, so the scheduler keeps a
+//! **virtual clock**: query execution advances it by one unit per query (and
+//! tests may advance it explicitly), and every time the clock crosses a
+//! multiple of the configured period one heartbeat round is due. The engine
+//! drains the due rounds at the top of `query_logical`, which is what lets
+//! detection, fencing, election and takeover fire from inside the ordinary
+//! query path with fully reproducible timing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Virtual-clock scheduler for background heartbeat rounds.
+///
+/// `every` is the period in clock units between rounds; `0` disables
+/// background scheduling entirely (the engine then only ticks when told to,
+/// which is what most unit tests want).
+#[derive(Debug)]
+pub struct HealthScheduler {
+    every: u64,
+    clock: AtomicU64,
+}
+
+impl HealthScheduler {
+    pub fn new(every: u64) -> HealthScheduler {
+        HealthScheduler {
+            every,
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured period (0 = disabled).
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Advance the virtual clock by `units` and return how many heartbeat
+    /// rounds became due — the number of period boundaries the advance
+    /// crossed. Deterministic: the same sequence of advances always yields
+    /// the same round schedule.
+    pub fn advance(&self, units: u64) -> u64 {
+        if self.every == 0 || units == 0 {
+            if units > 0 {
+                self.clock.fetch_add(units, Ordering::SeqCst);
+            }
+            return 0;
+        }
+        let before = self.clock.fetch_add(units, Ordering::SeqCst);
+        let after = before + units;
+        after / self.every - before / self.every
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_fire_once_per_period() {
+        let s = HealthScheduler::new(3);
+        assert_eq!(s.advance(1), 0);
+        assert_eq!(s.advance(1), 0);
+        assert_eq!(s.advance(1), 1); // clock 3: one boundary crossed
+        assert_eq!(s.advance(2), 0);
+        assert_eq!(s.advance(1), 1); // clock 6
+        assert_eq!(s.now(), 6);
+    }
+
+    #[test]
+    fn big_advance_yields_every_crossed_round() {
+        let s = HealthScheduler::new(2);
+        assert_eq!(s.advance(7), 3); // boundaries at 2, 4, 6
+        assert_eq!(s.now(), 7);
+        assert_eq!(s.advance(1), 1); // boundary at 8
+    }
+
+    #[test]
+    fn period_one_fires_every_unit() {
+        let s = HealthScheduler::new(1);
+        assert_eq!(s.advance(1), 1);
+        assert_eq!(s.advance(5), 5);
+    }
+
+    #[test]
+    fn zero_period_disables_scheduling() {
+        let s = HealthScheduler::new(0);
+        assert_eq!(s.advance(10), 0);
+        assert_eq!(s.now(), 10); // the clock still moves for observability
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let run = |advances: &[u64]| -> Vec<u64> {
+            let s = HealthScheduler::new(4);
+            advances.iter().map(|&u| s.advance(u)).collect()
+        };
+        let pattern = [1, 3, 2, 2, 9, 1];
+        assert_eq!(run(&pattern), run(&pattern));
+    }
+}

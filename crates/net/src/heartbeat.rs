@@ -188,6 +188,25 @@ mod tests {
     }
 
     #[test]
+    fn beat_alone_does_not_unlatch_a_dead_node() {
+        // The dead latch is cleared only by explicit re-admission (`clear`):
+        // a stray heartbeat from a declared-dead node — e.g. a falsely
+        // suspected master that is actually still running — must not
+        // silently resurrect it. The engine re-admits via `admit_worker`,
+        // which clears the latch atomically with the worker-set update.
+        let m = HeartbeatMonitor::new(1);
+        m.advance(&[A]);
+        m.advance(&[A]);
+        assert_eq!(m.advance(&[A]), vec![A]);
+        assert_eq!(m.health(A), NodeHealth::Dead);
+        m.beat(A);
+        m.advance(&[A]);
+        assert_eq!(m.health(A), NodeHealth::Dead);
+        m.clear(A);
+        assert_eq!(m.health(A), NodeHealth::Alive);
+    }
+
+    #[test]
     fn unmonitored_nodes_are_forgotten() {
         let m = HeartbeatMonitor::new(1);
         m.advance(&[A, B]);

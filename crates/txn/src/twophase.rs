@@ -9,8 +9,10 @@
 //! so recovery semantics are testable: a transaction is committed iff its
 //! `GlobalCommit` record reached the global WAL.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use vectorh_common::fault::{FaultAction, FaultSite};
-use vectorh_common::{NodeId, PartitionId, Result};
+use vectorh_common::{NodeId, PartitionId, Result, VhError};
 
 use crate::wal::{LogRecord, Wal};
 
@@ -34,17 +36,86 @@ pub enum Outcome {
 }
 
 /// The session-master side of 2PC.
+///
+/// The coordinator is fenced by a *master epoch*: every commit presents the
+/// epoch its sender believes is current, and the commit point rejects any
+/// epoch older than the installed one with [`VhError::StaleMaster`]. An
+/// election ([`install_epoch`](Self::install_epoch)) bumps the epoch
+/// monotonically, so a deposed master that was only falsely declared dead
+/// can never decide a transaction after its successor took over.
 pub struct TwoPhaseCoordinator {
     global_wal: Wal,
+    /// The current master epoch. Starts at 1; elections only raise it.
+    epoch: AtomicU64,
 }
 
 impl TwoPhaseCoordinator {
     pub fn new(global_wal: Wal) -> TwoPhaseCoordinator {
-        TwoPhaseCoordinator { global_wal }
+        TwoPhaseCoordinator {
+            global_wal,
+            epoch: AtomicU64::new(1),
+        }
     }
 
     pub fn global_wal(&self) -> &Wal {
         &self.global_wal
+    }
+
+    /// The currently installed master epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Install the epoch of a newly elected master. Monotonic (`fetch_max`):
+    /// a racing stale installer can never roll the epoch back. Returns the
+    /// epoch in force afterwards.
+    pub fn install_epoch(&self, epoch: u64) -> u64 {
+        self.epoch.fetch_max(epoch, Ordering::SeqCst).max(epoch)
+    }
+
+    /// Fencing check: `Err(StaleMaster)` iff `epoch` is older than the
+    /// installed one.
+    pub fn check_epoch(&self, epoch: u64) -> Result<()> {
+        let current = self.epoch();
+        if epoch < current {
+            return Err(VhError::StaleMaster(format!(
+                "commit at master epoch {epoch} rejected: epoch {current} is in force"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The 2PC commit point, fenced and fault-injectable: verify `epoch` is
+    /// still current, consult [`FaultSite::TwoPhaseDecide`], then append the
+    /// `GlobalCommit` decision to the global WAL. `Ok(Committed)` means the
+    /// coordinator survived to run phase 2; `Ok(InDoubt)` means it "died" —
+    /// before the decision (no record, presumed abort on recovery) or after
+    /// (decision durable, recovery commits).
+    pub fn decide(&self, epoch: u64, txn_id: u64) -> Result<Outcome> {
+        self.check_epoch(epoch)?;
+        let fault = self
+            .global_wal
+            .fs()
+            .fault_hook()
+            .map(|h| h.decide(FaultSite::TwoPhaseDecide, &format!("txn{txn_id}"), 0))
+            .unwrap_or(FaultAction::None);
+        match fault {
+            FaultAction::CrashBefore
+            | FaultAction::TransientError
+            | FaultAction::PermanentError
+            | FaultAction::Drop => {
+                // Died before the decision reached the global WAL.
+                return Ok(Outcome::InDoubt);
+            }
+            _ => {}
+        }
+        self.global_wal
+            .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
+        if matches!(fault, FaultAction::CrashMid | FaultAction::CrashAfter) {
+            // Decision is durable but the coordinator died before phase 2.
+            return Ok(Outcome::InDoubt);
+        }
+        Ok(Outcome::Committed)
     }
 
     /// Run 2PC for `txn_id` across the participants' partition WALs.
@@ -65,6 +136,22 @@ impl TwoPhaseCoordinator {
         participants: &[(PartitionId, &Wal, &[LogRecord])],
         crash: CrashPoint,
     ) -> Result<Outcome> {
+        self.commit_at_epoch(self.epoch(), txn_id, participants, crash)
+    }
+
+    /// [`commit_distributed`](Self::commit_distributed) with the sender's
+    /// believed master epoch made explicit. Fenced twice: at entry and again
+    /// at the commit point ([`decide`](Self::decide)) — an election between
+    /// the two leaves at most prepared participants behind, which the new
+    /// master resolves to presumed abort (no decision record exists).
+    pub fn commit_at_epoch(
+        &self,
+        epoch: u64,
+        txn_id: u64,
+        participants: &[(PartitionId, &Wal, &[LogRecord])],
+        crash: CrashPoint,
+    ) -> Result<Outcome> {
+        self.check_epoch(epoch)?;
         let hook = self.global_wal.fs().fault_hook();
         // Phase 1: participants persist their updates + Prepare vote.
         for (pid, wal, recs) in participants {
@@ -82,29 +169,10 @@ impl TwoPhaseCoordinator {
         if crash == CrashPoint::AfterPrepare {
             return Ok(Outcome::InDoubt);
         }
-        // Commit point: the decision in the global WAL.
-        let decide_fault = hook
-            .as_ref()
-            .map(|h| h.decide(FaultSite::TwoPhaseDecide, &format!("txn{txn_id}"), 0))
-            .unwrap_or(FaultAction::None);
-        match decide_fault {
-            FaultAction::CrashBefore
-            | FaultAction::TransientError
-            | FaultAction::PermanentError
-            | FaultAction::Drop => {
-                // Died before the decision reached the global WAL.
-                return Ok(Outcome::InDoubt);
-            }
-            _ => {}
-        }
-        self.global_wal
-            .append(&[LogRecord::GlobalCommit { txn: txn_id }])?;
-        if matches!(
-            decide_fault,
-            FaultAction::CrashMid | FaultAction::CrashAfter
-        ) {
-            // Decision is durable but the coordinator died before phase 2.
-            return Ok(Outcome::InDoubt);
+        // Commit point: the fenced decision in the global WAL.
+        match self.decide(epoch, txn_id)? {
+            Outcome::InDoubt => return Ok(Outcome::InDoubt),
+            Outcome::Committed => {}
         }
         if crash == CrashPoint::AfterGlobalCommit {
             return Ok(Outcome::InDoubt);
@@ -207,6 +275,33 @@ impl TwoPhaseCoordinator {
         Ok(out)
     }
 
+    /// Transactions in a partition WAL that prepared but never received a
+    /// durable local verdict (no `Commit`, no `Abort`), paired with whether
+    /// the global WAL holds their decision. These are exactly the
+    /// transactions a newly elected master must finish: append the phase-2
+    /// `Commit` where the decision exists, an explicit `Abort` otherwise.
+    pub fn in_doubt_txns_of(&self, partition_wal: &Wal) -> Result<Vec<(u64, bool)>> {
+        let records = partition_wal.read_all()?;
+        let mut prepared: Vec<u64> = Vec::new();
+        let mut settled = std::collections::BTreeSet::new();
+        for r in &records {
+            match r {
+                LogRecord::Prepare { txn } if !prepared.contains(txn) => prepared.push(*txn),
+                LogRecord::Commit { txn, .. } | LogRecord::Abort { txn } => {
+                    settled.insert(*txn);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        for txn in prepared {
+            if !settled.contains(&txn) {
+                out.push((txn, self.recover_decision(txn)?));
+            }
+        }
+        Ok(out)
+    }
+
     /// Extract the replayable update records of a committed txn from a
     /// partition WAL, in order.
     pub fn records_of(partition_wal: &Wal, txn_id: u64) -> Result<Vec<LogRecord>> {
@@ -249,13 +344,100 @@ pub struct RecoverableTxn {
     pub resolution: TxnResolution,
 }
 
-/// The shipped log of one replicated partition, with per-receiver apply
-/// watermarks.
+/// Retention policy for the shipped log: how much un-checkpointed history
+/// the shipper keeps per partition. `None` bounds are unbounded; the
+/// default retains everything (truncation happens only at propagation
+/// checkpoints, as before). When a bound is exceeded the oldest records are
+/// truncated and the horizon advances — a receiver whose watermark falls
+/// behind it must take a full-image bootstrap instead of a drain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShipRetention {
+    /// Retain at most this many encoded bytes per partition log.
+    pub max_bytes: Option<u64>,
+    /// Retain at most this many records per partition log.
+    pub max_records: Option<usize>,
+}
+
+impl ShipRetention {
+    /// Policy from the environment: `VH_SHIP_RETAIN_BYTES` and
+    /// `VH_SHIP_RETAIN_RECORDS` (unset or unparsable = unbounded).
+    pub fn from_env() -> ShipRetention {
+        ShipRetention::from_vars(
+            std::env::var("VH_SHIP_RETAIN_BYTES").ok().as_deref(),
+            std::env::var("VH_SHIP_RETAIN_RECORDS").ok().as_deref(),
+        )
+    }
+
+    /// Testable core of [`from_env`](Self::from_env).
+    pub fn from_vars(bytes: Option<&str>, records: Option<&str>) -> ShipRetention {
+        let parse = |s: Option<&str>| s.and_then(|v| v.trim().parse::<u64>().ok());
+        ShipRetention {
+            max_bytes: parse(bytes),
+            max_records: parse(records).map(|n| n as usize),
+        }
+    }
+
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.max_records.is_none()
+    }
+}
+
+/// What a receiver gets back from [`LogShipper::drain`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Drained {
+    /// The records between the receiver's watermark and the head, in ship
+    /// order; the watermark is advanced past them.
+    Records(Vec<LogRecord>),
+    /// The receiver's watermark fell behind the truncation horizon: the
+    /// retained log can no longer catch it up. The receiver must take a
+    /// full-image bootstrap (stable snapshot + committed WAL-tail replay)
+    /// and then [`LogShipper::fast_forward`] its watermark to the head.
+    BehindHorizon,
+}
+
+/// The shipped log of one replicated partition: retained records with their
+/// encoded sizes, the absolute index of the oldest retained record (the
+/// truncation horizon), and absolute per-receiver apply watermarks.
 #[derive(Debug, Default)]
 struct ShipLog {
-    records: Vec<LogRecord>,
-    /// How far into `records` each receiver has applied.
-    applied: std::collections::HashMap<NodeId, usize>,
+    records: std::collections::VecDeque<(LogRecord, u32)>,
+    /// Absolute index of `records.front()`; grows on truncation.
+    base: u64,
+    /// Encoded bytes currently retained.
+    retained: u64,
+    /// Absolute per-receiver watermarks (index of the next unapplied record).
+    applied: std::collections::HashMap<NodeId, u64>,
+}
+
+impl ShipLog {
+    fn head(&self) -> u64 {
+        self.base + self.records.len() as u64
+    }
+
+    /// Drop records from the front until within `ret`'s bounds; returns the
+    /// bytes reclaimed. Receivers left behind the new horizon will see
+    /// [`Drained::BehindHorizon`] on their next drain.
+    fn enforce(&mut self, ret: &ShipRetention) -> u64 {
+        let mut reclaimed = 0u64;
+        loop {
+            let over_bytes = ret.max_bytes.map(|m| self.retained > m).unwrap_or(false);
+            let over_records = ret
+                .max_records
+                .map(|m| self.records.len() > m)
+                .unwrap_or(false);
+            if !(over_bytes || over_records) {
+                return reclaimed;
+            }
+            match self.records.pop_front() {
+                Some((_, size)) => {
+                    self.base += 1;
+                    self.retained -= size as u64;
+                    reclaimed += size as u64;
+                }
+                None => return reclaimed,
+            }
+        }
+    }
 }
 
 /// Log shipping for replicated tables (§6): all workers keep replicated
@@ -264,35 +446,58 @@ struct ShipLog {
 /// ("allowing reuse of existing code and the testing infrastructure"). The
 /// shipper is the pipe: senders [`ship`](Self::ship) a batch, each receiver
 /// [`drain`](Self::drain)s its backlog and replays it. A node that was down
-/// while batches shipped [`rewind`](Self::rewind)s and re-applies the whole
-/// retained log on rejoin; propagation [`checkpoint`](Self::checkpoint)s the
-/// log once the records are in stable storage.
+/// while batches shipped [`rewind`](Self::rewind)s and re-applies the
+/// retained log on rejoin — unless the [`ShipRetention`] policy truncated
+/// past its watermark, in which case the drain reports
+/// [`Drained::BehindHorizon`] and the receiver bootstraps from the full
+/// image instead. Propagation [`checkpoint`](Self::checkpoint)s the log
+/// once the records are in stable storage.
 #[derive(Debug, Default)]
 pub struct LogShipper {
     inner: vectorh_common::sync::Mutex<std::collections::HashMap<PartitionId, ShipLog>>,
+    retention: ShipRetention,
     shipped_bytes: std::sync::atomic::AtomicU64,
     shipped_batches: std::sync::atomic::AtomicU64,
+    reclaimed_bytes: std::sync::atomic::AtomicU64,
 }
 
 impl LogShipper {
+    /// A shipper with a bounded retention policy (the default retains
+    /// everything until checkpoint).
+    pub fn with_retention(retention: ShipRetention) -> LogShipper {
+        LogShipper {
+            retention,
+            ..LogShipper::default()
+        }
+    }
+
+    pub fn retention(&self) -> &ShipRetention {
+        &self.retention
+    }
+
     /// Ship `records` for `pid` to `n_receivers` workers; returns the total
-    /// encoded bytes put on the wire (on-disk WAL format, per §6).
+    /// encoded bytes put on the wire (on-disk WAL format, per §6). Applies
+    /// the retention policy after appending.
     pub fn ship(&self, pid: PartitionId, records: &[LogRecord], n_receivers: usize) -> u64 {
         if records.is_empty() {
             return 0;
         }
         let mut size = 0u64;
+        let mut inner = self.inner.lock();
+        let log = inner.entry(pid).or_default();
         for r in records {
             let mut buf = Vec::new();
             crate::wal::encode_for_shipping(r, &mut buf);
             size += buf.len() as u64;
+            log.retained += buf.len() as u64;
+            log.records.push_back((r.clone(), buf.len() as u32));
         }
-        self.inner
-            .lock()
-            .entry(pid)
-            .or_default()
-            .records
-            .extend_from_slice(records);
+        let reclaimed = log.enforce(&self.retention);
+        drop(inner);
+        if reclaimed > 0 {
+            self.reclaimed_bytes
+                .fetch_add(reclaimed, std::sync::atomic::Ordering::Relaxed);
+        }
         let total = size * n_receivers as u64;
         self.shipped_bytes
             .fetch_add(total, std::sync::atomic::Ordering::Relaxed);
@@ -302,45 +507,108 @@ impl LogShipper {
     }
 
     /// Receiver side: everything shipped for `pid` that `node` has not yet
-    /// applied; advances the node's watermark past it.
-    pub fn drain(&self, pid: PartitionId, node: NodeId) -> Vec<LogRecord> {
+    /// applied. In the good case the node's watermark (or, for a receiver
+    /// with no watermark, the start of an untruncated log) is within the
+    /// horizon: the backlog comes back and the watermark advances to the
+    /// head. A watermark behind the horizon gets [`Drained::BehindHorizon`].
+    pub fn drain(&self, pid: PartitionId, node: NodeId) -> Drained {
         let mut inner = self.inner.lock();
         let Some(log) = inner.get_mut(&pid) else {
-            return vec![];
+            return Drained::Records(vec![]);
         };
-        let from = *log.applied.get(&node).unwrap_or(&0);
-        let out = log.records[from.min(log.records.len())..].to_vec();
-        log.applied.insert(node, log.records.len());
-        out
+        let head = log.head();
+        // No watermark: a fresh (or rewound) receiver starts from the
+        // beginning of history — reachable only while nothing has been
+        // truncated.
+        let from = log.applied.get(&node).copied().unwrap_or(0);
+        if from < log.base {
+            return Drained::BehindHorizon;
+        }
+        let skip = (from - log.base) as usize;
+        let out = log
+            .records
+            .iter()
+            .skip(skip)
+            .map(|(r, _)| r.clone())
+            .collect();
+        log.applied.insert(node, head);
+        Drained::Records(out)
     }
 
-    /// Records shipped for `pid` that `node` has not applied yet.
+    /// Retained records shipped for `pid` that `node` has not applied yet.
     pub fn backlog(&self, pid: PartitionId, node: NodeId) -> usize {
         let inner = self.inner.lock();
         inner
             .get(&pid)
             .map(|log| {
-                log.records.len() - log.applied.get(&node).unwrap_or(&0).min(&log.records.len())
+                let w = log.applied.get(&node).copied().unwrap_or(0);
+                (log.head() - w.clamp(log.base, log.head())) as usize
             })
             .unwrap_or(0)
     }
 
     /// Forget `node`'s watermark for `pid`: a rejoining node lost its RAM
-    /// state and must re-apply the whole retained log on top of stable data.
+    /// state and must re-apply the whole retained log on top of stable data
+    /// — or bootstrap, if the retained log no longer reaches back that far.
     pub fn rewind(&self, pid: PartitionId, node: NodeId) {
         if let Some(log) = self.inner.lock().get_mut(&pid) {
             log.applied.remove(&node);
         }
     }
 
+    /// Set `node`'s watermark to the head of `pid`'s log: the receiver just
+    /// completed a full-image bootstrap and is current as of now.
+    pub fn fast_forward(&self, pid: PartitionId, node: NodeId) {
+        let mut inner = self.inner.lock();
+        let log = inner.entry(pid).or_default();
+        let head = log.head();
+        log.applied.insert(node, head);
+    }
+
     /// Drop `pid`'s retained records: propagation flushed them to stable
     /// storage, so (like WAL records before a `Checkpoint`) they are
-    /// obsolete for catch-up.
-    pub fn checkpoint(&self, pid: PartitionId) {
-        if let Some(log) = self.inner.lock().get_mut(&pid) {
-            log.records.clear();
-            log.applied.clear();
+    /// obsolete for catch-up. Every known receiver's watermark moves to the
+    /// new horizon — the caller re-bases replicas on the fresh stable image.
+    /// Returns the bytes reclaimed.
+    pub fn checkpoint(&self, pid: PartitionId) -> u64 {
+        let mut inner = self.inner.lock();
+        let Some(log) = inner.get_mut(&pid) else {
+            return 0;
+        };
+        let reclaimed = log.retained;
+        log.base = log.head();
+        log.records.clear();
+        log.retained = 0;
+        let base = log.base;
+        for w in log.applied.values_mut() {
+            *w = base;
         }
+        drop(inner);
+        self.reclaimed_bytes
+            .fetch_add(reclaimed, std::sync::atomic::Ordering::Relaxed);
+        reclaimed
+    }
+
+    /// Encoded bytes currently retained for `pid`.
+    pub fn retained_bytes(&self, pid: PartitionId) -> u64 {
+        self.inner
+            .lock()
+            .get(&pid)
+            .map(|log| log.retained)
+            .unwrap_or(0)
+    }
+
+    /// The truncation horizon of `pid`: the absolute index of the oldest
+    /// retained record. Receivers with watermarks below it must bootstrap.
+    pub fn horizon(&self, pid: PartitionId) -> u64 {
+        self.inner.lock().get(&pid).map(|log| log.base).unwrap_or(0)
+    }
+
+    /// Total bytes reclaimed so far, by retention truncation and
+    /// checkpoints together.
+    pub fn reclaimed_bytes(&self) -> u64 {
+        self.reclaimed_bytes
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     pub fn shipped_bytes(&self) -> u64 {
@@ -568,21 +836,175 @@ mod tests {
         let (a, b) = (NodeId(1), NodeId(2));
         shipper.ship(pid, &recs(1), 2);
         // Receiver a applies immediately; b lags.
-        assert_eq!(shipper.drain(pid, a), recs(1));
+        assert_eq!(shipper.drain(pid, a), Drained::Records(recs(1)));
         assert_eq!(shipper.backlog(pid, a), 0);
         assert_eq!(shipper.backlog(pid, b), 2);
         shipper.ship(pid, &recs(2), 2);
         // a sees only the new batch; b catches up with both.
-        assert_eq!(shipper.drain(pid, a), recs(2));
+        assert_eq!(shipper.drain(pid, a), Drained::Records(recs(2)));
         let caught_up: Vec<_> = [recs(1), recs(2)].concat();
-        assert_eq!(shipper.drain(pid, b), caught_up);
+        assert_eq!(shipper.drain(pid, b), Drained::Records(caught_up.clone()));
         // Rewind models a rejoin after RAM loss: the whole log replays.
         shipper.rewind(pid, a);
-        assert_eq!(shipper.drain(pid, a), caught_up);
+        assert_eq!(shipper.drain(pid, a), Drained::Records(caught_up));
         // Checkpoint (propagation) empties the retained log for everyone.
         shipper.checkpoint(pid);
         assert_eq!(shipper.backlog(pid, b), 0);
-        assert!(shipper.drain(pid, b).is_empty());
+        assert_eq!(shipper.drain(pid, b), Drained::Records(vec![]));
+    }
+
+    #[test]
+    fn retention_truncates_and_reports_reclaimed_bytes() {
+        // Keep at most 2 records: the third ship pushes the horizon forward.
+        let shipper = LogShipper::with_retention(ShipRetention {
+            max_bytes: None,
+            max_records: Some(2),
+        });
+        let pid = PartitionId(3);
+        let one = &recs(1)[..1];
+        shipper.ship(pid, one, 1);
+        shipper.ship(pid, one, 1);
+        assert_eq!(shipper.horizon(pid), 0);
+        assert_eq!(shipper.reclaimed_bytes(), 0);
+        let before = shipper.retained_bytes(pid);
+        shipper.ship(pid, one, 1);
+        assert_eq!(shipper.horizon(pid), 1);
+        assert!(shipper.reclaimed_bytes() > 0);
+        assert_eq!(shipper.retained_bytes(pid), before);
+    }
+
+    #[test]
+    fn byte_bounded_retention_respects_the_cap() {
+        let shipper = LogShipper::with_retention(ShipRetention {
+            max_bytes: Some(64),
+            max_records: None,
+        });
+        let pid = PartitionId(4);
+        for i in 0..20 {
+            shipper.ship(pid, &recs(i), 1);
+        }
+        assert!(shipper.retained_bytes(pid) <= 64);
+        assert!(shipper.horizon(pid) > 0);
+        assert!(shipper.reclaimed_bytes() > 0);
+    }
+
+    #[test]
+    fn receiver_behind_horizon_must_bootstrap() {
+        let shipper = LogShipper::with_retention(ShipRetention {
+            max_bytes: None,
+            max_records: Some(2),
+        });
+        let pid = PartitionId(5);
+        let (fresh, current) = (NodeId(1), NodeId(2));
+        shipper.ship(pid, &recs(1), 2);
+        assert_eq!(shipper.drain(pid, current), Drained::Records(recs(1)));
+        // Truncate past record 0: the fresh receiver (watermark 0) is now
+        // behind the horizon and must take a full-image bootstrap.
+        shipper.ship(pid, &recs(2), 2);
+        shipper.ship(pid, &recs(3), 2);
+        assert!(shipper.horizon(pid) > 0);
+        assert_eq!(shipper.drain(pid, fresh), Drained::BehindHorizon);
+        // Bootstrap completes: fast-forward to head, after which drains work.
+        shipper.fast_forward(pid, fresh);
+        assert_eq!(shipper.backlog(pid, fresh), 0);
+        shipper.ship(pid, &recs(4), 2);
+        assert_eq!(shipper.drain(pid, fresh), Drained::Records(recs(4)));
+        // A rewound current receiver is equally behind the horizon.
+        shipper.rewind(pid, current);
+        assert_eq!(shipper.drain(pid, current), Drained::BehindHorizon);
+    }
+
+    #[test]
+    fn checkpoint_reclaims_retained_bytes() {
+        let shipper = LogShipper::default();
+        let pid = PartitionId(6);
+        shipper.ship(pid, &recs(1), 2);
+        shipper.ship(pid, &recs(2), 2);
+        let retained = shipper.retained_bytes(pid);
+        assert!(retained > 0);
+        assert_eq!(shipper.checkpoint(pid), retained);
+        assert_eq!(shipper.retained_bytes(pid), 0);
+        assert_eq!(shipper.reclaimed_bytes(), retained);
+        // Nothing retained, nothing to reclaim a second time.
+        assert_eq!(shipper.checkpoint(pid), 0);
+        // Checkpoint of an unknown partition is a no-op.
+        assert_eq!(shipper.checkpoint(PartitionId(99)), 0);
+    }
+
+    #[test]
+    fn retention_policy_parses_from_vars() {
+        assert!(ShipRetention::from_vars(None, None).is_unbounded());
+        assert_eq!(
+            ShipRetention::from_vars(Some("4096"), None),
+            ShipRetention {
+                max_bytes: Some(4096),
+                max_records: None,
+            }
+        );
+        assert_eq!(
+            ShipRetention::from_vars(Some(" 16 "), Some("8")),
+            ShipRetention {
+                max_bytes: Some(16),
+                max_records: Some(8),
+            }
+        );
+        // Unparsable values fall back to unbounded rather than panicking.
+        assert!(ShipRetention::from_vars(Some("lots"), Some("")).is_unbounded());
+    }
+
+    #[test]
+    fn epochs_are_monotonic_and_fence_stale_masters() {
+        let (coord, w0, _) = setup();
+        assert_eq!(coord.epoch(), 1);
+        assert_eq!(coord.install_epoch(3), 3);
+        // Installing an older epoch cannot roll back.
+        assert_eq!(coord.install_epoch(2), 3);
+        assert_eq!(coord.epoch(), 3);
+        // A commit at the current epoch passes; a stale one is fenced.
+        coord.check_epoch(3).unwrap();
+        let err = coord.check_epoch(2).unwrap_err();
+        assert!(matches!(err, vectorh_common::VhError::StaleMaster(_)));
+        let r = recs(40);
+        let err = coord
+            .commit_at_epoch(2, 40, &[(PartitionId(0), &w0, &r)], CrashPoint::None)
+            .unwrap_err();
+        assert!(matches!(err, vectorh_common::VhError::StaleMaster(_)));
+        // The fenced commit never reached the global WAL.
+        assert!(!coord.recover_decision(40).unwrap());
+        assert!(coord.committed_txns_of(&w0).unwrap().is_empty());
+        // The same commit at the live epoch goes through.
+        let out = coord
+            .commit_at_epoch(3, 40, &[(PartitionId(0), &w0, &r)], CrashPoint::None)
+            .unwrap();
+        assert_eq!(out, Outcome::Committed);
+    }
+
+    #[test]
+    fn in_doubt_txns_pair_with_global_decisions() {
+        let (coord, w0, _) = setup();
+        coord
+            .commit_distributed(50, &[(PartitionId(0), &w0, &recs(50))], CrashPoint::None)
+            .unwrap();
+        coord
+            .commit_distributed(
+                51,
+                &[(PartitionId(0), &w0, &recs(51))],
+                CrashPoint::AfterGlobalCommit,
+            )
+            .unwrap();
+        coord
+            .commit_distributed(
+                52,
+                &[(PartitionId(0), &w0, &recs(52))],
+                CrashPoint::AfterPrepare,
+            )
+            .unwrap();
+        // 50 committed locally (not in doubt); 51 is in doubt with a global
+        // decision; 52 is in doubt without one (presumed abort).
+        assert_eq!(
+            coord.in_doubt_txns_of(&w0).unwrap(),
+            vec![(51, true), (52, false)]
+        );
     }
 
     #[test]

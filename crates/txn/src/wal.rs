@@ -70,6 +70,12 @@ pub enum LogRecord {
     Ddl {
         statement: String,
     },
+    /// Session-master election result (global WAL only): `node` holds the
+    /// master role as of `epoch`. Commits at earlier epochs are fenced.
+    MasterEpoch {
+        epoch: u64,
+        node: u64,
+    },
 }
 
 // --- manual binary (de)serialization ----------------------------------------
@@ -242,6 +248,11 @@ impl LogRecord {
                 put_u32(statement.len() as u32, out);
                 out.extend_from_slice(statement.as_bytes());
             }
+            LogRecord::MasterEpoch { epoch, node } => {
+                out.push(12);
+                put_u64(*epoch, out);
+                put_u64(*node, out);
+            }
         }
     }
 
@@ -301,6 +312,10 @@ impl LogRecord {
                         .map_err(|_| VhError::Storage("bad WAL utf8".into()))?,
                 }
             }
+            12 => LogRecord::MasterEpoch {
+                epoch: rd.u64()?,
+                node: rd.u64()?,
+            },
             t => return Err(VhError::Storage(format!("bad WAL record tag {t}"))),
         })
     }
@@ -528,6 +543,7 @@ mod tests {
             LogRecord::Ddl {
                 statement: "CREATE TABLE t (x int)".into(),
             },
+            LogRecord::MasterEpoch { epoch: 3, node: 2 },
             LogRecord::Checkpoint { stable_rows: 1234 },
         ]
     }
