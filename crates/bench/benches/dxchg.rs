@@ -40,6 +40,7 @@ fn run(nodes: u32, threads: u32, mode: FanoutMode) -> u64 {
             buffer_bytes: 64 * 1024,
             mode,
             fault: None,
+            fabric: None,
         },
         stats,
     )

@@ -49,6 +49,7 @@ fn run(
         buffer_bytes: 64 * 1024,
         mode,
         fault: None,
+        fabric: None,
     };
     let (rows, secs) = timed(|| {
         let receivers =

@@ -30,6 +30,13 @@
 //!    replicated-table commit storm pushes the bounded ship log past its
 //!    truncation horizon, and the rejoining old master converges via
 //!    full-image bootstrap — without reclaiming the master role.
+//! 6. **Transport faults** (`transport`) — a framed TCP fabric carries a
+//!    seed-sized burst of messages while scripted [`DirectedFault`]s refuse
+//!    dials, tear frames on the wire and drop the connection between
+//!    frames; reconnect-with-retransmission plus receiver dedup must still
+//!    deliver every payload exactly once, in order, and after an epoch bump
+//!    a peer redialling with the stale epoch must be fenced at the
+//!    handshake.
 //!
 //! Phases run selectively via `CHAOS_PHASES` (comma-separated names from
 //! [`ALL_PHASES`], default all) so CI can split a schedule across parallel
@@ -43,6 +50,7 @@
 //! `CHAOS_SEED=<seed>`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use vectorh::{ClusterConfig, TableBuilder, VectorH};
@@ -51,17 +59,18 @@ use vectorh_common::rng::SplitMix64;
 use vectorh_common::{DataType, NodeId, PartitionId, Result, Value, VhError};
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
+use vectorh_transport::{Fabric, RxKind, SharedEpoch, TcpFabric};
 use vectorh_txn::manager::{TransactionManager, TxnConfig};
 use vectorh_txn::twophase::{CrashPoint, Outcome, TwoPhaseCoordinator};
 use vectorh_txn::wal::{LogRecord, Wal};
 
-use crate::plan::{site_index, DirectedFault, FaultPlan, N_SITES};
+use crate::plan::{site_index, DirectedFault, DirectedSet, FaultPlan, N_SITES};
 
 /// Seeds per default corpus (CI runs all of them).
 pub const DEFAULT_CORPUS_LEN: usize = 16;
 
 /// Phase names, in execution order. `CHAOS_PHASES` selects a subset.
-pub const ALL_PHASES: [&str; 5] = ["io", "txn", "kill", "rejoin", "master"];
+pub const ALL_PHASES: [&str; 6] = ["io", "txn", "kill", "rejoin", "master", "transport"];
 
 /// Phases enabled by the environment: `CHAOS_PHASES=io,txn` runs just
 /// those two (CI splits the corpus this way); unset runs all of them.
@@ -196,6 +205,9 @@ pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleRe
     }
     if phases.contains(&"master") {
         phase_master_kill(&vh, &db, &mut phase_rng(seed, 5), &mut report)?;
+    }
+    if phases.contains(&"transport") {
+        phase_transport(&mut phase_rng(seed, 6), &mut report)?;
     }
     report.epochs = vh.master_history();
     Ok(report)
@@ -879,6 +891,149 @@ fn phase_master_kill(
          {c}/{} txns exactly-once, stale epoch fenced, horizon bootstrap \
          converged {master0}",
         acked + 1
+    ));
+    Ok(())
+}
+
+/// Phase 6: the framed TCP transport under scripted connection faults.
+///
+/// A two-node loopback [`TcpFabric`] carries a seed-sized burst of frames
+/// while a [`DirectedSet`] refuses the first dial attempts
+/// ([`FaultSite::ConnRefused`]), drops the connection between frames
+/// ([`FaultSite::Disconnect`]) and tears frames on the wire
+/// ([`FaultSite::PartialFrame`]). The reliable-stream machinery —
+/// reconnect, full retransmission of unacked frames, CRC discard of torn
+/// frames, receiver dedup by watermark — must deliver every payload
+/// exactly once, in order. Then an election bumps the epoch: a peer
+/// redialling with the stale epoch must be fenced at the handshake with
+/// [`VhError::StaleMaster`], while a current-epoch dialer still gets
+/// through.
+fn phase_transport(rng: &mut SplitMix64, report: &mut ScheduleReport) -> Result<()> {
+    let seed = report.seed;
+    let disconnects = 1 + rng.next_bounded(3);
+    let partials = 1 + rng.next_bounded(3);
+    // Strictly fewer refusals than the dial loop's retry budget, so the
+    // connection always comes up after backing off.
+    let refusals = 1 + rng.next_bounded(2);
+    let n = 96 + rng.next_bounded(160);
+    let window = 4 + rng.next_bounded(12) as u32;
+
+    let budgets = [disconnects, partials, refusals];
+    let faults = [
+        DirectedFault::new(
+            FaultSite::Disconnect,
+            FaultAction::TransientError,
+            disconnects,
+        ),
+        DirectedFault::new(
+            FaultSite::PartialFrame,
+            FaultAction::TransientError,
+            partials,
+        ),
+        DirectedFault::new(
+            FaultSite::ConnRefused,
+            FaultAction::TransientError,
+            refusals,
+        ),
+    ];
+    let hook: SharedFaultHook = DirectedSet::new(&faults);
+    let epoch = Arc::new(SharedEpoch::new(1));
+    let fabric = TcpFabric::loopback(&[NodeId(0), NodeId(1)], epoch.clone(), Some(hook))?;
+    let ch = fabric.alloc_channel();
+    let mut rx = fabric.endpoint(NodeId(1))?.bind(ch, window)?;
+    let mut tx = fabric.endpoint(NodeId(0))?.sender(NodeId(1), ch)?;
+
+    let sender = std::thread::spawn(move || -> Result<()> {
+        for i in 0..n {
+            tx.send(&i.to_le_bytes())?;
+        }
+        tx.finish()
+    });
+    let mut got = Vec::new();
+    loop {
+        match rx.recv()? {
+            Some(item) if item.kind == RxKind::Fin => break,
+            Some(item) => {
+                let bytes: [u8; 8] = item.payload.as_slice().try_into().map_err(|_| {
+                    VhError::Internal(format!(
+                        "chaos seed {seed:#x}: transport frame payload was torn \
+                         ({} bytes reached the application)",
+                        item.payload.len()
+                    ))
+                })?;
+                got.push(u64::from_le_bytes(bytes));
+            }
+            None => break,
+        }
+    }
+    sender.join().map_err(|_| {
+        VhError::Internal(format!("chaos seed {seed:#x}: transport sender panicked"))
+    })??;
+
+    let want: Vec<u64> = (0..n).collect();
+    if got != want {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: transport delivered {} of {n} frames \
+             (loss, duplication or reorder survived the reliable stream)",
+            got.len()
+        )));
+    }
+    // Every scripted fault must have fired its full budget: the burst is
+    // far larger than any budget, so anything unspent means the fabric
+    // never consulted that site.
+    for (f, budget) in faults.iter().zip(budgets) {
+        if f.fired() != budget {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: {} fired {} of {budget} scripted faults",
+                f.site(),
+                f.fired()
+            )));
+        }
+        report.fired[site_index(f.site())] += f.fired();
+    }
+
+    // An election bumps the cluster epoch; a peer that redials still
+    // announcing the old epoch is exactly the zombie the handshake fences.
+    epoch.set(2);
+    let stale = fabric.dialer(NodeId(0), Arc::new(SharedEpoch::new(1)));
+    let mut stale_tx = stale.sender(NodeId(1), ch)?;
+    match stale_tx.send(b"stale epoch write") {
+        Err(VhError::StaleMaster(_)) => {}
+        Ok(()) => {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: stale-epoch dialer was accepted after \
+                 the election"
+            )))
+        }
+        Err(e) => {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: stale-epoch dialer failed with {e:?} \
+                 instead of the fencing error"
+            )))
+        }
+    }
+    // A current-epoch peer still gets through (fresh stream: one live
+    // sender per (from, to, channel)).
+    let ch2 = fabric.alloc_channel();
+    let mut rx2 = fabric.endpoint(NodeId(1))?.bind(ch2, 4)?;
+    let fresh = fabric.dialer(NodeId(0), Arc::new(SharedEpoch::new(2)));
+    let mut fresh_tx = fresh.sender(NodeId(1), ch2)?;
+    fresh_tx.send(b"post-election")?;
+    let first = rx2.recv()?.ok_or_else(|| {
+        VhError::Internal(format!(
+            "chaos seed {seed:#x}: post-election stream closed without data"
+        ))
+    })?;
+    if first.payload != b"post-election" {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: post-election frame corrupted"
+        )));
+    }
+
+    report.steps.push(format!(
+        "transport: {n} frames exactly-once over tcp (window {window}) \
+         through {disconnects} disconnects, {partials} torn frames, \
+         {refusals} refused dials; stale-epoch redial fenced at epoch 2"
     ));
     Ok(())
 }

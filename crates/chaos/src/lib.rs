@@ -23,6 +23,10 @@
 //!    transaction resolves exactly once, and a node that rejoins behind the
 //!    bounded ship-log's truncation horizon converges via full-image
 //!    bootstrap.
+//! 6. The framed TCP transport delivers every message exactly once, in
+//!    order, while scripted faults refuse dials, tear frames on the wire
+//!    and drop connections mid-stream — and after an epoch bump, a peer
+//!    redialling with the stale epoch is fenced at the handshake.
 //!
 //! `CHAOS_PHASES=io,txn` (any comma-separated subset of
 //! [`harness::ALL_PHASES`]) runs only those phases — CI splits a schedule
@@ -42,4 +46,4 @@ pub use harness::{
     corpus, corpus_from, enabled_phases, phases_from, run_schedule, run_schedule_with_phases,
     ScheduleReport, ALL_PHASES, DEFAULT_CORPUS_LEN,
 };
-pub use plan::{site_index, DirectedFault, FaultPlan, N_SITES};
+pub use plan::{site_index, DirectedFault, DirectedSet, FaultPlan, N_SITES};

@@ -151,6 +151,35 @@ impl DirectedFault {
     }
 }
 
+/// Several [`DirectedFault`]s behind one hook: the first fault whose site
+/// (and needle) matches claims the call. Subsystems that accept a single
+/// hook — the transport fabric — get multi-site campaigns this way
+/// (refused dials + torn frames + disconnects in one schedule).
+#[derive(Debug)]
+pub struct DirectedSet {
+    faults: Vec<Arc<DirectedFault>>,
+}
+
+impl DirectedSet {
+    pub fn new(faults: &[Arc<DirectedFault>]) -> Arc<DirectedSet> {
+        Arc::new(DirectedSet {
+            faults: faults.to_vec(),
+        })
+    }
+}
+
+impl FaultHook for DirectedSet {
+    fn decide(&self, site: FaultSite, detail: &str, attempt: u32) -> FaultAction {
+        for f in &self.faults {
+            let action = f.decide(site, detail, attempt);
+            if action != FaultAction::None {
+                return action;
+            }
+        }
+        FaultAction::None
+    }
+}
+
 impl FaultHook for DirectedFault {
     fn decide(&self, site: FaultSite, detail: &str, _attempt: u32) -> FaultAction {
         if site != self.site {
@@ -272,6 +301,31 @@ mod tests {
         );
         assert_eq!(d.decide(FaultSite::WalAppend, "c", 0), FaultAction::None);
         assert_eq!(d.fired(), 2);
+    }
+
+    #[test]
+    fn directed_set_routes_to_the_matching_member() {
+        let a = DirectedFault::new(FaultSite::Disconnect, FaultAction::TransientError, 1);
+        let b = DirectedFault::new(FaultSite::ConnRefused, FaultAction::TransientError, 1);
+        let set = DirectedSet::new(&[a.clone(), b.clone()]);
+        assert_eq!(
+            set.decide(FaultSite::ConnRefused, "0->1:c16", 0),
+            FaultAction::TransientError
+        );
+        assert_eq!(
+            set.decide(FaultSite::PartialFrame, "x", 0),
+            FaultAction::None
+        );
+        assert_eq!(
+            set.decide(FaultSite::Disconnect, "0->1:c16#3", 0),
+            FaultAction::TransientError
+        );
+        // Budgets live in the members, shared with the caller's handles.
+        assert_eq!((a.fired(), b.fired()), (1, 1));
+        assert_eq!(
+            set.decide(FaultSite::Disconnect, "0->1:c16#4", 0),
+            FaultAction::None
+        );
     }
 
     #[test]

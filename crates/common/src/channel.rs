@@ -61,7 +61,16 @@ impl<T> Sender<T> {
     /// Block until there is room, then enqueue. Errors (returning the
     /// message) once every receiver is gone.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.send_tracked(value).map(|_| ())
+    }
+
+    /// Like [`send`](Self::send), but reports whether the call had to block
+    /// on a full queue before the message fit — i.e. whether the sender was
+    /// stalled by backpressure. The transport layer surfaces this as a
+    /// credit-stall counter.
+    pub fn send_tracked(&self, value: T) -> Result<bool, SendError<T>> {
         let mut inner = self.chan.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stalled = false;
         loop {
             if inner.receivers == 0 {
                 return Err(SendError(value));
@@ -70,8 +79,9 @@ impl<T> Sender<T> {
                 inner.queue.push_back(value);
                 drop(inner);
                 self.chan.not_empty.notify_one();
-                return Ok(());
+                return Ok(stalled);
             }
+            stalled = true;
             inner = self
                 .chan
                 .not_full
@@ -229,6 +239,49 @@ mod tests {
         }
         assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![0, 1, 2]);
         assert_eq!(rx.try_iter().count(), 0); // empty, does not block
+    }
+
+    #[test]
+    fn send_tracked_reports_backpressure_stalls() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.send_tracked(0), Ok(false)); // room: no stall
+        let h = std::thread::spawn(move || tx.send_tracked(1));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(h.join().unwrap(), Ok(true)); // had to wait for the drain
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one_and_still_flows() {
+        let (tx, rx) = bounded(0);
+        tx.send(42).unwrap(); // cap clamps to 1, so one message fits
+        let h = std::thread::spawn(move || tx.send(43).is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(42));
+        assert_eq!(rx.recv(), Ok(43));
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn sender_dropped_mid_stream_drains_then_disconnects() {
+        let (tx, rx) = bounded(8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx); // sender dies with messages still queued
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError)); // then clean end-of-stream
+    }
+
+    #[test]
+    fn receiver_dropped_with_queued_frames_unblocks_sender() {
+        let (tx, rx) = bounded(1);
+        tx.send(0).unwrap(); // queue now full
+        let h = std::thread::spawn(move || tx.send(1)); // blocks on backpressure
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx); // receiver dies with a frame still queued
+        assert_eq!(h.join().unwrap(), Err(SendError(1))); // no deadlock
     }
 
     #[test]

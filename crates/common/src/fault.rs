@@ -39,11 +39,22 @@ pub enum FaultSite {
     TwoPhaseDecide,
     /// Failure-detector heartbeat delivery — drop delays death detection.
     Heartbeat,
+    /// Transport dial (`Transport::connect`) — the peer refuses the
+    /// connection; the dialer must back off and retry.
+    ConnRefused,
+    /// Transport frame write — the connection dies mid-frame, leaving a
+    /// truncated frame on the wire; the receiver must reject it on CRC or
+    /// length grounds and the sender must reconnect and retransmit.
+    PartialFrame,
+    /// Transport connection — an established connection drops between
+    /// frames; the sender must reconnect (subject to epoch fencing) and
+    /// retransmit everything unacknowledged.
+    Disconnect,
 }
 
 impl FaultSite {
     /// Every site, for coverage accounting in the chaos harness.
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 11] = [
         FaultSite::HdfsRead,
         FaultSite::HdfsAppend,
         FaultSite::XchgSend,
@@ -52,6 +63,9 @@ impl FaultSite {
         FaultSite::TwoPhasePrepare,
         FaultSite::TwoPhaseDecide,
         FaultSite::Heartbeat,
+        FaultSite::ConnRefused,
+        FaultSite::PartialFrame,
+        FaultSite::Disconnect,
     ];
 
     /// Stable short name (used in schedule reports and hashing).
@@ -65,6 +79,9 @@ impl FaultSite {
             FaultSite::TwoPhasePrepare => "2pc-prepare",
             FaultSite::TwoPhaseDecide => "2pc-decide",
             FaultSite::Heartbeat => "heartbeat",
+            FaultSite::ConnRefused => "conn-refused",
+            FaultSite::PartialFrame => "partial-frame",
+            FaultSite::Disconnect => "disconnect",
         }
     }
 }

@@ -8,11 +8,14 @@ use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
-use vectorh_net::{DxchgConfig, HeartbeatMonitor, NetStats};
+use vectorh_net::{ChannelStats, DxchgConfig, FanoutMode, HeartbeatMonitor, NetStats};
 use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
 use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
 use vectorh_storage::{PartitionStore, StorageConfig};
+use vectorh_transport::{
+    Fabric, FrameRx, FrameTx, RxKind, SharedEpoch, TcpFabric, HEARTBEAT_CHANNEL,
+};
 use vectorh_txn::twophase::{Drained, LogShipper, ShipRetention, TwoPhaseCoordinator};
 use vectorh_txn::{TransactionManager, TxnConfig, Wal};
 
@@ -23,6 +26,19 @@ use vectorh_yarn::placement::{
 use vectorh_yarn::{DbAgent, ResourceFootprint, ResourceManager, RmConfig};
 
 use crate::catalog::{Catalog, TableBuilder, TableDef};
+
+/// How the simulated nodes talk to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClusterMode {
+    /// Pure in-process channels (the original single-process simulation);
+    /// the exchange layer is structurally unchanged from earlier PRs.
+    #[default]
+    InProc,
+    /// Real TCP between per-node loopback endpoints: cross-node DXchg
+    /// buffers travel as framed, CRC-checked, credit-flow-controlled
+    /// messages, and heartbeats ride the reserved transport channel.
+    Tcp,
+}
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -51,6 +67,13 @@ pub struct ClusterConfig {
     /// reads `VH_SHIP_RETAIN_BYTES`/`VH_SHIP_RETAIN_RECORDS` from the
     /// environment (unset = unbounded, truncate only at checkpoints).
     pub ship_retention: ShipRetention,
+    /// Inter-node transport: in-process channels or real TCP.
+    pub cluster_mode: ClusterMode,
+    /// Heartbeat-deadline grace multiplier for transport latency: the
+    /// effective deadline is `HEARTBEAT_DEADLINE_MISSES × grace`. Clamps to
+    /// ≥ 2 in [`ClusterMode::Tcp`], where a beat can legitimately arrive a
+    /// tick late and delay jitter must never dead-latch a live node.
+    pub heartbeat_grace: u32,
 }
 
 impl Default for ClusterConfig {
@@ -70,6 +93,72 @@ impl Default for ClusterConfig {
             enable_partial_aggr: true,
             health_every: 1,
             ship_retention: ShipRetention::from_env(),
+            cluster_mode: ClusterMode::InProc,
+            heartbeat_grace: 1,
+        }
+    }
+}
+
+/// Heartbeats as real transport frames ([`ClusterMode::Tcp`]): every node
+/// binds the reserved [`HEARTBEAT_CHANNEL`] at startup; each health round,
+/// live workers send one beat frame to the current master, whose inbox is
+/// drained into the deadline monitor. Beat streams persist across rounds —
+/// the transport allows one live sender per `(from, to, channel)`, and a
+/// fresh sender would restart the wire sequence into the dedup window.
+pub(crate) struct HbNet {
+    fabric: Arc<dyn Fabric>,
+    rxs: Mutex<HashMap<NodeId, Box<dyn FrameRx>>>,
+    txs: Mutex<HashMap<(NodeId, NodeId), Box<dyn FrameTx>>>,
+}
+
+impl HbNet {
+    fn new(fabric: Arc<dyn Fabric>, nodes: &[NodeId]) -> Result<HbNet> {
+        let mut rxs = HashMap::new();
+        for &n in nodes {
+            rxs.insert(n, fabric.endpoint(n)?.bind(HEARTBEAT_CHANNEL, 64)?);
+        }
+        Ok(HbNet {
+            fabric,
+            rxs: Mutex::new(rxs),
+            txs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Send one beat `from → to` (the payload names the sender).
+    pub(crate) fn send(&self, from: NodeId, to: NodeId) -> Result<()> {
+        let mut txs = self.txs.lock();
+        let tx = match txs.entry((from, to)) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(self.fabric.endpoint(from)?.sender(to, HEARTBEAT_CHANNEL)?)
+            }
+        };
+        tx.send(&from.0.to_le_bytes())
+    }
+
+    /// Drain `master`'s heartbeat inbox, waiting (bounded) until at least
+    /// `want` frames arrived so this round's own beats are not lost to
+    /// socket scheduling.
+    pub(crate) fn drain(&self, master: NodeId, want: usize) -> Vec<NodeId> {
+        let mut got = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(500);
+        loop {
+            {
+                let mut rxs = self.rxs.lock();
+                if let Some(rx) = rxs.get_mut(&master) {
+                    while let Ok(Some(item)) = rx.try_recv() {
+                        if item.kind == RxKind::Data && item.payload.len() == 4 {
+                            got.push(NodeId(u32::from_le_bytes(
+                                item.payload[..4].try_into().unwrap(),
+                            )));
+                        }
+                    }
+                }
+            }
+            if got.len() >= want || std::time::Instant::now() >= deadline {
+                return got;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
         }
     }
 }
@@ -127,6 +216,14 @@ pub struct VectorH {
     /// Every (epoch, master) ever in force, in order — election audit trail.
     master_history: Mutex<Vec<(u64, NodeId)>>,
     net: Arc<NetStats>,
+    /// Transport fabric in [`ClusterMode::Tcp`]; `None` keeps the exchange
+    /// layer on pure in-process channels.
+    fabric: Option<Arc<dyn Fabric>>,
+    /// Epoch cell backing the fabric's handshake fencing; every election
+    /// bumps it so restarted peers announcing an old epoch are rejected.
+    epoch_cell: Arc<SharedEpoch>,
+    /// Heartbeat frames over the fabric (Tcp mode only).
+    pub(crate) hb_net: Option<HbNet>,
     workers: RwLock<Vec<NodeId>>,
     responsibility: RwLock<HashMap<PartitionId, NodeId>>,
     next_pid: AtomicU32,
@@ -202,6 +299,23 @@ impl VectorH {
         let first = workers.first().copied().unwrap_or(NodeId(0));
         let scheduler = HealthScheduler::new(config.health_every);
         let shipper = LogShipper::with_retention(config.ship_retention.clone());
+        let epoch_cell = Arc::new(SharedEpoch::new(1));
+        let (fabric, hb_net): (Option<Arc<dyn Fabric>>, Option<HbNet>) = match config.cluster_mode {
+            ClusterMode::InProc => (None, None),
+            ClusterMode::Tcp => {
+                let f: Arc<dyn Fabric> =
+                    Arc::new(TcpFabric::loopback(&workers, epoch_cell.clone(), None)?);
+                let hb = HbNet::new(f.clone(), &workers)?;
+                (Some(f), Some(hb))
+            }
+        };
+        // TCP beats can legitimately land a tick late; stretch the deadline
+        // so transport latency (and injected delay faults) only ever delays
+        // detection.
+        let grace = match config.cluster_mode {
+            ClusterMode::InProc => config.heartbeat_grace,
+            ClusterMode::Tcp => config.heartbeat_grace.max(2),
+        };
         Ok(VectorH {
             config,
             fs,
@@ -214,7 +328,7 @@ impl VectorH {
             coordinator: TwoPhaseCoordinator::new(global_wal),
             shipper,
             replicas: RwLock::new(replicas),
-            health: HeartbeatMonitor::new(HEARTBEAT_DEADLINE_MISSES),
+            health: HeartbeatMonitor::with_grace(HEARTBEAT_DEADLINE_MISSES, grace),
             scheduler,
             in_health_round: AtomicBool::new(false),
             master: RwLock::new(MasterState {
@@ -223,6 +337,9 @@ impl VectorH {
             }),
             master_history: Mutex::new(vec![(1, first)]),
             net: Arc::new(NetStats::default()),
+            fabric,
+            epoch_cell,
+            hb_net,
             workers: RwLock::new(workers),
             responsibility: RwLock::new(HashMap::new()),
             next_pid: AtomicU32::new(0),
@@ -245,11 +362,29 @@ impl VectorH {
     pub fn dxchg_config(&self) -> DxchgConfig {
         let mut c = self.config.dxchg.clone();
         c.fault = self.fs.fault_hook();
+        if let Some(fabric) = &self.fabric {
+            // Cross-node exchange traffic leaves the process as framed
+            // transport messages; the fabric path requires per-node fanout
+            // (the route-byte design), so Tcp mode forces thread-to-node.
+            c.fabric = Some(fabric.clone());
+            c.mode = FanoutMode::ThreadToNode;
+        }
         c
     }
 
     pub fn net_stats(&self) -> &Arc<NetStats> {
         &self.net
+    }
+
+    /// Per-exchange-channel traffic counters (messages, bytes, credit
+    /// stalls) — the probe API backing in-proc vs TCP comparisons.
+    pub fn net_channels(&self) -> Vec<(String, ChannelStats)> {
+        self.net.channels()
+    }
+
+    /// The transport fabric in effect: `"inproc"` or `"tcp"`.
+    pub fn transport_mode(&self) -> &'static str {
+        self.fabric.as_ref().map_or("inproc", |f| f.mode())
     }
 
     pub fn rm(&self) -> &Arc<ResourceManager> {
@@ -640,6 +775,9 @@ impl VectorH {
             *m
         };
         self.coordinator.install_epoch(state.epoch);
+        // Fence the transport too: handshakes announcing the old epoch are
+        // rejected from this point on.
+        self.epoch_cell.set(state.epoch);
         let gw = self.coordinator.global_wal();
         gw.set_home(Some(new_node));
         gw.repair()?;

@@ -41,6 +41,8 @@ impl VectorH {
         let workers = self.workers();
         let alive = self.fs().alive_nodes();
         let tick = self.health.tick() + 1;
+        let master = self.session_master();
+        let mut sent = 0usize;
         for &node in &workers {
             if !alive.contains(&node) {
                 continue; // a crashed process sends nothing
@@ -49,12 +51,31 @@ impl VectorH {
                 Some(hook) => hook.decide(FaultSite::Heartbeat, &format!("{node}@t{tick}"), 0),
                 None => FaultAction::None,
             };
-            // Anything other than a clean (possibly slow or duplicated)
-            // delivery means the beat was lost in flight this tick.
-            if matches!(
-                action,
-                FaultAction::None | FaultAction::SlowRead | FaultAction::Duplicate
-            ) {
+            match action {
+                // Clean (possibly slow or duplicated) delivery. In Tcp mode
+                // the beat is a real frame to the master on the reserved
+                // transport channel; otherwise it is recorded directly.
+                FaultAction::None | FaultAction::SlowRead | FaultAction::Duplicate => {
+                    match &self.hb_net {
+                        Some(hb) => {
+                            if hb.send(node, master).is_ok() {
+                                sent += 1;
+                            }
+                        }
+                        None => self.health.beat(node),
+                    }
+                }
+                // A delayed beat still arrives — just after this tick's
+                // deadline check. It credits the next tick, so with the
+                // grace-stretched deadline, delay jitter only ever slows
+                // detection; it can never dead-latch a live node.
+                FaultAction::Delay => self.health.beat_late(node),
+                // Anything else: lost in flight this tick.
+                _ => {}
+            }
+        }
+        if let Some(hb) = &self.hb_net {
+            for node in hb.drain(master, sent) {
                 self.health.beat(node);
             }
         }

@@ -133,6 +133,58 @@ impl Batch {
     }
 }
 
+/// Order-sensitive 64-bit fingerprint of a result set: FNV-1a over a
+/// canonical tagged byte encoding of every value, with row boundaries
+/// folded in. Two result sets fingerprint equal iff their encodings are
+/// byte-for-byte identical — this is what multi-process examples compare
+/// across process boundaries, where shipping whole result sets through a
+/// control pipe would drown the protocol.
+pub fn fingerprint_rows(rows: &[Vec<Value>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for row in rows {
+        eat(&[0xFE]); // row boundary: [[1],[2]] != [[1,2]]
+        for v in row {
+            match v {
+                Value::I32(x) => {
+                    eat(&[1]);
+                    eat(&x.to_le_bytes());
+                }
+                Value::I64(x) => {
+                    eat(&[2]);
+                    eat(&x.to_le_bytes());
+                }
+                Value::Decimal(m, s) => {
+                    eat(&[3, *s]);
+                    eat(&m.to_le_bytes());
+                }
+                Value::Date(d) => {
+                    eat(&[4]);
+                    eat(&d.to_le_bytes());
+                }
+                Value::F64(x) => {
+                    eat(&[5]);
+                    eat(&x.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    eat(&[6]);
+                    eat(&(s.len() as u32).to_le_bytes());
+                    eat(s.as_bytes());
+                }
+                Value::Null => eat(&[7]),
+            }
+        }
+    }
+    h
+}
+
 /// Collect an operator's full output as rows (drives the tree to completion).
 pub fn collect_rows(op: &mut dyn crate::operator::Operator) -> Result<Vec<Vec<Value>>> {
     let mut out = Vec::new();
@@ -194,6 +246,28 @@ mod tests {
         let s = b.slice(1, 3);
         assert_eq!(s.len(), 2);
         assert_eq!(s.row(0)[0], Value::I64(2));
+    }
+
+    #[test]
+    fn fingerprint_separates_shape_and_content() {
+        let a = vec![vec![Value::I64(1), Value::Str("x".into())]];
+        assert_eq!(fingerprint_rows(&a), fingerprint_rows(&a.clone()));
+        // Same scalars, different row shape.
+        let flat = vec![vec![Value::I64(1)], vec![Value::Str("x".into())]];
+        assert_ne!(fingerprint_rows(&a), fingerprint_rows(&flat));
+        // Same bit pattern, different type tag.
+        assert_ne!(
+            fingerprint_rows(&[vec![Value::I32(7)]]),
+            fingerprint_rows(&[vec![Value::I64(7)]])
+        );
+        // Order-sensitive (callers canonicalize first).
+        let ab = vec![vec![Value::I64(1)], vec![Value::I64(2)]];
+        let ba = vec![vec![Value::I64(2)], vec![Value::I64(1)]];
+        assert_ne!(fingerprint_rows(&ab), fingerprint_rows(&ba));
+        assert_ne!(
+            fingerprint_rows(&[vec![Value::Null]]),
+            fingerprint_rows(&[])
+        );
     }
 
     #[test]

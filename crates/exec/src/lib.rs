@@ -36,6 +36,6 @@ pub mod rowengine;
 pub mod scan;
 pub mod sort;
 
-pub use batch::Batch;
+pub use batch::{fingerprint_rows, Batch};
 pub use expr::Expr;
 pub use operator::{collect_profiles, OpProfile, Operator};

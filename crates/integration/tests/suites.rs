@@ -24,3 +24,6 @@ mod tpch_consistency;
 
 #[path = "../../../tests/transactions.rs"]
 mod transactions;
+
+#[path = "../../../tests/transport_cluster.rs"]
+mod transport_cluster;

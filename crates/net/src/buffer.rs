@@ -29,6 +29,20 @@ pub enum Message {
     },
 }
 
+impl Message {
+    /// Bytes this message occupies in transit (serialized size for wire
+    /// messages, column footprint for pointer-passed ones).
+    pub fn transit_bytes(&self) -> usize {
+        match self {
+            Message::Wire { bytes, route } => bytes.len() + route.as_ref().map_or(0, |r| r.len()),
+            Message::Local { batch, route } => {
+                batch.0.columns.iter().map(|c| c.byte_size()).sum::<usize>()
+                    + route.as_ref().map_or(0, |r| r.len())
+            }
+        }
+    }
+}
+
 /// Serialize the columns of a batch into a PAX buffer.
 pub fn serialize(batch: &vectorh_exec::Batch) -> Vec<u8> {
     let mut out = Vec::new();

@@ -16,14 +16,16 @@
 //!   lets consumer threads "selectively consume data from incoming buffers
 //!   using the one-byte-column".
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use vectorh_common::channel::{bounded, Receiver, Sender};
 use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
-use vectorh_common::{Result, Schema, VhError};
+use vectorh_common::{NodeId, Result, Schema, VhError};
 use vectorh_exec::operator::{Counters, OpProfile};
 use vectorh_exec::{Batch, Operator};
+use vectorh_transport::{DedupWindow, Fabric, FrameTx, RxKind};
 
 use crate::buffer::{make_message, open_message, Message};
 use crate::stats::NetStats;
@@ -39,7 +41,7 @@ pub enum FanoutMode {
 }
 
 /// DXchg tuning.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct DxchgConfig {
     /// Flush threshold per buffer (paper: ≥256 KB for good MPI throughput).
     pub buffer_bytes: usize,
@@ -48,6 +50,23 @@ pub struct DxchgConfig {
     /// ([`FaultSite::XchgSend`]): drop (lost + retransmitted), duplicate
     /// (deduped by receivers via message tags), delay (bounded reorder).
     pub fault: Option<SharedFaultHook>,
+    /// Optional transport fabric. When set (and the mode is
+    /// [`FanoutMode::ThreadToNode`]), cross-node messages travel as framed
+    /// transport payloads — over real TCP with a [`TcpFabric`](
+    /// vectorh_transport::TcpFabric) — while intra-node messages keep the
+    /// pointer-passing path. `None` keeps the pure in-process channels.
+    pub fabric: Option<Arc<dyn Fabric>>,
+}
+
+impl std::fmt::Debug for DxchgConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DxchgConfig")
+            .field("buffer_bytes", &self.buffer_bytes)
+            .field("mode", &self.mode)
+            .field("fault", &self.fault.is_some())
+            .field("fabric", &self.fabric.as_ref().map(|t| t.mode()))
+            .finish()
+    }
 }
 
 impl Default for DxchgConfig {
@@ -56,75 +75,215 @@ impl Default for DxchgConfig {
             buffer_bytes: 256 * 1024,
             mode: FanoutMode::ThreadToNode,
             fault: None,
+            fabric: None,
         }
     }
 }
 
+/// Credit window (in messages) granted per sending peer when an exchange
+/// binds a fabric channel: sized so the in-flight budget per stream tracks
+/// the configured buffer size (≈2 MiB), the MPI-receiver-buffer analogue.
+pub(crate) fn credit_window(buffer_bytes: usize) -> u32 {
+    ((2 * 1024 * 1024) / buffer_bytes.max(1)).clamp(4, 256) as u32
+}
+
 /// A message plus a tag unique within its exchange, so receivers can
-/// discard injected duplicates.
+/// discard injected duplicates. The high 32 bits identify the stream
+/// (producer node + worker); the low 32 bits are a per-destination
+/// contiguous sequence, which is what lets receivers evict dedup state
+/// behind a watermark instead of remembering every tag forever.
 #[derive(Clone)]
 struct Envelope {
     tag: u64,
     msg: Message,
 }
 
+/// Stream key for `(producer node, worker index)`, occupying the high 32
+/// bits of an envelope tag. Node-qualified so tags stay unique when
+/// producers live in different OS processes.
+fn stream_key(prod_node: u32, wi: usize) -> u64 {
+    (((prod_node as u64 + 1) & 0x7FFF) << 16) | ((wi as u64 + 1) & 0xFFFF)
+}
+
 type Payload = std::result::Result<Envelope, VhError>;
 
-/// Producer-side send path of one exchange: owns the destination channels
+/// Serialize an envelope for the transport fabric. Layout:
+/// `[0u8][tag u64][route? u8][route_len u32 + route]?[pax bytes]`,
+/// or `[1u8][utf8 error message]` for a producer-side error.
+fn encode_remote(env: &Envelope) -> Result<Vec<u8>> {
+    let Message::Wire { bytes, route } = &env.msg else {
+        return Err(VhError::Internal(
+            "dxchg: pointer-passed message cannot cross the fabric".into(),
+        ));
+    };
+    let mut out = Vec::with_capacity(bytes.len() + 32);
+    out.push(0);
+    out.extend_from_slice(&env.tag.to_le_bytes());
+    match route {
+        Some(r) => {
+            out.push(1);
+            out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+            out.extend_from_slice(r);
+        }
+        None => out.push(0),
+    }
+    out.extend_from_slice(bytes);
+    Ok(out)
+}
+
+fn encode_remote_error(e: &VhError) -> Vec<u8> {
+    let mut out = vec![1u8];
+    out.extend_from_slice(format!("{}: {}", e.subsystem(), e.message()).as_bytes());
+    out
+}
+
+fn decode_remote(payload: &[u8]) -> Result<Payload> {
+    let err = || VhError::Net("dxchg: truncated fabric payload".into());
+    match payload.first().ok_or_else(err)? {
+        1 => Ok(Err(VhError::Net(format!(
+            "dxchg: remote producer failed: {}",
+            String::from_utf8_lossy(&payload[1..])
+        )))),
+        0 => {
+            let tag = u64::from_le_bytes(payload.get(1..9).ok_or_else(err)?.try_into().unwrap());
+            let has_route = *payload.get(9).ok_or_else(err)? == 1;
+            let (route, rest) = if has_route {
+                let len =
+                    u32::from_le_bytes(payload.get(10..14).ok_or_else(err)?.try_into().unwrap())
+                        as usize;
+                let route = payload.get(14..14 + len).ok_or_else(err)?.to_vec();
+                (Some(route), &payload[14 + len..])
+            } else {
+                (None, &payload[10..])
+            };
+            Ok(Ok(Envelope {
+                tag,
+                msg: Message::Wire {
+                    bytes: rest.to_vec(),
+                    route,
+                },
+            }))
+        }
+        k => Err(VhError::Net(format!("dxchg: bad fabric payload kind {k}"))),
+    }
+}
+
+/// One fabric stream `(producer node → consumer node)`, shared by every
+/// producer thread on that node (the transport contract allows one live
+/// sender per stream). The last producer to finish sends the Fin.
+struct SharedTx {
+    tx: vectorh_common::sync::Mutex<Box<dyn FrameTx>>,
+    producers_left: AtomicUsize,
+}
+
+impl SharedTx {
+    fn done(&self) {
+        if self.producers_left.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _ = self.tx.lock().finish();
+        }
+    }
+}
+
+/// Where a destination's messages go: a same-process channel, or a fabric
+/// stream (TCP in cluster mode).
+#[derive(Clone)]
+enum Sink {
+    Chan(Sender<Payload>),
+    Remote(Arc<SharedTx>),
+}
+
+/// Producer-side send path of one exchange: owns the destination sinks
 /// and applies injected channel faults. The transport is reliable — a
 /// "dropped" buffer is retransmitted, a delayed buffer is delivered after
 /// the next one to the same destination (or at end-of-stream) — so faults
 /// perturb schedules, never correctness.
 struct SendPlane {
-    txs: Vec<Sender<Payload>>,
+    sinks: Vec<Sink>,
     hook: Option<SharedFaultHook>,
     name: &'static str,
-    wi: usize,
+    key: u64,
     stats: Arc<NetStats>,
-    seq: u64,
+    /// Per-destination sequence counters: each `(stream, dest)` pair sees a
+    /// gap-free sequence, the precondition for watermark eviction.
+    seqs: Vec<u64>,
     held: Vec<Option<Envelope>>,
 }
 
 impl SendPlane {
     fn new(
-        txs: Vec<Sender<Payload>>,
+        sinks: Vec<Sink>,
         hook: Option<SharedFaultHook>,
         name: &'static str,
+        prod_node: u32,
         wi: usize,
         stats: Arc<NetStats>,
     ) -> Self {
-        let held = (0..txs.len()).map(|_| None).collect();
+        let held = (0..sinks.len()).map(|_| None).collect();
+        let seqs = vec![0; sinks.len()];
         SendPlane {
-            txs,
+            sinks,
             hook,
             name,
-            wi,
+            key: stream_key(prod_node, wi),
             stats,
-            seq: 0,
+            seqs,
             held,
+        }
+    }
+
+    fn push(&mut self, dest: usize, payload: Payload) -> bool {
+        match &self.sinks[dest] {
+            Sink::Chan(tx) => match tx.send_tracked(payload) {
+                Ok(stalled) => {
+                    if stalled {
+                        self.stats.record_credit_stall(self.name, 1);
+                    }
+                    true
+                }
+                Err(_) => false,
+            },
+            Sink::Remote(shared) => {
+                let bytes = match &payload {
+                    Ok(env) => match encode_remote(env) {
+                        Ok(b) => b,
+                        Err(_) => return false,
+                    },
+                    Err(e) => encode_remote_error(e),
+                };
+                let mut tx = shared.tx.lock();
+                let before = tx.stalls();
+                let ok = tx.send(&bytes).is_ok();
+                let stalls = tx.stalls() - before;
+                drop(tx);
+                self.stats.record_credit_stall(self.name, stalls);
+                ok
+            }
         }
     }
 
     /// Deliver `env` to `dest`, then any earlier buffer held back by a
     /// delay fault (which is what makes the delay an observable reorder).
     fn deliver(&mut self, dest: usize, env: Envelope) -> bool {
-        if self.txs[dest].send(Ok(env)).is_err() {
+        if !self.push(dest, Ok(env)) {
             return false;
         }
         match self.held[dest].take() {
-            Some(prev) => self.txs[dest].send(Ok(prev)).is_ok(),
+            Some(prev) => self.push(dest, Ok(prev)),
             None => true,
         }
     }
 
     /// Send one logical message, applying the configured channel fault.
     fn send(&mut self, dest: usize, msg: Message) -> bool {
-        self.seq += 1;
-        let tag = ((self.wi as u64 + 1) << 32) | self.seq;
+        let seq = self.seqs[dest];
+        self.seqs[dest] += 1;
+        let tag = (self.key << 32) | (seq & 0xFFFF_FFFF);
+        self.stats
+            .record_channel_message(self.name, msg.transit_bytes() as u64);
         let env = Envelope { tag, msg };
         let action = match &self.hook {
             Some(h) => {
-                let detail = format!("{}:w{}->d{}#{}", self.name, self.wi, dest, self.seq);
+                let detail = format!("{}:k{}->d{}#{}", self.name, self.key, dest, seq);
                 h.decide(FaultSite::XchgSend, &detail, 0)
             }
             None => FaultAction::None,
@@ -144,7 +303,7 @@ impl SendPlane {
                 self.stats.record_delayed();
                 let prev = self.held[dest].replace(env);
                 match prev {
-                    Some(p) => self.txs[dest].send(Ok(p)).is_ok(),
+                    Some(p) => self.push(dest, Ok(p)),
                     None => true,
                 }
             }
@@ -152,17 +311,27 @@ impl SendPlane {
         }
     }
 
-    /// Flush any buffers still held back by delay faults (end of stream).
+    /// Flush any buffers still held back by delay faults, then release the
+    /// fabric streams (the last producer per node sends the Fin).
     fn finish(&mut self) {
-        for dest in 0..self.txs.len() {
+        for dest in 0..self.sinks.len() {
             if let Some(env) = self.held[dest].take() {
-                let _ = self.txs[dest].send(Ok(env));
+                let _ = self.push(dest, Ok(env));
+            }
+        }
+        for sink in &self.sinks {
+            if let Sink::Remote(shared) = sink {
+                shared.done();
             }
         }
     }
 
-    fn error(&self, e: VhError) {
-        let _ = self.txs[0].send(Err(e));
+    fn error(&mut self, e: VhError) {
+        for dest in 0..self.sinks.len() {
+            if self.push(dest, Err(e.clone())) {
+                return; // one consumer seeing it is enough to fail the query
+            }
+        }
     }
 }
 
@@ -173,8 +342,11 @@ pub struct DxchgReceiver {
     rx: Receiver<Payload>,
     /// Which route byte this receiver consumes (None = take everything).
     route_filter: Option<u8>,
-    /// Tags already consumed, so injected duplicate deliveries are dropped.
-    seen: std::collections::HashSet<u64>,
+    /// Per-stream dedup windows keyed by the tag's stream key. Watermark
+    /// eviction keeps the state bounded by the reorder window, not by the
+    /// stream length (the old `HashSet<u64>` grew with every message).
+    seen: std::collections::HashMap<u32, DedupWindow>,
+    stats: Arc<NetStats>,
     counters: Counters,
     consumer_wait_ns: u64,
     profiles: Arc<ProfileHub>,
@@ -218,9 +390,12 @@ impl Operator for DxchgReceiver {
                 Err(_) => return Ok(None),
                 Ok(Err(e)) => return Err(e),
                 Ok(Ok(env)) => {
-                    if !self.seen.insert(env.tag) {
+                    let key = (env.tag >> 32) as u32;
+                    let win = self.seen.entry(key).or_default();
+                    if !win.insert(env.tag & 0xFFFF_FFFF) {
                         continue; // injected duplicate delivery
                     }
+                    self.stats.record_dedup_residual(win.residual() as u64);
                     let (batch, route) = open_message(env.msg, self.schema.clone())?;
                     let batch = match (self.route_filter, route) {
                         (Some(me), Some(route)) => {
@@ -380,7 +555,10 @@ fn dxchg_t2t(
         .collect();
     let (ptx, prx) = bounded::<crate::xchg::WorkerProfile>(producers.len().max(1));
     for (wi, (prod_node, mut prod)) in producers.into_iter().enumerate() {
-        let senders: Vec<Sender<Payload>> = channels.iter().map(|(s, _)| s.clone()).collect();
+        let sinks: Vec<Sink> = channels
+            .iter()
+            .map(|(s, _)| Sink::Chan(s.clone()))
+            .collect();
         let consumers = consumers.clone();
         let partitioning = partitioning.clone();
         let stats = stats.clone();
@@ -395,7 +573,7 @@ fn dxchg_t2t(
             let fanout = consumers.len();
             let accounted = (2 * fanout * buffer_bytes) as u64;
             stats.alloc_buffers(accounted);
-            let mut plane = SendPlane::new(senders, hook, name, wi, stats.clone());
+            let mut plane = SendPlane::new(sinks, hook, name, prod_node, wi, stats.clone());
             let mut bufs: Vec<Batch> = (0..fanout).map(|_| Batch::empty(schema.clone())).collect();
             let flush = |plane: &mut SendPlane, c: usize, buf: &mut Batch| -> bool {
                 if buf.is_empty() {
@@ -468,6 +646,7 @@ fn dxchg_t2t(
             rx,
             route_filter: None,
             seen: Default::default(),
+            stats: stats.clone(),
             counters: Counters::default(),
             consumer_wait_ns: 0,
             profiles: hub.clone(),
@@ -549,9 +728,95 @@ fn dxchg_t2n(
         });
     }
 
+    // Fabric path: cross-node traffic leaves the process as framed
+    // transport payloads. One data channel per consumer node, allocated
+    // deterministically so cooperating processes that build the same plan
+    // agree on the ids; one shared stream per (producer node, consumer
+    // node) pair, because the transport allows a single live sender per
+    // stream. Nodes whose endpoint the local fabric cannot produce live in
+    // another process: their consumers get no pump (and terminate empty
+    // here) and their producers are skipped (they run over there).
+    let prod_nodes: Vec<u32> = producers.iter().map(|(n, _)| *n).collect();
+    let mut remote_txs: std::collections::HashMap<(u32, usize), Arc<SharedTx>> = Default::default();
+    if let Some(fabric) = &config.fabric {
+        let chans: Vec<u32> = nodes.iter().map(|_| fabric.alloc_channel()).collect();
+        let window = credit_window(config.buffer_bytes);
+        let mut pnodes = prod_nodes.clone();
+        pnodes.sort_unstable();
+        pnodes.dedup();
+        for (ni, cnode) in nodes.iter().enumerate() {
+            // Every remote producer node Fins its stream exactly once.
+            let expected = pnodes.iter().filter(|p| **p != *cnode).count();
+            if expected == 0 {
+                continue;
+            }
+            let Ok(ep) = fabric.endpoint(NodeId(*cnode)) else {
+                continue;
+            };
+            let mut rx = ep.bind(chans[ni], window)?;
+            let node_tx = node_ch[ni].0.clone();
+            std::thread::spawn(move || {
+                let mut fins = 0usize;
+                while fins < expected {
+                    match rx.recv() {
+                        Ok(Some(item)) => match item.kind {
+                            RxKind::Fin => fins += 1,
+                            RxKind::Data => match decode_remote(&item.payload) {
+                                Ok(payload) => {
+                                    let failed = payload.is_err();
+                                    if node_tx.send(payload).is_err() || failed {
+                                        return;
+                                    }
+                                }
+                                Err(e) => {
+                                    let _ = node_tx.send(Err(e));
+                                    return;
+                                }
+                            },
+                        },
+                        Ok(None) => return,
+                        Err(e) => {
+                            let _ = node_tx.send(Err(e));
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        for (ni, cnode) in nodes.iter().enumerate() {
+            for pnode in &pnodes {
+                if pnode == cnode {
+                    continue;
+                }
+                let Ok(ep) = fabric.endpoint(NodeId(*pnode)) else {
+                    continue;
+                };
+                let local_producers = prod_nodes.iter().filter(|p| **p == *pnode).count();
+                let tx = ep.sender(NodeId(*cnode), chans[ni])?;
+                remote_txs.insert(
+                    (*pnode, ni),
+                    Arc::new(SharedTx {
+                        tx: vectorh_common::sync::Mutex::new(tx),
+                        producers_left: AtomicUsize::new(local_producers),
+                    }),
+                );
+            }
+        }
+    }
+
     let (ptx, prx) = bounded::<crate::xchg::WorkerProfile>(producers.len().max(1));
     for (wi, (prod_node, mut prod)) in producers.into_iter().enumerate() {
-        let node_txs: Vec<Sender<Payload>> = node_ch.iter().map(|(s, _)| s.clone()).collect();
+        if let Some(fabric) = &config.fabric {
+            if fabric.endpoint(NodeId(prod_node)).is_err() {
+                continue; // this producer's pipeline runs in another process
+            }
+        }
+        let sinks: Vec<Sink> = (0..nodes.len())
+            .map(|ni| match remote_txs.get(&(prod_node, ni)) {
+                Some(shared) => Sink::Remote(shared.clone()),
+                None => Sink::Chan(node_ch[ni].0.clone()),
+            })
+            .collect();
         let nodes = nodes.clone();
         let routing = routing.clone();
         let partitioning = partitioning.clone();
@@ -567,7 +832,7 @@ fn dxchg_t2n(
             let fanout = nodes.len();
             let accounted = (2 * fanout * buffer_bytes) as u64;
             stats.alloc_buffers(accounted);
-            let mut plane = SendPlane::new(node_txs, hook, name, wi, stats.clone());
+            let mut plane = SendPlane::new(sinks, hook, name, prod_node, wi, stats.clone());
             let mut bufs: Vec<(Batch, Vec<u8>)> = (0..fanout)
                 .map(|_| (Batch::empty(schema.clone()), Vec::new()))
                 .collect();
@@ -662,6 +927,7 @@ fn dxchg_t2n(
             rx,
             route_filter: Some(routing[j].1),
             seen: Default::default(),
+            stats: stats.clone(),
             counters: Counters::default(),
             consumer_wait_ns: 0,
             profiles: hub.clone(),
@@ -686,6 +952,7 @@ mod tests {
             buffer_bytes: 512,
             mode,
             fault: None,
+            fabric: None,
         }
     }
 
@@ -783,6 +1050,7 @@ mod tests {
                     buffer_bytes: 1024,
                     mode,
                     fault: None,
+                    fabric: None,
                 },
                 stats.clone(),
             )
@@ -836,6 +1104,7 @@ mod tests {
                         buffer_bytes: 512,
                         mode,
                         fault: Some(Arc::new(EveryOther(action))),
+                        fabric: None,
                     },
                     stats.clone(),
                 )
@@ -869,6 +1138,7 @@ mod tests {
                     buffer_bytes: 256,
                     mode: FanoutMode::ThreadToNode,
                     fault,
+                    fabric: None,
                 },
                 stats,
             )
@@ -878,6 +1148,146 @@ mod tests {
         let clean = run(None);
         let faulty = run(Some(Arc::new(EveryOther(FaultAction::Duplicate))));
         assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn dedup_state_stays_bounded_under_fault_storms() {
+        // Regression for the unbounded `HashSet<u64>` dedup: a long stream
+        // with constant reordering must keep receiver dedup residue at the
+        // reorder depth (1 here: delay holds back one buffer), never at the
+        // stream length.
+        let stats = Arc::new(NetStats::default());
+        let recv = dxchg_hash_split(
+            vec![
+                (0, source((0..3000).collect())),
+                (1, source((3000..6000).collect())),
+            ],
+            vec![0, 0, 1, 1],
+            vec![0],
+            DxchgConfig {
+                buffer_bytes: 64,
+                mode: FanoutMode::ThreadToNode,
+                fault: Some(Arc::new(EveryOther(FaultAction::Delay))),
+                fabric: None,
+            },
+            stats.clone(),
+        )
+        .unwrap();
+        let mut all: Vec<i64> = drain(recv).into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6000).collect::<Vec<_>>());
+        let messages: u64 = stats.channels().iter().map(|(_, c)| c.messages).sum();
+        assert!(messages > 50, "want a long stream, got {messages} buffers");
+        assert!(
+            stats.dedup_residual_peak() <= 2,
+            "dedup residue {} not bounded by the reorder window",
+            stats.dedup_residual_peak()
+        );
+    }
+
+    #[test]
+    fn per_channel_stats_surface_traffic() {
+        let stats = Arc::new(NetStats::default());
+        let r = dxchg_union(
+            vec![
+                (0, source((0..500).collect())),
+                (1, source((500..1000).collect())),
+            ],
+            0,
+            config(FanoutMode::ThreadToNode),
+            stats.clone(),
+        )
+        .unwrap();
+        drain(vec![r]);
+        let channels = stats.channels();
+        let (name, c) = &channels[0];
+        assert_eq!(name, "DXchgUnion");
+        assert!(c.messages > 0);
+        assert!(c.bytes > 0);
+    }
+
+    #[test]
+    fn zero_buffer_bytes_flushes_every_batch() {
+        let stats = Arc::new(NetStats::default());
+        let r = dxchg_union(
+            vec![
+                (0, source((0..100).collect())),
+                (1, source((100..200).collect())),
+            ],
+            0,
+            DxchgConfig {
+                buffer_bytes: 0,
+                mode: FanoutMode::ThreadToNode,
+                fault: None,
+                fabric: None,
+            },
+            stats,
+        )
+        .unwrap();
+        let got = drain(vec![r]).remove(0);
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn receivers_dropped_mid_stream_do_not_wedge_producers() {
+        for mode in [FanoutMode::ThreadToThread, FanoutMode::ThreadToNode] {
+            let stats = Arc::new(NetStats::default());
+            let mut recv = dxchg_hash_split(
+                vec![
+                    (0, source((0..2000).collect())),
+                    (1, source((2000..4000).collect())),
+                ],
+                vec![0, 0, 1, 1],
+                vec![0],
+                DxchgConfig {
+                    buffer_bytes: 64,
+                    mode,
+                    fault: None,
+                    fabric: None,
+                },
+                stats,
+            )
+            .unwrap();
+            // Three consumers disappear; the survivor must still terminate
+            // (producers abort their sends, never deadlock the exchange).
+            recv.truncate(1);
+            let got = drain(recv).remove(0);
+            assert!(got.len() <= 4000, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn fabric_backed_exchange_matches_plain_channels() {
+        use vectorh_transport::{InProcFabric, SharedEpoch, TcpFabric};
+        let run = |fabric: Option<Arc<dyn Fabric>>| {
+            let stats = Arc::new(NetStats::default());
+            let recv = dxchg_hash_split(
+                vec![
+                    (0, source((0..300).collect())),
+                    (1, source((300..600).collect())),
+                ],
+                vec![0, 0, 1, 1],
+                vec![0],
+                DxchgConfig {
+                    buffer_bytes: 512,
+                    mode: FanoutMode::ThreadToNode,
+                    fault: None,
+                    fabric,
+                },
+                stats.clone(),
+            )
+            .unwrap();
+            (drain(recv), stats)
+        };
+        let (plain, _) = run(None);
+        let (inproc, _) = run(Some(Arc::new(InProcFabric::new())));
+        assert_eq!(plain, inproc);
+        let epoch = Arc::new(SharedEpoch::new(1));
+        let tcp = TcpFabric::loopback(&[NodeId(0), NodeId(1)], epoch, None).unwrap();
+        let (over_tcp, stats) = run(Some(Arc::new(tcp)));
+        assert_eq!(plain, over_tcp);
+        // The framed path really ran: stats saw the same buffer traffic.
+        assert!(stats.channels()[0].1.messages > 0);
     }
 
     #[test]

@@ -33,6 +33,9 @@ struct MonitorInner {
     /// Nodes already declared dead (reported once, then latched until
     /// `clear`).
     declared: std::collections::BTreeSet<NodeId>,
+    /// Beats that arrived after this tick's deadline check (transport
+    /// latency); credited when the tick closes, so they count for the next.
+    late: Vec<NodeId>,
 }
 
 /// A deadline-based failure detector over an explicit tick clock.
@@ -51,15 +54,35 @@ impl HeartbeatMonitor {
     /// `deadline_misses` must be ≥ 1: a single dropped heartbeat message
     /// should delay detection, not cause a false declaration.
     pub fn new(deadline_misses: u32) -> HeartbeatMonitor {
+        HeartbeatMonitor::with_grace(deadline_misses, 1)
+    }
+
+    /// A monitor whose deadline is stretched by a `grace` multiplier —
+    /// the knob for transports with real latency: over TCP a beat can
+    /// legitimately arrive a tick late, so the effective deadline becomes
+    /// `deadline_misses × grace` consecutive misses. `grace` clamps to ≥ 1.
+    pub fn with_grace(deadline_misses: u32, grace: u32) -> HeartbeatMonitor {
         HeartbeatMonitor {
-            deadline_misses: deadline_misses.max(1),
+            deadline_misses: deadline_misses.max(1) * grace.max(1),
             inner: Mutex::new(MonitorInner::default()),
         }
+    }
+
+    /// The effective deadline (misses tolerated), grace included.
+    pub fn deadline_misses(&self) -> u32 {
+        self.deadline_misses
     }
 
     /// Record a heartbeat from `node` for the current tick.
     pub fn beat(&self, node: NodeId) {
         self.inner.lock().missed.insert(node, 0);
+    }
+
+    /// Record a heartbeat that arrived too late for the current tick (a
+    /// delayed frame): it is credited when the tick closes, so it counts
+    /// toward the *next* deadline check instead of vanishing.
+    pub fn beat_late(&self, node: NodeId) {
+        self.inner.lock().late.push(node);
     }
 
     /// Close the current tick: every monitored node in `expected` that did
@@ -86,6 +109,13 @@ impl HeartbeatMonitor {
         }
         // Forget nodes no longer monitored so a later re-add starts fresh.
         inner.missed.retain(|n, _| expected.contains(n));
+        // Late beats land now, crediting the tick that just opened.
+        let late = std::mem::take(&mut inner.late);
+        for n in late {
+            if expected.contains(&n) {
+                inner.missed.insert(n, 0);
+            }
+        }
         newly_dead
     }
 
@@ -204,6 +234,39 @@ mod tests {
         assert_eq!(m.health(A), NodeHealth::Dead);
         m.clear(A);
         assert_eq!(m.health(A), NodeHealth::Alive);
+    }
+
+    #[test]
+    fn grace_multiplier_stretches_the_deadline() {
+        // deadline 1 × grace 2 → 2 tolerated misses, dead on the 3rd.
+        let m = HeartbeatMonitor::with_grace(1, 2);
+        assert_eq!(m.deadline_misses(), 2);
+        m.beat(A);
+        m.advance(&[A]);
+        assert!(m.advance(&[A]).is_empty());
+        assert!(m.advance(&[A]).is_empty());
+        assert_eq!(m.advance(&[A]), vec![A]);
+        // Grace clamps to ≥ 1 (grace 0 behaves like new()).
+        assert_eq!(HeartbeatMonitor::with_grace(3, 0).deadline_misses(), 3);
+    }
+
+    #[test]
+    fn late_beats_count_for_the_next_tick() {
+        let m = HeartbeatMonitor::new(1);
+        m.beat(A);
+        m.advance(&[A]);
+        // Every beat arrives one tick late (steady transport latency):
+        // the node hovers at ≤1 consecutive miss, never reaching the
+        // deadline — delay jitter must not dead-latch a live node.
+        for _ in 0..8 {
+            m.beat_late(A);
+            assert!(m.advance(&[A]).is_empty(), "late beats must keep A alive");
+        }
+        assert_ne!(m.health(A), NodeHealth::Dead);
+        // Late beats for unmonitored nodes are discarded, not leaked.
+        m.beat_late(B);
+        m.advance(&[A]);
+        assert_eq!(m.health(B), NodeHealth::Alive);
     }
 
     #[test]

@@ -1,6 +1,20 @@
 //! Network accounting for exchange operators.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use vectorh_common::sync::Mutex;
+
+/// Per-channel traffic counters, keyed by exchange name. `credit_stalls`
+/// counts sends that blocked on backpressure — a full in-proc queue or an
+/// exhausted TCP credit window — which is the number that makes in-proc and
+/// TCP runs comparable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub messages: u64,
+    pub bytes: u64,
+    pub credit_stalls: u64,
+}
 
 /// Thread-safe counters shared by all senders/receivers of an exchange (or
 /// a whole query).
@@ -24,6 +38,11 @@ pub struct NetStats {
     duplicated_messages: AtomicU64,
     /// Injected fault: buffers held back and delivered out of order.
     delayed_messages: AtomicU64,
+    /// Peak out-of-order residue held by any receiver's dedup window —
+    /// the regression gauge proving dedup state stays bounded.
+    dedup_residual_peak: AtomicU64,
+    /// Per-channel byte/message/stall accounting.
+    channels: Mutex<BTreeMap<String, ChannelStats>>,
 }
 
 /// Point-in-time snapshot.
@@ -73,6 +92,46 @@ impl NetStats {
         self.delayed_messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account one message on a named channel.
+    pub fn record_channel_message(&self, channel: &str, bytes: u64) {
+        let mut channels = self.channels.lock();
+        let entry = channels.entry(channel.to_string()).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes;
+    }
+
+    /// Account a send that had to block on backpressure.
+    pub fn record_credit_stall(&self, channel: &str, stalls: u64) {
+        if stalls == 0 {
+            return;
+        }
+        self.channels
+            .lock()
+            .entry(channel.to_string())
+            .or_default()
+            .credit_stalls += stalls;
+    }
+
+    /// Track the high-water mark of a receiver's dedup residue.
+    pub fn record_dedup_residual(&self, residual: u64) {
+        self.dedup_residual_peak
+            .fetch_max(residual, Ordering::Relaxed);
+    }
+
+    /// Peak out-of-order dedup residue observed by any receiver.
+    pub fn dedup_residual_peak(&self) -> u64 {
+        self.dedup_residual_peak.load(Ordering::Relaxed)
+    }
+
+    /// Sorted snapshot of the per-channel counters.
+    pub fn channels(&self) -> Vec<(String, ChannelStats)> {
+        self.channels
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     pub fn snapshot(&self) -> NetSnapshot {
         NetSnapshot {
             net_messages: self.net_messages.load(Ordering::Relaxed),
@@ -102,6 +161,35 @@ mod tests {
         assert_eq!(snap.net_bytes, 150);
         assert_eq!(snap.intra_messages, 1);
         assert_eq!(snap.rows, 18);
+    }
+
+    #[test]
+    fn per_channel_counters_accumulate_sorted() {
+        let s = NetStats::default();
+        s.record_channel_message("DXchgUnion", 100);
+        s.record_channel_message("DXchgHashSplit", 40);
+        s.record_channel_message("DXchgUnion", 60);
+        s.record_credit_stall("DXchgUnion", 2);
+        s.record_credit_stall("DXchgUnion", 0); // no-op
+        let channels = s.channels();
+        assert_eq!(channels.len(), 2);
+        assert_eq!(channels[0].0, "DXchgHashSplit");
+        assert_eq!(
+            channels[1].1,
+            ChannelStats {
+                messages: 2,
+                bytes: 160,
+                credit_stalls: 2
+            }
+        );
+    }
+
+    #[test]
+    fn dedup_residual_keeps_peak() {
+        let s = NetStats::default();
+        s.record_dedup_residual(3);
+        s.record_dedup_residual(1);
+        assert_eq!(s.dedup_residual_peak(), 3);
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Watermark-based duplicate suppression with bounded memory.
+//!
+//! Reliable delivery over a lossy fabric means retransmission, and
+//! retransmission means duplicates. The naive receiver-side fix — remember
+//! every sequence number ever seen in a `HashSet` — grows without bound
+//! over a long campaign. A [`DedupWindow`] instead tracks a *watermark*:
+//! every sequence below it has been delivered, so only the (small,
+//! reorder-bounded) set of out-of-order sequences above the watermark is
+//! held. Memory is proportional to the reorder window, not the stream
+//! length.
+
+use std::collections::BTreeSet;
+
+/// Exactly-once filter for one contiguous sequence stream (seqs start at 0).
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    /// All seqs `< watermark` have been accepted.
+    watermark: u64,
+    /// Accepted seqs `>= watermark` (out-of-order arrivals).
+    pending: BTreeSet<u64>,
+}
+
+impl DedupWindow {
+    pub fn new() -> DedupWindow {
+        DedupWindow::default()
+    }
+
+    /// Accept `seq` if it has not been seen before. Returns `true` for a
+    /// fresh sequence, `false` for a duplicate.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        if seq < self.watermark || !self.pending.insert(seq) {
+            return false;
+        }
+        // Advance the watermark over any now-contiguous prefix, evicting it.
+        while self.pending.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+        true
+    }
+
+    /// Next sequence the contiguous prefix is waiting for.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Out-of-order seqs currently held — the window's entire memory
+    /// footprint beyond the watermark itself.
+    pub fn residual(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_keeps_zero_residual() {
+        let mut w = DedupWindow::new();
+        for seq in 0..10_000 {
+            assert!(w.insert(seq));
+            assert_eq!(w.residual(), 0);
+        }
+        assert_eq!(w.watermark(), 10_000);
+    }
+
+    #[test]
+    fn duplicates_rejected_before_and_after_watermark() {
+        let mut w = DedupWindow::new();
+        assert!(w.insert(0));
+        assert!(!w.insert(0)); // below watermark
+        assert!(w.insert(5)); // out of order, pending
+        assert!(!w.insert(5)); // pending duplicate
+        assert!(w.insert(1));
+        assert_eq!(w.watermark(), 2);
+    }
+
+    #[test]
+    fn reordering_bounds_memory_to_the_window() {
+        let mut w = DedupWindow::new();
+        let mut peak = 0;
+        // Deliver in pairs swapped: 1,0,3,2,5,4,... with each also duplicated.
+        for base in (0..10_000u64).step_by(2) {
+            for seq in [base + 1, base, base + 1, base] {
+                w.insert(seq);
+                peak = peak.max(w.residual());
+            }
+        }
+        assert_eq!(w.watermark(), 10_000);
+        assert!(
+            peak <= 1,
+            "swap reordering must hold at most one seq, held {peak}"
+        );
+    }
+
+    #[test]
+    fn gap_holds_then_drains() {
+        let mut w = DedupWindow::new();
+        for seq in 1..100 {
+            assert!(w.insert(seq));
+        }
+        assert_eq!(w.residual(), 99); // everything waits on seq 0
+        assert!(w.insert(0));
+        assert_eq!(w.residual(), 0);
+        assert_eq!(w.watermark(), 100);
+    }
+}

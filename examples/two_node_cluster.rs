@@ -1,0 +1,360 @@
+//! Two OS processes, one distributed query plan.
+//!
+//! The parent process is cluster node 0; it spawns this same binary as
+//! node 1 (`VH2_ROLE=node1`) and meshes the two over a real TCP fabric
+//! ([`TcpFabric::single`] + `add_peer`). Both processes then build the
+//! *identical* DXchg plans for TPC-H Q1 and Q6 over deterministically
+//! generated lineitem halves:
+//!
+//! * **Q1** — each node scans its half, projects the qualifying measures,
+//!   and a `DXchgHashSplit` repartitions them by `(returnflag, linestatus)`
+//!   across the two processes; each node aggregates the groups it owns and
+//!   a `DXchgUnion` ships the partials back to node 0.
+//! * **Q6** — each node computes its local revenue partial and a
+//!   `DXchgUnion` funnels the partials to node 0.
+//!
+//! Producers whose node lives in the other process are skipped locally and
+//! run over there; channel ids come from each fabric's deterministic
+//! allocator, so the cooperating processes agree on the wire layout without
+//! any coordination beyond the listen addresses.
+//!
+//! All arithmetic is exact fixed-point (TPC-H decimals as i64), so the
+//! distributed sums are order-independent and the cross-process answers
+//! must match a single-process run of the same plans over plain in-memory
+//! channels **byte for byte** — verified via `fingerprint_rows` and full
+//! row equality.
+//!
+//! Run: `cargo run --release --example two_node_cluster`
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+use vectorh_common::types::date;
+use vectorh_common::{ColumnData, DataType, NodeId, Result, Schema, Value, VhError};
+use vectorh_exec::operator::BatchSource;
+use vectorh_exec::{fingerprint_rows, Batch, Operator};
+use vectorh_net::dxchg::{dxchg_hash_split, dxchg_union};
+use vectorh_net::{DxchgConfig, FanoutMode, NetStats};
+use vectorh_transport::{Fabric, SharedEpoch, TcpFabric};
+
+const SF: f64 = 0.01;
+const GEN_SEED: u64 = 20260807;
+
+fn main() {
+    let role = std::env::var("VH2_ROLE").ok();
+    let run = match role.as_deref() {
+        Some("node1") => child(),
+        _ => parent(),
+    };
+    if let Err(e) = run {
+        eprintln!("two_node_cluster failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- plumbing
+
+fn config(fabric: Option<Arc<dyn Fabric>>) -> DxchgConfig {
+    DxchgConfig {
+        buffer_bytes: 64 * 1024,
+        mode: FanoutMode::ThreadToNode,
+        fault: None,
+        fabric,
+    }
+}
+
+/// Both halves of lineitem, split round-robin so each node owns the same
+/// rows in every process.
+fn lineitem_halves() -> [Vec<Vec<Value>>; 2] {
+    let data = vectorh_tpch::gen::generate(SF, GEN_SEED);
+    let mut halves = [Vec::new(), Vec::new()];
+    for (i, row) in data.lineitem.into_iter().enumerate() {
+        halves[i % 2].push(row);
+    }
+    halves
+}
+
+fn int_of(v: &Value) -> i64 {
+    match v {
+        Value::I64(x) => *x,
+        Value::Decimal(m, _) => *m,
+        Value::Date(d) => *d as i64,
+        other => panic!("unexpected value {other:?}"),
+    }
+}
+
+fn first_byte(v: &Value) -> i64 {
+    match v {
+        Value::Str(s) => s.as_bytes()[0] as i64,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+/// Pack fixed-width integer rows into one Batch and wrap it as a source.
+fn source(schema: Arc<Schema>, rows: &[Vec<i64>]) -> Box<dyn Operator> {
+    let mut cols: Vec<Vec<i64>> = vec![Vec::with_capacity(rows.len()); schema.len()];
+    for row in rows {
+        for (c, v) in row.iter().enumerate() {
+            cols[c].push(*v);
+        }
+    }
+    let columns = cols.into_iter().map(ColumnData::I64).collect();
+    let batch = Batch::new(schema, columns).expect("well-formed source batch");
+    Box::new(BatchSource::from_batch(batch, 1024))
+}
+
+// ------------------------------------------------------------- the queries
+
+fn q1_schema() -> Arc<Schema> {
+    Arc::new(Schema::of(&[
+        ("k", DataType::I64), // returnflag byte << 8 | linestatus byte
+        ("qty", DataType::I64),
+        ("base", DataType::I64),
+        ("disc_price", DataType::I64),
+        ("charge", DataType::I64),
+        ("cnt", DataType::I64),
+    ]))
+}
+
+/// Qualifying Q1 measures of one lineitem half, in exact fixed point:
+/// qty and base in hundredths, disc_price in 1e-4, charge in 1e-6 dollars.
+fn q1_rows(half: &[Vec<Value>]) -> Vec<Vec<i64>> {
+    let cutoff = date::to_days(1998, 9, 2) as i64;
+    let mut out = Vec::new();
+    for row in half {
+        if int_of(&row[10]) > cutoff {
+            continue; // l_shipdate <= date '1998-09-02'
+        }
+        let key = (first_byte(&row[8]) << 8) | first_byte(&row[9]);
+        let qty = int_of(&row[4]);
+        let price = int_of(&row[5]);
+        let disc = int_of(&row[6]);
+        let tax = int_of(&row[7]);
+        let disc_price = price * (100 - disc);
+        let charge = disc_price * (100 + tax);
+        out.push(vec![key, qty, price, disc_price, charge, 1]);
+    }
+    out
+}
+
+/// One-row Q6 revenue partial of one lineitem half (1e-4 dollars).
+fn q6_rows(half: &[Vec<Value>]) -> Vec<Vec<i64>> {
+    let from = date::to_days(1994, 1, 1) as i64;
+    let to = date::to_days(1995, 1, 1) as i64;
+    let mut revenue = 0i64;
+    for row in half {
+        let ship = int_of(&row[10]);
+        let disc = int_of(&row[6]);
+        let qty = int_of(&row[4]);
+        if ship >= from && ship < to && (5..=7).contains(&disc) && qty < 2400 {
+            revenue += int_of(&row[5]) * disc;
+        }
+    }
+    vec![vec![revenue]]
+}
+
+fn fold(groups: &mut BTreeMap<i64, [i64; 5]>, batch: &Batch) {
+    for i in 0..batch.len() {
+        let row = batch.row(i);
+        let acc = groups.entry(int_of(&row[0])).or_insert([0; 5]);
+        for (a, v) in acc.iter_mut().zip(&row[1..]) {
+            *a += int_of(v);
+        }
+    }
+}
+
+fn group_rows(groups: &BTreeMap<i64, [i64; 5]>) -> Vec<Vec<i64>> {
+    groups
+        .iter()
+        .map(|(k, a)| {
+            let mut row = vec![*k];
+            row.extend_from_slice(a);
+            row
+        })
+        .collect()
+}
+
+/// Run the Q1 and Q6 plans. `fabric: None` is the single-process reference
+/// (both halves populated, plain channels); with a fabric, each process
+/// passes only its own half and the transport carries the rest. Only
+/// node 0 sees final results; other nodes return empty ones.
+fn run_plans(
+    fabric: Option<Arc<dyn Fabric>>,
+    my: u32,
+    halves: &[Vec<Vec<Value>>; 2],
+    stats: Arc<NetStats>,
+) -> Result<(Vec<Vec<Value>>, i64)> {
+    let drain_all = fabric.is_none();
+
+    // Q1 stage 1: repartition qualifying measures by group key across both
+    // nodes (one consumer thread each).
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..2)
+        .map(|n| (n as u32, source(q1_schema(), &q1_rows(&halves[n]))))
+        .collect();
+    let receivers = dxchg_hash_split(
+        producers,
+        vec![0, 1],
+        vec![0],
+        config(fabric.clone()),
+        stats.clone(),
+    )?;
+    let mut partials: Vec<BTreeMap<i64, [i64; 5]>> = vec![BTreeMap::new(), BTreeMap::new()];
+    for (j, mut rx) in receivers.into_iter().enumerate() {
+        if !drain_all && j as u32 != my {
+            continue; // that consumer thread runs in the other process
+        }
+        while let Some(batch) = rx.next()? {
+            fold(&mut partials[j], &batch);
+        }
+    }
+
+    // Q1 stage 2: union the disjoint per-node group partials onto node 0.
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..2)
+        .map(|n| (n as u32, source(q1_schema(), &group_rows(&partials[n]))))
+        .collect();
+    let mut union_rx = dxchg_union(producers, 0, config(fabric.clone()), stats.clone())?;
+    let mut q1_groups = BTreeMap::new();
+    if drain_all || my == 0 {
+        while let Some(batch) = union_rx.next()? {
+            fold(&mut q1_groups, &batch);
+        }
+    }
+    let q1: Vec<Vec<Value>> = group_rows(&q1_groups)
+        .into_iter()
+        .map(|r| r.into_iter().map(Value::I64).collect())
+        .collect();
+
+    // Q6: one revenue partial per node, unioned onto node 0.
+    let q6_schema = Arc::new(Schema::of(&[("revenue", DataType::I64)]));
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..2)
+        .map(|n| (n as u32, source(q6_schema.clone(), &q6_rows(&halves[n]))))
+        .collect();
+    let mut q6_rx = dxchg_union(producers, 0, config(fabric), stats)?;
+    let mut q6 = 0i64;
+    if drain_all || my == 0 {
+        while let Some(batch) = q6_rx.next()? {
+            for i in 0..batch.len() {
+                q6 += int_of(&batch.row(i)[0]);
+            }
+        }
+    }
+    Ok((q1, q6))
+}
+
+// ------------------------------------------------------------ the processes
+
+fn parent() -> Result<()> {
+    eprintln!("[node0] generating lineitem (sf {SF})");
+    let halves = lineitem_halves();
+
+    // Reference: the identical plans in one process over plain channels.
+    let ref_stats = Arc::new(NetStats::default());
+    let (q1_ref, q6_ref) = run_plans(None, 0, &halves, ref_stats.clone())?;
+
+    // Cluster: node 0 here, node 1 in a freshly spawned OS process.
+    let epoch = Arc::new(SharedEpoch::new(1));
+    let fabric = Arc::new(TcpFabric::single(NodeId(0), epoch, None)?);
+    let addr0 = fabric
+        .addr_of(NodeId(0))
+        .ok_or_else(|| VhError::Net("node 0 has no listen address".into()))?;
+    let exe =
+        std::env::current_exe().map_err(|e| VhError::Internal(format!("current_exe: {e}")))?;
+    let mut node1 = Command::new(exe)
+        .env("VH2_ROLE", "node1")
+        .env("VH2_ADDR0", addr0.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| VhError::Internal(format!("spawn node 1: {e}")))?;
+    let mut lines = BufReader::new(node1.stdout.take().expect("piped stdout")).lines();
+    let addr1: SocketAddr = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| VhError::Net("node 1 exited before announcing its address".into()))?
+            .map_err(|e| VhError::Net(format!("read node 1 stdout: {e}")))?;
+        if let Some(addr) = line.strip_prefix("ADDR ") {
+            break addr
+                .parse()
+                .map_err(|e| VhError::Net(format!("bad node 1 address {addr:?}: {e}")))?;
+        }
+    };
+    fabric.add_peer(NodeId(1), addr1);
+    eprintln!("[node0] listening on {addr0}, node 1 on {addr1}");
+
+    // This process holds only half the data; the other half's pipelines run
+    // in the node 1 process and arrive over TCP.
+    let local = [halves[0].clone(), Vec::new()];
+    let tcp_stats = Arc::new(NetStats::default());
+    let (q1_tcp, q6_tcp) = run_plans(
+        Some(fabric.clone() as Arc<dyn Fabric>),
+        0,
+        &local,
+        tcp_stats.clone(),
+    )?;
+
+    // Release node 1 (it blocks on stdin until we are done) and reap it.
+    drop(node1.stdin.take());
+    let status = node1
+        .wait()
+        .map_err(|e| VhError::Internal(format!("wait node 1: {e}")))?;
+    if !status.success() {
+        return Err(VhError::Internal(format!("node 1 exited with {status}")));
+    }
+
+    // The verdict: byte-for-byte equality, summarized as fingerprints.
+    let (fp_ref, fp_tcp) = (fingerprint_rows(&q1_ref), fingerprint_rows(&q1_tcp));
+    println!(
+        "Q1 groups: {} in-proc, {} over tcp",
+        q1_ref.len(),
+        q1_tcp.len()
+    );
+    println!("Q1 fingerprint: in-proc {fp_ref:#018x}, tcp {fp_tcp:#018x}");
+    println!("Q6 revenue: in-proc {q6_ref}, tcp {q6_tcp} (1e-4 dollars)");
+    if q1_ref.is_empty() || q1_tcp != q1_ref {
+        return Err(VhError::Internal(
+            "Q1 over the TCP fabric diverged from the in-process run".into(),
+        ));
+    }
+    if q6_tcp != q6_ref || q6_tcp == 0 {
+        return Err(VhError::Internal(
+            "Q6 over the TCP fabric diverged from the in-process run".into(),
+        ));
+    }
+    println!("byte-for-byte match across 2 OS processes");
+    for (name, ch) in tcp_stats.channels() {
+        println!(
+            "  {name}: {} messages, {} bytes, {} credit stalls",
+            ch.messages, ch.bytes, ch.credit_stalls
+        );
+    }
+    Ok(())
+}
+
+fn child() -> Result<()> {
+    let halves = lineitem_halves();
+    let epoch = Arc::new(SharedEpoch::new(1));
+    let fabric = Arc::new(TcpFabric::single(NodeId(1), epoch, None)?);
+    let addr0: SocketAddr = std::env::var("VH2_ADDR0")
+        .map_err(|_| VhError::Net("VH2_ADDR0 not set".into()))?
+        .parse()
+        .map_err(|e| VhError::Net(format!("bad VH2_ADDR0: {e}")))?;
+    fabric.add_peer(NodeId(0), addr0);
+    let addr1 = fabric
+        .addr_of(NodeId(1))
+        .ok_or_else(|| VhError::Net("node 1 has no listen address".into()))?;
+    println!("ADDR {addr1}");
+    std::io::stdout().flush().ok();
+
+    let local = [Vec::new(), halves[1].clone()];
+    let stats = Arc::new(NetStats::default());
+    run_plans(Some(fabric as Arc<dyn Fabric>), 1, &local, stats)?;
+
+    // Keep the fabric (and any in-flight retransmits) alive until the
+    // parent has validated its results and closes our stdin.
+    let mut line = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut line);
+    Ok(())
+}

@@ -54,6 +54,72 @@ impl FaultHook for DropBeatsOf {
     }
 }
 
+/// Delays every heartbeat by one tick — steady transport latency, the kind
+/// a chaos `Delay` fault (or a slow TCP link) injects on every beat.
+#[derive(Debug)]
+struct DelayAllBeats;
+
+impl FaultHook for DelayAllBeats {
+    fn decide(&self, site: FaultSite, _detail: &str, _attempt: u32) -> FaultAction {
+        if site == FaultSite::Heartbeat {
+            FaultAction::Delay
+        } else {
+            FaultAction::None
+        }
+    }
+}
+
+/// The grace drill. Two claims:
+///
+/// 1. Delay jitter alone must never dead-latch anyone, at any grace: a
+///    delayed beat still arrives (it credits the next tick), so the miss
+///    counter hovers below every deadline.
+/// 2. Real silence is where `heartbeat_grace` bites: a node silent for
+///    four rounds is declared dead under the default deadline, but a
+///    grace of 2 stretches the deadline to `HEARTBEAT_DEADLINE_MISSES × 2`
+///    misses and the same outage is ridden out — the STONITH fencing path
+///    never fires on a node that was merely slow.
+#[test]
+fn heartbeat_grace_stretches_detection_and_delay_jitter_never_latches() {
+    let vh = engine(4);
+    vh.install_fault_hook(Some(Arc::new(DelayAllBeats) as SharedFaultHook));
+    for _ in 0..10 {
+        assert_eq!(vh.health_tick().unwrap(), vec![], "delay jitter latched");
+    }
+    vh.install_fault_hook(None);
+    assert_eq!(vh.workers().len(), 4, "no node lost to jitter");
+
+    // Four silent rounds, then recovery. Returns whether the victim rode
+    // out the outage without ever being declared dead.
+    let drill = |grace: u32| -> bool {
+        let vh = engine_with(4, |cfg| cfg.heartbeat_grace = grace);
+        let victim = *vh
+            .workers()
+            .iter()
+            .find(|w| **w != vh.session_master())
+            .unwrap();
+        vh.health_tick().unwrap(); // one clean round arms the counters
+        vh.install_fault_hook(Some(Arc::new(DropBeatsOf(victim)) as SharedFaultHook));
+        let mut declared = false;
+        for _ in 0..4 {
+            declared |= !vh.health_tick().unwrap().is_empty();
+        }
+        vh.install_fault_hook(None);
+        for _ in 0..3 {
+            declared |= !vh.health_tick().unwrap().is_empty();
+        }
+        !declared && vh.workers().contains(&victim)
+    };
+    assert!(
+        !drill(1),
+        "four silent rounds at the default grace must latch the victim dead"
+    );
+    assert!(
+        drill(2),
+        "the same outage with heartbeat_grace = 2 must be ridden out"
+    );
+}
+
 /// The scheduler fires a health round every `health_every` work units, and
 /// `health_every = 0` disables background rounds entirely (the clock still
 /// advances, so re-enabling math stays simple).
