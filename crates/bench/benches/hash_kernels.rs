@@ -114,8 +114,26 @@ fn main() {
         sum
     });
 
+    // Two-pass probe_batch (bucket-head gather pass, then chain resolve)
+    // vs the one-pass shape it replaced (full data-dependent walk per row,
+    // so every probe's cache miss serializes behind the previous one).
+    let mut g = Group::new("probe-batch-1M");
+    g.throughput(N as u64);
+    let t_two_pass = g.bench("two-pass", || {
+        let mut heads = Vec::new();
+        flat.probe_batch(&hashes, &mut heads);
+        heads.iter().map(|&r| r as u64).sum::<u64>()
+    });
+    let t_one_pass = g.bench("one-pass", || {
+        hashes
+            .iter()
+            .map(|&h| flat.first_candidate(h) as u64)
+            .sum::<u64>()
+    });
+
     println!("\n-- speedups (kernel vs scalar baseline) --");
     println!("hashing  {:>5.2}x", t_row / t_col);
     println!("build    {:>5.2}x", t_map / t_flat);
     println!("probe    {:>5.2}x", t_map_probe / t_flat_probe);
+    println!("2-pass   {:>5.2}x", t_one_pass / t_two_pass);
 }

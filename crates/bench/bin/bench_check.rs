@@ -1,0 +1,54 @@
+//! Validate a committed `BENCH_*.json` perf report.
+//!
+//! CI's bench-smoke job runs this against both the freshly generated quick
+//! report and the committed `BENCH_pr6.json`: the file must exist, parse
+//! through the in-tree JSON parser, contain entries, and — when the
+//! recording host dispatched a vector arm — show the headline acceptance
+//! bar: at least 2x cycles/value improvement on every narrow bit-unpack
+//! width (≤ 16). Exits nonzero (panics) on any violation, so a regression
+//! that sneaks into the committed artifact turns the build red.
+
+use vectorh_bench::report::{parse, parse_report};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: bench_check <report.json>");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let entries = parse_report(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(!entries.is_empty(), "{path}: report has no entries");
+    let doc = parse(&text).expect("already parsed once");
+    let dispatch = doc
+        .get("meta")
+        .and_then(|m| m.get("dispatch_after"))
+        .and_then(|v| v.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+
+    let mut checked = 0;
+    for w in [1u8, 2, 3, 4, 5, 7, 8, 12, 16] {
+        let group = format!("unpack-w{w}");
+        let Some(e) = entries
+            .iter()
+            .find(|e| e.group == group && e.case == "speedup")
+        else {
+            continue;
+        };
+        checked += 1;
+        if dispatch != "scalar" {
+            assert!(
+                e.value >= 2.0,
+                "{path}: {group} speedup {:.2}x < 2x (dispatch {dispatch})",
+                e.value
+            );
+        }
+    }
+    assert!(
+        checked > 0,
+        "{path}: no narrow-width unpack speedup entries"
+    );
+    println!(
+        "{path}: {} entries ok; {checked} narrow unpack widths >= 2x (dispatch {dispatch})",
+        entries.len()
+    );
+}

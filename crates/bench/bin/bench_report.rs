@@ -1,0 +1,335 @@
+//! Machine-checkable perf trajectory: writes `BENCH_pr6.json`.
+//!
+//! Runs every SIMD-touched hot loop twice — the scalar oracle arm forced via
+//! `force_mode(Scalar)` ("before": bit-identical to the pre-vectorization
+//! code) and the auto-dispatched arm ("after") — plus the fig7 TPC-H end-to-
+//! end totals, and serializes everything into one flat JSON report:
+//!
+//! * `unpack-w<N>` — bit-unpack cycles/value by width (`_rdtsc`-measured);
+//! * `hash-columns-1M`, `probe-batch-1M`, `filter-compact-1M`,
+//!   `pfor-delta-decode-1M`, `pdict-decode-1M` — elems/s per kernel;
+//! * `fig7-tpch` — per-query and total wall seconds, both arms.
+//!
+//! Every before/after pair is checksum-gated: the run **panics** (nonzero
+//! exit, so CI fails) if any SIMD arm diverges from the scalar oracle. The
+//! output file is re-read and re-parsed through `report::parse_report`
+//! before exit, so a report that isn't machine-parseable also fails the run.
+//!
+//! `VH_BENCH_QUICK=1` shrinks sizes/reps and the query list for CI smoke;
+//! `VH_BENCH_OUT` overrides the output path (default `BENCH_pr6.json`).
+
+use vectorh::{ClusterConfig, VectorH};
+use vectorh_bench::harness::Group;
+use vectorh_bench::report::Report;
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::simd::{force_mode, simd_mode, SimdMode};
+use vectorh_common::ColumnData;
+use vectorh_compress::pfor::PforDelta;
+use vectorh_compress::{bitpack, pdict::PdictI64};
+use vectorh_exec::kernels::hash::{hash_columns, JOIN_SEED};
+use vectorh_exec::kernels::simd::compact_mask;
+use vectorh_exec::kernels::table::HashTable;
+use vectorh_tpch::baseline::canonical;
+use vectorh_tpch::queries::{build_query, run_with, N_QUERIES};
+
+/// FNV-1a over a stream of u64s: the divergence gate between arms.
+fn fnv(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in values {
+        for b in v.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn assert_same(what: &str, scalar: u64, simd: u64) {
+    assert_eq!(
+        scalar, simd,
+        "CHECKSUM DIVERGENCE in {what}: SIMD arm disagrees with scalar oracle"
+    );
+}
+
+/// Timestamp counter where available; nanoseconds elsewhere (labelled so).
+#[cfg(target_arch = "x86_64")]
+fn ticks() -> u64 {
+    // SAFETY: rdtsc has no preconditions on x86_64.
+    unsafe { std::arch::x86_64::_rdtsc() }
+}
+#[cfg(not(target_arch = "x86_64"))]
+fn ticks() -> u64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static T0: OnceLock<Instant> = OnceLock::new();
+    T0.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(target_arch = "x86_64")]
+const TICK_UNIT: &str = "cycles/value";
+#[cfg(not(target_arch = "x86_64"))]
+const TICK_UNIT: &str = "ns/value";
+
+/// Best-of-`reps` ticks for one call of `f`, divided by `n` values.
+fn ticks_per_value(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm
+    let mut best = u64::MAX;
+    for _ in 0..reps {
+        let t0 = ticks();
+        f();
+        let dt = ticks().wrapping_sub(t0);
+        best = best.min(dt);
+    }
+    best as f64 / n as f64
+}
+
+fn bench_unpack(rep: &mut Report, quick: bool) {
+    let n: usize = if quick { 16_384 } else { 65_536 };
+    let reps = if quick { 40 } else { 400 };
+    let mut rng = SplitMix64::new(0x0BE9C4);
+    println!("\n== unpack {TICK_UNIT} (n={n}, best of {reps}) ==");
+    for width in [1u8, 2, 3, 4, 5, 7, 8, 12, 16, 24, 32, 48] {
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let values: Vec<u64> = (0..n).map(|_| rng.next_u64() & mask).collect();
+        let mut packed = Vec::new();
+        bitpack::pack(&values, width, &mut packed);
+        let mut out = Vec::with_capacity(n);
+
+        force_mode(Some(SimdMode::Scalar));
+        let before = ticks_per_value(n, reps, || {
+            out.clear();
+            bitpack::unpack(&packed, n, width, &mut out);
+        });
+        let sum_scalar = fnv(out.iter().copied());
+
+        force_mode(None);
+        let after = ticks_per_value(n, reps, || {
+            out.clear();
+            bitpack::unpack(&packed, n, width, &mut out);
+        });
+        assert_same(
+            &format!("unpack w={width}"),
+            sum_scalar,
+            fnv(out.iter().copied()),
+        );
+
+        let g = format!("unpack-w{width}");
+        rep.push(&g, "scalar", before, TICK_UNIT);
+        rep.push(&g, "simd", after, TICK_UNIT);
+        rep.push(&g, "speedup", before / after, "x");
+        println!(
+            "{g:<12} scalar {before:>6.3}  {} {after:>6.3}  ({:.2}x)",
+            simd_mode().name(),
+            before / after
+        );
+    }
+    force_mode(None);
+}
+
+fn bench_hash(rep: &mut Report, quick: bool) {
+    let n: usize = if quick { 200_000 } else { 1_000_000 };
+    let mut rng = SplitMix64::new(0xBE7C);
+    let k1: Vec<i64> = (0..n).map(|_| rng.next_bounded(100_000) as i64).collect();
+    let k2: Vec<i32> = (0..n).map(|_| rng.next_bounded(2500) as i32).collect();
+    let cols = [ColumnData::I64(k1), ColumnData::I32(k2)];
+    let refs: Vec<&ColumnData> = cols.iter().collect();
+
+    let mut g = Group::new("hash-columns-1M");
+    g.throughput(n as u64);
+    let mut out = Vec::new();
+    force_mode(Some(SimdMode::Scalar));
+    g.bench_rec(rep, "scalar", || {
+        hash_columns(&refs, &[0, 1], JOIN_SEED, &mut out);
+    });
+    let sum_scalar = fnv(out.iter().copied());
+    force_mode(None);
+    g.bench_rec(rep, "simd", || {
+        hash_columns(&refs, &[0, 1], JOIN_SEED, &mut out);
+    });
+    assert_same("hash_columns", sum_scalar, fnv(out.iter().copied()));
+
+    // Probe: the committed two-pass probe_batch vs the one-pass walk shape
+    // it replaced (same table, same hashes — a code-shape comparison, not a
+    // dispatch-arm comparison, so no force_mode here).
+    let mut table = HashTable::new();
+    table.insert_batch(&out);
+    let mut g = Group::new("probe-batch-1M");
+    g.throughput(n as u64);
+    let mut heads = Vec::new();
+    g.bench_rec(rep, "two-pass", || table.probe_batch(&out, &mut heads));
+    let sum_two = fnv(heads.iter().map(|&r| r as u64));
+    g.bench_rec(rep, "one-pass", || {
+        heads.clear();
+        heads.extend(out.iter().map(|&h| table.first_candidate(h)));
+    });
+    assert_same("probe_batch", fnv(heads.iter().map(|&r| r as u64)), sum_two);
+    force_mode(None);
+}
+
+fn bench_filter(rep: &mut Report, quick: bool) {
+    let n: usize = if quick { 200_000 } else { 1_000_000 };
+    let mut rng = SplitMix64::new(0xF117);
+    let mask: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+    let mut g = Group::new("filter-compact-1M");
+    g.throughput(n as u64);
+    let mut sel = Vec::new();
+    force_mode(Some(SimdMode::Scalar));
+    g.bench_rec(rep, "scalar", || compact_mask(&mask, &mut sel));
+    let sum_scalar = fnv(sel.iter().map(|&i| i as u64));
+    force_mode(None);
+    g.bench_rec(rep, "simd", || compact_mask(&mask, &mut sel));
+    assert_same(
+        "compact_mask",
+        sum_scalar,
+        fnv(sel.iter().map(|&i| i as u64)),
+    );
+    force_mode(None);
+}
+
+fn bench_decode(rep: &mut Report, quick: bool) {
+    let n: usize = if quick { 200_000 } else { 1_000_000 };
+    let mut rng = SplitMix64::new(0xDEC0DE);
+    // Sorted-ish column with occasional jumps: the PFOR-DELTA sweet spot.
+    let mut v = 0i64;
+    let deltas: Vec<i64> = (0..n)
+        .map(|_| {
+            v += if rng.chance(0.02) {
+                rng.range_i64(0, 1_000_000)
+            } else {
+                rng.range_i64(0, 50)
+            };
+            v
+        })
+        .collect();
+    let pd = PforDelta::encode(&deltas);
+    // Skewed low-cardinality column with outliers: the PDICT shape.
+    let dict_vals: Vec<i64> = (0..n)
+        .map(|_| {
+            if rng.chance(0.03) {
+                rng.next_u64() as i64
+            } else {
+                rng.next_bounded(200) as i64
+            }
+        })
+        .collect();
+    let pdict = PdictI64::encode(&dict_vals);
+
+    let mut out = Vec::new();
+    for (name, decode) in [
+        (
+            "pfor-delta-decode-1M",
+            Box::new(|o: &mut Vec<i64>| {
+                o.clear();
+                pd.decode(o)
+            }) as Box<dyn Fn(&mut Vec<i64>)>,
+        ),
+        (
+            "pdict-decode-1M",
+            Box::new(|o: &mut Vec<i64>| {
+                o.clear();
+                pdict.decode(o)
+            }),
+        ),
+    ] {
+        let mut g = Group::new(name);
+        g.throughput(n as u64);
+        force_mode(Some(SimdMode::Scalar));
+        g.bench_rec(rep, "scalar", || decode(&mut out));
+        let sum_scalar = fnv(out.iter().map(|&x| x as u64));
+        force_mode(None);
+        g.bench_rec(rep, "simd", || decode(&mut out));
+        assert_same(name, sum_scalar, fnv(out.iter().map(|&x| x as u64)));
+    }
+    force_mode(None);
+}
+
+fn bench_fig7(rep: &mut Report, quick: bool) {
+    let sf = vectorh_bench::env_sf(0.01);
+    rep.meta("fig7_sf", &format!("{sf}"));
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 3,
+        rows_per_chunk: 8192,
+        streams_per_node: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    vectorh_tpch::schema::setup(&vh, sf, 6, 42).unwrap();
+    let queries: Vec<usize> = if quick {
+        vec![1, 6]
+    } else {
+        (1..=N_QUERIES).collect()
+    };
+    println!(
+        "\n== fig7-tpch (SF {sf}, {} queries, wall s) ==",
+        queries.len()
+    );
+    let mut totals = [0.0f64; 2];
+    for &qn in &queries {
+        let mut outs: Vec<Vec<Vec<vectorh_common::Value>>> = Vec::new();
+        let mut secs_by_arm = [0.0f64; 2];
+        for (i, mode) in [Some(SimdMode::Scalar), None].into_iter().enumerate() {
+            force_mode(mode);
+            let q = build_query(qn).unwrap();
+            let (rows, secs) =
+                vectorh_bench::timed_hot(|| run_with(&q, |p| vh.query_logical(p)).unwrap());
+            outs.push(rows);
+            totals[i] += secs;
+            secs_by_arm[i] = secs;
+            let case = if i == 0 { "scalar" } else { "simd" };
+            rep.push("fig7-tpch", &format!("q{qn}/{case}"), secs, "s");
+        }
+        assert_eq!(
+            canonical(outs.swap_remove(0)),
+            canonical(outs.swap_remove(0)),
+            "fig7 Q{qn}: SIMD arm changed the query answer"
+        );
+        println!(
+            "  Q{qn}: scalar {:.4}s  simd {:.4}s",
+            secs_by_arm[0], secs_by_arm[1]
+        );
+    }
+    rep.push("fig7-tpch", "total/scalar", totals[0], "s");
+    rep.push("fig7-tpch", "total/simd", totals[1], "s");
+    rep.push("fig7-tpch", "total/speedup", totals[0] / totals[1], "x");
+    println!(
+        "fig7 total: scalar {:.3}s  simd {:.3}s  ({:.2}x)",
+        totals[0],
+        totals[1],
+        totals[0] / totals[1]
+    );
+    force_mode(None);
+}
+
+fn main() {
+    let quick = std::env::var("VH_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let out_path = std::env::var("VH_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr6.json".to_string());
+    let mut rep = Report::new();
+    rep.meta("bench", "pr6");
+    rep.meta("quick", if quick { "1" } else { "0" });
+    rep.meta("dispatch_after", simd_mode().name());
+    rep.meta(
+        "host",
+        &format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+    );
+
+    bench_unpack(&mut rep, quick);
+    bench_hash(&mut rep, quick);
+    bench_filter(&mut rep, quick);
+    bench_decode(&mut rep, quick);
+    bench_fig7(&mut rep, quick);
+
+    rep.write_file(&out_path).expect("write report");
+    // Self-validate: the committed artifact must stay machine-parseable.
+    let back = std::fs::read_to_string(&out_path).expect("re-read report");
+    let parsed = vectorh_bench::report::parse_report(&back).expect("re-parse report");
+    assert_eq!(parsed, rep.entries(), "report did not round-trip");
+    println!(
+        "\nwrote {out_path}: {} entries, all SIMD arms checksum-identical to the scalar oracle",
+        parsed.len()
+    );
+}

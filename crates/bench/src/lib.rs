@@ -125,6 +125,23 @@ pub mod harness {
             }
             median
         }
+
+        /// Like [`bench`](Self::bench), but also records the result into a
+        /// [`report::Report`](crate::report::Report): median seconds always,
+        /// plus elements/s when a throughput was set.
+        pub fn bench_rec<T>(
+            &mut self,
+            rep: &mut crate::report::Report,
+            id: &str,
+            f: impl FnMut() -> T,
+        ) -> f64 {
+            let median = self.bench(id, f);
+            rep.push(&self.name, id, median, "s");
+            if let Some(n) = self.elems {
+                rep.push(&self.name, id, n as f64 / median, "elems/s");
+            }
+            median
+        }
     }
 
     fn fmt_time(secs: f64) -> String {
@@ -149,6 +166,353 @@ pub mod harness {
         } else {
             format!("{x:.0}")
         }
+    }
+}
+
+/// Machine-readable benchmark reports (`BENCH_*.json`).
+///
+/// The perf trajectory of the repo is tracked by committed `BENCH_pr<N>.json`
+/// files at the workspace root: one flat list of `(group, case, value, unit)`
+/// entries plus free-form metadata, written by `bin/bench_report.rs`. The
+/// writer emits the JSON by hand and [`report::parse_report`] is a minimal
+/// in-tree parser (the workspace has no external dependencies), used by the
+/// report binary to validate its own output and by CI's bench-smoke job to
+/// assert the file stays machine-parseable.
+pub mod report {
+    use std::fmt::Write as _;
+
+    /// One measured number.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Entry {
+        pub group: String,
+        pub case: String,
+        pub value: f64,
+        pub unit: String,
+    }
+
+    /// A benchmark report: ordered metadata + ordered entries.
+    #[derive(Debug, Default)]
+    pub struct Report {
+        meta: Vec<(String, String)>,
+        entries: Vec<Entry>,
+    }
+
+    impl Report {
+        pub fn new() -> Report {
+            Report::default()
+        }
+
+        pub fn meta(&mut self, key: &str, value: &str) {
+            self.meta.push((key.to_string(), value.to_string()));
+        }
+
+        pub fn push(&mut self, group: &str, case: &str, value: f64, unit: &str) {
+            assert!(value.is_finite(), "non-finite bench value {group}/{case}");
+            self.entries.push(Entry {
+                group: group.to_string(),
+                case: case.to_string(),
+                value,
+                unit: unit.to_string(),
+            });
+        }
+
+        pub fn entries(&self) -> &[Entry] {
+            &self.entries
+        }
+
+        /// Pretty-printed JSON document.
+        pub fn to_json(&self) -> String {
+            let mut s = String::from("{\n  \"meta\": {");
+            for (i, (k, v)) in self.meta.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(s, "{sep}\n    \"{}\": \"{}\"", esc(k), esc(v));
+            }
+            s.push_str("\n  },\n  \"entries\": [");
+            for (i, e) in self.entries.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(
+                    s,
+                    "{sep}\n    {{\"group\": \"{}\", \"case\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}",
+                    esc(&e.group),
+                    esc(&e.case),
+                    fmt_f64(e.value),
+                    esc(&e.unit)
+                );
+            }
+            s.push_str("\n  ]\n}\n");
+            s
+        }
+
+        pub fn write_file(&self, path: &str) -> std::io::Result<()> {
+            std::fs::write(path, self.to_json())
+        }
+    }
+
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Format with enough digits to round-trip but without float noise.
+    fn fmt_f64(v: f64) -> String {
+        let short = format!("{v:.6}");
+        if short.parse::<f64>() == Ok(v) {
+            short
+        } else {
+            format!("{v}")
+        }
+    }
+
+    /// Minimal JSON value (only what reports emit; enough for tooling).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parse a JSON document (recursive descent, rejects trailing garbage).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut kv = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    kv.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Json::Obj(kv));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Json::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .ok()
+                    .and_then(|t| t.parse::<f64>().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {pos}"));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            *pos += 4;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                        }
+                        _ => return Err(format!("bad escape '\\{}'", e as char)),
+                    }
+                }
+                c => {
+                    // Re-sync to a char boundary for multibyte UTF-8.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = *pos - 1;
+                        let width = match c {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = b.get(start..start + width).ok_or("truncated UTF-8")?;
+                        let s = std::str::from_utf8(chunk).map_err(|_| "bad UTF-8")?;
+                        out.push_str(s);
+                        *pos = start + width;
+                    }
+                }
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Parse a report document back into its entries; validates the schema
+    /// `{"meta": {str: str}, "entries": [{group, case, value, unit}]}`.
+    pub fn parse_report(s: &str) -> Result<Vec<Entry>, String> {
+        let doc = parse(s)?;
+        doc.get("meta").ok_or("missing \"meta\"")?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"entries\" array")?;
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let field = |k: &str| {
+                    e.get(k)
+                        .ok_or_else(|| format!("entry {i}: missing \"{k}\""))
+                };
+                Ok(Entry {
+                    group: field("group")?
+                        .as_str()
+                        .ok_or(format!("entry {i}: group not a string"))?
+                        .to_string(),
+                    case: field("case")?
+                        .as_str()
+                        .ok_or(format!("entry {i}: case not a string"))?
+                        .to_string(),
+                    value: field("value")?
+                        .as_f64()
+                        .ok_or(format!("entry {i}: value not a number"))?,
+                    unit: field("unit")?
+                        .as_str()
+                        .ok_or(format!("entry {i}: unit not a string"))?
+                        .to_string(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -182,5 +546,53 @@ mod tests {
     #[test]
     fn env_sf_default() {
         assert_eq!(env_sf(0.01), 0.01);
+    }
+
+    #[test]
+    fn report_roundtrips_through_own_parser() {
+        let mut rep = report::Report::new();
+        rep.meta("bench", "pr6");
+        rep.meta("quote\"and\\slash", "line\nbreak\ttab");
+        rep.push("unpack", "w4/simd", 0.4375, "cycles/value");
+        rep.push("hash-1M", "columnar", 123_456_789.0, "elems/s");
+        rep.push("fig7", "total/scalar", 1.5e-3, "s");
+        let json = rep.to_json();
+        let parsed = report::parse_report(&json).unwrap();
+        assert_eq!(parsed, rep.entries());
+        assert_eq!(parsed[0].group, "unpack");
+        assert_eq!(parsed[0].value, 0.4375);
+        assert_eq!(parsed[2].value, 1.5e-3);
+    }
+
+    #[test]
+    fn parser_accepts_general_json_and_rejects_garbage() {
+        use report::{parse, Json};
+        let v = parse(r#" {"a": [1, -2.5, true, false, null, "xA"], "b": {}} "#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0], Json::Num(1.0));
+        assert_eq!(arr[1], Json::Num(-2.5));
+        assert_eq!(arr[5], Json::Str("xA".into()));
+        assert_eq!(v.get("b"), Some(&Json::Obj(vec![])));
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse(r#"{"entries": [{"group": 3}]}"#).is_ok()); // structurally valid…
+        assert!(report::parse_report(r#"{"meta": {}, "entries": [{"group": 3}]}"#).is_err());
+        // …but schema-invalid for a report.
+        assert!(report::parse_report(r#"{"entries": []}"#).is_err()); // no meta
+    }
+
+    #[test]
+    fn report_utf8_and_control_chars_survive() {
+        let mut rep = report::Report::new();
+        rep.meta("note", "médï🎉\u{1}");
+        rep.push("g", "c", 1.0, "s");
+        let json = rep.to_json();
+        assert!(report::parse_report(&json).is_ok());
+        let doc = report::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("meta").unwrap().get("note").unwrap().as_str(),
+            Some("médï🎉\u{1}")
+        );
     }
 }

@@ -18,6 +18,7 @@ pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod schema;
+pub mod simd;
 pub mod sync;
 pub mod types;
 pub mod util;

@@ -40,51 +40,16 @@ pub fn pack(values: &[u64], width: u8, out: &mut Vec<u8>) {
 /// Unpack `count` values of `width` bits from `bytes` into `out`.
 ///
 /// Returns the number of bytes consumed.
+///
+/// `out` is pre-sized once from the count hint and the kernels write
+/// through the resulting chunk — no per-value `Vec` growth checks in the
+/// hot loop. The actual decode dispatches to the AVX2 / SWAR / scalar arms
+/// in [`crate::simd`].
 pub fn unpack(bytes: &[u8], count: usize, width: u8, out: &mut Vec<u64>) -> usize {
     assert!(width as usize <= 64);
-    out.reserve(count);
-    if width == 0 {
-        out.extend(std::iter::repeat_n(0u64, count));
-        return 0;
-    }
-    let width = width as u32;
-    let mask: u128 = if width == 64 {
-        u128::MAX >> 64
-    } else {
-        (1u128 << width) - 1
-    };
-    let mut acc: u128 = 0;
-    let mut acc_bits: u32 = 0;
-    let mut pos = 0usize;
-
-    // Hot path: groups of 32 values with the byte-refill hoisted out of the
-    // extraction, keeping the inner loop branch-light.
-    let mut produced = 0usize;
-    while produced + 32 <= count {
-        for _ in 0..32 {
-            while acc_bits < width {
-                acc |= (bytes[pos] as u128) << acc_bits;
-                pos += 1;
-                acc_bits += 8;
-            }
-            out.push((acc & mask) as u64);
-            acc >>= width;
-            acc_bits -= width;
-        }
-        produced += 32;
-    }
-    while produced < count {
-        while acc_bits < width {
-            acc |= (bytes[pos] as u128) << acc_bits;
-            pos += 1;
-            acc_bits += 8;
-        }
-        out.push((acc & mask) as u64);
-        acc >>= width;
-        acc_bits -= width;
-        produced += 1;
-    }
-    pos
+    let start = out.len();
+    out.resize(start + count, 0);
+    crate::simd::unpack_into(bytes, width, &mut out[start..])
 }
 
 /// Bytes needed to pack `count` values at `width` bits.

@@ -30,5 +30,6 @@ pub mod codec;
 pub mod lz;
 pub mod pdict;
 pub mod pfor;
+pub mod simd;
 
 pub use codec::{decode_column, encode_column, CodecStats, EncodedBlock, Scheme};

@@ -181,18 +181,32 @@ impl PdictI64 {
 
     pub fn decode(&self, out: &mut Vec<i64>) {
         let n = self.n as usize;
+        if n == 0 {
+            return;
+        }
         let start = out.len();
-        let mut slots = Vec::with_capacity(n);
-        bitpack::unpack(&self.codes, n, self.width, &mut slots);
-        // Phase 1: gather through the dictionary. Exception slots hold chain
-        // hops which may exceed the dictionary; clamp so the gather stays
+        out.resize(start + n, 0);
+        let dst = &mut out[start..];
+        // Unpack codes straight into the output buffer (u64 slot view).
+        crate::simd::unpack_into(&self.codes, self.width, crate::simd::i64_as_u64_mut(dst));
+        // Walk the patch chain while slots are raw, then gather in place.
+        let mut exc_pos: Vec<usize> = Vec::with_capacity(self.exceptions.len());
+        if self.first_exc != u32::MAX {
+            let mut j = self.first_exc as usize;
+            for k in 0..self.exceptions.len() {
+                exc_pos.push(j);
+                if k + 1 < self.exceptions.len() {
+                    j += dst[j] as usize + 1;
+                }
+            }
+        }
+        // Phase 1: dictionary gather. Exception slots hold chain hops which
+        // may exceed the dictionary; the unsigned clamp keeps the gather
         // in-bounds (they get patched in phase 2).
-        let dmax = self.dict.len().saturating_sub(1);
-        out.extend(slots.iter().map(|&c| self.dict[(c as usize).min(dmax)]));
+        crate::simd::pdict_gather_inplace_i64(&self.dict, dst);
         // Phase 2: patch.
-        let exc_pos = exception_positions(&slots, self.first_exc, self.exceptions.len());
         for (&pos, e) in exc_pos.iter().zip(&self.exceptions) {
-            out[start + pos] = *e;
+            dst[pos] = *e;
         }
     }
 

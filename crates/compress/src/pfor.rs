@@ -168,23 +168,33 @@ impl Pfor {
     }
 
     /// Decode into `out` (appended). Two phases: inflate, then patch.
+    ///
+    /// Codes are unpacked by the SIMD kernels straight into the output
+    /// buffer (no staging vector); the exception chain is walked over the
+    /// raw slots *before* the vectorized frame-of-reference add, so the
+    /// inflate stays branch-free and the patch is a short scatter.
     pub fn decode(&self, out: &mut Vec<i64>) {
         let n = self.n as usize;
         let start = out.len();
-        let mut slots: Vec<u64> = Vec::with_capacity(n);
-        bitpack::unpack(&self.codes, n, self.width, &mut slots);
-        // Phase 1: branch-free inflate of every slot.
-        out.extend(slots.iter().map(|&c| self.base.wrapping_add(c as i64)));
-        // Phase 2: patch exceptions by walking the next-pointer chain.
+        out.resize(start + n, 0);
+        let dst = &mut out[start..];
+        crate::simd::unpack_into(&self.codes, self.width, crate::simd::i64_as_u64_mut(dst));
+        // Walk the next-pointer chain while slots are still raw hops.
+        let mut exc_at: Vec<usize> = Vec::with_capacity(self.exceptions.len());
         if self.first_exc != u32::MAX {
             let mut j = self.first_exc as usize;
-            for (k, &e) in self.exceptions.iter().enumerate() {
-                let hop = slots[j] as usize;
-                out[start + j] = e;
+            for k in 0..self.exceptions.len() {
+                exc_at.push(j);
                 if k + 1 < self.exceptions.len() {
-                    j += hop + 1;
+                    j += dst[j] as usize + 1;
                 }
             }
+        }
+        // Phase 1: branch-free inflate of every slot.
+        crate::simd::add_base_i64(dst, self.base);
+        // Phase 2: patch exceptions at the recorded positions.
+        for (&j, &e) in exc_at.iter().zip(&self.exceptions) {
+            dst[j] = e;
         }
     }
 
@@ -230,11 +240,8 @@ impl PforDelta {
     pub fn decode(&self, out: &mut Vec<i64>) {
         let start = out.len();
         self.inner.decode(out);
-        let mut acc = self.seed;
-        for v in &mut out[start..] {
-            acc = acc.wrapping_add(*v);
-            *v = acc;
-        }
+        // Log-step SIMD scan reconstructs the running sums from the deltas.
+        crate::simd::prefix_sum_i64(&mut out[start..], self.seed);
     }
 
     pub fn body_size(&self) -> usize {

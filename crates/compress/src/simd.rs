@@ -1,0 +1,522 @@
+//! Hand-vectorized scan-side kernels: bit-unpacking, frame-of-reference
+//! base addition, delta prefix-sum reconstruction and dictionary gather.
+//!
+//! This is the layer the paper's §2 speed claim lives in: AVX2 bit-unpacking
+//! that "decompresses 64 or 128 consecutive values in typically less than
+//! half a CPU cycle per value". Every kernel ships three arms selected by
+//! [`vectorh_common::simd::simd_mode`]:
+//!
+//! * **AVX2** (`std::arch::x86_64`, runtime-detected): widths ≤ 16 unpack
+//!   through per-width shuffle/shift tables — 8 values per iteration with a
+//!   16-byte broadcast load, one byte shuffle, one variable shift and one
+//!   mask; wider widths fall through to SWAR. Prefix sums use a log-step
+//!   scan (shift-by-one-lane add, shift-by-two-lanes add, carry broadcast),
+//!   dictionary gathers use `vpgatherqq` with an unsigned clamp.
+//! * **SWAR** (portable): groups of eight values share one fixed
+//!   offset/shift pattern per width — eight values of width `w` always span
+//!   exactly `w` bytes, so group starts are byte-aligned and each value is
+//!   one unaligned little-endian word load, one shift and one mask, no
+//!   accumulator dependency chain.
+//! * **Scalar**: the original accumulator loops, kept bit-identical as the
+//!   property-test oracle and the "before" arm of `BENCH_*.json`.
+//!
+//! All arms are **bit-identical** on every input; `tests/simd_equivalence.rs`
+//! enforces this across widths, counts and alignments. The dispatcher reads
+//! one relaxed atomic, so the per-block cost is a predictable branch.
+
+use vectorh_common::simd::{simd_mode, SimdMode};
+
+/// Bytes occupied by `count` packed values of `width` bits (same formula as
+/// [`crate::bitpack::packed_size`], local to keep this module dependency-free).
+#[inline]
+fn packed_len(count: usize, width: u8) -> usize {
+    (count * width as usize).div_ceil(8)
+}
+
+/// Reinterpret an `i64` slice as `u64` (identical layout; used to unpack
+/// codes straight into a decode output buffer without a staging vector).
+#[inline]
+pub fn i64_as_u64_mut(v: &mut [i64]) -> &mut [u64] {
+    // SAFETY: i64 and u64 have identical size/alignment and all bit
+    // patterns are valid for both.
+    unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut u64, v.len()) }
+}
+
+/// Unaligned little-endian u64 load.
+///
+/// # Safety
+/// `at + 8 <= bytes.len()` must hold.
+#[inline]
+unsafe fn read_u64_le(bytes: &[u8], at: usize) -> u64 {
+    debug_assert!(at + 8 <= bytes.len());
+    u64::from_le_bytes(*(bytes.as_ptr().add(at) as *const [u8; 8]))
+}
+
+/// Unaligned little-endian u128 load.
+///
+/// # Safety
+/// `at + 16 <= bytes.len()` must hold.
+#[inline]
+unsafe fn read_u128_le(bytes: &[u8], at: usize) -> u128 {
+    debug_assert!(at + 16 <= bytes.len());
+    u128::from_le_bytes(*(bytes.as_ptr().add(at) as *const [u8; 16]))
+}
+
+// ---------------------------------------------------------------------------
+// unpack: `out.len()` values of `width` bits from `bytes`
+// ---------------------------------------------------------------------------
+
+/// Dispatching unpack: fills `out` with `out.len()` values of `width` bits
+/// read from the start of `bytes`; returns the bytes consumed.
+#[inline]
+pub fn unpack_into(bytes: &[u8], width: u8, out: &mut [u64]) -> usize {
+    match simd_mode() {
+        SimdMode::Avx2 => unpack_avx2(bytes, width, out),
+        SimdMode::Swar => unpack_swar(bytes, width, out),
+        SimdMode::Scalar => unpack_scalar(bytes, width, out),
+    }
+}
+
+/// Scalar oracle arm: the original shift-accumulator loop.
+pub fn unpack_scalar(bytes: &[u8], width: u8, out: &mut [u64]) -> usize {
+    assert!(width as usize <= 64);
+    if width == 0 {
+        out.fill(0);
+        return 0;
+    }
+    let width = width as u32;
+    let mask: u128 = if width == 64 {
+        u128::MAX >> 64
+    } else {
+        (1u128 << width) - 1
+    };
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut pos = 0usize;
+    for o in out.iter_mut() {
+        while acc_bits < width {
+            acc |= (bytes[pos] as u128) << acc_bits;
+            pos += 1;
+            acc_bits += 8;
+        }
+        *o = (acc & mask) as u64;
+        acc >>= width;
+        acc_bits -= width;
+    }
+    pos
+}
+
+/// Portable SWAR arm: multi-value-per-u64 group decode.
+///
+/// Eight values of width `w` occupy exactly `w` bytes, so every group of 8
+/// starts on a byte boundary and value `i` of a group lives at a *fixed*
+/// byte offset `i*w/8` and bit shift `(i*w)%8` — one unaligned word load,
+/// one shift, one mask per value, no cross-value dependency.
+pub fn unpack_swar(bytes: &[u8], width: u8, out: &mut [u64]) -> usize {
+    assert!(width as usize <= 64);
+    let count = out.len();
+    let w = width as usize;
+    if width == 0 {
+        out.fill(0);
+        return 0;
+    }
+    if width == 64 {
+        for (i, o) in out.iter_mut().enumerate() {
+            // SAFETY: caller provides >= count*8 bytes (enforced by the
+            // bounds check the debug_assert documents); release path reads
+            // through the checked slice below.
+            *o = u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        }
+        return count * 8;
+    }
+    let mask = (1u64 << width) - 1;
+    let mut off = [0usize; 8];
+    let mut sh = [0u32; 8];
+    for i in 0..8 {
+        off[i] = i * w / 8;
+        sh[i] = ((i * w) % 8) as u32;
+    }
+    let mut produced = 0usize;
+    let mut pos = 0usize;
+    if w <= 57 {
+        // shift + width <= 7 + 57 = 64: one u64 read per value.
+        let group_read = off[7] + 8;
+        while produced + 8 <= count && pos + group_read <= bytes.len() {
+            for i in 0..8 {
+                // SAFETY: pos + off[7] + 8 <= bytes.len() and off[i] <= off[7].
+                let word = unsafe { read_u64_le(bytes, pos + off[i]) };
+                out[produced + i] = (word >> sh[i]) & mask;
+            }
+            produced += 8;
+            pos += w;
+        }
+    } else {
+        // widths 58..=63 can straddle 9 bytes: two-word (u128) reads.
+        let group_read = off[7] + 16;
+        while produced + 8 <= count && pos + group_read <= bytes.len() {
+            for i in 0..8 {
+                // SAFETY: pos + off[7] + 16 <= bytes.len().
+                let word = unsafe { read_u128_le(bytes, pos + off[i]) };
+                out[produced + i] = ((word >> sh[i]) as u64) & mask;
+            }
+            produced += 8;
+            pos += w;
+        }
+    }
+    if produced < count {
+        // `produced` is a multiple of 8, so the remainder starts on a byte
+        // boundary at `pos`.
+        unpack_scalar(&bytes[pos..], width, &mut out[produced..]);
+    }
+    packed_len(count, width)
+}
+
+/// AVX2 arm (safe wrapper): shuffle-table unpack for widths ≤ 16, SWAR for
+/// wider. Falls back to SWAR when AVX2 is compiled out or not detected, so
+/// tests may call it unconditionally.
+pub fn unpack_avx2(bytes: &[u8], width: u8, out: &mut [u64]) -> usize {
+    #[cfg(all(target_arch = "x86_64", not(vectorh_force_swar)))]
+    {
+        if (1..=16).contains(&width) && vectorh_common::simd::avx2_available() {
+            // SAFETY: AVX2 presence checked at runtime.
+            return unsafe { avx2::unpack_narrow(bytes, width, out) };
+        }
+    }
+    unpack_swar(bytes, width, out)
+}
+
+// ---------------------------------------------------------------------------
+// frame-of-reference base addition (PFOR inflate phase)
+// ---------------------------------------------------------------------------
+
+/// `v[i] = base.wrapping_add(v[i])` for every element — the PFOR inflate
+/// after codes were unpacked in place.
+pub fn add_base_i64(vals: &mut [i64], base: i64) {
+    if base == 0 {
+        return;
+    }
+    #[cfg(all(target_arch = "x86_64", not(vectorh_force_swar)))]
+    {
+        if simd_mode() == SimdMode::Avx2 {
+            // SAFETY: mode Avx2 implies runtime detection succeeded.
+            unsafe { avx2::add_base_i64(vals, base) };
+            return;
+        }
+    }
+    for v in vals {
+        *v = base.wrapping_add(*v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prefix sum (PFOR-DELTA reconstruction)
+// ---------------------------------------------------------------------------
+
+/// In-place inclusive prefix sum with carry-in: `v[i] = seed + v[0] + ... +
+/// v[i]` (wrapping). Returns the final running sum.
+pub fn prefix_sum_i64(vals: &mut [i64], seed: i64) -> i64 {
+    #[cfg(all(target_arch = "x86_64", not(vectorh_force_swar)))]
+    {
+        if simd_mode() == SimdMode::Avx2 {
+            // SAFETY: mode Avx2 implies runtime detection succeeded.
+            return unsafe { avx2::prefix_sum_i64(vals, seed) };
+        }
+    }
+    let mut acc = seed;
+    for v in vals {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// dictionary gather (PDICT inflate phase)
+// ---------------------------------------------------------------------------
+
+/// `out[i] = dict[min(slots[i], dict.len()-1)]` — the PDICT code→value
+/// gather. Slots holding exception-chain hops may exceed the dictionary;
+/// the unsigned clamp keeps the gather in bounds (those positions get
+/// patched afterwards). `dict` must be non-empty.
+pub fn pdict_gather_i64(dict: &[i64], slots: &[u64], out: &mut [i64]) {
+    assert!(!dict.is_empty(), "gather through an empty dictionary");
+    assert_eq!(slots.len(), out.len());
+    // SAFETY: distinct borrows, equal lengths checked above.
+    unsafe { gather_raw(dict, slots.as_ptr(), out.as_mut_ptr(), out.len()) }
+}
+
+/// In-place [`pdict_gather_i64`]: on entry `buf` holds raw slot bit
+/// patterns (as produced by unpacking into the output buffer), on exit it
+/// holds the gathered dictionary values. Saves the staging vector the
+/// two-buffer variant needs.
+pub fn pdict_gather_inplace_i64(dict: &[i64], buf: &mut [i64]) {
+    assert!(!dict.is_empty(), "gather through an empty dictionary");
+    // SAFETY: source and destination alias exactly; the kernel reads each
+    // position before writing it (per element or per 4-lane chunk).
+    unsafe {
+        gather_raw(
+            dict,
+            buf.as_ptr() as *const u64,
+            buf.as_mut_ptr(),
+            buf.len(),
+        )
+    }
+}
+
+/// Gather core. `src` and `dst` may alias exactly (same pointer); each
+/// chunk is fully loaded before it is stored.
+///
+/// # Safety
+/// `src` and `dst` must each be valid for `n` elements; if they alias they
+/// must alias exactly. `dict` must be non-empty.
+unsafe fn gather_raw(dict: &[i64], src: *const u64, dst: *mut i64, n: usize) {
+    let dmax = dict.len() - 1;
+    #[cfg(all(target_arch = "x86_64", not(vectorh_force_swar)))]
+    {
+        if simd_mode() == SimdMode::Avx2 {
+            avx2::gather_raw(dict, src, dst, n);
+            return;
+        }
+    }
+    for i in 0..n {
+        let c = *src.add(i) as usize;
+        *dst.add(i) = dict[c.min(dmax)];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 arms
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", not(vectorh_force_swar)))]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Per-width shuffle controls and shift counts for widths 1..=16.
+    ///
+    /// For a group of 8 values of width `w` (which spans exactly `w` bytes),
+    /// value `i` starts at byte `i*w/8` with bit offset `(i*w)%8` and never
+    /// spans more than 3 bytes (`7 + 16 - 1 < 24`). Each 32-bit output lane
+    /// gets the value's source bytes shuffled in (absent bytes zeroed),
+    /// then a per-lane right shift and mask isolate the value. The same 16
+    /// source bytes are broadcast to both 128-bit halves, so shuffle
+    /// indices stay within each half's 16-byte window (max index `w-1 ≤ 15`).
+    const fn tables() -> ([[i8; 32]; 17], [[u32; 8]; 17]) {
+        let mut shuf = [[0i8; 32]; 17];
+        let mut shifts = [[0u32; 8]; 17];
+        let mut w = 1usize;
+        while w <= 16 {
+            let mut i = 0usize;
+            while i < 8 {
+                let bit = i * w;
+                let first = bit / 8;
+                let last = (bit + w - 1) / 8;
+                shifts[w][i] = (bit % 8) as u32;
+                let base = (i / 4) * 16 + (i % 4) * 4;
+                let mut k = 0usize;
+                while k < 4 {
+                    shuf[w][base + k] = if first + k <= last {
+                        (first + k) as i8
+                    } else {
+                        -1 // high bit set: shuffle_epi8 zeroes the byte
+                    };
+                    k += 1;
+                }
+                i += 1;
+            }
+            w += 1;
+        }
+        (shuf, shifts)
+    }
+
+    const TABLES: ([[i8; 32]; 17], [[u32; 8]; 17]) = tables();
+
+    /// Unpack widths 1..=16: 8 values per iteration.
+    ///
+    /// # Safety
+    /// AVX2 must be available; `1 <= width <= 16`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn unpack_narrow(bytes: &[u8], width: u8, out: &mut [u64]) -> usize {
+        let w = width as usize;
+        debug_assert!((1..=16).contains(&w));
+        let count = out.len();
+        let shuf = _mm256_loadu_si256(TABLES.0[w].as_ptr() as *const __m256i);
+        let shifts = _mm256_loadu_si256(TABLES.1[w].as_ptr() as *const __m256i);
+        let mask = _mm256_set1_epi32(((1u32 << w) - 1) as i32);
+        let mut produced = 0usize;
+        let mut pos = 0usize;
+        // Each iteration loads 16 bytes but consumes only `w`; the guard
+        // keeps the load inside `bytes`, the scalar tail finishes the rest.
+        while produced + 8 <= count && pos + 16 <= bytes.len() {
+            let src = _mm_loadu_si128(bytes.as_ptr().add(pos) as *const __m128i);
+            let v = _mm256_broadcastsi128_si256(src);
+            let words = _mm256_shuffle_epi8(v, shuf);
+            let vals = _mm256_and_si256(_mm256_srlv_epi32(words, shifts), mask);
+            let lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(vals));
+            let hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(vals, 1));
+            _mm256_storeu_si256(out.as_mut_ptr().add(produced) as *mut __m256i, lo);
+            _mm256_storeu_si256(out.as_mut_ptr().add(produced + 4) as *mut __m256i, hi);
+            produced += 8;
+            pos += w;
+        }
+        if produced < count {
+            super::unpack_scalar(&bytes[pos..], width, &mut out[produced..]);
+        }
+        super::packed_len(count, width)
+    }
+
+    /// # Safety
+    /// AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_base_i64(vals: &mut [i64], base: i64) {
+        let b = _mm256_set1_epi64x(base);
+        let chunks = vals.len() / 4;
+        let p = vals.as_mut_ptr();
+        for c in 0..chunks {
+            let ptr = p.add(c * 4) as *mut __m256i;
+            let v = _mm256_loadu_si256(ptr);
+            _mm256_storeu_si256(ptr, _mm256_add_epi64(v, b));
+        }
+        for v in &mut vals[chunks * 4..] {
+            *v = base.wrapping_add(*v);
+        }
+    }
+
+    /// Log-step inclusive scan: within each 4-lane vector, add the vector
+    /// shifted by one lane, then by two lanes, then the running carry; the
+    /// carry is the broadcast last lane.
+    ///
+    /// # Safety
+    /// AVX2 must be available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn prefix_sum_i64(vals: &mut [i64], seed: i64) -> i64 {
+        let zero = _mm256_setzero_si256();
+        let mut carry = _mm256_set1_epi64x(seed);
+        let chunks = vals.len() / 4;
+        let p = vals.as_mut_ptr();
+        for c in 0..chunks {
+            let ptr = p.add(c * 4) as *mut __m256i;
+            let v = _mm256_loadu_si256(ptr);
+            // [0, a, b, c]: rotate lanes left then zero lane 0.
+            let s1 = _mm256_blend_epi32(_mm256_permute4x64_epi64(v, 0x93), zero, 0x03);
+            let v1 = _mm256_add_epi64(v, s1);
+            // [0, 0, v1_0, v1_1]: low half of v1 moved to the high half.
+            let s2 = _mm256_permute2x128_si256(v1, v1, 0x08);
+            let v2 = _mm256_add_epi64(v1, s2);
+            let o = _mm256_add_epi64(v2, carry);
+            _mm256_storeu_si256(ptr, o);
+            carry = _mm256_permute4x64_epi64(o, 0xFF); // broadcast last lane
+        }
+        let mut acc = _mm_cvtsi128_si64(_mm256_castsi256_si128(carry));
+        for v in &mut vals[chunks * 4..] {
+            acc = acc.wrapping_add(*v);
+            *v = acc;
+        }
+        acc
+    }
+
+    /// Clamped `vpgatherqq` dictionary gather. `src`/`dst` may alias
+    /// exactly — every chunk is loaded in full before its store.
+    ///
+    /// # Safety
+    /// AVX2 must be available; `dict` non-empty; `src` and `dst` valid for
+    /// `n` elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gather_raw(dict: &[i64], src: *const u64, dst: *mut i64, n: usize) {
+        let dmax = (dict.len() - 1) as i64;
+        let vmax = _mm256_set1_epi64x(dmax);
+        // Unsigned 64-bit clamp via sign-bit flip + signed compare.
+        let sign = _mm256_set1_epi64x(i64::MIN);
+        let vmax_s = _mm256_xor_si256(vmax, sign);
+        let chunks = n / 4;
+        for c in 0..chunks {
+            let s = _mm256_loadu_si256(src.add(c * 4) as *const __m256i);
+            let s_flip = _mm256_xor_si256(s, sign);
+            let over = _mm256_cmpgt_epi64(s_flip, vmax_s);
+            let idx = _mm256_blendv_epi8(s, vmax, over);
+            let g = _mm256_i64gather_epi64::<8>(dict.as_ptr(), idx);
+            _mm256_storeu_si256(dst.add(c * 4) as *mut __m256i, g);
+        }
+        let dmax = dmax as usize;
+        for i in chunks * 4..n {
+            let cde = *src.add(i) as usize;
+            *dst.add(i) = dict[cde.min(dmax)];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectorh_common::rng::SplitMix64;
+
+    fn pack(values: &[u64], width: u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        crate::bitpack::pack(values, width, &mut out);
+        out
+    }
+
+    #[test]
+    fn all_arms_agree_on_every_width() {
+        let mut meta = SplitMix64::new(0x51D0);
+        for width in 0u8..=64 {
+            let n = 8 + meta.next_bounded(200) as usize;
+            let mask = if width == 0 {
+                0
+            } else if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let vals: Vec<u64> = (0..n).map(|_| meta.next_u64() & mask).collect();
+            let bytes = pack(&vals, width);
+            let mut scalar = vec![0u64; n];
+            let mut swar = vec![1u64; n];
+            let mut avx = vec![2u64; n];
+            let c0 = unpack_scalar(&bytes, width, &mut scalar);
+            let c1 = unpack_swar(&bytes, width, &mut swar);
+            let c2 = unpack_avx2(&bytes, width, &mut avx);
+            assert_eq!(scalar, vals, "scalar w={width}");
+            assert_eq!(swar, vals, "swar w={width}");
+            assert_eq!(avx, vals, "avx2 w={width}");
+            assert_eq!(c0, c1);
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn prefix_sum_matches_scalar_reference() {
+        let mut rng = SplitMix64::new(0x5CAB);
+        for n in [0usize, 1, 3, 4, 5, 8, 100, 1001] {
+            let vals: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+            let seed = rng.next_u64() as i64;
+            let mut want = vals.clone();
+            let mut acc = seed;
+            for v in &mut want {
+                acc = acc.wrapping_add(*v);
+                *v = acc;
+            }
+            let mut got = vals.clone();
+            let last = prefix_sum_i64(&mut got, seed);
+            assert_eq!(got, want, "n={n}");
+            assert_eq!(last, if n == 0 { seed } else { want[n - 1] });
+        }
+    }
+
+    #[test]
+    fn gather_clamps_out_of_range_slots() {
+        let dict = vec![10i64, 20, 30];
+        let slots = vec![0u64, 2, 1, u64::MAX, 5, 2, 0, 1, 2];
+        let mut out = vec![0i64; slots.len()];
+        pdict_gather_i64(&dict, &slots, &mut out);
+        assert_eq!(out, vec![10, 30, 20, 30, 30, 30, 10, 20, 30]);
+    }
+
+    #[test]
+    fn base_add_wraps() {
+        let mut v = vec![i64::MAX, 0, -1, 5, i64::MIN, 7, 8, 9, 10];
+        let want: Vec<i64> = v.iter().map(|x| x.wrapping_add(3)).collect();
+        add_base_i64(&mut v, 3);
+        assert_eq!(v, want);
+    }
+}

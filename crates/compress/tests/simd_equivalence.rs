@@ -1,0 +1,284 @@
+//! SIMD-vs-scalar oracle: every vectorized kernel arm must be
+//! bit-identical to the scalar reference on adversarial inputs.
+//!
+//! The scalar arms in `vectorh_compress::simd` are the originals the AVX2
+//! and SWAR arms replaced; this suite drives all three through the same
+//! SplitMix64-generated inputs and asserts byte equality — across every
+//! width 0..=64, counts from empty through non-multiple-of-8 tails,
+//! misaligned source slices, and exception-dense PFOR/PDICT blocks.
+//!
+//! Mode forcing (`force_mode`) flips a process-global dispatch override, so
+//! every test that uses it serializes on [`mode_lock`] and restores
+//! auto-detection on drop. When the crate is compiled with
+//! `--cfg vectorh_force_swar` (the CI fallback leg), forcing AVX2 degrades
+//! to SWAR and the same assertions cover the portable arm.
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::simd::{avx2_available, force_mode, simd_mode, SimdMode};
+use vectorh_compress::pdict::PdictI64;
+use vectorh_compress::pfor::{Pfor, PforDelta};
+use vectorh_compress::{bitpack, simd};
+
+/// Serialize tests that flip the global dispatch mode; restores
+/// auto-detection when dropped.
+struct ModeGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+fn mode_lock() -> ModeGuard {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    ModeGuard(guard)
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        force_mode(None);
+    }
+}
+
+const MODES: [SimdMode; 3] = [SimdMode::Scalar, SimdMode::Swar, SimdMode::Avx2];
+
+fn mask_of(width: u8) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[test]
+fn unpack_matches_scalar_on_every_width_count_and_alignment() {
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0x51D0_0001);
+    let counts = [
+        0usize, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 127, 129, 255, 257, 1000,
+    ];
+    for width in 0u8..=64 {
+        let mask = mask_of(width);
+        for &count in &counts {
+            let values: Vec<u64> = (0..count).map(|_| rng.next_u64() & mask).collect();
+            let mut packed = Vec::new();
+            bitpack::pack(&values, width, &mut packed);
+            // Offset the packed bytes inside a larger buffer so the kernels
+            // see every unaligned start address.
+            for offset in 0..8usize {
+                let mut buf = vec![0u8; offset];
+                buf.extend_from_slice(&packed);
+                // Trailing slack: kernels must not rely on padding, but give
+                // some on odd offsets so both exact-fit and slack paths run.
+                if offset % 2 == 1 {
+                    buf.extend_from_slice(&[0xAB; 5]);
+                }
+                let mut want = vec![0u64; count];
+                let consumed = simd::unpack_scalar(&buf[offset..], width, &mut want);
+                assert_eq!(want, values, "scalar oracle wrong? w={width} n={count}");
+                for mode in MODES {
+                    force_mode(Some(mode));
+                    let mut got = vec![u64::MAX; count];
+                    let used = simd::unpack_into(&buf[offset..], width, &mut got);
+                    assert_eq!(used, consumed, "consumed bytes w={width} n={count}");
+                    assert_eq!(
+                        got,
+                        want,
+                        "w={width} n={count} off={offset} mode={}",
+                        simd_mode().name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn unpack_exact_fit_buffer_no_overread() {
+    // Buffers sized exactly to packed_size: any kernel that reads a full
+    // word past the last value would fault or (under miri-like checks)
+    // read garbage. Equality with the oracle proves the tail path engages.
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0x0EAD_BEEF);
+    for width in 1u8..=64 {
+        let mask = mask_of(width);
+        for count in [1usize, 7, 8, 9, 100] {
+            let values: Vec<u64> = (0..count).map(|_| rng.next_u64() & mask).collect();
+            let mut packed = Vec::new();
+            bitpack::pack(&values, width, &mut packed);
+            assert_eq!(packed.len(), bitpack::packed_size(count, width));
+            for mode in MODES {
+                force_mode(Some(mode));
+                let mut out = Vec::new();
+                bitpack::unpack(&packed, count, width, &mut out);
+                assert_eq!(
+                    out,
+                    values,
+                    "w={width} n={count} mode={}",
+                    simd_mode().name()
+                );
+            }
+        }
+    }
+}
+
+/// Decode `codec` under every mode and demand bit-identical output.
+fn assert_decode_identical<T: Eq + std::fmt::Debug + Clone>(
+    label: &str,
+    want: &[T],
+    decode: impl Fn() -> Vec<T>,
+) {
+    for mode in MODES {
+        force_mode(Some(mode));
+        let got = decode();
+        assert_eq!(got, want, "{label} mode={}", simd_mode().name());
+    }
+}
+
+#[test]
+fn pfor_exception_dense_blocks_roundtrip_on_all_arms() {
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0x9F0E);
+    // Exception densities from none to "every other value is an outlier",
+    // plus wide gaps that force filler exceptions in the patch chain.
+    for density in [0.0, 0.01, 0.1, 0.3, 0.5, 0.9] {
+        for n in [1usize, 8, 63, 64, 500, 4096] {
+            let values: Vec<i64> = (0..n)
+                .map(|_| {
+                    if rng.chance(density) {
+                        rng.next_u64() as i64 // full-range outlier
+                    } else {
+                        1000 + rng.range_i64(0, 255)
+                    }
+                })
+                .collect();
+            let block = Pfor::encode(&values);
+            assert_decode_identical(&format!("pfor d={density} n={n}"), &values, || {
+                let mut out = Vec::new();
+                block.decode(&mut out);
+                out
+            });
+        }
+    }
+    // All-exception worst case: alternating extremes defeat any base/width.
+    let values: Vec<i64> = (0..256)
+        .map(|i| {
+            if i % 2 == 0 {
+                i64::MIN + i
+            } else {
+                i64::MAX - i
+            }
+        })
+        .collect();
+    let block = Pfor::encode(&values);
+    assert_decode_identical("pfor alternating extremes", &values, || {
+        let mut out = Vec::new();
+        block.decode(&mut out);
+        out
+    });
+}
+
+#[test]
+fn pfor_delta_prefix_sum_matches_on_all_arms() {
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0xDE17A);
+    for n in [0usize, 1, 3, 4, 5, 100, 1023, 4096] {
+        // Mostly-ascending with occasional large jumps (delta exceptions).
+        let mut v = rng.range_i64(-1_000_000, 1_000_000);
+        let values: Vec<i64> = (0..n)
+            .map(|_| {
+                v += if rng.chance(0.05) {
+                    rng.range_i64(-1_000_000_000, 1_000_000_000)
+                } else {
+                    rng.range_i64(0, 100)
+                };
+                v
+            })
+            .collect();
+        let block = PforDelta::encode(&values);
+        assert_decode_identical(&format!("pfor-delta n={n}"), &values, || {
+            let mut out = Vec::new();
+            block.decode(&mut out);
+            out
+        });
+    }
+}
+
+#[test]
+fn pdict_gather_matches_on_all_arms() {
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0x9D1C7);
+    for (distinct, n) in [(1u64, 50usize), (7, 300), (250, 4096), (5000, 2000)] {
+        // Skewed distribution plus rare full-range outliers → dictionary
+        // codes with a live exception chain.
+        let values: Vec<i64> = (0..n)
+            .map(|_| {
+                if rng.chance(0.05) {
+                    rng.next_u64() as i64
+                } else {
+                    rng.next_bounded(distinct) as i64
+                }
+            })
+            .collect();
+        let block = PdictI64::encode(&values);
+        assert_decode_identical(&format!("pdict distinct={distinct} n={n}"), &values, || {
+            let mut out = Vec::new();
+            block.decode(&mut out);
+            out
+        });
+    }
+}
+
+#[test]
+fn prefix_sum_and_base_add_match_scalar_reference() {
+    let _g = mode_lock();
+    let mut rng = SplitMix64::new(0x50F7);
+    for n in [0usize, 1, 4, 5, 8, 100, 1000] {
+        let vals: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64).collect();
+        let seed = rng.next_u64() as i64;
+        let base = rng.next_u64() as i64;
+        // Scalar wrapping references.
+        let mut want_ps = vals.clone();
+        let mut acc = seed;
+        for v in &mut want_ps {
+            acc = acc.wrapping_add(*v);
+            *v = acc;
+        }
+        let want_last = acc;
+        let want_base: Vec<i64> = vals.iter().map(|v| v.wrapping_add(base)).collect();
+        for mode in MODES {
+            force_mode(Some(mode));
+            let mut ps = vals.clone();
+            let last = simd::prefix_sum_i64(&mut ps, seed);
+            assert_eq!(ps, want_ps, "prefix n={n} mode={}", simd_mode().name());
+            assert_eq!(last, want_last);
+            let mut ba = vals.clone();
+            simd::add_base_i64(&mut ba, base);
+            assert_eq!(ba, want_base, "base n={n} mode={}", simd_mode().name());
+        }
+    }
+}
+
+#[test]
+fn forced_fallback_dispatch_arms_behave() {
+    let _g = mode_lock();
+    // Forcing SWAR/Scalar always sticks; forcing AVX2 sticks only where the
+    // instruction set is actually usable (it is compiled out entirely under
+    // --cfg vectorh_force_swar) and degrades to SWAR otherwise — so this
+    // test is meaningful on both CI legs.
+    force_mode(Some(SimdMode::Scalar));
+    assert_eq!(simd_mode(), SimdMode::Scalar);
+    force_mode(Some(SimdMode::Swar));
+    assert_eq!(simd_mode(), SimdMode::Swar);
+    force_mode(Some(SimdMode::Avx2));
+    if avx2_available() {
+        assert_eq!(simd_mode(), SimdMode::Avx2);
+    } else {
+        assert_eq!(simd_mode(), SimdMode::Swar);
+    }
+    force_mode(None);
+    // Auto-detection must land on a mode that the build can execute.
+    if !avx2_available() {
+        assert_ne!(simd_mode(), SimdMode::Avx2);
+    }
+}

@@ -17,6 +17,8 @@ pub struct Select {
     child: Box<dyn Operator>,
     predicate: Expr,
     counters: Counters,
+    /// Reused selection-vector buffer (cleared each batch).
+    sel: Vec<u32>,
 }
 
 impl Select {
@@ -25,6 +27,7 @@ impl Select {
             child,
             predicate,
             counters: Counters::default(),
+            sel: Vec::new(),
         }
     }
 }
@@ -42,19 +45,14 @@ impl Operator for Select {
             };
             self.counters.rows_in += batch.len() as u64;
             let mask = self.predicate.eval_mask(&batch)?;
-            let positions: Vec<usize> = mask
-                .iter()
-                .enumerate()
-                .filter(|(_, m)| **m)
-                .map(|(i, _)| i)
-                .collect();
-            if positions.is_empty() {
+            crate::kernels::simd::compact_mask(&mask, &mut self.sel);
+            if self.sel.is_empty() {
                 continue; // fully filtered vector: pull the next one
             }
-            if positions.len() == batch.len() {
+            if self.sel.len() == batch.len() {
                 break Some(batch); // nothing filtered: pass through untouched
             }
-            break Some(batch.gather(&positions));
+            break Some(batch.gather_u32(&self.sel));
         };
         self.counters.cum_time_ns += start.elapsed().as_nanos() as u64;
         self.counters.calls += 1;

@@ -31,24 +31,15 @@ pub const JOIN_SEED: u64 = 0xA5A5_5A5A_DEAD_BEEF;
 
 /// Fold one column's per-row hashes into `acc` (full vector).
 ///
-/// `acc.len()` must equal the column length.
+/// `acc.len()` must equal the column length. Numeric columns go through
+/// the SIMD fold kernels (AVX2 four-lane mix with scalar/portable arms,
+/// see [`super::simd`]); strings stay scalar — their per-row work is the
+/// byte walk, not the mix.
 fn fold_column(col: &ColumnData, acc: &mut [u64]) {
     match col {
-        ColumnData::I32(v) => {
-            for (h, &x) in acc.iter_mut().zip(v.iter()) {
-                *h = hash_combine(*h, hash_u64(x as i64 as u64));
-            }
-        }
-        ColumnData::I64(v) => {
-            for (h, &x) in acc.iter_mut().zip(v.iter()) {
-                *h = hash_combine(*h, hash_u64(x as u64));
-            }
-        }
-        ColumnData::F64(v) => {
-            for (h, &x) in acc.iter_mut().zip(v.iter()) {
-                *h = hash_combine(*h, hash_u64(x.to_bits()));
-            }
-        }
+        ColumnData::I32(v) => super::simd::fold_hash_i32(v, acc),
+        ColumnData::I64(v) => super::simd::fold_hash_i64(v, acc),
+        ColumnData::F64(v) => super::simd::fold_hash_f64(v, acc),
         ColumnData::Str(v) => {
             for (h, s) in acc.iter_mut().zip(v.iter()) {
                 *h = hash_combine(*h, hash_bytes(s.as_bytes()));

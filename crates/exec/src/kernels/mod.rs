@@ -20,7 +20,12 @@
 //! All kernels are selection-vector aware: the `*_sel` variants process only
 //! the listed positions, so operators can hash or gather a filtered vector
 //! without first compacting it.
+//!
+//! The innermost loops (hash folding, selection-vector compaction) dispatch
+//! through [`simd`] to AVX2 / portable / scalar arms — see
+//! `vectorh_common::simd` for the policy and DESIGN.md §9 for the layout.
 
 pub mod gather;
 pub mod hash;
+pub mod simd;
 pub mod table;

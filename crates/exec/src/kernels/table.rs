@@ -129,10 +129,25 @@ impl HashTable {
     /// Batch probe: `out[j]` = first candidate for `hashes[j]` (or
     /// [`EMPTY`]). Callers walk the rest of each chain with
     /// [`next_candidate`](Self::next_candidate).
+    ///
+    /// Two passes, so the SIMD hash output feeds straight into a
+    /// prefetch-friendly loop: pass 1 is a pure bucket-head gather (one
+    /// masked index + one load per probe, no data-dependent walk — the
+    /// hardware prefetcher and OoO window overlap the cache misses), pass 2
+    /// resolves each head through the stored-hash prefilter chain.
     pub fn probe_batch(&self, hashes: &[u64], out: &mut Vec<u32>) {
         out.clear();
+        if self.buckets.is_empty() {
+            out.resize(hashes.len(), EMPTY);
+            return;
+        }
         out.reserve(hashes.len());
-        out.extend(hashes.iter().map(|&h| self.first_candidate(h)));
+        // Pass 1: hash -> bucket index -> chain head.
+        out.extend(hashes.iter().map(|&h| self.buckets[self.bucket_of(h)]));
+        // Pass 2: candidate walk from each head.
+        for (o, &h) in out.iter_mut().zip(hashes) {
+            *o = self.filter_chain(*o, h);
+        }
     }
 }
 

@@ -309,6 +309,60 @@ fn partial_final_split_matches_complete_across_shapes() {
 }
 
 #[test]
+fn operators_bit_identical_across_simd_arms() {
+    // The SIMD dispatch (AVX2 / SWAR / scalar) must never change a query
+    // answer: run hashing, batch probe and a filtered join under every
+    // forced mode and demand identical results. On builds where AVX2 is
+    // unavailable (or compiled out via --cfg vectorh_force_swar), forcing
+    // it degrades to SWAR and the comparison still holds.
+    use vectorh_common::simd::{force_mode, SimdMode};
+    use vectorh_exec::expr::Expr;
+    use vectorh_exec::filter::Select;
+    use vectorh_exec::kernels::hash::{hash_columns, JOIN_SEED};
+    use vectorh_exec::kernels::table::HashTable;
+
+    let mut rng = SplitMix64::new(0x51D5);
+    let probe = lineitem_like(&mut rng, 600, 37);
+    let build = lineitem_like(&mut rng, 300, 37);
+    let refs: Vec<&ColumnData> = probe.columns.iter().collect();
+
+    type ArmResult = (Vec<u64>, Vec<u32>, Vec<Vec<Value>>);
+    let mut baseline: Option<ArmResult> = None;
+    for mode in [SimdMode::Scalar, SimdMode::Swar, SimdMode::Avx2] {
+        force_mode(Some(mode));
+        let mut hashes = Vec::new();
+        hash_columns(&refs, &[0, 3], JOIN_SEED, &mut hashes);
+        let mut table = HashTable::new();
+        table.insert_batch(&hashes);
+        let mut heads = Vec::new();
+        table.probe_batch(&hashes, &mut heads);
+        let mut plan = Select::new(
+            Box::new(
+                HashJoin::new(
+                    source(&probe, 91),
+                    source(&build, 53),
+                    vec![0],
+                    vec![0],
+                    JoinKind::Inner,
+                )
+                .unwrap(),
+            ),
+            Expr::ge(Expr::col(0), Expr::lit(Value::I64(18))),
+        );
+        let rows = sorted(collect_rows(&mut plan).unwrap());
+        match &baseline {
+            None => baseline = Some((hashes, heads, rows)),
+            Some((h0, p0, r0)) => {
+                assert_eq!(&hashes, h0, "hashes diverge under {mode:?}");
+                assert_eq!(&heads, p0, "probe heads diverge under {mode:?}");
+                assert_eq!(&rows, r0, "query rows diverge under {mode:?}");
+            }
+        }
+    }
+    force_mode(None);
+}
+
+#[test]
 fn group_count_stress_forces_table_growth() {
     // More groups than the initial bucket count by orders of magnitude.
     let n = 40_000u64;
