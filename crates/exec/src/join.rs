@@ -133,7 +133,13 @@ impl HashJoin {
         build_keys: Vec<usize>,
         kind: JoinKind,
     ) -> Result<HashJoin> {
-        if probe_keys.len() != build_keys.len() || probe_keys.is_empty() {
+        // Empty key lists are allowed for inner joins only: every build row
+        // hashes to the bare seed and `keys_eq` is vacuously true, so the
+        // normal probe path degenerates into a cross product. The planner
+        // emits this for uncorrelated scalar subqueries (one-row build side).
+        if probe_keys.len() != build_keys.len()
+            || (probe_keys.is_empty() && kind != JoinKind::Inner)
+        {
             return Err(VhError::Exec("mismatched join keys".into()));
         }
         let out_schema = match kind {

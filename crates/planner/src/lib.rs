@@ -19,6 +19,7 @@ pub mod logical;
 pub mod physical;
 pub mod rewriter;
 pub mod sql;
+mod subquery;
 
 pub use logical::{CatalogInfo, LogicalPlan, TableMeta};
 pub use physical::PhysPlan;

@@ -399,7 +399,10 @@ impl<'a> ParallelRewriter<'a> {
 
         // Rule: REPLICATED BUILD SIDE — replicated table or broadcast small.
         if self.options.enable_replicated_build && !l.props.serial {
-            let small = r.rows <= self.options.broadcast_threshold_rows;
+            // Keyless (cross) joins always broadcast: they come from scalar-
+            // subquery lowering where the build side is a single row, and a
+            // hash repartition on zero columns would be meaningless.
+            let small = r.rows <= self.options.broadcast_threshold_rows || right_keys.is_empty();
             if r.props.replicated || small {
                 let (build_plan, extra) = if r.props.replicated {
                     (

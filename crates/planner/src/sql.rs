@@ -1,21 +1,29 @@
-//! A SQL subset parser producing logical plans.
+//! A SQL subset parser and lowerer producing logical plans.
 //!
-//! Covers what the examples and most analytical queries need:
+//! Covers the surface the 22 TPC-H queries need:
 //!
 //! ```sql
-//! SELECT expr [AS name], agg(expr), ...
-//! FROM t1 [alias] [JOIN t2 [alias] ON a.x = b.y [AND ...]] ...
-//! [WHERE <boolean expr>]
-//! [GROUP BY col, ...]
+//! SELECT [DISTINCT] expr [AS name], agg(expr), ...
+//! FROM t [alias] | (SELECT ...) alias
+//!   [[INNER] JOIN | LEFT [OUTER] JOIN t2 ON a.x = b.y [AND ...]] ...
+//! [WHERE <boolean expr>]          -- incl. IN/EXISTS/scalar subqueries
+//! [GROUP BY expr, ...]
+//! [HAVING <boolean expr>]
 //! [ORDER BY col|position [ASC|DESC], ...]
 //! [LIMIT n]
 //! ```
 //!
 //! Expressions: arithmetic, comparisons, `AND/OR/NOT`, `BETWEEN`, `IN`,
-//! `LIKE`, decimal/date/string literals. Literals are coerced against
-//! column types ('1995-03-05' becomes a date when compared to a date
-//! column; numeric literals pick up a decimal column's scale), so queries
-//! read naturally.
+//! `LIKE`, `CASE WHEN`, `EXTRACT(YEAR FROM ...)`, `SUBSTRING`, decimal/
+//! date/interval/string literals. Literals are coerced against column
+//! types ('1995-03-05' becomes a date when compared to a date column;
+//! numeric literals pick up a decimal column's scale).
+//!
+//! Subqueries are decorrelated at lowering time (see [`crate::subquery`]):
+//! uncorrelated scalars become single-row cross joins, correlated scalars
+//! become grouped joins on the correlation keys, IN/EXISTS become
+//! Semi/Anti joins, and the Q21-style `EXISTS (... <> ...)` pattern is
+//! rewritten through a grouped count-distinct/min.
 
 use vectorh_common::types::date;
 use vectorh_common::{DataType, Result, Schema, Value, VhError};
@@ -114,11 +122,15 @@ fn tokenize(input: &str) -> Result<Vec<Tok>> {
 // --- parse tree (pre-resolution) ---------------------------------------------
 
 #[derive(Debug, Clone)]
-enum Ast {
+pub(crate) enum Ast {
     Col(Option<String>, String),
+    /// Already-resolved column position (introduced during lowering, never
+    /// produced by the parser).
+    ResolvedCol(usize),
     IntLit(i64),
     DecLit(String),
     StrLit(String),
+    DateLit(i32),
     Star,
     Bin(String, Box<Ast>, Box<Ast>),
     Not(Box<Ast>),
@@ -126,16 +138,82 @@ enum Ast {
     InList(Box<Ast>, Vec<Ast>),
     Like(Box<Ast>, String, bool),
     Agg(String, bool, Box<Ast>), // fn, distinct, arg (Star for count(*))
+    Case(Vec<(Ast, Ast)>, Box<Ast>),
+    ExtractYear(Box<Ast>),
+    Substr(Box<Ast>, usize, usize),
+    /// Scalar subquery `( SELECT agg(...) ... )`.
+    Scalar(Box<QueryAst>),
+    /// `lhs [NOT] IN ( SELECT ... )`.
+    InSub(Box<Ast>, Box<QueryAst>, bool),
+    /// `[NOT] EXISTS ( SELECT ... )`.
+    Exists(Box<QueryAst>, bool),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum OrderKey {
+    Pos(usize),
+    Name(String),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum FromItem {
+    /// table name, alias
+    Table(String, String),
+    /// derived table (subquery in FROM), alias
+    Derived(Box<QueryAst>, String),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct FromClause {
+    pub kind: JoinKind,
+    pub item: FromItem,
+    /// None only for the first FROM entry.
+    pub on: Option<Ast>,
+}
+
+/// One parsed SELECT block (possibly nested as a subquery).
+#[derive(Debug, Clone)]
+pub(crate) struct QueryAst {
+    pub distinct: bool,
+    pub items: Vec<(Ast, Option<String>)>,
+    pub from: Vec<FromClause>,
+    pub where_: Option<Ast>,
+    pub group_by: Vec<Ast>,
+    pub having: Option<Ast>,
+    pub order_by: Vec<(OrderKey, Dir)>,
+    pub limit: Option<usize>,
 }
 
 struct Parser {
     toks: Vec<Tok>,
     pos: usize,
+    /// Current expression-nesting depth; bounded so hostile inputs (200
+    /// nested parens, towers of CASE) get a Plan error, not a stack overflow.
+    depth: usize,
 }
+
+/// Recursion budget for nested expressions and subqueries. TPC-H tops out
+/// around depth 6; 64 leaves generous headroom while keeping worst-case
+/// stack usage far below thread limits.
+const MAX_EXPR_DEPTH: usize = 64;
 
 impl Parser {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.toks.get(self.pos + off)
+    }
+
+    /// Non-consuming keyword lookahead (the join loop depends on this: a
+    /// dangling `inner` with no `join` after it must NOT be swallowed).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn peek_kw_at(&self, off: usize, kw: &str) -> bool {
+        matches!(self.peek_at(off), Some(Tok::Ident(s)) if s == kw)
     }
 
     fn next(&mut self) -> Option<Tok> {
@@ -147,7 +225,7 @@ impl Parser {
     }
 
     fn eat_kw(&mut self, kw: &str) -> bool {
-        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+        if self.peek_kw(kw) {
             self.pos += 1;
             true
         } else {
@@ -193,9 +271,27 @@ impl Parser {
         }
     }
 
+    fn int_lit(&mut self) -> Result<i64> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(n),
+            t => Err(VhError::Plan(format!(
+                "expected integer literal, got {t:?}"
+            ))),
+        }
+    }
+
     // expr := or_expr
     fn expr(&mut self) -> Result<Ast> {
-        self.or_expr()
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(VhError::Plan(format!(
+                "expression nesting deeper than {MAX_EXPR_DEPTH}"
+            )));
+        }
+        let e = self.or_expr();
+        self.depth -= 1;
+        e
     }
 
     fn or_expr(&mut self) -> Result<Ast> {
@@ -217,11 +313,22 @@ impl Parser {
     }
 
     fn not_expr(&mut self) -> Result<Ast> {
-        if self.eat_kw("not") {
-            Ok(Ast::Not(Box::new(self.not_expr()?)))
-        } else {
-            self.cmp_expr()
+        // Count NOT prefixes iteratively — a `not not not ...` tower must
+        // not consume a stack frame per token.
+        let mut nots = 0usize;
+        while self.peek_kw("not")
+            && !self.peek_kw_at(1, "like")
+            && !self.peek_kw_at(1, "in")
+            && !self.peek_kw_at(1, "between")
+        {
+            self.pos += 1;
+            nots += 1;
         }
+        let mut e = self.cmp_expr()?;
+        for _ in 0..nots {
+            e = Ast::Not(Box::new(e));
+        }
+        Ok(e)
     }
 
     fn cmp_expr(&mut self) -> Result<Ast> {
@@ -233,15 +340,22 @@ impl Parser {
             return Ok(Ast::Between(Box::new(e), Box::new(lo), Box::new(hi)));
         }
         if self.eat_kw("in") {
-            self.expect_sym('(')?;
-            let mut items = vec![self.add_expr()?];
-            while self.eat_sym(',') {
-                items.push(self.add_expr()?);
-            }
-            self.expect_sym(')')?;
-            return Ok(Ast::InList(Box::new(e), items));
+            return self.in_rest(e, false);
         }
         let negated = if self.eat_kw("not") {
+            if self.eat_kw("in") {
+                return self.in_rest(e, true);
+            }
+            if self.eat_kw("between") {
+                let lo = self.add_expr()?;
+                self.expect_kw("and")?;
+                let hi = self.add_expr()?;
+                return Ok(Ast::Not(Box::new(Ast::Between(
+                    Box::new(e),
+                    Box::new(lo),
+                    Box::new(hi),
+                ))));
+            }
             self.expect_kw("like")?;
             true
         } else if self.eat_kw("like") {
@@ -269,6 +383,27 @@ impl Parser {
                 "LIKE expects a string pattern, got {t:?}"
             ))),
         }
+    }
+
+    /// Tail of `[NOT] IN ( ... )`: literal list or subquery.
+    fn in_rest(&mut self, lhs: Ast, negated: bool) -> Result<Ast> {
+        self.expect_sym('(')?;
+        if self.eat_kw("select") {
+            let q = self.parse_select()?;
+            self.expect_sym(')')?;
+            return Ok(Ast::InSub(Box::new(lhs), Box::new(q), negated));
+        }
+        let mut items = vec![self.add_expr()?];
+        while self.eat_sym(',') {
+            items.push(self.add_expr()?);
+        }
+        self.expect_sym(')')?;
+        let inlist = Ast::InList(Box::new(lhs), items);
+        Ok(if negated {
+            Ast::Not(Box::new(inlist))
+        } else {
+            inlist
+        })
     }
 
     fn add_expr(&mut self) -> Result<Ast> {
@@ -303,55 +438,327 @@ impl Parser {
             Some(Tok::Dec(s)) => Ok(Ast::DecLit(s)),
             Some(Tok::Str(s)) => Ok(Ast::StrLit(s)),
             Some(Tok::Sym('(')) => {
+                if self.eat_kw("select") {
+                    let q = self.parse_select()?;
+                    self.expect_sym(')')?;
+                    return Ok(Ast::Scalar(Box::new(q)));
+                }
                 let e = self.expr()?;
                 self.expect_sym(')')?;
                 Ok(e)
             }
             Some(Tok::Sym('*')) => Ok(Ast::Star),
             Some(Tok::Sym('-')) => {
-                // unary minus
-                let inner = self.atom()?;
-                Ok(Ast::Bin(
-                    "-".into(),
-                    Box::new(Ast::IntLit(0)),
-                    Box::new(inner),
-                ))
-            }
-            Some(Tok::Ident(name)) => {
-                let aggs = ["sum", "count", "avg", "min", "max"];
-                if aggs.contains(&name.as_str()) && self.eat_sym('(') {
-                    let distinct = self.eat_kw("distinct");
-                    let arg = if matches!(self.peek(), Some(Tok::Sym('*'))) {
-                        self.pos += 1;
-                        Ast::Star
-                    } else {
-                        self.expr()?
-                    };
-                    self.expect_sym(')')?;
-                    return Ok(Ast::Agg(name, distinct, Box::new(arg)));
+                // Unary minus; fold `--x` towers iteratively so each extra
+                // sign costs an Ast node, not a stack frame.
+                let mut negs = 1usize;
+                while self.eat_sym('-') {
+                    negs += 1;
                 }
-                if self.eat_sym('.') {
-                    let col = self.ident()?;
-                    Ok(Ast::Col(Some(name), col))
-                } else {
-                    Ok(Ast::Col(None, name))
+                let mut e = self.atom()?;
+                for _ in 0..negs {
+                    e = Ast::Bin("-".into(), Box::new(Ast::IntLit(0)), Box::new(e));
                 }
+                Ok(e)
             }
+            Some(Tok::Ident(name)) => self.ident_atom(name),
             t => Err(VhError::Plan(format!("unexpected token {t:?}"))),
         }
     }
+
+    /// An identifier atom: special forms (CASE, EXTRACT, SUBSTRING, DATE,
+    /// INTERVAL, EXISTS, aggregates) are gated on their signature next-token
+    /// so the same words keep working as plain column names.
+    fn ident_atom(&mut self, name: String) -> Result<Ast> {
+        match name.as_str() {
+            "case" if self.peek_kw("when") => {
+                let mut arms = Vec::new();
+                while self.eat_kw("when") {
+                    let c = self.expr()?;
+                    self.expect_kw("then")?;
+                    let v = self.expr()?;
+                    arms.push((c, v));
+                }
+                self.expect_kw("else")?;
+                let e = self.expr()?;
+                self.expect_kw("end")?;
+                return Ok(Ast::Case(arms, Box::new(e)));
+            }
+            "extract" if matches!(self.peek(), Some(Tok::Sym('('))) => {
+                self.pos += 1;
+                self.expect_kw("year")?;
+                self.expect_kw("from")?;
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                return Ok(Ast::ExtractYear(Box::new(e)));
+            }
+            "substring" | "substr" if matches!(self.peek(), Some(Tok::Sym('('))) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                let (start, len) = if self.eat_sym(',') {
+                    let s = self.int_lit()?;
+                    self.expect_sym(',')?;
+                    (s, self.int_lit()?)
+                } else {
+                    self.expect_kw("from")?;
+                    let s = self.int_lit()?;
+                    self.expect_kw("for")?;
+                    (s, self.int_lit()?)
+                };
+                self.expect_sym(')')?;
+                if start < 1 {
+                    return Err(VhError::Plan("SUBSTRING start is 1-based".into()));
+                }
+                if len < 0 {
+                    return Err(VhError::Plan(
+                        "SUBSTRING length must be non-negative".into(),
+                    ));
+                }
+                return Ok(Ast::Substr(Box::new(e), start as usize, len as usize));
+            }
+            "date" if matches!(self.peek(), Some(Tok::Str(_))) => {
+                if let Some(Tok::Str(s)) = self.next() {
+                    let d = date::parse(&s)
+                        .ok_or_else(|| VhError::Plan(format!("bad date literal '{s}'")))?;
+                    return Ok(Ast::DateLit(d));
+                }
+                unreachable!()
+            }
+            "interval" if matches!(self.peek(), Some(Tok::Str(_))) => {
+                if let Some(Tok::Str(s)) = self.next() {
+                    let n: i64 = s
+                        .parse()
+                        .map_err(|_| VhError::Plan(format!("bad interval literal '{s}'")))?;
+                    if !self.eat_kw("day") && !self.eat_kw("days") {
+                        return Err(VhError::Plan("only DAY intervals are supported".into()));
+                    }
+                    return Ok(Ast::IntLit(n));
+                }
+                unreachable!()
+            }
+            "exists" if matches!(self.peek(), Some(Tok::Sym('('))) => {
+                self.pos += 1;
+                self.expect_kw("select")?;
+                let q = self.parse_select()?;
+                self.expect_sym(')')?;
+                return Ok(Ast::Exists(Box::new(q), false));
+            }
+            _ => {}
+        }
+        let aggs = ["sum", "count", "avg", "min", "max"];
+        if aggs.contains(&name.as_str()) && self.eat_sym('(') {
+            let distinct = self.eat_kw("distinct");
+            let arg = if matches!(self.peek(), Some(Tok::Sym('*'))) {
+                self.pos += 1;
+                Ast::Star
+            } else {
+                self.expr()?
+            };
+            self.expect_sym(')')?;
+            return Ok(Ast::Agg(name, distinct, Box::new(arg)));
+        }
+        if self.eat_sym('.') {
+            let col = self.ident()?;
+            Ok(Ast::Col(Some(name), col))
+        } else {
+            Ok(Ast::Col(None, name))
+        }
+    }
+
+    /// Parse one SELECT block. The leading `select` keyword has already been
+    /// consumed by the caller.
+    fn parse_select(&mut self) -> Result<QueryAst> {
+        // Subqueries nest through here (scalar, EXISTS/IN, derived tables);
+        // share the expression budget so `(select (select ...` towers error
+        // out instead of exhausting the stack.
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            self.depth -= 1;
+            return Err(VhError::Plan(format!(
+                "query nesting deeper than {MAX_EXPR_DEPTH}"
+            )));
+        }
+        let q = self.parse_select_inner();
+        self.depth -= 1;
+        q
+    }
+
+    fn parse_select_inner(&mut self) -> Result<QueryAst> {
+        let distinct = self.eat_kw("distinct");
+        let mut items: Vec<(Ast, Option<String>)> = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Tok::Sym('*'))) && items.is_empty() {
+                self.pos += 1;
+                items.push((Ast::Star, None));
+            } else {
+                let e = self.expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push((e, alias));
+            }
+            if !self.eat_sym(',') {
+                break;
+            }
+        }
+
+        self.expect_kw("from")?;
+        let mut from = vec![FromClause {
+            kind: JoinKind::Inner,
+            item: self.parse_from_item()?,
+            on: None,
+        }];
+        loop {
+            let kind = if self.peek_kw("join") {
+                self.pos += 1;
+                JoinKind::Inner
+            } else if self.peek_kw("inner") && self.peek_kw_at(1, "join") {
+                self.pos += 2;
+                JoinKind::Inner
+            } else if self.peek_kw("left")
+                && self.peek_kw_at(1, "outer")
+                && self.peek_kw_at(2, "join")
+            {
+                self.pos += 3;
+                JoinKind::LeftOuter
+            } else if self.peek_kw("left") && self.peek_kw_at(1, "join") {
+                self.pos += 2;
+                JoinKind::LeftOuter
+            } else {
+                break;
+            };
+            let item = self.parse_from_item()?;
+            self.expect_kw("on")?;
+            let on = self.expr()?;
+            from.push(FromClause {
+                kind,
+                item,
+                on: Some(on),
+            });
+        }
+
+        let where_ = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let key = match self.next() {
+                    Some(Tok::Int(n)) => OrderKey::Pos(
+                        (n as usize)
+                            .checked_sub(1)
+                            .ok_or_else(|| VhError::Plan("ORDER BY position is 1-based".into()))?,
+                    ),
+                    Some(Tok::Ident(name)) => OrderKey::Name(name),
+                    t => return Err(VhError::Plan(format!("bad ORDER BY key {t:?}"))),
+                };
+                let dir = if self.eat_kw("desc") {
+                    Dir::Desc
+                } else {
+                    self.eat_kw("asc");
+                    Dir::Asc
+                };
+                order_by.push((key, dir));
+                if !self.eat_sym(',') {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.next() {
+                Some(Tok::Int(n)) if n >= 0 => Some(n as usize),
+                t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(QueryAst {
+            distinct,
+            items,
+            from,
+            where_,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        if self.eat_sym('(') {
+            self.expect_kw("select")?;
+            let q = self.parse_select()?;
+            self.expect_sym(')')?;
+            self.eat_kw("as");
+            let alias = self.ident()?;
+            return Ok(FromItem::Derived(Box::new(q), alias));
+        }
+        let name = self.ident()?;
+        const KEYWORDS: [&str; 12] = [
+            "join", "inner", "left", "right", "outer", "on", "where", "group", "having", "order",
+            "limit", "union",
+        ];
+        let alias = if self.eat_kw("as") {
+            self.ident()?
+        } else {
+            match self.peek() {
+                Some(Tok::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                    let a = s.clone();
+                    self.pos += 1;
+                    a
+                }
+                _ => name.clone(),
+            }
+        };
+        Ok(FromItem::Table(name, alias))
+    }
 }
 
-// --- name environment & resolution -------------------------------------------
+// --- name scope & resolution --------------------------------------------------
 
 /// Maps (qualifier, column) to positions in the running plan's output.
-struct Env {
+pub(crate) struct Scope {
     /// (alias, column name) per output position.
-    cols: Vec<(String, String)>,
+    pub cols: Vec<(String, String)>,
+    /// (start, end, matched_col): column ranges made nullable by a LEFT
+    /// OUTER join, with the position of that join's `__matched` indicator.
+    pub nullable: Vec<(usize, usize, usize)>,
 }
 
-impl Env {
-    fn resolve(&self, qual: &Option<String>, name: &str) -> Result<usize> {
+impl Scope {
+    pub(crate) fn of(cols: Vec<(String, String)>) -> Scope {
+        Scope {
+            cols,
+            nullable: Vec::new(),
+        }
+    }
+
+    pub(crate) fn resolve(&self, qual: &Option<String>, name: &str) -> Result<usize> {
         let hits: Vec<usize> = self
             .cols
             .iter()
@@ -365,53 +772,105 @@ impl Env {
             _ => Err(VhError::Plan(format!("ambiguous column '{name}'"))),
         }
     }
+
+    /// Quiet single-hit lookup (None on unknown or ambiguous).
+    pub(crate) fn lookup(&self, qual: &Option<String>, name: &str) -> Option<usize> {
+        self.resolve(qual, name).ok()
+    }
+
+    /// The `__matched` indicator guarding `col`, if `col` sits on the
+    /// nullable side of a LEFT OUTER join.
+    pub(crate) fn matched_of(&self, col: usize) -> Option<usize> {
+        self.nullable
+            .iter()
+            .find(|(s, e, _)| col >= *s && col < *e)
+            .map(|&(_, _, m)| m)
+    }
 }
 
 /// Coerce a literal to a column type when the other comparison side is a
-/// column (dates from strings, decimal scaling of ints).
+/// column (dates from strings, decimal scaling of ints). Overflowing
+/// rescales keep the original value rather than panicking.
 fn coerce(value: Value, target: DataType) -> Value {
     match (&value, target) {
         (Value::Str(s), DataType::Date) => date::parse(s).map(Value::Date).unwrap_or(value),
-        (Value::I64(v), DataType::Decimal { scale }) => {
-            Value::Decimal(v * 10i64.pow(scale as u32), scale)
-        }
-        (Value::Decimal(raw, s), DataType::Decimal { scale }) if *s < scale => {
-            Value::Decimal(raw * 10i64.pow((scale - s) as u32), scale)
-        }
+        (Value::I64(v), DataType::Decimal { scale }) => 10i64
+            .checked_pow(scale as u32)
+            .and_then(|f| v.checked_mul(f))
+            .map(|raw| Value::Decimal(raw, scale))
+            .unwrap_or(value),
+        (Value::Decimal(raw, s), DataType::Decimal { scale }) if *s < scale => 10i64
+            .checked_pow((scale - s) as u32)
+            .and_then(|f| raw.checked_mul(f))
+            .map(|r| Value::Decimal(r, scale))
+            .unwrap_or(value),
         _ => value,
     }
+}
+
+/// Parse a decimal literal without panicking: scale capped at 4 (the
+/// engine's MAX_SCALE, extra digits truncated), overflow rejected.
+fn dec_lit_value(s: &str) -> Option<Value> {
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if frac_part.contains('.') {
+        return None; // "1.2.3"
+    }
+    let scale = frac_part.len().min(4);
+    let frac = &frac_part[..scale];
+    let int_v: i64 = if int_part.is_empty() {
+        0
+    } else {
+        int_part.parse().ok()?
+    };
+    let frac_v: i64 = if frac.is_empty() {
+        0
+    } else {
+        frac.parse().ok()?
+    };
+    let f = 10i64.checked_pow(scale as u32)?;
+    let raw = int_v.checked_mul(f)?.checked_add(frac_v)?;
+    Some(Value::Decimal(raw, scale as u8))
 }
 
 fn lit_of(ast: &Ast) -> Option<Value> {
     match ast {
         Ast::IntLit(v) => Some(Value::I64(*v)),
-        Ast::DecLit(s) => {
-            let scale = s.split('.').nth(1).map(|f| f.len() as u8).unwrap_or(0);
-            Some(vectorh_common::types::dec(s, scale))
-        }
+        Ast::DecLit(s) => dec_lit_value(s),
         Ast::StrLit(s) => Some(Value::Str(s.clone())),
+        Ast::DateLit(d) => Some(Value::Date(*d)),
         _ => None,
     }
 }
 
+fn is_lit(ast: &Ast) -> bool {
+    matches!(
+        ast,
+        Ast::IntLit(_) | Ast::DecLit(_) | Ast::StrLit(_) | Ast::DateLit(_)
+    )
+}
+
 /// Resolve a (non-aggregate) AST into an executable expression.
-fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
+pub(crate) fn resolve_expr(ast: &Ast, scope: &Scope, schema: &Schema) -> Result<Expr> {
     Ok(match ast {
-        Ast::Col(q, n) => Expr::Col(env.resolve(q, n)?),
-        Ast::IntLit(_) | Ast::DecLit(_) | Ast::StrLit(_) => {
-            Expr::Lit(lit_of(ast).expect("literal"))
-        }
+        Ast::Col(q, n) => Expr::Col(scope.resolve(q, n)?),
+        Ast::ResolvedCol(i) => Expr::Col(*i),
+        Ast::IntLit(_) | Ast::DecLit(_) | Ast::StrLit(_) | Ast::DateLit(_) => Expr::Lit(
+            lit_of(ast).ok_or_else(|| VhError::Plan(format!("bad numeric literal {ast:?}")))?,
+        ),
         Ast::Star => return Err(VhError::Plan("'*' outside count(*)".into())),
-        Ast::Not(e) => Expr::Not(Box::new(resolve_expr(e, env, schema)?)),
+        Ast::Not(e) => Expr::Not(Box::new(resolve_expr(e, scope, schema)?)),
         Ast::Between(e, lo, hi) => {
-            let ex = resolve_expr(e, env, schema)?;
+            let ex = resolve_expr(e, scope, schema)?;
             let t = ex.dtype(schema)?;
-            let lo = coerce_resolved(lo, env, schema, t)?;
-            let hi = coerce_resolved(hi, env, schema, t)?;
+            let lo = coerce_resolved(lo, scope, schema, t)?;
+            let hi = coerce_resolved(hi, scope, schema, t)?;
             Expr::Between(Box::new(ex), Box::new(lo), Box::new(hi))
         }
         Ast::InList(e, items) => {
-            let ex = resolve_expr(e, env, schema)?;
+            let ex = resolve_expr(e, scope, schema)?;
             let t = ex.dtype(schema)?;
             let vals: Result<Vec<Value>> = items
                 .iter()
@@ -424,26 +883,40 @@ fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
             Expr::InList(Box::new(ex), vals?)
         }
         Ast::Like(e, pat, negated) => {
-            let ex = resolve_expr(e, env, schema)?;
+            let ex = resolve_expr(e, scope, schema)?;
             if *negated {
                 Expr::NotLike(Box::new(ex), pat.clone())
             } else {
                 Expr::Like(Box::new(ex), pat.clone())
             }
         }
+        Ast::Case(arms, else_e) => {
+            let mut out = Vec::new();
+            for (c, v) in arms {
+                out.push((
+                    resolve_expr(c, scope, schema)?,
+                    resolve_expr(v, scope, schema)?,
+                ));
+            }
+            Expr::Case(out, Box::new(resolve_expr(else_e, scope, schema)?))
+        }
+        Ast::ExtractYear(e) => Expr::ExtractYear(Box::new(resolve_expr(e, scope, schema)?)),
+        Ast::Substr(e, start, len) => {
+            Expr::Substr(Box::new(resolve_expr(e, scope, schema)?), *start, *len)
+        }
         Ast::Bin(op, l, r) => {
             match op.as_str() {
                 "and" => Expr::And(vec![
-                    resolve_expr(l, env, schema)?,
-                    resolve_expr(r, env, schema)?,
+                    resolve_expr(l, scope, schema)?,
+                    resolve_expr(r, scope, schema)?,
                 ]),
                 "or" => Expr::Or(vec![
-                    resolve_expr(l, env, schema)?,
-                    resolve_expr(r, env, schema)?,
+                    resolve_expr(l, scope, schema)?,
+                    resolve_expr(r, scope, schema)?,
                 ]),
                 "+" | "-" | "*" | "/" => {
-                    let le = resolve_expr(l, env, schema)?;
-                    let re = resolve_expr(r, env, schema)?;
+                    let le = resolve_expr(l, scope, schema)?;
+                    let re = resolve_expr(r, scope, schema)?;
                     match op.as_str() {
                         "+" => Expr::add(le, re),
                         "-" => Expr::sub(le, re),
@@ -453,13 +926,13 @@ fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
                 }
                 cmp => {
                     // Comparisons get literal coercion against the column side.
-                    let le = resolve_expr(l, env, schema)?;
+                    let le = resolve_expr(l, scope, schema)?;
                     let lt = le.dtype(schema)?;
-                    let re = coerce_resolved(r, env, schema, lt)?;
+                    let re = coerce_resolved(r, scope, schema, lt)?;
                     // ... and symmetric when the literal is on the left.
-                    let (le, re) = if lit_of(l).is_some() {
+                    let (le, re) = if is_lit(l) {
                         let rt = re.dtype(schema)?;
-                        (coerce_resolved(l, env, schema, rt)?, re)
+                        (coerce_resolved(l, scope, schema, rt)?, re)
                     } else {
                         (le, re)
                     };
@@ -477,324 +950,150 @@ fn resolve_expr(ast: &Ast, env: &Env, schema: &Schema) -> Result<Expr> {
             }
         }
         Ast::Agg(..) => return Err(VhError::Plan("aggregate in unexpected position".into())),
+        Ast::Scalar(_) | Ast::InSub(..) | Ast::Exists(..) => {
+            return Err(VhError::Plan("subquery in unsupported position".into()))
+        }
     })
 }
 
-fn coerce_resolved(ast: &Ast, env: &Env, schema: &Schema, target: DataType) -> Result<Expr> {
-    if let Some(v) = lit_of(ast) {
+fn coerce_resolved(ast: &Ast, scope: &Scope, schema: &Schema, target: DataType) -> Result<Expr> {
+    if is_lit(ast) {
+        let v = lit_of(ast).ok_or_else(|| VhError::Plan(format!("bad numeric literal {ast:?}")))?;
         Ok(Expr::Lit(coerce(v, target)))
     } else {
-        resolve_expr(ast, env, schema)
+        resolve_expr(ast, scope, schema)
     }
 }
 
-// --- query assembly ------------------------------------------------------------
+// --- AST utilities ------------------------------------------------------------
 
-/// Parse a SQL query into a logical plan.
-pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> {
-    let mut p = Parser {
-        toks: tokenize(sql)?,
-        pos: 0,
-    };
-    p.expect_kw("select")?;
-
-    // Select list (deferred resolution).
-    let mut select_items: Vec<(Ast, Option<String>)> = Vec::new();
-    loop {
-        if matches!(p.peek(), Some(Tok::Sym('*'))) && select_items.is_empty() {
-            p.pos += 1;
-            select_items.push((Ast::Star, None));
-        } else {
-            let e = p.expr()?;
-            let alias = if p.eat_kw("as") {
-                Some(p.ident()?)
-            } else {
-                None
-            };
-            select_items.push((e, alias));
-        }
-        if !p.eat_sym(',') {
-            break;
-        }
-    }
-
-    p.expect_kw("from")?;
-    // FROM t [alias] (JOIN t2 [alias] ON eq [AND eq]*)*
-    let mut plan;
-    let mut env;
-    {
-        let (tname, alias) = parse_table_ref(&mut p)?;
-        let meta = catalog.table(&tname)?;
-        let cols: Vec<usize> = (0..meta.schema.len()).collect();
-        env = Env {
-            cols: meta
-                .schema
-                .fields()
-                .iter()
-                .map(|f| (alias.clone(), f.name.clone()))
-                .collect(),
-        };
-        plan = LogicalPlan::Scan { table: tname, cols };
-    }
-    while p.eat_kw("join") || (p.eat_kw("inner") && p.eat_kw("join")) {
-        let (tname, alias) = parse_table_ref(&mut p)?;
-        let meta = catalog.table(&tname)?;
-        p.expect_kw("on")?;
-        // Equality conjunction referencing both sides.
-        let mut right_env_cols: Vec<(String, String)> = meta
-            .schema
-            .fields()
-            .iter()
-            .map(|f| (alias.clone(), f.name.clone()))
-            .collect();
-        let combined = Env {
-            cols: env
-                .cols
-                .iter()
-                .cloned()
-                .chain(right_env_cols.iter().cloned())
-                .collect(),
-        };
-        let left_width = env.cols.len();
-        let mut lkeys = Vec::new();
-        let mut rkeys = Vec::new();
-        loop {
-            let a = p.expr()?;
-            match a {
-                Ast::Bin(op, l, r) if op == "=" => {
-                    let li = resolve_col(&l, &combined)?;
-                    let ri = resolve_col(&r, &combined)?;
-                    let (lk, rk) = if li < left_width {
-                        (li, ri - left_width)
-                    } else {
-                        (ri, li - left_width)
-                    };
-                    lkeys.push(lk);
-                    rkeys.push(rk);
-                }
-                _ => return Err(VhError::Plan("JOIN ON expects equality".into())),
-            }
-            if !p.eat_kw("and") {
-                break;
-            }
-        }
-        let rcols: Vec<usize> = (0..meta.schema.len()).collect();
-        plan = LogicalPlan::Join {
-            left: Box::new(plan),
-            right: Box::new(LogicalPlan::Scan {
-                table: tname,
-                cols: rcols,
-            }),
-            left_keys: lkeys,
-            right_keys: rkeys,
-            kind: JoinKind::Inner,
-        };
-        env.cols.append(&mut right_env_cols);
-    }
-
-    let schema = plan.schema(catalog)?;
-
-    if p.eat_kw("where") {
-        let ast = p.expr()?;
-        let predicate = resolve_expr(&ast, &env, &schema)?;
-        plan = LogicalPlan::Select {
-            input: Box::new(plan),
-            predicate,
-        };
-    }
-
-    // GROUP BY / aggregates.
-    let group_cols: Vec<usize> = if p.eat_kw("group") {
-        p.expect_kw("by")?;
-        let mut cols = Vec::new();
-        loop {
-            let ast = p.expr()?;
-            cols.push(resolve_col(&ast, &env)?);
-            if !p.eat_sym(',') {
-                break;
-            }
-        }
-        cols
-    } else {
-        vec![]
-    };
-
-    let has_aggs = select_items.iter().any(|(a, _)| contains_agg(a));
-    let mut out_names: Vec<String> = Vec::new();
-    if has_aggs || !group_cols.is_empty() {
-        // Pre-project: group cols first, then each aggregate's argument.
-        let mut pre_items: Vec<(Expr, String)> = Vec::new();
-        for (i, &g) in group_cols.iter().enumerate() {
-            pre_items.push((Expr::Col(g), format!("g{i}")));
-        }
-        let mut aggs: Vec<AggFn> = Vec::new();
-        // Output projection over [group cols..., agg results...].
-        let mut post_items: Vec<(Expr, String)> = Vec::new();
-        for (idx, (ast, alias)) in select_items.iter().enumerate() {
-            let default_name = alias.clone().unwrap_or_else(|| display_name(ast, idx));
-            out_names.push(default_name.clone());
-            match ast {
-                Ast::Agg(f, distinct, arg) => {
-                    let agg_out_pos = group_cols.len() + aggs.len();
-                    let fnc = match (f.as_str(), distinct, arg.as_ref()) {
-                        ("count", false, Ast::Star) => AggFn::CountStar,
-                        ("count", true, a) => {
-                            let col = push_arg(a, &env, &schema, &mut pre_items)?;
-                            AggFn::CountDistinct(col)
-                        }
-                        ("count", false, a) => {
-                            let col = push_arg(a, &env, &schema, &mut pre_items)?;
-                            AggFn::Count(col)
-                        }
-                        ("sum", _, a) => AggFn::Sum(push_arg(a, &env, &schema, &mut pre_items)?),
-                        ("avg", _, a) => AggFn::Avg(push_arg(a, &env, &schema, &mut pre_items)?),
-                        ("min", _, a) => AggFn::Min(push_arg(a, &env, &schema, &mut pre_items)?),
-                        ("max", _, a) => AggFn::Max(push_arg(a, &env, &schema, &mut pre_items)?),
-                        (other, _, _) => {
-                            return Err(VhError::Plan(format!("unknown aggregate '{other}'")))
-                        }
-                    };
-                    aggs.push(fnc);
-                    post_items.push((Expr::Col(agg_out_pos), default_name));
-                }
-                other => {
-                    // Must be a grouped column reference.
-                    let col = resolve_col(other, &env)?;
-                    let gpos = group_cols.iter().position(|g| *g == col).ok_or_else(|| {
-                        VhError::Plan("non-aggregated select column must be in GROUP BY".into())
-                    })?;
-                    post_items.push((Expr::Col(gpos), default_name));
-                }
-            }
-        }
-        // A pure `count(*)` needs no pre-projection — and an empty
-        // projection would lose the row count entirely.
-        if !pre_items.is_empty() {
-            plan = LogicalPlan::Project {
-                input: Box::new(plan),
-                items: pre_items,
-            };
-        }
-        plan = LogicalPlan::Aggregate {
-            input: Box::new(plan),
-            group_by: (0..group_cols.len()).collect(),
-            aggs,
-        };
-        plan = LogicalPlan::Project {
-            input: Box::new(plan),
-            items: post_items,
-        };
-    } else {
-        // Plain projection.
-        let mut items: Vec<(Expr, String)> = Vec::new();
-        for (idx, (ast, alias)) in select_items.iter().enumerate() {
-            if matches!(ast, Ast::Star) {
-                for (i, (_, name)) in env.cols.iter().enumerate() {
-                    items.push((Expr::Col(i), name.clone()));
-                    out_names.push(name.clone());
-                }
-            } else {
-                let name = alias.clone().unwrap_or_else(|| display_name(ast, idx));
-                items.push((resolve_expr(ast, &env, &schema)?, name.clone()));
-                out_names.push(name);
-            }
-        }
-        plan = LogicalPlan::Project {
-            input: Box::new(plan),
-            items,
-        };
-    }
-
-    // ORDER BY on output names / 1-based positions.
-    if p.eat_kw("order") {
-        p.expect_kw("by")?;
-        let mut keys = Vec::new();
-        loop {
-            let pos = match p.next() {
-                Some(Tok::Int(n)) => (n as usize)
-                    .checked_sub(1)
-                    .ok_or_else(|| VhError::Plan("ORDER BY position is 1-based".into()))?,
-                Some(Tok::Ident(name)) => out_names
-                    .iter()
-                    .position(|n| *n == name)
-                    .ok_or_else(|| VhError::Plan(format!("ORDER BY unknown column '{name}'")))?,
-                t => return Err(VhError::Plan(format!("bad ORDER BY key {t:?}"))),
-            };
-            let dir = if p.eat_kw("desc") {
-                Dir::Desc
-            } else {
-                p.eat_kw("asc");
-                Dir::Asc
-            };
-            keys.push((pos, dir));
-            if !p.eat_sym(',') {
-                break;
-            }
-        }
-        let limit = if p.eat_kw("limit") {
-            match p.next() {
-                Some(Tok::Int(n)) => Some(n as usize),
-                t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
-            }
-        } else {
-            None
-        };
-        plan = LogicalPlan::Sort {
-            input: Box::new(plan),
-            keys,
-            limit,
-        };
-    } else if p.eat_kw("limit") {
-        match p.next() {
-            Some(Tok::Int(n)) => {
-                plan = LogicalPlan::Limit {
-                    input: Box::new(plan),
-                    n: n as usize,
-                }
-            }
-            t => return Err(VhError::Plan(format!("bad LIMIT {t:?}"))),
-        }
-    }
-
-    if let Some(t) = p.peek() {
-        return Err(VhError::Plan(format!("trailing tokens starting at {t:?}")));
-    }
-    Ok(plan)
-}
-
-fn parse_table_ref(p: &mut Parser) -> Result<(String, String)> {
-    let name = p.ident()?;
-    // Optional alias (not a keyword).
-    let keywords = [
-        "join", "inner", "left", "on", "where", "group", "order", "limit",
-    ];
-    let alias = match p.peek() {
-        Some(Tok::Ident(s)) if !keywords.contains(&s.as_str()) => {
-            let a = s.clone();
-            p.pos += 1;
-            a
-        }
-        _ => name.clone(),
-    };
-    Ok((name, alias))
-}
-
-fn resolve_col(ast: &Ast, env: &Env) -> Result<usize> {
+/// Split a conjunction into its conjuncts, in textual order.
+pub(crate) fn conjuncts(ast: Ast) -> Vec<Ast> {
     match ast {
-        Ast::Col(q, n) => env.resolve(q, n),
-        _ => Err(VhError::Plan("expected a column reference".into())),
+        Ast::Bin(op, l, r) if op == "and" => {
+            let mut v = conjuncts(*l);
+            v.extend(conjuncts(*r));
+            v
+        }
+        other => vec![other],
     }
 }
 
-fn contains_agg(ast: &Ast) -> bool {
+/// Does this expression contain a subquery (without descending into
+/// subquery bodies)?
+pub(crate) fn has_subquery(ast: &Ast) -> bool {
+    match ast {
+        Ast::Scalar(_) | Ast::Exists(..) => true,
+        Ast::InSub(l, _, _) => {
+            let _ = l;
+            true
+        }
+        Ast::Bin(_, l, r) => has_subquery(l) || has_subquery(r),
+        Ast::Not(e) | Ast::Like(e, _, _) | Ast::ExtractYear(e) | Ast::Substr(e, _, _) => {
+            has_subquery(e)
+        }
+        Ast::Between(a, b, c) => has_subquery(a) || has_subquery(b) || has_subquery(c),
+        Ast::InList(e, items) => has_subquery(e) || items.iter().any(has_subquery),
+        Ast::Agg(_, _, a) => has_subquery(a),
+        Ast::Case(arms, else_e) => {
+            arms.iter().any(|(c, v)| has_subquery(c) || has_subquery(v)) || has_subquery(else_e)
+        }
+        _ => false,
+    }
+}
+
+pub(crate) fn contains_agg(ast: &Ast) -> bool {
     match ast {
         Ast::Agg(..) => true,
         Ast::Bin(_, l, r) => contains_agg(l) || contains_agg(r),
-        Ast::Not(e) => contains_agg(e),
+        Ast::Not(e) | Ast::Like(e, _, _) | Ast::ExtractYear(e) | Ast::Substr(e, _, _) => {
+            contains_agg(e)
+        }
         Ast::Between(a, b, c) => contains_agg(a) || contains_agg(b) || contains_agg(c),
-        Ast::InList(e, _) | Ast::Like(e, _, _) => contains_agg(e),
+        Ast::InList(e, items) => contains_agg(e) || items.iter().any(contains_agg),
+        Ast::Case(arms, else_e) => {
+            arms.iter().any(|(c, v)| contains_agg(c) || contains_agg(v)) || contains_agg(else_e)
+        }
+        Ast::InSub(l, _, _) => contains_agg(l),
         _ => false,
     }
+}
+
+/// Collect all column references, without descending into subquery bodies
+/// (an `IN (subquery)` left side does count).
+fn col_refs(ast: &Ast, out: &mut Vec<(Option<String>, String)>) {
+    match ast {
+        Ast::Col(q, n) => out.push((q.clone(), n.clone())),
+        Ast::Bin(_, l, r) => {
+            col_refs(l, out);
+            col_refs(r, out);
+        }
+        Ast::Not(e) | Ast::Like(e, _, _) | Ast::ExtractYear(e) | Ast::Substr(e, _, _) => {
+            col_refs(e, out)
+        }
+        Ast::Between(a, b, c) => {
+            col_refs(a, out);
+            col_refs(b, out);
+            col_refs(c, out);
+        }
+        Ast::InList(e, items) => {
+            col_refs(e, out);
+            for i in items {
+                col_refs(i, out);
+            }
+        }
+        Ast::Agg(_, _, a) => col_refs(a, out),
+        Ast::Case(arms, else_e) => {
+            for (c, v) in arms {
+                col_refs(c, out);
+                col_refs(v, out);
+            }
+            col_refs(else_e, out);
+        }
+        Ast::InSub(l, _, _) => col_refs(l, out),
+        _ => {}
+    }
+}
+
+/// Fold `NOT` into EXISTS / IN-subquery nodes so the lowering sees plain
+/// negated forms.
+fn normalize_not(ast: Ast) -> Ast {
+    match ast {
+        Ast::Not(inner) => match normalize_not(*inner) {
+            Ast::Exists(q, n) => Ast::Exists(q, !n),
+            Ast::InSub(l, q, n) => Ast::InSub(l, q, !n),
+            other => Ast::Not(Box::new(other)),
+        },
+        other => other,
+    }
+}
+
+/// Does the resolved expression read any input column?
+fn expr_reads_cols(e: &Expr) -> bool {
+    match e {
+        Expr::Col(_) => true,
+        Expr::Lit(_) => false,
+        Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) => expr_reads_cols(a) || expr_reads_cols(b),
+        Expr::And(v) | Expr::Or(v) => v.iter().any(expr_reads_cols),
+        Expr::Not(a)
+        | Expr::Like(a, _)
+        | Expr::NotLike(a, _)
+        | Expr::Substr(a, _, _)
+        | Expr::ExtractYear(a) => expr_reads_cols(a),
+        Expr::Between(a, b, c) => expr_reads_cols(a) || expr_reads_cols(b) || expr_reads_cols(c),
+        Expr::InList(a, _) => expr_reads_cols(a),
+        Expr::Case(arms, else_e) => {
+            arms.iter()
+                .any(|(c, v)| expr_reads_cols(c) || expr_reads_cols(v))
+                || expr_reads_cols(else_e)
+        }
+    }
+}
+
+fn first_col_name(ast: &Ast) -> Option<String> {
+    let mut refs = Vec::new();
+    col_refs(ast, &mut refs);
+    refs.first().map(|(_, n)| n.clone())
 }
 
 fn display_name(ast: &Ast, idx: usize) -> String {
@@ -805,21 +1104,628 @@ fn display_name(ast: &Ast, idx: usize) -> String {
     }
 }
 
-/// Resolve an aggregate argument: reuse an existing pre-projection item or
-/// append a new one; returns its column position.
-fn push_arg(
-    ast: &Ast,
-    env: &Env,
-    schema: &Schema,
-    pre_items: &mut Vec<(Expr, String)>,
-) -> Result<usize> {
-    let e = resolve_expr(ast, env, schema)?;
-    if let Some(pos) = pre_items.iter().position(|(x, _)| *x == e) {
-        return Ok(pos);
+pub(crate) fn take_plan(plan: &mut LogicalPlan) -> LogicalPlan {
+    std::mem::replace(
+        plan,
+        LogicalPlan::Scan {
+            table: String::new(),
+            cols: Vec::new(),
+        },
+    )
+}
+
+// --- query lowering -----------------------------------------------------------
+
+/// A correlated predicate between a subquery and its outer scope:
+/// `inner_col = outer_col` (eq) or `inner_col <> outer_col`.
+pub(crate) struct Correlation {
+    pub eq: bool,
+    pub outer: usize,
+    pub inner: usize,
+}
+
+/// Parse a SQL query into a logical plan.
+pub fn parse_query(sql: &str, catalog: &dyn CatalogInfo) -> Result<LogicalPlan> {
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+        depth: 0,
+    };
+    p.expect_kw("select")?;
+    let q = p.parse_select()?;
+    if let Some(t) = p.peek() {
+        return Err(VhError::Plan(format!("trailing tokens starting at {t:?}")));
     }
-    let pos = pre_items.len();
-    pre_items.push((e, format!("a{pos}")));
-    Ok(pos)
+    Ok(lower_select(&q, catalog)?.0)
+}
+
+/// Lower a full SELECT block into a plan; returns the output column names
+/// (used by derived tables and ORDER BY name resolution).
+pub(crate) fn lower_select(
+    q: &QueryAst,
+    catalog: &dyn CatalogInfo,
+) -> Result<(LogicalPlan, Vec<String>)> {
+    let mut corr = Vec::new();
+    let (mut plan, scope) = lower_from_where(q, catalog, None, &mut corr)?;
+    let has_aggs = !q.group_by.is_empty()
+        || q.having.is_some()
+        || q.items.iter().any(|(a, _)| contains_agg(a));
+    let mut out_names;
+    if has_aggs {
+        let (p, names) = build_aggregate(
+            plan,
+            &scope,
+            catalog,
+            &q.group_by,
+            &q.items,
+            q.having.as_ref(),
+        )?;
+        plan = p;
+        out_names = names;
+    } else {
+        let schema = plan.schema(catalog)?;
+        let mut items: Vec<(Expr, String)> = Vec::new();
+        out_names = Vec::new();
+        for (idx, (ast, alias)) in q.items.iter().enumerate() {
+            if matches!(ast, Ast::Star) {
+                for (i, (a, name)) in scope.cols.iter().enumerate() {
+                    // Hide lowering-internal bookkeeping columns.
+                    if a.is_empty() && name.starts_with("__") {
+                        continue;
+                    }
+                    items.push((Expr::Col(i), name.clone()));
+                    out_names.push(name.clone());
+                }
+            } else {
+                let name = alias.clone().unwrap_or_else(|| display_name(ast, idx));
+                items.push((resolve_expr(ast, &scope, &schema)?, name.clone()));
+                out_names.push(name);
+            }
+        }
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            items,
+        };
+    }
+
+    if q.distinct {
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: (0..out_names.len()).collect(),
+            aggs: vec![],
+        };
+    }
+
+    if !q.order_by.is_empty() {
+        let mut keys = Vec::new();
+        for (key, dir) in &q.order_by {
+            let pos = match key {
+                OrderKey::Pos(p) => {
+                    if *p >= out_names.len() {
+                        return Err(VhError::Plan(format!(
+                            "ORDER BY position {} is out of range",
+                            p + 1
+                        )));
+                    }
+                    *p
+                }
+                OrderKey::Name(name) => out_names
+                    .iter()
+                    .position(|n| n == name)
+                    .ok_or_else(|| VhError::Plan(format!("ORDER BY unknown column '{name}'")))?,
+            };
+            keys.push((pos, *dir));
+        }
+        plan = LogicalPlan::Sort {
+            input: Box::new(plan),
+            keys,
+            limit: q.limit,
+        };
+    } else if let Some(n) = q.limit {
+        plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n,
+        };
+    }
+    Ok((plan, out_names))
+}
+
+struct Frag {
+    plan: LogicalPlan,
+    cols: Vec<(String, String)>,
+    kind: JoinKind,
+    on: Option<Ast>,
+}
+
+/// Lower FROM + WHERE: scan/derive each fragment, push single-fragment
+/// WHERE conjuncts below the joins, build the join tree in FROM order, then
+/// apply the residual predicates (subqueries lower here; predicates over
+/// `outer` columns are returned through `corr` instead of being applied).
+pub(crate) fn lower_from_where(
+    q: &QueryAst,
+    catalog: &dyn CatalogInfo,
+    outer: Option<&Scope>,
+    corr: &mut Vec<Correlation>,
+) -> Result<(LogicalPlan, Scope)> {
+    // 1. Lower each FROM fragment.
+    let mut frags: Vec<Frag> = Vec::new();
+    for fc in &q.from {
+        let (plan, cols) = match &fc.item {
+            FromItem::Table(name, alias) => {
+                let meta = catalog.table(name)?;
+                let cols: Vec<(String, String)> = meta
+                    .schema
+                    .fields()
+                    .iter()
+                    .map(|f| (alias.clone(), f.name.clone()))
+                    .collect();
+                (
+                    LogicalPlan::Scan {
+                        table: name.clone(),
+                        cols: (0..meta.schema.len()).collect(),
+                    },
+                    cols,
+                )
+            }
+            FromItem::Derived(sub, alias) => {
+                let (plan, names) = lower_select(sub, catalog)?;
+                (
+                    plan,
+                    names.iter().map(|n| (alias.clone(), n.clone())).collect(),
+                )
+            }
+        };
+        frags.push(Frag {
+            plan,
+            cols,
+            kind: fc.kind,
+            on: fc.on.clone(),
+        });
+    }
+
+    // 2. Split WHERE into per-fragment pushdowns and residual conjuncts.
+    let all = q.where_.clone().map(conjuncts).unwrap_or_default();
+    let mut pushed: Vec<Vec<Ast>> = vec![Vec::new(); frags.len()];
+    let mut residual: Vec<Ast> = Vec::new();
+    'conj: for c in all {
+        if has_subquery(&c) || contains_agg(&c) {
+            residual.push(c);
+            continue;
+        }
+        let mut refs = Vec::new();
+        col_refs(&c, &mut refs);
+        if refs.is_empty() {
+            residual.push(c);
+            continue;
+        }
+        let mut target: Option<usize> = None;
+        for (qual, name) in &refs {
+            let mut hit = None;
+            for (fi, frag) in frags.iter().enumerate() {
+                let n = frag
+                    .cols
+                    .iter()
+                    .filter(|(a, cn)| cn == name && qual.as_ref().map(|q| q == a).unwrap_or(true))
+                    .count();
+                if n == 1 && hit.is_none() {
+                    hit = Some(fi);
+                } else if n >= 1 {
+                    // Ambiguous within or across fragments: resolve later,
+                    // surfacing the error with the full scope.
+                    residual.push(c);
+                    continue 'conj;
+                }
+            }
+            match (hit, target) {
+                (Some(fi), None) => target = Some(fi),
+                (Some(fi), Some(t)) if fi == t => {}
+                // Unknown column or a predicate spanning fragments.
+                _ => {
+                    residual.push(c);
+                    continue 'conj;
+                }
+            }
+        }
+        let t = target.unwrap();
+        if frags[t].kind == JoinKind::LeftOuter {
+            // WHERE over the nullable side must stay above the outer join.
+            residual.push(c);
+        } else {
+            pushed[t].push(c);
+        }
+    }
+    for (frag, mut cs) in frags.iter_mut().zip(pushed) {
+        if cs.is_empty() {
+            continue;
+        }
+        let local = Scope::of(frag.cols.clone());
+        let schema = frag.plan.schema(catalog)?;
+        let mut pred = resolve_expr(&cs.remove(0), &local, &schema)?;
+        for c in &cs {
+            pred = Expr::And(vec![pred, resolve_expr(c, &local, &schema)?]);
+        }
+        let input = take_plan(&mut frag.plan);
+        frag.plan = LogicalPlan::Select {
+            input: Box::new(input),
+            predicate: pred,
+        };
+    }
+
+    // 3. Build the join tree in FROM order.
+    let mut it = frags.into_iter();
+    let first = it
+        .next()
+        .expect("grammar guarantees at least one FROM item");
+    let mut plan = first.plan;
+    let mut scope = Scope::of(first.cols);
+    for frag in it {
+        join_fragment(&mut plan, &mut scope, frag, catalog)?;
+    }
+
+    // 4. Residual predicates, in textual order.
+    for c in residual {
+        let c = normalize_not(c);
+        match c {
+            Ast::Exists(sub, neg) => {
+                crate::subquery::lower_exists(&mut plan, &mut scope, &sub, neg, catalog)?;
+            }
+            Ast::InSub(lhs, sub, neg) => {
+                crate::subquery::lower_in(&mut plan, &mut scope, &lhs, &sub, neg, catalog)?;
+            }
+            c => {
+                if let Some(outer_scope) = outer {
+                    if let Some(cr) = as_correlation(&c, &scope, outer_scope)? {
+                        corr.push(cr);
+                        continue;
+                    }
+                }
+                let c = crate::subquery::substitute_scalars(c, &mut plan, &mut scope, catalog)?;
+                let schema = plan.schema(catalog)?;
+                let predicate = resolve_expr(&c, &scope, &schema)?;
+                plan = LogicalPlan::Select {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            }
+        }
+    }
+    Ok((plan, scope))
+}
+
+/// Join one more FROM fragment onto the running plan, classifying the ON
+/// conjuncts into equi-keys, build-side filters, probe-side filters and
+/// post-join filters.
+fn join_fragment(
+    plan: &mut LogicalPlan,
+    scope: &mut Scope,
+    frag: Frag,
+    catalog: &dyn CatalogInfo,
+) -> Result<()> {
+    let mut rplan = frag.plan;
+    let rcols = frag.cols;
+    let rscope = Scope::of(rcols.clone());
+    let on = frag
+        .on
+        .ok_or_else(|| VhError::Plan("JOIN without ON clause".into()))?;
+    let left_width = scope.cols.len();
+    let mut lkeys = Vec::new();
+    let mut rkeys = Vec::new();
+    let mut rpred: Vec<Ast> = Vec::new();
+    let mut lpred: Vec<Ast> = Vec::new();
+    let mut post: Vec<Ast> = Vec::new();
+    for c in conjuncts(on) {
+        if let Ast::Bin(op, l, r) = &c {
+            if op == "=" {
+                let try_keys = |a: &Ast, b: &Ast| -> Option<(usize, usize)> {
+                    match (a, b) {
+                        (Ast::Col(aq, an), Ast::Col(bq, bn)) => {
+                            match (scope.lookup(aq, an), rscope.lookup(bq, bn)) {
+                                (Some(li), Some(ri)) => Some((li, ri)),
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((li, ri)) = try_keys(l, r).or_else(|| try_keys(r, l)) {
+                    lkeys.push(li);
+                    rkeys.push(ri);
+                    continue;
+                }
+            }
+        }
+        let mut refs = Vec::new();
+        col_refs(&c, &mut refs);
+        let all_right = refs.iter().all(|(q, n)| rscope.lookup(q, n).is_some());
+        let all_left = refs.iter().all(|(q, n)| scope.lookup(q, n).is_some());
+        if all_right && !all_left {
+            rpred.push(c);
+        } else if all_left && !all_right {
+            lpred.push(c);
+        } else {
+            post.push(c);
+        }
+    }
+    if lkeys.is_empty() {
+        return Err(VhError::Plan(
+            "JOIN ON needs at least one equality between the two sides".into(),
+        ));
+    }
+    // Build-side ON filters apply below the join — for LEFT OUTER this is
+    // exactly the SQL semantics (unmatched probe rows survive).
+    if !rpred.is_empty() {
+        let schema = rplan.schema(catalog)?;
+        for c in rpred {
+            let predicate = resolve_expr(&c, &rscope, &schema)?;
+            rplan = LogicalPlan::Select {
+                input: Box::new(rplan),
+                predicate,
+            };
+        }
+    }
+    if !lpred.is_empty() {
+        if frag.kind == JoinKind::LeftOuter {
+            return Err(VhError::Plan(
+                "LEFT JOIN ON predicate over the left side is not supported".into(),
+            ));
+        }
+        let schema = plan.schema(catalog)?;
+        for c in lpred {
+            let predicate = resolve_expr(&c, scope, &schema)?;
+            *plan = LogicalPlan::Select {
+                input: Box::new(take_plan(plan)),
+                predicate,
+            };
+        }
+    }
+    if !post.is_empty() && frag.kind == JoinKind::LeftOuter {
+        return Err(VhError::Plan(
+            "LEFT JOIN ON predicate spanning both sides must be an equality".into(),
+        ));
+    }
+    *plan = LogicalPlan::Join {
+        left: Box::new(take_plan(plan)),
+        right: Box::new(rplan),
+        left_keys: lkeys,
+        right_keys: rkeys,
+        kind: frag.kind,
+    };
+    scope.cols.extend(rcols);
+    if frag.kind == JoinKind::LeftOuter {
+        // The executor appends a `__matched` indicator column.
+        let matched = scope.cols.len();
+        scope.nullable.push((left_width, matched, matched));
+        scope.cols.push((String::new(), "__matched".into()));
+    }
+    if !post.is_empty() {
+        let schema = plan.schema(catalog)?;
+        for c in post {
+            let predicate = resolve_expr(&c, scope, &schema)?;
+            *plan = LogicalPlan::Select {
+                input: Box::new(take_plan(plan)),
+                predicate,
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Recognize `inner_col = outer_col` / `inner_col <> outer_col` predicates
+/// linking a subquery to its outer scope.
+fn as_correlation(c: &Ast, inner: &Scope, outer: &Scope) -> Result<Option<Correlation>> {
+    let (op, l, r) = match c {
+        Ast::Bin(op, l, r) if op == "=" || op == "<>" => (op, l.as_ref(), r.as_ref()),
+        _ => return Ok(None),
+    };
+    let ((lq, ln), (rq, rn)) = match (l, r) {
+        (Ast::Col(lq, ln), Ast::Col(rq, rn)) => ((lq, ln), (rq, rn)),
+        _ => return Ok(None),
+    };
+    match (inner.lookup(lq, ln), inner.lookup(rq, rn)) {
+        // Both sides inner: a plain predicate, not a correlation.
+        (Some(_), Some(_)) => Ok(None),
+        (Some(i), None) => Ok(Some(Correlation {
+            eq: op == "=",
+            outer: outer.resolve(rq, rn)?,
+            inner: i,
+        })),
+        (None, Some(i)) => Ok(Some(Correlation {
+            eq: op == "=",
+            outer: outer.resolve(lq, ln)?,
+            inner: i,
+        })),
+        // Neither resolves: fall through so the residual path reports the
+        // unknown column.
+        (None, None) => Ok(None),
+    }
+}
+
+// --- aggregation --------------------------------------------------------------
+
+struct AggBuild<'a> {
+    scope: &'a Scope,
+    schema: &'a Schema,
+    group_exprs: Vec<Expr>,
+    pre_items: Vec<(Expr, String)>,
+    aggs: Vec<AggFn>,
+}
+
+impl AggBuild<'_> {
+    /// Reuse or append a pre-projection item; returns its position.
+    fn push_pre(&mut self, e: Expr) -> usize {
+        if let Some(pos) = self.pre_items.iter().position(|(x, _)| *x == e) {
+            return pos;
+        }
+        let pos = self.pre_items.len();
+        self.pre_items.push((e, format!("a{pos}")));
+        pos
+    }
+
+    fn push_arg(&mut self, a: &Ast) -> Result<usize> {
+        let e = resolve_expr(a, self.scope, self.schema)?;
+        Ok(self.push_pre(e))
+    }
+
+    fn push_agg(&mut self, f: AggFn) -> usize {
+        if let Some(pos) = self.aggs.iter().position(|x| *x == f) {
+            return pos;
+        }
+        self.aggs.push(f);
+        self.aggs.len() - 1
+    }
+
+    /// Rewrite a select/HAVING expression over the aggregate's output:
+    /// grouping expressions and aggregates become `ResolvedCol`s, literals
+    /// stay literal, anything else is an error. Scalar subqueries are kept
+    /// verbatim (HAVING lowers them against the aggregate output later).
+    fn rewrite_post(&mut self, ast: &Ast) -> Result<Ast> {
+        if !contains_agg(ast) && !has_subquery(ast) {
+            let e = resolve_expr(ast, self.scope, self.schema)?;
+            if let Some(g) = self.group_exprs.iter().position(|x| *x == e) {
+                return Ok(Ast::ResolvedCol(g));
+            }
+            if !expr_reads_cols(&e) {
+                return Ok(ast.clone());
+            }
+            return Err(VhError::Plan(format!(
+                "non-aggregated select column '{}' must appear in GROUP BY",
+                first_col_name(ast).unwrap_or_else(|| "?".into())
+            )));
+        }
+        Ok(match ast {
+            Ast::Agg(f, distinct, arg) => {
+                let fnc = match (f.as_str(), distinct, arg.as_ref()) {
+                    ("count", false, Ast::Star) => AggFn::CountStar,
+                    ("count", true, a) => {
+                        let col = self.push_arg(a)?;
+                        AggFn::CountDistinct(col)
+                    }
+                    ("count", false, a) => {
+                        // count(col) over the nullable side of a LEFT OUTER
+                        // join counts matched rows: sum the join's
+                        // `__matched` indicator (TPC-H Q13).
+                        let e = resolve_expr(a, self.scope, self.schema)?;
+                        match &e {
+                            Expr::Col(i) => match self.scope.matched_of(*i) {
+                                Some(m) => AggFn::Sum(self.push_pre(Expr::Col(m))),
+                                None => AggFn::Count(self.push_pre(e)),
+                            },
+                            _ => AggFn::Count(self.push_pre(e)),
+                        }
+                    }
+                    ("sum", _, a) => AggFn::Sum(self.push_arg(a)?),
+                    ("avg", _, a) => AggFn::Avg(self.push_arg(a)?),
+                    ("min", _, a) => AggFn::Min(self.push_arg(a)?),
+                    ("max", _, a) => AggFn::Max(self.push_arg(a)?),
+                    (other, ..) => {
+                        return Err(VhError::Plan(format!("unknown aggregate '{other}'")))
+                    }
+                };
+                let pos = self.push_agg(fnc);
+                Ast::ResolvedCol(self.group_exprs.len() + pos)
+            }
+            Ast::Bin(op, l, r) => Ast::Bin(
+                op.clone(),
+                Box::new(self.rewrite_post(l)?),
+                Box::new(self.rewrite_post(r)?),
+            ),
+            Ast::Not(e) => Ast::Not(Box::new(self.rewrite_post(e)?)),
+            Ast::Scalar(q) => Ast::Scalar(q.clone()),
+            _ => {
+                return Err(VhError::Plan(
+                    "aggregates may not appear inside this expression".into(),
+                ))
+            }
+        })
+    }
+}
+
+/// Build pre-project → Aggregate → HAVING filters → post-project for an
+/// aggregated SELECT.
+pub(crate) fn build_aggregate(
+    plan: LogicalPlan,
+    scope: &Scope,
+    catalog: &dyn CatalogInfo,
+    group_by: &[Ast],
+    items: &[(Ast, Option<String>)],
+    having: Option<&Ast>,
+) -> Result<(LogicalPlan, Vec<String>)> {
+    let schema = plan.schema(catalog)?;
+    let mut group_exprs = Vec::new();
+    for g in group_by {
+        group_exprs.push(resolve_expr(g, scope, &schema)?);
+    }
+    let mut b = AggBuild {
+        scope,
+        schema: &schema,
+        pre_items: group_exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.clone(), format!("g{i}")))
+            .collect(),
+        group_exprs,
+        aggs: Vec::new(),
+    };
+    let mut post_asts = Vec::new();
+    let mut out_names = Vec::new();
+    for (idx, (ast, alias)) in items.iter().enumerate() {
+        if matches!(ast, Ast::Star) {
+            return Err(VhError::Plan("'*' in an aggregated select list".into()));
+        }
+        out_names.push(alias.clone().unwrap_or_else(|| display_name(ast, idx)));
+        post_asts.push(b.rewrite_post(ast)?);
+    }
+    // HAVING conjuncts may introduce more aggregates (e.g. Q18's
+    // `having sum(l_quantity) > 300`), so rewrite them before freezing the
+    // aggregate list.
+    let having_asts: Vec<Ast> = match having {
+        Some(h) => conjuncts(h.clone())
+            .iter()
+            .map(|c| b.rewrite_post(c))
+            .collect::<Result<_>>()?,
+        None => Vec::new(),
+    };
+    let group_n = b.group_exprs.len();
+    let aggs_n = b.aggs.len();
+    let mut plan = plan;
+    if !b.pre_items.is_empty() {
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            items: b.pre_items,
+        };
+    }
+    plan = LogicalPlan::Aggregate {
+        input: Box::new(plan),
+        group_by: (0..group_n).collect(),
+        aggs: b.aggs,
+    };
+    // HAVING runs over the aggregate output; scalar subqueries in it (Q11)
+    // lower here, appending their columns past the aggregate's own.
+    let mut post_scope = Scope::of(
+        (0..group_n)
+            .map(|i| (String::new(), format!("__g{i}")))
+            .chain((0..aggs_n).map(|i| (String::new(), format!("__a{i}"))))
+            .collect(),
+    );
+    for h in having_asts {
+        let h = crate::subquery::substitute_scalars(h, &mut plan, &mut post_scope, catalog)?;
+        let hschema = plan.schema(catalog)?;
+        let predicate = resolve_expr(&h, &post_scope, &hschema)?;
+        plan = LogicalPlan::Select {
+            input: Box::new(plan),
+            predicate,
+        };
+    }
+    let pschema = plan.schema(catalog)?;
+    let mut post_items = Vec::new();
+    for (ast, name) in post_asts.iter().zip(&out_names) {
+        post_items.push((resolve_expr(ast, &post_scope, &pschema)?, name.clone()));
+    }
+    plan = LogicalPlan::Project {
+        input: Box::new(plan),
+        items: post_items,
+    };
+    Ok((plan, out_names))
 }
 
 #[cfg(test)]
@@ -850,6 +1756,23 @@ mod tests {
             sort_order: None,
         });
         c
+    }
+
+    fn find_join(plan: &LogicalPlan) -> Option<(Vec<usize>, Vec<usize>, JoinKind)> {
+        match plan {
+            LogicalPlan::Join {
+                left_keys,
+                right_keys,
+                kind,
+                ..
+            } => Some((left_keys.clone(), right_keys.clone(), *kind)),
+            LogicalPlan::Project { input, .. }
+            | LogicalPlan::Select { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => find_join(input),
+            _ => None,
+        }
     }
 
     #[test]
@@ -895,22 +1818,10 @@ mod tests {
             &c,
         )
         .unwrap();
-        fn find_join(plan: &LogicalPlan) -> Option<(Vec<usize>, Vec<usize>)> {
-            match plan {
-                LogicalPlan::Join {
-                    left_keys,
-                    right_keys,
-                    ..
-                } => Some((left_keys.clone(), right_keys.clone())),
-                LogicalPlan::Project { input, .. } | LogicalPlan::Select { input, .. } => {
-                    find_join(input)
-                }
-                _ => None,
-            }
-        }
-        let (lk, rk) = find_join(&p).expect("join");
+        let (lk, rk, kind) = find_join(&p).expect("join");
         assert_eq!(lk, vec![1]); // o_custkey
         assert_eq!(rk, vec![0]); // c_custkey
+        assert_eq!(kind, JoinKind::Inner);
         let s = p.schema(&c).unwrap();
         assert_eq!(s.names(), vec!["o_orderkey", "c_name"]);
     }
@@ -947,6 +1858,7 @@ mod tests {
             "SELECT o_orderkey FROM orders WHERE o_status LIKE 'o%'",
             "SELECT o_orderkey FROM orders WHERE o_status NOT LIKE '%x%'",
             "SELECT o_orderkey FROM orders WHERE NOT o_orderkey = 5 AND o_custkey > 3 OR o_custkey < 1",
+            "SELECT o_orderkey FROM orders WHERE o_status NOT IN ('open') AND o_orderkey NOT BETWEEN 5 AND 9",
         ];
         for q in queries {
             parse_query(q, &c).unwrap_or_else(|e| panic!("{q}: {e}"));
@@ -1005,5 +1917,191 @@ mod tests {
         .unwrap();
         let s = p.schema(&c).unwrap();
         assert_eq!(s.names(), vec!["discounted"]);
+    }
+
+    // --- new-frontend coverage ------------------------------------------------
+
+    #[test]
+    fn dangling_inner_is_not_swallowed() {
+        let c = catalog();
+        // Regression (sql.rs consuming-lookahead bug): a dangling `inner`
+        // with no `join` was eaten, silently accepting the query.
+        let err = parse_query("SELECT o_orderkey FROM orders inner", &c).unwrap_err();
+        assert!(format!("{err}").contains("inner"), "{err}");
+        // ... while identifiers merely *starting* with `inner` are aliases.
+        parse_query("SELECT inner_tab.o_orderkey FROM orders inner_tab", &c).unwrap();
+        parse_query(
+            "SELECT o_orderkey FROM orders o INNER JOIN customer c ON o.o_custkey = c.c_custkey",
+            &c,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn left_outer_join() {
+        let c = catalog();
+        for sql in [
+            "SELECT c_custkey, count(o_orderkey) AS n FROM customer LEFT JOIN orders \
+             ON c_custkey = o_custkey GROUP BY c_custkey",
+            "SELECT c_custkey, count(o_orderkey) AS n FROM customer LEFT OUTER JOIN orders \
+             ON c_custkey = o_custkey GROUP BY c_custkey",
+        ] {
+            let p = parse_query(sql, &c).unwrap();
+            let (_, _, kind) = find_join(&p).expect("join");
+            assert_eq!(kind, JoinKind::LeftOuter);
+            // count(o_orderkey) over the nullable side becomes
+            // sum(__matched), never a plain Count.
+            fn agg_of(plan: &LogicalPlan) -> Option<AggFn> {
+                match plan {
+                    LogicalPlan::Aggregate { aggs, .. } => aggs.first().copied(),
+                    LogicalPlan::Project { input, .. } | LogicalPlan::Select { input, .. } => {
+                        agg_of(input)
+                    }
+                    _ => None,
+                }
+            }
+            assert!(matches!(agg_of(&p), Some(AggFn::Sum(_))), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT st, total FROM (SELECT o_status AS st, sum(o_totalprice) AS total \
+             FROM orders GROUP BY o_status) t WHERE total > 10 ORDER BY st",
+            &c,
+        )
+        .unwrap();
+        let s = p.schema(&c).unwrap();
+        assert_eq!(s.names(), vec!["st", "total"]);
+    }
+
+    #[test]
+    fn exists_and_in_subqueries() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE EXISTS \
+             (SELECT * FROM customer WHERE c_custkey = o_custkey)",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(find_join(&p).unwrap().2, JoinKind::Semi);
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE NOT EXISTS \
+             (SELECT * FROM customer WHERE c_custkey = o_custkey)",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(find_join(&p).unwrap().2, JoinKind::Anti);
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_custkey IN \
+             (SELECT c_custkey FROM customer WHERE c_name LIKE 'A%')",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(find_join(&p).unwrap().2, JoinKind::Semi);
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_custkey NOT IN \
+             (SELECT c_custkey FROM customer)",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(find_join(&p).unwrap().2, JoinKind::Anti);
+    }
+
+    #[test]
+    fn scalar_subqueries() {
+        let c = catalog();
+        // Uncorrelated: cross join (empty keys).
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > \
+             (SELECT avg(o2.o_totalprice) FROM orders o2)",
+            &c,
+        )
+        .unwrap();
+        let (lk, rk, kind) = find_join(&p).unwrap();
+        assert!(lk.is_empty() && rk.is_empty());
+        assert_eq!(kind, JoinKind::Inner);
+        // Correlated: grouped join on the correlation key.
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders o WHERE o_totalprice > \
+             (SELECT avg(o2.o_totalprice) FROM orders o2 WHERE o2.o_custkey = o.o_custkey)",
+            &c,
+        )
+        .unwrap();
+        let (lk, rk, kind) = find_join(&p).unwrap();
+        assert_eq!((lk, rk, kind), (vec![1], vec![0], JoinKind::Inner));
+    }
+
+    #[test]
+    fn having_distinct_case_extract_substring() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_status, sum(o_totalprice) AS total FROM orders GROUP BY o_status \
+             HAVING sum(o_totalprice) > 300 ORDER BY total DESC",
+            &c,
+        )
+        .unwrap();
+        // HAVING's literal picked up the decimal scale of the sum.
+        assert!(format!("{p:?}").contains("Decimal(30000, 2)"), "{p:?}");
+        parse_query("SELECT DISTINCT o_status FROM orders", &c).unwrap();
+        parse_query(
+            "SELECT sum(CASE WHEN o_status = 'open' THEN o_totalprice ELSE 0 END) FROM orders",
+            &c,
+        )
+        .unwrap();
+        let p = parse_query(
+            "SELECT EXTRACT(YEAR FROM o_orderdate) AS y, count(*) FROM orders GROUP BY \
+             EXTRACT(YEAR FROM o_orderdate) ORDER BY y",
+            &c,
+        )
+        .unwrap();
+        assert_eq!(p.schema(&c).unwrap().dtype(0), DataType::I32);
+        parse_query(
+            "SELECT SUBSTRING(o_status, 1, 2) AS code FROM orders WHERE \
+             SUBSTRING(o_status, 1, 2) IN ('op', 'cl')",
+            &c,
+        )
+        .unwrap();
+        assert!(parse_query("SELECT SUBSTRING(o_status, 0, 2) FROM orders", &c).is_err());
+    }
+
+    #[test]
+    fn date_arithmetic_and_intervals() {
+        let c = catalog();
+        let p = parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_orderdate <= date '1998-12-01' - interval '90' day",
+            &c,
+        )
+        .unwrap();
+        assert!(format!("{p:?}").contains("Date("), "{p:?}");
+        assert!(parse_query("SELECT date 'not-a-date' FROM orders", &c).is_err());
+        assert!(parse_query(
+            "SELECT o_orderkey FROM orders WHERE o_orderdate < interval '1' month",
+            &c
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ambiguous_and_out_of_range_errors() {
+        let c = catalog();
+        let mut c2 = c;
+        c2.add(TableMeta {
+            name: "orders2".into(),
+            schema: Schema::of(&[("o_orderkey", DataType::I64)]),
+            rows: 10,
+            partitioning: None,
+            sort_order: None,
+        });
+        let err = parse_query(
+            "SELECT o_orderkey FROM orders JOIN orders2 ON orders.o_orderkey = orders2.o_orderkey",
+            &c2,
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("ambiguous"), "{err}");
+        let err = parse_query("SELECT o_orderkey FROM orders ORDER BY 3", &c2).unwrap_err();
+        assert!(format!("{err}").contains("out of range"), "{err}");
     }
 }

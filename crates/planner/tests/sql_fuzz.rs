@@ -1,0 +1,297 @@
+//! Grammar fuzzing for the SQL frontend.
+//!
+//! Two properties, checked over 64 deterministic SplitMix64 seeds:
+//!
+//! 1. **No panics.** `parse_query` must return `Ok` or `Err` on *any* input —
+//!    both generated-valid SQL and hostile mutations of it (byte flips,
+//!    truncations, token deletions). A panic in the parser would take down
+//!    the whole session thread, so `Err` is the only acceptable failure mode.
+//! 2. **Determinism.** A generated program that parses successfully must
+//!    re-parse to the *same* logical plan (compared via `{:?}` rendering) —
+//!    the parser has no hidden state and no iteration-order dependence.
+//!
+//! The generator is grammar-directed rather than purely random so a healthy
+//! fraction of programs exercise deep paths (joins, subqueries, GROUP BY,
+//! CASE); the mutator then degrades them into near-miss garbage, which is
+//! where consuming-lookahead and unchecked-index bugs live.
+
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::{DataType, Schema};
+use vectorh_planner::logical::{MemoryCatalog, TableMeta};
+use vectorh_planner::parse_query;
+
+const SEEDS: u64 = 64;
+const PROGRAMS_PER_SEED: usize = 8;
+const MUTANTS_PER_PROGRAM: usize = 6;
+
+fn catalog() -> MemoryCatalog {
+    let mut c = MemoryCatalog::new();
+    c.add(TableMeta {
+        name: "t".into(),
+        schema: Schema::of(&[
+            ("a", DataType::I64),
+            ("b", DataType::I32),
+            ("d", DataType::Date),
+            ("p", DataType::Decimal { scale: 2 }),
+            ("s", DataType::Str),
+        ]),
+        rows: 1000,
+        partitioning: Some((vec![0], 4)),
+        sort_order: Some(vec![0]),
+    });
+    c.add(TableMeta {
+        name: "u".into(),
+        schema: Schema::of(&[("ua", DataType::I64), ("ub", DataType::Str)]),
+        rows: 100,
+        partitioning: None,
+        sort_order: None,
+    });
+    c
+}
+
+/// Pick one element of a slice.
+fn pick<'a>(rng: &mut SplitMix64, xs: &[&'a str]) -> &'a str {
+    xs[rng.next_bounded(xs.len() as u64) as usize]
+}
+
+fn gen_scalar(rng: &mut SplitMix64, depth: usize) -> String {
+    let num_cols = ["a", "b", "t.a", "t.b"];
+    match rng.next_bounded(if depth == 0 { 4 } else { 7 }) {
+        0 => pick(rng, &num_cols).to_string(),
+        1 => format!("{}", rng.next_bounded(1000)),
+        2 => format!("{}.{:02}", rng.next_bounded(100), rng.next_bounded(100)),
+        3 => "p".to_string(),
+        4 => format!(
+            "({} {} {})",
+            gen_scalar(rng, depth - 1),
+            pick(rng, &["+", "-", "*"]),
+            gen_scalar(rng, depth - 1)
+        ),
+        5 => format!("-{}", gen_scalar(rng, depth - 1)),
+        _ => format!(
+            "case when {} then {} else {} end",
+            gen_pred(rng, 0),
+            gen_scalar(rng, depth - 1),
+            gen_scalar(rng, depth - 1)
+        ),
+    }
+}
+
+fn gen_pred(rng: &mut SplitMix64, depth: usize) -> String {
+    match rng.next_bounded(if depth == 0 { 5 } else { 7 }) {
+        0 => format!(
+            "{} {} {}",
+            pick(rng, &["a", "b", "p"]),
+            pick(rng, &["=", "<", ">", "<=", ">=", "<>"]),
+            rng.next_bounded(500)
+        ),
+        1 => format!(
+            "d {} date '1995-0{}-01'",
+            pick(rng, &["<", ">=", "="]),
+            1 + rng.next_bounded(9)
+        ),
+        2 => format!(
+            "s like '%{}%'",
+            pick(rng, &["red", "green", "BRASS", "x_y"])
+        ),
+        3 => format!(
+            "b between {} and {}",
+            rng.next_bounded(10),
+            10 + rng.next_bounded(90)
+        ),
+        4 => format!("a in ({}, {}, {})", rng.next_bounded(9), 10, 11),
+        5 => format!(
+            "({} and {})",
+            gen_pred(rng, depth - 1),
+            gen_pred(rng, depth - 1)
+        ),
+        _ => format!("not ({})", gen_pred(rng, depth - 1)),
+    }
+}
+
+/// A syntactically valid program per the frontend's grammar.
+fn gen_query(rng: &mut SplitMix64) -> String {
+    let mut q = String::from("select ");
+    if rng.chance(0.15) {
+        q.push_str("distinct ");
+    }
+    let grouped = rng.chance(0.3);
+    if grouped {
+        // Grouped: one group column plus aggregates over scalars.
+        q.push_str("s, ");
+        let n_aggs = 1 + rng.next_bounded(2);
+        for i in 0..n_aggs {
+            if i > 0 {
+                q.push_str(", ");
+            }
+            let agg = pick(rng, &["sum", "min", "max", "avg", "count"]);
+            q.push_str(&format!("{agg}({})", gen_scalar(rng, 1)));
+        }
+    } else {
+        let n_items = 1 + rng.next_bounded(3);
+        for i in 0..n_items {
+            if i > 0 {
+                q.push_str(", ");
+            }
+            q.push_str(&format!("{} as c{i}", gen_scalar(rng, 2)));
+        }
+    }
+    q.push_str(" from t");
+    let joined = rng.chance(0.35);
+    if joined {
+        q.push_str(match rng.next_bounded(3) {
+            0 => " join u on a = ua",
+            1 => " inner join u on a = ua",
+            _ => " left outer join u on a = ua",
+        });
+    }
+    if rng.chance(0.6) {
+        q.push_str(&format!(" where {}", gen_pred(rng, 2)));
+    }
+    if rng.chance(0.2) && !grouped {
+        q.push_str(" where exists (select ua from u where ua = a)");
+    }
+    if grouped {
+        q.push_str(" group by s");
+        if rng.chance(0.4) {
+            q.push_str(&format!(" having count(*) > {}", rng.next_bounded(5)));
+        }
+        if rng.chance(0.5) {
+            q.push_str(" order by s");
+        }
+    } else if rng.chance(0.4) {
+        q.push_str(&format!(" order by {} desc", 1 + rng.next_bounded(2)));
+    }
+    if rng.chance(0.3) {
+        q.push_str(&format!(" limit {}", 1 + rng.next_bounded(50)));
+    }
+    q
+}
+
+/// Corrupt a valid program: byte substitutions, truncation, or word removal.
+fn mutate(rng: &mut SplitMix64, sql: &str) -> String {
+    let mut bytes: Vec<u8> = sql.as_bytes().to_vec();
+    match rng.next_bounded(4) {
+        0 => {
+            // Replace a few bytes with random printable ASCII.
+            for _ in 0..=rng.next_bounded(4) {
+                if bytes.is_empty() {
+                    break;
+                }
+                let i = rng.next_bounded(bytes.len() as u64) as usize;
+                bytes[i] = (0x20 + rng.next_bounded(0x5f)) as u8;
+            }
+        }
+        1 => {
+            // Truncate at a random point.
+            let cut = rng.next_bounded(bytes.len() as u64 + 1) as usize;
+            bytes.truncate(cut);
+        }
+        2 => {
+            // Delete a whole whitespace-delimited word.
+            let words: Vec<&str> = sql.split_whitespace().collect();
+            if !words.is_empty() {
+                let skip = rng.next_bounded(words.len() as u64) as usize;
+                let rebuilt: Vec<&str> = words
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, w)| *w)
+                    .collect();
+                return rebuilt.join(" ");
+            }
+        }
+        _ => {
+            // Duplicate a random slice (unbalances parens/quotes).
+            if !bytes.is_empty() {
+                let i = rng.next_bounded(bytes.len() as u64) as usize;
+                let j = i + rng.next_bounded((bytes.len() - i) as u64 + 1) as usize;
+                let slice: Vec<u8> = bytes[i..j].to_vec();
+                bytes.extend_from_slice(&slice);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn fuzz_parser_never_panics_and_is_deterministic() {
+    let cat = catalog();
+    let mut parsed_ok = 0usize;
+    let mut total = 0usize;
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(0x5eed_0000 + seed);
+        for _ in 0..PROGRAMS_PER_SEED {
+            let sql = gen_query(&mut rng);
+            total += 1;
+            // Property 2: valid programs re-parse deterministically. (An
+            // Err here is fine — the generator over-approximates the
+            // grammar; the parse-rate assert below keeps it honest.)
+            if let Ok(plan) = parse_query(&sql, &cat) {
+                parsed_ok += 1;
+                let again = parse_query(&sql, &cat)
+                    .unwrap_or_else(|e| panic!("non-deterministic parse of {sql:?}: {e}"));
+                assert_eq!(
+                    format!("{plan:?}"),
+                    format!("{again:?}"),
+                    "plan changed between parses of {sql:?}"
+                );
+            }
+            // Property 1: mutants never panic (Err is fine).
+            for _ in 0..MUTANTS_PER_PROGRAM {
+                let bad = mutate(&mut rng, &sql);
+                let _ = parse_query(&bad, &cat);
+            }
+        }
+    }
+    // The generator tracks the implemented grammar; if the valid-parse rate
+    // collapses, the corpus is no longer exercising deep parser paths.
+    assert!(
+        parsed_ok * 2 > total,
+        "only {parsed_ok}/{total} generated programs parsed — generator drifted from grammar"
+    );
+}
+
+/// Hostile inputs that historically break hand-written parsers: deep nesting,
+/// unterminated tokens, keyword-only soup, and empty/whitespace strings.
+#[test]
+fn adversarial_inputs_do_not_panic() {
+    let cat = catalog();
+    let deep_parens = format!("select {}a{} from t", "(".repeat(200), ")".repeat(200));
+    let deep_case = format!(
+        "select {} 1 {} from t",
+        "case when a = 1 then ".repeat(60),
+        "else 0 end ".repeat(60)
+    );
+    let cases: Vec<String> = vec![
+        String::new(),
+        "   \t\n  ".into(),
+        "select".into(),
+        "select from where".into(),
+        "select a from t where".into(),
+        "select a from t order by".into(),
+        "select a from t group by".into(),
+        "select 'unterminated from t".into(),
+        "select a from t where s like '%".into(),
+        "select ((((((((((a from t".into(),
+        "select a from t t2 t3 t4".into(),
+        "select count(((*))) from t".into(),
+        "select a from t where a in (".into(),
+        "select a from t where exists".into(),
+        "select a from (select".into(),
+        "select a from t join".into(),
+        "select a from t join u on".into(),
+        "select * from t where d = date".into(),
+        "select * from t where d = date '9999-99-99'".into(),
+        "select * from t where p = 99999999999999999999999.99".into(),
+        "select * from t limit 99999999999999999999999".into(),
+        "select a from t -- no comment support".into(),
+        "select a,,b from t".into(),
+        "select a from t where a = = 1".into(),
+        deep_parens,
+        deep_case,
+    ];
+    for sql in &cases {
+        let _ = parse_query(sql, &cat);
+    }
+}

@@ -7,6 +7,8 @@
 //!   those joins are co-located), small tables replicated.
 //! * [`queries`] — all 22 TPC-H queries as logical plans (scalar subqueries
 //!   decorrelated into explicit two-step plans).
+//! * [`sql_texts`] — the same 22 queries as SQL text for the frontend; the
+//!   `sql_conformance` suite locks both forms to byte-identical results.
 //! * [`refresh`] — RF1 (new orders) and RF2 (deletes) refresh functions.
 //! * [`baseline`] — comparator engines for Figure 7: a tuple-at-a-time
 //!   interpreter ("rowstore", Hive/PostgreSQL-like) and a single-threaded
@@ -19,7 +21,9 @@ pub mod gen;
 pub mod queries;
 pub mod refresh;
 pub mod schema;
+pub mod sql_texts;
 
 pub use gen::{generate, TpchData};
 pub use queries::{run_query, TpchQuery, N_QUERIES};
 pub use schema::{create_tables, load, table_names};
+pub use sql_texts::sql_text;
