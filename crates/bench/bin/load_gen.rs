@@ -1,0 +1,222 @@
+//! Seeded multi-client load generator for the SQL front door, with an
+//! optional mid-run node-kill drill.
+//!
+//! Spawns a front-door [`Server`] over a live engine, then `VH_LOAD_CLIENTS`
+//! (default 16) closed-loop wire clients, each running a seeded Q1/Q6/Q12
+//! mix ([`FRONTDOOR_MIX`]). Once every client has completed at least one
+//! query, the harness kills one worker node (unless `VH_LOAD_KILL=0`) —
+//! in-flight queries must be absorbed by session-transparent failover, so
+//! **zero client-visible failures** is a hard assertion, not a statistic.
+//! `ServerBusy` refusals are the only tolerated rejection, retried with the
+//! server's jitter hint.
+//!
+//! Reports p50/p99 latency and queries/sec into the `BENCH_*.json` format
+//! (default `BENCH_pr8.json`, override with `VH_BENCH_OUT`), with the
+//! admission/session counters read from `VectorH::server_stats()` — real
+//! numbers, not scraped output.
+//!
+//! Env: `CHAOS_SEED` (workload + victim seed, default 0x56EC7047),
+//! `VH_LOAD_CLIENTS`, `VH_LOAD_QUERIES` (per client), `VH_LOAD_KILL`,
+//! `VH_BENCH_QUICK=1` (small per-client count), `VH_SF`, `VH_BENCH_OUT`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use vectorh::{ClusterConfig, VectorH};
+use vectorh_bench::report::Report;
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::{NodeId, Value, VhError};
+use vectorh_server::{Client, Server, ServerConfig};
+use vectorh_tpch::sql_texts::{frontdoor_mix_texts, FRONTDOOR_MIX};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let quick = std::env::var("VH_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let seed = env_u64("CHAOS_SEED", 0x56EC_7047);
+    let n_clients = env_u64("VH_LOAD_CLIENTS", 16) as usize;
+    let per_client = env_u64("VH_LOAD_QUERIES", if quick { 4 } else { 12 }) as usize;
+    let kill = env_u64("VH_LOAD_KILL", 1) == 1;
+    let sf = vectorh_bench::env_sf(if quick { 0.002 } else { 0.01 });
+    let out_path = std::env::var("VH_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr8.json".to_string());
+
+    eprintln!(
+        "[load_gen] seed {seed:#x}, {n_clients} clients × {per_client} queries, \
+         sf {sf}, kill drill: {kill}"
+    );
+    let vh = Arc::new(
+        VectorH::start(ClusterConfig {
+            nodes: 4,
+            rows_per_chunk: 1024,
+            hdfs_block_size: 64 * 1024,
+            ..Default::default()
+        })
+        .expect("engine start"),
+    );
+    vectorh_tpch::schema::setup(&vh, sf, 4, 20260707).expect("tpch load");
+    let mut server = Server::start(vh.clone(), ServerConfig::default()).expect("server start");
+
+    // Baselines while quiescent: the workload is read-only, so every
+    // wire answer must equal these byte for byte (canonicalized — bare
+    // aggregates are order-stable, but stay robust to stream scheduling).
+    let texts = frontdoor_mix_texts();
+    let baselines: Vec<Vec<Vec<Value>>> = texts
+        .iter()
+        .map(|sql| vectorh_tpch::baseline::canonical(vh.query(sql).expect("baseline")))
+        .collect();
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let addr = server.addr();
+    let wall = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..n_clients {
+        let completed = completed.clone();
+        let baselines = baselines.clone();
+        handles.push(std::thread::spawn(move || {
+            let texts = frontdoor_mix_texts();
+            let mut rng = SplitMix64::new(seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
+            let mut client = Client::connect(addr).expect("connect");
+            let mut lat_ms = Vec::with_capacity(per_client);
+            let mut absorbed = 0u64;
+            for i in 0..per_client {
+                let qi = rng.next_bounded(texts.len() as u64) as usize;
+                let t0 = Instant::now();
+                // ServerBusy is the one tolerated refusal; anything else —
+                // including any failover leak — is a hard failure.
+                let outcome = client.query_with_retry(texts[qi], 50).unwrap_or_else(|e| {
+                    panic!("client {c} query {i} (q{}): {e}", FRONTDOOR_MIX[qi])
+                });
+                lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                let got = vectorh_tpch::baseline::canonical(outcome.rows);
+                assert_eq!(
+                    got, baselines[qi],
+                    "client {c} query {i} (q{}) diverged from baseline",
+                    FRONTDOOR_MIX[qi]
+                );
+                absorbed += outcome.retries_absorbed;
+                completed.fetch_add(1, Ordering::SeqCst);
+            }
+            (lat_ms, absorbed)
+        }));
+    }
+
+    // The drill: once the run is warm (every client has finished a query),
+    // kill a seeded victim. Replication covers its reads; the retry loop
+    // inside query_logical absorbs in-flight casualties.
+    let mut victim = None;
+    if kill {
+        while completed.load(Ordering::SeqCst) < n_clients {
+            std::thread::yield_now();
+        }
+        let workers = vh.workers();
+        // Never the lowest id: keep the session master boring for the drill.
+        let v = workers[1 + SplitMix64::new(seed).next_bounded(workers.len() as u64 - 1) as usize];
+        vh.kill_node(v).expect("kill victim");
+        eprintln!("[load_gen] killed {v} mid-run");
+        victim = Some(v);
+    }
+
+    let mut lat_ms: Vec<f64> = Vec::new();
+    let mut client_absorbed = 0u64;
+    for h in handles {
+        let (lat, absorbed) = h.join().expect("client thread");
+        lat_ms.extend(lat);
+        client_absorbed += absorbed;
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    server.stop();
+
+    // Real numbers from the engine probe, not scraped output.
+    let totals = vh.server_stats().totals();
+    let n_queries = (n_clients * per_client) as u64;
+    assert_eq!(
+        totals.queries_served, n_queries,
+        "every query must eventually be served"
+    );
+    assert_eq!(
+        totals.retries_absorbed, client_absorbed,
+        "server-side and Done-frame retry counts must agree"
+    );
+    if let Some(v) = victim {
+        assert!(!vh.workers().contains(&v), "the victim really died");
+    }
+
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&lat_ms, 50.0), percentile(&lat_ms, 99.0));
+    let qps = n_queries as f64 / wall_s;
+
+    let mut rep = Report::new();
+    rep.meta("bench", "pr8-load-gen");
+    rep.meta("quick", if quick { "1" } else { "0" });
+    rep.meta("seed", &format!("{seed:#x}"));
+    rep.meta("mix", "q1,q6,q12");
+    rep.meta(
+        "kill",
+        &victim
+            .map(|NodeId(v)| v.to_string())
+            .unwrap_or_else(|| "none".into()),
+    );
+    rep.meta(
+        "host",
+        &format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+    );
+    rep.push("load_gen", "clients", n_clients as f64, "count");
+    rep.push("load_gen", "queries", n_queries as f64, "count");
+    rep.push("load_gen", "p50", p50, "ms");
+    rep.push("load_gen", "p99", p99, "ms");
+    rep.push("load_gen", "qps", qps, "queries/s");
+    rep.push(
+        "load_gen",
+        "retries_absorbed",
+        totals.retries_absorbed as f64,
+        "count",
+    );
+    rep.push(
+        "load_gen",
+        "rejected_busy",
+        totals.rejected_busy as f64,
+        "count",
+    );
+    rep.push(
+        "load_gen",
+        "queue_wait_total",
+        totals.queue_wait_us as f64 / 1e3,
+        "ms",
+    );
+    rep.push("load_gen", "client_visible_failures", 0.0, "count");
+    rep.write_file(&out_path).expect("write report");
+
+    println!(
+        "load_gen: {n_clients} clients, {n_queries} queries in {wall_s:.2}s — \
+         p50 {p50:.2} ms, p99 {p99:.2} ms, {qps:.1} q/s"
+    );
+    println!(
+        "  absorbed {} failover retries, {} busy rejections, 0 client-visible failures",
+        totals.retries_absorbed, totals.rejected_busy
+    );
+    println!("  report: {out_path}");
+    // The one error class a client may ever see is typed ServerBusy; make
+    // the taxonomy promise concrete in the artifact even when it was idle.
+    let busy_code = VhError::ServerBusy(String::new()).code();
+    assert_eq!(VhError::from_code(busy_code, "x".into()).code(), busy_code);
+}

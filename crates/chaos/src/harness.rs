@@ -37,6 +37,14 @@
 //!    deliver every payload exactly once, in order, and after an epoch bump
 //!    a peer redialling with the stale epoch must be fenced at the
 //!    handshake.
+//! 7. **Front-door kill under concurrent clients** (`frontdoor`) — a wire
+//!    [`Server`](vectorh_server::Server) fronts the engine while a
+//!    seed-sized pack of concurrent TCP clients streams a Q1/Q6/Q12 mix;
+//!    once every client is mid-run, a seed-chosen worker dies. Every query
+//!    must still return baseline-correct rows — failover is absorbed
+//!    inside `query_logical`, never surfaced to a client — and the
+//!    admission gate must report zero rejections for a closed-loop pack
+//!    this size.
 //!
 //! Phases run selectively via `CHAOS_PHASES` (comma-separated names from
 //! [`ALL_PHASES`], default all) so CI can split a schedule across parallel
@@ -49,7 +57,7 @@
 //! run-to-run. Failures embed the seed; rerun just that schedule with
 //! `CHAOS_SEED=<seed>`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,8 +65,10 @@ use vectorh::{ClusterConfig, TableBuilder, VectorH};
 use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
 use vectorh_common::rng::SplitMix64;
 use vectorh_common::{DataType, NodeId, PartitionId, Result, Value, VhError};
+use vectorh_server::{AdmissionConfig, Client, Server, ServerConfig};
 use vectorh_tpch::baseline::{canonical, BaselineDb, BaselineKind};
 use vectorh_tpch::queries::{build_query, run_with};
+use vectorh_tpch::sql_texts::{frontdoor_mix_texts, FRONTDOOR_MIX};
 use vectorh_transport::{Fabric, RxKind, SharedEpoch, TcpFabric};
 use vectorh_txn::manager::{TransactionManager, TxnConfig};
 use vectorh_txn::twophase::{CrashPoint, Outcome, TwoPhaseCoordinator};
@@ -70,7 +80,15 @@ use crate::plan::{site_index, DirectedFault, DirectedSet, FaultPlan, N_SITES};
 pub const DEFAULT_CORPUS_LEN: usize = 16;
 
 /// Phase names, in execution order. `CHAOS_PHASES` selects a subset.
-pub const ALL_PHASES: [&str; 6] = ["io", "txn", "kill", "rejoin", "master", "transport"];
+pub const ALL_PHASES: [&str; 7] = [
+    "io",
+    "txn",
+    "kill",
+    "rejoin",
+    "master",
+    "transport",
+    "frontdoor",
+];
 
 /// Phases enabled by the environment: `CHAOS_PHASES=io,txn` runs just
 /// those two (CI splits the corpus this way); unset runs all of them.
@@ -170,8 +188,9 @@ pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleRe
     };
 
     // Cluster shape: ≥4 nodes so replication 3 survives a node kill.
+    // Arc because the front-door phase hands the engine to a wire server.
     let nodes = 4 + rng.next_bounded(2) as usize;
-    let vh = VectorH::start(ClusterConfig {
+    let vh = Arc::new(VectorH::start(ClusterConfig {
         nodes,
         rows_per_chunk: 256,
         hdfs_block_size: 32 * 1024,
@@ -184,7 +203,7 @@ pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleRe
             max_records: Some(8),
         },
         ..Default::default()
-    })?;
+    })?);
     let data = vectorh_tpch::schema::setup(&vh, 0.001, 4, 20260807)?;
     let db = BaselineDb::load(&data)?;
     report
@@ -208,6 +227,9 @@ pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleRe
     }
     if phases.contains(&"transport") {
         phase_transport(&mut phase_rng(seed, 6), &mut report)?;
+    }
+    if phases.contains(&"frontdoor") {
+        phase_frontdoor(&vh, &db, &mut phase_rng(seed, 7), &mut report)?;
     }
     report.epochs = vh.master_history();
     Ok(report)
@@ -1034,6 +1056,132 @@ fn phase_transport(rng: &mut SplitMix64, report: &mut ScheduleReport) -> Result<
         "transport: {n} frames exactly-once over tcp (window {window}) \
          through {disconnects} disconnects, {partials} torn frames, \
          {refusals} refused dials; stale-epoch redial fenced at epoch 2"
+    ));
+    Ok(())
+}
+
+/// Phase 7: a node dies while N concurrent wire clients are streaming
+/// results through the SQL front door.
+///
+/// A [`Server`] fronts the engine; a seed-sized pack of closed-loop TCP
+/// clients runs the Q1/Q6/Q12 mix. Once every client is warm (has at least
+/// one completed query), a seed-chosen non-master worker is killed.
+/// Invariants: **zero client-visible failures** (every in-flight casualty
+/// is absorbed by `query_logical`'s pinned-budget retry loop), every
+/// answer baseline-correct, every query served exactly once per the
+/// engine's own [`server_stats`](VectorH::server_stats) probe, and zero
+/// admission rejections — the gate is sized so a closed-loop pack can
+/// never be refused, which keeps the report timing-independent.
+fn phase_frontdoor(
+    vh: &Arc<VectorH>,
+    db: &BaselineDb,
+    rng: &mut SplitMix64,
+    report: &mut ScheduleReport,
+) -> Result<()> {
+    let seed = report.seed;
+    let n_clients = 4 + rng.next_bounded(3) as usize;
+    let per_client = 3usize;
+    let master = vh.session_master();
+    let pool: Vec<NodeId> = vh.workers().into_iter().filter(|w| *w != master).collect();
+    let victim = pool[rng.next_bounded(pool.len() as u64) as usize];
+
+    let server = Server::start(
+        vh.clone(),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            admission: AdmissionConfig {
+                max_concurrent: 16,
+                max_queue: 32,
+                queue_timeout_ms: 30_000,
+                per_session_inflight: 4,
+                seed,
+            },
+            batch_rows: 512,
+        },
+    )?;
+    let before = vh.server_stats().totals();
+
+    let mut baselines: Vec<Vec<Vec<Value>>> = Vec::new();
+    for qn in FRONTDOOR_MIX {
+        baselines.push(canonical(
+            db.run_query(&build_query(qn)?, BaselineKind::RowStore)?,
+        ));
+    }
+    let texts = frontdoor_mix_texts();
+    let completed = AtomicUsize::new(0);
+    let addr = server.addr();
+
+    let mut failures: Vec<String> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..n_clients {
+            let (completed, baselines, texts) = (&completed, &baselines, &texts);
+            handles.push(s.spawn(move || -> std::result::Result<(), String> {
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("client {c} connect: {e}"))?;
+                for i in 0..per_client {
+                    let qi = (c + i) % texts.len();
+                    let rows = client.query(texts[qi]).map_err(|e| {
+                        format!("client {c} Q{}: visible failure {e}", FRONTDOOR_MIX[qi])
+                    })?;
+                    if canonical(rows) != baselines[qi] {
+                        return Err(format!(
+                            "client {c} Q{} diverged from baseline",
+                            FRONTDOOR_MIX[qi]
+                        ));
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(())
+            }));
+        }
+        // The drill: kill once every client is mid-run.
+        while completed.load(Ordering::SeqCst) < n_clients {
+            std::thread::yield_now();
+        }
+        let kill = vh.kill_node(victim);
+        let mut failures: Vec<String> = handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("client thread panicked").err())
+            .collect();
+        if let Err(e) = kill {
+            failures.push(format!("kill {victim}: {e}"));
+        }
+        failures
+    });
+    failures.sort();
+    if !failures.is_empty() {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: front door leaked failures to clients: {}",
+            failures.join("; ")
+        )));
+    }
+    if vh.workers().contains(&victim) {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: {victim} still in the worker set after kill"
+        )));
+    }
+
+    let totals = vh.server_stats().totals();
+    let served = totals.queries_served - before.queries_served;
+    let rejected = totals.rejected_busy - before.rejected_busy;
+    let want = (n_clients * per_client) as u64;
+    if served != want {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: server_stats counted {served} served, \
+             clients completed {want}"
+        )));
+    }
+    if rejected != 0 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: admission refused {rejected} queries from \
+             a closed-loop pack the gate is sized for"
+        )));
+    }
+    drop(server);
+    report.steps.push(format!(
+        "frontdoor: killed {victim} under {n_clients} streaming clients \
+         (q1/q6/q12 × {per_client}); {want}/{want} served over the wire, \
+         zero client-visible failures"
     ));
     Ok(())
 }

@@ -40,6 +40,13 @@ pub enum VhError {
     InvalidArg(String),
     /// Internal invariant violated; indicates a bug in VectorH-rs itself.
     Internal(String),
+    /// The SQL front door refused admission (queue full / timed out / cap
+    /// hit). Always a graceful typed reply — the connection stays open and
+    /// the message carries retry-backoff guidance.
+    ServerBusy(String),
+    /// The query was cancelled by the client (or the session closed) while
+    /// executing; the execute loop checks the cancel flag between batches.
+    Cancelled(String),
 }
 
 impl VhError {
@@ -61,6 +68,63 @@ impl VhError {
             VhError::Constraint(_) => "constraint",
             VhError::InvalidArg(_) => "invalid-arg",
             VhError::Internal(_) => "internal",
+            VhError::ServerBusy(_) => "server-busy",
+            VhError::Cancelled(_) => "cancelled",
+        }
+    }
+
+    /// Stable numeric error code for the wire protocol.
+    ///
+    /// The taxonomy is append-only: codes are part of the client contract
+    /// and must never be renumbered. The match is deliberately exhaustive
+    /// (no wildcard arm) so adding a `VhError` variant without assigning it
+    /// a code is a compile-time error, not a runtime default.
+    pub fn code(&self) -> u16 {
+        match self {
+            VhError::Storage(_) => 1001,
+            VhError::Hdfs(_) => 1002,
+            VhError::Codec(_) => 1003,
+            VhError::Pdt(_) => 1004,
+            VhError::Plan(_) => 1005,
+            VhError::Exec(_) => 1006,
+            VhError::TxnAbort(_) => 1007,
+            VhError::Yarn(_) => 1008,
+            VhError::Net(_) => 1009,
+            VhError::NodeDown(_) => 1010,
+            VhError::StaleMaster(_) => 1011,
+            VhError::Catalog(_) => 1012,
+            VhError::Constraint(_) => 1013,
+            VhError::InvalidArg(_) => 1014,
+            VhError::Internal(_) => 1015,
+            VhError::ServerBusy(_) => 1016,
+            VhError::Cancelled(_) => 1017,
+        }
+    }
+
+    /// Rebuild an error from a wire `(code, message)` pair. Unknown codes
+    /// map to `Internal` with the code preserved in the message — they can
+    /// only come from a newer peer, and the connection-level version check
+    /// should have rejected that first.
+    pub fn from_code(code: u16, message: String) -> VhError {
+        match code {
+            1001 => VhError::Storage(message),
+            1002 => VhError::Hdfs(message),
+            1003 => VhError::Codec(message),
+            1004 => VhError::Pdt(message),
+            1005 => VhError::Plan(message),
+            1006 => VhError::Exec(message),
+            1007 => VhError::TxnAbort(message),
+            1008 => VhError::Yarn(message),
+            1009 => VhError::Net(message),
+            1010 => VhError::NodeDown(message),
+            1011 => VhError::StaleMaster(message),
+            1012 => VhError::Catalog(message),
+            1013 => VhError::Constraint(message),
+            1014 => VhError::InvalidArg(message),
+            1015 => VhError::Internal(message),
+            1016 => VhError::ServerBusy(message),
+            1017 => VhError::Cancelled(message),
+            other => VhError::Internal(format!("unknown error code {other}: {message}")),
         }
     }
 
@@ -81,7 +145,9 @@ impl VhError {
             | VhError::Catalog(m)
             | VhError::Constraint(m)
             | VhError::InvalidArg(m)
-            | VhError::Internal(m) => m,
+            | VhError::Internal(m)
+            | VhError::ServerBusy(m)
+            | VhError::Cancelled(m) => m,
         }
     }
 }
@@ -115,9 +181,8 @@ mod tests {
         assert_ne!(VhError::Plan("x".into()), VhError::Exec("x".into()));
     }
 
-    #[test]
-    fn all_variants_report_subsystem() {
-        let variants = vec![
+    fn all_variants() -> Vec<VhError> {
+        vec![
             VhError::Storage(String::new()),
             VhError::Hdfs(String::new()),
             VhError::Codec(String::new()),
@@ -133,8 +198,59 @@ mod tests {
             VhError::Constraint(String::new()),
             VhError::InvalidArg(String::new()),
             VhError::Internal(String::new()),
-        ];
+            VhError::ServerBusy(String::new()),
+            VhError::Cancelled(String::new()),
+        ]
+    }
+
+    #[test]
+    fn all_variants_report_subsystem() {
+        let variants = all_variants();
         let tags: std::collections::HashSet<_> = variants.iter().map(|v| v.subsystem()).collect();
         assert_eq!(tags.len(), variants.len(), "subsystem tags must be unique");
+    }
+
+    #[test]
+    fn error_codes_are_stable_unique_and_roundtrip() {
+        // The numeric taxonomy is a wire contract: pin every assignment so
+        // a renumbering (as opposed to an append) fails this test.
+        let pinned: &[(u16, &str)] = &[
+            (1001, "storage"),
+            (1002, "hdfs"),
+            (1003, "codec"),
+            (1004, "pdt"),
+            (1005, "plan"),
+            (1006, "exec"),
+            (1007, "txn"),
+            (1008, "yarn"),
+            (1009, "net"),
+            (1010, "node-down"),
+            (1011, "stale-master"),
+            (1012, "catalog"),
+            (1013, "constraint"),
+            (1014, "invalid-arg"),
+            (1015, "internal"),
+            (1016, "server-busy"),
+            (1017, "cancelled"),
+        ];
+        let variants = all_variants();
+        assert_eq!(variants.len(), pinned.len(), "new variant: pin its code");
+        let mut seen = std::collections::HashSet::new();
+        for v in &variants {
+            assert!(seen.insert(v.code()), "duplicate code {}", v.code());
+            let tag = pinned
+                .iter()
+                .find(|(c, _)| *c == v.code())
+                .map(|(_, t)| *t)
+                .unwrap_or_else(|| panic!("code {} not pinned", v.code()));
+            assert_eq!(tag, v.subsystem(), "code {} renumbered", v.code());
+        }
+        // Negative path: the decode side restores the exact variant…
+        let e = VhError::NodeDown("node 2 is dead".into());
+        assert_eq!(VhError::from_code(e.code(), e.message().into()), e);
+        // …and an unknown code degrades to Internal, never a panic.
+        let unknown = VhError::from_code(60000, "from the future".into());
+        assert!(matches!(unknown, VhError::Internal(_)));
+        assert!(unknown.message().contains("60000"));
     }
 }

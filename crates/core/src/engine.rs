@@ -1,14 +1,14 @@
 //! The VectorH engine: cluster lifecycle, DDL, loading, queries, failover.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
-use vectorh_net::{ChannelStats, DxchgConfig, FanoutMode, HeartbeatMonitor, NetStats};
+use vectorh_net::{ChannelStats, DxchgConfig, FanoutMode, HeartbeatMonitor, NetStats, ServerStats};
 use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
 use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
@@ -187,6 +187,46 @@ impl TableRuntime {
     }
 }
 
+/// Per-query control block, threaded from the SQL front door down to the
+/// execute loop. The cancel flag is checked between result batches (so a
+/// cancel lands within one vector of work) and between failover attempts;
+/// the retry counter reports how many `NodeDown` failovers `query_logical`
+/// absorbed — the front door surfaces it per session so "the client saw
+/// nothing" is a measured claim, not an assumption.
+#[derive(Debug, Default)]
+pub struct QueryCtl {
+    cancel: AtomicBool,
+    retries: AtomicU64,
+}
+
+impl QueryCtl {
+    pub fn new() -> Arc<QueryCtl> {
+        Arc::new(QueryCtl::default())
+    }
+
+    /// Request cancellation; the execute loop notices between batches.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Failover retries absorbed while this query ran.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
 /// The engine.
 pub struct VectorH {
     pub config: ClusterConfig,
@@ -216,6 +256,10 @@ pub struct VectorH {
     /// Every (epoch, master) ever in force, in order — election audit trail.
     master_history: Mutex<Vec<(u64, NodeId)>>,
     net: Arc<NetStats>,
+    /// Front-door session counters (queries served, retries absorbed,
+    /// queue waits, busy rejections), written by `vectorh-server` and read
+    /// through [`VectorH::server_stats`].
+    server: Arc<ServerStats>,
     /// Transport fabric in [`ClusterMode::Tcp`]; `None` keeps the exchange
     /// layer on pure in-process channels.
     fabric: Option<Arc<dyn Fabric>>,
@@ -337,6 +381,7 @@ impl VectorH {
             }),
             master_history: Mutex::new(vec![(1, first)]),
             net: Arc::new(NetStats::default()),
+            server: Arc::new(ServerStats::default()),
             fabric,
             epoch_cell,
             hb_net,
@@ -370,6 +415,13 @@ impl VectorH {
             c.mode = FanoutMode::ThreadToNode;
         }
         c
+    }
+
+    /// Front-door per-session counters (the `vectorh-server` crate writes
+    /// them; load generators and chaos assertions read real numbers here
+    /// instead of scraping output).
+    pub fn server_stats(&self) -> &Arc<ServerStats> {
+        &self.server
     }
 
     pub fn net_stats(&self) -> &Arc<NetStats> {
@@ -630,16 +682,41 @@ impl VectorH {
     /// survivors. Each failover shrinks the cluster, so the retry count is
     /// bounded by the original node count.
     pub fn query_logical(&self, logical: &LogicalPlan) -> Result<Vec<Vec<Value>>> {
+        self.query_logical_ctl(logical, None)
+    }
+
+    /// [`Self::query_logical`] with a per-query control block: the cancel
+    /// flag is honored between failover attempts and between result
+    /// batches, and every absorbed `NodeDown` retry is counted on `ctl` so
+    /// the front door can report session-transparent failovers.
+    pub fn query_logical_ctl(
+        &self,
+        logical: &LogicalPlan,
+        ctl: Option<&QueryCtl>,
+    ) -> Result<Vec<Vec<Value>>> {
+        // Pin the retry budget to the worker count *at entry*: each
+        // failover shrinks the set, so re-reading the survivor count after
+        // a kill under-budgets a cascade (N nodes dying one by one needs up
+        // to N retries, but the shrunken set only grants the remainder).
+        // The budget still shrinks-to-fit in the common case because a
+        // retry only happens after NodeDown, and each death consumes one.
+        let retry_budget = self.workers().len();
         let mut failovers = 0usize;
         loop {
+            if let Some(c) = ctl {
+                if c.is_cancelled() {
+                    return Err(VhError::Cancelled("query cancelled".into()));
+                }
+            }
             // Background health plane: every query advances the virtual
             // clock, so detection/election/takeover fire from inside
             // ordinary traffic — a dead node is usually recovered *before*
             // planning instead of tripping the retry path below.
             self.advance_health(1)?;
             let phys = self.optimize(logical)?;
-            match self.run_physical(&phys) {
+            match self.run_physical(&phys, ctl.map(|c| c.cancel_flag())) {
                 Ok((rows, _)) => return Ok(rows),
+                Err(e @ VhError::Cancelled(_)) => return Err(e),
                 Err(e) => {
                     failovers += 1;
                     // A mid-query death surfaces as NodeDown from the pinned
@@ -649,12 +726,11 @@ impl VectorH {
                     // therefore the authoritative failover signal.
                     let node_died = self.reconcile_workers().unwrap_or(false);
                     let retryable = node_died || matches!(e, VhError::NodeDown(_));
-                    // Bound retries by the *current* worker count: each
-                    // failover shrinks the set, so the configured original
-                    // node count would over-retry a shrunken cluster and
-                    // loop on a persistently failing plan.
-                    if !retryable || failovers > self.workers().len() {
+                    if !retryable || failovers > retry_budget {
                         return Err(e);
+                    }
+                    if let Some(c) = ctl {
+                        c.record_retry();
                     }
                 }
             }
@@ -665,7 +741,13 @@ impl VectorH {
     pub fn query_profiled(&self, sql: &str) -> Result<(Vec<Vec<Value>>, String)> {
         let logical = parse_query(sql, &EngineCatalog(self))?;
         let phys = self.optimize(&logical)?;
-        self.run_physical(&phys)
+        self.run_physical(&phys, None)
+    }
+
+    /// Parse SQL against the live catalog without running it — the plan
+    /// half of a server-side prepared statement.
+    pub fn parse(&self, sql: &str) -> Result<LogicalPlan> {
+        parse_query(sql, &EngineCatalog(self))
     }
 
     /// The distributed physical plan for a query (EXPLAIN).
@@ -680,14 +762,18 @@ impl VectorH {
         rewriter.rewrite(logical)
     }
 
-    pub(crate) fn run_physical(&self, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
-        crate::execute::execute(self, phys)
+    pub(crate) fn run_physical(
+        &self,
+        phys: &PhysPlan,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<(Vec<Vec<Value>>, String)> {
+        crate::execute::execute(self, phys, cancel)
     }
 
     /// Run a pre-optimized physical plan, returning rows and the execution
     /// profile (benchmark harnesses and EXPLAIN ANALYZE-style tooling).
     pub fn run_physical_public(&self, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
-        self.run_physical(phys)
+        self.run_physical(phys, None)
     }
 
     // --- failure handling -------------------------------------------------------

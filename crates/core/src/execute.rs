@@ -65,8 +65,14 @@ impl<'a> Ctx<'a> {
     }
 }
 
-/// Run a physical plan, returning rows and the execution profile.
-pub(crate) fn execute(vh: &VectorH, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>, String)> {
+/// Run a physical plan, returning rows and the execution profile. The
+/// optional cancel flag is polled between result batches at the top of the
+/// plan — one vector of work is the cancellation latency bound.
+pub(crate) fn execute(
+    vh: &VectorH,
+    phys: &PhysPlan,
+    cancel: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<(Vec<Vec<Value>>, String)> {
     let ctx = Ctx {
         vh,
         master: vh.session_master().0,
@@ -81,7 +87,17 @@ pub(crate) fn execute(vh: &VectorH, phys: &PhysPlan) -> Result<(Vec<Vec<Value>>,
             vh.net_stats().clone(),
         )?),
     };
-    let rows = vectorh_exec::batch::collect_rows(top.as_mut())?;
+    let mut rows = Vec::new();
+    while let Some(batch) = top.next()? {
+        if let Some(flag) = cancel {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(vectorh_common::VhError::Cancelled(
+                    "query cancelled mid-stream".into(),
+                ));
+            }
+        }
+        rows.extend(batch.rows());
+    }
     let profile = render_profile(&collect_profiles(top.as_ref()));
     Ok((rows, profile))
 }

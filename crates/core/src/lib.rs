@@ -41,7 +41,7 @@ pub mod recovery;
 pub mod scheduler;
 
 pub use catalog::{Catalog, TableBuilder, TableDef};
-pub use engine::{ClusterConfig, ClusterMode, MasterState, VectorH};
+pub use engine::{ClusterConfig, ClusterMode, MasterState, QueryCtl, VectorH};
 pub use recovery::{recover_partition, RecoveryReport};
 pub use scheduler::HealthScheduler;
 pub use vectorh_net::NodeHealth;

@@ -19,6 +19,9 @@ mod health_plane;
 #[path = "../../../tests/recovery.rs"]
 mod recovery;
 
+#[path = "../../../tests/server_frontdoor.rs"]
+mod server_frontdoor;
+
 #[path = "../../../tests/tpch_consistency.rs"]
 mod tpch_consistency;
 

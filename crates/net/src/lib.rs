@@ -33,5 +33,5 @@ pub mod xchg;
 
 pub use dxchg::{DxchgConfig, FanoutMode};
 pub use heartbeat::{HeartbeatMonitor, NodeHealth};
-pub use stats::{ChannelStats, NetStats};
+pub use stats::{ChannelStats, NetStats, ServerStats, SessionCounters};
 pub use xchg::Partitioning;

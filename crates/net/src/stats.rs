@@ -146,9 +146,121 @@ impl NetStats {
     }
 }
 
+/// Point-in-time counters for one front-door session (or the aggregate of
+/// all sessions when read through [`ServerStats::totals`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Queries that returned a result stream to the client.
+    pub queries_served: u64,
+    /// Failover retries absorbed inside `query_logical` — node deaths the
+    /// client never saw.
+    pub retries_absorbed: u64,
+    /// Microseconds spent waiting in the admission queue before a permit
+    /// was granted (rejected waits count too).
+    pub queue_wait_us: u64,
+    /// Admissions refused with a typed `ServerBusy` reply.
+    pub rejected_busy: u64,
+}
+
+impl SessionCounters {
+    fn add(&mut self, other: &SessionCounters) {
+        self.queries_served += other.queries_served;
+        self.retries_absorbed += other.retries_absorbed;
+        self.queue_wait_us += other.queue_wait_us;
+        self.rejected_busy += other.rejected_busy;
+    }
+}
+
+/// Per-session counters for the SQL front door, shared between the server's
+/// connection threads and the `VectorH::server_stats()` probe. Sessions are
+/// keyed by their wire session id; closed sessions keep their counters so
+/// post-run assertions (load generator, chaos) read complete numbers.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    sessions: Mutex<BTreeMap<u64, SessionCounters>>,
+}
+
+impl ServerStats {
+    pub fn record_query_served(&self, session: u64) {
+        self.sessions
+            .lock()
+            .entry(session)
+            .or_default()
+            .queries_served += 1;
+    }
+
+    pub fn record_retries_absorbed(&self, session: u64, retries: u64) {
+        if retries == 0 {
+            return;
+        }
+        self.sessions
+            .lock()
+            .entry(session)
+            .or_default()
+            .retries_absorbed += retries;
+    }
+
+    pub fn record_queue_wait(&self, session: u64, micros: u64) {
+        self.sessions
+            .lock()
+            .entry(session)
+            .or_default()
+            .queue_wait_us += micros;
+    }
+
+    pub fn record_rejected_busy(&self, session: u64) {
+        self.sessions
+            .lock()
+            .entry(session)
+            .or_default()
+            .rejected_busy += 1;
+    }
+
+    /// Sorted snapshot of every session's counters.
+    pub fn sessions(&self) -> Vec<(u64, SessionCounters)> {
+        self.sessions.lock().iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Aggregate over all sessions.
+    pub fn totals(&self) -> SessionCounters {
+        let mut out = SessionCounters::default();
+        for (_, c) in self.sessions.lock().iter() {
+            out.add(c);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn server_stats_accumulate_per_session_and_total() {
+        let s = ServerStats::default();
+        s.record_query_served(1);
+        s.record_query_served(1);
+        s.record_query_served(2);
+        s.record_retries_absorbed(2, 3);
+        s.record_retries_absorbed(2, 0); // no-op
+        s.record_queue_wait(1, 250);
+        s.record_rejected_busy(2);
+        let sessions = s.sessions();
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(
+            sessions[0].1,
+            SessionCounters {
+                queries_served: 2,
+                retries_absorbed: 0,
+                queue_wait_us: 250,
+                rejected_busy: 0
+            }
+        );
+        let t = s.totals();
+        assert_eq!(t.queries_served, 3);
+        assert_eq!(t.retries_absorbed, 3);
+        assert_eq!(t.rejected_busy, 1);
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -1,0 +1,251 @@
+//! Admission control: a bounded, FIFO, semaphore-style gate in front of
+//! the engine.
+//!
+//! The policy has three knobs and one promise:
+//!
+//! * `max_concurrent` — queries allowed to execute at once (the worker
+//!   pool width).
+//! * `max_queue` — callers allowed to *wait* for a slot; arrival number
+//!   `max_concurrent + max_queue + 1` is refused immediately.
+//! * `queue_timeout_ms` — a queued caller that cannot get a slot in time
+//!   is refused instead of waiting forever.
+//!
+//! The promise: refusal is always a typed [`VhError::ServerBusy`] reply
+//! carrying seeded-jitter backoff guidance — never a dropped connection.
+//! FIFO order is enforced with ticket numbers so a timing-lucky late
+//! arrival cannot starve an early one.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vectorh_common::rng::SplitMix64;
+use vectorh_common::sync::Mutex as VhMutex;
+
+/// Gate configuration; `seed` feeds the backoff-jitter stream.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    pub max_concurrent: usize,
+    pub max_queue: usize,
+    pub queue_timeout_ms: u64,
+    /// Requests a single session may have queued + executing at once;
+    /// excess requests are refused at the door without touching the gate.
+    pub per_session_inflight: usize,
+    pub seed: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            max_concurrent: 8,
+            max_queue: 16,
+            queue_timeout_ms: 1000,
+            per_session_inflight: 4,
+            seed: 0xF207_D007,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct GateState {
+    running: usize,
+    /// Tickets waiting for a slot, in arrival order.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// Why an admission was refused; both arms become `ServerBusy` on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyReason {
+    /// The wait queue was already at `max_queue`.
+    QueueFull,
+    /// A slot did not free up within `queue_timeout_ms`.
+    Timeout,
+}
+
+/// A granted admission: holds one execution slot, released on drop.
+pub struct Permit<'a> {
+    gate: &'a Gate,
+    /// Time spent queued before the slot was granted.
+    pub queue_wait: Duration,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.gate.state.lock().unwrap();
+        st.running -= 1;
+        drop(st);
+        self.gate.cv.notify_all();
+    }
+}
+
+/// Refused admission: the typed reply's ingredients.
+#[derive(Debug, Clone, Copy)]
+pub struct Busy {
+    pub reason: BusyReason,
+    /// Seeded-jitter backoff hint for the client's retry loop.
+    pub retry_after_ms: u32,
+    /// Time spent queued before giving up (zero for `QueueFull`).
+    pub queue_wait: Duration,
+}
+
+/// The shared admission gate.
+pub struct Gate {
+    cfg: AdmissionConfig,
+    state: Mutex<GateState>,
+    cv: Condvar,
+    jitter: VhMutex<SplitMix64>,
+}
+
+impl Gate {
+    pub fn new(cfg: AdmissionConfig) -> Gate {
+        let jitter = VhMutex::new(SplitMix64::new(cfg.seed ^ 0x6A1E_ADC0));
+        Gate {
+            cfg,
+            state: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+            jitter,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Backoff guidance for a refusal: half the queue timeout as the base,
+    /// plus a seeded jitter of up to the same again, so a herd of refused
+    /// clients retries spread out rather than in lockstep.
+    pub(crate) fn backoff_hint(&self) -> u32 {
+        let base = (self.cfg.queue_timeout_ms / 2).max(5);
+        let j = self.jitter.lock().next_bounded(base);
+        (base + j) as u32
+    }
+
+    /// Wait for an execution slot, FIFO, bounded by queue depth and
+    /// timeout.
+    pub fn admit(&self) -> Result<Permit<'_>, Busy> {
+        let start = Instant::now();
+        let mut st = self.state.lock().unwrap();
+        if st.running < self.cfg.max_concurrent && st.queue.is_empty() {
+            st.running += 1;
+            return Ok(Permit {
+                gate: self,
+                queue_wait: Duration::ZERO,
+            });
+        }
+        if st.queue.len() >= self.cfg.max_queue {
+            return Err(Busy {
+                reason: BusyReason::QueueFull,
+                retry_after_ms: self.backoff_hint(),
+                queue_wait: Duration::ZERO,
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.queue.push_back(ticket);
+        let deadline = start + Duration::from_millis(self.cfg.queue_timeout_ms);
+        loop {
+            let now = Instant::now();
+            if st.queue.front() == Some(&ticket) && st.running < self.cfg.max_concurrent {
+                st.queue.pop_front();
+                st.running += 1;
+                drop(st);
+                // The next waiter may also be eligible (multiple slots can
+                // free before the front waiter wakes).
+                self.cv.notify_all();
+                return Ok(Permit {
+                    gate: self,
+                    queue_wait: now - start,
+                });
+            }
+            if now >= deadline {
+                st.queue.retain(|&t| t != ticket);
+                drop(st);
+                self.cv.notify_all();
+                return Err(Busy {
+                    reason: BusyReason::Timeout,
+                    retry_after_ms: self.backoff_hint(),
+                    queue_wait: Instant::now() - start,
+                });
+            }
+            let (guard, _) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn gate(max_concurrent: usize, max_queue: usize, timeout_ms: u64) -> Arc<Gate> {
+        Arc::new(Gate::new(AdmissionConfig {
+            max_concurrent,
+            max_queue,
+            queue_timeout_ms: timeout_ms,
+            per_session_inflight: 4,
+            seed: 7,
+        }))
+    }
+
+    #[test]
+    fn grants_up_to_capacity_then_queues_then_refuses() {
+        let g = gate(2, 1, 50);
+        let p1 = g.admit().unwrap();
+        let p2 = g.admit().unwrap();
+        // Third caller queues and times out; fourth would exceed the queue.
+        let g2 = g.clone();
+        let waiter = std::thread::spawn(move || g2.admit().map(|_| ()).unwrap_err());
+        // Give the waiter time to enqueue, then overflow the queue.
+        std::thread::sleep(Duration::from_millis(10));
+        let refused = g.admit().map(|_| ()).unwrap_err();
+        assert_eq!(refused.reason, BusyReason::QueueFull);
+        assert!(refused.retry_after_ms > 0);
+        let timed_out = waiter.join().unwrap();
+        assert_eq!(timed_out.reason, BusyReason::Timeout);
+        drop(p1);
+        drop(p2);
+        // Capacity is back.
+        assert!(g.admit().is_ok());
+    }
+
+    #[test]
+    fn released_slot_reaches_fifo_waiter() {
+        let g = gate(1, 8, 2000);
+        let p = g.admit().unwrap();
+        let order = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..3 {
+            let g = g.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                // Stagger arrivals so ticket order is deterministic.
+                std::thread::sleep(Duration::from_millis(20 * (i as u64 + 1)));
+                let permit = g.admit().unwrap();
+                let rank = order.fetch_add(1, Ordering::SeqCst);
+                drop(permit);
+                (i, rank)
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(120));
+        drop(p);
+        let mut got: Vec<(usize, usize)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort();
+        // Arrival order == grant order.
+        assert_eq!(got, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn queue_wait_is_measured() {
+        let g = gate(1, 4, 2000);
+        let p = g.admit().unwrap();
+        let g2 = g.clone();
+        let h = std::thread::spawn(move || g2.admit().map(|p| p.queue_wait).unwrap());
+        std::thread::sleep(Duration::from_millis(30));
+        drop(p);
+        let waited = h.join().unwrap();
+        assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+    }
+}

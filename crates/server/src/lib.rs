@@ -1,0 +1,35 @@
+//! # vectorh-server — the concurrent SQL front door
+//!
+//! VectorH's workload-management story (paper §4) assumes queries arrive
+//! from many concurrent clients while nodes come and go. This crate is the
+//! robustness layer between those clients and the engine:
+//!
+//! * **Wire protocol** ([`wire`]) — length-prefixed, CRC-checked frames
+//!   reusing the transport crate's framing: Hello/Welcome handshake,
+//!   `Query`, `Prepare`/`Execute`, streamed `RowBatch`es, `Done`, typed
+//!   `ErrorFrame`s carrying the stable [`VhError::code`] taxonomy,
+//!   `Cancel`, `Goodbye`.
+//! * **Sessions** ([`session`]) — per-connection state: the
+//!   prepared-statement cache keyed by SQL text, the in-flight query's
+//!   cancel hook, the pipelining depth, the snapshot epoch watermark.
+//! * **Admission** ([`admission`]) — a bounded FIFO gate: `max_concurrent`
+//!   execution slots, `max_queue` waiters, a queue timeout, and a
+//!   per-session in-flight cap. Refusal is always a typed `ServerBusy`
+//!   with seeded-jitter backoff guidance — never a dropped connection.
+//! * **Transparent failover** — statements run through
+//!   `VectorH::query_logical_ctl`, so a node dying mid-query is retried on
+//!   the survivors inside the engine; the client sees a slightly slower
+//!   answer and a nonzero `retries_absorbed` in the `Done` frame.
+//!
+//! [`VhError::code`]: vectorh_common::VhError::code
+
+pub mod admission;
+pub mod client;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use admission::{AdmissionConfig, BusyReason, Gate};
+pub use client::{Canceller, Client, QueryOutcome};
+pub use server::{Server, ServerConfig};
+pub use session::Session;

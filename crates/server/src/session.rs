@@ -1,0 +1,172 @@
+//! Per-connection session state.
+//!
+//! A session owns everything the server remembers between requests on one
+//! connection: the prepared-statement cache (keyed by SQL text, so
+//! re-preparing the same query is a cache hit, not a re-parse), the
+//! control block of the in-flight query (the hook a `Cancel` frame pulls),
+//! the pipelined-request count the per-session admission cap is enforced
+//! against, and the snapshot watermark — the master epoch each statement
+//! executed under, which the engine's snapshot-isolated reads pin per
+//! statement.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use vectorh::{LogicalPlan, QueryCtl};
+use vectorh_common::sync::Mutex;
+
+pub struct Session {
+    pub id: u64,
+    /// SQL text → statement id (the cache key the issue prescribes).
+    prepared_by_sql: Mutex<HashMap<String, u64>>,
+    /// Statement id → parsed plan.
+    plans: Mutex<HashMap<u64, Arc<LogicalPlan>>>,
+    next_stmt: AtomicU64,
+    /// Control block of the currently executing query, if any.
+    current: Mutex<Option<Arc<QueryCtl>>>,
+    /// Requests queued + executing on this session (pipelining depth).
+    inflight: AtomicUsize,
+    /// Master epoch the last statement ran under — the session's snapshot
+    /// watermark, surfaced so clients can observe failover epochs move.
+    epoch_watermark: AtomicU64,
+}
+
+impl Session {
+    pub fn new(id: u64) -> Arc<Session> {
+        Arc::new(Session {
+            id,
+            prepared_by_sql: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
+            next_stmt: AtomicU64::new(1),
+            current: Mutex::new(None),
+            inflight: AtomicUsize::new(0),
+            epoch_watermark: AtomicU64::new(0),
+        })
+    }
+
+    /// Cache a parsed plan under its SQL text; idempotent per text.
+    pub fn insert_prepared(&self, sql: &str, plan: Arc<LogicalPlan>) -> u64 {
+        let mut by_sql = self.prepared_by_sql.lock();
+        if let Some(&id) = by_sql.get(sql) {
+            return id;
+        }
+        let id = self.next_stmt.fetch_add(1, Ordering::Relaxed);
+        by_sql.insert(sql.to_string(), id);
+        self.plans.lock().insert(id, plan);
+        id
+    }
+
+    /// Plan by statement id (Execute path).
+    pub fn plan(&self, stmt_id: u64) -> Option<Arc<LogicalPlan>> {
+        self.plans.lock().get(&stmt_id).cloned()
+    }
+
+    /// Plan by SQL text, if this exact text was prepared (Query path reuse).
+    pub fn plan_for_sql(&self, sql: &str) -> Option<Arc<LogicalPlan>> {
+        let id = *self.prepared_by_sql.lock().get(sql)?;
+        self.plan(id)
+    }
+
+    pub fn prepared_count(&self) -> usize {
+        self.prepared_by_sql.lock().len()
+    }
+
+    /// Install the control block of the query about to execute.
+    pub fn begin_query(&self, ctl: Arc<QueryCtl>) {
+        *self.current.lock() = Some(ctl);
+    }
+
+    pub fn end_query(&self) {
+        *self.current.lock() = None;
+    }
+
+    /// Cancel the in-flight query, if any. Returns whether one was hit.
+    pub fn cancel_current(&self) -> bool {
+        match self.current.lock().as_ref() {
+            Some(ctl) => {
+                ctl.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Try to take one pipelining slot; refused once `cap` are in flight.
+    pub fn try_take_inflight(&self, cap: usize) -> bool {
+        let mut now = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if now >= cap {
+                return false;
+            }
+            match self
+                .inflight
+                .compare_exchange(now, now + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return true,
+                Err(cur) => now = cur,
+            }
+        }
+    }
+
+    pub fn release_inflight(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn set_epoch_watermark(&self, epoch: u64) {
+        self.epoch_watermark.store(epoch, Ordering::Relaxed);
+    }
+
+    pub fn epoch_watermark(&self) -> u64 {
+        self.epoch_watermark.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_plan() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            table: "t".into(),
+            cols: vec![0],
+        })
+    }
+
+    #[test]
+    fn prepared_cache_is_keyed_by_sql_text() {
+        let s = Session::new(1);
+        let plan = dummy_plan();
+        let a = s.insert_prepared("SELECT 1", plan.clone());
+        let b = s.insert_prepared("SELECT 1", plan.clone());
+        let c = s.insert_prepared("SELECT 2", plan);
+        assert_eq!(a, b, "same text, same statement");
+        assert_ne!(a, c);
+        assert_eq!(s.prepared_count(), 2);
+        assert!(s.plan(a).is_some());
+        assert!(s.plan_for_sql("SELECT 1").is_some());
+        assert!(s.plan_for_sql("SELECT 3").is_none());
+    }
+
+    #[test]
+    fn inflight_cap_is_enforced() {
+        let s = Session::new(1);
+        assert!(s.try_take_inflight(2));
+        assert!(s.try_take_inflight(2));
+        assert!(!s.try_take_inflight(2));
+        s.release_inflight();
+        assert!(s.try_take_inflight(2));
+    }
+
+    #[test]
+    fn cancel_hits_only_an_inflight_query() {
+        let s = Session::new(1);
+        assert!(!s.cancel_current());
+        let ctl = QueryCtl::new();
+        s.begin_query(ctl.clone());
+        assert!(s.cancel_current());
+        assert!(ctl.is_cancelled());
+        s.end_query();
+        assert!(!s.cancel_current());
+    }
+}

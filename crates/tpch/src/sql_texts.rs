@@ -10,6 +10,20 @@
 //! scalar/IN/EXISTS subqueries, derived tables, LEFT OUTER JOIN, HAVING,
 //! CASE WHEN, EXTRACT/date arithmetic, SUBSTRING and DISTINCT.
 
+/// The front-door workload mix: Q1 (scan-heavy aggregation), Q6
+/// (selective filter), Q12 (join + aggregation) — one query per class,
+/// cycled by the load generator and the `frontdoor` chaos phase.
+pub const FRONTDOOR_MIX: [usize; 3] = [1, 6, 12];
+
+/// The SQL texts of [`FRONTDOOR_MIX`], in order.
+pub fn frontdoor_mix_texts() -> [&'static str; 3] {
+    [
+        sql_text(FRONTDOOR_MIX[0]).unwrap(),
+        sql_text(FRONTDOOR_MIX[1]).unwrap(),
+        sql_text(FRONTDOOR_MIX[2]).unwrap(),
+    ]
+}
+
 /// The SQL text of TPC-H query `n` (1-based), or `None` out of range.
 pub fn sql_text(n: usize) -> Option<&'static str> {
     Some(match n {

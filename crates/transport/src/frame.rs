@@ -51,6 +51,34 @@ pub enum FrameKind {
     /// Sender is done with `channel`; receivers count these to detect
     /// end-of-stream across a known sender set.
     Fin = 6,
+    // --- SQL front-door client protocol (vectorh-server) -----------------
+    // The client protocol reuses this framing wholesale: Hello/Welcome/
+    // Reject carry the handshake, and the kinds below carry requests and
+    // responses. `channel` holds the request id a response answers,
+    // `seq` the per-connection frame sequence.
+    /// Client → server: run the SQL text in the payload.
+    Query = 7,
+    /// Client → server: parse/plan the SQL text and cache it; the server
+    /// answers with a `Prepared` frame carrying the statement id.
+    Prepare = 8,
+    /// Client → server: run a previously prepared statement; `channel`
+    /// carries the statement id.
+    Execute = 9,
+    /// Server → client: statement id for a `Prepare` (in `channel`).
+    Prepared = 10,
+    /// Server → client: one batch of result rows (possibly one of many).
+    RowBatch = 11,
+    /// Server → client: result stream complete; payload carries the row
+    /// total and the failovers absorbed while the query ran.
+    Done = 12,
+    /// Server → client: typed error — payload is `[code u16][message]`,
+    /// and for `ServerBusy` a retry-backoff hint. Never closes the
+    /// connection.
+    ErrorFrame = 13,
+    /// Client → server: cancel the in-flight query on this session.
+    Cancel = 14,
+    /// Client → server: orderly session end.
+    Goodbye = 15,
 }
 
 impl FrameKind {
@@ -62,6 +90,15 @@ impl FrameKind {
             4 => FrameKind::Data,
             5 => FrameKind::Credit,
             6 => FrameKind::Fin,
+            7 => FrameKind::Query,
+            8 => FrameKind::Prepare,
+            9 => FrameKind::Execute,
+            10 => FrameKind::Prepared,
+            11 => FrameKind::RowBatch,
+            12 => FrameKind::Done,
+            13 => FrameKind::ErrorFrame,
+            14 => FrameKind::Cancel,
+            15 => FrameKind::Goodbye,
             _ => return None,
         })
     }
@@ -272,6 +309,15 @@ mod tests {
             FrameKind::Data,
             FrameKind::Credit,
             FrameKind::Fin,
+            FrameKind::Query,
+            FrameKind::Prepare,
+            FrameKind::Execute,
+            FrameKind::Prepared,
+            FrameKind::RowBatch,
+            FrameKind::Done,
+            FrameKind::ErrorFrame,
+            FrameKind::Cancel,
+            FrameKind::Goodbye,
         ] {
             let f = Frame {
                 kind,

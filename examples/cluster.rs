@@ -1,0 +1,419 @@
+//! N OS processes, one distributed query plan — config-driven membership.
+//!
+//! Generalizes `two_node_cluster.rs` from a hand-wired pair to an N-node
+//! mesh (`VH_CLUSTER_N`, default 3): the parent process is node 0, spawns
+//! this same binary N−1 times (`VHC_ROLE=<node>`), collects each child's
+//! `ADDR <socket>` announcement, then distributes the **full roster** to
+//! every child as a single `PEERS id=addr …` line on stdin. Each process
+//! meshes a real [`TcpFabric`] from that roster — membership is pure
+//! config, no coordination beyond the roster line — and all N build the
+//! *identical* DXchg plans over deterministically generated lineitem
+//! shards:
+//!
+//! * **Q1** — every node scans its shard, projects qualifying measures,
+//!   a `DXchgHashSplit` repartitions by `(returnflag, linestatus)` across
+//!   all N processes, and a `DXchgUnion` ships the per-node group partials
+//!   back to node 0.
+//! * **Q6** — per-shard revenue partials unioned onto node 0.
+//!
+//! All arithmetic is exact fixed point, so node 0's answers must match a
+//! single-process run of the same plans **byte for byte** — verified via
+//! `fingerprint_rows` plus full row equality.
+//!
+//! Run: `VH_CLUSTER_N=3 cargo run --release --example cluster`
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+use vectorh_common::types::date;
+use vectorh_common::{ColumnData, DataType, NodeId, Result, Schema, Value, VhError};
+use vectorh_exec::operator::BatchSource;
+use vectorh_exec::{fingerprint_rows, Batch, Operator};
+use vectorh_net::dxchg::{dxchg_hash_split, dxchg_union};
+use vectorh_net::{DxchgConfig, FanoutMode, NetStats};
+use vectorh_transport::{Fabric, SharedEpoch, TcpFabric};
+
+const SF: f64 = 0.01;
+const GEN_SEED: u64 = 20260808;
+
+fn cluster_n() -> usize {
+    std::env::var("VH_CLUSTER_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n| (2..=16).contains(n))
+        .unwrap_or(3)
+}
+
+fn main() {
+    let n = cluster_n();
+    let run = match std::env::var("VHC_ROLE").ok().as_deref() {
+        Some(role) => child(role.parse().expect("VHC_ROLE must be a node id"), n),
+        None => parent(n),
+    };
+    if let Err(e) = run {
+        eprintln!("cluster example failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- plumbing
+
+fn config(fabric: Option<Arc<dyn Fabric>>) -> DxchgConfig {
+    DxchgConfig {
+        buffer_bytes: 64 * 1024,
+        mode: FanoutMode::ThreadToNode,
+        fault: None,
+        fabric,
+    }
+}
+
+/// Round-robin lineitem into `n` shards — every process derives the same
+/// split from the same seed, so "my shard" is pure arithmetic.
+fn lineitem_shards(n: usize) -> Vec<Vec<Vec<Value>>> {
+    let data = vectorh_tpch::gen::generate(SF, GEN_SEED);
+    let mut shards = vec![Vec::new(); n];
+    for (i, row) in data.lineitem.into_iter().enumerate() {
+        shards[i % n].push(row);
+    }
+    shards
+}
+
+fn int_of(v: &Value) -> i64 {
+    match v {
+        Value::I64(x) => *x,
+        Value::Decimal(m, _) => *m,
+        Value::Date(d) => *d as i64,
+        other => panic!("unexpected value {other:?}"),
+    }
+}
+
+fn first_byte(v: &Value) -> i64 {
+    match v {
+        Value::Str(s) => s.as_bytes()[0] as i64,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+/// Pack fixed-width integer rows into one Batch and wrap it as a source.
+fn source(schema: Arc<Schema>, rows: &[Vec<i64>]) -> Box<dyn Operator> {
+    let mut cols: Vec<Vec<i64>> = vec![Vec::with_capacity(rows.len()); schema.len()];
+    for row in rows {
+        for (c, v) in row.iter().enumerate() {
+            cols[c].push(*v);
+        }
+    }
+    let columns = cols.into_iter().map(ColumnData::I64).collect();
+    let batch = Batch::new(schema, columns).expect("well-formed source batch");
+    Box::new(BatchSource::from_batch(batch, 1024))
+}
+
+// ------------------------------------------------------------- the queries
+
+fn q1_schema() -> Arc<Schema> {
+    Arc::new(Schema::of(&[
+        ("k", DataType::I64), // returnflag byte << 8 | linestatus byte
+        ("qty", DataType::I64),
+        ("base", DataType::I64),
+        ("disc_price", DataType::I64),
+        ("charge", DataType::I64),
+        ("cnt", DataType::I64),
+    ]))
+}
+
+/// Qualifying Q1 measures of one shard, in exact fixed point.
+fn q1_rows(shard: &[Vec<Value>]) -> Vec<Vec<i64>> {
+    let cutoff = date::to_days(1998, 9, 2) as i64;
+    let mut out = Vec::new();
+    for row in shard {
+        if int_of(&row[10]) > cutoff {
+            continue; // l_shipdate <= date '1998-09-02'
+        }
+        let key = (first_byte(&row[8]) << 8) | first_byte(&row[9]);
+        let qty = int_of(&row[4]);
+        let price = int_of(&row[5]);
+        let disc = int_of(&row[6]);
+        let tax = int_of(&row[7]);
+        let disc_price = price * (100 - disc);
+        let charge = disc_price * (100 + tax);
+        out.push(vec![key, qty, price, disc_price, charge, 1]);
+    }
+    out
+}
+
+/// One-row Q6 revenue partial of one shard (1e-4 dollars).
+fn q6_rows(shard: &[Vec<Value>]) -> Vec<Vec<i64>> {
+    let from = date::to_days(1994, 1, 1) as i64;
+    let to = date::to_days(1995, 1, 1) as i64;
+    let mut revenue = 0i64;
+    for row in shard {
+        let ship = int_of(&row[10]);
+        let disc = int_of(&row[6]);
+        let qty = int_of(&row[4]);
+        if ship >= from && ship < to && (5..=7).contains(&disc) && qty < 2400 {
+            revenue += int_of(&row[5]) * disc;
+        }
+    }
+    vec![vec![revenue]]
+}
+
+fn fold(groups: &mut BTreeMap<i64, [i64; 5]>, batch: &Batch) {
+    for i in 0..batch.len() {
+        let row = batch.row(i);
+        let acc = groups.entry(int_of(&row[0])).or_insert([0; 5]);
+        for (a, v) in acc.iter_mut().zip(&row[1..]) {
+            *a += int_of(v);
+        }
+    }
+}
+
+fn group_rows(groups: &BTreeMap<i64, [i64; 5]>) -> Vec<Vec<i64>> {
+    groups
+        .iter()
+        .map(|(k, a)| {
+            let mut row = vec![*k];
+            row.extend_from_slice(a);
+            row
+        })
+        .collect()
+}
+
+/// Run the Q1 and Q6 plans over `n` nodes. `fabric: None` is the
+/// single-process reference (all shards populated, plain channels); with a
+/// fabric, each process passes only its own shard and the transport
+/// carries the rest. Only node 0 sees final results.
+fn run_plans(
+    fabric: Option<Arc<dyn Fabric>>,
+    my: u32,
+    shards: &[Vec<Vec<Value>>],
+    stats: Arc<NetStats>,
+) -> Result<(Vec<Vec<Value>>, i64)> {
+    let n = shards.len();
+    let drain_all = fabric.is_none();
+    let all_nodes: Vec<u32> = (0..n as u32).collect();
+
+    // Q1 stage 1: repartition qualifying measures by group key across all
+    // nodes (one consumer thread each).
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..n)
+        .map(|i| (i as u32, source(q1_schema(), &q1_rows(&shards[i]))))
+        .collect();
+    let receivers = dxchg_hash_split(
+        producers,
+        all_nodes,
+        vec![0],
+        config(fabric.clone()),
+        stats.clone(),
+    )?;
+    let mut partials: Vec<BTreeMap<i64, [i64; 5]>> = vec![BTreeMap::new(); n];
+    for (j, mut rx) in receivers.into_iter().enumerate() {
+        if !drain_all && j as u32 != my {
+            continue; // that consumer thread runs in another process
+        }
+        while let Some(batch) = rx.next()? {
+            fold(&mut partials[j], &batch);
+        }
+    }
+
+    // Q1 stage 2: union the disjoint per-node group partials onto node 0.
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..n)
+        .map(|i| (i as u32, source(q1_schema(), &group_rows(&partials[i]))))
+        .collect();
+    let mut union_rx = dxchg_union(producers, 0, config(fabric.clone()), stats.clone())?;
+    let mut q1_groups = BTreeMap::new();
+    if drain_all || my == 0 {
+        while let Some(batch) = union_rx.next()? {
+            fold(&mut q1_groups, &batch);
+        }
+    }
+    let q1: Vec<Vec<Value>> = group_rows(&q1_groups)
+        .into_iter()
+        .map(|r| r.into_iter().map(Value::I64).collect())
+        .collect();
+
+    // Q6: one revenue partial per node, unioned onto node 0.
+    let q6_schema = Arc::new(Schema::of(&[("revenue", DataType::I64)]));
+    let producers: Vec<(u32, Box<dyn Operator>)> = (0..n)
+        .map(|i| (i as u32, source(q6_schema.clone(), &q6_rows(&shards[i]))))
+        .collect();
+    let mut q6_rx = dxchg_union(producers, 0, config(fabric), stats)?;
+    let mut q6 = 0i64;
+    if drain_all || my == 0 {
+        while let Some(batch) = q6_rx.next()? {
+            for i in 0..batch.len() {
+                q6 += int_of(&batch.row(i)[0]);
+            }
+        }
+    }
+    Ok((q1, q6))
+}
+
+/// Only this process's shard populated; the rest arrive over the fabric.
+fn my_shard_only(shards: &[Vec<Vec<Value>>], my: usize) -> Vec<Vec<Vec<Value>>> {
+    shards
+        .iter()
+        .enumerate()
+        .map(|(i, s)| if i == my { s.clone() } else { Vec::new() })
+        .collect()
+}
+
+// ------------------------------------------------------------ the processes
+
+fn parent(n: usize) -> Result<()> {
+    eprintln!("[node0] {n}-process cluster, generating lineitem (sf {SF})");
+    let shards = lineitem_shards(n);
+
+    // Reference: the identical plans in one process over plain channels.
+    let ref_stats = Arc::new(NetStats::default());
+    let (q1_ref, q6_ref) = run_plans(None, 0, &shards, ref_stats)?;
+
+    // Cluster: node 0 here, nodes 1..n in freshly spawned OS processes.
+    let epoch = Arc::new(SharedEpoch::new(1));
+    let fabric = Arc::new(TcpFabric::single(NodeId(0), epoch, None)?);
+    let addr0 = fabric
+        .addr_of(NodeId(0))
+        .ok_or_else(|| VhError::Net("node 0 has no listen address".into()))?;
+    let exe =
+        std::env::current_exe().map_err(|e| VhError::Internal(format!("current_exe: {e}")))?;
+    let mut children: Vec<Child> = Vec::new();
+    let mut roster: Vec<(u32, SocketAddr)> = vec![(0, addr0)];
+    for node in 1..n {
+        let mut child = Command::new(&exe)
+            .env("VHC_ROLE", node.to_string())
+            .env("VH_CLUSTER_N", n.to_string())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| VhError::Internal(format!("spawn node {node}: {e}")))?;
+        let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+        let addr: SocketAddr = loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| {
+                    VhError::Net(format!("node {node} exited before announcing its address"))
+                })?
+                .map_err(|e| VhError::Net(format!("read node {node} stdout: {e}")))?;
+            if let Some(addr) = line.strip_prefix("ADDR ") {
+                break addr
+                    .parse()
+                    .map_err(|e| VhError::Net(format!("bad node {node} address {addr:?}: {e}")))?;
+            }
+        };
+        roster.push((node as u32, addr));
+        children.push(child);
+    }
+
+    // Config-driven membership: the full roster goes to every child as one
+    // line; each process meshes its fabric from the same list.
+    let roster_line = roster
+        .iter()
+        .map(|(id, addr)| format!("{id}={addr}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    for child in &mut children {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        writeln!(stdin, "PEERS {roster_line}")
+            .map_err(|e| VhError::Net(format!("send roster: {e}")))?;
+        stdin.flush().ok();
+    }
+    for &(id, addr) in &roster[1..] {
+        fabric.add_peer(NodeId(id), addr);
+    }
+    eprintln!("[node0] roster: {roster_line}");
+
+    let local = my_shard_only(&shards, 0);
+    let tcp_stats = Arc::new(NetStats::default());
+    let (q1_tcp, q6_tcp) = run_plans(
+        Some(fabric.clone() as Arc<dyn Fabric>),
+        0,
+        &local,
+        tcp_stats.clone(),
+    )?;
+
+    // Release the children (they block on stdin until we are done).
+    for mut child in children {
+        drop(child.stdin.take());
+        let status = child
+            .wait()
+            .map_err(|e| VhError::Internal(format!("wait child: {e}")))?;
+        if !status.success() {
+            return Err(VhError::Internal(format!("a child exited with {status}")));
+        }
+    }
+
+    // The verdict: byte-for-byte equality, summarized as fingerprints.
+    let (fp_ref, fp_tcp) = (fingerprint_rows(&q1_ref), fingerprint_rows(&q1_tcp));
+    println!(
+        "Q1 groups: {} in-proc, {} over tcp ({n} processes)",
+        q1_ref.len(),
+        q1_tcp.len()
+    );
+    println!("Q1 fingerprint: in-proc {fp_ref:#018x}, tcp {fp_tcp:#018x}");
+    println!("Q6 revenue: in-proc {q6_ref}, tcp {q6_tcp} (1e-4 dollars)");
+    if q1_ref.is_empty() || q1_tcp != q1_ref {
+        return Err(VhError::Internal(
+            "Q1 over the TCP fabric diverged from the in-process run".into(),
+        ));
+    }
+    if q6_tcp != q6_ref || q6_tcp == 0 {
+        return Err(VhError::Internal(
+            "Q6 over the TCP fabric diverged from the in-process run".into(),
+        ));
+    }
+    println!("byte-for-byte match across {n} OS processes");
+    for (name, ch) in tcp_stats.channels() {
+        println!(
+            "  {name}: {} messages, {} bytes, {} credit stalls",
+            ch.messages, ch.bytes, ch.credit_stalls
+        );
+    }
+    Ok(())
+}
+
+fn child(my: usize, n: usize) -> Result<()> {
+    let shards = lineitem_shards(n);
+    let epoch = Arc::new(SharedEpoch::new(1));
+    let fabric = Arc::new(TcpFabric::single(NodeId(my as u32), epoch, None)?);
+    let my_addr = fabric
+        .addr_of(NodeId(my as u32))
+        .ok_or_else(|| VhError::Net(format!("node {my} has no listen address")))?;
+    println!("ADDR {my_addr}");
+    std::io::stdout().flush().ok();
+
+    // Membership arrives as one roster line; mesh everything that isn't us.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    stdin
+        .lock()
+        .read_line(&mut line)
+        .map_err(|e| VhError::Net(format!("read roster: {e}")))?;
+    let roster = line
+        .strip_prefix("PEERS ")
+        .ok_or_else(|| VhError::Net(format!("expected PEERS line, got {line:?}")))?;
+    for entry in roster.split_whitespace() {
+        let (id, addr) = entry
+            .split_once('=')
+            .ok_or_else(|| VhError::Net(format!("bad roster entry {entry:?}")))?;
+        let id: u32 = id
+            .parse()
+            .map_err(|e| VhError::Net(format!("bad node id {id:?}: {e}")))?;
+        if id as usize != my {
+            fabric.add_peer(
+                NodeId(id),
+                addr.parse()
+                    .map_err(|e| VhError::Net(format!("bad addr {addr:?}: {e}")))?,
+            );
+        }
+    }
+
+    let local = my_shard_only(&shards, my);
+    let stats = Arc::new(NetStats::default());
+    run_plans(Some(fabric as Arc<dyn Fabric>), my as u32, &local, stats)?;
+
+    // Keep the fabric (and any in-flight retransmits) alive until the
+    // parent has validated its results and closes our stdin.
+    let mut eof = String::new();
+    let _ = stdin.lock().read_line(&mut eof);
+    Ok(())
+}

@@ -218,9 +218,9 @@ fn rejoin_restores_workers_replicas_and_locality() {
     assert!(delta.local_read_bytes > 0);
 }
 
-/// The failover retry loop is bounded by the *current* worker count: with
-/// every partition home pinned to a dead node, the query must exhaust its
-/// retries and surface the error instead of looping.
+/// The failover retry loop is bounded by the worker count *pinned at
+/// entry*: with every partition home pinned to a dead node, the query must
+/// exhaust its retries and surface the error instead of looping.
 #[test]
 fn failover_retries_exhaust_deterministically() {
     let vh = engine(4);
@@ -253,5 +253,89 @@ fn failover_retries_exhaust_deterministically() {
     assert!(
         matches!(err, VhError::NodeDown(_)),
         "retries must exhaust with the underlying NodeDown, got: {err}"
+    );
+}
+
+/// Regression for the retry-budget fix: the budget is the worker count
+/// **at query entry**, not the already-shrunken survivor set re-read after
+/// each kill. A fault hook crashes the whole cluster out from under the
+/// first attempt, so every reconcile shrinks toward (and past) empty; the
+/// old formulation (`failovers > workers().len()` re-read per attempt)
+/// would have cut the cascade off after a single retry. With the pinned
+/// budget the engine grants exactly N retries for an N-node entry set and
+/// then surfaces the underlying `NodeDown` — it neither loops forever nor
+/// gives up early.
+#[test]
+fn full_cluster_cascade_exhausts_pinned_retry_budget_with_node_down() {
+    use std::sync::{Arc, Mutex};
+    use vectorh_common::fault::{FaultAction, FaultHook, FaultSite};
+    use vectorh_simhdfs::SimHdfs;
+
+    /// Kills one victim per `HdfsRead` consult until the cluster is gone.
+    /// `SimHdfs::read` consults the hook *before* taking its state lock,
+    /// so killing from inside `decide` is deadlock-free.
+    struct CascadeKiller {
+        fs: SimHdfs,
+        victims: Mutex<Vec<NodeId>>,
+    }
+    impl std::fmt::Debug for CascadeKiller {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "CascadeKiller({:?})", self.victims.lock().unwrap())
+        }
+    }
+    impl FaultHook for CascadeKiller {
+        fn decide(&self, site: FaultSite, _detail: &str, _attempt: u32) -> FaultAction {
+            if site == FaultSite::HdfsRead {
+                if let Some(v) = self.victims.lock().unwrap().pop() {
+                    self.fs.kill_node(v).unwrap();
+                }
+            }
+            FaultAction::None
+        }
+    }
+
+    let vh = engine(4);
+    vh.create_table(
+        TableBuilder::new("t")
+            .column("k", DataType::I64)
+            .column("v", DataType::I64)
+            .partition_by(&["k"], 4),
+    )
+    .unwrap();
+    vh.insert_rows(
+        "t",
+        (0..2000)
+            .map(|i| vec![Value::I64(i), Value::I64(i * 3)])
+            .collect(),
+    )
+    .unwrap();
+
+    let entry_workers = vh.workers().len();
+    assert_eq!(entry_workers, 4);
+    vh.install_fault_hook(Some(Arc::new(CascadeKiller {
+        fs: vh.fs().clone(),
+        victims: Mutex::new(vh.workers()),
+    })));
+
+    let ctl = vectorh::QueryCtl::new();
+    let plan = vh.parse("SELECT count(*) FROM t").unwrap();
+    let err = vh.query_logical_ctl(&plan, Some(&ctl)).unwrap_err();
+    vh.install_fault_hook(None);
+
+    assert!(
+        matches!(err, VhError::NodeDown(_)),
+        "a full-cluster cascade must exhaust with NodeDown, got: {err}"
+    );
+    // The discriminating assertion: the budget was pinned to the 4-node
+    // entry set, so exactly 4 retries were granted even though the
+    // survivor set hit zero during the very first attempt.
+    assert_eq!(
+        ctl.retries(),
+        entry_workers as u64,
+        "retry budget must be pinned at entry, not re-read after shrink"
+    );
+    assert!(
+        vh.workers().is_empty(),
+        "the cascade really took every node"
     );
 }

@@ -194,3 +194,118 @@ fn log_shipping_for_replicated_tables() {
     let rows = vh.query("SELECT name FROM dim WHERE id = 3").unwrap();
     assert_eq!(rows[0][0], Value::Str("patched".into()));
 }
+
+/// Two concurrent front-door sessions interleave trickle inserts with Q6
+/// and must each observe only *stable snapshots*: every result equals the
+/// baseline plus a whole number of committed insert batches (a torn batch
+/// would show as a non-multiple), snapshots never move backwards within a
+/// session, and each session reads its own committed writes.
+#[test]
+fn threaded_sessions_interleaving_trickle_and_q6_see_stable_snapshots() {
+    use std::sync::Arc;
+    use vectorh_server::{Client, Server, ServerConfig};
+
+    /// A single-partition batch of `rows` Q6-eligible lineitems (same
+    /// l_orderkey ⇒ same partition ⇒ the 2PC commit is atomic w.r.t. a
+    /// concurrent scan's per-partition plan reads). Each row contributes
+    /// 1000.00 × 0.06 of revenue.
+    fn q6_batch(orderkey: i64, rows: usize) -> Vec<Vec<Value>> {
+        let day = |m, d| Value::Date(vectorh_common::types::date::to_days(1994, m, d));
+        (0..rows)
+            .map(|i| {
+                vec![
+                    Value::I64(orderkey),
+                    Value::I64(1),
+                    Value::I64(1),
+                    Value::I64(i as i64 + 1),
+                    Value::Decimal(100, 2),     // qty 1.00 < 24
+                    Value::Decimal(100_000, 2), // price 1000.00
+                    Value::Decimal(6, 2),       // disc 0.06 ∈ [0.05, 0.07]
+                    Value::Decimal(0, 2),
+                    Value::Str("N".into()),
+                    Value::Str("O".into()),
+                    day(6, 1), // 1994 ⇒ inside the Q6 window
+                    day(7, 1),
+                    day(8, 1),
+                    Value::Str("NONE".into()),
+                    Value::Str("MAIL".into()),
+                    Value::Str("snapshot".into()),
+                ]
+            })
+            .collect()
+    }
+
+    fn revenue(rows: &[Vec<Value>]) -> i64 {
+        match rows[0][0] {
+            Value::Decimal(units, _) => units,
+            ref v => panic!("Q6 must aggregate to a decimal, got {v:?}"),
+        }
+    }
+
+    let vh = Arc::new(
+        VectorH::start(ClusterConfig {
+            nodes: 3,
+            rows_per_chunk: 256,
+            hdfs_block_size: 32 * 1024,
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    vectorh_tpch::schema::setup(&vh, 0.002, 4, 20260707).unwrap();
+    let server = Server::start(vh.clone(), ServerConfig::default()).unwrap();
+    let sql = vectorh_tpch::sql_texts::sql_text(6).unwrap();
+
+    // Calibrate while quiescent: revenue delta of one committed batch.
+    let base = revenue(&vh.query(sql).unwrap());
+    vh.trickle_insert("lineitem", q6_batch(9_000_001, 5))
+        .unwrap();
+    let delta = revenue(&vh.query(sql).unwrap()) - base;
+    assert!(delta > 0, "probe batch must move Q6 revenue");
+
+    let per_session_batches = 6i64;
+    let queries_per_session = 12;
+    let max_batches = 1 + 2 * per_session_batches; // probe + both sessions
+    let addr = server.addr();
+    let mut handles = Vec::new();
+    for s in 0..2i64 {
+        let vh = vh.clone();
+        handles.push(std::thread::spawn(move || {
+            let sql = vectorh_tpch::sql_texts::sql_text(6).unwrap();
+            let mut client = Client::connect(addr).unwrap();
+            let mut last_k = 0i64;
+            let mut own = 0i64;
+            for i in 0..queries_per_session {
+                if i % 2 == 1 && own < per_session_batches {
+                    vh.trickle_insert("lineitem", q6_batch(9_100_000 + s * 1000 + own, 5))
+                        .unwrap();
+                    own += 1;
+                }
+                let diff = revenue(&client.query(sql).unwrap()) - base;
+                assert!(diff >= 0, "session {s}: revenue below baseline");
+                assert_eq!(
+                    diff % delta,
+                    0,
+                    "session {s} observed a torn batch: +{diff} is not a \
+                     whole number of batches (delta {delta})"
+                );
+                let k = diff / delta;
+                assert!(k <= max_batches, "session {s} saw phantom batches");
+                assert!(
+                    k >= last_k,
+                    "session {s}: snapshot moved backwards ({last_k} → {k})"
+                );
+                assert!(
+                    k >= own,
+                    "session {s}: lost its own committed write ({own} committed, saw {k})"
+                );
+                last_k = k;
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Quiescent again: everything committed is visible.
+    let k = (revenue(&vh.query(sql).unwrap()) - base) / delta;
+    assert_eq!(k, max_batches, "all committed batches visible at the end");
+}
