@@ -45,6 +45,15 @@
 //!    inside `query_logical`, never surfaced to a client — and the
 //!    admission gate must report zero rejections for a closed-loop pack
 //!    this size.
+//! 8. **HTAP soak** (`htap`) — a private cluster with background
+//!    chunk-level update propagation enabled runs a seeded mixed workload
+//!    (trickle inserts, key deletes, updates, Q1/Q6/Q12 probes, a node
+//!    kill) for 64 rounds against an exact in-memory model; scripted
+//!    [`DirectedFault`]s crash propagation at seed-chosen WAL protocol
+//!    steps (directed and from inside the background tick), after which
+//!    the partition must still reconcile and a clean retry must succeed;
+//!    untouched chunks stay byte-identical on disk across a tail-append
+//!    propagation and scans are byte-stable across the image swap.
 //!
 //! Phases run selectively via `CHAOS_PHASES` (comma-separated names from
 //! [`ALL_PHASES`], default all) so CI can split a schedule across parallel
@@ -57,11 +66,12 @@
 //! run-to-run. Failures embed the seed; rerun just that schedule with
 //! `CHAOS_SEED=<seed>`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use vectorh::{ClusterConfig, TableBuilder, VectorH};
+use vectorh::{ClusterConfig, Expr, TableBuilder, VectorH};
 use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
 use vectorh_common::rng::SplitMix64;
 use vectorh_common::{DataType, NodeId, PartitionId, Result, Value, VhError};
@@ -80,7 +90,7 @@ use crate::plan::{site_index, DirectedFault, DirectedSet, FaultPlan, N_SITES};
 pub const DEFAULT_CORPUS_LEN: usize = 16;
 
 /// Phase names, in execution order. `CHAOS_PHASES` selects a subset.
-pub const ALL_PHASES: [&str; 7] = [
+pub const ALL_PHASES: [&str; 8] = [
     "io",
     "txn",
     "kill",
@@ -88,6 +98,7 @@ pub const ALL_PHASES: [&str; 7] = [
     "master",
     "transport",
     "frontdoor",
+    "htap",
 ];
 
 /// Phases enabled by the environment: `CHAOS_PHASES=io,txn` runs just
@@ -230,6 +241,9 @@ pub fn run_schedule_with_phases(seed: u64, phases: &[&str]) -> Result<ScheduleRe
     }
     if phases.contains(&"frontdoor") {
         phase_frontdoor(&vh, &db, &mut phase_rng(seed, 7), &mut report)?;
+    }
+    if phases.contains(&"htap") {
+        phase_htap(&db, &mut phase_rng(seed, 8), &mut report)?;
     }
     report.epochs = vh.master_history();
     Ok(report)
@@ -1182,6 +1196,369 @@ fn phase_frontdoor(
         "frontdoor: killed {victim} under {n_clients} streaming clients \
          (q1/q6/q12 × {per_client}); {want}/{want} served over the wire, \
          zero client-visible failures"
+    ));
+    Ok(())
+}
+
+/// Phase 8: HTAP soak — chunk-level background update propagation under a
+/// sustained mixed workload, with crashes injected at the propagation WAL
+/// protocol's own fault sites.
+///
+/// Runs on a *private* cluster (background propagation enabled via
+/// `propagate_every`) so the shared cluster's health clock — which other
+/// phases' fired counters depend on — stays untouched. The workload is an
+/// exact-model soak: every trickle insert, key delete and update is
+/// mirrored into a `BTreeMap`, and a full `SELECT k, v` scan must equal the
+/// model at every reconcile point — across background propagation ticks, a
+/// node kill, directed propagation crashes, and a crash fired from inside
+/// the background tick itself (which must self-repair without failing the
+/// DML call that drove the clock). TPC-H Q1/Q6/Q12 probes interleave as the
+/// OLAP half. The phase closes with the two §6 byte-level invariants:
+/// untouched chunks stay byte-identical on disk across a tail-append
+/// propagation, and scans are byte-stable across the image swap.
+fn phase_htap(db: &BaselineDb, rng: &mut SplitMix64, report: &mut ScheduleReport) -> Result<()> {
+    let seed = report.seed;
+    let propagate_every = 2 + rng.next_bounded(3); // a tick every 2–4 DML/query calls
+    let chunks_per_tick = 2 + rng.next_bounded(3) as usize;
+    let vh = VectorH::start(ClusterConfig {
+        nodes: 4,
+        rows_per_chunk: 64,
+        hdfs_block_size: 32 * 1024,
+        streams_per_node: 2,
+        replication: 3,
+        propagate_every,
+        propagate_chunks_per_tick: chunks_per_tick,
+        ..Default::default()
+    })?;
+    // Same generator parameters as the shared cluster, so the shared
+    // row-store baseline answers this cluster's TPC-H probes too.
+    vectorh_tpch::schema::setup(&vh, 0.001, 4, 20260807)?;
+    vh.create_table(
+        TableBuilder::new("htap_t")
+            .column("k", DataType::I64)
+            .column("v", DataType::I64)
+            .partition_by(&["k"], 2),
+    )?;
+
+    // Seed a propagated stable image (96 rows ≈ 1½ chunks per partition):
+    // the fraction-based propagation trigger needs stable rows to compare
+    // against, and the crash injections need stable chunks to dirty.
+    let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+    let mut next_k: i64 = 0;
+    let seed_rows: Vec<Vec<Value>> = (0..96)
+        .map(|_| {
+            let k = next_k;
+            next_k += 1;
+            model.insert(k, k * 7);
+            vec![Value::I64(k), Value::I64(k * 7)]
+        })
+        .collect();
+    vh.trickle_insert("htap_t", seed_rows)?;
+    vh.propagate_table("htap_t", true)?;
+
+    let reconcile = |ctx: &str, model: &BTreeMap<i64, i64>| -> Result<Vec<Vec<Value>>> {
+        let got = canonical(vh.query("SELECT k, v FROM htap_t")?);
+        let want = canonical(
+            model
+                .iter()
+                .map(|(k, v)| vec![Value::I64(*k), Value::I64(*v)])
+                .collect(),
+        );
+        if got != want {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: htap_t diverged from the model {ctx} \
+                 ({} vs {} rows)",
+                got.len(),
+                want.len()
+            )));
+        }
+        Ok(got)
+    };
+    // Keys from the upper half of the model — deletes and soak updates stay
+    // away from the minimum key, which the crash injections use as a probe
+    // into a propagated (stable) chunk.
+    let upper_key = |model: &BTreeMap<i64, i64>, rng: &mut SplitMix64| -> Option<i64> {
+        if model.len() < 8 {
+            return None;
+        }
+        let lo = model.len() / 2;
+        let idx = lo + rng.next_bounded((model.len() - lo) as u64) as usize;
+        model.keys().nth(idx).copied()
+    };
+    let key_eq = |k: i64| Expr::InList(Box::new(Expr::Col(0)), vec![Value::I64(k)]);
+
+    // Directed crash: dirty a stable chunk (the minimum key was propagated
+    // at seed time and is never deleted), then force propagation with a
+    // one-shot crash armed at a seed-chosen protocol step. The crash must
+    // fire, surface as an error, lose nothing, and leave the partition
+    // retryable. `#append` is excluded: it is only reached when tail rows
+    // overflow the rewritten last chunk, which the workload can't
+    // guarantee at every injection point.
+    const CRASH_STEPS: [&str; 6] = [
+        "#begin",
+        "#rewrite-begin:",
+        "#rewrite-data:",
+        "#rewritten:",
+        "#checkpoint",
+        "#gc",
+    ];
+    const CRASH_KINDS: [FaultAction; 3] = [
+        FaultAction::CrashBefore,
+        FaultAction::CrashMid,
+        FaultAction::CrashAfter,
+    ];
+    let mut crash_log: Vec<String> = Vec::new();
+    let mut fired_total = 0u64;
+    let mut inject = |model: &mut BTreeMap<i64, i64>, rng: &mut SplitMix64| -> Result<()> {
+        let probe = *model.keys().next().expect("model never empties");
+        let bumped = model[&probe] + 1;
+        if vh.update_where("htap_t", &key_eq(probe), 1, Value::I64(bumped))? != 1 {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: probe key {probe} not found for update"
+            )));
+        }
+        model.insert(probe, bumped);
+        let step = CRASH_STEPS[rng.next_bounded(CRASH_STEPS.len() as u64) as usize];
+        let kind = CRASH_KINDS[rng.next_bounded(CRASH_KINDS.len() as u64) as usize];
+        let fault = DirectedFault::matching(FaultSite::Propagation, kind, 1, step);
+        vh.install_fault_hook(Some(fault.clone() as SharedFaultHook));
+        let out = vh.propagate_table("htap_t", true);
+        vh.install_fault_hook(None);
+        if fault.fired() != 1 {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: propagation never reached crash point \
+                 {step} (fired {})",
+                fault.fired()
+            )));
+        }
+        if out.is_ok() {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: crash at {step} [{kind:?}] did not \
+                 surface from propagate_table"
+            )));
+        }
+        fired_total += 1;
+        // Nothing acknowledged may be lost, whether the crash landed before
+        // or after the commit point — and a clean retry must go through.
+        reconcile(&format!("after a propagation crash at {step}"), model)?;
+        vh.propagate_table("htap_t", true)?;
+        reconcile(&format!("after retrying past the {step} crash"), model)?;
+        crash_log.push(format!("{step}[{kind:?}]"));
+        Ok(())
+    };
+
+    // The soak: 64 seeded rounds of mixed DML + OLAP probes. DML and query
+    // traffic advance the virtual health clock, so background propagation
+    // runs *because of* this workload, not beside it.
+    let mut dml_calls = 0u64;
+    let mut victim = None;
+    for round in 0..64u64 {
+        match rng.next_bounded(8) {
+            0..=4 => {
+                let n = 2 + rng.next_bounded(4);
+                let rows: Vec<Vec<Value>> = (0..n)
+                    .map(|_| {
+                        let k = next_k;
+                        next_k += 1;
+                        let v = k * 7 + round as i64;
+                        model.insert(k, v);
+                        vec![Value::I64(k), Value::I64(v)]
+                    })
+                    .collect();
+                vh.trickle_insert("htap_t", rows)?;
+                dml_calls += 1;
+            }
+            5 => {
+                let keys: std::collections::BTreeSet<i64> =
+                    (0..3).filter_map(|_| upper_key(&model, rng)).collect();
+                if !keys.is_empty() {
+                    let vals: Vec<Value> = keys.iter().map(|k| Value::I64(*k)).collect();
+                    let deleted = vh.delete_by_keys("htap_t", 0, &vals)?;
+                    if deleted != keys.len() as u64 {
+                        return Err(VhError::Internal(format!(
+                            "chaos seed {seed:#x}: deleted {deleted} of \
+                             {} keys in round {round}",
+                            keys.len()
+                        )));
+                    }
+                    for k in keys {
+                        model.remove(&k);
+                    }
+                    dml_calls += 1;
+                }
+            }
+            6 => {
+                if let Some(k) = upper_key(&model, rng) {
+                    let nv = model[&k] + 13;
+                    if vh.update_where("htap_t", &key_eq(k), 1, Value::I64(nv))? != 1 {
+                        return Err(VhError::Internal(format!(
+                            "chaos seed {seed:#x}: update of key {k} in round \
+                             {round} touched the wrong row count"
+                        )));
+                    }
+                    model.insert(k, nv);
+                    dml_calls += 1;
+                }
+            }
+            _ => {
+                let qn = [1usize, 6, 12][rng.next_bounded(3) as usize];
+                checked_query(&vh, db, qn, &format!("in htap round {round}"), seed)?;
+            }
+        }
+        if round % 16 == 7 {
+            reconcile(&format!("at the round-{round} checkpoint"), &model)?;
+        }
+        if round == 20 || round == 44 {
+            inject(&mut model, rng)?;
+        }
+        if round == 31 {
+            // Mid-soak node kill: takeover must keep both the OLTP and the
+            // propagation machinery working on the survivors.
+            let master = vh.session_master();
+            let pool: Vec<NodeId> = vh.workers().into_iter().filter(|w| *w != master).collect();
+            let v = pool[rng.next_bounded(pool.len() as u64) as usize];
+            vh.kill_node(v)?;
+            victim = Some(v);
+            reconcile("after the mid-soak node kill", &model)?;
+        }
+    }
+
+    // A propagation crash fired from *inside* the background tick: the DML
+    // call that advanced the clock must still succeed — the tick repairs
+    // the partition in place instead of poisoning the foreground.
+    let bg = DirectedFault::matching(FaultSite::Propagation, FaultAction::CrashMid, 1, "#");
+    vh.install_fault_hook(Some(bg.clone() as SharedFaultHook));
+    for _ in 0..48 {
+        if bg.fired() > 0 {
+            break;
+        }
+        let rows: Vec<Vec<Value>> = (0..4)
+            .map(|_| {
+                let k = next_k;
+                next_k += 1;
+                model.insert(k, k * 7);
+                vec![Value::I64(k), Value::I64(k * 7)]
+            })
+            .collect();
+        vh.trickle_insert("htap_t", rows)?;
+        dml_calls += 1;
+    }
+    vh.install_fault_hook(None);
+    if bg.fired() != 1 {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: background propagation never ran into the \
+             armed crash (fired {})",
+            bg.fired()
+        )));
+    }
+    fired_total += 1;
+    reconcile("after the background-tick crash self-repaired", &model)?;
+
+    // §6 byte-level invariants. Settle to a clean propagated image, freeze
+    // every full chunk's bytes, then push tail-only inserts through another
+    // propagation: the full chunks must be kept — same path, same bytes —
+    // and a scan must be byte-stable across the image swap (the snapshot a
+    // reader holds is never mutated, only superseded).
+    vh.propagate_table("htap_t", true)?;
+    let rt = vh.table("htap_t")?;
+    let mut frozen: Vec<(String, Vec<u8>)> = Vec::new();
+    for store in &rt.stores {
+        let store = store.read();
+        // The last chunk is fair game: a partial tail chunk absorbs
+        // appended rows and is legitimately rewritten.
+        for c in 0..store.n_chunks().saturating_sub(1) {
+            let path = store.chunk_meta(c).path.clone();
+            let bytes = vh.fs().read(&path, 0, 1 << 24, None)?;
+            frozen.push((path, bytes));
+        }
+    }
+    if frozen.is_empty() {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: soak left no full chunks to freeze — \
+             workload too small to prove the keep path"
+        )));
+    }
+    let before_stats = vh.propagation_stats().snapshot();
+    let tail_rows: Vec<Vec<Value>> = (0..8)
+        .map(|_| {
+            let k = next_k;
+            next_k += 1;
+            model.insert(k, k * 7);
+            vec![Value::I64(k), Value::I64(k * 7)]
+        })
+        .collect();
+    vh.trickle_insert("htap_t", tail_rows)?;
+    dml_calls += 1;
+    let pre_swap = reconcile("before the tail-append propagation", &model)?;
+    vh.propagate_table("htap_t", true)?;
+    let post_swap = reconcile("after the tail-append propagation", &model)?;
+    if pre_swap != post_swap {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: scan not byte-stable across the \
+             propagation image swap"
+        )));
+    }
+    for (path, bytes) in &frozen {
+        let now = vh.fs().read(path, 0, 1 << 24, None)?;
+        if &now != bytes {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: kept chunk {path} changed on disk \
+                 across a tail-append propagation"
+            )));
+        }
+    }
+    let live: std::collections::BTreeSet<String> = rt
+        .stores
+        .iter()
+        .flat_map(|s| {
+            let s = s.read();
+            (0..s.n_chunks())
+                .map(|c| s.chunk_meta(c).path.clone())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (path, _) in &frozen {
+        if !live.contains(path) {
+            return Err(VhError::Internal(format!(
+                "chaos seed {seed:#x}: full chunk {path} was rewritten \
+                 instead of kept across a tail-append propagation"
+            )));
+        }
+    }
+
+    // Counter reconciliation: the background plane must have actually run,
+    // tail appends are a subset of runs, the directed + retry cycles
+    // rewrote chunks, and exactly the one background crash self-repaired.
+    let ps = vh.propagation_stats().snapshot();
+    if ps.propagation_runs == 0
+        || ps.tail_appends > ps.propagation_runs
+        || ps.chunks_rewritten == 0
+        || ps.crashes_recovered != 1
+    {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: propagation counters off: {ps:?}"
+        )));
+    }
+    if ps.tail_appends <= before_stats.tail_appends {
+        return Err(VhError::Internal(format!(
+            "chaos seed {seed:#x}: tail-only inserts did not take the \
+             append path ({} -> {})",
+            before_stats.tail_appends, ps.tail_appends
+        )));
+    }
+    report.fired[site_index(FaultSite::Propagation)] += fired_total;
+    report.steps.push(format!(
+        "htap: every={propagate_every} budget={chunks_per_tick}, 64 rounds, \
+         {dml_calls} dml calls, {} live rows, killed {}, crashes [{}] + 1 \
+         in-tick, stats runs={} tail={} kept={} rewritten={} recovered={}",
+        model.len(),
+        victim.expect("round 31 always kills"),
+        crash_log.join(", "),
+        ps.propagation_runs,
+        ps.tail_appends,
+        ps.chunks_kept,
+        ps.chunks_rewritten,
+        ps.crashes_recovered
     ));
     Ok(())
 }

@@ -27,6 +27,12 @@
 //!    order, while scripted faults refuse dials, tear frames on the wire
 //!    and drop connections mid-stream — and after an epoch bump, a peer
 //!    redialling with the stale epoch is fenced at the handshake.
+//! 7. Background chunk-level update propagation survives an HTAP soak: a
+//!    seeded mixed workload reconciles against an exact model while
+//!    propagation runs off the virtual health clock, crashes injected at
+//!    every propagation WAL step recover losslessly (including from inside
+//!    the background tick), untouched chunks stay byte-identical on disk,
+//!    and scans are byte-stable across the image swap.
 //!
 //! `CHAOS_PHASES=io,txn` (any comma-separated subset of
 //! [`harness::ALL_PHASES`]) runs only those phases — CI splits a schedule

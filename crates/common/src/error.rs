@@ -47,6 +47,11 @@ pub enum VhError {
     /// The query was cancelled by the client (or the session closed) while
     /// executing; the execute loop checks the cancel flag between batches.
     Cancelled(String),
+    /// Background update propagation failed mid-flight (an injected crash
+    /// or I/O error between the per-chunk WAL protocol steps). The
+    /// partition is recoverable by `recover_partition`; the background
+    /// driver treats this as "the propagator crashed" and re-runs recovery.
+    Propagation(String),
 }
 
 impl VhError {
@@ -70,6 +75,7 @@ impl VhError {
             VhError::Internal(_) => "internal",
             VhError::ServerBusy(_) => "server-busy",
             VhError::Cancelled(_) => "cancelled",
+            VhError::Propagation(_) => "propagation",
         }
     }
 
@@ -98,6 +104,7 @@ impl VhError {
             VhError::Internal(_) => 1015,
             VhError::ServerBusy(_) => 1016,
             VhError::Cancelled(_) => 1017,
+            VhError::Propagation(_) => 1018,
         }
     }
 
@@ -124,6 +131,7 @@ impl VhError {
             1015 => VhError::Internal(message),
             1016 => VhError::ServerBusy(message),
             1017 => VhError::Cancelled(message),
+            1018 => VhError::Propagation(message),
             other => VhError::Internal(format!("unknown error code {other}: {message}")),
         }
     }
@@ -147,7 +155,8 @@ impl VhError {
             | VhError::InvalidArg(m)
             | VhError::Internal(m)
             | VhError::ServerBusy(m)
-            | VhError::Cancelled(m) => m,
+            | VhError::Cancelled(m)
+            | VhError::Propagation(m) => m,
         }
     }
 }
@@ -200,6 +209,7 @@ mod tests {
             VhError::Internal(String::new()),
             VhError::ServerBusy(String::new()),
             VhError::Cancelled(String::new()),
+            VhError::Propagation(String::new()),
         ]
     }
 
@@ -232,6 +242,7 @@ mod tests {
             (1015, "internal"),
             (1016, "server-busy"),
             (1017, "cancelled"),
+            (1018, "propagation"),
         ];
         let variants = all_variants();
         assert_eq!(variants.len(), pinned.len(), "new variant: pin its code");

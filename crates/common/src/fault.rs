@@ -50,11 +50,16 @@ pub enum FaultSite {
     /// frames; the sender must reconnect (subject to epoch fencing) and
     /// retransmit everything unacknowledged.
     Disconnect,
+    /// Background update propagation (`txn::propagate`) — crash points
+    /// between the per-chunk WAL protocol steps. The detail string is
+    /// `"<wal path>#<step>"` (e.g. `"/t/p0.wal#rewritten:2"`), so directed
+    /// faults can aim at one partition's propagation at one exact step.
+    Propagation,
 }
 
 impl FaultSite {
     /// Every site, for coverage accounting in the chaos harness.
-    pub const ALL: [FaultSite; 11] = [
+    pub const ALL: [FaultSite; 12] = [
         FaultSite::HdfsRead,
         FaultSite::HdfsAppend,
         FaultSite::XchgSend,
@@ -66,6 +71,7 @@ impl FaultSite {
         FaultSite::ConnRefused,
         FaultSite::PartialFrame,
         FaultSite::Disconnect,
+        FaultSite::Propagation,
     ];
 
     /// Stable short name (used in schedule reports and hashing).
@@ -82,6 +88,7 @@ impl FaultSite {
             FaultSite::ConnRefused => "conn-refused",
             FaultSite::PartialFrame => "partial-frame",
             FaultSite::Disconnect => "disconnect",
+            FaultSite::Propagation => "propagation",
         }
     }
 }

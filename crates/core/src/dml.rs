@@ -52,13 +52,18 @@ fn materialize_cols(
             }
             MergeStep::SkipStable { .. } => {}
             MergeStep::ModifyStable { sid, mods } => {
+                // Pre-index the patches by column so wide projections don't
+                // pay a linear scan of `mods` per selected column.
+                let mut by_col: Vec<Option<&Value>> = vec![None; schema.len()];
+                for (mc, v) in mods {
+                    by_col[*mc] = Some(v);
+                }
                 for (j, &c) in cols.iter().enumerate() {
-                    let v = mods
-                        .iter()
-                        .find(|(mc, _)| *mc == c)
-                        .map(|(_, v)| v.clone())
-                        .unwrap_or_else(|| stable[j].value_at(*sid as usize, schema.dtype(c)));
-                    out[j].push_value(&v)?;
+                    match by_col[c] {
+                        Some(v) => out[j].push_value(v)?,
+                        None => out[j]
+                            .push_value(&stable[j].value_at(*sid as usize, schema.dtype(c)))?,
+                    }
                 }
             }
             MergeStep::EmitInsert { values, .. } => {

@@ -8,7 +8,10 @@ use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
 use vectorh_common::{ColumnData, NodeId, PartitionId, Result, Value, VhError};
-use vectorh_net::{ChannelStats, DxchgConfig, FanoutMode, HeartbeatMonitor, NetStats, ServerStats};
+use vectorh_net::{
+    ChannelStats, DxchgConfig, FanoutMode, HeartbeatMonitor, NetStats, PropagationStats,
+    ServerStats,
+};
 use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
 use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
@@ -74,6 +77,15 @@ pub struct ClusterConfig {
     /// ≥ 2 in [`ClusterMode::Tcp`], where a beat can legitimately arrive a
     /// tick late and delay jitter must never dead-latch a live node.
     pub heartbeat_grace: u32,
+    /// Virtual-clock period between background update-propagation rounds
+    /// (same clock as `health_every`: one unit per query/DML call). 0
+    /// disables background propagation (it then runs only through
+    /// [`VectorH::propagate_table`]).
+    pub propagate_every: u64,
+    /// Chunk budget per background propagation round: a round stops
+    /// visiting further partitions once it has written this many chunk
+    /// images, so propagation shares the clock fairly with live queries.
+    pub propagate_chunks_per_tick: usize,
 }
 
 impl Default for ClusterConfig {
@@ -95,6 +107,8 @@ impl Default for ClusterConfig {
             ship_retention: ShipRetention::from_env(),
             cluster_mode: ClusterMode::InProc,
             heartbeat_grace: 1,
+            propagate_every: 0,
+            propagate_chunks_per_tick: 8,
         }
     }
 }
@@ -251,6 +265,14 @@ pub struct VectorH {
     /// Reentrancy guard: recovery triggered by a health round must not
     /// recurse into another round.
     in_health_round: AtomicBool,
+    /// Virtual-clock scheduler for background update propagation, advanced
+    /// by the same query/DML traffic as the health plane.
+    prop_scheduler: HealthScheduler,
+    /// Reentrancy guard for background propagation rounds.
+    in_propagation: AtomicBool,
+    /// Propagation counters (runs, kept/rewritten chunks, recovered
+    /// crashes), read through [`VectorH::propagation_stats`].
+    propagation: Arc<PropagationStats>,
     /// The current session master and its fencing epoch.
     master: RwLock<MasterState>,
     /// Every (epoch, master) ever in force, in order — election audit trail.
@@ -342,6 +364,7 @@ impl VectorH {
             .collect();
         let first = workers.first().copied().unwrap_or(NodeId(0));
         let scheduler = HealthScheduler::new(config.health_every);
+        let prop_scheduler = HealthScheduler::new(config.propagate_every);
         let shipper = LogShipper::with_retention(config.ship_retention.clone());
         let epoch_cell = Arc::new(SharedEpoch::new(1));
         let (fabric, hb_net): (Option<Arc<dyn Fabric>>, Option<HbNet>) = match config.cluster_mode {
@@ -375,6 +398,9 @@ impl VectorH {
             health: HeartbeatMonitor::with_grace(HEARTBEAT_DEADLINE_MISSES, grace),
             scheduler,
             in_health_round: AtomicBool::new(false),
+            prop_scheduler,
+            in_propagation: AtomicBool::new(false),
+            propagation: Arc::new(PropagationStats::default()),
             master: RwLock::new(MasterState {
                 node: first,
                 epoch: 1,
@@ -426,6 +452,12 @@ impl VectorH {
 
     pub fn net_stats(&self) -> &Arc<NetStats> {
         &self.net
+    }
+
+    /// Background update-propagation counters: committed runs, tail
+    /// appends, chunks kept byte-identical vs rewritten, crashes repaired.
+    pub fn propagation_stats(&self) -> &Arc<PropagationStats> {
+        &self.propagation
     }
 
     /// Per-exchange-channel traffic counters (messages, bytes, credit
@@ -1106,21 +1138,31 @@ impl VectorH {
     /// nodes newly declared dead.
     pub fn advance_health(&self, units: u64) -> Result<Vec<NodeId>> {
         let rounds = self.scheduler.advance(units);
-        if rounds == 0 || self.in_health_round.swap(true, Ordering::SeqCst) {
-            return Ok(vec![]);
-        }
+        let prop_rounds = self.prop_scheduler.advance(units);
         let mut dead = Vec::new();
         let mut result = Ok(());
-        for _ in 0..rounds {
-            match self.health_tick() {
-                Ok(newly) => dead.extend(newly),
-                Err(e) => {
-                    result = Err(e);
-                    break;
+        if rounds > 0 && !self.in_health_round.swap(true, Ordering::SeqCst) {
+            for _ in 0..rounds {
+                match self.health_tick() {
+                    Ok(newly) => dead.extend(newly),
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
                 }
             }
+            self.in_health_round.store(false, Ordering::SeqCst);
         }
-        self.in_health_round.store(false, Ordering::SeqCst);
+        // The propagation plane runs on its own period but competes for the
+        // same virtual clock; it is guarded separately so a health round's
+        // recovery queries cannot recurse into propagation and vice versa.
+        if prop_rounds > 0 && result.is_ok() && !self.in_propagation.swap(true, Ordering::SeqCst) {
+            let r = self.propagation_tick();
+            self.in_propagation.store(false, Ordering::SeqCst);
+            if let Err(e) = r {
+                result = Err(e);
+            }
+        }
         result.map(|_| dead)
     }
 
@@ -1148,30 +1190,109 @@ impl VectorH {
         let mut done = 0;
         for (i, pid) in rt.pids.iter().enumerate() {
             if force || self.txns.needs_propagation(*pid) {
-                let mut store = rt.stores[i].write();
-                let report = vectorh_txn::propagate::propagate_partition(
-                    &self.txns,
-                    *pid,
-                    &mut store,
-                    &rt.wals[i],
-                )?;
+                let report = self.propagate_partition_runtime(&rt, i)?;
                 if report.mode != vectorh_txn::propagate::PropagationMode::Noop {
                     done += 1;
-                    if rt.def.partitioning.is_none() {
-                        // Propagation folded the shipped updates into the
-                        // stable image: the retained ship log is obsolete
-                        // (mirroring the WAL `Checkpoint`) and every replica
-                        // re-bases on the new image.
-                        let stable = store.row_count();
-                        self.shipper.checkpoint(*pid);
-                        for mgr in self.replicas.read().values() {
-                            mgr.register_partition(*pid, stable);
-                        }
-                    }
                 }
             }
         }
         Ok(done)
+    }
+
+    /// Propagate one partition of a table and do the post-commit
+    /// bookkeeping (ship-log checkpoint + replica re-base for replicated
+    /// tables, counters). Shared by [`Self::propagate_table`] and the
+    /// background [`Self::propagation_tick`].
+    fn propagate_partition_runtime(
+        &self,
+        rt: &TableRuntime,
+        i: usize,
+    ) -> Result<vectorh_txn::propagate::PropagationReport> {
+        let pid = rt.pids[i];
+        let mut store = rt.stores[i].write();
+        let report =
+            vectorh_txn::propagate::propagate_partition(&self.txns, pid, &mut store, &rt.wals[i])?;
+        if report.mode != vectorh_txn::propagate::PropagationMode::Noop {
+            if rt.def.partitioning.is_none() {
+                // Propagation folded the shipped updates into the stable
+                // image: the retained ship log is obsolete (mirroring the
+                // WAL `Checkpoint`) and every replica re-bases on the new
+                // image.
+                let stable = store.row_count();
+                self.shipper.checkpoint(pid);
+                for mgr in self.replicas.read().values() {
+                    mgr.register_partition(pid, stable);
+                }
+            }
+            self.propagation.record_run(
+                report.mode == vectorh_txn::propagate::PropagationMode::TailAppend,
+                report.chunks_kept,
+                report.chunks_rewritten,
+            );
+        }
+        Ok(report)
+    }
+
+    /// One background propagation round: visit tables in name order and
+    /// flush partitions whose PDTs cross the propagation thresholds, until
+    /// the per-tick chunk budget is spent. A partition busy with live
+    /// transactions (`TxnAbort`) is simply skipped until a later round; a
+    /// propagation crash (injected fault or I/O error) is repaired in place
+    /// with [`Self::recover_after_propagation_crash`] so background
+    /// propagation never poisons the query path that drove the clock.
+    fn propagation_tick(&self) -> Result<()> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        let mut budget = self.config.propagate_chunks_per_tick.max(1);
+        for name in names {
+            let Ok(rt) = self.table(&name) else { continue };
+            for i in 0..rt.pids.len() {
+                if budget == 0 {
+                    return Ok(());
+                }
+                if !self.txns.needs_propagation(rt.pids[i]) {
+                    continue;
+                }
+                match self.propagate_partition_runtime(&rt, i) {
+                    Ok(report) => {
+                        let spent = (report.chunks_rewritten + report.tail_chunks).max(1) as usize;
+                        budget = budget.saturating_sub(spent);
+                    }
+                    Err(VhError::TxnAbort(_)) => continue,
+                    Err(_) => {
+                        self.propagation.record_crash_recovered();
+                        self.recover_after_propagation_crash(&rt, i)?;
+                        budget = budget.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair a partition after a propagation crash: WAL repair + replay of
+    /// the committed updates on top of whichever chunk images survived. If
+    /// nothing needed replaying, the crash happened after the commit point
+    /// — the new image is installed and the PDTs are already empty, so a
+    /// replicated table additionally re-bases its ship log and replicas
+    /// (the step the crash interrupted).
+    fn recover_after_propagation_crash(&self, rt: &TableRuntime, i: usize) -> Result<()> {
+        let pid = rt.pids[i];
+        let stable = rt.stores[i].read().row_count();
+        let report = crate::recovery::recover_partition(
+            &self.coordinator,
+            &self.txns,
+            pid,
+            stable,
+            &rt.wals[i],
+        )?;
+        if report.replayed_records == 0 && rt.def.partitioning.is_none() {
+            self.shipper.checkpoint(pid);
+            for mgr in self.replicas.read().values() {
+                mgr.register_partition(pid, stable);
+            }
+        }
+        Ok(())
     }
 
     /// Total stored bytes of a table (compressed, all replicas counted once).

@@ -44,6 +44,9 @@ pub use catalog::{Catalog, TableBuilder, TableDef};
 pub use engine::{ClusterConfig, ClusterMode, MasterState, QueryCtl, VectorH};
 pub use recovery::{recover_partition, RecoveryReport};
 pub use scheduler::HealthScheduler;
+// The DML predicate type ([`dml`] takes `&Expr`), re-exported so callers
+// of `delete_where`/`update_where` don't need a direct exec dependency.
+pub use vectorh_exec::expr::Expr;
 pub use vectorh_net::NodeHealth;
 
 // Re-exports for example/bench ergonomics.

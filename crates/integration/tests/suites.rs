@@ -16,6 +16,9 @@ mod failover_locality;
 #[path = "../../../tests/health_plane.rs"]
 mod health_plane;
 
+#[path = "../../../tests/propagation.rs"]
+mod propagation;
+
 #[path = "../../../tests/recovery.rs"]
 mod recovery;
 

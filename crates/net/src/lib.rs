@@ -33,5 +33,7 @@ pub mod xchg;
 
 pub use dxchg::{DxchgConfig, FanoutMode};
 pub use heartbeat::{HeartbeatMonitor, NodeHealth};
-pub use stats::{ChannelStats, NetStats, ServerStats, SessionCounters};
+pub use stats::{
+    ChannelStats, NetStats, PropagationSnapshot, PropagationStats, ServerStats, SessionCounters,
+};
 pub use xchg::Partitioning;

@@ -146,6 +146,63 @@ impl NetStats {
     }
 }
 
+/// Counters for background update propagation, shared between the
+/// propagation driver and the `VectorH::propagation_stats()` probe.
+/// `chunks_kept` vs `chunks_rewritten` is the paper-facing number: it shows
+/// chunk-level rewrite-or-keep actually leaving untouched chunks alone.
+#[derive(Debug, Default)]
+pub struct PropagationStats {
+    runs: AtomicU64,
+    tail_appends: AtomicU64,
+    chunks_kept: AtomicU64,
+    chunks_rewritten: AtomicU64,
+    crashes_recovered: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`PropagationStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationSnapshot {
+    /// Non-noop propagation runs that committed.
+    pub propagation_runs: u64,
+    /// Runs that were pure tail appends (no pre-existing chunk dirtied,
+    /// save for a trailing partial chunk absorbing the inserts).
+    pub tail_appends: u64,
+    /// Pre-existing chunks left byte-identical on disk across all runs.
+    pub chunks_kept: u64,
+    /// Pre-existing chunks replaced with a fresh image across all runs.
+    pub chunks_rewritten: u64,
+    /// Propagation attempts that crashed and were repaired by recovery.
+    pub crashes_recovered: u64,
+}
+
+impl PropagationStats {
+    /// Account one committed, non-noop propagation run.
+    pub fn record_run(&self, tail_append: bool, kept: u64, rewritten: u64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        if tail_append {
+            self.tail_appends.fetch_add(1, Ordering::Relaxed);
+        }
+        self.chunks_kept.fetch_add(kept, Ordering::Relaxed);
+        self.chunks_rewritten
+            .fetch_add(rewritten, Ordering::Relaxed);
+    }
+
+    /// Account a propagation crash that recovery repaired.
+    pub fn record_crash_recovered(&self) {
+        self.crashes_recovered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> PropagationSnapshot {
+        PropagationSnapshot {
+            propagation_runs: self.runs.load(Ordering::Relaxed),
+            tail_appends: self.tail_appends.load(Ordering::Relaxed),
+            chunks_kept: self.chunks_kept.load(Ordering::Relaxed),
+            chunks_rewritten: self.chunks_rewritten.load(Ordering::Relaxed),
+            crashes_recovered: self.crashes_recovered.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Point-in-time counters for one front-door session (or the aggregate of
 /// all sessions when read through [`ServerStats::totals`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -302,6 +359,25 @@ mod tests {
         s.record_dedup_residual(3);
         s.record_dedup_residual(1);
         assert_eq!(s.dedup_residual_peak(), 3);
+    }
+
+    #[test]
+    fn propagation_stats_accumulate() {
+        let s = PropagationStats::default();
+        s.record_run(true, 3, 1);
+        s.record_run(false, 1, 2);
+        s.record_crash_recovered();
+        let snap = s.snapshot();
+        assert_eq!(
+            snap,
+            PropagationSnapshot {
+                propagation_runs: 2,
+                tail_appends: 1,
+                chunks_kept: 4,
+                chunks_rewritten: 3,
+                crashes_recovered: 1,
+            }
+        );
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub struct PartitionStore {
     minmax: MinMaxIndex,
     next_chunk_id: u64,
     home: Option<NodeId>,
+    /// Chunk files replaced by the last committed propagation. They are no
+    /// longer in the manifest but may still be held by in-flight scan
+    /// snapshots (scans clone the manifest, which references files by
+    /// path), so deletion is deferred one full propagation cycle:
+    /// [`sweep_deferred`](Self::sweep_deferred) reclaims them at the start
+    /// of the *next* committed propagation.
+    deferred: Vec<String>,
 }
 
 impl PartitionStore {
@@ -61,6 +68,7 @@ impl PartitionStore {
             minmax: MinMaxIndex::new(),
             next_chunk_id: 0,
             home: None,
+            deferred: Vec::new(),
         }
     }
 
@@ -226,6 +234,99 @@ impl PartitionStore {
         let old = std::mem::replace(&mut self.chunks[idx], meta);
         self.minmax.replace_chunk(idx, stats);
         self.fs.delete(&old.path)
+    }
+
+    /// Rows per full chunk file.
+    pub fn rows_per_chunk(&self) -> usize {
+        self.config.rows_per_chunk
+    }
+
+    /// Reserve a fresh chunk path without writing anything — chunk-level
+    /// propagation logs the path (`ChunkRewriteBegin`) *before* the data
+    /// write, so the replacement image's location is known to recovery even
+    /// if the write itself is torn.
+    pub fn alloc_chunk_path(&mut self) -> String {
+        self.fresh_path()
+    }
+
+    /// Write a replacement image for chunk `idx` at the pre-allocated
+    /// `path` and swap it into the manifest (data + MinMax). Unlike
+    /// [`rewrite_chunk`](Self::rewrite_chunk) the old file is **not**
+    /// deleted — its path is returned so the caller can defer reclamation
+    /// until no scan snapshot can still reference it.
+    pub fn install_chunk(
+        &mut self,
+        idx: usize,
+        path: &str,
+        columns: &[ColumnData],
+    ) -> Result<String> {
+        if columns.len() != self.schema.len() {
+            return Err(VhError::Storage("install with wrong column count".into()));
+        }
+        let meta = chunk::write_chunk(&self.fs, path, columns, self.home)?;
+        let stats = self.chunk_stats(columns);
+        let old = std::mem::replace(&mut self.chunks[idx], meta);
+        self.minmax.replace_chunk(idx, stats);
+        Ok(old.path)
+    }
+
+    /// Write a brand-new trailing chunk at the pre-allocated `path` and
+    /// push it onto the manifest (data + MinMax) — the tail-append side of
+    /// chunk-level propagation, which never touches existing chunk files.
+    pub fn push_chunk_at(&mut self, path: &str, columns: &[ColumnData]) -> Result<()> {
+        if columns.len() != self.schema.len() {
+            return Err(VhError::Storage("push with wrong column count".into()));
+        }
+        let meta = chunk::write_chunk(&self.fs, path, columns, self.home)?;
+        let stats = self.chunk_stats(columns);
+        self.chunks.push(meta);
+        self.minmax.push_chunk(stats);
+        Ok(())
+    }
+
+    /// Queue files replaced by a just-committed propagation for deletion at
+    /// the start of the next one.
+    pub fn defer_delete(&mut self, paths: Vec<String>) {
+        self.deferred.extend(paths);
+    }
+
+    /// Paths currently awaiting deferred deletion.
+    pub fn deferred(&self) -> &[String] {
+        &self.deferred
+    }
+
+    /// Delete the previous propagation generation's replaced files. By the
+    /// time this runs (inside the next committed propagation) any scan
+    /// snapshot taken before that generation's commit has long finished.
+    pub fn sweep_deferred(&mut self) -> Result<Vec<String>> {
+        let paths = std::mem::take(&mut self.deferred);
+        for p in &paths {
+            if self.fs.exists(p) {
+                self.fs.delete(p)?;
+            }
+        }
+        Ok(paths)
+    }
+
+    /// Delete chunk files under the partition directory that are neither in
+    /// the manifest nor awaiting deferred deletion — the leftovers of a
+    /// propagation that crashed after allocating (and possibly writing) a
+    /// replacement image but before committing it. Only `chunk-`-named
+    /// files are touched: WALs and other artifacts may share the directory.
+    pub fn gc_orphans(&mut self) -> Result<Vec<String>> {
+        let prefix = format!("{}chunk-", self.dir);
+        let mut removed = Vec::new();
+        for f in self.fs.list(&self.dir) {
+            if !f.path.starts_with(&prefix) {
+                continue;
+            }
+            if self.chunks.iter().any(|c| c.path == f.path) || self.deferred.contains(&f.path) {
+                continue;
+            }
+            self.fs.delete(&f.path)?;
+            removed.push(f.path);
+        }
+        Ok(removed)
     }
 
     /// Drop all chunk files (table truncation / partition drop).
@@ -459,6 +560,72 @@ mod tests {
         assert!(s.append_rows(&[ColumnData::I64(vec![1])]).is_err());
         s.append_rows(&cols(0, 10)).unwrap();
         assert!(s.rewrite_chunk(0, &[ColumnData::I64(vec![1])]).is_err());
+    }
+
+    #[test]
+    fn install_chunk_keeps_old_file_until_swept() {
+        let mut s = store(100);
+        s.append_rows(&cols(0, 100)).unwrap();
+        let old_path = s.chunk_meta(0).path.clone();
+        let path = s.alloc_chunk_path();
+        let new = vec![
+            ColumnData::I64(vec![1000, 2000]),
+            ColumnData::I32(vec![1, 2]),
+        ];
+        let returned = s.install_chunk(0, &path, &new).unwrap();
+        assert_eq!(returned, old_path);
+        assert_eq!(s.read_column(0, 0, None).unwrap(), new[0]);
+        assert_eq!(s.minmax().stats(0, 0).unwrap().min, Value::I64(1000));
+        // The old file survives until deferred deletion sweeps it.
+        assert!(s.fs.exists(&old_path));
+        s.defer_delete(vec![returned]);
+        assert_eq!(s.deferred().len(), 1);
+        let swept = s.sweep_deferred().unwrap();
+        assert_eq!(swept, vec![old_path.clone()]);
+        assert!(!s.fs.exists(&old_path));
+        assert!(s.deferred().is_empty());
+        assert!(
+            s.sweep_deferred().unwrap().is_empty(),
+            "sweep is idempotent"
+        );
+    }
+
+    #[test]
+    fn push_chunk_at_appends_without_touching_existing_files() {
+        let mut s = store(100);
+        s.append_rows(&cols(0, 100)).unwrap();
+        let first = s.chunk_meta(0).path.clone();
+        let path = s.alloc_chunk_path();
+        s.push_chunk_at(&path, &cols(100, 50)).unwrap();
+        assert_eq!(s.n_chunks(), 2);
+        assert_eq!(s.row_count(), 150);
+        assert_eq!(s.chunk_meta(0).path, first);
+        assert_eq!(s.read_column(1, 0, None).unwrap().as_i64().unwrap()[0], 100);
+        assert_eq!(s.minmax().stats(1, 0).unwrap().min, Value::I64(100));
+    }
+
+    #[test]
+    fn gc_orphans_removes_uncommitted_images_only() {
+        let mut s = store(100);
+        s.append_rows(&cols(0, 100)).unwrap();
+        // A crashed propagation left a half-written replacement image and
+        // an allocated-but-never-written path; a WAL shares the directory.
+        let orphan = s.alloc_chunk_path();
+        chunk::write_chunk(&s.fs.clone(), &orphan, &cols(0, 10), None).unwrap();
+        s.fs.append("/db/t/p0/p0.wal", b"not a chunk", None)
+            .unwrap();
+        // A deferred file from the previous committed generation must not
+        // be gc'd out from under in-flight scans.
+        let kept = s.alloc_chunk_path();
+        chunk::write_chunk(&s.fs.clone(), &kept, &cols(0, 5), None).unwrap();
+        s.defer_delete(vec![kept.clone()]);
+        let removed = s.gc_orphans().unwrap();
+        assert_eq!(removed, vec![orphan.clone()]);
+        assert!(!s.fs.exists(&orphan));
+        assert!(s.fs.exists(&kept));
+        assert!(s.fs.exists("/db/t/p0/p0.wal"));
+        assert!(s.fs.exists(&s.chunk_meta(0).path.clone()));
+        assert!(s.gc_orphans().unwrap().is_empty(), "gc is idempotent");
     }
 
     #[test]

@@ -155,6 +155,12 @@ struct MgrInner {
     commit_log: Vec<(u64, HashSet<(PartitionId, TupleKey)>)>,
     /// Active transactions per partition (blocks propagation).
     active: HashMap<PartitionId, usize>,
+    /// Partitions with a propagation in flight. Transactions must not
+    /// begin on a latched partition: a txn that starts after
+    /// `begin_propagation` snapshotted the merge plan and commits before
+    /// `finish_propagation` resets the PDTs would be silently erased by
+    /// the reset — the lost-update race the latch closes.
+    propagating: HashSet<PartitionId>,
 }
 
 /// The transaction manager (session-master role).
@@ -173,6 +179,7 @@ impl TransactionManager {
                 commit_seq: 0,
                 commit_log: Vec::new(),
                 active: HashMap::new(),
+                propagating: HashSet::new(),
             }),
             config,
         }
@@ -180,7 +187,9 @@ impl TransactionManager {
 
     /// Register a partition (stable rows currently on disk).
     pub fn register_partition(&self, pid: PartitionId, stable_len: u64) {
-        self.inner.write().partitions.insert(
+        let mut inner = self.inner.write();
+        inner.propagating.remove(&pid);
+        inner.partitions.insert(
             pid,
             PartitionTxnState {
                 stable_len,
@@ -216,6 +225,13 @@ impl TransactionManager {
         let id = inner.next_txn;
         inner.next_txn += 1;
         let version = inner.commit_seq;
+        for pid in pids {
+            if inner.propagating.contains(pid) {
+                return Err(VhError::TxnAbort(format!(
+                    "partition {pid} is propagating; retry shortly"
+                )));
+            }
+        }
         let mut snapshots = HashMap::new();
         for pid in pids {
             let st = inner
@@ -549,26 +565,39 @@ impl TransactionManager {
         Ok(())
     }
 
-    /// Begin update propagation: returns the merge plan to apply to storage.
-    /// Fails while transactions are active on the partition.
+    /// Begin update propagation: returns the merge plan to apply to storage
+    /// and latches the partition — transactions cannot begin on it until
+    /// [`finish_propagation`](Self::finish_propagation) or
+    /// [`abort_propagation`](Self::abort_propagation) releases the latch.
+    /// Fails while transactions are active on the partition (or another
+    /// propagation holds the latch).
     pub fn begin_propagation(&self, pid: PartitionId) -> Result<(u64, Vec<MergeStep>)> {
-        let inner = self.inner.read();
+        let mut inner = self.inner.write();
         if inner.active.get(&pid).copied().unwrap_or(0) > 0 {
             return Err(VhError::TxnAbort(format!(
                 "cannot propagate {pid}: transactions active"
             )));
         }
-        let st = inner
-            .partitions
-            .get(&pid)
-            .ok_or_else(|| VhError::TxnAbort(format!("unknown partition {pid}")))?;
+        if !inner.propagating.insert(pid) {
+            return Err(VhError::TxnAbort(format!(
+                "cannot propagate {pid}: propagation already in flight"
+            )));
+        }
+        let st = match inner.partitions.get(&pid) {
+            Some(st) => st,
+            None => {
+                inner.propagating.remove(&pid);
+                return Err(VhError::TxnAbort(format!("unknown partition {pid}")));
+            }
+        };
         Ok((st.stable_len, st.layers().merged_plan()))
     }
 
     /// Finish propagation: the storage now holds `new_stable_len` rows with
-    /// all differences applied; PDTs reset.
+    /// all differences applied; PDTs reset and the latch released.
     pub fn finish_propagation(&self, pid: PartitionId, new_stable_len: u64) -> Result<()> {
         let mut inner = self.inner.write();
+        inner.propagating.remove(&pid);
         let st = inner
             .partitions
             .get_mut(&pid)
@@ -577,6 +606,13 @@ impl TransactionManager {
         st.read = Arc::new(Pdt::new());
         st.write = Arc::new(Pdt::new());
         Ok(())
+    }
+
+    /// Abandon a propagation without touching the PDTs — the no-op path
+    /// (nothing to flush) and every error path, where the PDT contents must
+    /// stay live because storage still holds the old image.
+    pub fn abort_propagation(&self, pid: PartitionId) {
+        self.inner.write().propagating.remove(&pid);
     }
 
     /// Bulk append of stable rows (direct-to-disk path for large loads; the
@@ -664,6 +700,7 @@ impl TransactionManager {
                 _ => {}
             }
         }
+        inner.propagating.remove(&pid);
         inner.partitions.insert(
             pid,
             PartitionTxnState {
@@ -909,6 +946,30 @@ mod tests {
         assert!(m.begin_propagation(P).is_err());
         m.abort(t);
         assert!(m.begin_propagation(P).is_ok());
+    }
+
+    #[test]
+    fn propagation_latch_blocks_new_txns_until_released() {
+        let m = mgr_with(P, 4);
+        let (_, _) = m.begin_propagation(P).unwrap();
+        // The latch closes the lost-update window: a txn beginning here
+        // could commit into PDTs that finish_propagation is about to reset.
+        assert!(m.begin(&[P]).is_err());
+        // A second propagation cannot double-latch.
+        assert!(m.begin_propagation(P).is_err());
+        m.finish_propagation(P, 4).unwrap();
+        m.abort(m.begin(&[P]).unwrap());
+        // Abort releases without resetting PDTs.
+        let (_, _) = m.begin_propagation(P).unwrap();
+        m.abort_propagation(P);
+        let mut t = m.begin(&[P]).unwrap();
+        m.modify_at(&mut t, P, 0, 0, Value::I64(5)).unwrap();
+        m.commit(t, |_, _| Ok(())).unwrap();
+        assert_eq!(materialize(&m, P, 4)[0][0], Value::I64(5));
+        // recover_partition clears a latch left by a crashed propagator.
+        let (_, _) = m.begin_propagation(P).unwrap();
+        m.recover_partition(P, 4, &[]).unwrap();
+        assert!(m.begin(&[P]).is_ok());
     }
 
     #[test]

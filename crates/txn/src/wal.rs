@@ -76,6 +76,23 @@ pub enum LogRecord {
         epoch: u64,
         node: u64,
     },
+    /// Chunk-level propagation: a rewrite of `chunk` is about to write its
+    /// replacement image at `path`. Until the matching `ChunkRewritten`
+    /// lands, `path` may hold a partial image — recovery treats the old
+    /// chunk file (still present, never deleted before the `Checkpoint`)
+    /// as the authoritative one.
+    ChunkRewriteBegin {
+        chunk: u32,
+        path: String,
+    },
+    /// Chunk-level propagation: the replacement image for `chunk` is fully
+    /// written (`rows` rows). The swap still only takes effect at the
+    /// propagation's closing `Checkpoint` — without it, recovery keeps the
+    /// old image and replays the PDT on top.
+    ChunkRewritten {
+        chunk: u32,
+        rows: u64,
+    },
 }
 
 // --- manual binary (de)serialization ----------------------------------------
@@ -253,6 +270,17 @@ impl LogRecord {
                 put_u64(*epoch, out);
                 put_u64(*node, out);
             }
+            LogRecord::ChunkRewriteBegin { chunk, path } => {
+                out.push(13);
+                put_u32(*chunk, out);
+                put_u32(path.len() as u32, out);
+                out.extend_from_slice(path.as_bytes());
+            }
+            LogRecord::ChunkRewritten { chunk, rows } => {
+                out.push(14);
+                put_u32(*chunk, out);
+                put_u64(*rows, out);
+            }
         }
     }
 
@@ -315,6 +343,19 @@ impl LogRecord {
             12 => LogRecord::MasterEpoch {
                 epoch: rd.u64()?,
                 node: rd.u64()?,
+            },
+            13 => {
+                let chunk = rd.u32()?;
+                let n = rd.u32()? as usize;
+                LogRecord::ChunkRewriteBegin {
+                    chunk,
+                    path: String::from_utf8(rd.take(n)?.to_vec())
+                        .map_err(|_| VhError::Storage("bad WAL utf8".into()))?,
+                }
+            }
+            14 => LogRecord::ChunkRewritten {
+                chunk: rd.u32()?,
+                rows: rd.u64()?,
             },
             t => return Err(VhError::Storage(format!("bad WAL record tag {t}"))),
         })
@@ -544,6 +585,14 @@ mod tests {
                 statement: "CREATE TABLE t (x int)".into(),
             },
             LogRecord::MasterEpoch { epoch: 3, node: 2 },
+            LogRecord::ChunkRewriteBegin {
+                chunk: 2,
+                path: "/db/t/p0/chunk-00000007".into(),
+            },
+            LogRecord::ChunkRewritten {
+                chunk: 2,
+                rows: 256,
+            },
             LogRecord::Checkpoint { stable_rows: 1234 },
         ]
     }
