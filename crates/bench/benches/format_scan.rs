@@ -6,21 +6,21 @@ use std::sync::Arc;
 use vectorh_bench::harness::Group;
 use vectorh_common::{ColumnData, DataType, Schema, Value};
 use vectorh_compress::baseline::{decode as bdecode, encode as bencode, BaselineFormat};
-use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
+use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
 use vectorh_storage::minmax::PruneOp;
 use vectorh_storage::{PartitionStore, StorageConfig};
 
 const N: i64 = 200_000;
 
 fn store() -> PartitionStore {
-    let fs = SimHdfs::new(
+    let fs: StoreRef = Arc::new(SimHdfs::new(
         1,
         SimHdfsConfig {
             block_size: 1 << 20,
             default_replication: 1,
         },
         Arc::new(DefaultPolicy::new(1)),
-    );
+    ));
     let schema = Schema::of(&[("ship", DataType::Date), ("lineno", DataType::I64)]);
     let mut s = PartitionStore::new(
         fs,

@@ -1,0 +1,171 @@
+//! Storage-backend perf leg: writes `BENCH_pr10.json`.
+//!
+//! Compares the two [`BlockStore`] backends head to head:
+//!
+//! * `store-scan` — raw sealed-file scan throughput (MB/s), the in-memory
+//!   simulation's `Vec` copies vs the file backend's mmap'd reads of real
+//!   files, measured over identical bytes with identical ranged-read
+//!   patterns;
+//! * `fig7-backend` — fig7 TPC-H queries end to end, one engine per
+//!   backend over the same deterministic dataset, wall seconds per arm.
+//!
+//! Every query is **answer-gated**: the run panics (CI goes red) if the
+//! file backend returns anything but the byte-for-byte identical rows the
+//! simulation returns. The report self-validates through
+//! `report::parse_report` before exit. `VH_BENCH_QUICK=1` shrinks sizes and
+//! the query list; `VH_BENCH_OUT` overrides the output path.
+
+use std::sync::Arc;
+
+use vectorh::{ClusterConfig, StorageBackend, VectorH};
+use vectorh_bench::report::Report;
+use vectorh_blockstore::FileStore;
+use vectorh_common::NodeId;
+use vectorh_simhdfs::{BlockStore, DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
+use vectorh_tpch::baseline::canonical;
+use vectorh_tpch::queries::{build_query, run_with};
+
+/// MB/s scanning one sealed file in 1 MiB ranged reads from a node that
+/// holds a replica (the short-circuit-local path both backends optimise).
+fn scan_mbps(fs: &StoreRef, path: &str, len: usize, reps: usize) -> f64 {
+    let step = 1 << 20;
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let (_, secs) = vectorh_bench::timed(|| {
+            let mut at = 0usize;
+            let mut sum = 0u64;
+            while at < len {
+                let take = step.min(len - at);
+                let buf = fs.read(path, at as u64, take, Some(NodeId(0))).unwrap();
+                sum += buf.iter().map(|&b| b as u64).sum::<u64>();
+                at += take;
+            }
+            sum
+        });
+        best = best.min(secs);
+    }
+    len as f64 / (1 << 20) as f64 / best
+}
+
+fn bench_store_scan(rep: &mut Report, quick: bool) {
+    let mb = if quick { 8 } else { 64 };
+    let len = mb << 20;
+    let reps = if quick { 3 } else { 8 };
+    let payload: Vec<u8> = (0..len)
+        .map(|i| (i as u32).wrapping_mul(2654435761) as u8)
+        .collect();
+    let config = SimHdfsConfig {
+        block_size: 4 << 20,
+        default_replication: 2,
+    };
+    let sim: StoreRef = Arc::new(SimHdfs::new(
+        3,
+        config.clone(),
+        Arc::new(DefaultPolicy::new(1)),
+    ));
+    let file: StoreRef =
+        Arc::new(FileStore::new(3, config.clone(), Arc::new(DefaultPolicy::new(1)), "").unwrap());
+    println!("\n== store-scan ({mb} MiB sealed file, 1 MiB ranged reads, best of {reps}) ==");
+    let mut rates = Vec::new();
+    for (name, fs) in [("sim", &sim), ("file", &file)] {
+        fs.append("/bench/scan", &payload, Some(NodeId(0))).unwrap();
+        fs.sync("/bench/scan").unwrap();
+        let mbps = scan_mbps(fs, "/bench/scan", len, reps);
+        rep.push("store-scan", name, mbps, "MB/s");
+        println!("  {name:<5} {mbps:>9.1} MB/s");
+        rates.push(mbps);
+    }
+    let ratio = rates[1] / rates[0];
+    rep.push("store-scan", "file/sim", ratio, "x");
+    println!("  file/sim ratio {ratio:.2}x");
+}
+
+fn bench_fig7_backend(rep: &mut Report, quick: bool) {
+    let sf = vectorh_bench::env_sf(0.01);
+    rep.meta("fig7_sf", &format!("{sf}"));
+    let queries: Vec<usize> = if quick { vec![1, 6] } else { vec![1, 3, 6, 12] };
+    let engines: Vec<(&str, VectorH)> = [
+        ("sim", StorageBackend::Sim),
+        ("file", StorageBackend::File(String::new())),
+    ]
+    .into_iter()
+    .map(|(name, backend)| {
+        let vh = VectorH::start(ClusterConfig {
+            nodes: 3,
+            rows_per_chunk: 8192,
+            streams_per_node: 2,
+            storage_backend: backend,
+            ..Default::default()
+        })
+        .unwrap();
+        vectorh_tpch::schema::setup(&vh, sf, 6, 42).unwrap();
+        (name, vh)
+    })
+    .collect();
+    println!(
+        "\n== fig7-backend (SF {sf}, {} queries, wall s) ==",
+        queries.len()
+    );
+    let mut totals = [0.0f64; 2];
+    for &qn in &queries {
+        let mut outs = Vec::new();
+        let mut secs_by_arm = [0.0f64; 2];
+        for (i, (name, vh)) in engines.iter().enumerate() {
+            let q = build_query(qn).unwrap();
+            let (rows, secs) =
+                vectorh_bench::timed_hot(|| run_with(&q, |p| vh.query_logical(p)).unwrap());
+            outs.push(canonical(rows));
+            totals[i] += secs;
+            secs_by_arm[i] = secs;
+            rep.push("fig7-backend", &format!("q{qn}/{name}"), secs, "s");
+        }
+        assert_eq!(
+            outs[0], outs[1],
+            "fig7-backend Q{qn}: file backend changed the query answer"
+        );
+        println!(
+            "  Q{qn}: sim {:.4}s  file {:.4}s",
+            secs_by_arm[0], secs_by_arm[1]
+        );
+    }
+    rep.push("fig7-backend", "total/sim", totals[0], "s");
+    rep.push("fig7-backend", "total/file", totals[1], "s");
+    rep.push("fig7-backend", "answers_match", 1.0, "bool");
+    let (_, file_vh) = &engines[1];
+    rep.push(
+        "fig7-backend",
+        "file_fsyncs",
+        file_vh.fs().stats().snapshot().fsync_ops as f64,
+        "ops",
+    );
+    println!(
+        "fig7-backend total: sim {:.3}s  file {:.3}s (answers byte-identical)",
+        totals[0], totals[1]
+    );
+}
+
+fn main() {
+    let quick = std::env::var("VH_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let out_path = std::env::var("VH_BENCH_OUT").unwrap_or_else(|_| "BENCH_pr10.json".to_string());
+    let mut rep = Report::new();
+    rep.meta("bench", "pr10");
+    rep.meta("quick", if quick { "1" } else { "0" });
+    rep.meta(
+        "host",
+        &format!("{}-{}", std::env::consts::ARCH, std::env::consts::OS),
+    );
+
+    bench_store_scan(&mut rep, quick);
+    bench_fig7_backend(&mut rep, quick);
+
+    rep.write_file(&out_path).expect("write report");
+    let back = std::fs::read_to_string(&out_path).expect("re-read report");
+    let parsed = vectorh_bench::report::parse_report(&back).expect("re-parse report");
+    assert_eq!(parsed, rep.entries(), "report did not round-trip");
+    println!(
+        "\nwrote {out_path}: {} entries, file backend byte-identical to the simulation",
+        parsed.len()
+    );
+}

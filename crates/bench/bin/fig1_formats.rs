@@ -21,7 +21,7 @@ use std::sync::Arc;
 use vectorh_bench::{print_table, timed_hot};
 use vectorh_common::{ColumnData, Schema, Value};
 use vectorh_compress::baseline::{decode as bdecode, encode as bencode, BaselineFormat};
-use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
+use vectorh_simhdfs::{BlockStore, DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
 use vectorh_storage::minmax::PruneOp;
 use vectorh_storage::{PartitionStore, StorageConfig};
 use vectorh_tpch::gen::{self, cols::lineitem as l};
@@ -69,14 +69,14 @@ fn main() {
     println!("{n} lineitem rows\n");
 
     // --- VectorH storage: chunked columnar with MinMax --------------------
-    let fs = SimHdfs::new(
+    let fs: StoreRef = Arc::new(SimHdfs::new(
         1,
         SimHdfsConfig {
             block_size: 1 << 20,
             default_replication: 1,
         },
         Arc::new(DefaultPolicy::new(1)),
-    );
+    ));
     let mut store = PartitionStore::new(
         fs.clone(),
         "/bench/lineitem/",

@@ -1,0 +1,1022 @@
+//! [`FileStore`]: the real-file [`BlockStore`] backend.
+//!
+//! Layout: one subdirectory per datanode under a root directory, each
+//! holding that node's replica of every file placed on it —
+//!
+//! ```text
+//! <root>/node-0000/db/t/p0/chunk-0
+//! <root>/node-0001/db/t/p0/chunk-0      (replica)
+//! <root>/node-0001/db/t/p0/wal
+//! ```
+//!
+//! Replication is **per file** (matching SimHdfs, where every block of a
+//! file shares one target set): a replica is a byte-identical copy of the
+//! whole file in another node's directory. `block_locations` still reports
+//! fixed-size logical blocks so locality accounting, `fully_local`, and the
+//! affinity rebalancer behave identically on both backends.
+//!
+//! The namenode state (file → length/targets, alive set, per-node usage) is
+//! kept in memory and **rebuilt by scanning the root directory** on
+//! [`FileStore::new`], which is what makes restart-after-crash recovery
+//! testable: drop the store, re-open the same root, and the surviving bytes
+//! are the database.
+//!
+//! Durability: `append` writes through a buffered writer and flushes to the
+//! OS before returning (survives process crash); [`BlockStore::sync`] fsyncs
+//! every live replica and advances the file's `synced_len` watermark
+//! (survives OS crash). [`FileStore::simulate_os_crash`] truncates every
+//! file back to that watermark — the directed torn-tail recovery test runs
+//! on exactly this.
+//!
+//! Reads are served from cached read-only mmaps ([`crate::mmap::Mmap`]);
+//! a mapping covers the file length at map time and is transparently
+//! remapped when the file has grown past it. See `mmap.rs` for the safety
+//! argument; the store upholds it by never truncating a path that may be
+//! mapped without dropping its cache entry first, and by rewriting files
+//! only via delete + re-create (fresh inode).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use vectorh_common::fault::{FaultSite, SharedFaultHook};
+use vectorh_common::sync::RwLock;
+use vectorh_common::{NodeId, Result, VhError};
+
+use crate::mmap::Mmap;
+use crate::placement::{BlockPlacementPolicy, ClusterView};
+use crate::stats::{IoStats, UsageReport};
+use crate::store::BlockStore;
+use crate::types::{BlockLocation, BlockStoreConfig, FileStatus};
+
+/// Namenode entry for one file.
+#[derive(Debug, Clone)]
+struct FileMeta {
+    len: u64,
+    /// Bytes guaranteed on stable storage (advanced by `sync`).
+    synced_len: u64,
+    replication: usize,
+    /// Per-file placement target set (fixed at first append, adjusted by
+    /// failures / rebalancing). Empty after data loss: reads error.
+    targets: Vec<NodeId>,
+}
+
+struct Inner {
+    files: BTreeMap<String, FileMeta>,
+    alive: BTreeSet<NodeId>,
+    all_nodes: BTreeSet<NodeId>,
+    used: HashMap<NodeId, u64>,
+}
+
+/// Real-file block store rooted at a directory.
+pub struct FileStore {
+    root: PathBuf,
+    /// Auto-created temp roots are removed on drop.
+    owns_root: bool,
+    inner: RwLock<Inner>,
+    maps: RwLock<HashMap<PathBuf, Arc<Mmap>>>,
+    policy: Arc<dyn BlockPlacementPolicy>,
+    stats: Arc<IoStats>,
+    config: BlockStoreConfig,
+    hook: RwLock<Option<SharedFaultHook>>,
+}
+
+/// Distinguishes concurrently auto-created temp roots within one process.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl FileStore {
+    /// Open (or create) a store of `nodes` datanodes rooted at `root`.
+    /// An empty `root` auto-creates a unique directory under the system
+    /// temp dir, removed when the store is dropped. A non-empty root that
+    /// already holds data is **rescanned**: namenode metadata is rebuilt
+    /// from the files on disk (replica lengths reconciled to the shortest
+    /// copy), which is the restart-after-crash path.
+    pub fn new(
+        nodes: usize,
+        config: BlockStoreConfig,
+        policy: Arc<dyn BlockPlacementPolicy>,
+        root: &str,
+    ) -> Result<Self> {
+        let (root, owns_root) = if root.is_empty() {
+            let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("vh-filestore-{}-{seq}", std::process::id()));
+            (dir, true)
+        } else {
+            (PathBuf::from(root), false)
+        };
+        fs::create_dir_all(&root)
+            .map_err(|e| VhError::Hdfs(format!("create store root {}: {e}", root.display())))?;
+
+        let mut all_nodes: BTreeSet<NodeId> = (0..nodes as u32).map(NodeId).collect();
+        // Rescan: every node-NNNN subdirectory contributes its replicas.
+        let mut replicas: BTreeMap<String, Vec<(NodeId, PathBuf, u64)>> = BTreeMap::new();
+        for entry in fs::read_dir(&root)
+            .map_err(|e| VhError::Hdfs(format!("scan store root {}: {e}", root.display())))?
+        {
+            let entry = entry.map_err(|e| VhError::Hdfs(format!("scan store root: {e}")))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(id) = name
+                .strip_prefix("node-")
+                .and_then(|s| s.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let node = NodeId(id);
+            all_nodes.insert(node);
+            let node_dir = entry.path();
+            walk_files(&node_dir, &mut |file| {
+                let rel = file.strip_prefix(&node_dir).unwrap();
+                let logical = format!("/{}", rel.to_string_lossy().replace('\\', "/"));
+                let len = fs::metadata(file).map(|m| m.len()).unwrap_or(0);
+                replicas
+                    .entry(logical)
+                    .or_default()
+                    .push((node, file.to_path_buf(), len));
+            });
+        }
+
+        let mut files = BTreeMap::new();
+        let mut used: HashMap<NodeId, u64> = HashMap::new();
+        for (logical, reps) in replicas {
+            // The durable length is what every replica agrees on: the
+            // shortest copy. Longer replicas carry bytes whose replication
+            // write was interrupted — trim them so copies stay identical.
+            let len = reps.iter().map(|(_, _, l)| *l).min().unwrap_or(0);
+            let mut targets = Vec::new();
+            for (node, path, plen) in &reps {
+                if *plen > len {
+                    if let Ok(f) = fs::OpenOptions::new().write(true).open(path) {
+                        f.set_len(len).ok();
+                    }
+                }
+                targets.push(*node);
+                *used.entry(*node).or_insert(0) += len;
+            }
+            targets.sort_unstable();
+            files.insert(
+                logical,
+                FileMeta {
+                    len,
+                    // Everything that survived to disk is, by definition of
+                    // a restart, the durable prefix.
+                    synced_len: len,
+                    replication: config.default_replication,
+                    targets,
+                },
+            );
+        }
+
+        Ok(FileStore {
+            root,
+            owns_root,
+            inner: RwLock::new(Inner {
+                files,
+                alive: all_nodes.clone(),
+                all_nodes,
+                used,
+            }),
+            maps: RwLock::new(HashMap::new()),
+            policy,
+            stats: Arc::new(IoStats::default()),
+            config,
+            hook: RwLock::new(None),
+        })
+    }
+
+    /// The root directory holding the node subdirectories.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    pub fn policy(&self) -> &Arc<dyn BlockPlacementPolicy> {
+        &self.policy
+    }
+
+    /// Durable byte count of `path` (advanced by `sync`); test observability.
+    pub fn synced_len(&self, path: &str) -> Result<u64> {
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|f| f.synced_len)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))
+    }
+
+    /// Test hook: simulate an OS crash by discarding every byte not yet
+    /// covered by a [`BlockStore::sync`] — all replicas are truncated back
+    /// to the file's `synced_len` watermark. Mapping cache entries are
+    /// dropped *before* truncating (mmap invariant 3).
+    pub fn simulate_os_crash(&self) {
+        self.maps.write().clear();
+        let mut inner = self.inner.write();
+        let root = self.root.clone();
+        let trims: Vec<(String, u64, Vec<NodeId>, u64)> = inner
+            .files
+            .iter()
+            .filter(|(_, m)| m.len > m.synced_len)
+            .map(|(p, m)| (p.clone(), m.synced_len, m.targets.clone(), m.len))
+            .collect();
+        for (path, synced, targets, len) in trims {
+            for node in &targets {
+                let phys = phys_path(&root, *node, &path);
+                if let Ok(f) = fs::OpenOptions::new().write(true).open(&phys) {
+                    f.set_len(synced).ok();
+                }
+                if let Some(u) = inner.used.get_mut(node) {
+                    *u = u.saturating_sub(len - synced);
+                }
+            }
+            inner.files.get_mut(&path).unwrap().len = synced;
+        }
+    }
+
+    fn view(inner: &Inner) -> ClusterView {
+        ClusterView {
+            alive: inner.alive.iter().copied().collect(),
+            used_bytes: inner.used.clone(),
+            existing: vec![],
+        }
+    }
+
+    /// The cached mapping of `phys`, remapped if shorter than `need` bytes.
+    fn mapping(&self, phys: &Path, need: u64) -> Result<Arc<Mmap>> {
+        if let Some(m) = self.maps.read().get(phys) {
+            if m.len() as u64 >= need {
+                return Ok(m.clone());
+            }
+        }
+        let file = fs::File::open(phys)
+            .map_err(|e| VhError::Hdfs(format!("open replica {}: {e}", phys.display())))?;
+        let flen = file
+            .metadata()
+            .map_err(|e| VhError::Hdfs(format!("stat replica {}: {e}", phys.display())))?
+            .len();
+        let map = Arc::new(
+            Mmap::map(&file, flen as usize)
+                .map_err(|e| VhError::Hdfs(format!("mmap replica {}: {e}", phys.display())))?,
+        );
+        self.maps.write().insert(phys.to_path_buf(), map.clone());
+        Ok(map)
+    }
+
+    fn drop_mapping(&self, phys: &Path) {
+        self.maps.write().remove(phys);
+    }
+
+    /// Copy `path`'s bytes from the replica at `src` into `dst`'s directory.
+    fn copy_replica(&self, path: &str, src: NodeId, dst: NodeId) -> Result<u64> {
+        let from = phys_path(&self.root, src, path);
+        let to = phys_path(&self.root, dst, path);
+        if let Some(parent) = to.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| VhError::Hdfs(format!("mkdir for replica of {path}: {e}")))?;
+        }
+        // Rewrites go through remove + copy so a stale mapping of the
+        // destination (possible after rebalance ping-pong) keeps its inode.
+        self.drop_mapping(&to);
+        fs::remove_file(&to).ok();
+        fs::copy(&from, &to).map_err(|e| VhError::Hdfs(format!("copy replica of {path}: {e}")))
+    }
+}
+
+/// `<root>/node-NNNN/<logical path minus leading slash>`.
+fn phys_path(root: &Path, node: NodeId, logical: &str) -> PathBuf {
+    root.join(format!("node-{:04}", node.0))
+        .join(logical.trim_start_matches('/'))
+}
+
+fn walk_files(dir: &Path, f: &mut impl FnMut(&Path)) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            walk_files(&p, f);
+        } else {
+            f(&p);
+        }
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        if self.owns_root {
+            self.maps.write().clear();
+            fs::remove_dir_all(&self.root).ok();
+        }
+    }
+}
+
+impl BlockStore for FileStore {
+    fn backend(&self) -> &'static str {
+        "file"
+    }
+
+    fn config(&self) -> &BlockStoreConfig {
+        &self.config
+    }
+
+    fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    fn set_fault_hook(&self, hook: Option<SharedFaultHook>) {
+        *self.hook.write() = hook;
+    }
+
+    fn fault_hook(&self) -> Option<SharedFaultHook> {
+        self.hook.read().clone()
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        self.inner.read().alive.iter().copied().collect()
+    }
+
+    fn all_nodes(&self) -> Vec<NodeId> {
+        self.inner.read().all_nodes.iter().copied().collect()
+    }
+
+    fn create(&self, path: &str, replication: Option<usize>) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.files.contains_key(path) {
+            return Err(VhError::Hdfs(format!("file exists: {path}")));
+        }
+        let replication = replication.unwrap_or(self.config.default_replication);
+        inner.files.insert(
+            path.to_string(),
+            FileMeta {
+                len: 0,
+                synced_len: 0,
+                replication,
+                targets: vec![],
+            },
+        );
+        Ok(())
+    }
+
+    fn append(&self, path: &str, data: &[u8], writer: Option<NodeId>) -> Result<()> {
+        self.consult_fault(FaultSite::HdfsAppend, path)?;
+        let mut inner = self.inner.write();
+        if !inner.files.contains_key(path) {
+            let replication = self.config.default_replication;
+            inner.files.insert(
+                path.to_string(),
+                FileMeta {
+                    len: 0,
+                    synced_len: 0,
+                    replication,
+                    targets: vec![],
+                },
+            );
+        }
+        // Fix placement targets on first append.
+        if inner.files[path].targets.is_empty() {
+            let wanted = inner.files[path].replication;
+            let view = Self::view(&inner);
+            let targets = self.policy.choose_targets(path, writer, wanted, &view);
+            if targets.is_empty() {
+                return Err(VhError::Hdfs(format!("no alive datanodes to place {path}")));
+            }
+            inner.files.get_mut(path).unwrap().targets = targets;
+        }
+        let targets = inner.files[path].targets.clone();
+        let live_targets: Vec<NodeId> = targets
+            .iter()
+            .copied()
+            .filter(|n| inner.alive.contains(n))
+            .collect();
+        if live_targets.is_empty() {
+            return Err(VhError::Hdfs(format!(
+                "all replica targets of {path} are dead"
+            )));
+        }
+        for node in &live_targets {
+            let phys = phys_path(&self.root, *node, path);
+            if let Some(parent) = phys.parent() {
+                fs::create_dir_all(parent)
+                    .map_err(|e| VhError::Hdfs(format!("mkdir for {path}: {e}")))?;
+            }
+            let file = fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&phys)
+                .map_err(|e| VhError::Hdfs(format!("open {path} for append: {e}")))?;
+            // Buffered write, flushed to the OS page cache before the append
+            // returns: durable against process crash, not yet against OS
+            // crash — that is what `sync` is for.
+            let mut w = BufWriter::new(file);
+            w.write_all(data)
+                .and_then(|()| w.flush())
+                .map_err(|e| VhError::Hdfs(format!("append to {path}: {e}")))?;
+            *inner.used.entry(*node).or_insert(0) += data.len() as u64;
+        }
+        inner.files.get_mut(path).unwrap().len += data.len() as u64;
+        self.stats
+            .record_write(data.len() as u64 * live_targets.len() as u64);
+        Ok(())
+    }
+
+    fn sync(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let meta = inner
+            .files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        for node in meta.targets.iter().filter(|n| inner.alive.contains(n)) {
+            let phys = phys_path(&self.root, *node, path);
+            match fs::File::open(&phys) {
+                Ok(f) => f
+                    .sync_all()
+                    .map_err(|e| VhError::Hdfs(format!("fsync {path}: {e}")))?,
+                // Zero-length files may not exist physically yet.
+                Err(_) if meta.len == 0 => {}
+                Err(e) => return Err(VhError::Hdfs(format!("fsync {path}: {e}"))),
+            }
+        }
+        inner.files.get_mut(path).unwrap().synced_len = meta.len;
+        self.stats.record_fsync();
+        Ok(())
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize, reader: Option<NodeId>) -> Result<Vec<u8>> {
+        self.consult_fault(FaultSite::HdfsRead, path)?;
+        let inner = self.inner.read();
+        // A dead node cannot issue reads: surfacing this as `NodeDown` (not
+        // a generic Hdfs error) lets the query layer fail over by
+        // re-planning on the surviving worker set.
+        if let Some(r) = reader {
+            if !inner.alive.contains(&r) {
+                return Err(VhError::NodeDown(format!(
+                    "reader {r} is dead (reading {path})"
+                )));
+            }
+        }
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        let end = (offset + len as u64).min(meta.len);
+        if offset >= end {
+            return Ok(vec![]);
+        }
+        let live: Vec<NodeId> = meta
+            .targets
+            .iter()
+            .copied()
+            .filter(|n| inner.alive.contains(n))
+            .collect();
+        let block_size = self.config.block_size as u64;
+        if live.is_empty() {
+            let bi = (offset / block_size) as usize;
+            return Err(VhError::Hdfs(format!(
+                "block {bi} of {path} has no live replica"
+            )));
+        }
+        let local = reader.map(|r| live.contains(&r)).unwrap_or(false);
+        let serving = if local { reader.unwrap() } else { live[0] };
+        let phys = phys_path(&self.root, serving, path);
+        let map = self.mapping(&phys, end)?;
+        let bytes = map
+            .slice(offset as usize, (end - offset) as usize)
+            .ok_or_else(|| {
+                VhError::Hdfs(format!(
+                    "replica of {path} on {serving} is short ({} < {end})",
+                    map.len()
+                ))
+            })?;
+        // Account block-by-block like the namenode would serve it, so IO-op
+        // counters match the simulated backend.
+        let mut pos = offset;
+        while pos < end {
+            let take = (block_size - pos % block_size).min(end - pos);
+            self.stats.record_read(take, local);
+            pos += take;
+        }
+        Ok(bytes.to_vec())
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let meta = inner
+            .files
+            .remove(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        for node in &meta.targets {
+            let phys = phys_path(&self.root, *node, path);
+            self.drop_mapping(&phys);
+            fs::remove_file(&phys).ok();
+            if let Some(u) = inner.used.get_mut(node) {
+                *u = u.saturating_sub(meta.len);
+            }
+        }
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.read().files.contains_key(path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64> {
+        self.inner
+            .read()
+            .files
+            .get(path)
+            .map(|f| f.len)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<FileStatus> {
+        let block_size = self.config.block_size as u64;
+        self.inner
+            .read()
+            .files
+            .range(prefix.to_string()..)
+            .take_while(|(p, _)| p.starts_with(prefix))
+            .map(|(p, f)| FileStatus {
+                path: p.clone(),
+                len: f.len,
+                replication: f.replication,
+                block_count: f.len.div_ceil(block_size) as usize,
+            })
+            .collect()
+    }
+
+    fn block_locations(&self, path: &str) -> Result<Vec<BlockLocation>> {
+        let inner = self.inner.read();
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| VhError::Hdfs(format!("no such file: {path}")))?;
+        let block_size = self.config.block_size as u64;
+        let n_blocks = meta.len.div_ceil(block_size);
+        let mut out = Vec::with_capacity(n_blocks as usize);
+        for i in 0..n_blocks {
+            let offset = i * block_size;
+            out.push(BlockLocation {
+                offset,
+                len: (meta.len - offset).min(block_size),
+                nodes: meta.targets.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn kill_node(&self, node: NodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.alive.remove(&node) {
+            return Err(VhError::Hdfs(format!("{node} is not alive")));
+        }
+        // Drop the dead node's usage; its replicas are gone.
+        inner.used.remove(&node);
+        let paths: Vec<String> = inner.files.keys().cloned().collect();
+        let mut rerep_total = 0u64;
+        for path in paths {
+            let meta = inner.files[&path].clone();
+            if !meta.targets.contains(&node) {
+                continue;
+            }
+            let mut targets: Vec<NodeId> = meta
+                .targets
+                .iter()
+                .copied()
+                .filter(|&n| n != node)
+                .collect();
+            // Re-replication copies from a surviving replica; a file with no
+            // survivors is lost (read() will error on its blocks).
+            let survivor = targets.iter().copied().find(|n| inner.alive.contains(n));
+            if meta.len > 0 && targets.len() < meta.replication {
+                if let Some(src) = survivor {
+                    let mut view = Self::view(&inner);
+                    view.existing = targets.clone();
+                    if let Some(t) = self
+                        .policy
+                        .choose_targets(&path, None, 1, &view)
+                        .first()
+                        .copied()
+                    {
+                        self.copy_replica(&path, src, t)?;
+                        targets.push(t);
+                        *inner.used.entry(t).or_insert(0) += meta.len;
+                        rerep_total += meta.len;
+                    }
+                }
+            }
+            inner.files.get_mut(&path).unwrap().targets = targets;
+        }
+        // Discard the dead node's physical replicas, like a datanode whose
+        // disk is gone: revival brings it back empty.
+        let node_dir = self.root.join(format!("node-{:04}", node.0));
+        self.maps
+            .write()
+            .retain(|phys, _| !phys.starts_with(&node_dir));
+        fs::remove_dir_all(&node_dir).ok();
+        if rerep_total > 0 {
+            self.stats.record_rereplication(rerep_total);
+        }
+        Ok(())
+    }
+
+    fn revive_node(&self, node: NodeId) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.all_nodes.contains(&node) {
+            return Err(VhError::Hdfs(format!("{node} was never in the cluster")));
+        }
+        if !inner.alive.insert(node) {
+            return Err(VhError::Hdfs(format!("{node} is already alive")));
+        }
+        Ok(())
+    }
+
+    fn add_node(&self) -> NodeId {
+        let mut inner = self.inner.write();
+        let id = NodeId(inner.all_nodes.iter().map(|n| n.0 + 1).max().unwrap_or(0));
+        inner.all_nodes.insert(id);
+        inner.alive.insert(id);
+        id
+    }
+
+    fn conform_to_policy(&self) -> u64 {
+        let mut inner = self.inner.write();
+        let paths: Vec<String> = inner.files.keys().cloned().collect();
+        let mut moved = 0u64;
+        for path in paths {
+            let meta = inner.files[&path].clone();
+            let view = Self::view(&inner);
+            let desired = self
+                .policy
+                .choose_targets(&path, None, meta.replication, &view);
+            if desired.is_empty() || meta.targets == desired {
+                continue;
+            }
+            if meta.len > 0 {
+                let Some(src) = meta
+                    .targets
+                    .iter()
+                    .copied()
+                    .find(|n| inner.alive.contains(n))
+                else {
+                    continue; // lost file: nothing to copy from
+                };
+                for n in desired.iter().filter(|n| !meta.targets.contains(n)) {
+                    self.copy_replica(&path, src, *n).ok();
+                    *inner.used.entry(*n).or_insert(0) += meta.len;
+                    moved += meta.len;
+                }
+                for n in meta.targets.iter().filter(|n| !desired.contains(n)) {
+                    let phys = phys_path(&self.root, *n, &path);
+                    self.drop_mapping(&phys);
+                    fs::remove_file(&phys).ok();
+                    if let Some(u) = inner.used.get_mut(n) {
+                        *u = u.saturating_sub(meta.len);
+                    }
+                }
+            }
+            inner.files.get_mut(&path).unwrap().targets = desired;
+        }
+        if moved > 0 {
+            self.stats.record_rereplication(moved);
+        }
+        moved
+    }
+
+    fn usage(&self) -> UsageReport {
+        let inner = self.inner.read();
+        UsageReport {
+            per_node_bytes: inner.used.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{AffinityPolicy, DefaultPolicy};
+    use vectorh_common::fault::{FaultAction, FaultHook};
+
+    fn small_fs(nodes: usize) -> FileStore {
+        FileStore::new(
+            nodes,
+            BlockStoreConfig {
+                block_size: 64,
+                default_replication: 3,
+            },
+            Arc::new(DefaultPolicy::new(42)),
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_read_roundtrip_on_disk() {
+        let fs = small_fs(4);
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        fs.append("/f", &data, Some(NodeId(0))).unwrap();
+        assert_eq!(fs.read_all("/f", Some(NodeId(0))).unwrap(), data);
+        assert_eq!(fs.len("/f").unwrap(), 1000);
+        assert_eq!(fs.block_locations("/f").unwrap().len(), 16);
+        // The bytes really are on disk, replicated R times.
+        let mut phys_copies = 0;
+        for node in fs.all_nodes() {
+            let p = phys_path(fs.root(), node, "/f");
+            if p.exists() {
+                assert_eq!(fs::read(&p).unwrap(), data);
+                phys_copies += 1;
+            }
+        }
+        assert_eq!(phys_copies, 3);
+    }
+
+    #[test]
+    fn partial_reads_and_growth_remap() {
+        let fs = small_fs(3);
+        let data: Vec<u8> = (0..200u32).map(|i| i as u8).collect();
+        fs.append("/f", &data, None).unwrap();
+        assert_eq!(fs.read("/f", 10, 5, None).unwrap(), &data[10..15]);
+        assert_eq!(fs.read("/f", 60, 10, None).unwrap(), &data[60..70]);
+        assert_eq!(fs.read("/f", 195, 100, None).unwrap(), &data[195..]);
+        assert_eq!(fs.read("/f", 500, 10, None).unwrap(), Vec::<u8>::new());
+        // Grow after mapping: reads past the old mapping length remap.
+        fs.append("/f", &[0xEE; 300], None).unwrap();
+        let tail = fs.read("/f", 200, 300, None).unwrap();
+        assert_eq!(tail, vec![0xEE; 300]);
+        // And the already-mapped prefix still serves.
+        assert_eq!(fs.read("/f", 0, 200, None).unwrap(), data);
+    }
+
+    #[test]
+    fn locality_accounting_matches_simhdfs_shape() {
+        let fs = small_fs(5);
+        fs.append("/f", &[9u8; 256], Some(NodeId(2))).unwrap();
+        let before = fs.stats().snapshot();
+        fs.read_all("/f", Some(NodeId(2))).unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.remote_read_bytes, 0);
+        assert_eq!(after.local_read_bytes, 256);
+        // External clients read remote.
+        let before = fs.stats().snapshot();
+        fs.read_all("/f", None).unwrap();
+        let after = fs.stats().snapshot().since(&before);
+        assert_eq!(after.local_read_bytes, 0);
+        assert_eq!(after.remote_read_bytes, 256);
+    }
+
+    #[test]
+    fn delete_frees_space_and_disk() {
+        let fs = small_fs(3);
+        fs.append("/f", &[1u8; 100], Some(NodeId(0))).unwrap();
+        let used: u64 = fs.usage().per_node_bytes.values().sum();
+        assert_eq!(used, 300);
+        fs.delete("/f").unwrap();
+        let used: u64 = fs.usage().per_node_bytes.values().sum();
+        assert_eq!(used, 0);
+        assert!(!fs.exists("/f"));
+        assert!(fs.read_all("/f", None).is_err());
+        for node in fs.all_nodes() {
+            assert!(!phys_path(fs.root(), node, "/f").exists());
+        }
+    }
+
+    #[test]
+    fn node_failure_rereplicates_real_files() {
+        let fs = small_fs(4);
+        fs.append("/f", &[7u8; 128], Some(NodeId(0))).unwrap();
+        fs.kill_node(NodeId(0)).unwrap();
+        let locs = fs.block_locations("/f").unwrap();
+        for b in &locs {
+            assert_eq!(b.nodes.len(), 3, "re-replicated back to R=3");
+            assert!(!b.nodes.contains(&NodeId(0)));
+        }
+        assert!(fs.stats().snapshot().rereplicated_bytes >= 128);
+        assert_eq!(fs.read_all("/f", None).unwrap(), vec![7u8; 128]);
+        // The new replica is a real on-disk copy.
+        for n in &locs[0].nodes {
+            assert_eq!(
+                fs::read(phys_path(fs.root(), *n, "/f")).unwrap(),
+                vec![7u8; 128]
+            );
+        }
+        // The dead node's directory is gone.
+        assert!(!fs.root().join("node-0000").exists());
+    }
+
+    #[test]
+    fn lost_file_reads_error() {
+        let policy = Arc::new(AffinityPolicy::new(9));
+        let fs = FileStore::new(
+            4,
+            BlockStoreConfig {
+                block_size: 32,
+                default_replication: 1,
+            },
+            policy.clone(),
+            "",
+        )
+        .unwrap();
+        policy.set_affinity("/solo/", vec![NodeId(2)]);
+        fs.append("/solo/f", &[1u8; 10], None).unwrap();
+        fs.kill_node(NodeId(2)).unwrap();
+        assert!(fs.read_all("/solo/f", None).is_err());
+    }
+
+    #[test]
+    fn affinity_rebalance_moves_real_replicas() {
+        let policy = Arc::new(AffinityPolicy::new(7));
+        let fs = FileStore::new(
+            4,
+            BlockStoreConfig {
+                block_size: 32,
+                default_replication: 2,
+            },
+            policy.clone(),
+            "",
+        )
+        .unwrap();
+        policy.set_affinity("/db/r/p0/", vec![NodeId(1), NodeId(3)]);
+        fs.append("/db/r/p0/chunk0", &[5u8; 100], Some(NodeId(0)))
+            .unwrap();
+        assert!(fs.fully_local("/db/r/p0/chunk0", NodeId(1)).unwrap());
+        policy.set_affinity("/db/r/p0/", vec![NodeId(0), NodeId(2)]);
+        let moved = fs.conform_to_policy();
+        assert!(moved >= 100);
+        for b in fs.block_locations("/db/r/p0/chunk0").unwrap() {
+            assert_eq!(b.nodes, vec![NodeId(0), NodeId(2)]);
+        }
+        assert_eq!(
+            fs.read_all("/db/r/p0/chunk0", None).unwrap(),
+            vec![5u8; 100]
+        );
+        // Old replicas physically removed, new ones physically present.
+        assert!(!phys_path(fs.root(), NodeId(1), "/db/r/p0/chunk0").exists());
+        assert!(phys_path(fs.root(), NodeId(0), "/db/r/p0/chunk0").exists());
+    }
+
+    #[test]
+    fn revive_comes_back_empty_then_rebalance_repopulates() {
+        let policy = Arc::new(AffinityPolicy::new(11));
+        let fs = FileStore::new(
+            3,
+            BlockStoreConfig {
+                block_size: 32,
+                default_replication: 2,
+            },
+            policy.clone(),
+            "",
+        )
+        .unwrap();
+        policy.set_affinity("/db/t/p0/", vec![NodeId(1), NodeId(2)]);
+        fs.append("/db/t/p0/chunk0", &[4u8; 96], Some(NodeId(1)))
+            .unwrap();
+        fs.kill_node(NodeId(1)).unwrap();
+        fs.revive_node(NodeId(1)).unwrap();
+        assert_eq!(fs.alive_nodes().len(), 3);
+        assert!(!fs.fully_local("/db/t/p0/chunk0", NodeId(1)).unwrap());
+        assert!(fs.conform_to_policy() >= 96);
+        assert!(fs.fully_local("/db/t/p0/chunk0", NodeId(1)).unwrap());
+        assert_eq!(
+            fs.read_all("/db/t/p0/chunk0", Some(NodeId(1))).unwrap(),
+            vec![4u8; 96]
+        );
+        assert!(fs.revive_node(NodeId(1)).is_err());
+        assert!(fs.revive_node(NodeId(9)).is_err());
+    }
+
+    #[test]
+    fn restart_rescans_root_and_serves_same_bytes() {
+        let root = std::env::temp_dir().join(format!("vh-fstest-restart-{}", std::process::id()));
+        fs::remove_dir_all(&root).ok();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i * 7) as u8).collect();
+        {
+            let fs = FileStore::new(
+                3,
+                BlockStoreConfig {
+                    block_size: 64,
+                    default_replication: 2,
+                },
+                Arc::new(DefaultPolicy::new(1)),
+                root.to_str().unwrap(),
+            )
+            .unwrap();
+            fs.append("/db/t/p0/chunk-0", &data, Some(NodeId(1)))
+                .unwrap();
+            fs.append("/db/t/p0/wal", b"wal-bytes", Some(NodeId(1)))
+                .unwrap();
+            fs.sync("/db/t/p0/chunk-0").unwrap();
+        }
+        // Process "restarted": fresh store over the same root.
+        let fs = FileStore::new(
+            3,
+            BlockStoreConfig {
+                block_size: 64,
+                default_replication: 2,
+            },
+            Arc::new(DefaultPolicy::new(1)),
+            root.to_str().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fs.len("/db/t/p0/chunk-0").unwrap(), data.len() as u64);
+        assert_eq!(fs.read_all("/db/t/p0/chunk-0", None).unwrap(), data);
+        assert_eq!(fs.read_all("/db/t/p0/wal", None).unwrap(), b"wal-bytes");
+        assert_eq!(fs.list("/db/t/p0/").len(), 2);
+        // Replicas were discovered on both nodes that held them.
+        let locs = fs.block_locations("/db/t/p0/chunk-0").unwrap();
+        assert_eq!(locs[0].nodes.len(), 2);
+        fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sync_watermark_gates_os_crash_survival() {
+        let fs = small_fs(3);
+        fs.append("/wal", b"committed.", None).unwrap();
+        fs.sync("/wal").unwrap();
+        fs.append("/wal", b"torn-tail", None).unwrap();
+        assert_eq!(fs.len("/wal").unwrap(), 19);
+        assert_eq!(fs.synced_len("/wal").unwrap(), 10);
+        assert!(fs.stats().snapshot().fsync_ops >= 1);
+        fs.simulate_os_crash();
+        assert_eq!(fs.len("/wal").unwrap(), 10);
+        assert_eq!(fs.read_all("/wal", None).unwrap(), b"committed.");
+        // Appends keep working after the crash.
+        fs.append("/wal", b"+more", None).unwrap();
+        assert_eq!(fs.read_all("/wal", None).unwrap(), b"committed.+more");
+    }
+
+    #[test]
+    fn dead_reader_surfaces_node_down() {
+        let fs = small_fs(4);
+        fs.append("/f", &[1u8; 64], Some(NodeId(0))).unwrap();
+        fs.kill_node(NodeId(2)).unwrap();
+        let err = fs.read_all("/f", Some(NodeId(2))).unwrap_err();
+        assert!(matches!(err, VhError::NodeDown(_)), "{err}");
+        assert!(fs.read_all("/f", Some(NodeId(0))).is_ok());
+        assert!(fs.read_all("/f", None).is_ok());
+    }
+
+    #[test]
+    fn create_twice_fails_and_list_by_prefix() {
+        let fs = small_fs(3);
+        fs.create("/f", None).unwrap();
+        assert!(fs.create("/f", None).is_err());
+        fs.append("/db/t/p0/c0", &[0], None).unwrap();
+        fs.append("/db/t/p0/c1", &[0], None).unwrap();
+        fs.append("/db/t/p1/c0", &[0], None).unwrap();
+        assert_eq!(fs.list("/db/t/p0/").len(), 2);
+        assert_eq!(fs.list("/db/").len(), 3);
+        assert_eq!(fs.list("/zzz").len(), 0);
+    }
+
+    /// Scripted hook acting on paths containing a marker substring.
+    #[derive(Debug)]
+    struct ScriptedHook {
+        site: FaultSite,
+        marker: &'static str,
+        action: FaultAction,
+        clears_after: u32,
+    }
+
+    impl FaultHook for ScriptedHook {
+        fn decide(&self, site: FaultSite, detail: &str, attempt: u32) -> FaultAction {
+            if site != self.site || !detail.contains(self.marker) {
+                return FaultAction::None;
+            }
+            if self.action == FaultAction::TransientError && attempt >= self.clears_after {
+                return FaultAction::None;
+            }
+            self.action
+        }
+    }
+
+    #[test]
+    fn fault_sites_fire_on_real_file_paths() {
+        let fs = small_fs(3);
+        fs.append("/flaky/f", &[3u8; 32], Some(NodeId(0))).unwrap();
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsRead,
+            marker: "/flaky/",
+            action: FaultAction::TransientError,
+            clears_after: 2,
+        })));
+        assert_eq!(
+            fs.read_all("/flaky/f", Some(NodeId(0))).unwrap(),
+            vec![3u8; 32]
+        );
+        let snap = fs.stats().snapshot();
+        assert_eq!(snap.injected_faults, 2);
+        assert_eq!(snap.read_retries, 2);
+        // Permanent append fault: nothing is written to any replica.
+        fs.set_fault_hook(Some(Arc::new(ScriptedHook {
+            site: FaultSite::HdfsAppend,
+            marker: "/flaky/",
+            action: FaultAction::PermanentError,
+            clears_after: 0,
+        })));
+        assert!(fs.append("/flaky/f", &[9u8; 8], Some(NodeId(0))).is_err());
+        fs.set_fault_hook(None);
+        assert_eq!(fs.len("/flaky/f").unwrap(), 32);
+    }
+}

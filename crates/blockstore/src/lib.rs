@@ -1,0 +1,33 @@
+//! Pluggable block storage for VectorH-rs.
+//!
+//! The paper's storage layer (§3) talks to HDFS through a narrow surface:
+//! append-only files split into replicated fixed-size blocks, placement
+//! delegated to a pluggable `BlockPlacementPolicy` (`chooseTarget`),
+//! short-circuit local reads, and namenode-driven re-replication. This crate
+//! lifts exactly that surface into the [`BlockStore`] trait so backends can
+//! slot in behind `Arc<dyn BlockStore>`:
+//!
+//! * `SimHdfs` (crate `vectorh-simhdfs`) — the original in-memory simulation,
+//!   now the first trait implementor with unchanged behaviour;
+//! * [`FileStore`] (this crate) — real files in a root directory, one
+//!   subdirectory per datanode, buffered appends with explicit fsync at
+//!   commit points ([`BlockStore::sync`]) and mmap-served reads.
+//!
+//! Shared infrastructure lives here too: [`IoStats`] accounting, the
+//! placement policies ([`DefaultPolicy`], [`AffinityPolicy`]), and the
+//! fault-hook retry loop ([`consult_hook`]) that every backend consults at
+//! its read/append sites so chaos schedules behave identically on both.
+
+pub mod filestore;
+pub mod mmap;
+pub mod placement;
+pub mod stats;
+pub mod store;
+pub mod types;
+
+pub use filestore::FileStore;
+pub use mmap::Mmap;
+pub use placement::{AffinityPolicy, BlockPlacementPolicy, ClusterView, DefaultPolicy};
+pub use stats::{IoSnapshot, IoStats, UsageReport};
+pub use store::{consult_hook, BlockStore, StoreRef, MAX_IO_ATTEMPTS};
+pub use types::{BlockLocation, BlockStoreConfig, FileStatus};

@@ -3,7 +3,9 @@
 //! Every read and write is attributed to the issuing node and classified as
 //! *local* (a replica lives on that node — HDFS "short-circuit read") or
 //! *remote*. The Figure-1/Figure-2 harnesses read these counters to show
-//! bytes touched and locality percentages.
+//! bytes touched and locality percentages. The counters are backend-neutral:
+//! SimHdfs and FileStore record through the same [`IoStats`] so locality and
+//! fault accounting stay comparable across backends.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,6 +25,7 @@ pub struct IoStats {
     injected_faults: AtomicU64,
     slow_read_ops: AtomicU64,
     read_retries: AtomicU64,
+    fsync_ops: AtomicU64,
 }
 
 /// A point-in-time copy of the counters.
@@ -41,6 +44,9 @@ pub struct IoSnapshot {
     pub slow_read_ops: u64,
     /// Retries performed after injected transient errors.
     pub read_retries: u64,
+    /// Explicit durability points: `BlockStore::sync` calls (fsync on the
+    /// file backend, accounting-only on the simulation).
+    pub fsync_ops: u64,
 }
 
 impl IoSnapshot {
@@ -72,6 +78,7 @@ impl IoSnapshot {
             injected_faults: self.injected_faults - earlier.injected_faults,
             slow_read_ops: self.slow_read_ops - earlier.slow_read_ops,
             read_retries: self.read_retries - earlier.read_retries,
+            fsync_ops: self.fsync_ops - earlier.fsync_ops,
         }
     }
 }
@@ -108,6 +115,10 @@ impl IoStats {
         self.read_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub fn record_fsync(&self) {
+        self.fsync_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             local_read_bytes: self.local_read_bytes.load(Ordering::Relaxed),
@@ -120,6 +131,7 @@ impl IoStats {
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
             slow_read_ops: self.slow_read_ops.load(Ordering::Relaxed),
             read_retries: self.read_retries.load(Ordering::Relaxed),
+            fsync_ops: self.fsync_ops.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +146,7 @@ impl IoStats {
         self.injected_faults.store(0, Ordering::Relaxed);
         self.slow_read_ops.store(0, Ordering::Relaxed);
         self.read_retries.store(0, Ordering::Relaxed);
+        self.fsync_ops.store(0, Ordering::Relaxed);
     }
 }
 
@@ -195,16 +208,19 @@ mod tests {
         s.record_read(10, true);
         let a = s.snapshot();
         s.record_read(5, false);
+        s.record_fsync();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.local_read_bytes, 0);
         assert_eq!(d.remote_read_bytes, 5);
+        assert_eq!(d.fsync_ops, 1);
     }
 
     #[test]
     fn reset_zeroes() {
         let s = IoStats::default();
         s.record_write(7);
+        s.record_fsync();
         s.reset();
         assert_eq!(s.snapshot(), IoSnapshot::default());
     }

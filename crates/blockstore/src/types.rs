@@ -1,0 +1,39 @@
+//! Backend-independent metadata types shared by every [`crate::BlockStore`].
+
+use vectorh_common::NodeId;
+
+/// Configuration common to every block-store backend.
+#[derive(Debug, Clone)]
+pub struct BlockStoreConfig {
+    /// HDFS block size in bytes (real clusters: 128 MB – 1 GB; tests use KBs).
+    pub block_size: usize,
+    /// Default replication degree (HDFS default R=3).
+    pub default_replication: usize,
+}
+
+impl Default for BlockStoreConfig {
+    fn default() -> Self {
+        BlockStoreConfig {
+            block_size: 4 * 1024 * 1024,
+            default_replication: 3,
+        }
+    }
+}
+
+/// Externally visible file metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileStatus {
+    pub path: String,
+    pub len: u64,
+    pub replication: usize,
+    pub block_count: usize,
+}
+
+/// Location information for one block (what the namenode reports to clients
+/// such as VectorH's dbAgent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLocation {
+    pub offset: u64,
+    pub len: u64,
+    pub nodes: Vec<NodeId>,
+}

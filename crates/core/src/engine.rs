@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use vectorh_blockstore::FileStore;
 use vectorh_common::fault::SharedFaultHook;
 use vectorh_common::sync::{Mutex, RwLock};
 use vectorh_common::util::{hash_bytes, hash_combine, hash_u64};
@@ -14,7 +15,7 @@ use vectorh_net::{
 };
 use vectorh_planner::logical::{CatalogInfo, TableMeta};
 use vectorh_planner::{parse_query, LogicalPlan, ParallelRewriter, PhysPlan, RewriterOptions};
-use vectorh_simhdfs::{AffinityPolicy, SimHdfs, SimHdfsConfig};
+use vectorh_simhdfs::{AffinityPolicy, BlockStore, SimHdfs, SimHdfsConfig, StoreRef};
 use vectorh_storage::{PartitionStore, StorageConfig};
 use vectorh_transport::{
     Fabric, FrameRx, FrameTx, RxKind, SharedEpoch, TcpFabric, HEARTBEAT_CHANNEL,
@@ -41,6 +42,37 @@ pub enum ClusterMode {
     /// buffers travel as framed, CRC-checked, credit-flow-controlled
     /// messages, and heartbeats ride the reserved transport channel.
     Tcp,
+}
+
+/// Which [`BlockStore`] implementation backs the cluster's storage.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StorageBackend {
+    /// The in-memory simulated HDFS (deterministic, no real IO).
+    #[default]
+    Sim,
+    /// Real files under the given root directory
+    /// ([`FileStore`]): buffered appends, fsync at
+    /// commit points, mmap'd reads. An empty root means "a fresh temp
+    /// directory per cluster, removed on shutdown". A non-empty root gets a
+    /// unique per-cluster subdirectory so concurrently started clusters
+    /// (parallel tests) never collide — to reopen an existing root (crash
+    /// recovery), construct a [`FileStore`] directly.
+    File(String),
+}
+
+impl StorageBackend {
+    /// Backend selection from the environment: `VH_STORE_BACKEND=file`
+    /// selects the real-file backend, rooted at `VH_STORE_DIR` (empty or
+    /// unset = per-cluster temp dirs). Anything else is the simulation.
+    /// [`ClusterConfig::default`] calls this, so
+    /// `VH_STORE_BACKEND=file cargo test` runs the whole suite on real
+    /// files.
+    pub fn from_env() -> StorageBackend {
+        match std::env::var("VH_STORE_BACKEND").as_deref() {
+            Ok("file") => StorageBackend::File(std::env::var("VH_STORE_DIR").unwrap_or_default()),
+            _ => StorageBackend::Sim,
+        }
+    }
 }
 
 /// Cluster configuration.
@@ -86,6 +118,10 @@ pub struct ClusterConfig {
     /// visiting further partitions once it has written this many chunk
     /// images, so propagation shares the clock fairly with live queries.
     pub propagate_chunks_per_tick: usize,
+    /// Storage backend: the in-memory simulation or real files. The default
+    /// honours `VH_STORE_BACKEND`/`VH_STORE_DIR`
+    /// ([`StorageBackend::from_env`]).
+    pub storage_backend: StorageBackend,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +145,7 @@ impl Default for ClusterConfig {
             heartbeat_grace: 1,
             propagate_every: 0,
             propagate_chunks_per_tick: 8,
+            storage_backend: StorageBackend::from_env(),
         }
     }
 }
@@ -244,7 +281,7 @@ impl QueryCtl {
 /// The engine.
 pub struct VectorH {
     pub config: ClusterConfig,
-    fs: SimHdfs,
+    fs: StoreRef,
     policy: Arc<AffinityPolicy>,
     rm: Arc<ResourceManager>,
     agent: Mutex<DbAgent>,
@@ -325,14 +362,33 @@ impl VectorH {
     /// negotiation, worker-set selection.
     pub fn start(config: ClusterConfig) -> Result<VectorH> {
         let policy = Arc::new(AffinityPolicy::new(config.seed));
-        let fs = SimHdfs::new(
-            config.nodes,
-            SimHdfsConfig {
-                block_size: config.hdfs_block_size,
-                default_replication: config.replication.min(config.nodes),
-            },
-            policy.clone(),
-        );
+        let store_config = SimHdfsConfig {
+            block_size: config.hdfs_block_size,
+            default_replication: config.replication.min(config.nodes),
+        };
+        let fs: StoreRef = match &config.storage_backend {
+            StorageBackend::Sim => {
+                Arc::new(SimHdfs::new(config.nodes, store_config, policy.clone()))
+            }
+            StorageBackend::File(dir) => {
+                let root = if dir.is_empty() {
+                    String::new()
+                } else {
+                    // A unique per-cluster subdirectory: concurrently
+                    // started clusters (parallel tests) must never share a
+                    // namespace.
+                    static CLUSTER_SEQ: AtomicU64 = AtomicU64::new(0);
+                    let seq = CLUSTER_SEQ.fetch_add(1, Ordering::Relaxed);
+                    format!("{dir}/vh-cluster-{}-{seq}", std::process::id())
+                };
+                Arc::new(FileStore::new(
+                    config.nodes,
+                    store_config,
+                    policy.clone(),
+                    &root,
+                )?)
+            }
+        };
         let workers: Vec<NodeId> = fs.alive_nodes();
         let rm = Arc::new(ResourceManager::new(
             workers.clone(),
@@ -417,8 +473,13 @@ impl VectorH {
         })
     }
 
-    pub fn fs(&self) -> &SimHdfs {
+    pub fn fs(&self) -> &StoreRef {
         &self.fs
+    }
+
+    /// Which storage backend this cluster runs on ("sim" or "file").
+    pub fn storage_backend(&self) -> &'static str {
+        self.fs.backend()
     }
 
     /// Install (or clear) the fault-injection hook. The filesystem holds it

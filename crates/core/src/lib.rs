@@ -41,7 +41,7 @@ pub mod recovery;
 pub mod scheduler;
 
 pub use catalog::{Catalog, TableBuilder, TableDef};
-pub use engine::{ClusterConfig, ClusterMode, MasterState, QueryCtl, VectorH};
+pub use engine::{ClusterConfig, ClusterMode, MasterState, QueryCtl, StorageBackend, VectorH};
 pub use recovery::{recover_partition, RecoveryReport};
 pub use scheduler::HealthScheduler;
 // The DML predicate type ([`dml`] takes `&Expr`), re-exported so callers

@@ -276,19 +276,19 @@ mod tests {
     use vectorh_common::{DataType, NodeId, Value};
     use vectorh_pdt::tree::Pdt;
     use vectorh_pdt::Layers;
-    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
+    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
     use vectorh_storage::minmax::PruneOp;
     use vectorh_storage::StorageConfig;
 
     fn store(rows_per_chunk: usize, n: i64) -> PartitionStore {
-        let fs = SimHdfs::new(
+        let fs: StoreRef = StdArc::new(SimHdfs::new(
             3,
             SimHdfsConfig {
                 block_size: 1024,
                 default_replication: 2,
             },
             StdArc::new(DefaultPolicy::new(7)),
-        );
+        ));
         let schema = Schema::of(&[("k", DataType::I64), ("tag", DataType::Str)]);
         let mut s = PartitionStore::new(fs, "/db/t/p0/", schema, StorageConfig { rows_per_chunk });
         let cols = vec![
@@ -395,11 +395,11 @@ mod tests {
 
     #[test]
     fn empty_partition_scan() {
-        let fs = SimHdfs::new(
+        let fs: StoreRef = StdArc::new(SimHdfs::new(
             2,
             SimHdfsConfig::default(),
             StdArc::new(DefaultPolicy::new(1)),
-        );
+        ));
         let s = PartitionStore::new(
             fs,
             "/db/e/p0/",
@@ -412,14 +412,14 @@ mod tests {
 
     #[test]
     fn scan_reads_local_when_reader_holds_replica() {
-        let fs = SimHdfs::new(
+        let fs: StoreRef = StdArc::new(SimHdfs::new(
             3,
             SimHdfsConfig {
                 block_size: 2048,
                 default_replication: 3,
             },
             StdArc::new(DefaultPolicy::new(9)),
-        );
+        ));
         let schema = Schema::of(&[("k", DataType::I64)]);
         let mut s = PartitionStore::new(
             fs.clone(),

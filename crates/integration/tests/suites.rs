@@ -13,6 +13,9 @@ mod end_to_end_sql;
 #[path = "../../../tests/failover_locality.rs"]
 mod failover_locality;
 
+#[path = "../../../tests/filestore.rs"]
+mod filestore;
+
 #[path = "../../../tests/health_plane.rs"]
 mod health_plane;
 

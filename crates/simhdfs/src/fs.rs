@@ -18,34 +18,17 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use vectorh_common::fault::{FaultAction, FaultSite, SharedFaultHook};
+use vectorh_blockstore::placement::{BlockPlacementPolicy, ClusterView};
+use vectorh_blockstore::stats::{IoStats, UsageReport};
+use vectorh_blockstore::store::{consult_hook, BlockStore};
+use vectorh_blockstore::types::{BlockLocation, BlockStoreConfig, FileStatus};
+use vectorh_common::fault::{FaultSite, SharedFaultHook};
 use vectorh_common::sync::RwLock;
 use vectorh_common::{NodeId, Result, VhError};
 
-use crate::placement::{BlockPlacementPolicy, ClusterView};
-use crate::stats::{IoStats, UsageReport};
-
-/// Bounded retry budget for injected transient I/O errors: the first
-/// attempt plus up to three retries with (simulated) exponential backoff.
-const MAX_IO_ATTEMPTS: u32 = 4;
-
-/// Configuration of the simulated cluster.
-#[derive(Debug, Clone)]
-pub struct SimHdfsConfig {
-    /// HDFS block size in bytes (real clusters: 128 MB – 1 GB; tests use KBs).
-    pub block_size: usize,
-    /// Default replication degree (HDFS default R=3).
-    pub default_replication: usize,
-}
-
-impl Default for SimHdfsConfig {
-    fn default() -> Self {
-        SimHdfsConfig {
-            block_size: 4 * 1024 * 1024,
-            default_replication: 3,
-        }
-    }
-}
+/// Configuration of the simulated cluster — the backend-neutral config type
+/// under its historical name.
+pub type SimHdfsConfig = BlockStoreConfig;
 
 /// One replicated block.
 #[derive(Debug, Clone)]
@@ -63,24 +46,6 @@ struct FileEntry {
     /// Per-file placement target set (fixed at first append, adjusted by
     /// failures / rebalancing).
     targets: Vec<NodeId>,
-}
-
-/// Externally visible file metadata.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FileStatus {
-    pub path: String,
-    pub len: u64,
-    pub replication: usize,
-    pub block_count: usize,
-}
-
-/// Location information for one block (what the namenode reports to clients
-/// such as VectorH's dbAgent).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BlockLocation {
-    pub offset: u64,
-    pub len: u64,
-    pub nodes: Vec<NodeId>,
 }
 
 struct Inner {
@@ -132,47 +97,23 @@ impl SimHdfs {
     }
 
     /// Consult the hook at `site` for `detail`, honouring transient-error
-    /// retries with simulated exponential backoff. `Ok(())` means proceed;
-    /// transient errors that exhaust [`MAX_IO_ATTEMPTS`] and permanent
-    /// errors surface as typed `Err`s. Public so layers built on the
-    /// filesystem (WAL replay) can gate their own sites on the same hook.
+    /// retries with simulated exponential backoff (the shared
+    /// [`consult_hook`] discipline every backend runs). Public so layers
+    /// built on the filesystem (WAL replay) can gate their own sites on the
+    /// same hook.
     pub fn consult_fault(&self, site: FaultSite, detail: &str) -> Result<()> {
-        let hook = match self.fault_hook() {
-            Some(h) => h,
-            None => return Ok(()),
-        };
-        let mut attempt = 0u32;
-        loop {
-            match hook.decide(site, detail, attempt) {
-                FaultAction::None => return Ok(()),
-                FaultAction::SlowRead => {
-                    self.stats.record_slow_read();
-                    std::thread::sleep(std::time::Duration::from_micros(50));
-                    return Ok(());
-                }
-                FaultAction::TransientError => {
-                    self.stats.record_injected_fault();
-                    attempt += 1;
-                    if attempt >= MAX_IO_ATTEMPTS {
-                        return Err(VhError::Hdfs(format!(
-                            "injected transient {site} error on {detail} \
-                             (gave up after {attempt} attempts)"
-                        )));
-                    }
-                    self.stats.record_read_retry();
-                    std::thread::sleep(std::time::Duration::from_micros(20 << attempt));
-                }
-                FaultAction::PermanentError => {
-                    self.stats.record_injected_fault();
-                    return Err(VhError::Hdfs(format!(
-                        "injected permanent {site} error on {detail}"
-                    )));
-                }
-                // Exchange/WAL-specific actions are meaningless for plain
-                // filesystem I/O; treat them as "no fault here".
-                _ => return Ok(()),
-            }
+        consult_hook(self.fault_hook(), &self.stats, site, detail)
+    }
+
+    /// Durability point. The simulation has no physical medium, so this is
+    /// accounting-only — but it validates the path and counts the fsync so
+    /// durability discipline is observable identically on both backends.
+    pub fn sync(&self, path: &str) -> Result<()> {
+        if !self.inner.read().files.contains_key(path) {
+            return Err(VhError::Hdfs(format!("no such file: {path}")));
         }
+        self.stats.record_fsync();
+        Ok(())
     }
 
     pub fn config(&self) -> &SimHdfsConfig {
@@ -577,10 +518,112 @@ impl SimHdfs {
     }
 }
 
+/// The simulation as a pluggable backend: pure delegation to the inherent
+/// methods, zero behaviour change.
+impl BlockStore for SimHdfs {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn config(&self) -> &SimHdfsConfig {
+        self.config()
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.stats()
+    }
+
+    fn set_fault_hook(&self, hook: Option<SharedFaultHook>) {
+        SimHdfs::set_fault_hook(self, hook)
+    }
+
+    fn fault_hook(&self) -> Option<SharedFaultHook> {
+        SimHdfs::fault_hook(self)
+    }
+
+    fn alive_nodes(&self) -> Vec<NodeId> {
+        SimHdfs::alive_nodes(self)
+    }
+
+    fn all_nodes(&self) -> Vec<NodeId> {
+        SimHdfs::all_nodes(self)
+    }
+
+    fn create(&self, path: &str, replication: Option<usize>) -> Result<()> {
+        SimHdfs::create(self, path, replication)
+    }
+
+    fn append(&self, path: &str, data: &[u8], writer: Option<NodeId>) -> Result<()> {
+        SimHdfs::append(self, path, data, writer)
+    }
+
+    fn sync(&self, path: &str) -> Result<()> {
+        SimHdfs::sync(self, path)
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize, reader: Option<NodeId>) -> Result<Vec<u8>> {
+        SimHdfs::read(self, path, offset, len, reader)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        SimHdfs::delete(self, path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        SimHdfs::exists(self, path)
+    }
+
+    fn len(&self, path: &str) -> Result<u64> {
+        SimHdfs::len(self, path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<FileStatus> {
+        SimHdfs::list(self, prefix)
+    }
+
+    fn block_locations(&self, path: &str) -> Result<Vec<BlockLocation>> {
+        SimHdfs::block_locations(self, path)
+    }
+
+    fn kill_node(&self, node: NodeId) -> Result<()> {
+        SimHdfs::kill_node(self, node)
+    }
+
+    fn revive_node(&self, node: NodeId) -> Result<()> {
+        SimHdfs::revive_node(self, node)
+    }
+
+    fn add_node(&self) -> NodeId {
+        SimHdfs::add_node(self)
+    }
+
+    fn conform_to_policy(&self) -> u64 {
+        SimHdfs::conform_to_policy(self)
+    }
+
+    fn usage(&self) -> UsageReport {
+        SimHdfs::usage(self)
+    }
+
+    fn read_all(&self, path: &str, reader: Option<NodeId>) -> Result<Vec<u8>> {
+        SimHdfs::read_all(self, path, reader)
+    }
+
+    fn fully_local(&self, path: &str, node: NodeId) -> Result<bool> {
+        SimHdfs::fully_local(self, path, node)
+    }
+
+    fn consult_fault(&self, site: FaultSite, detail: &str) -> Result<()> {
+        SimHdfs::consult_fault(self, site, detail)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::{AffinityPolicy, DefaultPolicy};
+    use vectorh_blockstore::placement::{AffinityPolicy, DefaultPolicy};
+    use vectorh_blockstore::store::MAX_IO_ATTEMPTS;
+    use vectorh_common::fault::FaultAction;
 
     fn small_fs(nodes: usize) -> SimHdfs {
         SimHdfs::new(

@@ -8,22 +8,28 @@
 //! requires an append-only, block-replicated filesystem that:
 //!
 //! * splits files into fixed-size blocks replicated at `R` datanodes,
-//! * delegates placement to a pluggable [`placement::BlockPlacementPolicy`]
+//! * delegates placement to a pluggable
+//!   [`BlockPlacementPolicy`](vectorh_blockstore::BlockPlacementPolicy)
 //!   whose `choose_targets` receives the file name (exactly like HDFS's
 //!   `chooseTarget()`), both at append time and during re-replication,
 //! * distinguishes **short-circuit local reads** from remote reads and
-//!   accounts for both ([`stats::IoStats`]), so benches can verify the
-//!   "all table IOs are short-circuited" claim,
+//!   accounts for both ([`vectorh_blockstore::IoStats`]), so benches can
+//!   verify the "all table IOs are short-circuited" claim,
 //! * supports datanode failure, decommissioning and background
 //!   re-replication.
 //!
 //! Everything is deterministic: placement randomness comes from a seeded
 //! [`vectorh_common::rng::SplitMix64`].
+//!
+//! [`SimHdfs`] is the in-memory implementor of the backend-neutral
+//! [`vectorh_blockstore::BlockStore`] trait; the shared types (placement
+//! policies, IO stats, file/block metadata) live in `vectorh-blockstore`
+//! and are re-exported here so existing imports keep working.
 
 pub mod fs;
-pub mod placement;
-pub mod stats;
 
-pub use fs::{BlockLocation, FileStatus, SimHdfs, SimHdfsConfig};
-pub use placement::{AffinityPolicy, BlockPlacementPolicy, ClusterView, DefaultPolicy};
-pub use stats::{IoSnapshot, IoStats};
+pub use fs::{SimHdfs, SimHdfsConfig};
+pub use vectorh_blockstore::{
+    AffinityPolicy, BlockLocation, BlockPlacementPolicy, BlockStore, ClusterView, DefaultPolicy,
+    FileStatus, IoSnapshot, IoStats, StoreRef,
+};

@@ -17,7 +17,7 @@
 
 use vectorh_common::{ColumnData, NodeId, Result, VhError};
 use vectorh_compress::{decode_column, encode_column};
-use vectorh_simhdfs::SimHdfs;
+use vectorh_simhdfs::BlockStore;
 
 /// Magic tag identifying VectorH-rs chunk files.
 pub const CHUNK_MAGIC: u32 = 0x56_48_43_4B; // "VHCK"
@@ -77,15 +77,19 @@ pub fn encode_chunk(columns: &[ColumnData]) -> Result<(Vec<u8>, Vec<u64>)> {
     Ok((out, offsets))
 }
 
-/// Write a chunk file to HDFS from `writer` and return its metadata.
+/// Write a chunk file to the block store from `writer` and return its
+/// metadata. A chunk is sealed the moment it is written, so this is a
+/// durability point: the image is fsynced before the chunk can enter a
+/// manifest.
 pub fn write_chunk(
-    fs: &SimHdfs,
+    fs: &dyn BlockStore,
     path: &str,
     columns: &[ColumnData],
     writer: Option<NodeId>,
 ) -> Result<ChunkMeta> {
     let (bytes, offsets) = encode_chunk(columns)?;
     fs.append(path, &bytes, writer)?;
+    fs.sync(path)?;
     Ok(ChunkMeta {
         path: path.to_string(),
         n_rows: columns.first().map(|c| c.len()).unwrap_or(0),
@@ -95,7 +99,7 @@ pub fn write_chunk(
 
 /// Read one column of a chunk (ranged read + decode).
 pub fn read_column(
-    fs: &SimHdfs,
+    fs: &dyn BlockStore,
     meta: &ChunkMeta,
     col: usize,
     reader: Option<NodeId>,
@@ -143,7 +147,7 @@ pub fn parse_header(bytes: &[u8]) -> Result<(usize, Vec<u64>)> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vectorh_simhdfs::{DefaultPolicy, SimHdfsConfig};
+    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
 
     fn fs() -> SimHdfs {
         SimHdfs::new(

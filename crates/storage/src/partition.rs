@@ -9,7 +9,7 @@
 //! every replica land exactly where the partition affinity map says.
 
 use vectorh_common::{ColumnData, NodeId, Result, Schema, VhError};
-use vectorh_simhdfs::SimHdfs;
+use vectorh_simhdfs::StoreRef;
 
 use crate::chunk::{self, ChunkMeta};
 use crate::minmax::{ColumnStats, MinMaxIndex, Pruning};
@@ -37,7 +37,7 @@ impl Default for StorageConfig {
 /// engine keeps mutating the original.
 #[derive(Clone)]
 pub struct PartitionStore {
-    fs: SimHdfs,
+    fs: StoreRef,
     dir: String,
     schema: Schema,
     config: StorageConfig,
@@ -56,7 +56,12 @@ pub struct PartitionStore {
 
 impl PartitionStore {
     /// Create an empty partition rooted at `dir` (must end with `/`).
-    pub fn new(fs: SimHdfs, dir: impl Into<String>, schema: Schema, config: StorageConfig) -> Self {
+    pub fn new(
+        fs: StoreRef,
+        dir: impl Into<String>,
+        schema: Schema,
+        config: StorageConfig,
+    ) -> Self {
         let dir = dir.into();
         debug_assert!(dir.ends_with('/'), "partition dir must end with '/'");
         PartitionStore {
@@ -343,7 +348,7 @@ impl PartitionStore {
     /// from the data (the real system replays them from the WAL; the txn
     /// crate does that too, this is the fallback).
     pub fn recover(
-        fs: SimHdfs,
+        fs: StoreRef,
         dir: impl Into<String>,
         schema: Schema,
         config: StorageConfig,
@@ -388,17 +393,17 @@ mod tests {
     use crate::minmax::PruneOp;
     use std::sync::Arc;
     use vectorh_common::{DataType, Value};
-    use vectorh_simhdfs::{AffinityPolicy, DefaultPolicy, SimHdfsConfig};
+    use vectorh_simhdfs::{AffinityPolicy, DefaultPolicy, SimHdfs, SimHdfsConfig};
 
-    fn fs() -> SimHdfs {
-        SimHdfs::new(
+    fn fs() -> StoreRef {
+        Arc::new(SimHdfs::new(
             4,
             SimHdfsConfig {
                 block_size: 512,
                 default_replication: 2,
             },
             Arc::new(DefaultPolicy::new(3)),
-        )
+        ))
     }
 
     fn schema() -> Schema {
@@ -490,14 +495,14 @@ mod tests {
     #[test]
     fn home_node_gets_local_replicas() {
         let policy = Arc::new(AffinityPolicy::new(5));
-        let fs = SimHdfs::new(
+        let fs: StoreRef = Arc::new(SimHdfs::new(
             4,
             SimHdfsConfig {
                 block_size: 512,
                 default_replication: 2,
             },
             policy.clone(),
-        );
+        ));
         policy.set_affinity(
             "/db/t/p0/",
             vec![vectorh_common::NodeId(2), vectorh_common::NodeId(3)],

@@ -500,20 +500,20 @@ mod tests {
     use std::sync::Arc;
     use vectorh_common::fault::{FaultAction, FaultHook};
     use vectorh_common::{DataType, Schema};
-    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
+    use vectorh_simhdfs::{BlockStore, DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
     use vectorh_storage::StorageConfig;
 
     const P: PartitionId = PartitionId(0);
 
     fn setup(stable: i64) -> (TransactionManager, PartitionStore, Wal) {
-        let fs = SimHdfs::new(
+        let fs: StoreRef = Arc::new(SimHdfs::new(
             3,
             SimHdfsConfig {
                 block_size: 1024,
                 default_replication: 2,
             },
             Arc::new(DefaultPolicy::new(9)),
-        );
+        ));
         let schema = Schema::of(&[("k", DataType::I64), ("s", DataType::Str)]);
         let mut store = PartitionStore::new(
             fs.clone(),
@@ -539,7 +539,7 @@ mod tests {
         vec![Value::I64(i), Value::Str(format!("n{i}"))]
     }
 
-    fn file_bytes(fs: &SimHdfs, path: &str) -> Vec<u8> {
+    fn file_bytes(fs: &StoreRef, path: &str) -> Vec<u8> {
         fs.read(path, 0, 1 << 24, None).unwrap()
     }
 

@@ -627,17 +627,17 @@ mod tests {
     use super::*;
     use std::sync::Arc;
     use vectorh_common::Value;
-    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
+    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig, StoreRef};
 
-    fn fs() -> SimHdfs {
-        SimHdfs::new(
+    fn fs() -> StoreRef {
+        Arc::new(SimHdfs::new(
             3,
             SimHdfsConfig {
                 block_size: 256,
                 default_replication: 2,
             },
             Arc::new(DefaultPolicy::new(3)),
-        )
+        ))
     }
 
     fn setup() -> (TwoPhaseCoordinator, Wal, Wal) {

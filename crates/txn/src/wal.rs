@@ -9,7 +9,7 @@
 
 use vectorh_common::fault::{FaultAction, FaultSite};
 use vectorh_common::{NodeId, Result, Value, VhError};
-use vectorh_simhdfs::SimHdfs;
+use vectorh_simhdfs::{BlockStore, StoreRef};
 
 /// One log record.
 #[derive(Debug, Clone, PartialEq)]
@@ -369,17 +369,34 @@ pub fn encode_for_shipping(record: &LogRecord, out: &mut Vec<u8>) {
     record.encode(out);
 }
 
-/// A write-ahead log backed by one append-only HDFS file.
+/// A write-ahead log backed by one append-only block-store file.
 pub struct Wal {
-    fs: SimHdfs,
+    fs: StoreRef,
     path: String,
     /// The responsible node: all WAL IO is issued from here. Interior-mutable
     /// so failover can move a shared (`Arc`'d) WAL to its new owner.
     home: vectorh_common::sync::RwLock<Option<NodeId>>,
 }
 
+/// Does this batch carry a record that must survive an OS crash the moment
+/// the append returns? Commit decisions, prepare votes, checkpoints and
+/// master-epoch fences are promises made to other participants — they get an
+/// fsync. Plain data records ride along until the next such point.
+fn has_commit_point(records: &[LogRecord]) -> bool {
+    records.iter().any(|r| {
+        matches!(
+            r,
+            LogRecord::Prepare { .. }
+                | LogRecord::Commit { .. }
+                | LogRecord::GlobalCommit { .. }
+                | LogRecord::Checkpoint { .. }
+                | LogRecord::MasterEpoch { .. }
+        )
+    })
+}
+
 impl Wal {
-    pub fn new(fs: SimHdfs, path: impl Into<String>, home: Option<NodeId>) -> Wal {
+    pub fn new(fs: StoreRef, path: impl Into<String>, home: Option<NodeId>) -> Wal {
         Wal {
             fs,
             path: path.into(),
@@ -392,7 +409,7 @@ impl Wal {
     }
 
     /// The filesystem this WAL writes through (carries the fault hook).
-    pub fn fs(&self) -> &SimHdfs {
+    pub fn fs(&self) -> &StoreRef {
         &self.fs
     }
 
@@ -412,6 +429,13 @@ impl Wal {
     /// frame (every frame is at least 5 bytes, so dropping the last byte
     /// tears exactly one record), `CrashAfter` persists everything. All
     /// three surface as `Err` — the "process" died before acknowledging.
+    ///
+    /// Durability: if the batch carries a commit-point record (Prepare,
+    /// Commit, GlobalCommit, Checkpoint, MasterEpoch), the file is
+    /// [`sync`](BlockStore::sync)ed after the append, making the decision
+    /// survive an OS crash before anyone acts on it. Crash injections skip
+    /// the sync — a process that died mid-append never reached its fsync,
+    /// which is exactly the torn-tail state recovery must repair.
     pub fn append(&self, records: &[LogRecord]) -> Result<()> {
         if records.is_empty() {
             return Ok(());
@@ -444,7 +468,11 @@ impl Wal {
                 _ => {}
             }
         }
-        self.fs.append(&self.path, &buf, self.home())
+        self.fs.append(&self.path, &buf, self.home())?;
+        if has_commit_point(records) {
+            self.fs.sync(&self.path)?;
+        }
+        Ok(())
     }
 
     /// Read the whole log back (recovery/startup).
@@ -500,6 +528,9 @@ impl Wal {
             self.fs.delete(&self.path)?;
             if pos > 0 {
                 self.fs.append(&self.path, &bytes[..pos], self.home())?;
+                // The rewritten prefix replaces what was (partly) synced
+                // before the crash — make it durable before anyone appends.
+                self.fs.sync(&self.path)?;
             }
         }
         Ok(torn)
@@ -533,17 +564,17 @@ impl Wal {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use vectorh_simhdfs::{DefaultPolicy, SimHdfsConfig};
+    use vectorh_simhdfs::{DefaultPolicy, SimHdfs, SimHdfsConfig};
 
     fn wal() -> Wal {
-        let fs = SimHdfs::new(
+        let fs: StoreRef = Arc::new(SimHdfs::new(
             3,
             SimHdfsConfig {
                 block_size: 128,
                 default_replication: 2,
             },
             Arc::new(DefaultPolicy::new(5)),
-        );
+        ));
         Wal::new(fs, "/vectorh/wal/t0-p0.wal", Some(NodeId(1)))
     }
 

@@ -269,13 +269,13 @@ fn failover_retries_exhaust_deterministically() {
 fn full_cluster_cascade_exhausts_pinned_retry_budget_with_node_down() {
     use std::sync::{Arc, Mutex};
     use vectorh_common::fault::{FaultAction, FaultHook, FaultSite};
-    use vectorh_simhdfs::SimHdfs;
+    use vectorh_simhdfs::{BlockStore, StoreRef};
 
     /// Kills one victim per `HdfsRead` consult until the cluster is gone.
     /// `SimHdfs::read` consults the hook *before* taking its state lock,
     /// so killing from inside `decide` is deadlock-free.
     struct CascadeKiller {
-        fs: SimHdfs,
+        fs: StoreRef,
         victims: Mutex<Vec<NodeId>>,
     }
     impl std::fmt::Debug for CascadeKiller {
